@@ -1,0 +1,65 @@
+#ifndef PEXESO_BENCH_BENCH_COMMON_H_
+#define PEXESO_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/pexeso_index.h"
+#include "core/searcher.h"
+#include "datagen/vector_lake.h"
+#include "vec/metric.h"
+
+namespace pexeso::bench {
+
+/// Wall-clock of one callable, in seconds.
+inline double TimeIt(const std::function<void()>& fn) {
+  Stopwatch w;
+  fn();
+  return w.ElapsedSeconds();
+}
+
+/// Prints a banner naming the experiment and the dataset substitution note.
+inline void Banner(const char* experiment, const char* paper_ref) {
+  std::printf("==========================================================\n");
+  std::printf("%s  (reproduces %s)\n", experiment, paper_ref);
+  std::printf("Synthetic data lake; scale via PEXESO_BENCH_SCALE "
+              "(current %.2f). Shapes, not absolute numbers, are the\n"
+              "comparison target -- see EXPERIMENTS.md.\n",
+              BenchProfiles::EnvScale());
+  std::printf("==========================================================\n");
+}
+
+/// Query workload for a vector-lake profile: `n` query columns of
+/// `query_size` vectors each.
+inline std::vector<VectorStore> MakeQueries(const VectorLakeOptions& profile,
+                                            size_t n, size_t query_size) {
+  std::vector<VectorStore> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(GenerateVectorQuery(profile, query_size, 9000 + i * 71));
+  }
+  return out;
+}
+
+/// Number of query columns per timing cell (env PEXESO_BENCH_QUERIES).
+inline size_t NumQueries(size_t def = 3) {
+  const char* env = std::getenv("PEXESO_BENCH_QUERIES");
+  if (env == nullptr) return def;
+  const long v = std::atol(env);
+  return v <= 0 ? def : static_cast<size_t>(v);
+}
+
+/// Per-cell wall budget for slow baselines, seconds (PEXESO_BENCH_BUDGET).
+inline double CellBudget(double def = 10.0) {
+  const char* env = std::getenv("PEXESO_BENCH_BUDGET");
+  if (env == nullptr) return def;
+  const double v = std::atof(env);
+  return v <= 0 ? def : v;
+}
+
+}  // namespace pexeso::bench
+
+#endif  // PEXESO_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,83 @@
+// Reproduces Figure 6: (a) the number of exact distance computations per
+// method and (b) the index sizes, on the OPEN-like and SWDC-like profiles at
+// the default thresholds (tau = 6%, T = 60%).
+
+#include <cstdio>
+#include <memory>
+
+#include "baseline/cover_tree.h"
+#include "baseline/ept.h"
+#include "baseline/pexeso_h.h"
+#include "baseline/range_engine.h"
+#include "bench_common.h"
+
+namespace pexeso::bench {
+namespace {
+
+void RunProfile(const char* name, const VectorLakeOptions& profile) {
+  L2Metric metric;
+  ColumnCatalog catalog = GenerateVectorLake(profile);
+  ColumnCatalog copy = catalog;
+  PexesoOptions opts;
+  opts.num_pivots = 5;
+  opts.levels = 5;
+  PexesoIndex index = PexesoIndex::Build(std::move(copy), &metric, opts);
+  CoverTree ctree(&catalog.store(), &metric);
+  ctree.BuildAll();
+  ExtremePivotTable ept(&catalog.store(), &metric);
+  ept.Build({});
+
+  const size_t nq = NumQueries(3);
+  auto queries = MakeQueries(profile, nq, 40);
+  FractionalThresholds ft{0.06, 0.6};
+  const SearchThresholds th = ft.Resolve(metric, profile.dim, 40);
+
+  SearchStats s_ctree, s_ept, s_h, s_px;
+  for (const auto& q : queries) {
+    JoinableRangeSearcher(&catalog, &ctree).Search(q, th, &s_ctree);
+    JoinableRangeSearcher(&catalog, &ept).Search(q, th, &s_ept);
+    SearchOptions sopts;
+    sopts.thresholds = th;
+    PexesoHSearcher(&index).Search(q, sopts, &s_h);
+    PexesoSearcher(&index).Search(q, sopts, &s_px);
+  }
+
+  std::printf("\n%s: %zu vectors, dim %u (%zu queries)\n", name,
+              catalog.num_vectors(), catalog.dim(), nq);
+  std::printf("(a) distance computations (total over queries)\n");
+  std::printf("  %-10s %14llu\n", "CTREE",
+              static_cast<unsigned long long>(s_ctree.distance_computations));
+  std::printf("  %-10s %14llu\n", "EPT",
+              static_cast<unsigned long long>(s_ept.distance_computations));
+  std::printf("  %-10s %14llu\n", "PEXESO-H",
+              static_cast<unsigned long long>(s_h.distance_computations));
+  std::printf("  %-10s %14llu\n", "PEXESO",
+              static_cast<unsigned long long>(s_px.distance_computations));
+  std::printf("(b) index size (MB)\n");
+  std::printf("  %-10s %10.2f\n", "CTREE", ctree.MemoryBytes() / 1e6);
+  std::printf("  %-10s %10.2f\n", "EPT", ept.MemoryBytes() / 1e6);
+  // PEXESO-H shares PEXESO's structures minus the inverted index.
+  std::printf("  %-10s %10.2f\n", "PEXESO-H",
+              (index.IndexSizeBytes() - index.inverted_index().MemoryBytes()) /
+                  1e6);
+  std::printf("  %-10s %10.2f\n", "PEXESO", index.IndexSizeBytes() / 1e6);
+}
+
+}  // namespace
+}  // namespace pexeso::bench
+
+int main() {
+  using namespace pexeso::bench;
+  using pexeso::BenchProfiles;
+  Banner("bench_fig6: distance computations and index sizes",
+         "Figure 6 of the PEXESO paper");
+  const double scale = BenchProfiles::EnvScale();
+  RunProfile("OPEN-like", BenchProfiles::OpenLike(scale));
+  RunProfile("SWDC-like", BenchProfiles::SwdcLike(scale));
+  std::printf(
+      "\nExpected shape: PEXESO far fewer distance computations than CTREE / "
+      "EPT, and fewer than PEXESO-H; PEXESO's index is the\nlargest (within "
+      "a small constant factor of the others), the price of the grid + "
+      "inverted index.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Reproduces Figure 8: PEXESO vs the approximate product-quantization
+// baselines PQ-75 and PQ-85 (range-query recall calibrated to 75% / 85%),
+// on the SWDC-like profile: search time varying tau (T fixed at 60%) and
+// varying T (tau fixed at 6%).
+
+#include <cstdio>
+
+#include "baseline/pq.h"
+#include "baseline/range_engine.h"
+#include "bench_common.h"
+
+namespace pexeso::bench {
+namespace {
+
+struct Fig8State {
+  L2Metric metric;
+  ColumnCatalog catalog;
+  PexesoIndex index;
+  PqIndex pq75;
+  PqIndex pq85;
+
+  explicit Fig8State(const VectorLakeOptions& profile)
+      : catalog(GenerateVectorLake(profile)),
+        index([&] {
+          ColumnCatalog copy = catalog;
+          PexesoOptions opts;
+          opts.num_pivots = 5;
+          opts.levels = 5;
+          return PexesoIndex::Build(std::move(copy), &metric, opts);
+        }()),
+        pq75(&catalog.store()),
+        pq85(&catalog.store()) {
+    // Fine quantization (5-d subspaces, 64 centroids) keeps the ADC error
+    // small relative to the tau range so the 75%/85% recall targets are
+    // reachable with distinct radius scales.
+    PqIndex::Options popts;
+    popts.num_subquantizers = 10;
+    popts.codebook_size = 64;
+    pq75.Build(popts);
+    pq85.Build(popts);
+    // Calibrate recall against a sample query column at the default tau.
+    VectorStore calib = GenerateVectorQuery(profile, 30, 777);
+    FractionalThresholds ft{0.06, 0.6};
+    const double tau = ft.Resolve(metric, profile.dim, 30).tau;
+    pq75.CalibrateRadiusScale(calib, tau, 0.75, &metric, 0.9, 0.02);
+    pq85.CalibrateRadiusScale(calib, tau, 0.85, &metric, 0.9, 0.02);
+    std::printf("PQ radius scales: PQ-75 %.2f, PQ-85 %.2f\n",
+                pq75.radius_scale(), pq85.radius_scale());
+  }
+};
+
+void Sweep(Fig8State* st, const VectorLakeOptions& profile, bool vary_tau) {
+  const size_t nq = NumQueries(3);
+  auto queries = MakeQueries(profile, nq, 40);
+  std::printf("\n%s\n", vary_tau ? "varying tau (T = 60%)"
+                                 : "varying T (tau = 6%)");
+  std::printf("%6s %10s %10s %10s   (avg seconds/query)\n",
+              vary_tau ? "tau%" : "T%", "PQ-85", "PQ-75", "PEXESO");
+  for (int v : {20, 40, 60, 80}) {
+    const double tau_frac = vary_tau ? v / 1000.0 : 0.06;  // 2..8%
+    const double t_frac = vary_tau ? 0.6 : v / 100.0;
+    const int label = vary_tau ? v / 10 : v;
+    FractionalThresholds ft{tau_frac, t_frac};
+    const SearchThresholds th = ft.Resolve(st->metric, profile.dim, 40);
+
+    double t85 = 0, t75 = 0, tpx = 0;
+    for (const auto& q : queries) {
+      JoinableRangeSearcher s85(&st->catalog, &st->pq85);
+      t85 += TimeIt([&] { s85.Search(q, th, nullptr); });
+      JoinableRangeSearcher s75(&st->catalog, &st->pq75);
+      t75 += TimeIt([&] { s75.Search(q, th, nullptr); });
+      PexesoSearcher searcher(&st->index);
+      SearchOptions sopts;
+      sopts.thresholds = th;
+      tpx += TimeIt([&] { searcher.Search(q, sopts, nullptr); });
+    }
+    const double dn = static_cast<double>(nq);
+    std::printf("%6d %10.4f %10.4f %10.4f\n", label, t85 / dn, t75 / dn,
+                tpx / dn);
+  }
+}
+
+}  // namespace
+}  // namespace pexeso::bench
+
+int main() {
+  using namespace pexeso::bench;
+  using pexeso::BenchProfiles;
+  Banner("bench_fig8: exact PEXESO vs approximate PQ",
+         "Figure 8 of the PEXESO paper");
+  auto profile = BenchProfiles::SwdcLike(BenchProfiles::EnvScale());
+  Fig8State st(profile);
+  Sweep(&st, profile, /*vary_tau=*/true);
+  Sweep(&st, profile, /*vary_tau=*/false);
+  std::printf(
+      "\nExpected shape: PEXESO competitive with PQ-85 across tau and T, and "
+      "faster at small T (early termination); PQ's cost is\nflat in the "
+      "thresholds (full ADC scan), PEXESO's grows gently.\n");
+  return 0;
+}

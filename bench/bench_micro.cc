@@ -1,0 +1,124 @@
+// Google-benchmark micro-benchmarks of the kernels everything else is built
+// from: distance computation, pivot mapping, grid construction, inverted-
+// index verification, embedding, and full index build/search at small scale.
+// These are regression guards, not paper figures.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/pexeso_index.h"
+#include "core/searcher.h"
+#include "datagen/vector_lake.h"
+#include "embed/char_gram_model.h"
+#include "pivot/pivot_selector.h"
+#include "vec/metric.h"
+
+namespace pexeso {
+namespace {
+
+void BM_L2Distance(benchmark::State& state) {
+  const uint32_t dim = static_cast<uint32_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(dim), b(dim);
+  for (auto& x : a) x = static_cast<float>(rng.Normal());
+  for (auto& x : b) x = static_cast<float>(rng.Normal());
+  L2Metric metric;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metric.Dist(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2Distance)->Arg(50)->Arg(300);
+
+void BM_PivotMapping(benchmark::State& state) {
+  const uint32_t dim = 50, np = 5;
+  VectorLakeOptions opts;
+  opts.dim = dim;
+  opts.num_columns = 50;
+  ColumnCatalog catalog = GenerateVectorLake(opts);
+  L2Metric metric;
+  auto pivots = PivotSelector::SelectRandom(catalog.store().raw().data(),
+                                            catalog.num_vectors(), dim, np, 3);
+  PivotSpace ps(pivots.data(), np, dim, &metric);
+  double out[np];
+  size_t i = 0;
+  for (auto _ : state) {
+    ps.Map(catalog.store().View(i % catalog.num_vectors()), out);
+    benchmark::DoNotOptimize(out[0]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PivotMapping);
+
+void BM_GridBuild(benchmark::State& state) {
+  const uint32_t np = 5;
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<double> mapped(n * np);
+  for (auto& x : mapped) x = rng.UniformDouble() * 2.0;
+  for (auto _ : state) {
+    HierarchicalGrid grid;
+    HierarchicalGrid::Options gopts;
+    gopts.levels = 5;
+    grid.Build(mapped.data(), n, np, 2.0, gopts);
+    benchmark::DoNotOptimize(grid.LeafCells().size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GridBuild)->Arg(1000)->Arg(10000);
+
+void BM_CharGramEmbed(benchmark::State& state) {
+  CharGramModel model;
+  const std::string text = "mario party superstars deluxe";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.EmbedRecord(text));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CharGramEmbed);
+
+void BM_IndexBuild(benchmark::State& state) {
+  VectorLakeOptions opts;
+  opts.dim = 50;
+  opts.num_columns = static_cast<uint32_t>(state.range(0));
+  ColumnCatalog catalog = GenerateVectorLake(opts);
+  L2Metric metric;
+  for (auto _ : state) {
+    ColumnCatalog copy = catalog;
+    PexesoOptions popts;
+    popts.num_pivots = 5;
+    popts.levels = 5;
+    PexesoIndex index = PexesoIndex::Build(std::move(copy), &metric, popts);
+    benchmark::DoNotOptimize(index.IndexSizeBytes());
+  }
+  state.SetItemsProcessed(state.iterations() * catalog.num_vectors());
+}
+BENCHMARK(BM_IndexBuild)->Arg(200)->Arg(1000);
+
+void BM_PexesoSearch(benchmark::State& state) {
+  VectorLakeOptions opts;
+  opts.dim = 50;
+  opts.num_columns = static_cast<uint32_t>(state.range(0));
+  ColumnCatalog catalog = GenerateVectorLake(opts);
+  L2Metric metric;
+  PexesoOptions popts;
+  popts.num_pivots = 5;
+  popts.levels = 5;
+  PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, popts);
+  PexesoSearcher searcher(&index);
+  VectorStore query = GenerateVectorQuery(opts, 40, 99);
+  FractionalThresholds ft{0.06, 0.6};
+  SearchOptions sopts;
+  sopts.thresholds = ft.Resolve(metric, opts.dim, query.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(searcher.Search(query, sopts, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PexesoSearch)->Arg(500)->Arg(2000);
+
+}  // namespace
+}  // namespace pexeso
+
+BENCHMARK_MAIN();

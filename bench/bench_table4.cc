@@ -1,0 +1,300 @@
+// Reproduces Table IV: precision & recall of joinable table search for
+// equi-join, Jaccard-join, edit-join, fuzzy-join, TF-IDF-join, PEXESO and
+// "our join with PQ-85" on OPEN-like and SWDC-like synthetic lakes.
+//
+// Protocol (paper Section VI-B): sample query tables, search with every
+// competitor with thresholds tuned for best F1, build the retrieved pool as
+// the union of all retrievals, and score precision / pooled recall against
+// the generator's ground truth (the stand-in for human labeling).
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_set>
+
+#include "baseline/pq.h"
+#include "baseline/range_engine.h"
+#include "bench_common.h"
+#include "core/pexeso_index.h"
+#include "core/searcher.h"
+#include "datagen/lake_generator.h"
+#include "embed/char_gram_model.h"
+#include "embed/synonym_model.h"
+#include "table/repository.h"
+#include "textjoin/matchers.h"
+#include "textjoin/text_search.h"
+
+namespace pexeso::bench {
+namespace {
+
+struct PrEval {
+  double precision = 0.0;
+  double recall = 0.0;
+  size_t n = 0;
+
+  void Add(const std::set<std::string>& retrieved,
+           const std::set<std::string>& truth,
+           const std::set<std::string>& pool_truth) {
+    if (!retrieved.empty()) {
+      size_t tp = 0;
+      for (const auto& t : retrieved) tp += truth.count(t);
+      precision += static_cast<double>(tp) / retrieved.size();
+    } else {
+      precision += 1.0;  // empty retrieval: vacuous precision
+    }
+    if (!pool_truth.empty()) {
+      size_t tp = 0;
+      for (const auto& t : pool_truth) tp += retrieved.count(t);
+      recall += static_cast<double>(tp) / pool_truth.size();
+    }
+    ++n;
+  }
+  double P() const { return n ? precision / n : 0; }
+  double R() const { return n ? recall / n : 0; }
+};
+
+struct Retrieval {
+  std::map<std::string, std::set<std::string>> by_method;  // tables found
+};
+
+class Table4Runner {
+ public:
+  explicit Table4Runner(const char* dataset_name, uint64_t seed,
+                        double truth_t)
+      : name_(dataset_name), truth_t_(truth_t) {
+    LakeGenerator::Options lopts;
+    lopts.pool.num_entities = 50;
+    lopts.pool.seed = seed;
+    // Variant mix matching the paper's motivation: semantic heterogeneity
+    // (synonyms/terminology) dominates, plus misspellings and format drift.
+    lopts.pool.misspellings_per_entity = 1;
+    lopts.pool.formats_per_entity = 1;
+    lopts.pool.synonyms_per_entity = 2;
+    lopts.num_related_tables = 25;
+    lopts.num_noise_tables = 45;
+    lopts.rows_min = 15;
+    lopts.rows_max = 45;
+    // Bimodal relatedness: related tables overlap the query domain heavily,
+    // noise tables not at all, so the 0.4 ground-truth bar is well-separated
+    // (as human joinable/not-joinable labels are).
+    lopts.overlap_min = 0.45;
+    lopts.overlap_max = 0.95;
+    lopts.variant_prob = 0.6;
+    lopts.seed = seed;
+    lake_ = LakeGenerator::Generate(lopts);
+    model_ = std::make_unique<SynonymModel>(std::make_unique<CharGramModel>(),
+                                            &lake_.pool.dict());
+    repo_ = std::make_unique<TableRepository>(model_.get());
+    for (const auto& t : lake_.tables) repo_->AddTable(t);
+    for (ColumnId c = 0; c < repo_->num_columns(); ++c) {
+      raw_cols_.push_back(repo_->RawValues(c));
+    }
+    // The PEXESO index over the embedded repository.
+    L2Metric* metric = &metric_;
+    ColumnCatalog catalog = repo_->catalog();
+    PexesoOptions popts;
+    popts.num_pivots = 4;
+    popts.levels = 4;
+    index_ = std::make_unique<PexesoIndex>(
+        PexesoIndex::Build(std::move(catalog), metric, popts));
+  }
+
+  /// Runs all competitors over `num_queries` sampled query columns and
+  /// prints the paper-style table.
+  void Run(size_t num_queries) {
+    std::map<std::string, PrEval> evals;
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      auto query = LakeGenerator::MakeQuery(lake_, 35, 0.35, 5000 + qi * 13);
+      std::set<std::string> truth;
+      for (size_t t = 0; t < lake_.tables.size(); ++t) {
+        if (lake_.TrueJoinability(query.entities, t) >= truth_t_) {
+          truth.insert(lake_.tables[t].name);
+        }
+      }
+      if (truth.empty()) continue;
+
+      Retrieval retrieval = RunAllMethods(query);
+      // Retrieved pool = union over methods (paper's pooled-recall).
+      std::set<std::string> pool_truth;
+      for (const auto& [m, tables] : retrieval.by_method) {
+        for (const auto& t : tables) {
+          if (truth.count(t)) pool_truth.insert(t);
+        }
+      }
+      for (const auto& [m, tables] : retrieval.by_method) {
+        evals[m].Add(tables, truth, pool_truth);
+      }
+    }
+    std::printf("\n%s  (truth: generator joinability >= %.2f)\n", name_,
+                truth_t_);
+    std::printf("%-22s %10s %10s\n", "Method", "Precision", "Recall");
+    const char* order[] = {"equi-join",   "Jaccard-join", "edit-join",
+                           "fuzzy-join",  "TF-IDF-join",  "PEXESO",
+                           "join w/ PQ-85"};
+    for (const char* m : order) {
+      if (!evals.count(m)) continue;
+      std::printf("%-22s %10.3f %10.3f\n", m, evals[m].P(), evals[m].R());
+    }
+  }
+
+ private:
+  std::set<std::string> TablesOf(const std::vector<JoinableColumn>& results) {
+    std::set<std::string> out;
+    for (const auto& r : results) {
+      out.insert(repo_->catalog().column(r.column).table_name);
+    }
+    return out;
+  }
+
+  /// Tunes a matcher family over a threshold grid for best F1 (the paper
+  /// tunes every competitor's thresholds), returns its best retrieval.
+  std::set<std::string> BestTextRetrieval(
+      const GeneratedQuery& query, const std::set<std::string>& truth,
+      const std::vector<std::unique_ptr<RecordMatcher>>& grid,
+      const std::vector<double>& t_grid) {
+    TextJoinSearcher searcher(&raw_cols_);
+    double best_f1 = -1.0;
+    std::set<std::string> best;
+    for (const auto& matcher : grid) {
+      for (double t : t_grid) {
+        auto tables = TablesOf(searcher.Search(query.records, *matcher, t));
+        const double f1 = F1(tables, truth);
+        if (f1 > best_f1) {
+          best_f1 = f1;
+          best = std::move(tables);
+        }
+      }
+    }
+    return best;
+  }
+
+  static double F1(const std::set<std::string>& retrieved,
+                   const std::set<std::string>& truth) {
+    if (retrieved.empty() || truth.empty()) return 0.0;
+    size_t tp = 0;
+    for (const auto& t : retrieved) tp += truth.count(t);
+    if (tp == 0) return 0.0;
+    const double p = static_cast<double>(tp) / retrieved.size();
+    const double r = static_cast<double>(tp) / truth.size();
+    return 2 * p * r / (p + r);
+  }
+
+  Retrieval RunAllMethods(const GeneratedQuery& query) {
+    Retrieval out;
+    std::set<std::string> truth;
+    for (size_t t = 0; t < lake_.tables.size(); ++t) {
+      if (lake_.TrueJoinability(query.entities, t) >= truth_t_) {
+        truth.insert(lake_.tables[t].name);
+      }
+    }
+    const std::vector<double> t_grid = {0.3, 0.5, 0.7};
+
+    {  // equi-join: only T to tune.
+      std::vector<std::unique_ptr<RecordMatcher>> g;
+      g.push_back(std::make_unique<EquiMatcher>());
+      g[0]->PrepareColumns(&raw_cols_);
+      out.by_method["equi-join"] = BestTextRetrieval(query, truth, g, t_grid);
+    }
+    {
+      std::vector<std::unique_ptr<RecordMatcher>> g;
+      for (double th : {0.4, 0.6, 0.8}) {
+        g.push_back(std::make_unique<JaccardMatcher>(th));
+        g.back()->PrepareColumns(&raw_cols_);
+      }
+      out.by_method["Jaccard-join"] =
+          BestTextRetrieval(query, truth, g, t_grid);
+    }
+    {
+      std::vector<std::unique_ptr<RecordMatcher>> g;
+      for (double th : {0.6, 0.75, 0.9}) {
+        g.push_back(std::make_unique<EditMatcher>(th));
+        g.back()->PrepareColumns(&raw_cols_);
+      }
+      out.by_method["edit-join"] = BestTextRetrieval(query, truth, g, t_grid);
+    }
+    {
+      std::vector<std::unique_ptr<RecordMatcher>> g;
+      for (double th : {0.4, 0.6, 0.8}) {
+        g.push_back(std::make_unique<FuzzyMatcher>(0.75, th));
+        g.back()->PrepareColumns(&raw_cols_);
+      }
+      out.by_method["fuzzy-join"] = BestTextRetrieval(query, truth, g, t_grid);
+    }
+    {
+      std::vector<std::unique_ptr<RecordMatcher>> g;
+      for (double th : {0.3, 0.5, 0.7}) {
+        g.push_back(std::make_unique<TfIdfMatcher>(th));
+        g.back()->PrepareColumns(&raw_cols_);
+      }
+      out.by_method["TF-IDF-join"] = BestTextRetrieval(query, truth, g, t_grid);
+    }
+    // PEXESO: tune tau fraction and T for best F1; remember the winning
+    // thresholds -- the PQ-85 variant runs at exactly those (the paper only
+    // swaps the matching algorithm and tunes PQ's range recall to 85%).
+    SearchThresholds pexeso_best_th;
+    {
+      VectorStore qv = repo_->EmbedQueryColumn(query.records);
+      PexesoSearcher searcher(index_.get());
+      double best_f1 = -1.0;
+      std::set<std::string> best;
+      for (double tau_frac : {0.2, 0.3, 0.4}) {
+        for (double t : {0.3, 0.5, 0.7}) {
+          FractionalThresholds ft{tau_frac, t};
+          SearchOptions sopts;
+          sopts.thresholds = ft.Resolve(metric_, model_->dim(), qv.size());
+          auto tables = TablesOf(searcher.Search(qv, sopts, nullptr));
+          const double f1 = F1(tables, truth);
+          if (f1 > best_f1) {
+            best_f1 = f1;
+            best = std::move(tables);
+            pexeso_best_th = sopts.thresholds;
+          }
+        }
+      }
+      out.by_method["PEXESO"] = std::move(best);
+    }
+    {  // Our join with PQ-85: PEXESO's thresholds, approximate matching.
+      VectorStore qv = repo_->EmbedQueryColumn(query.records);
+      PqIndex pq(&repo_->catalog().store());
+      PqIndex::Options popts;
+      popts.num_subquantizers = 5;
+      popts.codebook_size = 16;
+      pq.Build(popts);
+      pq.CalibrateRadiusScale(qv, pexeso_best_th.tau, 0.85, &metric_);
+      JoinableRangeSearcher searcher(&repo_->catalog(), &pq);
+      out.by_method["join w/ PQ-85"] =
+          TablesOf(searcher.Search(qv, pexeso_best_th, nullptr));
+    }
+    return out;
+  }
+
+  const char* name_;
+  double truth_t_;
+  GeneratedLake lake_;
+  L2Metric metric_;
+  std::unique_ptr<SynonymModel> model_;
+  std::unique_ptr<TableRepository> repo_;
+  std::vector<std::vector<std::string>> raw_cols_;
+  std::unique_ptr<PexesoIndex> index_;
+};
+
+}  // namespace
+}  // namespace pexeso::bench
+
+int main() {
+  using namespace pexeso::bench;
+  Banner("bench_table4: effectiveness of joinable table search",
+         "Table IV of the PEXESO paper");
+  const size_t queries = std::max<size_t>(5, NumQueries(8));
+  Table4Runner open("OPEN-like", 11001, 0.4);
+  open.Run(queries);
+  Table4Runner swdc("SWDC-like", 22002, 0.4);
+  swdc.Run(queries);
+  std::printf(
+      "\nExpected shape: equi-join precision 1.0 but lowest recall; PEXESO "
+      "highest recall with precision > other similarity joins;\nPQ-85 join "
+      "clearly worse on both (approximate matching breaks the guarantee).\n");
+  return 0;
+}

@@ -1,0 +1,209 @@
+// Reproduces Table V: performance gain in ML tasks from data enrichment.
+// Three tasks -- (a) company-like classification, (b) product-like
+// classification, (c) sales-like regression -- each enriched by joining the
+// query table with lake feature tables found/matched by: no-join, equi-join,
+// Jaccard-join, fuzzy-join, edit-join, TF-IDF-join, and PEXESO. A random
+// forest is evaluated with 4-fold cross validation; micro-F1 for
+// classification, MSE for regression, plus the "# Match" record ratio.
+
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+
+#include "bench_common.h"
+#include "core/pexeso_index.h"
+#include "core/searcher.h"
+#include "datagen/ml_task.h"
+#include "embed/char_gram_model.h"
+#include "embed/synonym_model.h"
+#include "ml/random_forest.h"
+#include "textjoin/matchers.h"
+
+namespace pexeso::bench {
+namespace {
+
+/// Builds the per-table join maps with a string matcher: for each query row
+/// the first matching key row of each feature table.
+JoinMap JoinWithMatcher(const MlTask& task, const RecordMatcher& matcher) {
+  JoinMap out(task.tables.size());
+  for (size_t t = 0; t < task.tables.size(); ++t) {
+    out[t].assign(task.query_keys.size(), -1);
+    for (size_t q = 0; q < task.query_keys.size(); ++q) {
+      for (size_t r = 0; r < task.tables[t].keys.size(); ++r) {
+        if (matcher.MatchRecords(task.query_keys[q], task.tables[t].keys[r])) {
+          out[t][q] = static_cast<int32_t>(r);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Joins via PEXESO: embeds keys, builds the index over the feature tables'
+/// key columns, searches with record mappings, and left-joins only the
+/// columns identified as joinable (the paper's workflow).
+JoinMap JoinWithPexeso(const MlTask& task, const EmbeddingModel& model,
+                       double tau_fraction, double t_fraction) {
+  L2Metric metric;
+  ColumnCatalog catalog(model.dim());
+  for (size_t t = 0; t < task.tables.size(); ++t) {
+    auto packed = model.EmbedColumn(task.tables[t].keys);
+    ColumnMeta meta;
+    meta.table_id = static_cast<uint32_t>(t);
+    meta.source_id = static_cast<uint32_t>(t);
+    meta.table_name = task.tables[t].name;
+    meta.column_name = "key";
+    catalog.AddColumn(meta, packed.data(), task.tables[t].keys.size());
+  }
+  PexesoOptions opts;
+  opts.num_pivots = 4;
+  opts.levels = 4;
+  PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
+
+  VectorStore query(model.dim());
+  for (const auto& k : task.query_keys) {
+    auto v = model.EmbedRecord(k);
+    query.Add(v);
+  }
+  FractionalThresholds ft{tau_fraction, t_fraction};
+  SearchOptions sopts;
+  sopts.thresholds = ft.Resolve(metric, model.dim(), query.size());
+  sopts.collect_mappings = true;
+  PexesoSearcher searcher(&index);
+  auto results = searcher.Search(query, sopts, nullptr);
+
+  JoinMap out(task.tables.size());
+  for (auto& per_table : out) per_table.assign(task.query_keys.size(), -1);
+  for (const auto& r : results) {
+    const ColumnMeta& meta = index.catalog().column(r.column);
+    const size_t t = meta.source_id;
+    for (const auto& m : r.mapping) {
+      if (out[t][m.query_index] < 0) {
+        out[t][m.query_index] = static_cast<int32_t>(m.target_vec - meta.first);
+      }
+    }
+  }
+  return out;
+}
+
+struct MethodResult {
+  double match_ratio = 0.0;
+  CvScore score;
+};
+
+void RunTask(const char* title, const MlTaskGenerator::Options& topts,
+             uint32_t rfe_keep) {
+  MlTask task = MlTaskGenerator::Generate(topts);
+  SynonymModel model(std::make_unique<CharGramModel>(), &task.pool.dict());
+
+  RandomForest::Options fopts;
+  fopts.regression = task.regression;
+  fopts.num_classes = task.num_classes;
+  fopts.num_trees = 30;
+
+  auto evaluate = [&](const JoinMap& jm) {
+    MethodResult res;
+    res.match_ratio = JoinMatchRatio(jm);
+    Dataset enriched = AssembleEnriched(task, jm);
+    // Recursive feature elimination as in the paper.
+    auto kept = RecursiveFeatureElimination(
+        enriched, fopts,
+        std::min<uint32_t>(rfe_keep,
+                           static_cast<uint32_t>(enriched.num_features)));
+    Dataset selected = enriched.SelectFeatures(kept);
+    res.score = task.regression
+                    ? CrossValidateRegressor(selected, fopts, 4, 97)
+                    : CrossValidateClassifier(selected, fopts, 4, 97);
+    return res;
+  };
+
+  std::vector<std::pair<std::string, MethodResult>> rows;
+  {
+    JoinMap none(task.tables.size());
+    for (auto& v : none) v.assign(task.query_keys.size(), -1);
+    rows.emplace_back("no-join", evaluate(none));
+  }
+  {
+    EquiMatcher m;
+    rows.emplace_back("equi-join", evaluate(JoinWithMatcher(task, m)));
+  }
+  {
+    JaccardMatcher m(0.6);
+    rows.emplace_back("Jaccard-join", evaluate(JoinWithMatcher(task, m)));
+  }
+  {
+    FuzzyMatcher m(0.75, 0.55);
+    rows.emplace_back("fuzzy-join", evaluate(JoinWithMatcher(task, m)));
+  }
+  {
+    EditMatcher m(0.75);
+    rows.emplace_back("edit-join", evaluate(JoinWithMatcher(task, m)));
+  }
+  {
+    TfIdfMatcher m(0.5);
+    std::vector<std::vector<std::string>> cols;
+    for (const auto& t : task.tables) cols.push_back(t.keys);
+    m.PrepareColumns(&cols);
+    rows.emplace_back("TF-IDF-join", evaluate(JoinWithMatcher(task, m)));
+  }
+  rows.emplace_back("PEXESO",
+                    evaluate(JoinWithPexeso(task, model, 0.35, 0.2)));
+
+  std::printf("\n%s (%s)\n", title,
+              task.regression ? "MSE, lower is better"
+                              : "micro-F1, higher is better");
+  std::printf("%-14s %9s %16s\n", "Method", "# Match",
+              task.regression ? "MSE" : "Micro-F1");
+  for (const auto& [name, res] : rows) {
+    if (name == "no-join") {
+      std::printf("%-14s %9s %9.3f +- %.3f\n", name.c_str(), "-",
+                  res.score.mean, res.score.stddev);
+    } else {
+      std::printf("%-14s %8.1f%% %9.3f +- %.3f\n", name.c_str(),
+                  res.match_ratio * 100.0, res.score.mean, res.score.stddev);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pexeso::bench
+
+int main() {
+  using namespace pexeso::bench;
+  using pexeso::MlTaskGenerator;
+  Banner("bench_table5: performance gain in ML tasks",
+         "Table V of the PEXESO paper");
+  const double scale = pexeso::BenchProfiles::EnvScale();
+
+  MlTaskGenerator::Options company;
+  company.num_classes = 8;
+  company.num_entities = static_cast<size_t>(400 * std::min(1.0, scale) + 100);
+  company.query_rows = company.num_entities;
+  company.num_tables = 10;
+  company.seed = 301;
+  RunTask("(a) company-like classification", company, 8);
+
+  MlTaskGenerator::Options toys;
+  toys.num_classes = 12;
+  toys.num_entities = static_cast<size_t>(400 * std::min(1.0, scale) + 100);
+  toys.query_rows = toys.num_entities;
+  toys.num_tables = 10;
+  toys.latent_dim = 8;
+  toys.seed = 302;
+  RunTask("(b) product-like classification", toys, 8);
+
+  MlTaskGenerator::Options games;
+  games.regression = true;
+  games.num_entities = static_cast<size_t>(400 * std::min(1.0, scale) + 100);
+  games.query_rows = games.num_entities;
+  games.num_tables = 10;
+  games.seed = 303;
+  RunTask("(c) sales-like regression", games, 8);
+
+  std::printf(
+      "\nExpected shape: equi-join ~ no-join (too few matches, sparse "
+      "features); PEXESO highest micro-F1 and lowest MSE, with a\nmoderate "
+      "match rate of mostly-correct matches.\n");
+  return 0;
+}

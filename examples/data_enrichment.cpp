@@ -1,0 +1,107 @@
+// Data enrichment for ML (paper Section VI-C in miniature): a weak
+// classification task becomes solvable after left-joining the query table
+// with lake feature tables discovered by PEXESO. Compares no-join, equi-join
+// and PEXESO enrichment with a random-forest model and 4-fold CV.
+
+#include <cstdio>
+
+#include "core/pexeso_index.h"
+#include "core/searcher.h"
+#include "datagen/ml_task.h"
+#include "embed/char_gram_model.h"
+#include "embed/synonym_model.h"
+#include "ml/random_forest.h"
+#include "textjoin/matchers.h"
+
+int main() {
+  using namespace pexeso;
+
+  // A synthetic prediction task: the label depends on entity attributes that
+  // live in lake tables keyed by *variant* entity names.
+  MlTaskGenerator::Options topts;
+  topts.num_classes = 6;
+  topts.num_entities = 300;
+  topts.query_rows = 300;
+  topts.num_tables = 8;
+  topts.seed = 424;
+  MlTask task = MlTaskGenerator::Generate(topts);
+  SynonymModel model(std::make_unique<CharGramModel>(), &task.pool.dict());
+
+  RandomForest::Options fopts;
+  fopts.num_classes = topts.num_classes;
+  fopts.num_trees = 30;
+
+  auto evaluate = [&](const char* name, const JoinMap& jm) {
+    Dataset enriched = AssembleEnriched(task, jm);
+    auto score = CrossValidateClassifier(enriched, fopts, 4, 7);
+    std::printf("  %-10s match %5.1f%%   micro-F1 %.3f +- %.3f\n", name,
+                JoinMatchRatio(jm) * 100.0, score.mean, score.stddev);
+  };
+
+  std::printf("enrichment comparison (%zu query rows, %zu feature tables):\n",
+              task.query_keys.size(), task.tables.size());
+
+  {  // no-join
+    JoinMap none(task.tables.size());
+    for (auto& v : none) v.assign(task.query_keys.size(), -1);
+    evaluate("no-join", none);
+  }
+  {  // equi-join record matching
+    EquiMatcher equi;
+    JoinMap jm(task.tables.size());
+    for (size_t t = 0; t < task.tables.size(); ++t) {
+      jm[t].assign(task.query_keys.size(), -1);
+      for (size_t q = 0; q < task.query_keys.size(); ++q) {
+        for (size_t r = 0; r < task.tables[t].keys.size(); ++r) {
+          if (equi.MatchRecords(task.query_keys[q], task.tables[t].keys[r])) {
+            jm[t][q] = static_cast<int32_t>(r);
+            break;
+          }
+        }
+      }
+    }
+    evaluate("equi-join", jm);
+  }
+  {  // PEXESO: index the feature tables' key columns and use the mappings.
+    L2Metric metric;
+    ColumnCatalog catalog(model.dim());
+    for (size_t t = 0; t < task.tables.size(); ++t) {
+      auto packed = model.EmbedColumn(task.tables[t].keys);
+      ColumnMeta meta;
+      meta.source_id = static_cast<uint32_t>(t);
+      meta.table_name = task.tables[t].name;
+      catalog.AddColumn(meta, packed.data(), task.tables[t].keys.size());
+    }
+    PexesoOptions opts;
+    opts.num_pivots = 4;
+    opts.levels = 4;
+    PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
+    VectorStore query(model.dim());
+    for (const auto& k : task.query_keys) {
+      auto v = model.EmbedRecord(k);
+      query.Add(v);
+    }
+    FractionalThresholds ft{0.35, 0.2};
+    SearchOptions sopts;
+    sopts.thresholds = ft.Resolve(metric, model.dim(), query.size());
+    sopts.collect_mappings = true;
+    PexesoSearcher searcher(&index);
+    auto results = searcher.Search(query, sopts, nullptr);
+
+    JoinMap jm(task.tables.size());
+    for (auto& v : jm) v.assign(task.query_keys.size(), -1);
+    for (const auto& r : results) {
+      const ColumnMeta& meta = index.catalog().column(r.column);
+      for (const auto& m : r.mapping) {
+        if (jm[meta.source_id][m.query_index] < 0) {
+          jm[meta.source_id][m.query_index] =
+              static_cast<int32_t>(m.target_vec - meta.first);
+        }
+      }
+    }
+    evaluate("PEXESO", jm);
+  }
+  std::printf("\nPEXESO's extra (correct) matches turn the weak base "
+              "features into informative joined ones.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Quickstart: load CSV tables into a repository, build a PEXESO index, and
+// search for columns joinable with a query column.
+//
+//   $ ./build/examples/quickstart
+//
+// Everything runs in-process on a few inline tables; see
+// semantic_join_demo.cpp for the paper's motivating example and
+// out_of_core_search.cpp for the partitioned / on-disk path.
+
+#include <cstdio>
+
+#include "core/pexeso_index.h"
+#include "core/searcher.h"
+#include "embed/char_gram_model.h"
+#include "table/csv.h"
+#include "table/repository.h"
+
+int main() {
+  using namespace pexeso;
+
+  // 1. An embedding model. CharGramModel is the built-in fastText-like
+  // subword model; any EmbeddingModel implementation can be plugged in.
+  CharGramModel model;
+
+  // 2. Load tables into the repository. The repository detects column types
+  // and keeps string/date columns that look like join keys.
+  TableRepository repo(&model);
+  const char* games_csv =
+      "name,year,publisher\n"
+      "Mario Party,1998,Nintendo\n"
+      "Zelda Ocarina,1998,Nintendo\n"
+      "Metroid Prime,2002,Nintendo\n"
+      "Halo,2001,Microsoft\n"
+      "Forza Horizon,2012,Microsoft\n"
+      "Gran Turismo,1997,Sony\n";
+  const char* sales_csv =
+      "title,units\n"
+      "Mario Party,8.9\n"
+      "Zelda Ocarine,7.6\n"          // note the typo
+      "Metroid prime,2.8\n"          // case drift
+      "Halo,6.4\n"
+      "Gran Turismo,10.9\n"
+      "Wii Sports,82.9\n";
+  const char* cities_csv =
+      "city,population\n"
+      "Tokyo,37400068\n"
+      "Delhi,28514000\n"
+      "Shanghai,25582000\n"
+      "Sao Paulo,21650000\n"
+      "Mexico City,21581000\n";
+  for (const char* csv : {games_csv, sales_csv, cities_csv}) {
+    auto table = Csv::Parse(csv, "table");
+    if (!table.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   table.status().ToString().c_str());
+      return 1;
+    }
+    repo.AddTable(table.value());
+  }
+  std::printf("repository: %zu key columns, %zu record vectors\n",
+              repo.catalog().num_columns(), repo.catalog().num_vectors());
+
+  // 3. Build the PEXESO index (pivot selection, pivot mapping, hierarchical
+  // grid, inverted index).
+  L2Metric metric;
+  PexesoOptions opts;
+  opts.num_pivots = 3;
+  opts.levels = 0;  // 0 = pick m with the cost model
+  PexesoIndex index = PexesoIndex::Build(repo.TakeCatalog(), &metric, opts);
+  std::printf("index: |P|=%u, m=%u, %.1f KB\n", index.pivots().num_pivots(),
+              index.grid().levels(), index.IndexSizeBytes() / 1024.0);
+
+  // 4. A query column (e.g. from the user's local table).
+  VectorStore query = repo.EmbedQueryColumn(
+      {"Mario Party", "Zelda Ocarina", "Metroid Prime", "Gran Turismo"});
+
+  // 5. Search: tau = 35% of the max distance, T = 60% of the query size.
+  FractionalThresholds ft{0.35, 0.6};
+  SearchOptions sopts;
+  sopts.thresholds = ft.Resolve(metric, model.dim(), query.size());
+  sopts.collect_mappings = true;
+  PexesoSearcher searcher(&index);
+  auto results = searcher.Search(query, sopts, nullptr);
+
+  std::printf("\njoinable columns (tau=%.2f, T=%u of %zu):\n",
+              sopts.thresholds.tau, sopts.thresholds.t_abs, query.size());
+  for (const auto& r : results) {
+    const ColumnMeta& meta = index.catalog().column(r.column);
+    std::printf("  column '%s' (table #%u): joinability %.2f, %u matching "
+                "records\n",
+                meta.column_name.c_str(), meta.table_id, r.joinability,
+                r.match_count);
+    for (const auto& m : r.mapping) {
+      std::printf("    query record %u  <->  repository vector %u\n",
+                  m.query_index, m.target_vec);
+    }
+  }
+  return 0;
+}

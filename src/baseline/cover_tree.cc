@@ -1,0 +1,166 @@
+#include "baseline/cover_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pexeso {
+
+namespace {
+/// Hard floor on scales; with duplicate bucketing the recursion terminates
+/// long before this, the floor only guards pathological float behaviour.
+constexpr int kMinLevel = -40;
+
+double Pow2(int i) { return std::ldexp(1.0, i); }
+}  // namespace
+
+uint64_t CoverTree::BuildAll() {
+  build_distances_ = 0;
+  const size_t n = store_->size();
+  nodes_.clear();
+  nodes_.reserve(n);
+  root_ = -1;
+  for (size_t i = 0; i < n; ++i) {
+    Insert(static_cast<VecId>(i));
+  }
+  return build_distances_;
+}
+
+void CoverTree::Insert(VecId p) {
+  const float* pv = store_->View(p);
+  if (root_ < 0) {
+    // Root starts at the scale covering the metric's max distance.
+    const int top =
+        static_cast<int>(std::ceil(std::log2(
+            std::max(2.0, metric_->MaxUnitDistance(store_->dim())))));
+    nodes_.push_back(Node{p, top, {}, {}});
+    root_ = 0;
+    return;
+  }
+
+  ++build_distances_;
+  double d_root = Dist(pv, nodes_[root_].point);
+  if (d_root == 0.0) {
+    nodes_[root_].duplicates.push_back(p);
+    return;
+  }
+  // Raise the root scale if p falls outside its cover.
+  while (d_root > Pow2(nodes_[root_].level)) {
+    ++nodes_[root_].level;
+  }
+
+  // Iterative version of the textbook recursive insert. Qi holds the cover
+  // set at scale i together with the (already computed) distances to p.
+  struct Entry {
+    uint32_t node;
+    double dist;
+  };
+  std::vector<std::vector<Entry>> stack;  // Qi per scale, top = current
+  std::vector<Entry> q0{{static_cast<uint32_t>(root_), d_root}};
+  int i = nodes_[root_].level;
+  stack.push_back(q0);
+  std::vector<int> scales{i};
+
+  while (true) {
+    const auto& qi = stack.back();
+    const int scale = scales.back();
+    // Expand Q = Qi ∪ {children at level scale-1}.
+    std::vector<Entry> q_all = qi;
+    for (const Entry& e : qi) {
+      for (uint32_t c : nodes_[e.node].children) {
+        if (nodes_[c].level == scale - 1) {
+          ++build_distances_;
+          const double dc = Dist(pv, nodes_[c].point);
+          if (dc == 0.0) {
+            nodes_[c].duplicates.push_back(p);
+            return;
+          }
+          q_all.push_back(Entry{c, dc});
+        }
+      }
+    }
+    double dmin = q_all.front().dist;
+    for (const Entry& e : q_all) dmin = std::min(dmin, e.dist);
+
+    // Textbook step 2/3: descend while d(p, Q) <= 2^scale, carrying the
+    // filtered cover set {q in Q : d(p, q) <= 2^scale} down one scale.
+    if (dmin <= Pow2(scale) && scale - 1 > kMinLevel) {
+      std::vector<Entry> q_next;
+      for (const Entry& e : q_all) {
+        if (e.dist <= Pow2(scale)) q_next.push_back(e);
+      }
+      stack.push_back(std::move(q_next));
+      scales.push_back(scale - 1);
+      continue;
+    }
+    // "No parent found" at this scale: walk back up until some cover set
+    // Q_s contains a node within 2^s, then attach p as its child at level
+    // s-1. The root scale always qualifies because the root cover was
+    // raised to contain p.
+    while (true) {
+      const auto& q_up = stack.back();
+      const int up_scale = scales.back();
+      const Entry* parent = nullptr;
+      for (const Entry& e : q_up) {
+        if (e.dist <= Pow2(up_scale)) {
+          parent = &e;
+          break;
+        }
+      }
+      if (parent != nullptr) {
+        const uint32_t node_idx = static_cast<uint32_t>(nodes_.size());
+        nodes_.push_back(Node{p, up_scale - 1, {}, {}});
+        nodes_[parent->node].children.push_back(node_idx);
+        return;
+      }
+      PEXESO_CHECK(stack.size() > 1);
+      stack.pop_back();
+      scales.pop_back();
+    }
+  }
+}
+
+void CoverTree::RangeQuery(const float* q, double radius,
+                           std::vector<VecId>* out, SearchStats* stats) const {
+  if (root_ < 0) return;
+  // DFS with the subtree-radius bound: the subtree rooted at an explicit
+  // node of level l lies within 2^(l+1) of the node's point.
+  std::vector<std::pair<uint32_t, double>> dfs;
+  ++stats->distance_computations;
+  dfs.emplace_back(static_cast<uint32_t>(root_),
+                   Dist(q, nodes_[root_].point));
+  while (!dfs.empty()) {
+    auto [n, dn] = dfs.back();
+    dfs.pop_back();
+    const Node& node = nodes_[n];
+    if (dn <= radius) {
+      out->push_back(node.point);
+      for (VecId dup : node.duplicates) out->push_back(dup);
+    }
+    for (uint32_t c : node.children) {
+      ++stats->distance_computations;
+      const double dc = Dist(q, nodes_[c].point);
+      if (dc <= radius + Pow2(nodes_[c].level + 1)) {
+        dfs.emplace_back(c, dc);
+      }
+    }
+  }
+}
+
+void CoverTree::CollectSubtree(uint32_t node, std::vector<VecId>* out) const {
+  out->push_back(nodes_[node].point);
+  for (VecId dup : nodes_[node].duplicates) out->push_back(dup);
+  for (uint32_t c : nodes_[node].children) CollectSubtree(c, out);
+}
+
+size_t CoverTree::MemoryBytes() const {
+  size_t bytes = nodes_.capacity() * sizeof(Node);
+  for (const auto& n : nodes_) {
+    bytes += n.children.capacity() * sizeof(uint32_t);
+    bytes += n.duplicates.capacity() * sizeof(VecId);
+  }
+  return bytes;
+}
+
+}  // namespace pexeso

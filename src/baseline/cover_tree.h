@@ -1,0 +1,60 @@
+#ifndef PEXESO_BASELINE_COVER_TREE_H_
+#define PEXESO_BASELINE_COVER_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/range_engine.h"
+#include "vec/column_catalog.h"
+#include "vec/metric.h"
+#include "vec/search_stats.h"
+
+namespace pexeso {
+
+/// \brief Cover tree over a vector store (the CTREE competitor [14]).
+///
+/// Classic Beygelzimer-style cover tree with base 2: a node at scale i
+/// covers its descendants within 2^(i+1). Exact duplicates (distance 0) are
+/// kept in per-node buckets since they would otherwise violate the
+/// separation invariant. Range queries descend scale by scale, pruning
+/// nodes with d(q, node) > radius + 2^(level+1).
+class CoverTree : public RangeQueryEngine {
+ public:
+  CoverTree(const VectorStore* store, const Metric* metric)
+      : store_(store), metric_(metric) {}
+
+  /// Inserts every vector of the store. Returns build distance count.
+  uint64_t BuildAll();
+
+  /// Collects all ids v with d(q, v) <= radius.
+  void RangeQuery(const float* q, double radius, std::vector<VecId>* out,
+                  SearchStats* stats) const override;
+
+  size_t MemoryBytes() const override;
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    VecId point;
+    int level;  ///< scale of this node
+    std::vector<uint32_t> children;
+    std::vector<VecId> duplicates;  ///< points identical to `point`
+  };
+
+  double Dist(const float* a, VecId b) const {
+    return metric_->Dist(a, store_->View(b), store_->dim());
+  }
+
+  void Insert(VecId p);
+  void CollectSubtree(uint32_t node, std::vector<VecId>* out) const;
+
+  const VectorStore* store_;
+  const Metric* metric_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  mutable uint64_t build_distances_ = 0;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_BASELINE_COVER_TREE_H_

@@ -1,0 +1,111 @@
+#include "baseline/ept.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace pexeso {
+
+void ExtremePivotTable::Build(const Options& options) {
+  options_ = options;
+  const size_t n = store_->size();
+  const uint32_t dim = store_->dim();
+  PEXESO_CHECK(n > 0);
+  num_pivots_ = options.num_groups * options.pivots_per_group;
+  PEXESO_CHECK(num_pivots_ > 0 && num_pivots_ < (1u << 16));
+
+  Rng rng(options.seed);
+  // Candidate pivots: random data points (the EPT paper's construction
+  // randomizes candidates per group and relies on the extremeness criterion
+  // for quality).
+  std::vector<size_t> picks =
+      rng.SampleIndices(n, std::min<size_t>(n, num_pivots_));
+  pivots_.assign(static_cast<size_t>(num_pivots_) * dim, 0.0f);
+  for (uint32_t p = 0; p < num_pivots_; ++p) {
+    const float* src = store_->View(static_cast<VecId>(picks[p % picks.size()]));
+    std::copy(src, src + dim, pivots_.data() + static_cast<size_t>(p) * dim);
+  }
+
+  // Estimate mu_p on a sample.
+  const size_t sample = std::min(options.mu_sample, n);
+  std::vector<size_t> srows = rng.SampleIndices(n, sample);
+  mu_.assign(num_pivots_, 0.0);
+  for (uint32_t p = 0; p < num_pivots_; ++p) {
+    const float* pv = pivots_.data() + static_cast<size_t>(p) * dim;
+    double acc = 0.0;
+    for (size_t r : srows) {
+      acc += metric_->Dist(pv, store_->View(static_cast<VecId>(r)), dim);
+    }
+    mu_[p] = acc / static_cast<double>(sample);
+  }
+
+  // Per point, per group: keep the most extreme pivot.
+  const uint32_t g = options.num_groups;
+  const uint32_t c = options.pivots_per_group;
+  assigned_.assign(n * g, 0);
+  pivot_dist_.assign(n * g, 0.0f);
+  for (size_t x = 0; x < n; ++x) {
+    const float* xv = store_->View(static_cast<VecId>(x));
+    for (uint32_t j = 0; j < g; ++j) {
+      double best_score = -1.0;
+      uint32_t best_p = j * c;
+      double best_d = 0.0;
+      for (uint32_t k = 0; k < c; ++k) {
+        const uint32_t p = j * c + k;
+        const double d =
+            metric_->Dist(pivots_.data() + static_cast<size_t>(p) * dim, xv,
+                          dim);
+        const double score = std::fabs(d - mu_[p]);
+        if (score > best_score) {
+          best_score = score;
+          best_p = p;
+          best_d = d;
+        }
+      }
+      assigned_[x * g + j] = static_cast<uint16_t>(best_p);
+      pivot_dist_[x * g + j] = static_cast<float>(best_d);
+    }
+  }
+}
+
+void ExtremePivotTable::RangeQuery(const float* q, double radius,
+                                   std::vector<VecId>* out,
+                                   SearchStats* stats) const {
+  const size_t n = store_->size();
+  const uint32_t dim = store_->dim();
+  const uint32_t g = options_.num_groups;
+
+  std::vector<double> dq(num_pivots_);
+  for (uint32_t p = 0; p < num_pivots_; ++p) {
+    ++stats->distance_computations;
+    dq[p] = metric_->Dist(pivots_.data() + static_cast<size_t>(p) * dim, q,
+                          dim);
+  }
+  for (size_t x = 0; x < n; ++x) {
+    bool pruned = false;
+    for (uint32_t j = 0; j < g; ++j) {
+      const uint32_t p = assigned_[x * g + j];
+      const double diff = dq[p] - static_cast<double>(pivot_dist_[x * g + j]);
+      if (diff > radius || diff < -radius) {
+        pruned = true;
+        ++stats->lemma1_filtered;
+        break;
+      }
+    }
+    if (pruned) continue;
+    ++stats->distance_computations;
+    if (metric_->Dist(q, store_->View(static_cast<VecId>(x)), dim) <= radius) {
+      out->push_back(static_cast<VecId>(x));
+    }
+  }
+}
+
+size_t ExtremePivotTable::MemoryBytes() const {
+  return pivots_.capacity() * sizeof(float) + mu_.capacity() * sizeof(double) +
+         assigned_.capacity() * sizeof(uint16_t) +
+         pivot_dist_.capacity() * sizeof(float);
+}
+
+}  // namespace pexeso

@@ -1,0 +1,58 @@
+#ifndef PEXESO_BASELINE_EPT_H_
+#define PEXESO_BASELINE_EPT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/range_engine.h"
+#include "vec/metric.h"
+#include "vec/vector_store.h"
+
+namespace pexeso {
+
+/// \brief Extreme Pivot Table (the EPT competitor [29], recommended by the
+/// pivot-indexing survey [4] for its all-round competitiveness).
+///
+/// EPT partitions a pool of pivots into groups; every data point keeps, per
+/// group, the pivot that is most "extreme" for it — the one maximizing
+/// |d(x,p) - mu_p| where mu_p is p's mean distance to the data. A range
+/// query computes the distances from q to all pivots once, then scans the
+/// table and prunes x as soon as one group's stored pivot violates
+/// |d(q,p) - d(x,p)| <= tau (Lemma 1 applied per point with its best
+/// pivot); survivors are verified exactly.
+class ExtremePivotTable : public RangeQueryEngine {
+ public:
+  struct Options {
+    uint32_t num_groups = 4;        ///< entries stored per point
+    uint32_t pivots_per_group = 4;  ///< candidate pivots per group
+    size_t mu_sample = 2000;        ///< sample size for estimating mu_p
+    uint64_t seed = 23;
+  };
+
+  ExtremePivotTable(const VectorStore* store, const Metric* metric)
+      : store_(store), metric_(metric) {}
+
+  /// Selects pivots, estimates their mu, and assigns per-point extremes.
+  void Build(const Options& options);
+
+  void RangeQuery(const float* q, double radius, std::vector<VecId>* out,
+                  SearchStats* stats) const override;
+
+  size_t MemoryBytes() const override;
+
+  uint32_t num_pivots() const { return num_pivots_; }
+
+ private:
+  const VectorStore* store_;
+  const Metric* metric_;
+  Options options_;
+  uint32_t num_pivots_ = 0;          ///< num_groups * pivots_per_group
+  std::vector<float> pivots_;        ///< num_pivots_ x dim
+  std::vector<double> mu_;           ///< per pivot mean distance
+  std::vector<uint16_t> assigned_;   ///< n x num_groups: global pivot index
+  std::vector<float> pivot_dist_;    ///< n x num_groups: d(x, assigned pivot)
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_BASELINE_EPT_H_

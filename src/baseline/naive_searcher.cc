@@ -1,0 +1,61 @@
+#include "baseline/naive_searcher.h"
+
+#include <algorithm>
+
+namespace pexeso {
+
+std::vector<JoinableColumn> NaiveSearcher::Search(
+    const VectorStore& query, const SearchThresholds& thresholds,
+    SearchStats* stats) const {
+  SearchStats local;
+  if (stats == nullptr) stats = &local;
+  const double tau = thresholds.tau;
+  const uint32_t t_abs = std::max<uint32_t>(1, thresholds.t_abs);
+  const uint32_t num_q = static_cast<uint32_t>(query.size());
+  const VectorStore& rstore = catalog_->store();
+  const uint32_t dim = rstore.dim();
+
+  std::vector<JoinableColumn> out;
+  if (num_q == 0) return out;
+  for (ColumnId col = 0; col < catalog_->num_columns(); ++col) {
+    const ColumnMeta& meta = catalog_->column(col);
+    uint32_t matches = 0;
+    uint32_t mismatches = 0;
+    bool joinable = false;
+    for (uint32_t q = 0; q < num_q; ++q) {
+      const float* qv = query.View(q);
+      bool matched = false;
+      for (VecId v = meta.first; v < meta.end(); ++v) {
+        ++stats->distance_computations;
+        if (metric_->Dist(qv, rstore.View(v), dim) <= tau) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        if (++matches >= t_abs) {
+          joinable = true;
+          ++stats->early_joinable;
+          break;
+        }
+      } else {
+        ++mismatches;
+        if (num_q - mismatches < t_abs) {
+          ++stats->lemma7_kills;
+          break;
+        }
+      }
+    }
+    if (joinable) {
+      JoinableColumn jc;
+      jc.column = col;
+      jc.match_count = matches;
+      jc.joinability =
+          static_cast<double>(matches) / static_cast<double>(num_q);
+      out.push_back(jc);
+    }
+  }
+  return out;
+}
+
+}  // namespace pexeso

@@ -1,0 +1,40 @@
+#ifndef PEXESO_BASELINE_NAIVE_SEARCHER_H_
+#define PEXESO_BASELINE_NAIVE_SEARCHER_H_
+
+#include <vector>
+
+#include "core/join_result.h"
+#include "core/thresholds.h"
+#include "vec/column_catalog.h"
+#include "vec/metric.h"
+#include "vec/search_stats.h"
+
+namespace pexeso {
+
+/// \brief The exhaustive scan the paper opens Section III with: for each
+/// query vector compute the distance to every repository vector. It serves
+/// as the correctness oracle for every other searcher (property tests assert
+/// result-set equality) and as the |Q| * sum|S| cost reference.
+///
+/// Like all competitors in the paper's evaluation, it is equipped with the
+/// early-termination rule: once a column's joinability counter reaches T the
+/// column is confirmed and skipped, and once too many query records have
+/// provably no match the column is abandoned (Lemma 7 logic, which requires
+/// no index).
+class NaiveSearcher {
+ public:
+  NaiveSearcher(const ColumnCatalog* catalog, const Metric* metric)
+      : catalog_(catalog), metric_(metric) {}
+
+  std::vector<JoinableColumn> Search(const VectorStore& query,
+                                     const SearchThresholds& thresholds,
+                                     SearchStats* stats) const;
+
+ private:
+  const ColumnCatalog* catalog_;
+  const Metric* metric_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_BASELINE_NAIVE_SEARCHER_H_

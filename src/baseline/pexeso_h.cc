@@ -1,0 +1,107 @@
+#include "baseline/pexeso_h.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace pexeso {
+
+std::vector<JoinableColumn> PexesoHSearcher::Search(
+    const VectorStore& query, const SearchOptions& options,
+    SearchStats* stats) const {
+  SearchStats local;
+  if (stats == nullptr) stats = &local;
+  const double tau = options.thresholds.tau;
+  const uint32_t t_abs = std::max<uint32_t>(1, options.thresholds.t_abs);
+  const uint32_t num_q = static_cast<uint32_t>(query.size());
+  std::vector<JoinableColumn> out;
+  if (num_q == 0) return out;
+
+  Stopwatch block_watch;
+  const PivotSpace& ps = index_->pivots();
+  std::vector<double> mapped_q = ps.MapAll(query.raw().data(), query.size());
+  HierarchicalGrid hgq;
+  HierarchicalGrid::Options gopts;
+  gopts.levels = index_->grid().levels();
+  gopts.store_leaf_items = true;
+  hgq.Build(mapped_q.data(), query.size(), ps.num_pivots(), ps.AxisExtent(),
+            gopts);
+  GridBlocker blocker(&index_->grid());
+  BlockResult blocks =
+      blocker.Run(hgq, mapped_q, tau, options.ablation, stats);
+  stats->block_seconds += block_watch.ElapsedSeconds();
+
+  Stopwatch verify_watch;
+  const ColumnCatalog& catalog = index_->catalog();
+  const VectorStore& rstore = catalog.store();
+  const uint32_t dim = rstore.dim();
+  const Metric& metric = *index_->metric();
+  const size_t num_cols = catalog.num_columns();
+
+  // Precompute vec -> column once; the naive verification resolves columns
+  // per vector rather than per postings list.
+  std::vector<ColumnId> vec2col(rstore.size());
+  for (ColumnId col = 0; col < num_cols; ++col) {
+    const ColumnMeta& meta = catalog.column(col);
+    for (VecId v = meta.first; v < meta.end(); ++v) vec2col[v] = col;
+  }
+
+  std::vector<uint32_t> match_map(num_cols, 0);
+  std::vector<uint8_t> joinable(num_cols, 0);
+  // (q+1) stamp marking columns already resolved as matched for this q.
+  std::vector<uint32_t> stamp(num_cols, 0);
+
+  const auto& leaves = index_->grid().LeafCells();
+  for (uint32_t q = 0; q < num_q; ++q) {
+    const float* qv = query.View(q);
+    const uint32_t mark = q + 1;
+    // Matching cells first: every vector inside matches q by Lemma 5/6.
+    for (uint32_t cell : blocks.match_cells[q]) {
+      for (VecId v : leaves[cell].items) {
+        const ColumnId col = vec2col[v];
+        if (stamp[col] == mark || joinable[col] || index_->IsDeleted(col)) {
+          continue;
+        }
+        stamp[col] = mark;
+        if (++match_map[col] >= t_abs) {
+          joinable[col] = 1;
+          ++stats->early_joinable;
+        }
+      }
+    }
+    // Candidate cells: naive verification — distance to every vector in the
+    // cell (no Lemma 1/2, no inverted index, no Lemma 7).
+    for (uint32_t cell : blocks.cand_cells[q]) {
+      for (VecId v : leaves[cell].items) {
+        const ColumnId col = vec2col[v];
+        if (stamp[col] == mark || joinable[col] || index_->IsDeleted(col)) {
+          continue;
+        }
+        ++stats->distance_computations;
+        if (metric.Dist(qv, rstore.View(v), dim) <= tau) {
+          stamp[col] = mark;
+          if (++match_map[col] >= t_abs) {
+            joinable[col] = 1;
+            ++stats->early_joinable;
+          }
+        }
+      }
+    }
+  }
+  stats->verify_seconds += verify_watch.ElapsedSeconds();
+
+  for (ColumnId col = 0; col < num_cols; ++col) {
+    if (index_->IsDeleted(col)) continue;
+    if (match_map[col] >= t_abs) {
+      JoinableColumn jc;
+      jc.column = col;
+      jc.match_count = match_map[col];
+      jc.joinability =
+          static_cast<double>(jc.match_count) / static_cast<double>(num_q);
+      out.push_back(jc);
+    }
+  }
+  return out;
+}
+
+}  // namespace pexeso

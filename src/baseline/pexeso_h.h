@@ -1,0 +1,32 @@
+#ifndef PEXESO_BASELINE_PEXESO_H_H_
+#define PEXESO_BASELINE_PEXESO_H_H_
+
+#include <vector>
+
+#include "core/join_result.h"
+#include "core/pexeso_index.h"
+#include "core/searcher.h"
+
+namespace pexeso {
+
+/// \brief PEXESO-H (Section VI-A competitor 2): identical hierarchical-grid
+/// blocking to PEXESO, but verification is naive — for each candidate
+/// (query vector, leaf cell) pair it computes the distance from the query
+/// vector to every vector in the cell. No inverted index, no DaaT order, no
+/// Lemma 1/2 per-vector filters, no Lemma 7. The joinable-skip early
+/// termination is kept (every competitor in the paper has it).
+class PexesoHSearcher {
+ public:
+  explicit PexesoHSearcher(const PexesoIndex* index) : index_(index) {}
+
+  std::vector<JoinableColumn> Search(const VectorStore& query,
+                                     const SearchOptions& options,
+                                     SearchStats* stats) const;
+
+ private:
+  const PexesoIndex* index_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_BASELINE_PEXESO_H_H_

@@ -1,0 +1,151 @@
+#include "baseline/pq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace pexeso {
+
+void PqIndex::Build(const Options& options) {
+  options_ = options;
+  dim_ = store_->dim();
+  const size_t n = store_->size();
+  PEXESO_CHECK(n > 0);
+  PEXESO_CHECK(options.codebook_size >= 2 && options.codebook_size <= 256);
+  const uint32_t m_count = std::min(options.num_subquantizers, dim_);
+  options_.num_subquantizers = m_count;
+
+  // Contiguous subspace boundaries; the first dim_ % M subspaces get one
+  // extra dimension.
+  sub_begin_.assign(m_count + 1, 0);
+  const uint32_t base = dim_ / m_count;
+  const uint32_t extra = dim_ % m_count;
+  for (uint32_t m = 0; m < m_count; ++m) {
+    sub_begin_[m + 1] = sub_begin_[m] + base + (m < extra ? 1 : 0);
+  }
+
+  // Train one codebook per subspace on a bounded sample.
+  Rng rng(options.seed);
+  const size_t sample = std::min(options.train_sample, n);
+  std::vector<size_t> rows = rng.SampleIndices(n, sample);
+  codebooks_.assign(m_count, KMeans());
+  std::vector<float> buffer;
+  for (uint32_t m = 0; m < m_count; ++m) {
+    const uint32_t b = sub_begin_[m];
+    const uint32_t sd = sub_begin_[m + 1] - b;
+    buffer.assign(static_cast<size_t>(sample) * sd, 0.0f);
+    for (size_t r = 0; r < sample; ++r) {
+      const float* v = store_->View(static_cast<VecId>(rows[r]));
+      std::copy(v + b, v + b + sd, buffer.data() + r * sd);
+    }
+    KMeans::Options ko;
+    ko.k = options.codebook_size;
+    ko.max_iters = options.kmeans_iters;
+    ko.seed = options.seed + m + 1;
+    codebooks_[m].Fit(buffer.data(), sample, sd, ko);
+  }
+
+  // Encode every vector.
+  codes_.assign(n * m_count, 0);
+  for (size_t x = 0; x < n; ++x) {
+    const float* v = store_->View(static_cast<VecId>(x));
+    for (uint32_t m = 0; m < m_count; ++m) {
+      codes_[x * m_count + m] =
+          static_cast<uint8_t>(codebooks_[m].Assign(v + sub_begin_[m]));
+    }
+  }
+}
+
+void PqIndex::FillTable(const float* q, std::vector<double>* table) const {
+  const uint32_t m_count = options_.num_subquantizers;
+  const uint32_t k_count = codebooks_.empty() ? 0 : codebooks_[0].k();
+  table->assign(static_cast<size_t>(m_count) * k_count, 0.0);
+  for (uint32_t m = 0; m < m_count; ++m) {
+    const uint32_t b = sub_begin_[m];
+    for (uint32_t k = 0; k < codebooks_[m].k(); ++k) {
+      (*table)[static_cast<size_t>(m) * k_count + k] =
+          codebooks_[m].DistanceTo(q + b, k);
+    }
+  }
+}
+
+double PqIndex::AdcSquared(const std::vector<double>& table, size_t x) const {
+  const uint32_t m_count = options_.num_subquantizers;
+  const uint32_t k_count = codebooks_[0].k();
+  double acc = 0.0;
+  for (uint32_t m = 0; m < m_count; ++m) {
+    acc += table[static_cast<size_t>(m) * k_count + codes_[x * m_count + m]];
+  }
+  return acc;
+}
+
+void PqIndex::RangeQuery(const float* q, double radius, std::vector<VecId>* out,
+                         SearchStats* stats) const {
+  const size_t n = store_->size();
+  std::vector<double> table;
+  FillTable(q, &table);
+  const double r = radius * radius_scale_;
+  const double r2 = r * r;
+  for (size_t x = 0; x < n; ++x) {
+    ++stats->distance_computations;  // one ADC evaluation
+    if (AdcSquared(table, x) <= r2) {
+      out->push_back(static_cast<VecId>(x));
+    }
+  }
+}
+
+double PqIndex::CalibrateRadiusScale(const VectorStore& queries, double tau,
+                                     double target_recall,
+                                     const Metric* metric, double lo,
+                                     double step, double hi) {
+  const size_t n = store_->size();
+  const uint32_t dim = store_->dim();
+  // Exact ground truth per calibration query.
+  std::vector<std::vector<VecId>> truth(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const float* q = queries.View(static_cast<VecId>(qi));
+    for (size_t x = 0; x < n; ++x) {
+      if (metric->Dist(q, store_->View(static_cast<VecId>(x)), dim) <= tau) {
+        truth[qi].push_back(static_cast<VecId>(x));
+      }
+    }
+  }
+  size_t total_truth = 0;
+  for (const auto& t : truth) total_truth += t.size();
+  if (total_truth == 0) {
+    radius_scale_ = 1.0;
+    return radius_scale_;
+  }
+
+  SearchStats sink;
+  std::vector<VecId> got;
+  for (double scale = lo; scale <= hi + 1e-9; scale += step) {
+    radius_scale_ = scale;
+    size_t hit = 0;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      if (truth[qi].empty()) continue;
+      got.clear();
+      RangeQuery(queries.View(static_cast<VecId>(qi)), tau, &got, &sink);
+      std::sort(got.begin(), got.end());
+      for (VecId v : truth[qi]) {
+        if (std::binary_search(got.begin(), got.end(), v)) ++hit;
+      }
+    }
+    const double recall =
+        static_cast<double>(hit) / static_cast<double>(total_truth);
+    if (recall >= target_recall) break;
+  }
+  return radius_scale_;
+}
+
+size_t PqIndex::MemoryBytes() const {
+  size_t bytes = codes_.capacity() + sub_begin_.capacity() * sizeof(uint32_t);
+  for (const auto& cb : codebooks_) {
+    bytes += cb.centroids().capacity() * sizeof(float);
+  }
+  return bytes;
+}
+
+}  // namespace pexeso

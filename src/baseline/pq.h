@@ -1,0 +1,77 @@
+#ifndef PEXESO_BASELINE_PQ_H_
+#define PEXESO_BASELINE_PQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/range_engine.h"
+#include "la/pca.h"
+#include "vec/metric.h"
+#include "vec/vector_store.h"
+
+namespace pexeso {
+
+/// \brief Product quantization [16], the paper's approximate competitor.
+///
+/// The embedding space is split into M contiguous subspaces; a k-means
+/// codebook of K centroids is trained per subspace and every vector is
+/// encoded as M code bytes. A range query builds the asymmetric-distance
+/// (ADC) lookup table (M x K squared sub-distances) once and scans all
+/// codes, reporting x when the ADC estimate is within radius * radius_scale.
+///
+/// Because ADC underestimates/overestimates true distances, range recall is
+/// tuned by inflating the radius: CalibrateRadiusScale() reproduces the
+/// paper's PQ-75 / PQ-85 variants ("adjust PQ to make the recall of range
+/// query at least 75% / 85%"). Only the (default) Euclidean metric is
+/// supported, as in the paper's experiments.
+class PqIndex : public RangeQueryEngine {
+ public:
+  struct Options {
+    uint32_t num_subquantizers = 8;  ///< M
+    uint32_t codebook_size = 64;     ///< K (<= 256)
+    uint32_t kmeans_iters = 12;
+    size_t train_sample = 20000;
+    uint64_t seed = 29;
+  };
+
+  explicit PqIndex(const VectorStore* store) : store_(store) {}
+
+  /// Trains codebooks and encodes every vector.
+  void Build(const Options& options);
+
+  /// Approximate range query (see class comment).
+  void RangeQuery(const float* q, double radius, std::vector<VecId>* out,
+                  SearchStats* stats) const override;
+
+  size_t MemoryBytes() const override;
+
+  /// Multiplier applied to the query radius (recall knob).
+  void set_radius_scale(double s) { radius_scale_ = s; }
+  double radius_scale() const { return radius_scale_; }
+
+  /// Finds the smallest radius scale (from `lo`, stepping by `step`) whose
+  /// range-query recall over `queries` reaches `target_recall`, computing
+  /// exact ground truth against the store with `metric`. Sets and returns
+  /// the scale.
+  double CalibrateRadiusScale(const VectorStore& queries, double tau,
+                              double target_recall, const Metric* metric,
+                              double lo = 0.6, double step = 0.05,
+                              double hi = 3.0);
+
+ private:
+  /// ADC squared distance of encoded vector x to the current table.
+  double AdcSquared(const std::vector<double>& table, size_t x) const;
+  void FillTable(const float* q, std::vector<double>* table) const;
+
+  const VectorStore* store_;
+  Options options_;
+  uint32_t dim_ = 0;
+  std::vector<uint32_t> sub_begin_;  ///< M+1 subspace boundaries
+  std::vector<KMeans> codebooks_;    ///< one per subspace
+  std::vector<uint8_t> codes_;       ///< n x M
+  double radius_scale_ = 1.0;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_BASELINE_PQ_H_

@@ -1,0 +1,60 @@
+#include "baseline/range_engine.h"
+
+#include <algorithm>
+
+namespace pexeso {
+
+JoinableRangeSearcher::JoinableRangeSearcher(const ColumnCatalog* catalog,
+                                             const RangeQueryEngine* engine)
+    : catalog_(catalog), engine_(engine) {
+  vec2col_.resize(catalog->num_vectors());
+  for (ColumnId col = 0; col < catalog->num_columns(); ++col) {
+    const ColumnMeta& meta = catalog->column(col);
+    for (VecId v = meta.first; v < meta.end(); ++v) vec2col_[v] = col;
+  }
+}
+
+std::vector<JoinableColumn> JoinableRangeSearcher::Search(
+    const VectorStore& query, const SearchThresholds& thresholds,
+    SearchStats* stats) const {
+  SearchStats local;
+  if (stats == nullptr) stats = &local;
+  const uint32_t t_abs = std::max<uint32_t>(1, thresholds.t_abs);
+  const uint32_t num_q = static_cast<uint32_t>(query.size());
+  const size_t num_cols = catalog_->num_columns();
+
+  std::vector<uint32_t> match_map(num_cols, 0);
+  std::vector<uint8_t> joinable(num_cols, 0);
+  std::vector<uint32_t> stamp(num_cols, 0);
+  std::vector<VecId> results;
+
+  for (uint32_t q = 0; q < num_q; ++q) {
+    results.clear();
+    engine_->RangeQuery(query.View(q), thresholds.tau, &results, stats);
+    const uint32_t mark = q + 1;
+    for (VecId v : results) {
+      const ColumnId col = vec2col_[v];
+      if (stamp[col] == mark || joinable[col]) continue;
+      stamp[col] = mark;
+      if (++match_map[col] >= t_abs) {
+        joinable[col] = 1;
+        ++stats->early_joinable;
+      }
+    }
+  }
+
+  std::vector<JoinableColumn> out;
+  for (ColumnId col = 0; col < num_cols; ++col) {
+    if (match_map[col] >= t_abs) {
+      JoinableColumn jc;
+      jc.column = col;
+      jc.match_count = match_map[col];
+      jc.joinability =
+          static_cast<double>(jc.match_count) / static_cast<double>(num_q);
+      out.push_back(jc);
+    }
+  }
+  return out;
+}
+
+}  // namespace pexeso

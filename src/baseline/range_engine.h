@@ -1,0 +1,52 @@
+#ifndef PEXESO_BASELINE_RANGE_ENGINE_H_
+#define PEXESO_BASELINE_RANGE_ENGINE_H_
+
+#include <vector>
+
+#include "core/join_result.h"
+#include "core/thresholds.h"
+#include "vec/column_catalog.h"
+#include "vec/search_stats.h"
+
+namespace pexeso {
+
+/// \brief A metric range-query engine: given a query vector, return every
+/// repository vector within the radius. CTREE, EPT and PQ all follow the
+/// same joinable-search workflow (paper Section VI-A): issue one range query
+/// per query record and count results towards the joinability of the column
+/// they belong to. Implementations may be approximate (PQ).
+class RangeQueryEngine {
+ public:
+  virtual ~RangeQueryEngine() = default;
+
+  /// Appends all vector ids within `radius` of `q` to `out`.
+  virtual void RangeQuery(const float* q, double radius,
+                          std::vector<VecId>* out,
+                          SearchStats* stats) const = 0;
+
+  /// Index footprint in bytes (Figure 6b).
+  virtual size_t MemoryBytes() const = 0;
+};
+
+/// \brief The shared joinable-table-search workflow over a range engine:
+/// for each query record run a range query and credit each returned vector
+/// to its column (deduplicated per record), with the joinable-skip early
+/// termination every competitor is equipped with.
+class JoinableRangeSearcher {
+ public:
+  JoinableRangeSearcher(const ColumnCatalog* catalog,
+                        const RangeQueryEngine* engine);
+
+  std::vector<JoinableColumn> Search(const VectorStore& query,
+                                     const SearchThresholds& thresholds,
+                                     SearchStats* stats) const;
+
+ private:
+  const ColumnCatalog* catalog_;
+  const RangeQueryEngine* engine_;
+  std::vector<ColumnId> vec2col_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_BASELINE_RANGE_ENGINE_H_

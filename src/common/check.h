@@ -1,0 +1,35 @@
+#ifndef PEXESO_COMMON_CHECK_H_
+#define PEXESO_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \brief Internal invariant checks. These abort on violation: they guard
+/// programmer errors, not user input (user input goes through Status).
+#define PEXESO_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "PEXESO_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define PEXESO_CHECK_MSG(cond, msg)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "PEXESO_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define PEXESO_DCHECK(cond) PEXESO_CHECK(cond)
+#else
+#define PEXESO_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#endif
+
+#endif  // PEXESO_COMMON_CHECK_H_

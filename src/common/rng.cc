@@ -1,0 +1,31 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+namespace pexeso {
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  PEXESO_CHECK(k <= n);
+  // Floyd's algorithm for k << n; fall back to shuffle for dense samples.
+  if (k * 2 >= n) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(&all);
+    all.resize(k);
+    return all;
+  }
+  std::vector<size_t> picked;
+  picked.reserve(k);
+  // Simple rejection sampling; expected iterations ~ k for k << n.
+  std::vector<bool> seen(n, false);
+  while (picked.size() < k) {
+    size_t j = Uniform(n);
+    if (!seen[j]) {
+      seen[j] = true;
+      picked.push_back(j);
+    }
+  }
+  return picked;
+}
+
+}  // namespace pexeso

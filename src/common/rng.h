@@ -1,0 +1,107 @@
+#ifndef PEXESO_COMMON_RNG_H_
+#define PEXESO_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pexeso {
+
+/// \brief Deterministic, seedable pseudo-random generator (splitmix64 +
+/// xoshiro256**). All randomness in the library flows through explicit Rng
+/// instances so that tests and benchmarks are reproducible across platforms
+/// (std::mt19937 distributions are not portable across standard libraries).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically.
+  void Seed(uint64_t seed) {
+    // splitmix64 to spread the seed over the state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform float in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double Normal() {
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+           __builtin_cos(6.283185307179586 * u2);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+/// \brief 64-bit FNV-1a hash of a byte string; used for feature hashing in
+/// the embedding models so embeddings are deterministic across runs.
+inline uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed = 0) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace pexeso
+
+#endif  // PEXESO_COMMON_RNG_H_

@@ -1,0 +1,24 @@
+#include "common/serde.h"
+
+namespace pexeso {
+
+Result<BinaryWriter> BinaryWriter::Open(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  return BinaryWriter(std::move(out));
+}
+
+Status BinaryWriter::Close() {
+  out_.flush();
+  if (!out_) return Status::IoError("flush failed");
+  out_.close();
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  return BinaryReader(std::move(in));
+}
+
+}  // namespace pexeso

@@ -1,0 +1,100 @@
+#ifndef PEXESO_COMMON_SERDE_H_
+#define PEXESO_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pexeso {
+
+/// \brief Little binary writer for the partition files used by the
+/// out-of-core search path. The format is a private on-disk format (magic +
+/// version header written by the owning serializer), not an interchange one.
+class BinaryWriter {
+ public:
+  /// Opens `path` for truncating binary write.
+  static Result<BinaryWriter> Open(const std::string& path);
+
+  /// Writes a trivially-copyable value.
+  template <typename T>
+  void Write(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+
+  /// Writes a length-prefixed string.
+  void WriteString(const std::string& s) {
+    Write<uint64_t>(s.size());
+    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+
+  /// Writes a length-prefixed vector of trivially-copyable elements.
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write<uint64_t>(v.size());
+    out_.write(reinterpret_cast<const char*>(v.data()),
+               static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+
+  /// Flushes and reports any stream error.
+  Status Close();
+
+ private:
+  explicit BinaryWriter(std::ofstream out) : out_(std::move(out)) {}
+  std::ofstream out_;
+};
+
+/// \brief Reader counterpart of BinaryWriter. All reads report corruption via
+/// Status rather than crashing on truncated files.
+class BinaryReader {
+ public:
+  /// Opens `path` for binary read.
+  static Result<BinaryReader> Open(const std::string& path);
+
+  template <typename T>
+  Status Read(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    in_.read(reinterpret_cast<char*>(v), sizeof(T));
+    if (!in_) return Status::Corruption("truncated read of fixed field");
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* s) {
+    uint64_t n = 0;
+    PEXESO_RETURN_NOT_OK(Read(&n));
+    if (n > (1ULL << 32)) return Status::Corruption("string length implausible");
+    s->resize(n);
+    in_.read(s->data(), static_cast<std::streamsize>(n));
+    if (!in_) return Status::Corruption("truncated string");
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadVector(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    PEXESO_RETURN_NOT_OK(Read(&n));
+    if (n > (1ULL << 40) / sizeof(T)) {
+      return Status::Corruption("vector length implausible");
+    }
+    v->resize(n);
+    in_.read(reinterpret_cast<char*>(v->data()),
+             static_cast<std::streamsize>(n * sizeof(T)));
+    if (!in_) return Status::Corruption("truncated vector");
+    return Status::OK();
+  }
+
+ private:
+  explicit BinaryReader(std::ifstream in) : in_(std::move(in)) {}
+  std::ifstream in_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_COMMON_SERDE_H_

@@ -1,0 +1,31 @@
+#ifndef PEXESO_COMMON_STOPWATCH_H_
+#define PEXESO_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace pexeso {
+
+/// \brief Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_COMMON_STOPWATCH_H_

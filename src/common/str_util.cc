@@ -1,0 +1,121 @@
+#include "common/str_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace pexeso {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool LooksNumeric(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  size_t i = 0;
+  if (s[i] == '+' || s[i] == '-') ++i;
+  bool digit = false;
+  bool dot = false;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c == '.' && !dot) {
+      dot = true;
+    } else if (c == ',') {
+      // Thousands separators appear in lake data ("234,370,202").
+      continue;
+    } else {
+      return false;
+    }
+  }
+  return digit;
+}
+
+std::vector<std::string> WordTokens(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && !std::isalnum(static_cast<unsigned char>(s[i]))) ++i;
+    size_t start = i;
+    while (i < s.size() && std::isalnum(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) {
+      out.push_back(ToLower(s.substr(start, i - start)));
+    }
+  }
+  return out;
+}
+
+int EditDistance(std::string_view a, std::string_view b, int bound) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (bound >= 0 && m - n > bound) return bound + 1;
+  std::vector<int> prev(n + 1), cur(n + 1);
+  for (int i = 0; i <= n; ++i) prev[i] = i;
+  for (int j = 1; j <= m; ++j) {
+    cur[0] = j;
+    int row_min = cur[0];
+    for (int i = 1; i <= n; ++i) {
+      int cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, prev[i - 1] + cost});
+      row_min = std::min(row_min, cur[i]);
+    }
+    if (bound >= 0 && row_min > bound) return bound + 1;
+    std::swap(prev, cur);
+  }
+  int d = prev[n];
+  if (bound >= 0 && d > bound) return bound + 1;
+  return d;
+}
+
+}  // namespace pexeso

@@ -1,0 +1,37 @@
+#ifndef PEXESO_COMMON_STR_UTIL_H_
+#define PEXESO_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pexeso {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits on any whitespace run; drops empty tokens.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing (locale-independent).
+std::string ToLower(std::string_view s);
+
+/// Joins parts with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if the string parses fully as a (possibly signed/decimal) number.
+bool LooksNumeric(std::string_view s);
+
+/// Tokenizes a record value into lower-cased word tokens (alnum runs).
+std::vector<std::string> WordTokens(std::string_view s);
+
+/// Levenshtein edit distance with an optional early-exit bound. Returns
+/// bound+1 if the true distance exceeds `bound` (bound < 0 disables).
+int EditDistance(std::string_view a, std::string_view b, int bound = -1);
+
+}  // namespace pexeso
+
+#endif  // PEXESO_COMMON_STR_UTIL_H_

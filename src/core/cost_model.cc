@@ -1,0 +1,169 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "grid/cell_key.h"
+
+namespace pexeso {
+
+CostModel::CostModel(const double* mapped, size_t n, uint32_t np,
+                     double extent, uint32_t bins, uint32_t max_level)
+    : np_(np), bins_(bins), extent_(extent), total_(n) {
+  PEXESO_CHECK(n > 0 && np >= 1 && bins >= 8);
+  cdf_.assign(np, std::vector<double>(bins, 0.0));
+  const double inv_bin = static_cast<double>(bins) / extent;
+  for (size_t r = 0; r < n; ++r) {
+    const double* v = mapped + r * np;
+    for (uint32_t i = 0; i < np; ++i) {
+      int b = static_cast<int>(v[i] * inv_bin);
+      if (b < 0) b = 0;
+      if (b >= static_cast<int>(bins)) b = static_cast<int>(bins) - 1;
+      cdf_[i][b] += 1.0;
+    }
+  }
+  for (uint32_t i = 0; i < np; ++i) {
+    for (uint32_t b = 1; b < bins; ++b) cdf_[i][b] += cdf_[i][b - 1];
+  }
+
+  // Exact distinct-cell counts per integer level (for the lookup charge).
+  nonempty_.assign(max_level + 1, 1.0);
+  for (uint32_t l = 1; l <= max_level; ++l) {
+    std::unordered_set<uint64_t> cells;
+    const double side = extent / static_cast<double>(1u << l);
+    const uint32_t max_coord = (1u << l) - 1;
+    for (size_t r = 0; r < n; ++r) {
+      const double* v = mapped + r * np;
+      uint64_t h = 1469598103934665603ULL;
+      for (uint32_t i = 0; i < np; ++i) {
+        double x = v[i];
+        if (x < 0) x = 0;
+        uint32_t c = static_cast<uint32_t>(x / side);
+        if (c > max_coord) c = max_coord;
+        h ^= c + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+      }
+      cells.insert(h);
+    }
+    nonempty_[l] = static_cast<double>(cells.size());
+  }
+}
+
+double CostModel::AxisMass(uint32_t axis, double lo, double hi) const {
+  if (hi <= lo) return 0.0;
+  lo = std::max(lo, 0.0);
+  hi = std::min(hi, extent_);
+  if (hi <= lo) return 0.0;
+  const double scale = static_cast<double>(bins_) / extent_;
+  auto cdf_at = [&](double x) -> double {
+    // Cumulative count up to coordinate x with linear interpolation.
+    const double pos = x * scale;
+    const int b = static_cast<int>(pos);
+    if (b < 0) return 0.0;
+    if (b >= static_cast<int>(bins_)) return cdf_[axis].back();
+    const double below = b == 0 ? 0.0 : cdf_[axis][b - 1];
+    const double inside = cdf_[axis][b] - below;
+    return below + inside * (pos - b);
+  };
+  return std::max(0.0, cdf_at(hi) - cdf_at(lo));
+}
+
+double CostModel::NonEmptyCells(double m) const {
+  const double max_l = static_cast<double>(nonempty_.size() - 1);
+  if (m <= 1.0) return nonempty_[1];
+  if (m >= max_l) return nonempty_.back();
+  const int lo = static_cast<int>(m);
+  const double frac = m - lo;
+  // Geometric interpolation: cell counts grow multiplicatively with level.
+  return std::pow(nonempty_[lo], 1.0 - frac) *
+         std::pow(nonempty_[lo + 1], frac);
+}
+
+double CostModel::NmaxSqr(const double* mq, double tau, double m) const {
+  const double side = extent_ / std::pow(2.0, m);
+  double best = std::numeric_limits<double>::max();
+  for (uint32_t i = 0; i < np_; ++i) {
+    const double mass = AxisMass(i, mq[i] - tau - side, mq[i] + tau + side);
+    best = std::min(best, mass);
+  }
+  return best;
+}
+
+double CostModel::ExpectedCells(const double* mq, double tau, double m) const {
+  // The per-axis slab count is position-independent under the uniform-slab
+  // approximation; `mq` stays in the signature for models that refine it.
+  (void)mq;
+  const double side = extent_ / std::pow(2.0, m);
+  double cells = 1.0;
+  const double per_axis_cap = std::pow(2.0, m);
+  for (uint32_t i = 0; i < np_; ++i) {
+    const double slabs = std::min(2.0 * tau / side + 2.0, per_axis_cap);
+    cells *= slabs;
+    if (cells > 1e18) break;  // avoid overflow; capped below anyway
+  }
+  // A query cannot touch more cells than exist.
+  return std::min(cells, NonEmptyCells(m));
+}
+
+double CostModel::ExpectedCost(const std::vector<WorkloadQuery>& workload,
+                               double m, double kappa) const {
+  double total = 0.0;
+  for (const auto& wq : workload) {
+    const size_t nq = wq.mapped.size() / np_;
+    for (size_t q = 0; q < nq; ++q) {
+      const double* mq = wq.mapped.data() + q * np_;
+      total += NmaxSqr(mq, wq.tau, m);
+      total += kappa * ExpectedCells(mq, wq.tau, m);
+    }
+  }
+  return total;
+}
+
+uint32_t CostModel::OptimalM(const std::vector<WorkloadQuery>& workload,
+                             uint32_t max_m, double kappa,
+                             double* fractional_m) const {
+  double best_m = 1.0;
+  double best_cost = std::numeric_limits<double>::max();
+  for (double m = 1.0; m <= static_cast<double>(max_m) + 1e-9; m += 0.1) {
+    const double c = ExpectedCost(workload, m, kappa);
+    if (c < best_cost) {
+      best_cost = c;
+      best_m = m;
+    }
+  }
+  if (fractional_m != nullptr) *fractional_m = best_m;
+  const uint32_t m = static_cast<uint32_t>(std::ceil(best_m - 1e-9));
+  return std::max<uint32_t>(1, std::min(m, max_m));
+}
+
+std::vector<CostModel::WorkloadQuery> CostModel::SampleWorkload(
+    const ColumnCatalog& catalog, const double* mapped, uint32_t np,
+    double extent, size_t num_queries, Rng* rng, double tau_lo,
+    double tau_hi) {
+  std::vector<WorkloadQuery> out;
+  const size_t ncols = catalog.num_columns();
+  PEXESO_CHECK(ncols > 0);
+  num_queries = std::min(num_queries, ncols);
+  std::vector<size_t> picks = rng->SampleIndices(ncols, num_queries);
+  out.reserve(num_queries);
+  for (size_t ci : picks) {
+    const ColumnMeta& meta = catalog.column(static_cast<ColumnId>(ci));
+    WorkloadQuery wq;
+    // Cap the per-column sample so huge columns do not dominate estimation.
+    const uint32_t take = std::min<uint32_t>(meta.count, 64);
+    wq.mapped.reserve(static_cast<size_t>(take) * np);
+    for (uint32_t k = 0; k < take; ++k) {
+      const VecId v = meta.first + static_cast<VecId>(
+                                       k * (meta.count / take));
+      const double* mv = mapped + static_cast<size_t>(v) * np;
+      wq.mapped.insert(wq.mapped.end(), mv, mv + np);
+    }
+    wq.tau = rng->UniformDouble(tau_lo, tau_hi) * extent;
+    out.push_back(std::move(wq));
+  }
+  return out;
+}
+
+}  // namespace pexeso

@@ -1,0 +1,90 @@
+#ifndef PEXESO_CORE_COST_MODEL_H_
+#define PEXESO_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "vec/column_catalog.h"
+
+namespace pexeso {
+
+/// \brief The search cost estimator of Section III-E.
+///
+/// Blocking compares cell overlaps only, so the dominant cost is the number
+/// of exact distance computations in verification (Eq. 1). For one query
+/// vector q this is bounded by Nmax(SQR(q', tau)) of Eq. 2: the minimum over
+/// pivot axes of the repository mass falling inside the slab
+/// [q'_i - tau - side, q'_i + tau + side], where `side` is the leaf-cell edge
+/// at grid depth m (candidate leaf cells can overhang the square query
+/// region by at most one cell side). Larger m shrinks the overhang but
+/// multiplies the number of leaf cells a query touches, so the model adds a
+/// per-cell lookup charge; minimizing the sum picks the paper's trade-off.
+///
+/// Per-axis masses come from marginal histograms of the mapped repository
+/// vectors (the PDF_i(RV) of Eq. 2). The optimum over fractional m is found
+/// by dense scan of the 1-d objective (the paper uses gradient descent; the
+/// minimizer is the same and the scan is derivative-free), then ceiled.
+class CostModel {
+ public:
+  /// One workload entry: the mapped vectors of a sampled query column plus a
+  /// (tau, T) pair drawn from the practical ranges of Section V.
+  struct WorkloadQuery {
+    std::vector<double> mapped;  ///< |Q| x |P|
+    double tau = 0.0;
+  };
+
+  /// Builds marginal histograms over `n` mapped vectors (row-major n x np).
+  CostModel(const double* mapped, size_t n, uint32_t np, double extent,
+            uint32_t bins = 256, uint32_t max_level = 12);
+
+  /// Eq. 2: upper bound on the vectors needing verification for one mapped
+  /// query vector at (fractional) grid depth m.
+  double NmaxSqr(const double* mq, double tau, double m) const;
+
+  /// Estimated number of non-empty leaf cells a query vector's SQR touches
+  /// at depth m (the inverted-index lookup overhead).
+  double ExpectedCells(const double* mq, double tau, double m) const;
+
+  /// Aggregated Eq. 1 over a workload at depth m. `kappa` converts one cell
+  /// lookup into distance-computation units.
+  double ExpectedCost(const std::vector<WorkloadQuery>& workload, double m,
+                      double kappa) const;
+
+  /// Minimizes ExpectedCost over fractional m in [1, max_m]; returns the
+  /// fractional optimum through `fractional_m` (if non-null) and the ceiled
+  /// integer level.
+  uint32_t OptimalM(const std::vector<WorkloadQuery>& workload,
+                    uint32_t max_m = 10, double kappa = 4.0,
+                    double* fractional_m = nullptr) const;
+
+  /// Samples a query workload from repository columns (Section III-E): tau
+  /// uniform in [tau_lo, tau_hi] fractions of the axis extent.
+  static std::vector<WorkloadQuery> SampleWorkload(
+      const ColumnCatalog& catalog, const double* mapped, uint32_t np,
+      double extent, size_t num_queries, Rng* rng, double tau_lo = 0.0,
+      double tau_hi = 0.10);
+
+  double extent() const { return extent_; }
+
+ private:
+  /// Repository mass (count) in [lo, hi] along axis i, linear-interpolated.
+  double AxisMass(uint32_t axis, double lo, double hi) const;
+  /// Non-empty leaf cell count at fractional depth m (geometric
+  /// interpolation between the exact per-level counts).
+  double NonEmptyCells(double m) const;
+
+  uint32_t np_ = 0;
+  uint32_t bins_ = 0;
+  double extent_ = 2.0;
+  size_t total_ = 0;
+  /// Per-axis cumulative histogram: cdf_[axis][b] = #vectors with value in
+  /// bins [0..b].
+  std::vector<std::vector<double>> cdf_;
+  /// Exact distinct-cell counts at integer levels 1..max_level.
+  std::vector<double> nonempty_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_CORE_COST_MODEL_H_

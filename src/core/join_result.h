@@ -1,0 +1,32 @@
+#ifndef PEXESO_CORE_JOIN_RESULT_H_
+#define PEXESO_CORE_JOIN_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "vec/vector_store.h"
+
+namespace pexeso {
+
+/// \brief One record-level match presented to the user along with a joinable
+/// column (the paper returns the mapping between query records and target
+/// records since users may be unfamiliar with the join predicate).
+struct RecordMatch {
+  uint32_t query_index;  ///< index of the record in the query column
+  VecId target_vec;      ///< a matching vector in the target column
+};
+
+/// \brief One joinable column in the search result.
+struct JoinableColumn {
+  ColumnId column = 0;
+  uint32_t match_count = 0;   ///< |Q_M|: query records with >= 1 match
+  double joinability = 0.0;   ///< match_count / |Q|
+  /// Record-level mapping; populated only when the searcher is asked to
+  /// collect mappings (it costs extra verification work after the column is
+  /// already known to be joinable).
+  std::vector<RecordMatch> mapping;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_CORE_JOIN_RESULT_H_

@@ -1,0 +1,173 @@
+#include "core/pexeso_index.h"
+
+#include <unordered_map>
+
+#include "core/cost_model.h"
+#include "pivot/pivot_selector.h"
+
+namespace pexeso {
+
+namespace {
+constexpr uint32_t kMagic = 0x5058534Fu;  // "PXSO"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+PexesoIndex PexesoIndex::Build(ColumnCatalog catalog, const Metric* metric,
+                               const PexesoOptions& options) {
+  PEXESO_CHECK(metric != nullptr);
+  PEXESO_CHECK(catalog.num_vectors() > 0);
+  PexesoIndex index;
+  index.catalog_ = std::move(catalog);
+  index.metric_ = metric;
+  index.options_ = options;
+  // The grid supports at most kMaxPivots axes; more pivots add no filtering
+  // power it could exploit.
+  index.options_.num_pivots =
+      std::max<uint32_t>(1, std::min(options.num_pivots, kMaxPivots));
+
+  const VectorStore& store = index.catalog_.store();
+  std::vector<float> pivots;
+  if (options.pivot_strategy == PexesoOptions::PivotStrategy::kPca) {
+    pivots = PivotSelector::SelectPca(store.raw().data(), store.size(),
+                                      store.dim(), index.options_.num_pivots,
+                                      metric, options.seed);
+  } else {
+    pivots = PivotSelector::SelectRandom(store.raw().data(), store.size(),
+                                         store.dim(),
+                                         index.options_.num_pivots,
+                                         options.seed);
+  }
+  const uint32_t actual_pivots =
+      static_cast<uint32_t>(pivots.size() / store.dim());
+  index.pivots_ = PivotSpace(pivots.data(), actual_pivots, store.dim(), metric);
+
+  index.mapped_ = index.pivots_.MapAll(store.raw().data(), store.size());
+
+  uint32_t levels = options.levels;
+  if (levels == 0) {
+    // Pick m by the Section III-E cost model over a sampled workload.
+    CostModel model(index.mapped_.data(), store.size(), actual_pivots,
+                    index.pivots_.AxisExtent());
+    Rng rng(options.seed ^ 0xC057ULL);
+    auto workload = CostModel::SampleWorkload(
+        index.catalog_, index.mapped_.data(), actual_pivots,
+        index.pivots_.AxisExtent(), /*num_queries=*/32, &rng);
+    levels = model.OptimalM(workload);
+    index.options_.levels = levels;
+  }
+
+  HierarchicalGrid::Options gopts;
+  gopts.levels = levels;
+  gopts.store_leaf_items = true;
+  index.grid_.Build(index.mapped_.data(), store.size(), actual_pivots,
+                    index.pivots_.AxisExtent(), gopts);
+  index.inv_.Build(index.grid_, index.catalog_);
+  index.tombstones_.assign(index.catalog_.num_columns(), 0);
+  return index;
+}
+
+ColumnId PexesoIndex::AppendColumn(ColumnMeta meta, const float* packed,
+                                   size_t count) {
+  const ColumnId col = catalog_.AddColumn(std::move(meta), packed, count);
+  const uint32_t np = pivots_.num_pivots();
+  const VecId first = catalog_.column(col).first;
+
+  // Pivot-map the new vectors and insert them into the grid chain.
+  std::vector<double> mapped_new(count * np);
+  std::unordered_map<uint32_t, std::vector<VecId>> by_leaf;
+  for (size_t i = 0; i < count; ++i) {
+    const VecId v = first + static_cast<VecId>(i);
+    pivots_.Map(catalog_.store().View(v), mapped_new.data() + i * np);
+    mapped_.insert(mapped_.end(), mapped_new.begin() + i * np,
+                   mapped_new.begin() + (i + 1) * np);
+    const uint32_t leaf =
+        grid_.Insert(mapped_new.data() + i * np, v, /*store_item=*/true);
+    by_leaf[leaf].push_back(v);
+  }
+  inv_.EnsureCells(grid_.LeafCells().size());
+  for (auto& [leaf, vecs] : by_leaf) {
+    inv_.Append(leaf, col, vecs);
+  }
+  tombstones_.push_back(0);
+  return col;
+}
+
+void PexesoIndex::DeleteColumn(ColumnId column) {
+  PEXESO_CHECK(column < tombstones_.size());
+  tombstones_[column] = 1;
+}
+
+size_t PexesoIndex::Compact() {
+  size_t dropped = 0;
+  for (uint8_t t : tombstones_) dropped += t;
+  if (dropped == 0) return 0;
+
+  ColumnCatalog survivors(catalog_.dim());
+  for (ColumnId c = 0; c < catalog_.num_columns(); ++c) {
+    if (tombstones_[c]) continue;
+    const ColumnMeta& meta = catalog_.column(c);
+    survivors.AddColumn(meta, catalog_.store().View(meta.first), meta.count);
+  }
+  PEXESO_CHECK_MSG(survivors.num_columns() > 0,
+                   "compacting away every column is not supported");
+  *this = Build(std::move(survivors), metric_, options_);
+  return dropped;
+}
+
+size_t PexesoIndex::IndexSizeBytes() const {
+  return pivots_.MemoryBytes() + mapped_.capacity() * sizeof(double) +
+         grid_.MemoryBytes() + inv_.MemoryBytes() +
+         tombstones_.capacity();
+}
+
+Status PexesoIndex::Save(const std::string& path) const {
+  auto wr = BinaryWriter::Open(path);
+  if (!wr.ok()) return wr.status();
+  BinaryWriter w = std::move(wr).ValueOrDie();
+  w.Write<uint32_t>(kMagic);
+  w.Write<uint32_t>(kVersion);
+  w.Write<uint32_t>(options_.num_pivots);
+  w.Write<uint32_t>(options_.levels);
+  w.Write<uint64_t>(options_.seed);
+  w.Write<uint8_t>(
+      options_.pivot_strategy == PexesoOptions::PivotStrategy::kPca ? 0 : 1);
+  catalog_.Serialize(&w);
+  pivots_.Serialize(&w);
+  w.WriteVector(mapped_);
+  grid_.Serialize(&w);
+  inv_.Serialize(&w);
+  w.WriteVector(tombstones_);
+  return w.Close();
+}
+
+Result<PexesoIndex> PexesoIndex::Load(const std::string& path,
+                                      const Metric* metric) {
+  auto rd = BinaryReader::Open(path);
+  if (!rd.ok()) return rd.status();
+  BinaryReader r = std::move(rd).ValueOrDie();
+  uint32_t magic = 0, version = 0;
+  PEXESO_RETURN_NOT_OK(r.Read(&magic));
+  if (magic != kMagic) return Status::Corruption("bad index magic");
+  PEXESO_RETURN_NOT_OK(r.Read(&version));
+  if (version != kVersion) return Status::NotSupported("index version");
+
+  PexesoIndex index;
+  index.metric_ = metric;
+  PEXESO_RETURN_NOT_OK(r.Read(&index.options_.num_pivots));
+  PEXESO_RETURN_NOT_OK(r.Read(&index.options_.levels));
+  PEXESO_RETURN_NOT_OK(r.Read(&index.options_.seed));
+  uint8_t strat = 0;
+  PEXESO_RETURN_NOT_OK(r.Read(&strat));
+  index.options_.pivot_strategy = strat == 0
+                                      ? PexesoOptions::PivotStrategy::kPca
+                                      : PexesoOptions::PivotStrategy::kRandom;
+  PEXESO_RETURN_NOT_OK(index.catalog_.Deserialize(&r));
+  PEXESO_RETURN_NOT_OK(index.pivots_.Deserialize(&r, metric));
+  PEXESO_RETURN_NOT_OK(r.ReadVector(&index.mapped_));
+  PEXESO_RETURN_NOT_OK(index.grid_.Deserialize(&r));
+  PEXESO_RETURN_NOT_OK(index.inv_.Deserialize(&r));
+  PEXESO_RETURN_NOT_OK(r.ReadVector(&index.tombstones_));
+  return index;
+}
+
+}  // namespace pexeso

@@ -1,0 +1,100 @@
+#ifndef PEXESO_CORE_PEXESO_INDEX_H_
+#define PEXESO_CORE_PEXESO_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "grid/hierarchical_grid.h"
+#include "invindex/inverted_index.h"
+#include "pivot/pivot_space.h"
+#include "vec/column_catalog.h"
+#include "vec/metric.h"
+
+namespace pexeso {
+
+/// \brief Index construction options.
+struct PexesoOptions {
+  /// |P|: number of pivots. Paper tunes 1..9; defaults to the OPEN optimum.
+  uint32_t num_pivots = 5;
+  /// m: number of hierarchical-grid levels. 0 = pick via the cost model.
+  uint32_t levels = 6;
+  /// Pivot selection strategy: PCA-based [22] (paper choice) or random.
+  enum class PivotStrategy { kPca, kRandom } pivot_strategy = PivotStrategy::kPca;
+  /// Seed for pivot selection sampling.
+  uint64_t seed = 17;
+};
+
+/// \brief The offline side of PEXESO: the embedded repository plus every
+/// search structure of Section III (pivot space, mapped vectors, HGRV, and
+/// the inverted index). Owns the catalog it was built over.
+class PexesoIndex {
+ public:
+  PexesoIndex() = default;
+  PexesoIndex(PexesoIndex&&) = default;
+  PexesoIndex& operator=(PexesoIndex&&) = default;
+
+  /// Builds the index over `catalog` (moved in; vectors should already be
+  /// unit-normalized). `metric` is borrowed and must outlive the index.
+  static PexesoIndex Build(ColumnCatalog catalog, const Metric* metric,
+                           const PexesoOptions& options);
+
+  /// Appends a new column (Section III-E): pivot-maps its vectors, inserts
+  /// them into the grid chain and the postings lists. Returns the ColumnId.
+  ColumnId AppendColumn(ColumnMeta meta, const float* packed, size_t count);
+
+  /// Logically deletes a column: it is tombstoned and skipped by every
+  /// searcher. Postings stay in place until Compact().
+  void DeleteColumn(ColumnId column);
+
+  /// Rebuilds the index without tombstoned columns, reclaiming their space.
+  /// Column ids are compacted (survivors keep their relative order and their
+  /// ColumnMeta::source_id, which callers should use for stable identity).
+  /// Returns the number of columns dropped.
+  size_t Compact();
+
+  bool IsDeleted(ColumnId column) const {
+    return column < tombstones_.size() && tombstones_[column] != 0;
+  }
+
+  const ColumnCatalog& catalog() const { return catalog_; }
+  const PivotSpace& pivots() const { return pivots_; }
+  const HierarchicalGrid& grid() const { return grid_; }
+  const InvertedIndex& inverted_index() const { return inv_; }
+  const Metric* metric() const { return metric_; }
+  const PexesoOptions& options() const { return options_; }
+
+  /// Mapped repository vector v (|P| doubles).
+  const double* MappedVec(VecId v) const {
+    return mapped_.data() + static_cast<size_t>(v) * pivots_.num_pivots();
+  }
+  const std::vector<double>& mapped() const { return mapped_; }
+
+  /// Index footprint (pivots + mapped vectors + grid + inverted index),
+  /// excluding the raw repository vectors; reproduces Figure 6b/10b sizing.
+  size_t IndexSizeBytes() const;
+
+  /// Serializes index + catalog to `path` (used by partition files).
+  Status Save(const std::string& path) const;
+
+  /// Loads an index previously written by Save. `metric` must match the one
+  /// used at build time.
+  static Result<PexesoIndex> Load(const std::string& path,
+                                  const Metric* metric);
+
+ private:
+  ColumnCatalog catalog_;
+  PivotSpace pivots_;
+  std::vector<double> mapped_;  ///< |RV| x |P| pivot-space coordinates
+  HierarchicalGrid grid_;
+  InvertedIndex inv_;
+  std::vector<uint8_t> tombstones_;
+  const Metric* metric_ = nullptr;
+  PexesoOptions options_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_CORE_PEXESO_INDEX_H_

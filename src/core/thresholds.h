@@ -1,0 +1,45 @@
+#ifndef PEXESO_CORE_THRESHOLDS_H_
+#define PEXESO_CORE_THRESHOLDS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "vec/metric.h"
+
+namespace pexeso {
+
+/// \brief Absolute thresholds for one search: the distance threshold tau and
+/// the joinability count threshold T (number of query records that must have
+/// at least one match).
+struct SearchThresholds {
+  double tau = 0.0;
+  uint32_t t_abs = 1;
+};
+
+/// \brief Fractional threshold specification (Section V of the paper).
+///
+/// Users give tau as a fraction of the maximum distance between unit-length
+/// vectors (e.g. 0.06 = "6% of max distance", the paper default) and T as a
+/// fraction of the query column size (paper default 0.6). Vectors must be
+/// unit-normalized for the max distance to be fixed.
+struct FractionalThresholds {
+  double tau_fraction = 0.06;
+  double t_fraction = 0.60;
+
+  /// Resolves to absolute thresholds for a query of `query_size` records
+  /// under `metric` at dimensionality `dim`.
+  SearchThresholds Resolve(const Metric& metric, uint32_t dim,
+                           size_t query_size) const {
+    SearchThresholds out;
+    out.tau = tau_fraction * metric.MaxUnitDistance(dim);
+    out.t_abs = static_cast<uint32_t>(
+        std::max<int64_t>(1, static_cast<int64_t>(std::ceil(
+                                 t_fraction * static_cast<double>(query_size)))));
+    return out;
+  }
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_CORE_THRESHOLDS_H_

@@ -1,0 +1,45 @@
+#include "core/topk.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/thread_pool.h"
+
+namespace pexeso {
+
+std::vector<JoinableColumn> SearchTopK(const PexesoSearcher& searcher,
+                                       const VectorStore& query, double tau,
+                                       size_t k, SearchStats* stats) {
+  SearchOptions options;
+  options.thresholds.tau = tau;
+  options.thresholds.t_abs = 1;
+  options.exact_joinability = true;
+  std::vector<JoinableColumn> all = searcher.Search(query, options, stats);
+  std::sort(all.begin(), all.end(),
+            [](const JoinableColumn& a, const JoinableColumn& b) {
+              if (a.joinability != b.joinability) {
+                return a.joinability > b.joinability;
+              }
+              return a.column < b.column;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<std::vector<JoinableColumn>> SearchBatch(
+    const PexesoIndex& index, const std::vector<VectorStore>& queries,
+    const SearchOptions& options, size_t num_threads, SearchStats* stats) {
+  std::vector<std::vector<JoinableColumn>> results(queries.size());
+  std::vector<SearchStats> per_thread(queries.size());
+  ThreadPool pool(std::max<size_t>(1, num_threads));
+  pool.ParallelFor(queries.size(), [&](size_t i) {
+    PexesoSearcher searcher(&index);
+    results[i] = searcher.Search(queries[i], options, &per_thread[i]);
+  });
+  if (stats != nullptr) {
+    for (const auto& s : per_thread) *stats += s;
+  }
+  return results;
+}
+
+}  // namespace pexeso

@@ -1,0 +1,34 @@
+#ifndef PEXESO_CORE_TOPK_H_
+#define PEXESO_CORE_TOPK_H_
+
+#include <vector>
+
+#include "core/searcher.h"
+
+namespace pexeso {
+
+/// \brief Top-k joinable column search — the ranking variant suggested by
+/// the related-work discussion (Bogatu et al. find top-k related tables).
+///
+/// Returns the k columns with the highest joinability to the query under
+/// distance threshold tau, ordered by decreasing joinability (ties by
+/// ascending column id). Implemented as an exact-joinability search with the
+/// column-count threshold relaxed to 1 match, then ranked; the inverted
+/// index and blocking do all the pruning, and Lemma 7 still kills columns
+/// that cannot beat the current k-th joinability.
+std::vector<JoinableColumn> SearchTopK(const PexesoSearcher& searcher,
+                                       const VectorStore& query, double tau,
+                                       size_t k,
+                                       SearchStats* stats = nullptr);
+
+/// \brief Batch search: runs one query column per thread across a pool.
+/// Results are positionally aligned with `queries`. The index is shared
+/// read-only; each worker keeps its own SearchStats, summed into `stats`.
+std::vector<std::vector<JoinableColumn>> SearchBatch(
+    const PexesoIndex& index, const std::vector<VectorStore>& queries,
+    const SearchOptions& options, size_t num_threads,
+    SearchStats* stats = nullptr);
+
+}  // namespace pexeso
+
+#endif  // PEXESO_CORE_TOPK_H_

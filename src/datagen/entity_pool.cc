@@ -1,0 +1,118 @@
+#include "datagen/entity_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace pexeso {
+
+namespace {
+
+/// Pronounceable random word from syllables, 2-4 syllables.
+std::string RandomWord(Rng* rng) {
+  static const char* kConsonants = "bcdfghjklmnprstvwz";
+  static const char* kVowels = "aeiou";
+  const int syllables = 2 + static_cast<int>(rng->Uniform(3));
+  std::string w;
+  for (int s = 0; s < syllables; ++s) {
+    w.push_back(kConsonants[rng->Uniform(18)]);
+    w.push_back(kVowels[rng->Uniform(5)]);
+    if (rng->Bernoulli(0.25)) w.push_back(kConsonants[rng->Uniform(18)]);
+  }
+  return w;
+}
+
+/// One random character-level edit (substitute / delete / insert / swap).
+std::string Misspell(Rng* rng, const std::string& s) {
+  if (s.size() < 2) return s + "x";
+  std::string out = s;
+  const size_t pos = rng->Uniform(out.size());
+  switch (rng->Uniform(4)) {
+    case 0:  // substitute
+      out[pos] = static_cast<char>('a' + rng->Uniform(26));
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    case 2:  // insert
+      out.insert(pos, 1, static_cast<char>('a' + rng->Uniform(26)));
+      break;
+    default:  // transpose
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      else std::swap(out[pos - 1], out[pos]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> Entity::AllForms() const {
+  std::vector<std::string> out{canonical};
+  for (const auto& [v, kind] : variants) out.push_back(v);
+  return out;
+}
+
+EntityPool EntityPool::Generate(const Options& options) {
+  EntityPool pool;
+  Rng rng(options.seed);
+  pool.entities_.reserve(options.num_entities);
+  for (size_t e = 0; e < options.num_entities; ++e) {
+    Entity ent;
+    ent.canonical =
+        RandomPhrase(&rng, options.words_min, options.words_max);
+    // Misspellings: edit a random word of the phrase.
+    for (uint32_t k = 0; k < options.misspellings_per_entity; ++k) {
+      auto words = SplitWhitespace(ent.canonical);
+      const size_t w = rng.Uniform(words.size());
+      words[w] = Misspell(&rng, words[w]);
+      ent.variants.emplace_back(Join(words, " "), VariantKind::kMisspelling);
+    }
+    // Format variants: reverse word order with a comma (multi-word), or
+    // first-letter initialism of the leading word.
+    for (uint32_t k = 0; k < options.formats_per_entity; ++k) {
+      auto words = SplitWhitespace(ent.canonical);
+      if (words.size() >= 2) {
+        std::reverse(words.begin(), words.end());
+        ent.variants.emplace_back(words[0] + ", " +
+                                      Join({words.begin() + 1, words.end()},
+                                           " "),
+                                  VariantKind::kFormat);
+      } else {
+        ent.variants.emplace_back(
+            std::string(1, ent.canonical[0]) + ". " + ent.canonical,
+            VariantKind::kFormat);
+      }
+    }
+    // Synonyms: entirely different phrases registered in the dictionary.
+    for (uint32_t k = 0; k < options.synonyms_per_entity; ++k) {
+      std::string syn =
+          RandomPhrase(&rng, options.words_min, options.words_max);
+      pool.dict_.Add(ent.canonical, syn);
+      ent.variants.emplace_back(std::move(syn), VariantKind::kSynonym);
+    }
+    pool.entities_.push_back(std::move(ent));
+  }
+  return pool;
+}
+
+const std::string& EntityPool::Surface(size_t i, double variant_prob,
+                                       Rng* rng) const {
+  PEXESO_DCHECK(i < entities_.size());
+  const Entity& e = entities_[i];
+  if (e.variants.empty() || !rng->Bernoulli(variant_prob)) {
+    return e.canonical;
+  }
+  return e.variants[rng->Uniform(e.variants.size())].first;
+}
+
+std::string EntityPool::RandomPhrase(Rng* rng, uint32_t words_min,
+                                     uint32_t words_max) {
+  const uint32_t n =
+      words_min + static_cast<uint32_t>(rng->Uniform(words_max - words_min + 1));
+  std::vector<std::string> words;
+  for (uint32_t w = 0; w < n; ++w) words.push_back(RandomWord(rng));
+  return Join(words, " ");
+}
+
+}  // namespace pexeso

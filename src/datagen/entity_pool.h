@@ -1,0 +1,68 @@
+#ifndef PEXESO_DATAGEN_ENTITY_POOL_H_
+#define PEXESO_DATAGEN_ENTITY_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "embed/synonym_model.h"
+
+namespace pexeso {
+
+/// \brief Kinds of surface forms an entity can appear under in the lake —
+/// the heterogeneity the paper motivates PEXESO with (Table I).
+enum class VariantKind : uint8_t {
+  kCanonical = 0,
+  kMisspelling = 1,  ///< 1-2 character edits: caught by char-level embedding
+  kFormat = 2,       ///< word reorder / initialisms: partially char-level
+  kSynonym = 3,      ///< different words, same meaning: needs semantics
+};
+
+/// \brief One synthetic entity with its canonical name and variant forms.
+struct Entity {
+  std::string canonical;
+  std::vector<std::pair<std::string, VariantKind>> variants;
+
+  /// All surface forms including the canonical one.
+  std::vector<std::string> AllForms() const;
+};
+
+/// \brief Pool of synthetic entities playing the role of a real-world
+/// domain (company names, product names, ...). Synonym variants are
+/// registered in the pool's SynonymDictionary so a SynonymModel embeds them
+/// near their canonical form — the stand-in for pre-trained semantics.
+class EntityPool {
+ public:
+  struct Options {
+    size_t num_entities = 300;
+    uint32_t words_min = 1;
+    uint32_t words_max = 3;
+    uint32_t misspellings_per_entity = 2;
+    uint32_t formats_per_entity = 1;
+    uint32_t synonyms_per_entity = 1;
+    uint64_t seed = 59;
+  };
+
+  static EntityPool Generate(const Options& options);
+
+  size_t size() const { return entities_.size(); }
+  const Entity& entity(size_t i) const { return entities_[i]; }
+  const SynonymDictionary& dict() const { return dict_; }
+
+  /// A surface form of entity i: with probability `variant_prob` a random
+  /// variant, otherwise the canonical form.
+  const std::string& Surface(size_t i, double variant_prob, Rng* rng) const;
+
+  /// Random word-like string from the same alphabet (for noise records).
+  static std::string RandomPhrase(Rng* rng, uint32_t words_min,
+                                  uint32_t words_max);
+
+ private:
+  std::vector<Entity> entities_;
+  SynonymDictionary dict_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_DATAGEN_ENTITY_POOL_H_

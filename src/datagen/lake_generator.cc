@@ -1,0 +1,90 @@
+#include "datagen/lake_generator.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace pexeso {
+
+double GeneratedLake::TrueJoinability(
+    const std::vector<int64_t>& query_entities, size_t table) const {
+  PEXESO_CHECK(table < key_entities.size());
+  std::unordered_set<int64_t> present;
+  for (int64_t e : key_entities[table]) {
+    if (e >= 0) present.insert(e);
+  }
+  if (query_entities.empty()) return 0.0;
+  size_t hits = 0;
+  for (int64_t e : query_entities) {
+    if (e >= 0 && present.count(e)) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(query_entities.size());
+}
+
+GeneratedLake LakeGenerator::Generate(const Options& options) {
+  GeneratedLake lake;
+  lake.pool = EntityPool::Generate(options.pool);
+  Rng rng(options.seed);
+
+  const uint32_t total = options.num_related_tables + options.num_noise_tables;
+  lake.tables.reserve(total);
+  lake.key_entities.reserve(total);
+
+  auto add_numeric_cols = [&](RawTable* t, size_t rows) {
+    for (uint32_t c = 0; c < options.numeric_cols; ++c) {
+      RawColumn col;
+      col.name = "metric_" + std::to_string(c);
+      for (size_t r = 0; r < rows; ++r) {
+        col.values.push_back(std::to_string(rng.UniformInt(0, 1000000)));
+      }
+      t->columns.push_back(std::move(col));
+    }
+  };
+
+  for (uint32_t t = 0; t < total; ++t) {
+    const bool related = t < options.num_related_tables;
+    const size_t rows =
+        options.rows_min + rng.Uniform(options.rows_max - options.rows_min + 1);
+    RawTable table;
+    table.name = (related ? "related_" : "noise_") + std::to_string(t);
+    RawColumn key;
+    key.name = "name";
+    std::vector<int64_t> entities;
+    const double overlap =
+        related ? rng.UniformDouble(options.overlap_min, options.overlap_max)
+                : 0.0;
+    for (size_t r = 0; r < rows; ++r) {
+      if (related && rng.Bernoulli(overlap)) {
+        const size_t e = rng.Uniform(lake.pool.size());
+        key.values.push_back(
+            lake.pool.Surface(e, options.variant_prob, &rng));
+        entities.push_back(static_cast<int64_t>(e));
+      } else {
+        key.values.push_back(EntityPool::RandomPhrase(
+            &rng, options.pool.words_min, options.pool.words_max));
+        entities.push_back(-1);
+      }
+    }
+    table.columns.push_back(std::move(key));
+    add_numeric_cols(&table, rows);
+    lake.tables.push_back(std::move(table));
+    lake.key_entities.push_back(std::move(entities));
+  }
+  return lake;
+}
+
+GeneratedQuery LakeGenerator::MakeQuery(const GeneratedLake& lake, size_t size,
+                                        double variant_prob, uint64_t seed) {
+  Rng rng(seed);
+  GeneratedQuery q;
+  size = std::min(size, lake.pool.size());
+  auto picks = rng.SampleIndices(lake.pool.size(), size);
+  for (size_t e : picks) {
+    q.records.push_back(lake.pool.Surface(e, variant_prob, &rng));
+    q.entities.push_back(static_cast<int64_t>(e));
+  }
+  return q;
+}
+
+}  // namespace pexeso

@@ -1,0 +1,70 @@
+#ifndef PEXESO_DATAGEN_LAKE_GENERATOR_H_
+#define PEXESO_DATAGEN_LAKE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/entity_pool.h"
+#include "table/table.h"
+
+namespace pexeso {
+
+/// \brief A synthetic data lake with known join ground truth: `related`
+/// tables draw their key column from the query entity pool (under variant
+/// surface forms), `noise` tables draw from disjoint pools. Every table also
+/// carries numeric payload columns so the repository pipeline exercises type
+/// detection.
+struct GeneratedLake {
+  std::vector<RawTable> tables;
+  /// Per table, per row of the key column: entity id in the query pool, or
+  /// -1 for noise records.
+  std::vector<std::vector<int64_t>> key_entities;
+  EntityPool pool;  ///< the query-domain entity pool (owns the synonym dict)
+
+  /// Ground-truth joinability of `query_entities` against table t: the
+  /// fraction of query records whose entity occurs in the table's key
+  /// column. This is the stand-in for the paper's human labeling.
+  double TrueJoinability(const std::vector<int64_t>& query_entities,
+                         size_t table) const;
+};
+
+/// \brief A query column sampled from the lake's entity pool.
+struct GeneratedQuery {
+  std::vector<std::string> records;
+  std::vector<int64_t> entities;
+};
+
+class LakeGenerator {
+ public:
+  struct Options {
+    /// Query-domain entity pool. Sized so that related tables cover a
+    /// substantial share of it — otherwise no table could ever be truly
+    /// joinable with a query sampled from the pool.
+    EntityPool::Options pool = [] {
+      EntityPool::Options p;
+      p.num_entities = 60;
+      return p;
+    }();
+    uint32_t num_related_tables = 40;
+    uint32_t num_noise_tables = 60;
+    uint32_t rows_min = 10;
+    uint32_t rows_max = 50;
+    /// Entity-overlap fraction range of related tables.
+    double overlap_min = 0.2;
+    double overlap_max = 0.95;
+    /// Probability that a pool record appears under a variant form.
+    double variant_prob = 0.5;
+    uint32_t numeric_cols = 2;
+    uint64_t seed = 61;
+  };
+
+  static GeneratedLake Generate(const Options& options);
+
+  /// Samples a query column of `size` records from the lake's pool.
+  static GeneratedQuery MakeQuery(const GeneratedLake& lake, size_t size,
+                                  double variant_prob, uint64_t seed);
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_DATAGEN_LAKE_GENERATOR_H_

@@ -1,0 +1,170 @@
+#include "datagen/ml_task.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace pexeso {
+
+MlTask MlTaskGenerator::Generate(const Options& options) {
+  MlTask task;
+  task.regression = options.regression;
+  task.num_classes = options.num_classes;
+  Rng rng(options.seed);
+
+  EntityPool::Options popts;
+  popts.num_entities = options.num_entities;
+  popts.seed = options.seed + 1;
+  task.pool = EntityPool::Generate(popts);
+
+  // Latent factors per entity; labels depend on them.
+  const uint32_t ld = options.latent_dim;
+  std::vector<float> latents(options.num_entities * ld);
+  std::vector<float> targets(options.num_entities);
+  std::vector<float> class_means(options.num_classes * ld);
+  for (auto& x : class_means) x = static_cast<float>(rng.Normal() * 2.0);
+  std::vector<double> reg_w(ld);
+  for (auto& w : reg_w) w = rng.Normal();
+
+  for (size_t e = 0; e < options.num_entities; ++e) {
+    if (options.regression) {
+      float* z = latents.data() + e * ld;
+      for (uint32_t j = 0; j < ld; ++j) {
+        z[j] = static_cast<float>(rng.Normal());
+      }
+      double y = 0.0;
+      for (uint32_t j = 0; j < ld; ++j) y += reg_w[j] * z[j];
+      targets[e] = static_cast<float>(y + rng.Normal() * 0.3);
+    } else {
+      const uint32_t cls =
+          static_cast<uint32_t>(rng.Uniform(options.num_classes));
+      float* z = latents.data() + e * ld;
+      const float* mean = class_means.data() + cls * ld;
+      for (uint32_t j = 0; j < ld; ++j) {
+        z[j] = mean[j] + static_cast<float>(rng.Normal() * 0.6);
+      }
+      targets[e] = static_cast<float>(cls);
+    }
+  }
+
+  // Query table: canonical keys, weak base features.
+  const size_t qrows = std::min(options.query_rows, options.num_entities);
+  auto picks = rng.SampleIndices(options.num_entities, qrows);
+  task.base.num_features = options.base_features;
+  for (uint32_t f = 0; f < options.base_features; ++f) {
+    task.base.feature_names.push_back("base_" + std::to_string(f));
+  }
+  std::vector<float> row(options.base_features);
+  for (size_t e : picks) {
+    task.query_keys.push_back(task.pool.entity(e).canonical);
+    task.query_entities.push_back(static_cast<int64_t>(e));
+    const float* z = latents.data() + e * ld;
+    for (uint32_t f = 0; f < options.base_features; ++f) {
+      row[f] = z[f % ld] + static_cast<float>(rng.Normal() *
+                                              options.base_noise);
+    }
+    task.base.AddRow(row, targets[e]);
+  }
+
+  // Lake feature tables: variant keys + strong attribute views. Attribute
+  // names come from a shared pool so different tables collide (paper's
+  // second conflict type, resolved by summing).
+  const std::vector<std::string> attr_name_pool = {
+      "score", "volume", "index", "rank", "weight", "ratio"};
+  for (uint32_t t = 0; t < options.num_tables; ++t) {
+    MlTask::FeatureTable table;
+    table.name = "feature_table_" + std::to_string(t);
+    for (uint32_t a = 0; a < options.attrs_per_table; ++a) {
+      table.attr_names.push_back(
+          attr_name_pool[(t + a) % attr_name_pool.size()]);
+    }
+    table.attrs.assign(options.attrs_per_table, {});
+    // Which latent each attribute reveals.
+    std::vector<uint32_t> attr_latent(options.attrs_per_table);
+    for (auto& al : attr_latent) {
+      al = static_cast<uint32_t>(rng.Uniform(ld));
+    }
+    for (size_t e = 0; e < options.num_entities; ++e) {
+      if (!rng.Bernoulli(options.coverage)) continue;
+      table.keys.push_back(
+          task.pool.Surface(e, options.variant_prob, &rng));
+      table.entities.push_back(static_cast<int64_t>(e));
+      const float* z = latents.data() + e * ld;
+      for (uint32_t a = 0; a < options.attrs_per_table; ++a) {
+        table.attrs[a].push_back(
+            z[attr_latent[a]] +
+            static_cast<float>(rng.Normal() * options.attr_noise));
+      }
+    }
+    task.tables.push_back(std::move(table));
+  }
+  return task;
+}
+
+Dataset AssembleEnriched(const MlTask& task, const JoinMap& join_map) {
+  PEXESO_CHECK(join_map.size() == task.tables.size());
+  const size_t qrows = task.query_keys.size();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+
+  // Collect the distinct attribute names across tables (conflict groups).
+  std::vector<std::string> names;
+  std::unordered_map<std::string, size_t> name_idx;
+  for (const auto& t : task.tables) {
+    for (const auto& n : t.attr_names) {
+      if (!name_idx.count(n)) {
+        name_idx[n] = names.size();
+        names.push_back(n);
+      }
+    }
+  }
+
+  Dataset out;
+  out.num_features = task.base.num_features + names.size();
+  out.feature_names = task.base.feature_names;
+  for (const auto& n : names) out.feature_names.push_back("joined_" + n);
+  out.y = task.base.y;
+
+  out.x.assign(qrows * out.num_features, nan);
+  for (size_t r = 0; r < qrows; ++r) {
+    float* dst = out.x.data() + r * out.num_features;
+    const float* src = task.base.Row(r);
+    std::copy(src, src + task.base.num_features, dst);
+    // Sum matched attribute values per conflict group.
+    std::vector<double> sums(names.size(), 0.0);
+    std::vector<bool> any(names.size(), false);
+    for (size_t t = 0; t < task.tables.size(); ++t) {
+      const int32_t match = join_map[t][r];
+      if (match < 0) continue;
+      const auto& table = task.tables[t];
+      for (size_t a = 0; a < table.attr_names.size(); ++a) {
+        const size_t g = name_idx.at(table.attr_names[a]);
+        sums[g] += table.attrs[a][static_cast<size_t>(match)];
+        any[g] = true;
+      }
+    }
+    for (size_t g = 0; g < names.size(); ++g) {
+      if (any[g]) {
+        dst[task.base.num_features + g] = static_cast<float>(sums[g]);
+      }
+    }
+  }
+  out.ImputeMissing();
+  return out;
+}
+
+double JoinMatchRatio(const JoinMap& join_map) {
+  size_t probes = 0, hits = 0;
+  for (const auto& per_table : join_map) {
+    for (int32_t m : per_table) {
+      ++probes;
+      if (m >= 0) ++hits;
+    }
+  }
+  return probes == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(probes);
+}
+
+}  // namespace pexeso

@@ -1,0 +1,79 @@
+#ifndef PEXESO_DATAGEN_ML_TASK_H_
+#define PEXESO_DATAGEN_ML_TASK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/entity_pool.h"
+#include "ml/dataset.h"
+
+namespace pexeso {
+
+/// \brief Synthetic stand-in for the Section VI-C prediction tasks
+/// (company-category classification, toy-category classification, video-game
+/// sales regression).
+///
+/// Mechanism (matching the paper's): every entity has a latent factor
+/// vector; the label depends on the latents; the query table only carries a
+/// weak noisy view of them, while the lake's feature tables carry strong
+/// attribute views — but keyed by *variant* entity names. A join method that
+/// finds more correct matches imports more informative features; false
+/// matches import another entity's attributes (noise).
+struct MlTask {
+  bool regression = false;
+  uint32_t num_classes = 2;
+
+  /// Query table: key strings (mostly canonical), base features, targets.
+  std::vector<std::string> query_keys;
+  std::vector<int64_t> query_entities;
+  Dataset base;  ///< base features only, y filled with the targets
+
+  /// Feature tables in the lake. Keys appear under variant surface forms.
+  struct FeatureTable {
+    std::string name;
+    std::vector<std::string> keys;
+    std::vector<int64_t> entities;           ///< per row
+    std::vector<std::string> attr_names;     ///< shared name pool
+    std::vector<std::vector<float>> attrs;   ///< [attr][row]
+  };
+  std::vector<FeatureTable> tables;
+
+  EntityPool pool;  ///< owns the synonym dictionary
+};
+
+class MlTaskGenerator {
+ public:
+  struct Options {
+    bool regression = false;
+    uint32_t num_classes = 8;
+    size_t num_entities = 400;
+    size_t query_rows = 300;
+    uint32_t latent_dim = 6;
+    uint32_t base_features = 3;
+    double base_noise = 2.0;       ///< weak view: high noise
+    uint32_t num_tables = 12;
+    uint32_t attrs_per_table = 2;
+    double attr_noise = 0.3;       ///< strong view: low noise
+    double coverage = 0.8;         ///< fraction of entities present per table
+    double variant_prob = 0.75;    ///< lake keys appear as variants
+    uint64_t seed = 83;
+  };
+
+  static MlTask Generate(const Options& options);
+};
+
+/// Per (query row, feature table) match: row index in the table, -1 = none.
+using JoinMap = std::vector<std::vector<int32_t>>;  // [table][query_row]
+
+/// \brief Assembles the enriched dataset from a join map: one feature per
+/// shared attribute name, values summed over the tables that matched (the
+/// paper's conflict resolution), NaN when nothing matched, then imputed.
+Dataset AssembleEnriched(const MlTask& task, const JoinMap& join_map);
+
+/// Fraction of (query row, table) probes that found a match ("# Match").
+double JoinMatchRatio(const JoinMap& join_map);
+
+}  // namespace pexeso
+
+#endif  // PEXESO_DATAGEN_ML_TASK_H_

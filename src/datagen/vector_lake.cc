@@ -1,0 +1,142 @@
+#include "datagen/vector_lake.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/rng.h"
+
+namespace pexeso {
+
+namespace {
+
+void ClusterCenters(const VectorLakeOptions& options,
+                    std::vector<float>* centers) {
+  Rng rng(options.seed);
+  centers->assign(static_cast<size_t>(options.num_clusters) * options.dim,
+                  0.0f);
+  for (uint32_t c = 0; c < options.num_clusters; ++c) {
+    float* ctr = centers->data() + static_cast<size_t>(c) * options.dim;
+    for (uint32_t j = 0; j < options.dim; ++j) {
+      ctr[j] = static_cast<float>(rng.Normal());
+    }
+    VectorStore::NormalizeInPlace(ctr, options.dim);
+  }
+}
+
+void DrawAround(Rng* rng, const float* center, uint32_t dim, double sigma,
+                float* out) {
+  // Per-point lognormal radius around `sigma`, spread across dimensions so
+  // the expected distance to the center is ~sigma regardless of dim.
+  const double scale =
+      sigma * std::exp(0.8 * rng->Normal()) / std::sqrt(static_cast<double>(dim));
+  for (uint32_t j = 0; j < dim; ++j) {
+    out[j] = center[j] + static_cast<float>(rng->Normal() * scale);
+  }
+  VectorStore::NormalizeInPlace(out, dim);
+}
+
+}  // namespace
+
+ColumnCatalog GenerateVectorLake(const VectorLakeOptions& options) {
+  std::vector<float> centers;
+  ClusterCenters(options, &centers);
+  Rng rng(options.seed ^ 0xDA7AULL);
+  ColumnCatalog catalog(options.dim);
+  std::vector<float> packed;
+  std::vector<float> v(options.dim);
+  for (uint32_t col = 0; col < options.num_columns; ++col) {
+    // Lognormal-ish column size around the average.
+    const double ln = std::exp(rng.Normal() * options.col_size_spread);
+    const size_t rows = std::max<size_t>(
+        3, static_cast<size_t>(options.avg_col_size * ln + 0.5));
+    // Columns are topically coherent: most records come from one or two
+    // clusters (as real key columns do).
+    const uint32_t main_cluster =
+        static_cast<uint32_t>(rng.Uniform(options.num_clusters));
+    const uint32_t alt_cluster =
+        static_cast<uint32_t>(rng.Uniform(options.num_clusters));
+    packed.clear();
+    packed.reserve(rows * options.dim);
+    for (size_t r = 0; r < rows; ++r) {
+      const uint32_t cluster = rng.Bernoulli(0.8) ? main_cluster : alt_cluster;
+      DrawAround(&rng,
+                 centers.data() + static_cast<size_t>(cluster) * options.dim,
+                 options.dim, options.cluster_sigma, v.data());
+      packed.insert(packed.end(), v.begin(), v.end());
+    }
+    ColumnMeta meta;
+    meta.table_id = col;
+    meta.source_id = col;
+    meta.table_name = "table_" + std::to_string(col);
+    meta.column_name = "key";
+    catalog.AddColumn(meta, packed.data(), rows);
+  }
+  return catalog;
+}
+
+VectorStore GenerateVectorQuery(const VectorLakeOptions& options, size_t size,
+                                uint64_t query_seed) {
+  std::vector<float> centers;
+  ClusterCenters(options, &centers);
+  Rng rng(query_seed);
+  VectorStore store(options.dim);
+  store.Reserve(size);
+  std::vector<float> v(options.dim);
+  // Queries are also topically coherent.
+  const uint32_t main_cluster =
+      static_cast<uint32_t>(rng.Uniform(options.num_clusters));
+  for (size_t r = 0; r < size; ++r) {
+    const uint32_t cluster =
+        rng.Bernoulli(0.7)
+            ? main_cluster
+            : static_cast<uint32_t>(rng.Uniform(options.num_clusters));
+    DrawAround(&rng, centers.data() + static_cast<size_t>(cluster) * options.dim,
+               options.dim, options.cluster_sigma, v.data());
+    store.Add(v);
+  }
+  return store;
+}
+
+VectorLakeOptions BenchProfiles::OpenLike(double scale) {
+  VectorLakeOptions o;
+  o.dim = 300;
+  o.num_columns = std::max(10, static_cast<int>(200 * scale));
+  o.avg_col_size = 80.0;  // long columns (paper: 796 vectors/col average)
+  o.col_size_spread = 0.8;
+  o.num_clusters = 48;
+  o.seed = 71;
+  return o;
+}
+
+VectorLakeOptions BenchProfiles::SwdcLike(double scale) {
+  VectorLakeOptions o;
+  o.dim = 50;
+  o.num_columns = std::max(20, static_cast<int>(4000 * scale));
+  o.avg_col_size = 16.7;  // short web-table columns
+  o.col_size_spread = 0.5;
+  o.num_clusters = 96;
+  o.seed = 73;
+  return o;
+}
+
+VectorLakeOptions BenchProfiles::LwdcLike(double scale) {
+  VectorLakeOptions o;
+  o.dim = 50;
+  o.num_columns = std::max(50, static_cast<int>(12000 * scale));
+  o.avg_col_size = 12.3;
+  o.col_size_spread = 0.5;
+  o.num_clusters = 128;
+  o.seed = 79;
+  return o;
+}
+
+double BenchProfiles::EnvScale(double def) {
+  const char* env = std::getenv("PEXESO_BENCH_SCALE");
+  if (env == nullptr) return def;
+  const double v = std::atof(env);
+  if (v <= 0.0) return def;
+  return std::min(100.0, std::max(0.01, v));
+}
+
+}  // namespace pexeso

@@ -1,0 +1,55 @@
+#ifndef PEXESO_DATAGEN_VECTOR_LAKE_H_
+#define PEXESO_DATAGEN_VECTOR_LAKE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "vec/column_catalog.h"
+
+namespace pexeso {
+
+/// \brief Direct generator of embedded repositories for the efficiency
+/// benchmarks: columns of unit vectors drawn around shared cluster centers
+/// with log-normal-ish column sizes. Mimics the *shape* statistics of the
+/// paper's datasets (Table III) at laptop scale — dimensionality, columns,
+/// average vectors/column — without going through strings, so the
+/// efficiency benches measure search, not embedding.
+struct VectorLakeOptions {
+  uint32_t dim = 50;
+  uint32_t num_columns = 2000;
+  double avg_col_size = 16.0;
+  double col_size_spread = 0.6;  ///< lognormal sigma of column sizes
+  uint32_t num_clusters = 64;
+  /// Scale of within-cluster pair distances. Per-point noise is drawn
+  /// lognormally around this so that pair distances span the paper's tau
+  /// range (2%-8% of the max distance 2): some pairs match at tight tau,
+  /// more match as tau loosens.
+  double cluster_sigma = 0.06;
+  uint64_t seed = 67;
+};
+
+ColumnCatalog GenerateVectorLake(const VectorLakeOptions& options);
+
+/// A query column drawn from the same cluster structure (same seed derives
+/// the same centers), `size` vectors.
+VectorStore GenerateVectorQuery(const VectorLakeOptions& options, size_t size,
+                                uint64_t query_seed);
+
+/// \brief Scaled-down profiles of the paper's datasets (Table III). `scale`
+/// in (0, 1] multiplies the column count; PEXESO_BENCH_SCALE in the
+/// environment rescales every bench uniformly.
+struct BenchProfiles {
+  /// OPEN: few, long columns; 300-d fastText.
+  static VectorLakeOptions OpenLike(double scale);
+  /// SWDC: many short columns; 50-d GloVe.
+  static VectorLakeOptions SwdcLike(double scale);
+  /// LWDC: the out-of-core profile (larger than SWDC, still 50-d).
+  static VectorLakeOptions LwdcLike(double scale);
+
+  /// Reads PEXESO_BENCH_SCALE (default `def`), clamped to [0.01, 100].
+  static double EnvScale(double def = 1.0);
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_DATAGEN_VECTOR_LAKE_H_

@@ -1,0 +1,48 @@
+#include "embed/abbrev.h"
+
+#include "common/str_util.h"
+
+namespace pexeso {
+
+AbbreviationExpander::AbbreviationExpander() {
+  // Months.
+  const char* months[][2] = {
+      {"jan", "january"}, {"feb", "february"}, {"mar", "march"},
+      {"apr", "april"},   {"jun", "june"},     {"jul", "july"},
+      {"aug", "august"},  {"sep", "september"}, {"sept", "september"},
+      {"oct", "october"}, {"nov", "november"}, {"dec", "december"}};
+  for (auto& m : months) rules_[m[0]] = m[1];
+  // Weekdays.
+  const char* days[][2] = {{"mon", "monday"}, {"tue", "tuesday"},
+                           {"wed", "wednesday"}, {"thu", "thursday"},
+                           {"fri", "friday"}, {"sat", "saturday"},
+                           {"sun", "sunday"}};
+  for (auto& d : days) rules_[d[0]] = d[1];
+  // Street / address suffixes.
+  const char* addr[][2] = {
+      {"st", "street"},  {"rd", "road"},     {"ave", "avenue"},
+      {"blvd", "boulevard"}, {"dr", "drive"}, {"ln", "lane"},
+      {"hwy", "highway"}, {"ct", "court"},   {"pl", "place"},
+      {"sq", "square"},   {"apt", "apartment"}, {"ste", "suite"},
+      {"n", "north"},     {"s", "south"},    {"e", "east"},
+      {"w", "west"},      {"mt", "mount"},   {"ft", "fort"}};
+  for (auto& a : addr) rules_[a[0]] = a[1];
+}
+
+void AbbreviationExpander::AddRule(std::string_view abbrev,
+                                   std::string_view full) {
+  rules_[ToLower(abbrev)] = ToLower(full);
+}
+
+std::string AbbreviationExpander::Expand(std::string_view value) const {
+  const auto words = WordTokens(value);
+  std::vector<std::string> out;
+  out.reserve(words.size());
+  for (const auto& w : words) {
+    auto it = rules_.find(w);
+    out.push_back(it != rules_.end() ? it->second : w);
+  }
+  return Join(out, " ");
+}
+
+}  // namespace pexeso

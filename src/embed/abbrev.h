@@ -1,0 +1,34 @@
+#ifndef PEXESO_EMBED_ABBREV_H_
+#define PEXESO_EMBED_ABBREV_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace pexeso {
+
+/// \brief Abbreviation expansion for date and address records (Section
+/// II-A): "Mar" -> "March", "St" -> "Street", etc. Word-level, lower-cased,
+/// with a built-in dictionary covering months, weekdays and common street
+/// suffixes; domain dictionaries can be merged in via AddRule.
+class AbbreviationExpander {
+ public:
+  /// Constructs with the built-in date/address dictionary.
+  AbbreviationExpander();
+
+  /// Adds/overrides a rule (both sides lower-cased).
+  void AddRule(std::string_view abbrev, std::string_view full);
+
+  /// Expands every abbreviated word in `value` to its full form; other text
+  /// (casing normalized to lower) passes through.
+  std::string Expand(std::string_view value) const;
+
+  size_t num_rules() const { return rules_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> rules_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_EMBED_ABBREV_H_

@@ -1,0 +1,52 @@
+#include "embed/char_gram_model.h"
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "vec/vector_store.h"
+
+namespace pexeso {
+
+std::vector<float> EmbeddingModel::EmbedColumn(
+    const std::vector<std::string>& values) const {
+  std::vector<float> packed;
+  packed.reserve(values.size() * dim());
+  for (const auto& v : values) {
+    auto e = EmbedRecord(v);
+    packed.insert(packed.end(), e.begin(), e.end());
+  }
+  return packed;
+}
+
+void CharGramModel::AddHashVector(std::string_view token, float weight,
+                                  float* acc) const {
+  // Each token deterministically seeds a tiny RNG that produces its
+  // "pre-trained" vector; the same token always maps to the same vector.
+  Rng rng(Fnv1a64(token.data(), token.size(), options_.seed));
+  for (uint32_t i = 0; i < options_.dim; ++i) {
+    acc[i] += weight * static_cast<float>(rng.Normal());
+  }
+}
+
+std::vector<float> CharGramModel::EmbedRecord(std::string_view value) const {
+  std::vector<float> acc(options_.dim, 0.0f);
+  const auto words = WordTokens(value);
+  for (const auto& word : words) {
+    // Whole-word vector plus boundary-marked n-grams.
+    AddHashVector(word, options_.word_weight, acc.data());
+    const std::string marked = "<" + word + ">";
+    for (uint32_t n = options_.min_gram;
+         n <= options_.max_gram && n <= marked.size(); ++n) {
+      for (size_t i = 0; i + n <= marked.size(); ++i) {
+        AddHashVector(std::string_view(marked).substr(i, n),
+                      options_.gram_weight, acc.data());
+      }
+    }
+  }
+  if (words.empty()) {
+    AddHashVector("<empty>", 1.0f, acc.data());
+  }
+  VectorStore::NormalizeInPlace(acc.data(), options_.dim);
+  return acc;
+}
+
+}  // namespace pexeso

@@ -1,0 +1,47 @@
+#ifndef PEXESO_EMBED_CHAR_GRAM_MODEL_H_
+#define PEXESO_EMBED_CHAR_GRAM_MODEL_H_
+
+#include <cstdint>
+
+#include "embed/embedding_model.h"
+
+namespace pexeso {
+
+/// \brief fastText-like subword embedding: a record is the normalized sum of
+/// deterministic hash vectors of its character n-grams (with word-boundary
+/// markers) plus whole-word vectors. Two strings that differ by a small edit
+/// share most n-grams, so their embeddings are close — exactly the
+/// "handles misspelling by character-level information" property the paper
+/// uses fastText for. Out-of-vocabulary text is no special case: every
+/// n-gram hashes to a vector.
+class CharGramModel : public EmbeddingModel {
+ public:
+  struct Options {
+    uint32_t dim = 50;
+    uint32_t min_gram = 2;
+    uint32_t max_gram = 4;
+    /// Weight of the whole-word hash vector relative to n-grams. Small by
+    /// default so single-character edits (which keep most n-grams but change
+    /// the word identity) stay nearby, as with real subword embeddings.
+    float word_weight = 0.4f;
+    float gram_weight = 1.0f;
+    uint64_t seed = 0xFA57ULL;  ///< namespace of the hash vectors
+  };
+
+  explicit CharGramModel(const Options& options) : options_(options) {}
+  CharGramModel() : CharGramModel(Options{}) {}
+
+  uint32_t dim() const override { return options_.dim; }
+  std::vector<float> EmbedRecord(std::string_view value) const override;
+  std::string Name() const override { return "chargram"; }
+
+ private:
+  /// Adds the deterministic pseudo-random unit vector of `token` into `acc`.
+  void AddHashVector(std::string_view token, float weight, float* acc) const;
+
+  Options options_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_EMBED_CHAR_GRAM_MODEL_H_

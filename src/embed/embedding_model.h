@@ -1,0 +1,44 @@
+#ifndef PEXESO_EMBED_EMBEDDING_MODEL_H_
+#define PEXESO_EMBED_EMBEDDING_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pexeso {
+
+/// \brief A record-embedding model: maps a textual record value to a dense
+/// vector in a metric space.
+///
+/// The paper treats the pre-trained model (fastText / GloVe) as a plug-in —
+/// PEXESO only requires that the output lives in a metric space. This repo
+/// cannot ship multi-GB pre-trained weights, so the concrete models below
+/// are deterministic hash-based simulations that preserve the properties the
+/// experiments rely on (see DESIGN.md "Substitutions"):
+///  - CharGramModel (fastText-like): misspellings and format variants land
+///    close, because they share most character n-grams;
+///  - WordAvgModel (GloVe-like): averaging of per-word vectors;
+///  - SynonymModel: adds a synonym dictionary so that semantically equal
+///    records ("American Indian/Alaska Native" vs "Mainland Indigenous")
+///    land close, which is the effect pre-training has in the paper.
+class EmbeddingModel {
+ public:
+  virtual ~EmbeddingModel() = default;
+
+  /// Output dimensionality.
+  virtual uint32_t dim() const = 0;
+
+  /// Embeds a record value; the result is unit-normalized.
+  virtual std::vector<float> EmbedRecord(std::string_view value) const = 0;
+
+  /// Model name for logs and dataset statistics tables.
+  virtual std::string Name() const = 0;
+
+  /// Embeds a whole column of values into a packed buffer.
+  std::vector<float> EmbedColumn(const std::vector<std::string>& values) const;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_EMBED_EMBEDDING_MODEL_H_

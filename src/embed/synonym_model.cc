@@ -1,0 +1,35 @@
+#include "embed/synonym_model.h"
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "vec/vector_store.h"
+
+namespace pexeso {
+
+void SynonymDictionary::Add(std::string_view canonical,
+                            std::string_view variant) {
+  to_canonical_[ToLower(variant)] = ToLower(canonical);
+}
+
+std::string SynonymDictionary::Canonicalize(std::string_view phrase) const {
+  const std::string key = ToLower(Trim(phrase));
+  auto it = to_canonical_.find(key);
+  return it != to_canonical_.end() ? it->second : key;
+}
+
+std::vector<float> SynonymModel::EmbedRecord(std::string_view value) const {
+  const std::string canonical = dict_->Canonicalize(value);
+  std::vector<float> v = base_->EmbedRecord(canonical);
+  // Deterministic per-surface-form jitter: distinct variants of the same
+  // canonical entity are near-identical but not equal (as with real
+  // embeddings of synonyms).
+  const std::string key = ToLower(Trim(value));
+  Rng rng(Fnv1a64(key.data(), key.size(), 0x7177E6ULL));
+  for (auto& x : v) {
+    x += static_cast<float>(rng.Normal() * jitter_);
+  }
+  VectorStore::NormalizeInPlace(v.data(), static_cast<uint32_t>(v.size()));
+  return v;
+}
+
+}  // namespace pexeso

@@ -1,0 +1,53 @@
+#ifndef PEXESO_EMBED_SYNONYM_MODEL_H_
+#define PEXESO_EMBED_SYNONYM_MODEL_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "embed/embedding_model.h"
+
+namespace pexeso {
+
+/// \brief Dictionary of synonym groups: phrases that mean the same thing map
+/// to a shared canonical form ("Pacific Islander" ->
+/// "hawaiian/guamanian/samoan"). Keys are lower-cased.
+class SynonymDictionary {
+ public:
+  /// Registers `variant` as a synonym of `canonical` (both lower-cased).
+  void Add(std::string_view canonical, std::string_view variant);
+
+  /// Canonical form of `phrase`, or `phrase` itself if unknown.
+  std::string Canonicalize(std::string_view phrase) const;
+
+  size_t size() const { return to_canonical_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> to_canonical_;
+};
+
+/// \brief Semantic wrapper around a base embedding model: records are
+/// canonicalized through a synonym dictionary before embedding, then a small
+/// deterministic per-surface-form jitter is added. Synonyms therefore land
+/// within jitter distance of each other while unrelated records stay far
+/// apart — the geometry a real pre-trained model gives the paper's
+/// motivating example (Table I).
+class SynonymModel : public EmbeddingModel {
+ public:
+  /// `base` is owned; `dict` is borrowed and must outlive the model.
+  SynonymModel(std::unique_ptr<EmbeddingModel> base,
+               const SynonymDictionary* dict, double jitter = 0.02)
+      : base_(std::move(base)), dict_(dict), jitter_(jitter) {}
+
+  uint32_t dim() const override { return base_->dim(); }
+  std::vector<float> EmbedRecord(std::string_view value) const override;
+  std::string Name() const override { return "synonym+" + base_->Name(); }
+
+ private:
+  std::unique_ptr<EmbeddingModel> base_;
+  const SynonymDictionary* dict_;
+  double jitter_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_EMBED_SYNONYM_MODEL_H_

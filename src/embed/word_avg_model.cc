@@ -1,0 +1,31 @@
+#include "embed/word_avg_model.h"
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "vec/vector_store.h"
+
+namespace pexeso {
+
+std::vector<float> WordAvgModel::EmbedRecord(std::string_view value) const {
+  std::vector<float> acc(options_.dim, 0.0f);
+  const auto words = WordTokens(value);
+  for (const auto& word : words) {
+    Rng rng(Fnv1a64(word.data(), word.size(), options_.seed));
+    for (uint32_t i = 0; i < options_.dim; ++i) {
+      acc[i] += static_cast<float>(rng.Normal());
+    }
+  }
+  if (words.empty()) {
+    Rng rng(Fnv1a64("<empty>", 7, options_.seed));
+    for (uint32_t i = 0; i < options_.dim; ++i) {
+      acc[i] += static_cast<float>(rng.Normal());
+    }
+  } else {
+    const float inv = 1.0f / static_cast<float>(words.size());
+    for (auto& x : acc) x *= inv;
+  }
+  VectorStore::NormalizeInPlace(acc.data(), options_.dim);
+  return acc;
+}
+
+}  // namespace pexeso

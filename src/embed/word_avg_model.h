@@ -1,0 +1,34 @@
+#ifndef PEXESO_EMBED_WORD_AVG_MODEL_H_
+#define PEXESO_EMBED_WORD_AVG_MODEL_H_
+
+#include "embed/embedding_model.h"
+
+namespace pexeso {
+
+/// \brief GloVe-like embedding: split the record into words, map each word
+/// to a deterministic hash vector, average, and normalize. This mirrors the
+/// paper's WDC pipeline ("String values are split into English words and
+/// GloVe is used ... then we compute the average of the word embeddings").
+/// No subword information: a single-character typo in a word yields an
+/// unrelated word vector, exactly as with real word-level embeddings.
+class WordAvgModel : public EmbeddingModel {
+ public:
+  struct Options {
+    uint32_t dim = 50;
+    uint64_t seed = 0x610E7ULL;
+  };
+
+  explicit WordAvgModel(const Options& options) : options_(options) {}
+  WordAvgModel() : WordAvgModel(Options{}) {}
+
+  uint32_t dim() const override { return options_.dim; }
+  std::vector<float> EmbedRecord(std::string_view value) const override;
+  std::string Name() const override { return "wordavg"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_EMBED_WORD_AVG_MODEL_H_

@@ -1,0 +1,46 @@
+#ifndef PEXESO_GRID_CELL_KEY_H_
+#define PEXESO_GRID_CELL_KEY_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+
+#include "common/rng.h"
+
+namespace pexeso {
+
+/// Maximum pivot-space dimensionality supported by the grid. The paper tunes
+/// |P| in 1..9; 16 leaves headroom without heap-allocating coordinate keys.
+inline constexpr uint32_t kMaxPivots = 16;
+
+/// \brief Per-axis cell indices of one grid cell at some level. At level l,
+/// axis j is split into 2^l equal parts, so coord[j] is in [0, 2^l).
+struct CellCoord {
+  std::array<uint16_t, kMaxPivots> c{};
+  uint8_t ndims = 0;
+
+  bool operator==(const CellCoord& o) const {
+    return ndims == o.ndims &&
+           std::memcmp(c.data(), o.c.data(), sizeof(uint16_t) * ndims) == 0;
+  }
+
+  /// Coordinates of this cell's parent at the previous level.
+  CellCoord Parent() const {
+    CellCoord p;
+    p.ndims = ndims;
+    for (uint8_t i = 0; i < ndims; ++i) p.c[i] = c[i] >> 1;
+    return p;
+  }
+};
+
+struct CellCoordHash {
+  size_t operator()(const CellCoord& k) const {
+    return static_cast<size_t>(
+        Fnv1a64(k.c.data(), sizeof(uint16_t) * k.ndims, k.ndims));
+  }
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_GRID_CELL_KEY_H_

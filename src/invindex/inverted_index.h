@@ -1,0 +1,73 @@
+#ifndef PEXESO_INVINDEX_INVERTED_INDEX_H_
+#define PEXESO_INVINDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "grid/hierarchical_grid.h"
+#include "vec/column_catalog.h"
+
+namespace pexeso {
+
+/// \brief Inverted index over the leaf cells of HGRV (Section III-C).
+///
+/// Keys are leaf-cell indices; each key maps to a postings list of columns
+/// having at least one vector in that cell, together with the ids of those
+/// vectors. Postings are sorted by ColumnId so verification can proceed
+/// document-at-a-time (column-at-a-time) across the candidate cells of a
+/// query vector, which is what enables the Lemma 7 early termination and the
+/// joinable-skip to bypass whole columns.
+///
+/// Postings lists are growable per cell: appending a column (Section III-E)
+/// appends to the lists of the cells its vectors fall in, in O(1) per cell,
+/// preserving the sorted-by-column invariant because ColumnIds are assigned
+/// in increasing order.
+class InvertedIndex {
+ public:
+  /// Postings of one column within one leaf cell.
+  struct Posting {
+    ColumnId column;
+    uint32_t vec_begin;  ///< offset into vec_ids()
+    uint32_t vec_count;
+  };
+
+  InvertedIndex() = default;
+
+  /// Builds from a repository grid whose leaf cells carry vector ids.
+  void Build(const HierarchicalGrid& grid, const ColumnCatalog& catalog);
+
+  /// Ensures at least `n` cells exist (new ones start empty).
+  void EnsureCells(size_t n) {
+    if (cells_.size() < n) cells_.resize(n);
+  }
+
+  /// Appends the vectors of `column` that fall into `cell`. The column id
+  /// must be >= every column already present in the cell.
+  void Append(uint32_t cell, ColumnId column, std::span<const VecId> vecs);
+
+  size_t num_cells() const { return cells_.size(); }
+
+  /// Postings list of leaf cell `cell` (sorted by column id).
+  std::span<const Posting> PostingsOf(uint32_t cell) const {
+    return {cells_[cell].data(), cells_[cell].size()};
+  }
+
+  /// Vector ids referenced by postings.
+  const std::vector<VecId>& vec_ids() const { return vec_ids_; }
+
+  size_t MemoryBytes() const;
+
+  void Serialize(BinaryWriter* w) const;
+  Status Deserialize(BinaryReader* r);
+
+ private:
+  std::vector<std::vector<Posting>> cells_;
+  std::vector<VecId> vec_ids_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_INVINDEX_INVERTED_INDEX_H_

@@ -1,0 +1,208 @@
+#include "la/pca.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+
+namespace pexeso {
+
+void Pca::Fit(const float* data, size_t n, uint32_t dim,
+              uint32_t num_components, size_t max_rows, uint64_t seed) {
+  PEXESO_CHECK(n > 0 && dim > 0);
+  dim_ = dim;
+  num_components = std::min<uint32_t>(num_components, dim);
+
+  Rng rng(seed);
+  std::vector<size_t> rows;
+  if (n > max_rows) {
+    rows = rng.SampleIndices(n, max_rows);
+  } else {
+    rows.resize(n);
+    for (size_t i = 0; i < n; ++i) rows[i] = i;
+  }
+  const size_t m = rows.size();
+
+  mean_.assign(dim, 0.0);
+  for (size_t r : rows) {
+    const float* v = data + r * dim;
+    for (uint32_t j = 0; j < dim; ++j) mean_[j] += v[j];
+  }
+  for (uint32_t j = 0; j < dim; ++j) mean_[j] /= static_cast<double>(m);
+
+  // Dense covariance (upper triangle mirrored).
+  std::vector<double> cov(static_cast<size_t>(dim) * dim, 0.0);
+  std::vector<double> centered(dim);
+  for (size_t r : rows) {
+    const float* v = data + r * dim;
+    for (uint32_t j = 0; j < dim; ++j) centered[j] = v[j] - mean_[j];
+    for (uint32_t a = 0; a < dim; ++a) {
+      const double ca = centered[a];
+      double* row = cov.data() + static_cast<size_t>(a) * dim;
+      for (uint32_t b = a; b < dim; ++b) row[b] += ca * centered[b];
+    }
+  }
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (uint32_t a = 0; a < dim; ++a) {
+    for (uint32_t b = a; b < dim; ++b) {
+      const double v = cov[static_cast<size_t>(a) * dim + b] * inv_m;
+      cov[static_cast<size_t>(a) * dim + b] = v;
+      cov[static_cast<size_t>(b) * dim + a] = v;
+    }
+  }
+
+  components_.clear();
+  eigenvalues_.clear();
+  std::vector<double> x(dim), y(dim);
+  for (uint32_t k = 0; k < num_components; ++k) {
+    // Power iteration on the deflated covariance.
+    for (uint32_t j = 0; j < dim; ++j) x[j] = rng.Normal();
+    double lambda = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // y = Cov * x
+      for (uint32_t a = 0; a < dim; ++a) {
+        const double* row = cov.data() + static_cast<size_t>(a) * dim;
+        double acc = 0.0;
+        for (uint32_t b = 0; b < dim; ++b) acc += row[b] * x[b];
+        y[a] = acc;
+      }
+      double norm = 0.0;
+      for (uint32_t j = 0; j < dim; ++j) norm += y[j] * y[j];
+      norm = std::sqrt(norm);
+      if (norm < 1e-14) {  // degenerate direction: stop extracting
+        lambda = 0.0;
+        for (uint32_t j = 0; j < dim; ++j) y[j] = (j == k % dim) ? 1.0 : 0.0;
+        x = y;
+        break;
+      }
+      double new_lambda = norm;
+      bool converged = std::fabs(new_lambda - lambda) <= 1e-10 * new_lambda;
+      lambda = new_lambda;
+      for (uint32_t j = 0; j < dim; ++j) x[j] = y[j] / norm;
+      if (converged && iter >= 3) break;
+    }
+    components_.push_back(x);
+    eigenvalues_.push_back(lambda);
+    // Deflate: Cov -= lambda * x x^T
+    for (uint32_t a = 0; a < dim; ++a) {
+      for (uint32_t b = 0; b < dim; ++b) {
+        cov[static_cast<size_t>(a) * dim + b] -= lambda * x[a] * x[b];
+      }
+    }
+  }
+}
+
+double Pca::Project(const float* v, uint32_t k) const {
+  PEXESO_DCHECK(k < components_.size());
+  const auto& c = components_[k];
+  double acc = 0.0;
+  for (uint32_t j = 0; j < dim_; ++j) acc += (v[j] - mean_[j]) * c[j];
+  return acc;
+}
+
+void KMeans::Fit(const float* data, size_t n, uint32_t dim,
+                 const Options& opts) {
+  PEXESO_CHECK(n > 0 && dim > 0 && opts.k > 0);
+  k_ = static_cast<uint32_t>(std::min<size_t>(opts.k, n));
+  dim_ = dim;
+  Rng rng(opts.seed);
+
+  // k-means++ seeding.
+  centroids_.assign(static_cast<size_t>(k_) * dim, 0.0f);
+  std::vector<double> min_d2(n, std::numeric_limits<double>::max());
+  size_t first = rng.Uniform(n);
+  std::memcpy(centroids_.data(), data + first * dim, dim * sizeof(float));
+  for (uint32_t c = 1; c < k_; ++c) {
+    const float* prev = centroids_.data() + static_cast<size_t>(c - 1) * dim;
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const float* v = data + i * dim;
+      double d2 = 0.0;
+      for (uint32_t j = 0; j < dim; ++j) {
+        const double d = static_cast<double>(v[j]) - prev[j];
+        d2 += d * d;
+      }
+      if (d2 < min_d2[i]) min_d2[i] = d2;
+      total += min_d2[i];
+    }
+    size_t pick = 0;
+    if (total > 0.0) {
+      double target = rng.UniformDouble() * total;
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += min_d2[i];
+        if (acc >= target) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      pick = rng.Uniform(n);
+    }
+    std::memcpy(centroids_.data() + static_cast<size_t>(c) * dim,
+                data + pick * dim, dim * sizeof(float));
+  }
+
+  std::vector<uint32_t> assign(n, 0);
+  std::vector<double> sums(static_cast<size_t>(k_) * dim);
+  std::vector<size_t> counts(k_);
+  for (uint32_t iter = 0; iter < opts.max_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t best = Assign(data + i * dim);
+      if (best != assign[i]) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t i = 0; i < n; ++i) {
+      const float* v = data + i * dim;
+      double* s = sums.data() + static_cast<size_t>(assign[i]) * dim;
+      for (uint32_t j = 0; j < dim; ++j) s[j] += v[j];
+      ++counts[assign[i]];
+    }
+    for (uint32_t c = 0; c < k_; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        size_t pick = rng.Uniform(n);
+        std::memcpy(centroids_.data() + static_cast<size_t>(c) * dim,
+                    data + pick * dim, dim * sizeof(float));
+        continue;
+      }
+      float* ctr = centroids_.data() + static_cast<size_t>(c) * dim;
+      for (uint32_t j = 0; j < dim; ++j) {
+        ctr[j] = static_cast<float>(sums[static_cast<size_t>(c) * dim + j] /
+                                    static_cast<double>(counts[c]));
+      }
+    }
+  }
+}
+
+uint32_t KMeans::Assign(const float* v) const {
+  uint32_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (uint32_t c = 0; c < k_; ++c) {
+    const double d = DistanceTo(v, c);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double KMeans::DistanceTo(const float* v, uint32_t c) const {
+  const float* ctr = centroids_.data() + static_cast<size_t>(c) * dim_;
+  double acc = 0.0;
+  for (uint32_t j = 0; j < dim_; ++j) {
+    const double d = static_cast<double>(v[j]) - ctr[j];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace pexeso

@@ -1,0 +1,84 @@
+#ifndef PEXESO_LA_PCA_H_
+#define PEXESO_LA_PCA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pexeso {
+
+/// \brief Principal component analysis via power iteration with deflation.
+///
+/// Substrate for (a) the PCA-based pivot selection of Mao et al. [22] used by
+/// PEXESO (Section III-D) and (b) the 2-d projections that back the JSD
+/// column histograms of the partitioner (Section IV). Covariance is
+/// accumulated in double; dimensionality in this library is <= a few hundred,
+/// so the dense dim x dim covariance is cheap relative to the data scan.
+class Pca {
+ public:
+  /// Fits `num_components` principal components of `n` packed `dim`-d rows.
+  /// At most `max_rows` rows are sampled (deterministically from `seed`) to
+  /// bound the covariance accumulation cost.
+  void Fit(const float* data, size_t n, uint32_t dim, uint32_t num_components,
+           size_t max_rows = 20000, uint64_t seed = 42);
+
+  uint32_t dim() const { return dim_; }
+  uint32_t num_components() const {
+    return static_cast<uint32_t>(components_.size());
+  }
+
+  /// The k-th unit-norm principal axis.
+  const std::vector<double>& component(uint32_t k) const {
+    return components_[k];
+  }
+
+  /// Eigenvalue (variance) of the k-th component.
+  double eigenvalue(uint32_t k) const { return eigenvalues_[k]; }
+
+  /// Projects a vector onto component k (centered).
+  double Project(const float* v, uint32_t k) const;
+
+  /// Per-dimension mean of the fitted sample.
+  const std::vector<double>& mean() const { return mean_; }
+
+ private:
+  uint32_t dim_ = 0;
+  std::vector<double> mean_;
+  std::vector<std::vector<double>> components_;
+  std::vector<double> eigenvalues_;
+};
+
+/// \brief Lloyd's k-means over packed float rows; substrate for the product
+/// quantization codebooks and the average-k-means partitioning baseline.
+class KMeans {
+ public:
+  struct Options {
+    uint32_t k = 8;
+    uint32_t max_iters = 25;
+    uint64_t seed = 7;
+  };
+
+  /// Runs k-means; centroids() afterwards holds k rows of `dim` floats.
+  /// Initialization is k-means++ style (distance-weighted seeding).
+  void Fit(const float* data, size_t n, uint32_t dim, const Options& opts);
+
+  const std::vector<float>& centroids() const { return centroids_; }
+  uint32_t k() const { return k_; }
+  uint32_t dim() const { return dim_; }
+
+  /// Index of the nearest centroid to v (L2).
+  uint32_t Assign(const float* v) const;
+
+  /// Squared L2 distance from v to centroid c.
+  double DistanceTo(const float* v, uint32_t c) const;
+
+ private:
+  uint32_t k_ = 0;
+  uint32_t dim_ = 0;
+  std::vector<float> centroids_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_LA_PCA_H_

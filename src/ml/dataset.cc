@@ -1,0 +1,58 @@
+#include "ml/dataset.h"
+
+namespace pexeso {
+
+Dataset Dataset::SelectFeatures(const std::vector<uint32_t>& keep) const {
+  Dataset out;
+  out.num_features = keep.size();
+  out.y = y;
+  const size_t rows = num_rows();
+  out.x.reserve(rows * keep.size());
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = Row(r);
+    for (uint32_t f : keep) out.x.push_back(row[f]);
+  }
+  for (uint32_t f : keep) {
+    out.feature_names.push_back(f < feature_names.size() ? feature_names[f]
+                                                         : std::string());
+  }
+  return out;
+}
+
+Dataset Dataset::SelectRows(const std::vector<size_t>& rows) const {
+  Dataset out;
+  out.num_features = num_features;
+  out.feature_names = feature_names;
+  out.x.reserve(rows.size() * num_features);
+  out.y.reserve(rows.size());
+  for (size_t r : rows) {
+    const float* row = Row(r);
+    out.x.insert(out.x.end(), row, row + num_features);
+    out.y.push_back(y[r]);
+  }
+  return out;
+}
+
+void Dataset::ImputeMissing() {
+  const size_t rows = num_rows();
+  for (size_t f = 0; f < num_features; ++f) {
+    double sum = 0.0;
+    size_t finite = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      const float v = x[r * num_features + f];
+      if (std::isfinite(v)) {
+        sum += v;
+        ++finite;
+      }
+    }
+    const float mean =
+        finite > 0 ? static_cast<float>(sum / static_cast<double>(finite))
+                   : 0.0f;
+    for (size_t r = 0; r < rows; ++r) {
+      float& v = x[r * num_features + f];
+      if (!std::isfinite(v)) v = mean;
+    }
+  }
+}
+
+}  // namespace pexeso

@@ -1,0 +1,46 @@
+#ifndef PEXESO_ML_DATASET_H_
+#define PEXESO_ML_DATASET_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pexeso {
+
+/// \brief Dense tabular dataset for the Section VI-C ML tasks: row-major
+/// float features plus a target (class index or regression value). Missing
+/// values are NaN until imputed (see enrich.h).
+struct Dataset {
+  size_t num_features = 0;
+  std::vector<float> x;  ///< num_rows x num_features
+  std::vector<float> y;  ///< targets
+  std::vector<std::string> feature_names;
+
+  size_t num_rows() const {
+    return num_features == 0 ? 0 : x.size() / num_features;
+  }
+  const float* Row(size_t i) const { return x.data() + i * num_features; }
+
+  void AddRow(const std::vector<float>& row, float target) {
+    PEXESO_DCHECK(row.size() == num_features);
+    x.insert(x.end(), row.begin(), row.end());
+    y.push_back(target);
+  }
+
+  /// Restricts the dataset to a subset of feature indices.
+  Dataset SelectFeatures(const std::vector<uint32_t>& keep) const;
+
+  /// Restricts the dataset to a subset of row indices.
+  Dataset SelectRows(const std::vector<size_t>& rows) const;
+
+  /// Replaces NaNs by the per-feature mean of the finite values (0 if a
+  /// feature is entirely missing).
+  void ImputeMissing();
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_ML_DATASET_H_

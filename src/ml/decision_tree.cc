@@ -1,0 +1,216 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pexeso {
+
+namespace {
+
+/// Gini impurity of class counts.
+double Gini(const std::vector<size_t>& counts, size_t total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const Dataset& data, const std::vector<size_t>& rows,
+                       const Options& options, Rng* rng) {
+  options_ = options;
+  nodes_.clear();
+  importance_.assign(data.num_features, 0.0);
+  std::vector<size_t> work = rows;
+  if (work.empty()) {
+    work.resize(data.num_rows());
+    for (size_t i = 0; i < work.size(); ++i) work[i] = i;
+  }
+  Grow(data, &work, 0, work.size(), 0, rng);
+}
+
+float DecisionTree::LeafValue(const Dataset& data,
+                              const std::vector<size_t>& rows, size_t begin,
+                              size_t end) const {
+  if (options_.regression) {
+    double sum = 0.0;
+    for (size_t i = begin; i < end; ++i) sum += data.y[rows[i]];
+    return static_cast<float>(sum / static_cast<double>(end - begin));
+  }
+  std::vector<size_t> counts(options_.num_classes, 0);
+  for (size_t i = begin; i < end; ++i) {
+    ++counts[static_cast<size_t>(data.y[rows[i]])];
+  }
+  size_t best = 0;
+  for (size_t c = 1; c < counts.size(); ++c) {
+    if (counts[c] > counts[best]) best = c;
+  }
+  return static_cast<float>(best);
+}
+
+double DecisionTree::Impurity(const Dataset& data,
+                              const std::vector<size_t>& rows, size_t begin,
+                              size_t end) const {
+  if (options_.regression) {
+    double sum = 0.0, sum2 = 0.0;
+    const double n = static_cast<double>(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      const double v = data.y[rows[i]];
+      sum += v;
+      sum2 += v * v;
+    }
+    const double mean = sum / n;
+    return sum2 / n - mean * mean;
+  }
+  std::vector<size_t> counts(options_.num_classes, 0);
+  for (size_t i = begin; i < end; ++i) {
+    ++counts[static_cast<size_t>(data.y[rows[i]])];
+  }
+  return Gini(counts, end - begin);
+}
+
+int32_t DecisionTree::Grow(const Dataset& data, std::vector<size_t>* rows,
+                           size_t begin, size_t end, uint32_t depth,
+                           Rng* rng) {
+  const size_t n = end - begin;
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+
+  const double parent_impurity = Impurity(data, *rows, begin, end);
+  const bool stop = depth >= options_.max_depth ||
+                    n < 2 * options_.min_samples_leaf ||
+                    parent_impurity <= 1e-12;
+  if (stop) {
+    nodes_[node_id].value = LeafValue(data, *rows, begin, end);
+    return node_id;
+  }
+
+  // Candidate features.
+  const uint32_t f_total = static_cast<uint32_t>(data.num_features);
+  uint32_t f_take = options_.max_features == 0
+                        ? f_total
+                        : std::min(options_.max_features, f_total);
+  std::vector<size_t> features;
+  if (f_take == f_total) {
+    features.resize(f_total);
+    for (uint32_t f = 0; f < f_total; ++f) features[f] = f;
+  } else {
+    features = rng->SampleIndices(f_total, f_take);
+  }
+
+  // Best split across candidate features; rows are sorted per feature and
+  // impurity evaluated at boundaries between distinct values.
+  double best_gain = 1e-9;
+  int32_t best_feature = -1;
+  float best_threshold = 0.0f;
+
+  std::vector<std::pair<float, size_t>> sorted(n);
+  std::vector<size_t> left_counts, right_counts;
+  for (size_t f : features) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t r = (*rows)[begin + i];
+      sorted[i] = {data.Row(r)[f], r};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;
+
+    if (options_.regression) {
+      // Prefix sums of y.
+      double lsum = 0.0, lsum2 = 0.0;
+      double tsum = 0.0, tsum2 = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double v = data.y[sorted[i].second];
+        tsum += v;
+        tsum2 += v * v;
+      }
+      for (size_t i = 0; i + 1 < n; ++i) {
+        const double v = data.y[sorted[i].second];
+        lsum += v;
+        lsum2 += v * v;
+        if (sorted[i].first == sorted[i + 1].first) continue;
+        const size_t ln = i + 1, rn = n - ln;
+        if (ln < options_.min_samples_leaf || rn < options_.min_samples_leaf) {
+          continue;
+        }
+        const double lmean = lsum / ln;
+        const double rmean = (tsum - lsum) / rn;
+        const double lvar = lsum2 / ln - lmean * lmean;
+        const double rvar = (tsum2 - lsum2) / rn - rmean * rmean;
+        const double gain = parent_impurity -
+                            (lvar * ln + rvar * rn) / static_cast<double>(n);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int32_t>(f);
+          best_threshold = (sorted[i].first + sorted[i + 1].first) * 0.5f;
+        }
+      }
+    } else {
+      left_counts.assign(options_.num_classes, 0);
+      right_counts.assign(options_.num_classes, 0);
+      for (size_t i = 0; i < n; ++i) {
+        ++right_counts[static_cast<size_t>(data.y[sorted[i].second])];
+      }
+      for (size_t i = 0; i + 1 < n; ++i) {
+        const size_t cls = static_cast<size_t>(data.y[sorted[i].second]);
+        ++left_counts[cls];
+        --right_counts[cls];
+        if (sorted[i].first == sorted[i + 1].first) continue;
+        const size_t ln = i + 1, rn = n - ln;
+        if (ln < options_.min_samples_leaf || rn < options_.min_samples_leaf) {
+          continue;
+        }
+        const double gain =
+            parent_impurity - (Gini(left_counts, ln) * ln +
+                               Gini(right_counts, rn) * rn) /
+                                  static_cast<double>(n);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int32_t>(f);
+          best_threshold = (sorted[i].first + sorted[i + 1].first) * 0.5f;
+        }
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    nodes_[node_id].value = LeafValue(data, *rows, begin, end);
+    return node_id;
+  }
+
+  // Partition rows in place.
+  auto mid_it = std::partition(
+      rows->begin() + begin, rows->begin() + end, [&](size_t r) {
+        return data.Row(r)[best_feature] <= best_threshold;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - rows->begin());
+  if (mid == begin || mid == end) {  // numeric degeneracy: make a leaf
+    nodes_[node_id].value = LeafValue(data, *rows, begin, end);
+    return node_id;
+  }
+
+  importance_[best_feature] += best_gain * static_cast<double>(n);
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int32_t left = Grow(data, rows, begin, mid, depth + 1, rng);
+  const int32_t right = Grow(data, rows, mid, end, depth + 1, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::Predict(const float* row) const {
+  int32_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = row[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+}  // namespace pexeso

@@ -1,0 +1,60 @@
+#ifndef PEXESO_ML_DECISION_TREE_H_
+#define PEXESO_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace pexeso {
+
+/// \brief CART decision tree (classification by Gini impurity, regression by
+/// variance reduction). Substrate for RandomForest — the Table V model.
+class DecisionTree {
+ public:
+  struct Options {
+    bool regression = false;
+    uint32_t num_classes = 2;        ///< ignored for regression
+    uint32_t max_depth = 10;
+    uint32_t min_samples_leaf = 2;
+    /// Features examined per split; 0 = all (forest passes sqrt(F)).
+    uint32_t max_features = 0;
+  };
+
+  /// Fits on the rows of `data` listed in `rows` (bootstrap sample for
+  /// forests). `rng` drives feature sampling.
+  void Fit(const Dataset& data, const std::vector<size_t>& rows,
+           const Options& options, Rng* rng);
+
+  /// Predicted class index (classification) or value (regression).
+  double Predict(const float* row) const;
+
+  /// Total impurity decrease attributed to each feature.
+  const std::vector<double>& feature_importance() const {
+    return importance_;
+  }
+
+ private:
+  struct Node {
+    int32_t feature = -1;   ///< -1 for leaves
+    float threshold = 0.0f;
+    int32_t left = -1, right = -1;
+    float value = 0.0f;     ///< class index or mean
+  };
+
+  int32_t Grow(const Dataset& data, std::vector<size_t>* rows, size_t begin,
+               size_t end, uint32_t depth, Rng* rng);
+  float LeafValue(const Dataset& data, const std::vector<size_t>& rows,
+                  size_t begin, size_t end) const;
+  double Impurity(const Dataset& data, const std::vector<size_t>& rows,
+                  size_t begin, size_t end) const;
+
+  Options options_;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_ML_DECISION_TREE_H_

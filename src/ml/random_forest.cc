@@ -1,0 +1,182 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pexeso {
+
+void RandomForest::Fit(const Dataset& data, const Options& options) {
+  options_ = options;
+  num_features_ = data.num_features;
+  trees_.assign(options.num_trees, DecisionTree());
+  const size_t n = data.num_rows();
+  PEXESO_CHECK(n > 0);
+
+  DecisionTree::Options topts;
+  topts.regression = options.regression;
+  topts.num_classes = options.num_classes;
+  topts.max_depth = options.max_depth;
+  topts.min_samples_leaf = options.min_samples_leaf;
+  topts.max_features = std::max<uint32_t>(
+      1, static_cast<uint32_t>(
+             std::sqrt(static_cast<double>(data.num_features))));
+
+  for (uint32_t t = 0; t < options.num_trees; ++t) {
+    Rng rng(options.seed * 1315423911ULL + t);
+    std::vector<size_t> bootstrap(n);
+    for (size_t i = 0; i < n; ++i) bootstrap[i] = rng.Uniform(n);
+    trees_[t].Fit(data, bootstrap, topts, &rng);
+  }
+}
+
+uint32_t RandomForest::PredictClass(const float* row) const {
+  std::vector<uint32_t> votes(options_.num_classes, 0);
+  for (const auto& t : trees_) {
+    ++votes[static_cast<size_t>(t.Predict(row))];
+  }
+  return static_cast<uint32_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+double RandomForest::PredictValue(const float* row) const {
+  double sum = 0.0;
+  for (const auto& t : trees_) sum += t.Predict(row);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::FeatureImportances() const {
+  std::vector<double> imp(num_features_, 0.0);
+  for (const auto& t : trees_) {
+    const auto& ti = t.feature_importance();
+    for (size_t f = 0; f < imp.size(); ++f) imp[f] += ti[f];
+  }
+  double total = 0.0;
+  for (double v : imp) total += v;
+  if (total > 0) {
+    for (auto& v : imp) v /= total;
+  }
+  return imp;
+}
+
+double MicroF1(const std::vector<uint32_t>& truth,
+               const std::vector<uint32_t>& predicted) {
+  PEXESO_CHECK(truth.size() == predicted.size() && !truth.empty());
+  // For single-label multi-class, micro-averaged precision == recall ==
+  // accuracy, hence micro-F1 == accuracy.
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+double MeanSquaredError(const std::vector<double>& truth,
+                        const std::vector<double>& predicted) {
+  PEXESO_CHECK(truth.size() == predicted.size() && !truth.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - predicted[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+std::vector<uint32_t> KFoldAssignment(size_t n, uint32_t k, uint64_t seed) {
+  std::vector<uint32_t> fold(n);
+  for (size_t i = 0; i < n; ++i) fold[i] = static_cast<uint32_t>(i % k);
+  Rng rng(seed);
+  rng.Shuffle(&fold);
+  return fold;
+}
+
+namespace {
+
+template <typename EvalFn>
+CvScore CrossValidate(const Dataset& data, uint32_t folds, uint64_t seed,
+                      EvalFn eval) {
+  const size_t n = data.num_rows();
+  const auto fold_of = KFoldAssignment(n, folds, seed);
+  std::vector<double> scores;
+  for (uint32_t f = 0; f < folds; ++f) {
+    std::vector<size_t> train_rows, test_rows;
+    for (size_t i = 0; i < n; ++i) {
+      (fold_of[i] == f ? test_rows : train_rows).push_back(i);
+    }
+    if (train_rows.empty() || test_rows.empty()) continue;
+    scores.push_back(eval(data.SelectRows(train_rows),
+                          data.SelectRows(test_rows)));
+  }
+  CvScore out;
+  if (scores.empty()) return out;
+  for (double s : scores) out.mean += s;
+  out.mean /= static_cast<double>(scores.size());
+  for (double s : scores) out.stddev += (s - out.mean) * (s - out.mean);
+  out.stddev = std::sqrt(out.stddev / static_cast<double>(scores.size()));
+  return out;
+}
+
+}  // namespace
+
+CvScore CrossValidateClassifier(const Dataset& data,
+                                const RandomForest::Options& options,
+                                uint32_t folds, uint64_t seed) {
+  return CrossValidate(data, folds, seed,
+                       [&](const Dataset& train, const Dataset& test) {
+                         RandomForest forest;
+                         forest.Fit(train, options);
+                         std::vector<uint32_t> truth, pred;
+                         for (size_t i = 0; i < test.num_rows(); ++i) {
+                           truth.push_back(
+                               static_cast<uint32_t>(test.y[i]));
+                           pred.push_back(forest.PredictClass(test.Row(i)));
+                         }
+                         return MicroF1(truth, pred);
+                       });
+}
+
+CvScore CrossValidateRegressor(const Dataset& data,
+                               const RandomForest::Options& options,
+                               uint32_t folds, uint64_t seed) {
+  return CrossValidate(data, folds, seed,
+                       [&](const Dataset& train, const Dataset& test) {
+                         RandomForest forest;
+                         forest.Fit(train, options);
+                         std::vector<double> truth, pred;
+                         for (size_t i = 0; i < test.num_rows(); ++i) {
+                           truth.push_back(test.y[i]);
+                           pred.push_back(forest.PredictValue(test.Row(i)));
+                         }
+                         return MeanSquaredError(truth, pred);
+                       });
+}
+
+std::vector<uint32_t> RecursiveFeatureElimination(
+    const Dataset& data, const RandomForest::Options& options,
+    uint32_t target_features, uint32_t drop_per_round) {
+  std::vector<uint32_t> kept(data.num_features);
+  for (uint32_t f = 0; f < kept.size(); ++f) kept[f] = f;
+  while (kept.size() > target_features) {
+    Dataset current = data.SelectFeatures(kept);
+    RandomForest forest;
+    forest.Fit(current, options);
+    auto imp = forest.FeatureImportances();
+    // Sort current feature positions by importance ascending.
+    std::vector<uint32_t> order(kept.size());
+    for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](uint32_t a, uint32_t b) { return imp[a] < imp[b]; });
+    const uint32_t drop = std::min<uint32_t>(
+        drop_per_round,
+        static_cast<uint32_t>(kept.size()) - target_features);
+    std::vector<bool> dead(kept.size(), false);
+    for (uint32_t i = 0; i < drop; ++i) dead[order[i]] = true;
+    std::vector<uint32_t> next;
+    for (uint32_t i = 0; i < kept.size(); ++i) {
+      if (!dead[i]) next.push_back(kept[i]);
+    }
+    kept = std::move(next);
+  }
+  return kept;
+}
+
+}  // namespace pexeso

@@ -1,0 +1,77 @@
+#ifndef PEXESO_ML_RANDOM_FOREST_H_
+#define PEXESO_ML_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace pexeso {
+
+/// \brief Random forest (bootstrap aggregation of CART trees with feature
+/// subsampling) — the model trained on enriched tables in Section VI-C.
+class RandomForest {
+ public:
+  struct Options {
+    bool regression = false;
+    uint32_t num_classes = 2;
+    uint32_t num_trees = 40;
+    uint32_t max_depth = 10;
+    uint32_t min_samples_leaf = 2;
+    uint64_t seed = 47;
+  };
+
+  void Fit(const Dataset& data, const Options& options);
+
+  /// Majority class over trees (classification only).
+  uint32_t PredictClass(const float* row) const;
+  /// Mean prediction over trees (regression only).
+  double PredictValue(const float* row) const;
+
+  /// Normalized impurity-decrease importances (sums to 1 when nonzero).
+  std::vector<double> FeatureImportances() const;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  Options options_;
+  size_t num_features_ = 0;
+  std::vector<DecisionTree> trees_;
+};
+
+/// micro-F1 for single-label multi-class predictions (equals accuracy).
+double MicroF1(const std::vector<uint32_t>& truth,
+               const std::vector<uint32_t>& predicted);
+
+/// Mean squared error.
+double MeanSquaredError(const std::vector<double>& truth,
+                        const std::vector<double>& predicted);
+
+/// Deterministic k-fold split of `n` rows: fold_of[i] in [0, k).
+std::vector<uint32_t> KFoldAssignment(size_t n, uint32_t k, uint64_t seed);
+
+/// \brief Cross-validated evaluation used by the Table V harness.
+struct CvScore {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// k-fold CV micro-F1 of a classification forest.
+CvScore CrossValidateClassifier(const Dataset& data,
+                                const RandomForest::Options& options,
+                                uint32_t folds, uint64_t seed);
+
+/// k-fold CV MSE of a regression forest.
+CvScore CrossValidateRegressor(const Dataset& data,
+                               const RandomForest::Options& options,
+                               uint32_t folds, uint64_t seed);
+
+/// \brief Recursive feature elimination: repeatedly train a forest and drop
+/// the lowest-importance features until `target_features` remain. Returns
+/// the surviving feature indices (into the original dataset).
+std::vector<uint32_t> RecursiveFeatureElimination(
+    const Dataset& data, const RandomForest::Options& options,
+    uint32_t target_features, uint32_t drop_per_round = 2);
+
+}  // namespace pexeso
+
+#endif  // PEXESO_ML_RANDOM_FOREST_H_

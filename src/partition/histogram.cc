@@ -1,0 +1,101 @@
+#include "partition/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pexeso {
+
+double ColumnHistogram::JsDivergence(const ColumnHistogram& a,
+                                     const ColumnHistogram& b) {
+  PEXESO_CHECK(a.probs_.size() == b.probs_.size());
+  double kl_ab = 0.0, kl_ba = 0.0;
+  for (size_t i = 0; i < a.probs_.size(); ++i) {
+    const double pa = a.probs_[i];
+    const double pb = b.probs_[i];
+    kl_ab += pa * std::log(pa / pb);
+    kl_ba += pb * std::log(pb / pa);
+  }
+  return 0.5 * (kl_ab + kl_ba);
+}
+
+ColumnHistogram ColumnHistogram::Mean(
+    const std::vector<const ColumnHistogram*>& hs) {
+  PEXESO_CHECK(!hs.empty());
+  ColumnHistogram out;
+  out.probs_.assign(hs[0]->probs_.size(), 0.0);
+  for (const auto* h : hs) {
+    for (size_t i = 0; i < out.probs_.size(); ++i) {
+      out.probs_[i] += h->probs_[i];
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(hs.size());
+  for (auto& p : out.probs_) p *= inv;
+  return out;
+}
+
+HistogramBuilder::HistogramBuilder(const ColumnCatalog& catalog,
+                                   const Options& options)
+    : bins_(options.bins_per_axis) {
+  PEXESO_CHECK(bins_ >= 2);
+  const VectorStore& store = catalog.store();
+  pca_.Fit(store.raw().data(), store.size(), store.dim(), 2,
+           /*max_rows=*/10000, options.seed);
+  // Projection ranges over a sample (clamped binning handles outliers).
+  for (int a = 0; a < 2; ++a) {
+    lo_[a] = 1e300;
+    hi_[a] = -1e300;
+  }
+  const size_t stride = std::max<size_t>(1, store.size() / 5000);
+  for (size_t i = 0; i < store.size(); i += stride) {
+    for (uint32_t a = 0; a < 2; ++a) {
+      const double p = pca_.Project(store.View(static_cast<VecId>(i)), a);
+      lo_[a] = std::min(lo_[a], p);
+      hi_[a] = std::max(hi_[a], p);
+    }
+  }
+  for (int a = 0; a < 2; ++a) {
+    if (hi_[a] <= lo_[a]) hi_[a] = lo_[a] + 1.0;
+  }
+}
+
+ColumnHistogram HistogramBuilder::Build(const ColumnCatalog& catalog,
+                                        ColumnId col) const {
+  const ColumnMeta& meta = catalog.column(col);
+  const VectorStore& store = catalog.store();
+  std::vector<double> counts(static_cast<size_t>(bins_) * bins_, 0.0);
+  for (VecId v = meta.first; v < meta.end(); ++v) {
+    uint32_t idx[2];
+    for (uint32_t a = 0; a < 2; ++a) {
+      const double p = pca_.Project(store.View(v), a);
+      double t = (p - lo_[a]) / (hi_[a] - lo_[a]);
+      if (t < 0.0) t = 0.0;
+      if (t > 1.0) t = 1.0;
+      idx[a] = std::min<uint32_t>(static_cast<uint32_t>(t * bins_), bins_ - 1);
+    }
+    counts[idx[0] * bins_ + idx[1]] += 1.0;
+  }
+  // Laplace smoothing keeps the symmetric KL finite when bins are empty.
+  ColumnHistogram h;
+  h.probs_.resize(counts.size());
+  const double alpha = 0.5;
+  const double denom =
+      static_cast<double>(meta.count) + alpha * counts.size();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    h.probs_[i] = (counts[i] + alpha) / denom;
+  }
+  return h;
+}
+
+std::vector<ColumnHistogram> HistogramBuilder::BuildAll(
+    const ColumnCatalog& catalog) const {
+  std::vector<ColumnHistogram> out;
+  out.reserve(catalog.num_columns());
+  for (ColumnId c = 0; c < catalog.num_columns(); ++c) {
+    out.push_back(Build(catalog, c));
+  }
+  return out;
+}
+
+}  // namespace pexeso

@@ -1,0 +1,63 @@
+#ifndef PEXESO_PARTITION_HISTOGRAM_H_
+#define PEXESO_PARTITION_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/pca.h"
+#include "vec/column_catalog.h"
+
+namespace pexeso {
+
+/// \brief Probability-distribution summary of one column (Section IV step 1:
+/// "summarize a column of vectors with a probability distribution histogram
+/// composed of a number of bins"). Vectors are projected onto the 2 leading
+/// global PCA axes and binned on a bins x bins grid; counts are normalized
+/// with Laplace smoothing so the divergence below is always finite.
+class ColumnHistogram {
+ public:
+  /// Divergence used by the paper's clustering: the symmetrized
+  /// Kullback-Leibler divergence (KLD(A||B) + KLD(B||A)) / 2, exactly as
+  /// defined in Section IV.
+  static double JsDivergence(const ColumnHistogram& a,
+                             const ColumnHistogram& b);
+
+  const std::vector<double>& probs() const { return probs_; }
+
+  /// Element-wise mean of histograms (cluster centroid update).
+  static ColumnHistogram Mean(const std::vector<const ColumnHistogram*>& hs);
+
+ private:
+  friend class HistogramBuilder;
+  std::vector<double> probs_;
+};
+
+/// \brief Builds ColumnHistograms for every column of a catalog against a
+/// shared PCA basis (so histograms are comparable across columns).
+class HistogramBuilder {
+ public:
+  struct Options {
+    uint32_t bins_per_axis = 8;
+    uint64_t seed = 31;
+  };
+
+  /// Fits the PCA basis on the catalog's vectors.
+  HistogramBuilder(const ColumnCatalog& catalog, const Options& options);
+
+  /// Histogram of one column.
+  ColumnHistogram Build(const ColumnCatalog& catalog, ColumnId col) const;
+
+  /// Histograms for all columns.
+  std::vector<ColumnHistogram> BuildAll(const ColumnCatalog& catalog) const;
+
+  uint32_t num_bins() const { return bins_ * bins_; }
+
+ private:
+  uint32_t bins_;
+  Pca pca_;
+  double lo_[2], hi_[2];  ///< projection ranges per axis
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_PARTITION_HISTOGRAM_H_

@@ -1,0 +1,102 @@
+#include "partition/partitioned_pexeso.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "baseline/pexeso_h.h"
+#include "common/stopwatch.h"
+
+namespace pexeso {
+
+std::string PartitionedPexeso::PartPath(size_t i) const {
+  return dir_ + "/part-" + std::to_string(i) + ".pxso";
+}
+
+Result<PartitionedPexeso> PartitionedPexeso::Build(
+    const ColumnCatalog& catalog, const PartitionAssignment& assignment,
+    const std::string& dir, const Metric* metric,
+    const PexesoOptions& options) {
+  PEXESO_CHECK(assignment.size() == catalog.num_columns());
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create dir: " + dir);
+
+  uint32_t k = 0;
+  for (uint32_t a : assignment) k = std::max(k, a + 1);
+
+  // Dense output numbering: empty source partitions are skipped.
+  size_t out_idx = 0;
+  for (uint32_t part = 0; part < k; ++part) {
+    ColumnCatalog part_catalog(catalog.dim());
+    for (ColumnId c = 0; c < catalog.num_columns(); ++c) {
+      if (assignment[c] != part) continue;
+      ColumnMeta meta = catalog.column(c);
+      meta.source_id = c;  // remember the global id for result merging
+      part_catalog.AddColumn(meta, catalog.store().View(meta.first),
+                             meta.count);
+    }
+    if (part_catalog.num_columns() == 0) continue;
+    PexesoIndex index =
+        PexesoIndex::Build(std::move(part_catalog), metric, options);
+    PEXESO_RETURN_NOT_OK(index.Save(dir + "/part-" + std::to_string(out_idx) +
+                                    ".pxso"));
+    ++out_idx;
+  }
+  if (out_idx == 0) return Status::InvalidArgument("all partitions empty");
+  return PartitionedPexeso(dir, metric, out_idx);
+}
+
+Result<PartitionedPexeso> PartitionedPexeso::Open(const std::string& dir,
+                                                  const Metric* metric) {
+  size_t parts = 0;
+  while (std::filesystem::exists(dir + "/part-" + std::to_string(parts) +
+                                 ".pxso")) {
+    ++parts;
+  }
+  if (parts == 0) return Status::NotFound("no partitions under " + dir);
+  return PartitionedPexeso(dir, metric, parts);
+}
+
+Result<std::vector<JoinableColumn>> PartitionedPexeso::Search(
+    const VectorStore& query, const SearchOptions& options, SearchStats* stats,
+    double* io_seconds, Engine engine) const {
+  std::vector<JoinableColumn> merged;
+  double io = 0.0;
+  for (size_t part = 0; part < num_parts_; ++part) {
+    Stopwatch load_watch;
+    auto loaded = PexesoIndex::Load(PartPath(part), metric_);
+    if (!loaded.ok()) return loaded.status();
+    io += load_watch.ElapsedSeconds();
+    const PexesoIndex index = std::move(loaded).ValueOrDie();
+    std::vector<JoinableColumn> results;
+    if (engine == Engine::kPexeso) {
+      results = PexesoSearcher(&index).Search(query, options, stats);
+    } else {
+      results = PexesoHSearcher(&index).Search(query, options, stats);
+    }
+    for (auto& r : results) {
+      r.column = index.catalog().column(r.column).source_id;
+      merged.push_back(std::move(r));
+    }
+    // The partition index goes out of scope here: only one partition is
+    // ever resident, which is the Section IV memory contract.
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const JoinableColumn& a, const JoinableColumn& b) {
+              return a.column < b.column;
+            });
+  if (io_seconds != nullptr) *io_seconds = io;
+  return merged;
+}
+
+size_t PartitionedPexeso::DiskBytes() const {
+  size_t total = 0;
+  for (size_t part = 0; part < num_parts_; ++part) {
+    std::error_code ec;
+    const auto sz = std::filesystem::file_size(PartPath(part), ec);
+    if (!ec) total += sz;
+  }
+  return total;
+}
+
+}  // namespace pexeso

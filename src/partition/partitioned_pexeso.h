@@ -1,0 +1,64 @@
+#ifndef PEXESO_PARTITION_PARTITIONED_PEXESO_H_
+#define PEXESO_PARTITION_PARTITIONED_PEXESO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pexeso_index.h"
+#include "core/searcher.h"
+#include "partition/partitioner.h"
+
+namespace pexeso {
+
+/// \brief Out-of-core PEXESO (Section IV): the repository is split into
+/// partitions, each indexed by its own PexesoIndex and serialized to disk.
+/// A search loads one partition into memory at a time, runs the in-memory
+/// search, and merges results (reported in the global column-id space via
+/// ColumnMeta::source_id).
+class PartitionedPexeso {
+ public:
+  /// Splits `catalog` by `assignment`, builds one index per partition and
+  /// writes them under `dir` as part-<i>.pxso. Returns the handle.
+  static Result<PartitionedPexeso> Build(const ColumnCatalog& catalog,
+                                         const PartitionAssignment& assignment,
+                                         const std::string& dir,
+                                         const Metric* metric,
+                                         const PexesoOptions& options);
+
+  /// Opens an existing partition directory (counts part-*.pxso files).
+  static Result<PartitionedPexeso> Open(const std::string& dir,
+                                        const Metric* metric);
+
+  /// Which in-memory searcher runs against each loaded partition. The
+  /// PEXESO-H variant exists so the Table VII out-of-core comparison can run
+  /// both methods under the identical load-one-partition-at-a-time protocol.
+  enum class Engine { kPexeso, kPexesoH };
+
+  /// Searches every partition, loading each from disk in turn. Results are
+  /// keyed by global column ids. `stats` (optional) accumulates across
+  /// partitions; `io_seconds` (optional) reports the disk-loading share.
+  Result<std::vector<JoinableColumn>> Search(const VectorStore& query,
+                                             const SearchOptions& options,
+                                             SearchStats* stats,
+                                             double* io_seconds = nullptr,
+                                             Engine engine = Engine::kPexeso) const;
+
+  size_t num_partitions() const { return num_parts_; }
+
+  /// Total bytes of the serialized partition files.
+  size_t DiskBytes() const;
+
+ private:
+  PartitionedPexeso(std::string dir, const Metric* metric, size_t parts)
+      : dir_(std::move(dir)), metric_(metric), num_parts_(parts) {}
+
+  std::string PartPath(size_t i) const;
+
+  std::string dir_;
+  const Metric* metric_;
+  size_t num_parts_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_PARTITION_PARTITIONED_PEXESO_H_

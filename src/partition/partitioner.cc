@@ -1,0 +1,107 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "la/pca.h"
+
+namespace pexeso {
+
+PartitionAssignment Partitioner::JsdClustering(const ColumnCatalog& catalog,
+                                               const Options& options) {
+  const size_t n = catalog.num_columns();
+  PEXESO_CHECK(n > 0 && options.k > 0);
+  const uint32_t k = static_cast<uint32_t>(std::min<size_t>(options.k, n));
+
+  HistogramBuilder builder(catalog, {});
+  std::vector<ColumnHistogram> hists = builder.BuildAll(catalog);
+
+  // Step 2: random initial centers.
+  Rng rng(options.seed);
+  std::vector<size_t> seeds = rng.SampleIndices(n, k);
+  std::vector<ColumnHistogram> centers;
+  centers.reserve(k);
+  for (size_t s : seeds) centers.push_back(hists[s]);
+
+  PartitionAssignment assign(n, 0);
+  for (uint32_t iter = 0; iter < options.iterations; ++iter) {
+    // Step 3: assign to the minimum-divergence center.
+    bool changed = false;
+    for (size_t c = 0; c < n; ++c) {
+      double best = std::numeric_limits<double>::max();
+      uint32_t best_k = 0;
+      for (uint32_t j = 0; j < k; ++j) {
+        const double d = ColumnHistogram::JsDivergence(hists[c], centers[j]);
+        if (d < best) {
+          best = d;
+          best_k = j;
+        }
+      }
+      if (assign[c] != best_k) {
+        assign[c] = best_k;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Step 4: centers become the mean histogram of their members.
+    for (uint32_t j = 0; j < k; ++j) {
+      std::vector<const ColumnHistogram*> members;
+      for (size_t c = 0; c < n; ++c) {
+        if (assign[c] == j) members.push_back(&hists[c]);
+      }
+      if (members.empty()) {
+        // Re-seed an empty cluster.
+        centers[j] = hists[rng.Uniform(n)];
+      } else {
+        centers[j] = ColumnHistogram::Mean(members);
+      }
+    }
+  }
+  return assign;
+}
+
+PartitionAssignment Partitioner::Random(const ColumnCatalog& catalog,
+                                        const Options& options) {
+  Rng rng(options.seed);
+  PartitionAssignment assign(catalog.num_columns());
+  for (auto& a : assign) {
+    a = static_cast<uint32_t>(rng.Uniform(options.k));
+  }
+  return assign;
+}
+
+PartitionAssignment Partitioner::AverageKMeans(const ColumnCatalog& catalog,
+                                               const Options& options) {
+  const size_t n = catalog.num_columns();
+  const uint32_t dim = catalog.dim();
+  PEXESO_CHECK(n > 0);
+  // Each column becomes the average of its vectors.
+  std::vector<float> avgs(n * dim, 0.0f);
+  for (ColumnId c = 0; c < n; ++c) {
+    const ColumnMeta& meta = catalog.column(c);
+    std::vector<double> acc(dim, 0.0);
+    for (VecId v = meta.first; v < meta.end(); ++v) {
+      const float* x = catalog.store().View(v);
+      for (uint32_t j = 0; j < dim; ++j) acc[j] += x[j];
+    }
+    for (uint32_t j = 0; j < dim; ++j) {
+      avgs[static_cast<size_t>(c) * dim + j] =
+          static_cast<float>(acc[j] / meta.count);
+    }
+  }
+  KMeans km;
+  KMeans::Options ko;
+  ko.k = options.k;
+  ko.max_iters = options.iterations;
+  ko.seed = options.seed;
+  km.Fit(avgs.data(), n, dim, ko);
+  PartitionAssignment assign(n);
+  for (size_t c = 0; c < n; ++c) {
+    assign[c] = km.Assign(avgs.data() + c * dim);
+  }
+  return assign;
+}
+
+}  // namespace pexeso

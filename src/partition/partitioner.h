@@ -1,0 +1,43 @@
+#ifndef PEXESO_PARTITION_PARTITIONER_H_
+#define PEXESO_PARTITION_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/histogram.h"
+#include "vec/column_catalog.h"
+
+namespace pexeso {
+
+/// Column -> partition assignment (size = num_columns, values in [0, k)).
+using PartitionAssignment = std::vector<uint32_t>;
+
+/// \brief Column partitioning strategies for the out-of-core case
+/// (Section IV). The paper's method clusters columns by the similarity of
+/// their vector distributions under the symmetrized-KL divergence so that
+/// each partition's pivots filter well; random assignment and average-vector
+/// k-means are the Figure 7b baselines.
+class Partitioner {
+ public:
+  struct Options {
+    uint32_t k = 4;          ///< number of partitions
+    uint32_t iterations = 8; ///< t in the paper's algorithm
+    uint64_t seed = 37;
+  };
+
+  /// The paper's JSD k-means over column histograms.
+  static PartitionAssignment JsdClustering(const ColumnCatalog& catalog,
+                                           const Options& options);
+
+  /// Uniform random assignment.
+  static PartitionAssignment Random(const ColumnCatalog& catalog,
+                                    const Options& options);
+
+  /// k-means over per-column average vectors ("average k-means" baseline).
+  static PartitionAssignment AverageKMeans(const ColumnCatalog& catalog,
+                                           const Options& options);
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_PARTITION_PARTITIONER_H_

@@ -1,0 +1,132 @@
+#include "pivot/pivot_selector.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "la/pca.h"
+
+namespace pexeso {
+
+std::vector<float> PivotSelector::SelectPca(const float* data, size_t n,
+                                            uint32_t dim, uint32_t k,
+                                            const Metric* metric,
+                                            uint64_t seed) {
+  PEXESO_CHECK(n > 0 && k > 0);
+  k = static_cast<uint32_t>(std::min<size_t>(k, n));
+
+  // 1. PCA on a bounded sample: O(sample * dim^2), independent of |RV|.
+  const uint32_t comps = std::min<uint32_t>(std::max<uint32_t>(k, 2), dim);
+  Pca pca;
+  pca.Fit(data, n, dim, comps, /*max_rows=*/10000, seed);
+
+  // 2. Outlier candidates: for each leading component, the points with the
+  // largest |projection|. One linear scan over the data.
+  const uint32_t kCandidatesPerComp = 8;
+  struct Scored {
+    double score;
+    size_t idx;
+  };
+  std::vector<size_t> candidates;
+  for (uint32_t c = 0; c < comps; ++c) {
+    std::vector<Scored> top;
+    top.reserve(kCandidatesPerComp + 1);
+    for (size_t i = 0; i < n; ++i) {
+      const double proj = std::abs(pca.Project(data + i * dim, c));
+      if (top.size() < kCandidatesPerComp) {
+        top.push_back({proj, i});
+        std::push_heap(top.begin(), top.end(),
+                       [](const Scored& a, const Scored& b) {
+                         return a.score > b.score;
+                       });
+      } else if (proj > top.front().score) {
+        std::pop_heap(top.begin(), top.end(),
+                      [](const Scored& a, const Scored& b) {
+                        return a.score > b.score;
+                      });
+        top.back() = {proj, i};
+        std::push_heap(top.begin(), top.end(),
+                       [](const Scored& a, const Scored& b) {
+                         return a.score > b.score;
+                       });
+      }
+    }
+    for (const auto& s : top) candidates.push_back(s.idx);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // 3. Greedy max-min selection among the candidates: first pivot is the most
+  // extreme point on PC1; each next pivot maximizes the minimum distance to
+  // the already-selected pivots (outliers close to an existing pivot add no
+  // filtering power).
+  std::vector<size_t> chosen;
+  chosen.reserve(k);
+  {
+    double best = -1.0;
+    size_t best_i = candidates.front();
+    for (size_t i : candidates) {
+      const double proj = std::abs(pca.Project(data + i * dim, 0));
+      if (proj > best) {
+        best = proj;
+        best_i = i;
+      }
+    }
+    chosen.push_back(best_i);
+  }
+  while (chosen.size() < k) {
+    double best = -1.0;
+    size_t best_i = static_cast<size_t>(-1);
+    for (size_t i : candidates) {
+      if (std::find(chosen.begin(), chosen.end(), i) != chosen.end()) continue;
+      double mind = std::numeric_limits<double>::max();
+      for (size_t c : chosen) {
+        mind = std::min(mind, metric->Dist(data + i * dim, data + c * dim, dim));
+      }
+      if (mind > best) {
+        best = mind;
+        best_i = i;
+      }
+    }
+    if (best_i == static_cast<size_t>(-1)) {
+      // Candidate pool exhausted (tiny datasets): fall back to random fill.
+      Rng rng(seed + chosen.size());
+      while (chosen.size() < k) {
+        size_t i = rng.Uniform(n);
+        if (std::find(chosen.begin(), chosen.end(), i) == chosen.end()) {
+          chosen.push_back(i);
+        }
+      }
+      break;
+    }
+    chosen.push_back(best_i);
+  }
+
+  std::vector<float> out(static_cast<size_t>(k) * dim);
+  for (uint32_t i = 0; i < k; ++i) {
+    std::memcpy(out.data() + static_cast<size_t>(i) * dim,
+                data + chosen[i] * dim, dim * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<float> PivotSelector::SelectRandom(const float* data, size_t n,
+                                               uint32_t dim, uint32_t k,
+                                               uint64_t seed) {
+  PEXESO_CHECK(n > 0 && k > 0);
+  k = static_cast<uint32_t>(std::min<size_t>(k, n));
+  Rng rng(seed);
+  std::vector<size_t> idx = rng.SampleIndices(n, k);
+  std::vector<float> out(static_cast<size_t>(k) * dim);
+  for (uint32_t i = 0; i < k; ++i) {
+    std::memcpy(out.data() + static_cast<size_t>(i) * dim,
+                data + idx[i] * dim, dim * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace pexeso

@@ -1,0 +1,36 @@
+#ifndef PEXESO_PIVOT_PIVOT_SELECTOR_H_
+#define PEXESO_PIVOT_PIVOT_SELECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "vec/metric.h"
+
+namespace pexeso {
+
+/// \brief Pivot selection strategies (Section III-D).
+///
+/// The paper adopts the PCA-based method of Mao et al. [22]: good pivots are
+/// outliers, and outliers sit at the extremes of the principal components.
+/// The O(|RV|) procedure here: fit PCA on a sample, take the points with
+/// extreme projections on the leading components as the outlier candidate
+/// set, then greedily keep candidates that are far from already-chosen
+/// pivots (outliers are good pivots only if they are not close to each
+/// other). A uniform-random selector is provided as the Figure 7a baseline.
+class PivotSelector {
+ public:
+  /// PCA-based selection of k pivots from n packed dim-d vectors.
+  /// Returns the selected pivots packed (k x dim).
+  static std::vector<float> SelectPca(const float* data, size_t n,
+                                      uint32_t dim, uint32_t k,
+                                      const Metric* metric, uint64_t seed = 17);
+
+  /// Uniform-random selection of k distinct vectors.
+  static std::vector<float> SelectRandom(const float* data, size_t n,
+                                         uint32_t dim, uint32_t k,
+                                         uint64_t seed = 17);
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_PIVOT_PIVOT_SELECTOR_H_

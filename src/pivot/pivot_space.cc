@@ -1,0 +1,50 @@
+#include "pivot/pivot_space.h"
+
+#include "common/check.h"
+
+namespace pexeso {
+
+PivotSpace::PivotSpace(const float* pivots, uint32_t count, uint32_t dim,
+                       const Metric* metric)
+    : num_pivots_(count),
+      dim_(dim),
+      pivots_(pivots, pivots + static_cast<size_t>(count) * dim),
+      metric_(metric) {
+  PEXESO_CHECK(count > 0 && dim > 0 && metric != nullptr);
+  axis_extent_ = metric->MaxUnitDistance(dim);
+}
+
+void PivotSpace::Map(const float* v, double* out) const {
+  for (uint32_t i = 0; i < num_pivots_; ++i) {
+    out[i] = metric_->Dist(pivot(i), v, dim_);
+  }
+}
+
+std::vector<double> PivotSpace::MapAll(const float* data, size_t n) const {
+  std::vector<double> mapped(n * num_pivots_);
+  for (size_t i = 0; i < n; ++i) {
+    Map(data + i * dim_, mapped.data() + i * num_pivots_);
+  }
+  return mapped;
+}
+
+void PivotSpace::Serialize(BinaryWriter* w) const {
+  w->Write<uint32_t>(num_pivots_);
+  w->Write<uint32_t>(dim_);
+  w->Write<double>(axis_extent_);
+  w->WriteVector(pivots_);
+}
+
+Status PivotSpace::Deserialize(BinaryReader* r, const Metric* metric) {
+  PEXESO_RETURN_NOT_OK(r->Read(&num_pivots_));
+  PEXESO_RETURN_NOT_OK(r->Read(&dim_));
+  PEXESO_RETURN_NOT_OK(r->Read(&axis_extent_));
+  PEXESO_RETURN_NOT_OK(r->ReadVector(&pivots_));
+  if (pivots_.size() != static_cast<size_t>(num_pivots_) * dim_) {
+    return Status::Corruption("pivot buffer size mismatch");
+  }
+  metric_ = metric;
+  return Status::OK();
+}
+
+}  // namespace pexeso

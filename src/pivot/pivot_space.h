@@ -1,0 +1,68 @@
+#ifndef PEXESO_PIVOT_PIVOT_SPACE_H_
+#define PEXESO_PIVOT_PIVOT_SPACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "vec/metric.h"
+#include "vec/vector_store.h"
+
+namespace pexeso {
+
+/// \brief A set of pivot vectors plus the machinery of pivot mapping
+/// (Section III-A): x -> x' = [d(p1,x), ..., d(pk,x)].
+///
+/// The pivot space is where every filtering lemma operates; mapped vectors
+/// are |P|-dimensional regardless of the embedding dimensionality, which is
+/// how PEXESO sidesteps the curse of dimensionality during blocking.
+class PivotSpace {
+ public:
+  PivotSpace() = default;
+
+  /// Builds from explicit pivot vectors (packed, `count` x `dim`).
+  PivotSpace(const float* pivots, uint32_t count, uint32_t dim,
+             const Metric* metric);
+
+  uint32_t num_pivots() const { return num_pivots_; }
+  uint32_t dim() const { return dim_; }
+  const Metric* metric() const { return metric_; }
+
+  /// Borrowed view of pivot i in the original space.
+  const float* pivot(uint32_t i) const {
+    return pivots_.data() + static_cast<size_t>(i) * dim_;
+  }
+
+  /// Maps one vector into the pivot space; `out` must hold num_pivots().
+  void Map(const float* v, double* out) const;
+
+  /// Maps `n` packed vectors; returns row-major n x num_pivots() distances.
+  std::vector<double> MapAll(const float* data, size_t n) const;
+
+  /// Upper bound of any pivot-space coordinate: the metric's max distance.
+  /// The hierarchical grid uses this as the extent of every axis.
+  double AxisExtent() const { return axis_extent_; }
+  void set_axis_extent(double e) { axis_extent_ = e; }
+
+  /// Serialization for partition files. The metric is not serialized; the
+  /// caller re-binds it on load (metrics are stateless singletons).
+  void Serialize(BinaryWriter* w) const;
+  Status Deserialize(BinaryReader* r, const Metric* metric);
+
+  size_t MemoryBytes() const {
+    return pivots_.capacity() * sizeof(float);
+  }
+
+ private:
+  uint32_t num_pivots_ = 0;
+  uint32_t dim_ = 0;
+  double axis_extent_ = 2.0;
+  std::vector<float> pivots_;
+  const Metric* metric_ = nullptr;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_PIVOT_PIVOT_SPACE_H_

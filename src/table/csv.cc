@@ -1,0 +1,153 @@
+#include "table/csv.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace pexeso {
+
+namespace {
+
+/// Parses CSV text into rows of cells.
+Status ParseRows(const std::string& text,
+                 std::vector<std::vector<std::string>>* rows) {
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_was_quoted = false;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_was_quoted = false;
+  };
+  auto end_row = [&] {
+    end_cell();
+    rows->push_back(std::move(row));
+    row.clear();
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else {
+      switch (c) {
+        case '"':
+          if (!cell.empty() && !cell_was_quoted) {
+            return Status::Corruption("quote inside unquoted cell");
+          }
+          in_quotes = true;
+          cell_was_quoted = true;
+          break;
+        case ',':
+          end_cell();
+          break;
+        case '\r':
+          // swallow; \n handles the row break
+          break;
+        case '\n':
+          end_row();
+          break;
+        default:
+          cell.push_back(c);
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) return Status::Corruption("unterminated quoted cell");
+  if (!cell.empty() || !row.empty()) end_row();
+  return Status::OK();
+}
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void WriteCell(std::ostringstream* out, const std::string& s) {
+  if (!NeedsQuoting(s)) {
+    *out << s;
+    return;
+  }
+  *out << '"';
+  for (char c : s) {
+    if (c == '"') *out << '"';
+    *out << c;
+  }
+  *out << '"';
+}
+
+}  // namespace
+
+Result<RawTable> Csv::Parse(const std::string& text,
+                            const std::string& table_name) {
+  std::vector<std::vector<std::string>> rows;
+  PEXESO_RETURN_NOT_OK(ParseRows(text, &rows));
+  if (rows.empty()) return Status::InvalidArgument("empty CSV: " + table_name);
+
+  RawTable table;
+  table.name = table_name;
+  const auto& header = rows[0];
+  table.columns.resize(header.size());
+  for (size_t c = 0; c < header.size(); ++c) {
+    table.columns[c].name = header[c];
+    table.columns[c].values.reserve(rows.size() - 1);
+  }
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() > header.size()) {
+      return Status::Corruption("row " + std::to_string(r) + " of " +
+                                table_name + " has more cells than header");
+    }
+    for (size_t c = 0; c < header.size(); ++c) {
+      table.columns[c].values.push_back(c < row.size() ? row[c]
+                                                       : std::string());
+    }
+  }
+  return table;
+}
+
+Result<RawTable> Csv::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open CSV: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str(), std::filesystem::path(path).stem().string());
+}
+
+std::string Csv::Write(const RawTable& table) {
+  std::ostringstream out;
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    if (c) out << ',';
+    WriteCell(&out, table.columns[c].name);
+  }
+  out << '\n';
+  const size_t rows = table.num_rows();
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      if (c) out << ',';
+      WriteCell(&out, table.columns[c].values[r]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status Csv::WriteFile(const RawTable& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot write CSV: " + path);
+  out << Write(table);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace pexeso

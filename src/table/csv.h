@@ -1,0 +1,34 @@
+#ifndef PEXESO_TABLE_CSV_H_
+#define PEXESO_TABLE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace pexeso {
+
+/// \brief RFC-4180-style CSV reader/writer: quoted fields, embedded commas,
+/// escaped quotes ("") and embedded newlines inside quotes. The first row is
+/// the header. Rows shorter than the header are padded with empty cells;
+/// longer rows are an error (data lakes are messy, but silently dropping
+/// cells would corrupt joins).
+class Csv {
+ public:
+  /// Parses CSV text into a table (name supplied by the caller).
+  static Result<RawTable> Parse(const std::string& text,
+                                const std::string& table_name);
+
+  /// Loads and parses a CSV file; the table name is the file stem.
+  static Result<RawTable> ReadFile(const std::string& path);
+
+  /// Serializes a table back to CSV text (used by tests and examples).
+  static std::string Write(const RawTable& table);
+
+  /// Writes a table to a file.
+  static Status WriteFile(const RawTable& table, const std::string& path);
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_TABLE_CSV_H_

@@ -1,0 +1,95 @@
+#include "table/repository.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/str_util.h"
+
+#include "table/csv.h"
+
+namespace pexeso {
+
+size_t TableRepository::AddTable(const RawTable& raw) {
+  if (raw.num_rows() < options_.min_rows) return 0;
+  RawTable table = raw;
+  TypeDetector::DetectAll(&table);
+
+  if (!catalog_initialized_) {
+    catalog_ = ColumnCatalog(model_->dim());
+    catalog_initialized_ = true;
+  }
+  const uint32_t table_id = next_table_id_++;
+  size_t added = 0;
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    const RawColumn& col = table.columns[c];
+    const bool key_type =
+        col.type == ColumnType::kString || col.type == ColumnType::kDate;
+    if (!key_type) continue;
+    if (TypeDetector::KeyScore(col) < options_.min_key_score) continue;
+    if (!options_.all_string_columns &&
+        static_cast<int>(c) != TypeDetector::SelectKeyColumn(table)) {
+      continue;
+    }
+    // Collect non-empty values; expand abbreviations for date columns (and
+    // address-ish strings benefit from the same rules harmlessly).
+    std::vector<std::string> values;
+    values.reserve(col.values.size());
+    const bool expand = col.type == ColumnType::kDate;
+    for (const auto& v : col.values) {
+      const std::string t(Trim(v));
+      if (t.empty()) continue;
+      values.push_back(expand ? expander_.Expand(t) : t);
+    }
+    if (values.size() < options_.min_rows) continue;
+
+    const std::vector<float> packed = model_->EmbedColumn(values);
+    ColumnMeta meta;
+    meta.table_id = table_id;
+    meta.source_id = static_cast<uint32_t>(raw_values_.size());
+    meta.table_name = table.name;
+    meta.column_name = col.name;
+    catalog_.AddColumn(meta, packed.data(), values.size());
+    raw_values_.push_back(std::move(values));
+    ++added;
+  }
+  return added;
+}
+
+Result<size_t> TableRepository::LoadDirectory(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("not a directory: " + dir);
+  }
+  // Deterministic order: sort paths.
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".csv") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  size_t total = 0;
+  for (const auto& p : paths) {
+    auto table = Csv::ReadFile(p);
+    if (!table.ok()) return table.status();
+    total += AddTable(table.value());
+  }
+  return total;
+}
+
+VectorStore TableRepository::EmbedQueryColumn(
+    const std::vector<std::string>& values, bool expand_dates) const {
+  VectorStore store(model_->dim());
+  store.Reserve(values.size());
+  for (const auto& v : values) {
+    const std::string t(Trim(v));
+    if (t.empty()) continue;
+    const std::string prepared = expand_dates ? expander_.Expand(t) : t;
+    auto e = model_->EmbedRecord(prepared);
+    store.Add(e);
+  }
+  return store;
+}
+
+}  // namespace pexeso

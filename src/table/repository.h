@@ -1,0 +1,74 @@
+#ifndef PEXESO_TABLE_REPOSITORY_H_
+#define PEXESO_TABLE_REPOSITORY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "embed/abbrev.h"
+#include "embed/embedding_model.h"
+#include "table/table.h"
+#include "table/type_detect.h"
+#include "vec/column_catalog.h"
+
+namespace pexeso {
+
+/// \brief The offline component of Figure 1: loads raw tables (CSV) into a
+/// table repository, detects types, extracts key-candidate string columns,
+/// expands date/address abbreviations, and embeds the records into a
+/// ColumnCatalog ready for PexesoIndex::Build.
+class TableRepository {
+ public:
+  struct Options {
+    /// Drop tables with fewer rows (paper: "remove tables ... contain less
+    /// than five rows").
+    size_t min_rows = 5;
+    /// Drop key columns whose key score is below this.
+    double min_key_score = 0.05;
+    /// Keep every string column as a join-key candidate instead of only the
+    /// best-scoring one per table.
+    bool all_string_columns = true;
+  };
+
+  explicit TableRepository(const EmbeddingModel* model)
+      : model_(model), options_(Options{}) {}
+  TableRepository(const EmbeddingModel* model, const Options& options)
+      : model_(model), options_(options) {}
+
+  /// Adds one raw table: detects types, picks key columns, embeds them.
+  /// Returns the number of columns added.
+  size_t AddTable(const RawTable& table);
+
+  /// Loads every *.csv under `dir` (non-recursive).
+  Result<size_t> LoadDirectory(const std::string& dir);
+
+  /// Embeds a query column (applying the same abbreviation expansion).
+  VectorStore EmbedQueryColumn(const std::vector<std::string>& values,
+                               bool expand_dates = false) const;
+
+  /// Hands the embedded repository over (the repository is empty after).
+  ColumnCatalog TakeCatalog() { return std::move(catalog_); }
+  const ColumnCatalog& catalog() const { return catalog_; }
+
+  /// Raw string values of the extracted column `id` (parallel to catalog
+  /// columns; used by the text-join competitors which work on raw strings).
+  const std::vector<std::string>& RawValues(ColumnId id) const {
+    return raw_values_[id];
+  }
+  size_t num_columns() const { return raw_values_.size(); }
+
+  const AbbreviationExpander& expander() const { return expander_; }
+
+ private:
+  const EmbeddingModel* model_;
+  Options options_;
+  AbbreviationExpander expander_;
+  ColumnCatalog catalog_;
+  std::vector<std::vector<std::string>> raw_values_;
+  uint32_t next_table_id_ = 0;
+  bool catalog_initialized_ = false;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_TABLE_REPOSITORY_H_

@@ -1,0 +1,43 @@
+#ifndef PEXESO_TABLE_TABLE_H_
+#define PEXESO_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pexeso {
+
+/// \brief Detected semantic type of a column (the SATO-substitute detector;
+/// see DESIGN.md). Only kString columns participate in similarity joins —
+/// numbers and ids go through equi-join per the paper's setting.
+enum class ColumnType : uint8_t {
+  kString = 0,
+  kNumber = 1,
+  kDate = 2,
+  kId = 3,
+  kEmpty = 4,
+};
+
+const char* ColumnTypeName(ColumnType t);
+
+/// \brief One raw table column: a name and string cell values (CSV-level
+/// representation; typing happens in TypeDetector).
+struct RawColumn {
+  std::string name;
+  std::vector<std::string> values;
+  ColumnType type = ColumnType::kString;
+};
+
+/// \brief One raw table loaded from CSV.
+struct RawTable {
+  std::string name;
+  std::vector<RawColumn> columns;
+
+  size_t num_rows() const {
+    return columns.empty() ? 0 : columns[0].values.size();
+  }
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_TABLE_TABLE_H_

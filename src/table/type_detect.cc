@@ -1,0 +1,159 @@
+#include "table/type_detect.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace pexeso {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kString: return "string";
+    case ColumnType::kNumber: return "number";
+    case ColumnType::kDate: return "date";
+    case ColumnType::kId: return "id";
+    case ColumnType::kEmpty: return "empty";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const std::unordered_set<std::string>& MonthWords() {
+  static const std::unordered_set<std::string> kMonths = {
+      "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "sept",
+      "oct", "nov", "dec", "january", "february", "march", "april", "june",
+      "july", "august", "september", "october", "november", "december"};
+  return kMonths;
+}
+
+bool AllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isdigit(c);
+  });
+}
+
+/// Short alphanumeric code like "A1234" or "SKU-99".
+bool LooksCode(const std::string& s) {
+  if (s.size() > 16 || s.empty()) return false;
+  bool has_digit = false;
+  for (unsigned char c : s) {
+    if (std::isdigit(c)) {
+      has_digit = true;
+    } else if (!std::isalpha(c) && c != '-' && c != '_') {
+      return false;
+    }
+  }
+  return has_digit;
+}
+
+}  // namespace
+
+bool TypeDetector::LooksDate(const std::string& value) {
+  const std::string v(Trim(value));
+  if (v.empty()) return false;
+  // ISO-like or slashed numeric dates: 2020-01-02, 01/02/2020, 1.2.1998.
+  int seps = 0;
+  char sep = 0;
+  bool digits_only_between = true;
+  for (unsigned char c : v) {
+    if (c == '-' || c == '/' || c == '.') {
+      ++seps;
+      if (sep == 0) sep = static_cast<char>(c);
+      if (c != static_cast<unsigned char>(sep)) digits_only_between = false;
+    } else if (!std::isdigit(c)) {
+      digits_only_between = false;
+    }
+  }
+  if (seps == 2 && digits_only_between) {
+    const auto parts = Split(v, sep);
+    if (parts.size() == 3 && AllDigits(parts[0]) && AllDigits(parts[1]) &&
+        AllDigits(parts[2])) {
+      return true;
+    }
+  }
+  // Month-name dates: "Mar 3 1998", "3 March 1998".
+  const auto words = WordTokens(v);
+  if (words.size() >= 2 && words.size() <= 4) {
+    bool has_month = false;
+    bool has_number = false;
+    for (const auto& w : words) {
+      if (MonthWords().count(w)) has_month = true;
+      if (AllDigits(w)) has_number = true;
+    }
+    return has_month && has_number;
+  }
+  return false;
+}
+
+ColumnType TypeDetector::Detect(const RawColumn& column) {
+  size_t non_empty = 0, numbers = 0, dates = 0, codes = 0;
+  std::unordered_set<std::string> distinct;
+  for (const auto& v : column.values) {
+    const std::string t(Trim(v));
+    if (t.empty()) continue;
+    ++non_empty;
+    distinct.insert(t);
+    if (LooksDate(t)) {
+      ++dates;
+    } else if (LooksNumeric(t)) {
+      ++numbers;
+    } else if (LooksCode(t)) {
+      ++codes;
+    }
+  }
+  if (non_empty == 0) return ColumnType::kEmpty;
+  const double n = static_cast<double>(non_empty);
+  if (dates / n >= 0.7) return ColumnType::kDate;
+  const double distinct_ratio = distinct.size() / n;
+  if (numbers / n >= 0.9) {
+    // Near-unique integer columns are ids, not measures.
+    return distinct_ratio > 0.95 ? ColumnType::kId : ColumnType::kNumber;
+  }
+  if ((numbers + codes) / n >= 0.9 && distinct_ratio > 0.95) {
+    return ColumnType::kId;
+  }
+  return ColumnType::kString;
+}
+
+void TypeDetector::DetectAll(RawTable* table) {
+  for (auto& c : table->columns) c.type = Detect(c);
+}
+
+double TypeDetector::KeyScore(const RawColumn& column) {
+  if (column.type != ColumnType::kString && column.type != ColumnType::kDate) {
+    return 0.0;
+  }
+  std::unordered_set<std::string> distinct;
+  size_t non_empty = 0;
+  for (const auto& v : column.values) {
+    const std::string t(Trim(v));
+    if (t.empty()) continue;
+    ++non_empty;
+    distinct.insert(ToLower(t));
+  }
+  if (non_empty == 0) return 0.0;
+  const double distinct_ratio =
+      static_cast<double>(distinct.size()) / static_cast<double>(non_empty);
+  const double coverage = static_cast<double>(non_empty) /
+                          static_cast<double>(column.values.size());
+  return distinct_ratio * coverage;
+}
+
+int TypeDetector::SelectKeyColumn(const RawTable& table) {
+  int best = -1;
+  double best_score = 0.0;
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    const double s = KeyScore(table.columns[c]);
+    if (s > best_score) {
+      best_score = s;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace pexeso

@@ -1,0 +1,41 @@
+#ifndef PEXESO_TABLE_TYPE_DETECT_H_
+#define PEXESO_TABLE_TYPE_DETECT_H_
+
+#include "table/table.h"
+
+namespace pexeso {
+
+/// \brief Heuristic column typing and key-column scoring — the stand-in for
+/// SATO [35] in the offline pipeline (Section II-A): the repository keeps
+/// the string columns whose type can serve as a join key.
+///
+/// Typing rules (majority vote over non-empty cells):
+///  - kNumber: numeric-looking cells;
+///  - kDate: cells matching common date shapes (2020-01-02, 01/02/2020,
+///    "Mar 3 1998", month names);
+///  - kId: numeric or short alphanumeric codes with near-100% distinctness
+///    (row ids, SKUs) — poor semantic join keys;
+///  - kString otherwise; kEmpty when everything is blank.
+class TypeDetector {
+ public:
+  /// Detects the type of a single column.
+  static ColumnType Detect(const RawColumn& column);
+
+  /// Types every column of the table in place.
+  static void DetectAll(RawTable* table);
+
+  /// Key-column quality in [0,1]: string-typed columns with many distinct
+  /// values score high (the paper's option 2 picks the string column with
+  /// the most distinct values as the query column).
+  static double KeyScore(const RawColumn& column);
+
+  /// Index of the best key column, or -1 if no string column qualifies.
+  static int SelectKeyColumn(const RawTable& table);
+
+  /// True if the cell looks like a date.
+  static bool LooksDate(const std::string& value);
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_TABLE_TYPE_DETECT_H_

@@ -1,0 +1,259 @@
+#include "textjoin/matchers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace pexeso {
+
+bool RecordMatcher::MatchAny(const std::string& q, ColumnId col) const {
+  PEXESO_CHECK(columns_ != nullptr);
+  for (const auto& s : (*columns_)[col]) {
+    if (MatchRecords(q, s)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- Equi ----
+
+bool EquiMatcher::MatchRecords(const std::string& a,
+                               const std::string& b) const {
+  return ToLower(Trim(a)) == ToLower(Trim(b));
+}
+
+void EquiMatcher::PrepareColumns(
+    const std::vector<std::vector<std::string>>* columns) {
+  RecordMatcher::PrepareColumns(columns);
+  sets_.clear();
+  sets_.reserve(columns->size());
+  for (const auto& col : *columns) {
+    std::unordered_set<std::string> s;
+    s.reserve(col.size() * 2);
+    for (const auto& v : col) s.insert(ToLower(Trim(v)));
+    sets_.push_back(std::move(s));
+  }
+}
+
+bool EquiMatcher::MatchAny(const std::string& q, ColumnId col) const {
+  return sets_[col].count(ToLower(Trim(q))) > 0;
+}
+
+// ------------------------------------------------------------- Jaccard ----
+
+double JaccardMatcher::Similarity(const std::string& a, const std::string& b) {
+  auto ta = WordTokens(a);
+  auto tb = WordTokens(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  std::unordered_set<std::string> sa(ta.begin(), ta.end());
+  std::unordered_set<std::string> sb(tb.begin(), tb.end());
+  size_t inter = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t)) ++inter;
+  }
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+bool JaccardMatcher::MatchRecords(const std::string& a,
+                                  const std::string& b) const {
+  return Similarity(a, b) >= threshold_;
+}
+
+void JaccardMatcher::PrepareColumns(
+    const std::vector<std::vector<std::string>>* columns) {
+  RecordMatcher::PrepareColumns(columns);
+  token_index_.clear();
+  token_index_.resize(columns->size());
+  for (size_t c = 0; c < columns->size(); ++c) {
+    const auto& col = (*columns)[c];
+    for (uint32_t r = 0; r < col.size(); ++r) {
+      auto tokens = WordTokens(col[r]);
+      std::unordered_set<uint64_t> uniq;
+      for (const auto& t : tokens) uniq.insert(Fnv1a64(t.data(), t.size()));
+      for (uint64_t h : uniq) token_index_[c][h].push_back(r);
+    }
+  }
+}
+
+bool JaccardMatcher::MatchAny(const std::string& q, ColumnId col) const {
+  if (token_index_.empty() || threshold_ <= 0.0) {
+    return RecordMatcher::MatchAny(q, col);
+  }
+  const auto& index = token_index_[col];
+  const auto& records = (*columns_)[col];
+  auto q_tokens = WordTokens(q);
+  if (q_tokens.empty()) {
+    // Jaccard(empty, empty) = 1: only empty records can match.
+    for (const auto& r : records) {
+      if (WordTokens(r).empty()) return true;
+    }
+    return false;
+  }
+  // Only records sharing >= 1 token can reach a positive Jaccard.
+  std::unordered_set<uint32_t> candidates;
+  std::unordered_set<uint64_t> seen;
+  for (const auto& t : q_tokens) {
+    const uint64_t h = Fnv1a64(t.data(), t.size());
+    if (!seen.insert(h).second) continue;
+    auto it = index.find(h);
+    if (it == index.end()) continue;
+    for (uint32_t r : it->second) candidates.insert(r);
+  }
+  for (uint32_t r : candidates) {
+    if (MatchRecords(q, records[r])) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- Edit ----
+
+double EditMatcher::Similarity(const std::string& a, const std::string& b) {
+  const std::string la = ToLower(Trim(a));
+  const std::string lb = ToLower(Trim(b));
+  const size_t maxlen = std::max(la.size(), lb.size());
+  if (maxlen == 0) return 1.0;
+  const int d = EditDistance(la, lb);
+  return 1.0 - static_cast<double>(d) / static_cast<double>(maxlen);
+}
+
+bool EditMatcher::MatchRecords(const std::string& a,
+                               const std::string& b) const {
+  // Early-exit bound: a similarity >= t needs ED <= (1-t) * maxlen.
+  const std::string la = ToLower(Trim(a));
+  const std::string lb = ToLower(Trim(b));
+  const size_t maxlen = std::max(la.size(), lb.size());
+  if (maxlen == 0) return true;
+  const int bound = static_cast<int>((1.0 - threshold_) * maxlen);
+  return EditDistance(la, lb, bound) <= bound;
+}
+
+// --------------------------------------------------------------- Fuzzy ----
+
+double FuzzyMatcher::Similarity(const std::string& a, const std::string& b,
+                                double token_threshold) {
+  auto ta = WordTokens(a);
+  auto tb = WordTokens(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  // Greedy fuzzy token matching: each token of `a` grabs its best unmatched
+  // fuzzy partner in `b` (edit similarity >= token_threshold).
+  std::vector<bool> used(tb.size(), false);
+  size_t matched = 0;
+  for (const auto& x : ta) {
+    double best = token_threshold;
+    int best_j = -1;
+    for (size_t j = 0; j < tb.size(); ++j) {
+      if (used[j]) continue;
+      const double sim = EditMatcher::Similarity(x, tb[j]);
+      if (sim >= best) {
+        best = sim;
+        best_j = static_cast<int>(j);
+      }
+    }
+    if (best_j >= 0) {
+      used[best_j] = true;
+      ++matched;
+    }
+  }
+  const size_t uni = ta.size() + tb.size() - matched;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(matched) / static_cast<double>(uni);
+}
+
+bool FuzzyMatcher::MatchRecords(const std::string& a,
+                                const std::string& b) const {
+  return Similarity(a, b, token_threshold_) >= record_threshold_;
+}
+
+// --------------------------------------------------------------- TF-IDF ----
+
+void TfIdfMatcher::PrepareColumns(
+    const std::vector<std::vector<std::string>>* columns) {
+  RecordMatcher::PrepareColumns(columns);
+  // Document frequency over all repository records.
+  std::unordered_map<uint64_t, size_t> df;
+  num_docs_ = 0;
+  for (const auto& col : *columns) {
+    for (const auto& rec : col) {
+      ++num_docs_;
+      auto tokens = WordTokens(rec);
+      std::unordered_set<uint64_t> uniq;
+      for (const auto& t : tokens) uniq.insert(Fnv1a64(t.data(), t.size()));
+      for (uint64_t h : uniq) ++df[h];
+    }
+  }
+  idf_.clear();
+  for (const auto& [h, d] : df) {
+    idf_[h] = std::log(1.0 + static_cast<double>(num_docs_) /
+                                 static_cast<double>(d));
+  }
+  // Pre-vectorize every repository record.
+  column_vecs_.clear();
+  column_vecs_.reserve(columns->size());
+  for (const auto& col : *columns) {
+    std::vector<SparseVec> vecs;
+    vecs.reserve(col.size());
+    for (const auto& rec : col) vecs.push_back(Vectorize(rec));
+    column_vecs_.push_back(std::move(vecs));
+  }
+}
+
+TfIdfMatcher::SparseVec TfIdfMatcher::Vectorize(const std::string& s) const {
+  std::unordered_map<uint64_t, float> tf;
+  for (const auto& t : WordTokens(s)) {
+    ++tf[Fnv1a64(t.data(), t.size())];
+  }
+  SparseVec out;
+  out.reserve(tf.size());
+  double norm2 = 0.0;
+  for (auto& [h, f] : tf) {
+    auto it = idf_.find(h);
+    // Unknown tokens get the max idf (they occur in no repository record).
+    const double idf =
+        it != idf_.end() ? it->second : std::log(1.0 + num_docs_);
+    const double w = f * idf;
+    out.emplace_back(h, static_cast<float>(w));
+    norm2 += w * w;
+  }
+  if (norm2 > 0) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm2));
+    for (auto& [h, w] : out) w *= inv;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double TfIdfMatcher::Cosine(const SparseVec& a, const SparseVec& b) {
+  double dot = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      ++i;
+    } else if (a[i].first > b[j].first) {
+      ++j;
+    } else {
+      dot += static_cast<double>(a[i].second) * b[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return dot;
+}
+
+bool TfIdfMatcher::MatchRecords(const std::string& a,
+                                const std::string& b) const {
+  return Cosine(Vectorize(a), Vectorize(b)) >= threshold_;
+}
+
+bool TfIdfMatcher::MatchAny(const std::string& q, ColumnId col) const {
+  const SparseVec qv = Vectorize(q);
+  for (const auto& rv : column_vecs_[col]) {
+    if (Cosine(qv, rv) >= threshold_) return true;
+  }
+  return false;
+}
+
+}  // namespace pexeso

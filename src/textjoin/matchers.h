@@ -1,0 +1,135 @@
+#ifndef PEXESO_TEXTJOIN_MATCHERS_H_
+#define PEXESO_TEXTJOIN_MATCHERS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "vec/vector_store.h"
+
+namespace pexeso {
+
+/// \brief A record-level string matching predicate — the unit the Table IV /
+/// Table V competitors are built from. A matcher may pre-index the
+/// repository columns (PrepareColumns) to answer "does any record of column
+/// S match q" faster than a linear scan.
+class RecordMatcher {
+ public:
+  virtual ~RecordMatcher() = default;
+
+  /// True if records a and b match under this predicate.
+  virtual bool MatchRecords(const std::string& a,
+                            const std::string& b) const = 0;
+
+  /// Optional pre-indexing over the repository columns (borrowed pointer,
+  /// must outlive the matcher).
+  virtual void PrepareColumns(
+      const std::vector<std::vector<std::string>>* columns) {
+    columns_ = columns;
+  }
+
+  /// True if any record of column `col` matches `q`. Default: linear scan.
+  virtual bool MatchAny(const std::string& q, ColumnId col) const;
+
+  virtual std::string Name() const = 0;
+
+ protected:
+  const std::vector<std::vector<std::string>>* columns_ = nullptr;
+};
+
+/// \brief Exact string equality after trimming + lower-casing (the paper's
+/// equi-join [37] applied record-wise). Pre-indexes columns as hash sets.
+class EquiMatcher : public RecordMatcher {
+ public:
+  bool MatchRecords(const std::string& a, const std::string& b) const override;
+  void PrepareColumns(
+      const std::vector<std::vector<std::string>>* columns) override;
+  bool MatchAny(const std::string& q, ColumnId col) const override;
+  std::string Name() const override { return "equi"; }
+
+ private:
+  std::vector<std::unordered_set<std::string>> sets_;
+};
+
+/// \brief Jaccard similarity over lower-cased word-token sets >= threshold.
+///
+/// PrepareColumns builds a token inverted index per column; MatchAny then
+/// probes only the records sharing at least one token with the query record
+/// (for threshold > 0 a match must share a token, so the filter is exact).
+class JaccardMatcher : public RecordMatcher {
+ public:
+  explicit JaccardMatcher(double threshold) : threshold_(threshold) {}
+  bool MatchRecords(const std::string& a, const std::string& b) const override;
+  void PrepareColumns(
+      const std::vector<std::vector<std::string>>* columns) override;
+  bool MatchAny(const std::string& q, ColumnId col) const override;
+  std::string Name() const override { return "jaccard"; }
+
+  static double Similarity(const std::string& a, const std::string& b);
+
+ private:
+  double threshold_;
+  /// Per column: token hash -> record indices containing the token.
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> token_index_;
+};
+
+/// \brief Normalized edit similarity 1 - ED(a,b)/max(|a|,|b|) >= threshold.
+class EditMatcher : public RecordMatcher {
+ public:
+  explicit EditMatcher(double threshold) : threshold_(threshold) {}
+  bool MatchRecords(const std::string& a, const std::string& b) const override;
+  std::string Name() const override { return "edit"; }
+
+  static double Similarity(const std::string& a, const std::string& b);
+
+ private:
+  double threshold_;
+};
+
+/// \brief Fuzzy-join predicate after Wang et al. [32]: tokens fuzzy-match
+/// when their edit similarity >= token_threshold; records match when the
+/// greedy fuzzy-token-overlap Jaccard >= record_threshold. Combines
+/// token-level and character-level signals, as the paper describes.
+class FuzzyMatcher : public RecordMatcher {
+ public:
+  FuzzyMatcher(double token_threshold, double record_threshold)
+      : token_threshold_(token_threshold), record_threshold_(record_threshold) {}
+  bool MatchRecords(const std::string& a, const std::string& b) const override;
+  std::string Name() const override { return "fuzzy"; }
+
+  static double Similarity(const std::string& a, const std::string& b,
+                           double token_threshold);
+
+ private:
+  double token_threshold_;
+  double record_threshold_;
+};
+
+/// \brief TF-IDF cosine similarity over word tokens >= threshold, with IDF
+/// computed over the repository columns (Cohen's WHIRL-style textual join
+/// [6]). Pre-computes per-record normalized tf-idf maps.
+class TfIdfMatcher : public RecordMatcher {
+ public:
+  explicit TfIdfMatcher(double threshold) : threshold_(threshold) {}
+  void PrepareColumns(
+      const std::vector<std::vector<std::string>>* columns) override;
+  bool MatchRecords(const std::string& a, const std::string& b) const override;
+  bool MatchAny(const std::string& q, ColumnId col) const override;
+  std::string Name() const override { return "tfidf"; }
+
+ private:
+  using SparseVec = std::vector<std::pair<uint64_t, float>>;  // sorted by key
+  SparseVec Vectorize(const std::string& s) const;
+  static double Cosine(const SparseVec& a, const SparseVec& b);
+
+  double threshold_;
+  std::unordered_map<uint64_t, double> idf_;
+  size_t num_docs_ = 0;
+  std::vector<std::vector<SparseVec>> column_vecs_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_TEXTJOIN_MATCHERS_H_

@@ -1,0 +1,58 @@
+#include "textjoin/text_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pexeso {
+
+std::vector<JoinableColumn> TextJoinSearcher::Search(
+    const std::vector<std::string>& query, const RecordMatcher& matcher,
+    double t_fraction) const {
+  std::vector<JoinableColumn> out;
+  const uint32_t num_q = static_cast<uint32_t>(query.size());
+  if (num_q == 0) return out;
+  const uint32_t t_abs = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::ceil(t_fraction * num_q)));
+
+  for (ColumnId col = 0; col < columns_->size(); ++col) {
+    uint32_t matches = 0;
+    uint32_t mismatches = 0;
+    bool joinable = false;
+    for (uint32_t q = 0; q < num_q; ++q) {
+      if (matcher.MatchAny(query[q], col)) {
+        if (++matches >= t_abs) {
+          joinable = true;
+          break;
+        }
+      } else {
+        ++mismatches;
+        if (num_q - mismatches < t_abs) break;  // Lemma 7 logic
+      }
+    }
+    if (joinable) {
+      JoinableColumn jc;
+      jc.column = col;
+      jc.match_count = matches;
+      jc.joinability = static_cast<double>(matches) / num_q;
+      out.push_back(jc);
+    }
+  }
+  return out;
+}
+
+double TextJoinSearcher::MatchRatio(const std::vector<std::string>& query,
+                                    const RecordMatcher& matcher,
+                                    const std::vector<ColumnId>& columns) const {
+  if (query.empty() || columns.empty()) return 0.0;
+  size_t probes = 0, hits = 0;
+  for (ColumnId col : columns) {
+    for (const auto& q : query) {
+      ++probes;
+      if (matcher.MatchAny(q, col)) ++hits;
+    }
+  }
+  return probes == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(probes);
+}
+
+}  // namespace pexeso

@@ -1,0 +1,43 @@
+#ifndef PEXESO_TEXTJOIN_TEXT_SEARCH_H_
+#define PEXESO_TEXTJOIN_TEXT_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/join_result.h"
+#include "textjoin/matchers.h"
+
+namespace pexeso {
+
+/// \brief Joinable-table search over raw string columns with a pluggable
+/// record matcher: the workflow shared by the equi / Jaccard / edit / fuzzy /
+/// TF-IDF competitors of Tables IV and V. Joinability is the paper's
+/// jnd(Q,S) with vector matching replaced by the matcher's predicate; the
+/// same joinable-skip and Lemma 7 early terminations apply.
+class TextJoinSearcher {
+ public:
+  /// `columns` is borrowed: raw string values per repository column.
+  explicit TextJoinSearcher(
+      const std::vector<std::vector<std::string>>* columns)
+      : columns_(columns) {}
+
+  /// Finds columns whose joinability with `query` reaches `t_fraction`.
+  /// The matcher must already be PrepareColumns()'d with the same columns.
+  std::vector<JoinableColumn> Search(const std::vector<std::string>& query,
+                                     const RecordMatcher& matcher,
+                                     double t_fraction) const;
+
+  /// Record-level match ratio: the fraction of (query record, column)
+  /// probes that found a match among the given columns — the "# Match"
+  /// statistic of Table V.
+  double MatchRatio(const std::vector<std::string>& query,
+                    const RecordMatcher& matcher,
+                    const std::vector<ColumnId>& columns) const;
+
+ private:
+  const std::vector<std::vector<std::string>>* columns_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_TEXTJOIN_TEXT_SEARCH_H_

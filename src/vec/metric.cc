@@ -1,0 +1,12 @@
+#include "vec/metric.h"
+
+namespace pexeso {
+
+std::unique_ptr<Metric> MakeMetric(const std::string& name) {
+  if (name == "l2") return std::make_unique<L2Metric>();
+  if (name == "cosine") return std::make_unique<CosineMetric>();
+  if (name == "l1") return std::make_unique<L1Metric>();
+  return nullptr;
+}
+
+}  // namespace pexeso

@@ -1,0 +1,93 @@
+#ifndef PEXESO_VEC_METRIC_H_
+#define PEXESO_VEC_METRIC_H_
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace pexeso {
+
+/// \brief A distance function over dense float vectors that satisfies the
+/// metric axioms (in particular the triangle inequality, which every filter
+/// in this library relies on).
+///
+/// PEXESO supports "any similarity function in a metric space" (paper,
+/// Section I); the concrete metrics below are the ones the experiments use.
+class Metric {
+ public:
+  virtual ~Metric() = default;
+
+  /// Distance between two `dim`-dimensional vectors.
+  virtual double Dist(const float* a, const float* b, uint32_t dim) const = 0;
+
+  /// Maximum possible distance between two unit-normalized vectors, used to
+  /// convert the fractional threshold tau of Section V to an absolute one.
+  virtual double MaxUnitDistance(uint32_t dim) const = 0;
+
+  /// Short human-readable name ("l2", "cosine", "l1").
+  virtual std::string Name() const = 0;
+};
+
+/// \brief Euclidean (L2) distance; the default in the paper's experiments.
+/// Max distance between unit vectors is 2.
+class L2Metric final : public Metric {
+ public:
+  double Dist(const float* a, const float* b, uint32_t dim) const override {
+    double acc = 0.0;
+    for (uint32_t i = 0; i < dim; ++i) {
+      const double d = static_cast<double>(a[i]) - b[i];
+      acc += d * d;
+    }
+    return std::sqrt(acc);
+  }
+  double MaxUnitDistance(uint32_t) const override { return 2.0; }
+  std::string Name() const override { return "l2"; }
+};
+
+/// \brief Angular-compatible cosine distance sqrt(2 - 2 cos(a,b)).
+///
+/// For unit vectors this equals the Euclidean distance, hence it is a true
+/// metric (plain 1-cos is not). Provided as the "cosine" option.
+class CosineMetric final : public Metric {
+ public:
+  double Dist(const float* a, const float* b, uint32_t dim) const override {
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (uint32_t i = 0; i < dim; ++i) {
+      dot += static_cast<double>(a[i]) * b[i];
+      na += static_cast<double>(a[i]) * a[i];
+      nb += static_cast<double>(b[i]) * b[i];
+    }
+    if (na <= 0.0 || nb <= 0.0) return std::sqrt(2.0);
+    double c = dot / std::sqrt(na * nb);
+    if (c > 1.0) c = 1.0;
+    if (c < -1.0) c = -1.0;
+    return std::sqrt(2.0 - 2.0 * c);
+  }
+  double MaxUnitDistance(uint32_t) const override { return 2.0; }
+  std::string Name() const override { return "cosine"; }
+};
+
+/// \brief Manhattan (L1) distance; exercised by the metric-genericity tests.
+/// Max distance between unit-L2 vectors is bounded by 2*sqrt(dim).
+class L1Metric final : public Metric {
+ public:
+  double Dist(const float* a, const float* b, uint32_t dim) const override {
+    double acc = 0.0;
+    for (uint32_t i = 0; i < dim; ++i) {
+      acc += std::fabs(static_cast<double>(a[i]) - b[i]);
+    }
+    return acc;
+  }
+  double MaxUnitDistance(uint32_t dim) const override {
+    return 2.0 * std::sqrt(static_cast<double>(dim));
+  }
+  std::string Name() const override { return "l1"; }
+};
+
+/// Factory by name; returns nullptr for unknown names.
+std::unique_ptr<Metric> MakeMetric(const std::string& name);
+
+}  // namespace pexeso
+
+#endif  // PEXESO_VEC_METRIC_H_

@@ -1,0 +1,54 @@
+#ifndef PEXESO_VEC_SEARCH_STATS_H_
+#define PEXESO_VEC_SEARCH_STATS_H_
+
+#include <cstdint>
+
+namespace pexeso {
+
+/// \brief Instrumentation counters shared by every searcher. Figure 6a of
+/// the paper compares the number of exact distance computations per method;
+/// each searcher fills these in so the benchmark can reproduce that figure.
+struct SearchStats {
+  /// Exact d(.,.) evaluations in the original (embedding) space.
+  uint64_t distance_computations = 0;
+  /// Vector pairs ruled out by Lemma 1 (pivot filtering) during verification.
+  uint64_t lemma1_filtered = 0;
+  /// Vector pairs confirmed by Lemma 2 (pivot matching) without distance.
+  uint64_t lemma2_matched = 0;
+  /// Cell pairs pruned by Lemmas 3/4 during blocking.
+  uint64_t cells_filtered = 0;
+  /// Cell pairs fully matched by Lemmas 5/6 during blocking.
+  uint64_t cells_matched = 0;
+  /// Candidate (query vector, leaf cell) pairs emitted by blocking.
+  uint64_t candidate_pairs = 0;
+  /// Matching (query vector, leaf cell) pairs emitted by blocking.
+  uint64_t matching_pairs = 0;
+  /// Columns skipped by the Lemma 7 early-termination rule.
+  uint64_t lemma7_kills = 0;
+  /// Columns confirmed joinable before exhausting their candidates.
+  uint64_t early_joinable = 0;
+  /// Wall-clock split (seconds) of the two search phases.
+  double block_seconds = 0.0;
+  double verify_seconds = 0.0;
+
+  void Reset() { *this = SearchStats{}; }
+
+  SearchStats& operator+=(const SearchStats& o) {
+    distance_computations += o.distance_computations;
+    lemma1_filtered += o.lemma1_filtered;
+    lemma2_matched += o.lemma2_matched;
+    cells_filtered += o.cells_filtered;
+    cells_matched += o.cells_matched;
+    candidate_pairs += o.candidate_pairs;
+    matching_pairs += o.matching_pairs;
+    lemma7_kills += o.lemma7_kills;
+    early_joinable += o.early_joinable;
+    block_seconds += o.block_seconds;
+    verify_seconds += o.verify_seconds;
+    return *this;
+  }
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_VEC_SEARCH_STATS_H_

@@ -1,0 +1,40 @@
+#include "vec/vector_store.h"
+
+#include <cmath>
+
+namespace pexeso {
+
+void VectorStore::NormalizeInPlace(float* v, uint32_t dim) {
+  double norm2 = 0.0;
+  for (uint32_t i = 0; i < dim; ++i) norm2 += static_cast<double>(v[i]) * v[i];
+  if (norm2 <= 0.0) {
+    for (uint32_t i = 0; i < dim; ++i) v[i] = 0.0f;
+    v[0] = 1.0f;
+    return;
+  }
+  const float inv = static_cast<float>(1.0 / std::sqrt(norm2));
+  for (uint32_t i = 0; i < dim; ++i) v[i] *= inv;
+}
+
+void VectorStore::NormalizeAll() {
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) {
+    NormalizeInPlace(data_.data() + i * dim_, dim_);
+  }
+}
+
+void VectorStore::Serialize(BinaryWriter* w) const {
+  w->Write<uint32_t>(dim_);
+  w->WriteVector(data_);
+}
+
+Status VectorStore::Deserialize(BinaryReader* r) {
+  PEXESO_RETURN_NOT_OK(r->Read(&dim_));
+  PEXESO_RETURN_NOT_OK(r->ReadVector(&data_));
+  if (dim_ != 0 && data_.size() % dim_ != 0) {
+    return Status::Corruption("vector buffer not a multiple of dim");
+  }
+  return Status::OK();
+}
+
+}  // namespace pexeso

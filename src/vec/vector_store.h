@@ -1,0 +1,95 @@
+#ifndef PEXESO_VEC_VECTOR_STORE_H_
+#define PEXESO_VEC_VECTOR_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace pexeso {
+
+/// Identifier of a vector inside a VectorStore.
+using VecId = uint32_t;
+
+/// Identifier of a column inside a ColumnCatalog / repository.
+using ColumnId = uint32_t;
+
+/// \brief Columnar arena of dense float vectors of a fixed dimensionality.
+///
+/// All record embeddings live contiguously in one buffer; columns reference
+/// vectors by VecId. This is the layout every index in the library is built
+/// over: cache-friendly scans, trivially serializable for the out-of-core
+/// partition files.
+class VectorStore {
+ public:
+  /// Creates an empty store of the given dimensionality (> 0).
+  explicit VectorStore(uint32_t dim) : dim_(dim) { PEXESO_CHECK(dim > 0); }
+
+  VectorStore() : dim_(0) {}
+
+  uint32_t dim() const { return dim_; }
+  size_t size() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Appends a vector; returns its id. `v.size()` must equal dim().
+  VecId Add(std::span<const float> v) {
+    PEXESO_DCHECK(v.size() == dim_);
+    const VecId id = static_cast<VecId>(size());
+    data_.insert(data_.end(), v.begin(), v.end());
+    return id;
+  }
+
+  /// Appends `count` vectors from a packed buffer.
+  VecId AddBatch(const float* packed, size_t count) {
+    const VecId first = static_cast<VecId>(size());
+    data_.insert(data_.end(), packed, packed + count * dim_);
+    return first;
+  }
+
+  /// Reserves space for n vectors.
+  void Reserve(size_t n) { data_.reserve(n * dim_); }
+
+  /// Borrowed view of vector `id`.
+  const float* View(VecId id) const {
+    PEXESO_DCHECK(static_cast<size_t>(id) < size());
+    return data_.data() + static_cast<size_t>(id) * dim_;
+  }
+
+  /// Mutable view (used by normalization and tests).
+  float* MutableView(VecId id) {
+    PEXESO_DCHECK(static_cast<size_t>(id) < size());
+    return data_.data() + static_cast<size_t>(id) * dim_;
+  }
+
+  std::span<const float> Span(VecId id) const { return {View(id), dim_}; }
+
+  /// Scales every vector to unit L2 norm (Section V of the paper: thresholds
+  /// are expressed as fractions of the max distance between unit vectors).
+  /// Zero vectors are replaced by the first unit basis vector so they remain
+  /// valid metric-space points.
+  void NormalizeAll();
+
+  /// Normalizes a single raw vector buffer in place.
+  static void NormalizeInPlace(float* v, uint32_t dim);
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const { return data_.capacity() * sizeof(float); }
+
+  /// Serialization for partition files.
+  void Serialize(BinaryWriter* w) const;
+  Status Deserialize(BinaryReader* r);
+
+  const std::vector<float>& raw() const { return data_; }
+
+ private:
+  uint32_t dim_;
+  std::vector<float> data_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_VEC_VECTOR_STORE_H_

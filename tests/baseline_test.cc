@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/cover_tree.h"
+#include "baseline/ept.h"
+#include "baseline/naive_searcher.h"
+#include "baseline/pexeso_h.h"
+#include "baseline/pq.h"
+#include "baseline/range_engine.h"
+#include "core/pexeso_index.h"
+#include "core/searcher.h"
+#include "test_util.h"
+
+namespace pexeso {
+namespace {
+
+using testing::MakeClusteredCatalog;
+using testing::MakeClusteredQuery;
+using testing::ResultColumns;
+
+std::vector<VecId> BruteRange(const VectorStore& store, const Metric& metric,
+                              const float* q, double radius) {
+  std::vector<VecId> out;
+  for (VecId v = 0; v < store.size(); ++v) {
+    if (metric.Dist(q, store.View(v), store.dim()) <= radius) out.push_back(v);
+  }
+  return out;
+}
+
+class RangeEngineExactnessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RangeEngineExactnessTest, CoverTreeEqualsBruteForce) {
+  const double radius = GetParam();
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(50, 8, 20, 15);
+  CoverTree tree(&catalog.store(), &metric);
+  tree.BuildAll();
+  VectorStore queries = MakeClusteredQuery(50, 8, 10);
+  SearchStats stats;
+  for (VecId q = 0; q < queries.size(); ++q) {
+    std::vector<VecId> got;
+    tree.RangeQuery(queries.View(q), radius, &got, &stats);
+    std::sort(got.begin(), got.end());
+    auto expected = BruteRange(catalog.store(), metric, queries.View(q), radius);
+    EXPECT_EQ(got, expected) << "radius=" << radius << " q=" << q;
+  }
+}
+
+TEST_P(RangeEngineExactnessTest, EptEqualsBruteForce) {
+  const double radius = GetParam();
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(51, 8, 20, 15);
+  ExtremePivotTable ept(&catalog.store(), &metric);
+  ept.Build({});
+  VectorStore queries = MakeClusteredQuery(51, 8, 10);
+  SearchStats stats;
+  for (VecId q = 0; q < queries.size(); ++q) {
+    std::vector<VecId> got;
+    ept.RangeQuery(queries.View(q), radius, &got, &stats);
+    std::sort(got.begin(), got.end());
+    auto expected = BruteRange(catalog.store(), metric, queries.View(q), radius);
+    EXPECT_EQ(got, expected) << "radius=" << radius << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, RangeEngineExactnessTest,
+                         ::testing::Values(0.02, 0.08, 0.2, 0.5, 1.0));
+
+TEST(CoverTreeTest, HandlesDuplicatePoints) {
+  L2Metric metric;
+  VectorStore store(4);
+  std::vector<float> v{0.5f, 0.5f, 0.5f, 0.5f};
+  VectorStore::NormalizeInPlace(v.data(), 4);
+  for (int i = 0; i < 5; ++i) store.Add(v);  // five identical points
+  std::vector<float> w{1.0f, 0.0f, 0.0f, 0.0f};
+  store.Add(w);
+  CoverTree tree(&store, &metric);
+  tree.BuildAll();
+  SearchStats stats;
+  std::vector<VecId> got;
+  tree.RangeQuery(v.data(), 1e-9, &got, &stats);
+  EXPECT_EQ(got.size(), 5u);
+}
+
+TEST(CoverTreeTest, EmptyRadiusFindsOnlySelf) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(52, 6, 10, 10);
+  CoverTree tree(&catalog.store(), &metric);
+  tree.BuildAll();
+  SearchStats stats;
+  std::vector<VecId> got;
+  tree.RangeQuery(catalog.store().View(7), 0.0, &got, &stats);
+  EXPECT_TRUE(std::find(got.begin(), got.end(), 7u) != got.end());
+}
+
+TEST(CoverTreeTest, PrunesDistanceComputations) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(53, 8, 40, 25);
+  CoverTree tree(&catalog.store(), &metric);
+  tree.BuildAll();
+  VectorStore queries = MakeClusteredQuery(53, 8, 5);
+  SearchStats stats;
+  std::vector<VecId> got;
+  for (VecId q = 0; q < queries.size(); ++q) {
+    tree.RangeQuery(queries.View(q), 0.05, &got, &stats);
+  }
+  // With a small radius the tree must beat exhaustive comparison.
+  EXPECT_LT(stats.distance_computations,
+            queries.size() * catalog.num_vectors());
+}
+
+TEST(EptTest, PruningIsEffective) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(54, 8, 40, 25);
+  ExtremePivotTable ept(&catalog.store(), &metric);
+  ept.Build({});
+  SearchStats stats;
+  std::vector<VecId> got;
+  VectorStore queries = MakeClusteredQuery(54, 8, 5);
+  for (VecId q = 0; q < queries.size(); ++q) {
+    ept.RangeQuery(queries.View(q), 0.05, &got, &stats);
+  }
+  EXPECT_GT(stats.lemma1_filtered, 0u);
+  EXPECT_LT(stats.distance_computations,
+            queries.size() * catalog.num_vectors());
+}
+
+TEST(PqTest, AdcApproximatesTrueNeighborhoods) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(55, 16, 30, 20);
+  PqIndex pq(&catalog.store());
+  PqIndex::Options opts;
+  opts.num_subquantizers = 4;
+  opts.codebook_size = 16;
+  pq.Build(opts);
+  VectorStore queries = MakeClusteredQuery(55, 16, 8);
+  SearchStats stats;
+  // With a generous radius scale, recall of true neighbours should be high.
+  pq.set_radius_scale(2.0);
+  size_t truth_total = 0, hit = 0;
+  for (VecId q = 0; q < queries.size(); ++q) {
+    auto truth = BruteRange(catalog.store(), metric, queries.View(q), 0.2);
+    std::vector<VecId> got;
+    pq.RangeQuery(queries.View(q), 0.2, &got, &stats);
+    std::sort(got.begin(), got.end());
+    truth_total += truth.size();
+    for (VecId v : truth) {
+      if (std::binary_search(got.begin(), got.end(), v)) ++hit;
+    }
+  }
+  ASSERT_GT(truth_total, 0u);
+  EXPECT_GT(static_cast<double>(hit) / truth_total, 0.8);
+}
+
+TEST(PqTest, CalibrationReachesTargetRecall) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(56, 16, 30, 20);
+  PqIndex pq(&catalog.store());
+  PqIndex::Options opts;
+  opts.num_subquantizers = 4;
+  opts.codebook_size = 16;
+  pq.Build(opts);
+  VectorStore queries = MakeClusteredQuery(56, 16, 10);
+  const double tau = 0.15;
+  pq.CalibrateRadiusScale(queries, tau, 0.85, &metric);
+
+  // Measure the achieved recall on the calibration workload.
+  SearchStats stats;
+  size_t truth_total = 0, hit = 0;
+  for (VecId q = 0; q < queries.size(); ++q) {
+    auto truth = BruteRange(catalog.store(), metric, queries.View(q), tau);
+    std::vector<VecId> got;
+    pq.RangeQuery(queries.View(q), tau, &got, &stats);
+    std::sort(got.begin(), got.end());
+    truth_total += truth.size();
+    for (VecId v : truth) {
+      if (std::binary_search(got.begin(), got.end(), v)) ++hit;
+    }
+  }
+  ASSERT_GT(truth_total, 0u);
+  EXPECT_GE(static_cast<double>(hit) / truth_total, 0.85);
+}
+
+TEST(PexesoHTest, MatchesNaiveSearcher) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(57, 10, 25, 15);
+  VectorStore query = MakeClusteredQuery(57, 10, 20);
+  FractionalThresholds ft{0.06, 0.5};
+  const SearchThresholds th = ft.Resolve(metric, 10, query.size());
+  NaiveSearcher naive(&catalog, &metric);
+  auto expected = ResultColumns(naive.Search(query, th, nullptr));
+
+  PexesoOptions opts;
+  opts.num_pivots = 3;
+  opts.levels = 4;
+  PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
+  PexesoHSearcher searcher(&index);
+  SearchOptions sopts;
+  sopts.thresholds = th;
+  auto got = ResultColumns(searcher.Search(query, sopts, nullptr));
+  EXPECT_EQ(got, expected);
+}
+
+TEST(PexesoHTest, ComputesMoreDistancesThanPexeso) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(58, 12, 40, 20);
+  VectorStore query = MakeClusteredQuery(58, 12, 25);
+  FractionalThresholds ft{0.05, 0.5};
+  const SearchThresholds th = ft.Resolve(metric, 12, query.size());
+  PexesoOptions opts;
+  opts.num_pivots = 4;
+  opts.levels = 4;
+  PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
+  SearchOptions sopts;
+  sopts.thresholds = th;
+  SearchStats full_stats, h_stats;
+  PexesoSearcher full(&index);
+  PexesoHSearcher hsearch(&index);
+  full.Search(query, sopts, &full_stats);
+  hsearch.Search(query, sopts, &h_stats);
+  EXPECT_LE(full_stats.distance_computations, h_stats.distance_computations);
+}
+
+TEST(JoinableRangeSearcherTest, CoverTreeWorkflowMatchesNaive) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(59, 8, 20, 12);
+  VectorStore query = MakeClusteredQuery(59, 8, 15);
+  FractionalThresholds ft{0.07, 0.4};
+  const SearchThresholds th = ft.Resolve(metric, 8, query.size());
+  NaiveSearcher naive(&catalog, &metric);
+  auto expected = ResultColumns(naive.Search(query, th, nullptr));
+
+  CoverTree tree(&catalog.store(), &metric);
+  tree.BuildAll();
+  JoinableRangeSearcher searcher(&catalog, &tree);
+  auto got = ResultColumns(searcher.Search(query, th, nullptr));
+  EXPECT_EQ(got, expected);
+}
+
+TEST(JoinableRangeSearcherTest, EptWorkflowMatchesNaive) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(60, 8, 20, 12);
+  VectorStore query = MakeClusteredQuery(60, 8, 15);
+  FractionalThresholds ft{0.07, 0.4};
+  const SearchThresholds th = ft.Resolve(metric, 8, query.size());
+  NaiveSearcher naive(&catalog, &metric);
+  auto expected = ResultColumns(naive.Search(query, th, nullptr));
+
+  ExtremePivotTable ept(&catalog.store(), &metric);
+  ept.Build({});
+  JoinableRangeSearcher searcher(&catalog, &ept);
+  auto got = ResultColumns(searcher.Search(query, th, nullptr));
+  EXPECT_EQ(got, expected);
+}
+
+TEST(JoinableRangeSearcherTest, PqIsApproximateButPlausible) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(61, 12, 25, 15);
+  VectorStore query = MakeClusteredQuery(61, 12, 15);
+  FractionalThresholds ft{0.08, 0.3};
+  const SearchThresholds th = ft.Resolve(metric, 12, query.size());
+
+  PqIndex pq(&catalog.store());
+  PqIndex::Options opts;
+  opts.num_subquantizers = 4;
+  opts.codebook_size = 16;
+  pq.Build(opts);
+  pq.set_radius_scale(1.5);
+  JoinableRangeSearcher searcher(&catalog, &pq);
+  auto got = searcher.Search(query, th, nullptr);
+  // Approximate: just sanity-check the workflow produces results with
+  // joinability above the threshold.
+  for (const auto& r : got) {
+    EXPECT_GE(r.match_count, th.t_abs);
+  }
+}
+
+TEST(MemoryAccountingTest, EnginesReportNonzeroFootprints) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(62, 8, 15, 10);
+  CoverTree tree(&catalog.store(), &metric);
+  tree.BuildAll();
+  EXPECT_GT(tree.MemoryBytes(), 0u);
+  ExtremePivotTable ept(&catalog.store(), &metric);
+  ept.Build({});
+  EXPECT_GT(ept.MemoryBytes(), 0u);
+  PqIndex pq(&catalog.store());
+  PqIndex::Options opts;
+  opts.num_subquantizers = 2;
+  opts.codebook_size = 8;
+  pq.Build(opts);
+  EXPECT_GT(pq.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace pexeso

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "common/thread_pool.h"
+
+namespace pexeso {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IoError("disk gone");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kIoError);
+  EXPECT_EQ(s.ToString(), "IoError: disk gone");
+}
+
+TEST(StatusTest, ResultHoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(StatusTest, ResultHoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NormalHasReasonableMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndComplete) {
+  Rng rng(13);
+  auto s = rng.SampleIndices(100, 30);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (size_t i : s) EXPECT_LT(i, 100u);
+  // Dense sample path.
+  auto all = rng.SampleIndices(10, 10);
+  std::set<size_t> uniq2(all.begin(), all.end());
+  EXPECT_EQ(uniq2.size(), 10u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(StrUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StrUtilTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StrUtilTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StrUtilTest, ToLowerAscii) { EXPECT_EQ(ToLower("AbC123"), "abc123"); }
+
+TEST(StrUtilTest, JoinWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StrUtilTest, LooksNumericAcceptsFormats) {
+  EXPECT_TRUE(LooksNumeric("42"));
+  EXPECT_TRUE(LooksNumeric("-3.14"));
+  EXPECT_TRUE(LooksNumeric("234,370,202"));
+  EXPECT_TRUE(LooksNumeric("  7 "));
+  EXPECT_FALSE(LooksNumeric("abc"));
+  EXPECT_FALSE(LooksNumeric("1.2.3"));
+  EXPECT_FALSE(LooksNumeric(""));
+  EXPECT_FALSE(LooksNumeric("-"));
+}
+
+TEST(StrUtilTest, WordTokensLowercasesAndSplits) {
+  auto t = WordTokens("Mario Party (1998)!");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "mario");
+  EXPECT_EQ(t[1], "party");
+  EXPECT_EQ(t[2], "1998");
+}
+
+TEST(StrUtilTest, EditDistanceBasics) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("abc", ""), 3);
+}
+
+TEST(StrUtilTest, EditDistanceBoundEarlyExit) {
+  // True distance 3 exceeds bound 1 -> reports bound+1.
+  EXPECT_EQ(EditDistance("kitten", "sitting", 1), 2);
+  EXPECT_EQ(EditDistance("kitten", "sitting", 3), 3);
+  // Length difference alone exceeds the bound.
+  EXPECT_EQ(EditDistance("a", "abcdef", 2), 3);
+}
+
+TEST(SerdeTest, RoundTripPodStringVector) {
+  const std::string path = ::testing::TempDir() + "/serde_roundtrip.bin";
+  {
+    auto wr = BinaryWriter::Open(path);
+    ASSERT_TRUE(wr.ok());
+    BinaryWriter w = std::move(wr).ValueOrDie();
+    w.Write<uint32_t>(0xDEADBEEF);
+    w.WriteString("hello pexeso");
+    w.WriteVector(std::vector<double>{1.5, 2.5, -3.0});
+    ASSERT_TRUE(w.Close().ok());
+  }
+  auto rd = BinaryReader::Open(path);
+  ASSERT_TRUE(rd.ok());
+  BinaryReader r = std::move(rd).ValueOrDie();
+  uint32_t magic = 0;
+  ASSERT_TRUE(r.Read(&magic).ok());
+  EXPECT_EQ(magic, 0xDEADBEEFu);
+  std::string s;
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  EXPECT_EQ(s, "hello pexeso");
+  std::vector<double> v;
+  ASSERT_TRUE(r.ReadVector(&v).ok());
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 2.5);
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, TruncatedReadReportsCorruption) {
+  const std::string path = ::testing::TempDir() + "/serde_trunc.bin";
+  {
+    auto wr = BinaryWriter::Open(path);
+    ASSERT_TRUE(wr.ok());
+    BinaryWriter w = std::move(wr).ValueOrDie();
+    w.Write<uint16_t>(7);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  auto rd = BinaryReader::Open(path);
+  ASSERT_TRUE(rd.ok());
+  BinaryReader r = std::move(rd).ValueOrDie();
+  uint64_t big = 0;
+  EXPECT_FALSE(r.Read(&big).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, MissingFileIsIoError) {
+  auto rd = BinaryReader::Open("/nonexistent/dir/file.bin");
+  ASSERT_FALSE(rd.ok());
+  EXPECT_EQ(rd.status().code(), Status::Code::kIoError);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(257, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Fnv1aTest, StableAndSensitive) {
+  EXPECT_EQ(Fnv1a64("abc", 3), Fnv1a64("abc", 3));
+  EXPECT_NE(Fnv1a64("abc", 3), Fnv1a64("abd", 3));
+  EXPECT_NE(Fnv1a64("abc", 3, 1), Fnv1a64("abc", 3, 2));
+}
+
+}  // namespace
+}  // namespace pexeso

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "baseline/naive_searcher.h"
+#include "core/pexeso_index.h"
+#include "core/searcher.h"
+#include "test_util.h"
+#include "textjoin/matchers.h"
+
+namespace pexeso {
+namespace {
+
+using testing::MakeClusteredCatalog;
+using testing::MakeClusteredQuery;
+using testing::ResultColumns;
+
+TEST(CompactTest, CompactPreservesSurvivingResults) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(980, 8, 20, 12);
+  VectorStore query = MakeClusteredQuery(980, 8, 15);
+  FractionalThresholds ft{0.08, 0.3};
+  const SearchThresholds th = ft.Resolve(metric, 8, query.size());
+  PexesoOptions opts;
+  opts.num_pivots = 3;
+  opts.levels = 3;
+  PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
+
+  SearchOptions sopts;
+  sopts.thresholds = th;
+  auto before = PexesoSearcher(&index).Search(query, sopts, nullptr);
+  ASSERT_GE(before.size(), 2u);
+
+  // Delete the first found column, compact, and map survivors by source_id.
+  const ColumnId victim = before[0].column;
+  const uint32_t victim_source = index.catalog().column(victim).source_id;
+  std::set<uint32_t> expected_sources;
+  for (size_t i = 1; i < before.size(); ++i) {
+    expected_sources.insert(index.catalog().column(before[i].column).source_id);
+  }
+  index.DeleteColumn(victim);
+  EXPECT_EQ(index.Compact(), 1u);
+  EXPECT_EQ(index.catalog().num_columns(), 19u);
+
+  auto after = PexesoSearcher(&index).Search(query, sopts, nullptr);
+  std::set<uint32_t> got_sources;
+  for (const auto& r : after) {
+    got_sources.insert(index.catalog().column(r.column).source_id);
+  }
+  EXPECT_EQ(got_sources, expected_sources);
+  EXPECT_EQ(got_sources.count(victim_source), 0u);
+}
+
+TEST(CompactTest, CompactWithoutTombstonesIsNoop) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(981, 6, 10, 8);
+  PexesoOptions opts;
+  opts.num_pivots = 2;
+  opts.levels = 3;
+  PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
+  EXPECT_EQ(index.Compact(), 0u);
+  EXPECT_EQ(index.catalog().num_columns(), 10u);
+}
+
+TEST(CompactTest, CompactShrinksIndexFootprint) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(982, 8, 30, 15);
+  PexesoOptions opts;
+  opts.num_pivots = 3;
+  opts.levels = 4;
+  PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
+  const size_t before_bytes = index.IndexSizeBytes();
+  for (ColumnId c = 0; c < 15; ++c) index.DeleteColumn(c);
+  EXPECT_EQ(index.Compact(), 15u);
+  EXPECT_LT(index.IndexSizeBytes(), before_bytes);
+  EXPECT_EQ(index.catalog().num_columns(), 15u);
+}
+
+TEST(JaccardTokenIndexTest, AcceleratedMatchAnyIsExact) {
+  // Token-index MatchAny must agree with the brute-force default on random
+  // record sets (including token-free records).
+  std::vector<std::vector<std::string>> cols = {
+      {"mario party", "zelda breath wild", "metroid", "...", ""},
+      {"alpha beta", "gamma delta", "beta gamma"},
+  };
+  for (double th : {0.2, 0.5, 0.99}) {
+    JaccardMatcher indexed(th);
+    indexed.PrepareColumns(&cols);
+    for (const std::string& q :
+         {std::string("mario kart"), std::string("zelda"),
+          std::string("beta"), std::string("unknown tokens"),
+          std::string(""), std::string("!!!")}) {
+      for (ColumnId c = 0; c < cols.size(); ++c) {
+        // Brute force over the raw records.
+        bool expected = false;
+        for (const auto& r : cols[c]) {
+          if (JaccardMatcher::Similarity(q, r) >= th) expected = true;
+        }
+        EXPECT_EQ(indexed.MatchAny(q, c), expected)
+            << "q='" << q << "' col=" << c << " th=" << th;
+      }
+    }
+  }
+}
+
+TEST(JaccardTokenIndexTest, ZeroThresholdFallsBackToScan) {
+  // Jaccard >= 0 matches everything; the token filter would wrongly prune,
+  // so the matcher must take the exhaustive path.
+  std::vector<std::vector<std::string>> cols = {{"totally different"}};
+  JaccardMatcher m(0.0);
+  m.PrepareColumns(&cols);
+  EXPECT_TRUE(m.MatchAny("no shared tokens", 0));
+}
+
+}  // namespace
+}  // namespace pexeso

@@ -1,0 +1,142 @@
+// Property tests for the Section III-E cost model: Eq. 2 must genuinely
+// upper-bound the number of vectors surviving pivot filtering, and the
+// optimal-m machinery must behave monotonically in its inputs.
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "pivot/pivot_selector.h"
+#include "pivot/pivot_space.h"
+#include "test_util.h"
+
+namespace pexeso {
+namespace {
+
+using testing::MakeClusteredCatalog;
+
+class CostModelProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CostModelProperty, NmaxUpperBoundsSqrMembership) {
+  const uint64_t seed = GetParam();
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(seed, 10, 25, 20);
+  const uint32_t np = 3;
+  auto pivots = PivotSelector::SelectPca(catalog.store().raw().data(),
+                                         catalog.num_vectors(), 10, np,
+                                         &metric, seed);
+  PivotSpace ps(pivots.data(), np, 10, &metric);
+  auto mapped = ps.MapAll(catalog.store().raw().data(), catalog.num_vectors());
+  CostModel model(mapped.data(), catalog.num_vectors(), np, ps.AxisExtent());
+
+  Rng rng(seed * 7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double tau = rng.UniformDouble(0.02, 0.25);
+    // Random query point mapped through the same pivots.
+    std::vector<float> q;
+    testing::RandomUnitVector(&rng, 10, &q);
+    std::vector<double> mq(np);
+    ps.Map(q.data(), mq.data());
+
+    // True number of mapped vectors inside SQR(q', tau) -- exactly the
+    // vectors Lemma 1 cannot filter.
+    size_t in_sqr = 0;
+    for (size_t x = 0; x < catalog.num_vectors(); ++x) {
+      bool inside = true;
+      for (uint32_t i = 0; i < np; ++i) {
+        const double diff = mapped[x * np + i] - mq[i];
+        if (diff > tau || diff < -tau) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) ++in_sqr;
+    }
+    // Eq. 2 at any grid depth must bound it (the slab is wider than the
+    // square region on the binding axis).
+    for (double m : {2.0, 4.0, 6.0, 8.0}) {
+      const double bound = model.NmaxSqr(mq.data(), tau, m);
+      EXPECT_GE(bound + 1e-6, static_cast<double>(in_sqr))
+          << "tau=" << tau << " m=" << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostModelProperty,
+                         ::testing::Values(31u, 32u, 33u));
+
+TEST(CostModelTest, BoundTightensWithDepth) {
+  // The slab overhang shrinks with m, so the Eq. 2 bound is non-increasing.
+  Rng rng(35);
+  const uint32_t np = 3;
+  const size_t n = 5000;
+  std::vector<double> mapped(n * np);
+  for (auto& x : mapped) x = rng.UniformDouble() * 2.0;
+  CostModel model(mapped.data(), n, np, 2.0);
+  const double mq[3] = {0.9, 1.1, 1.0};
+  double prev = 1e300;
+  for (double m = 1.0; m <= 10.0; m += 0.5) {
+    const double b = model.NmaxSqr(mq, 0.08, m);
+    EXPECT_LE(b, prev + 1e-9);
+    prev = b;
+  }
+}
+
+TEST(CostModelTest, CostGrowsWithTau) {
+  Rng rng(36);
+  const uint32_t np = 2;
+  const size_t n = 4000;
+  std::vector<double> mapped(n * np);
+  for (auto& x : mapped) x = rng.UniformDouble() * 2.0;
+  CostModel model(mapped.data(), n, np, 2.0);
+  CostModel::WorkloadQuery wq;
+  wq.mapped = {1.0, 1.0, 0.5, 1.5};
+  std::vector<CostModel::WorkloadQuery> workload;
+  wq.tau = 0.05;
+  workload.push_back(wq);
+  const double small = model.ExpectedCost(workload, 5.0, 4.0);
+  workload[0].tau = 0.20;
+  const double large = model.ExpectedCost(workload, 5.0, 4.0);
+  EXPECT_LT(small, large);
+}
+
+TEST(CostModelTest, LargerKappaPushesOptimalMDown) {
+  // A higher per-cell lookup charge makes deep grids less attractive.
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(37, 10, 30, 25);
+  const uint32_t np = 3;
+  auto pivots = PivotSelector::SelectPca(catalog.store().raw().data(),
+                                         catalog.num_vectors(), 10, np,
+                                         &metric);
+  PivotSpace ps(pivots.data(), np, 10, &metric);
+  auto mapped = ps.MapAll(catalog.store().raw().data(), catalog.num_vectors());
+  CostModel model(mapped.data(), catalog.num_vectors(), np, ps.AxisExtent());
+  Rng rng(38);
+  auto workload = CostModel::SampleWorkload(catalog, mapped.data(), np,
+                                            ps.AxisExtent(), 16, &rng);
+  const uint32_t cheap_lookup = model.OptimalM(workload, 10, 0.5);
+  const uint32_t costly_lookup = model.OptimalM(workload, 10, 50.0);
+  EXPECT_LE(costly_lookup, cheap_lookup);
+}
+
+TEST(CostModelTest, WorkloadSamplingRespectsBounds) {
+  ColumnCatalog catalog = MakeClusteredCatalog(39, 6, 12, 100);
+  L2Metric metric;
+  auto pivots = PivotSelector::SelectRandom(catalog.store().raw().data(),
+                                            catalog.num_vectors(), 6, 2, 7);
+  PivotSpace ps(pivots.data(), 2, 6, &metric);
+  auto mapped = ps.MapAll(catalog.store().raw().data(), catalog.num_vectors());
+  Rng rng(40);
+  auto workload = CostModel::SampleWorkload(catalog, mapped.data(), 2,
+                                            ps.AxisExtent(), 5, &rng, 0.02,
+                                            0.10);
+  ASSERT_EQ(workload.size(), 5u);
+  for (const auto& wq : workload) {
+    EXPECT_GE(wq.tau, 0.02 * ps.AxisExtent() - 1e-12);
+    EXPECT_LE(wq.tau, 0.10 * ps.AxisExtent() + 1e-12);
+    EXPECT_LE(wq.mapped.size() / 2, 64u);  // per-column sample cap
+    EXPECT_GT(wq.mapped.size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace pexeso

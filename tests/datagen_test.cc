@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/entity_pool.h"
+#include "datagen/lake_generator.h"
+#include "datagen/ml_task.h"
+#include "datagen/vector_lake.h"
+#include "embed/char_gram_model.h"
+#include "ml/random_forest.h"
+#include "vec/metric.h"
+
+namespace pexeso {
+namespace {
+
+TEST(EntityPoolTest, GeneratesRequestedEntitiesWithVariants) {
+  EntityPool::Options opts;
+  opts.num_entities = 50;
+  auto pool = EntityPool::Generate(opts);
+  EXPECT_EQ(pool.size(), 50u);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const auto& e = pool.entity(i);
+    EXPECT_FALSE(e.canonical.empty());
+    EXPECT_EQ(e.variants.size(),
+              opts.misspellings_per_entity + opts.formats_per_entity +
+                  opts.synonyms_per_entity);
+  }
+}
+
+TEST(EntityPoolTest, SynonymsRegisteredInDictionary) {
+  EntityPool::Options opts;
+  opts.num_entities = 20;
+  auto pool = EntityPool::Generate(opts);
+  size_t checked = 0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (const auto& [text, kind] : pool.entity(i).variants) {
+      if (kind == VariantKind::kSynonym) {
+        EXPECT_EQ(pool.dict().Canonicalize(text), pool.entity(i).canonical);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_EQ(checked, 20u);
+}
+
+TEST(EntityPoolTest, MisspellingsStayCharGramClose) {
+  EntityPool::Options opts;
+  opts.num_entities = 30;
+  auto pool = EntityPool::Generate(opts);
+  CharGramModel model;
+  L2Metric metric;
+  double sum_mis = 0, sum_rand = 0;
+  size_t n_mis = 0;
+  for (size_t i = 0; i + 1 < pool.size(); ++i) {
+    auto vc = model.EmbedRecord(pool.entity(i).canonical);
+    for (const auto& [text, kind] : pool.entity(i).variants) {
+      if (kind != VariantKind::kMisspelling) continue;
+      auto vv = model.EmbedRecord(text);
+      sum_mis += metric.Dist(vc.data(), vv.data(), model.dim());
+      ++n_mis;
+    }
+    auto vo = model.EmbedRecord(pool.entity(i + 1).canonical);
+    sum_rand += metric.Dist(vc.data(), vo.data(), model.dim());
+  }
+  EXPECT_LT(sum_mis / n_mis, 0.7 * sum_rand / (pool.size() - 1));
+}
+
+TEST(EntityPoolTest, SurfaceRespectsVariantProbability) {
+  EntityPool::Options opts;
+  opts.num_entities = 5;
+  auto pool = EntityPool::Generate(opts);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(pool.Surface(0, 0.0, &rng), pool.entity(0).canonical);
+  }
+}
+
+TEST(LakeGeneratorTest, ShapesAndGroundTruth) {
+  LakeGenerator::Options opts;
+  opts.num_related_tables = 10;
+  opts.num_noise_tables = 15;
+  auto lake = LakeGenerator::Generate(opts);
+  ASSERT_EQ(lake.tables.size(), 25u);
+  ASSERT_EQ(lake.key_entities.size(), 25u);
+  for (size_t t = 0; t < lake.tables.size(); ++t) {
+    EXPECT_GE(lake.tables[t].num_rows(), opts.rows_min);
+    EXPECT_LE(lake.tables[t].num_rows(), opts.rows_max);
+    EXPECT_EQ(lake.tables[t].columns.size(), 1u + opts.numeric_cols);
+    EXPECT_EQ(lake.key_entities[t].size(), lake.tables[t].num_rows());
+  }
+  // Noise tables contain no pool entities.
+  for (size_t t = opts.num_related_tables; t < lake.tables.size(); ++t) {
+    for (int64_t e : lake.key_entities[t]) EXPECT_EQ(e, -1);
+  }
+}
+
+TEST(LakeGeneratorTest, TrueJoinabilityBounds) {
+  LakeGenerator::Options opts;
+  opts.num_related_tables = 8;
+  opts.num_noise_tables = 8;
+  auto lake = LakeGenerator::Generate(opts);
+  auto query = LakeGenerator::MakeQuery(lake, 40, 0.3, 99);
+  ASSERT_EQ(query.records.size(), query.entities.size());
+  bool any_positive = false;
+  for (size_t t = 0; t < lake.tables.size(); ++t) {
+    const double j = lake.TrueJoinability(query.entities, t);
+    EXPECT_GE(j, 0.0);
+    EXPECT_LE(j, 1.0);
+    if (t >= opts.num_related_tables) {
+      EXPECT_EQ(j, 0.0);  // noise tables never truly joinable
+    } else if (j > 0.3) {
+      any_positive = true;
+    }
+  }
+  EXPECT_TRUE(any_positive);
+}
+
+TEST(VectorLakeTest, GeneratesRequestedShape) {
+  VectorLakeOptions opts;
+  opts.num_columns = 50;
+  opts.dim = 16;
+  auto catalog = GenerateVectorLake(opts);
+  EXPECT_EQ(catalog.num_columns(), 50u);
+  EXPECT_EQ(catalog.dim(), 16u);
+  // Unit norms.
+  double n2 = 0;
+  for (uint32_t j = 0; j < 16; ++j) {
+    n2 += static_cast<double>(catalog.store().View(0)[j]) *
+          catalog.store().View(0)[j];
+  }
+  EXPECT_NEAR(n2, 1.0, 1e-5);
+}
+
+TEST(VectorLakeTest, QueriesShareClusterStructure) {
+  VectorLakeOptions opts;
+  opts.num_columns = 30;
+  opts.dim = 16;
+  auto catalog = GenerateVectorLake(opts);
+  auto query = GenerateVectorQuery(opts, 20, 1234);
+  // Some query vector should be close to some repository vector (shared
+  // centers) at a modest threshold.
+  L2Metric metric;
+  double best = 10.0;
+  for (VecId q = 0; q < query.size(); ++q) {
+    for (VecId v = 0; v < std::min<size_t>(catalog.num_vectors(), 500); ++v) {
+      best = std::min(best, metric.Dist(query.View(q),
+                                        catalog.store().View(v), 16));
+    }
+  }
+  EXPECT_LT(best, 0.5);
+}
+
+TEST(VectorLakeTest, ProfilesScale) {
+  auto small = BenchProfiles::SwdcLike(0.05);
+  auto large = BenchProfiles::SwdcLike(0.5);
+  EXPECT_LT(small.num_columns, large.num_columns);
+  EXPECT_EQ(small.dim, 50u);
+  EXPECT_EQ(BenchProfiles::OpenLike(1.0).dim, 300u);
+}
+
+TEST(MlTaskTest, GeneratedShapes) {
+  MlTaskGenerator::Options opts;
+  opts.num_entities = 100;
+  opts.query_rows = 50;
+  opts.num_tables = 4;
+  auto task = MlTaskGenerator::Generate(opts);
+  EXPECT_EQ(task.query_keys.size(), 50u);
+  EXPECT_EQ(task.base.num_rows(), 50u);
+  EXPECT_EQ(task.tables.size(), 4u);
+  for (const auto& t : task.tables) {
+    EXPECT_EQ(t.keys.size(), t.entities.size());
+    for (const auto& attr : t.attrs) {
+      EXPECT_EQ(attr.size(), t.keys.size());
+    }
+  }
+  for (float y : task.base.y) {
+    EXPECT_GE(y, 0.0f);
+    EXPECT_LT(y, static_cast<float>(opts.num_classes));
+  }
+}
+
+TEST(MlTaskTest, OracleJoinBeatsNoJoin) {
+  // Enriching with the TRUE entity matches must improve accuracy — this
+  // validates the task construction itself (the Table V mechanism).
+  MlTaskGenerator::Options opts;
+  opts.num_entities = 240;
+  opts.query_rows = 240;
+  opts.num_tables = 6;
+  opts.num_classes = 4;
+  auto task = MlTaskGenerator::Generate(opts);
+
+  // Oracle join map: match by ground-truth entity ids.
+  JoinMap oracle(task.tables.size());
+  for (size_t t = 0; t < task.tables.size(); ++t) {
+    std::unordered_map<int64_t, int32_t> row_of;
+    for (size_t r = 0; r < task.tables[t].entities.size(); ++r) {
+      row_of[task.tables[t].entities[r]] = static_cast<int32_t>(r);
+    }
+    oracle[t].assign(task.query_keys.size(), -1);
+    for (size_t q = 0; q < task.query_entities.size(); ++q) {
+      auto it = row_of.find(task.query_entities[q]);
+      if (it != row_of.end()) oracle[t][q] = it->second;
+    }
+  }
+  JoinMap empty(task.tables.size());
+  for (auto& v : empty) v.assign(task.query_keys.size(), -1);
+
+  Dataset enriched = AssembleEnriched(task, oracle);
+  Dataset nojoin = AssembleEnriched(task, empty);
+
+  RandomForest::Options fopts;
+  fopts.num_classes = opts.num_classes;
+  fopts.num_trees = 25;
+  auto with = CrossValidateClassifier(enriched, fopts, 4, 5);
+  auto without = CrossValidateClassifier(nojoin, fopts, 4, 5);
+  EXPECT_GT(with.mean, without.mean + 0.05);
+  EXPECT_GT(JoinMatchRatio(oracle), 0.5);
+  EXPECT_DOUBLE_EQ(JoinMatchRatio(empty), 0.0);
+}
+
+}  // namespace
+}  // namespace pexeso

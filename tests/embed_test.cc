@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "embed/abbrev.h"
+#include "embed/char_gram_model.h"
+#include "embed/synonym_model.h"
+#include "embed/word_avg_model.h"
+#include "vec/metric.h"
+
+namespace pexeso {
+namespace {
+
+double Dist(const EmbeddingModel& model, const std::string& a,
+            const std::string& b) {
+  L2Metric metric;
+  auto va = model.EmbedRecord(a);
+  auto vb = model.EmbedRecord(b);
+  return metric.Dist(va.data(), vb.data(), model.dim());
+}
+
+TEST(CharGramModelTest, DeterministicAndUnitNorm) {
+  CharGramModel model;
+  auto v1 = model.EmbedRecord("Mario Party");
+  auto v2 = model.EmbedRecord("Mario Party");
+  EXPECT_EQ(v1, v2);
+  double n2 = 0;
+  for (float x : v1) n2 += static_cast<double>(x) * x;
+  EXPECT_NEAR(n2, 1.0, 1e-5);
+}
+
+TEST(CharGramModelTest, MisspellingsAreCloserThanUnrelated) {
+  CharGramModel model;
+  const double typo = Dist(model, "nintendo switch", "nintndo switch");
+  const double unrelated = Dist(model, "nintendo switch", "median income");
+  EXPECT_LT(typo, unrelated);
+  EXPECT_LT(typo, 0.9);
+  EXPECT_GT(unrelated, 1.0);
+}
+
+TEST(CharGramModelTest, CaseAndPunctuationInsensitive) {
+  CharGramModel model;
+  EXPECT_NEAR(Dist(model, "Mario Party!", "mario party"), 0.0, 1e-6);
+}
+
+TEST(CharGramModelTest, WordOrderPartiallyPreserved) {
+  CharGramModel model;
+  const double reorder = Dist(model, "john smith", "smith john");
+  EXPECT_NEAR(reorder, 0.0, 1e-6);  // bag-of-grams: order-free
+}
+
+TEST(CharGramModelTest, EmptyStringIsValidPoint) {
+  CharGramModel model;
+  auto v = model.EmbedRecord("");
+  EXPECT_EQ(v.size(), model.dim());
+  EXPECT_NEAR(Dist(model, "", ""), 0.0, 1e-9);
+}
+
+TEST(CharGramModelTest, EmbedColumnPacksRows) {
+  CharGramModel model;
+  auto packed = model.EmbedColumn({"a", "b", "c"});
+  EXPECT_EQ(packed.size(), 3u * model.dim());
+}
+
+TEST(WordAvgModelTest, TypoBreaksWordIdentity) {
+  // Word-level model: a typo yields an unrelated word vector (the GloVe
+  // behaviour); the char-gram model keeps them close. This is the
+  // qualitative difference between the two simulated models.
+  WordAvgModel words;
+  CharGramModel chars;
+  const double word_typo = Dist(words, "nintendo", "nintndo");
+  const double char_typo = Dist(chars, "nintendo", "nintndo");
+  EXPECT_GT(word_typo, 1.0);
+  // A single-word typo keeps roughly half its n-grams: clearly closer than
+  // unrelated words (~1.4) though not as close as multi-word variants.
+  EXPECT_LT(char_typo, 1.15);
+  EXPECT_LT(char_typo, word_typo);
+}
+
+TEST(WordAvgModelTest, SharedWordsDrawRecordsTogether) {
+  WordAvgModel model;
+  const double shared = Dist(model, "new york city", "new york times");
+  const double disjoint = Dist(model, "new york city", "los angeles county");
+  EXPECT_LT(shared, disjoint);
+}
+
+TEST(SynonymModelTest, SynonymsLandClose) {
+  SynonymDictionary dict;
+  dict.Add("hawaiian/guamanian/samoan", "pacific islander");
+  dict.Add("american indian/alaska native", "mainland indigenous");
+  SynonymModel model(std::make_unique<CharGramModel>(), &dict);
+
+  const double syn =
+      Dist(model, "Pacific Islander", "Hawaiian/Guamanian/Samoan");
+  const double cross =
+      Dist(model, "Pacific Islander", "Mainland Indigenous");
+  EXPECT_LT(syn, 0.2);
+  EXPECT_GT(cross, 0.5);
+}
+
+TEST(SynonymModelTest, UnknownPhrasesPassThrough) {
+  SynonymDictionary dict;
+  SynonymModel model(std::make_unique<CharGramModel>(), &dict, 0.0);
+  CharGramModel base;
+  // With zero jitter and no dictionary hits, the synonym model reduces to
+  // the base model on lower-cased input.
+  EXPECT_NEAR(Dist(model, "white", "black"), Dist(base, "white", "black"),
+              1e-5);
+}
+
+TEST(SynonymDictionaryTest, CanonicalizeIsCaseInsensitive) {
+  SynonymDictionary dict;
+  dict.Add("white", "caucasian");
+  EXPECT_EQ(dict.Canonicalize("CAUCASIAN"), "white");
+  EXPECT_EQ(dict.Canonicalize(" Caucasian "), "white");
+  EXPECT_EQ(dict.Canonicalize("asian"), "asian");
+}
+
+TEST(AbbrevTest, ExpandsDates) {
+  AbbreviationExpander ex;
+  EXPECT_EQ(ex.Expand("Mar 3 1998"), "march 3 1998");
+  EXPECT_EQ(ex.Expand("3 Sept 2021"), "3 september 2021");
+}
+
+TEST(AbbrevTest, ExpandsAddresses) {
+  AbbreviationExpander ex;
+  EXPECT_EQ(ex.Expand("221B Baker St"), "221b baker street");
+  EXPECT_EQ(ex.Expand("5th Ave N"), "5th avenue north");
+}
+
+TEST(AbbrevTest, CustomRulesOverride) {
+  AbbreviationExpander ex;
+  ex.AddRule("corp", "corporation");
+  EXPECT_EQ(ex.Expand("NEC Corp"), "nec corporation");
+}
+
+TEST(AbbrevTest, AbbreviationExpansionTightensEmbeddings) {
+  // The Section II-A motivation: expanding "Mar" -> "March" before embedding
+  // makes the date representations match.
+  AbbreviationExpander ex;
+  CharGramModel model;
+  const double raw = Dist(model, "Mar 3 1998", "March 3 1998");
+  const double expanded =
+      Dist(model, ex.Expand("Mar 3 1998"), ex.Expand("March 3 1998"));
+  EXPECT_LT(expanded, raw);
+  EXPECT_NEAR(expanded, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace pexeso

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/random_forest.h"
+
+namespace pexeso {
+namespace {
+
+/// Linearly separable 2-class dataset in 2-d with some noise features.
+Dataset MakeClassificationData(size_t n, uint64_t seed,
+                               uint32_t noise_features = 2) {
+  Rng rng(seed);
+  Dataset d;
+  d.num_features = 2 + noise_features;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t cls = static_cast<uint32_t>(rng.Uniform(2));
+    std::vector<float> row(d.num_features);
+    row[0] = static_cast<float>((cls == 0 ? -1.0 : 1.0) + rng.Normal() * 0.4);
+    row[1] = static_cast<float>((cls == 0 ? 1.0 : -1.0) + rng.Normal() * 0.4);
+    for (uint32_t f = 2; f < d.num_features; ++f) {
+      row[f] = static_cast<float>(rng.Normal());
+    }
+    d.AddRow(row, static_cast<float>(cls));
+  }
+  for (size_t f = 0; f < d.num_features; ++f) {
+    d.feature_names.push_back("f" + std::to_string(f));
+  }
+  return d;
+}
+
+Dataset MakeRegressionData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  d.num_features = 3;
+  d.feature_names = {"x0", "x1", "noise"};
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<float> row(3);
+    row[0] = static_cast<float>(rng.Normal());
+    row[1] = static_cast<float>(rng.Normal());
+    row[2] = static_cast<float>(rng.Normal());
+    const float y =
+        2.0f * row[0] - 1.0f * row[1] + static_cast<float>(rng.Normal() * 0.1);
+    d.AddRow(row, y);
+  }
+  return d;
+}
+
+TEST(DatasetTest, SelectFeaturesAndRows) {
+  Dataset d = MakeClassificationData(10, 1);
+  Dataset f = d.SelectFeatures({0, 2});
+  EXPECT_EQ(f.num_features, 2u);
+  EXPECT_EQ(f.num_rows(), 10u);
+  EXPECT_EQ(f.Row(3)[0], d.Row(3)[0]);
+  EXPECT_EQ(f.Row(3)[1], d.Row(3)[2]);
+  Dataset r = d.SelectRows({1, 4});
+  EXPECT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.y[1], d.y[4]);
+}
+
+TEST(DatasetTest, ImputeMissingUsesColumnMean) {
+  Dataset d;
+  d.num_features = 1;
+  d.AddRow({1.0f}, 0);
+  d.AddRow({3.0f}, 0);
+  d.AddRow({std::numeric_limits<float>::quiet_NaN()}, 0);
+  d.ImputeMissing();
+  EXPECT_FLOAT_EQ(d.Row(2)[0], 2.0f);
+}
+
+TEST(DatasetTest, ImputeAllMissingFeatureBecomesZero) {
+  Dataset d;
+  d.num_features = 1;
+  d.AddRow({std::numeric_limits<float>::quiet_NaN()}, 0);
+  d.ImputeMissing();
+  EXPECT_FLOAT_EQ(d.Row(0)[0], 0.0f);
+}
+
+TEST(DecisionTreeTest, FitsSeparableData) {
+  Dataset d = MakeClassificationData(200, 2);
+  DecisionTree tree;
+  DecisionTree::Options opts;
+  opts.num_classes = 2;
+  Rng rng(3);
+  tree.Fit(d, {}, opts, &rng);
+  size_t correct = 0;
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    if (static_cast<uint32_t>(tree.Predict(d.Row(i))) ==
+        static_cast<uint32_t>(d.y[i])) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / d.num_rows(), 0.95);
+}
+
+TEST(DecisionTreeTest, ImportanceConcentratesOnSignalFeatures) {
+  Dataset d = MakeClassificationData(400, 4, 4);
+  DecisionTree tree;
+  DecisionTree::Options opts;
+  opts.num_classes = 2;
+  Rng rng(5);
+  tree.Fit(d, {}, opts, &rng);
+  const auto& imp = tree.feature_importance();
+  const double signal = imp[0] + imp[1];
+  double noise = 0;
+  for (size_t f = 2; f < imp.size(); ++f) noise += imp[f];
+  EXPECT_GT(signal, noise);
+}
+
+TEST(RandomForestTest, ClassifierBeatsChance) {
+  Dataset d = MakeClassificationData(300, 6);
+  RandomForest::Options opts;
+  opts.num_classes = 2;
+  opts.num_trees = 20;
+  auto score = CrossValidateClassifier(d, opts, 4, 7);
+  EXPECT_GT(score.mean, 0.9);
+  EXPECT_GE(score.stddev, 0.0);
+}
+
+TEST(RandomForestTest, RegressorRecoversLinearSignal) {
+  Dataset d = MakeRegressionData(400, 8);
+  RandomForest::Options opts;
+  opts.regression = true;
+  opts.num_trees = 30;
+  auto score = CrossValidateRegressor(d, opts, 4, 9);
+  // Target variance is ~5; a working regressor gets MSE far below that.
+  EXPECT_LT(score.mean, 2.0);
+}
+
+TEST(RandomForestTest, ImportancesNormalized) {
+  Dataset d = MakeClassificationData(200, 10);
+  RandomForest forest;
+  RandomForest::Options opts;
+  opts.num_classes = 2;
+  opts.num_trees = 10;
+  forest.Fit(d, opts);
+  auto imp = forest.FeatureImportances();
+  double sum = 0;
+  for (double v : imp) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MetricsTest, MicroF1IsAccuracy) {
+  EXPECT_DOUBLE_EQ(MicroF1({1, 0, 1, 1}, {1, 0, 0, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(MicroF1({2, 2}, {2, 2}), 1.0);
+}
+
+TEST(MetricsTest, MseBasics) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1, 2}, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError({0, 0}, {1, -1}), 1.0);
+}
+
+TEST(MetricsTest, KFoldBalanced) {
+  auto fold = KFoldAssignment(100, 4, 11);
+  std::vector<int> counts(4, 0);
+  for (uint32_t f : fold) ++counts[f];
+  for (int c : counts) EXPECT_EQ(c, 25);
+}
+
+TEST(RfeTest, DropsNoiseFeaturesFirst) {
+  Dataset d = MakeClassificationData(300, 12, 6);  // features 0,1 signal
+  RandomForest::Options opts;
+  opts.num_classes = 2;
+  opts.num_trees = 15;
+  auto kept = RecursiveFeatureElimination(d, opts, 3, 1);
+  EXPECT_EQ(kept.size(), 3u);
+  // The two signal features must survive.
+  EXPECT_NE(std::find(kept.begin(), kept.end(), 0u), kept.end());
+  EXPECT_NE(std::find(kept.begin(), kept.end(), 1u), kept.end());
+}
+
+}  // namespace
+}  // namespace pexeso

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "embed/char_gram_model.h"
+#include "table/csv.h"
+#include "table/repository.h"
+#include "table/type_detect.h"
+
+namespace pexeso {
+namespace {
+
+TEST(CsvTest, ParsesSimpleTable) {
+  auto r = Csv::Parse("a,b,c\n1,2,3\n4,5,6\n", "t");
+  ASSERT_TRUE(r.ok());
+  const RawTable& t = r.value();
+  EXPECT_EQ(t.columns.size(), 3u);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.columns[1].name, "b");
+  EXPECT_EQ(t.columns[2].values[1], "6");
+}
+
+TEST(CsvTest, HandlesQuotedFieldsWithCommasAndNewlines) {
+  auto r = Csv::Parse("name,notes\n\"Smith, John\",\"line1\nline2\"\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().columns[0].values[0], "Smith, John");
+  EXPECT_EQ(r.value().columns[1].values[0], "line1\nline2");
+}
+
+TEST(CsvTest, HandlesEscapedQuotes) {
+  auto r = Csv::Parse("a\n\"say \"\"hi\"\"\"\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().columns[0].values[0], "say \"hi\"");
+}
+
+TEST(CsvTest, PadsShortRows) {
+  auto r = Csv::Parse("a,b,c\n1,2\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().columns[2].values[0], "");
+}
+
+TEST(CsvTest, RejectsLongRows) {
+  auto r = Csv::Parse("a,b\n1,2,3\n", "t");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  auto r = Csv::Parse("a\n\"oops\n", "t");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) { EXPECT_FALSE(Csv::Parse("", "t").ok()); }
+
+TEST(CsvTest, WriteParseRoundTrip) {
+  RawTable t;
+  t.name = "round";
+  t.columns.resize(2);
+  t.columns[0].name = "key";
+  t.columns[0].values = {"Smith, John", "say \"hi\"", "plain"};
+  t.columns[1].name = "v";
+  t.columns[1].values = {"1", "2", "3"};
+  auto parsed = Csv::Parse(Csv::Write(t), "round");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().columns[0].values[0], "Smith, John");
+  EXPECT_EQ(parsed.value().columns[0].values[1], "say \"hi\"");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tbl.csv";
+  RawTable t;
+  t.name = "tbl";
+  t.columns.resize(1);
+  t.columns[0].name = "x";
+  t.columns[0].values = {"a", "b"};
+  ASSERT_TRUE(Csv::WriteFile(t, path).ok());
+  auto r = Csv::ReadFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().name, "tbl");
+  EXPECT_EQ(r.value().columns[0].values[1], "b");
+  std::remove(path.c_str());
+}
+
+RawColumn MakeColumn(std::vector<std::string> values) {
+  RawColumn c;
+  c.name = "c";
+  c.values = std::move(values);
+  return c;
+}
+
+TEST(TypeDetectTest, DetectsNumbers) {
+  EXPECT_EQ(TypeDetector::Detect(
+                MakeColumn({"1.5", "2", "3,000", "-4", "5", "5", "5"})),
+            ColumnType::kNumber);
+}
+
+TEST(TypeDetectTest, DetectsStrings) {
+  EXPECT_EQ(TypeDetector::Detect(MakeColumn({"white", "black", "asian"})),
+            ColumnType::kString);
+}
+
+TEST(TypeDetectTest, DetectsDates) {
+  EXPECT_EQ(TypeDetector::Detect(MakeColumn(
+                {"2020-01-02", "1998/03/04", "Mar 3 1998", "2021-12-31"})),
+            ColumnType::kDate);
+}
+
+TEST(TypeDetectTest, DetectsIdsByDistinctness) {
+  std::vector<std::string> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(std::to_string(10000 + i));
+  EXPECT_EQ(TypeDetector::Detect(MakeColumn(ids)), ColumnType::kId);
+}
+
+TEST(TypeDetectTest, EmptyColumn) {
+  EXPECT_EQ(TypeDetector::Detect(MakeColumn({"", "  ", ""})),
+            ColumnType::kEmpty);
+}
+
+TEST(TypeDetectTest, LooksDateVariants) {
+  EXPECT_TRUE(TypeDetector::LooksDate("2020-01-02"));
+  EXPECT_TRUE(TypeDetector::LooksDate("01/02/2020"));
+  EXPECT_TRUE(TypeDetector::LooksDate("Mar 3 1998"));
+  EXPECT_TRUE(TypeDetector::LooksDate("3 March 1998"));
+  EXPECT_FALSE(TypeDetector::LooksDate("hello world"));
+  EXPECT_FALSE(TypeDetector::LooksDate("1.2.3.4"));
+  EXPECT_FALSE(TypeDetector::LooksDate("42"));
+}
+
+TEST(TypeDetectTest, KeyScorePrefersDistinctStrings) {
+  RawColumn names = MakeColumn({"alpha", "beta", "gamma", "delta"});
+  names.type = ColumnType::kString;
+  RawColumn repeated = MakeColumn({"x", "x", "x", "y"});
+  repeated.type = ColumnType::kString;
+  EXPECT_GT(TypeDetector::KeyScore(names), TypeDetector::KeyScore(repeated));
+}
+
+TEST(TypeDetectTest, SelectKeyColumnPicksStringKey) {
+  RawTable t;
+  t.columns.push_back(MakeColumn({"1", "2", "3", "4", "5"}));
+  t.columns.push_back(MakeColumn({"mario", "zelda", "metroid", "kirby",
+                                  "pikmin"}));
+  TypeDetector::DetectAll(&t);
+  EXPECT_EQ(TypeDetector::SelectKeyColumn(t), 1);
+}
+
+TEST(RepositoryTest, ExtractsOnlyKeyWorthyColumns) {
+  CharGramModel model;
+  TableRepository repo(&model);
+  RawTable t;
+  t.name = "games";
+  t.columns.push_back(MakeColumn(
+      {"Mario Party", "Zelda", "Metroid", "Kirby", "Pikmin", "F-Zero"}));
+  t.columns[0].name = "name";
+  t.columns.push_back(
+      MakeColumn({"1998", "1986", "1986", "1992", "2001", "1990"}));
+  t.columns[1].name = "year";
+  EXPECT_EQ(repo.AddTable(t), 1u);  // only the name column
+  EXPECT_EQ(repo.catalog().num_columns(), 1u);
+  EXPECT_EQ(repo.catalog().column(0).column_name, "name");
+  EXPECT_EQ(repo.catalog().column(0).count, 6u);
+  EXPECT_EQ(repo.RawValues(0).size(), 6u);
+}
+
+TEST(RepositoryTest, SkipsTinyTables) {
+  CharGramModel model;
+  TableRepository repo(&model);
+  RawTable t;
+  t.name = "tiny";
+  t.columns.push_back(MakeColumn({"a", "b"}));
+  EXPECT_EQ(repo.AddTable(t), 0u);
+}
+
+TEST(RepositoryTest, SkipsEmptyCellsWhenEmbedding) {
+  CharGramModel model;
+  TableRepository repo(&model);
+  RawTable t;
+  t.name = "holes";
+  t.columns.push_back(
+      MakeColumn({"alpha", "", "beta", "gamma", " ", "delta", "epsilon"}));
+  EXPECT_EQ(repo.AddTable(t), 1u);
+  EXPECT_EQ(repo.catalog().column(0).count, 5u);  // empties dropped
+}
+
+TEST(RepositoryTest, LoadDirectoryReadsAllCsvs) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/repo_csvs";
+  fs::create_directories(dir);
+  for (int i = 0; i < 3; ++i) {
+    std::ofstream out(dir + "/t" + std::to_string(i) + ".csv");
+    out << "name\nalpha\nbeta\ngamma\ndelta\nepsilon\n";
+  }
+  CharGramModel model;
+  TableRepository repo(&model);
+  auto n = repo.LoadDirectory(dir);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 3u);
+  fs::remove_all(dir);
+}
+
+TEST(RepositoryTest, EmbedQueryColumnMatchesModel) {
+  CharGramModel model;
+  TableRepository repo(&model);
+  auto store = repo.EmbedQueryColumn({"alpha", "", "beta"});
+  EXPECT_EQ(store.size(), 2u);  // empty dropped
+  auto direct = model.EmbedRecord("alpha");
+  for (uint32_t j = 0; j < model.dim(); ++j) {
+    EXPECT_EQ(store.View(0)[j], direct[j]);
+  }
+}
+
+}  // namespace
+}  // namespace pexeso

@@ -1,0 +1,91 @@
+#ifndef PEXESO_TESTS_TEST_UTIL_H_
+#define PEXESO_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/join_result.h"
+#include "vec/column_catalog.h"
+#include "vec/vector_store.h"
+
+namespace pexeso::testing {
+
+/// Fills `out` with a random unit vector.
+inline void RandomUnitVector(Rng* rng, uint32_t dim, std::vector<float>* out) {
+  out->resize(dim);
+  for (uint32_t i = 0; i < dim; ++i) {
+    (*out)[i] = static_cast<float>(rng->Normal());
+  }
+  VectorStore::NormalizeInPlace(out->data(), dim);
+}
+
+/// Adds Gaussian noise of scale `sigma` to `base` and renormalizes.
+inline std::vector<float> Perturb(Rng* rng, const std::vector<float>& base,
+                                  double sigma) {
+  std::vector<float> v = base;
+  for (auto& x : v) x += static_cast<float>(rng->Normal() * sigma);
+  VectorStore::NormalizeInPlace(v.data(), static_cast<uint32_t>(v.size()));
+  return v;
+}
+
+/// Builds a clustered random repository: `num_columns` columns, each with
+/// `col_size` vectors drawn near one of `num_clusters` cluster centers.
+/// Clustered data makes matches actually occur at small tau.
+inline ColumnCatalog MakeClusteredCatalog(uint64_t seed, uint32_t dim,
+                                          uint32_t num_columns,
+                                          uint32_t col_size,
+                                          uint32_t num_clusters = 8,
+                                          double sigma = 0.05) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> centers(num_clusters);
+  for (auto& c : centers) RandomUnitVector(&rng, dim, &c);
+  ColumnCatalog catalog(dim);
+  std::vector<float> packed;
+  for (uint32_t col = 0; col < num_columns; ++col) {
+    packed.clear();
+    for (uint32_t r = 0; r < col_size; ++r) {
+      const auto& center = centers[rng.Uniform(num_clusters)];
+      auto v = Perturb(&rng, center, sigma);
+      packed.insert(packed.end(), v.begin(), v.end());
+    }
+    ColumnMeta meta;
+    meta.table_id = col;
+    meta.source_id = col;
+    meta.table_name = "t" + std::to_string(col);
+    meta.column_name = "c0";
+    catalog.AddColumn(meta, packed.data(), col_size);
+  }
+  return catalog;
+}
+
+/// Builds a query column near the same clusters as MakeClusteredCatalog.
+inline VectorStore MakeClusteredQuery(uint64_t seed, uint32_t dim,
+                                      uint32_t size,
+                                      uint32_t num_clusters = 8,
+                                      double sigma = 0.05) {
+  Rng rng(seed);  // same seed logic -> same centers
+  std::vector<std::vector<float>> centers(num_clusters);
+  for (auto& c : centers) RandomUnitVector(&rng, dim, &c);
+  VectorStore store(dim);
+  for (uint32_t r = 0; r < size; ++r) {
+    const auto& center = centers[rng.Uniform(num_clusters)];
+    auto v = Perturb(&rng, center, sigma);
+    store.Add(v);
+  }
+  return store;
+}
+
+/// Sorted column ids of a result set (for equality assertions).
+inline std::vector<ColumnId> ResultColumns(
+    const std::vector<JoinableColumn>& results) {
+  std::vector<ColumnId> out;
+  out.reserve(results.size());
+  for (const auto& r : results) out.push_back(r.column);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pexeso::testing
+
+#endif  // PEXESO_TESTS_TEST_UTIL_H_

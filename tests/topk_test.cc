@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "baseline/naive_searcher.h"
+#include "core/topk.h"
+#include "test_util.h"
+
+namespace pexeso {
+namespace {
+
+using testing::MakeClusteredCatalog;
+using testing::MakeClusteredQuery;
+using testing::ResultColumns;
+
+class TopKFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = MakeClusteredCatalog(500, 8, 30, 15);
+    query_ = MakeClusteredQuery(500, 8, 20);
+    PexesoOptions opts;
+    opts.num_pivots = 3;
+    opts.levels = 4;
+    ColumnCatalog copy = catalog_;
+    index_ = std::make_unique<PexesoIndex>(
+        PexesoIndex::Build(std::move(copy), &metric_, opts));
+  }
+
+  /// Ground truth joinability of every column by brute force.
+  std::vector<std::pair<double, ColumnId>> BruteRanking(double tau) const {
+    std::vector<std::pair<double, ColumnId>> ranking;
+    for (ColumnId col = 0; col < catalog_.num_columns(); ++col) {
+      const auto& meta = catalog_.column(col);
+      uint32_t matches = 0;
+      for (uint32_t q = 0; q < query_.size(); ++q) {
+        for (VecId v = meta.first; v < meta.end(); ++v) {
+          if (metric_.Dist(query_.View(q), catalog_.store().View(v), 8) <=
+              tau) {
+            ++matches;
+            break;
+          }
+        }
+      }
+      ranking.emplace_back(
+          static_cast<double>(matches) / static_cast<double>(query_.size()),
+          col);
+    }
+    std::sort(ranking.begin(), ranking.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    return ranking;
+  }
+
+  L2Metric metric_;
+  ColumnCatalog catalog_;
+  VectorStore query_;
+  std::unique_ptr<PexesoIndex> index_;
+};
+
+TEST_F(TopKFixture, TopKMatchesBruteForceRanking) {
+  const double tau = 0.12;
+  auto truth = BruteRanking(tau);
+  PexesoSearcher searcher(index_.get());
+  for (size_t k : {1u, 3u, 5u, 10u}) {
+    auto topk = SearchTopK(searcher, query_, tau, k);
+    ASSERT_LE(topk.size(), k);
+    for (size_t i = 0; i < topk.size(); ++i) {
+      EXPECT_EQ(topk[i].column, truth[i].second) << "rank " << i;
+      EXPECT_DOUBLE_EQ(topk[i].joinability, truth[i].first);
+    }
+  }
+}
+
+TEST_F(TopKFixture, TopKIsSortedDescending) {
+  PexesoSearcher searcher(index_.get());
+  auto topk = SearchTopK(searcher, query_, 0.15, 8);
+  for (size_t i = 1; i < topk.size(); ++i) {
+    EXPECT_GE(topk[i - 1].joinability, topk[i].joinability);
+  }
+}
+
+TEST_F(TopKFixture, TopKHonorsKSmallerThanMatches) {
+  PexesoSearcher searcher(index_.get());
+  auto all = SearchTopK(searcher, query_, 0.2, 1000);
+  if (all.size() >= 2) {
+    auto top1 = SearchTopK(searcher, query_, 0.2, 1);
+    ASSERT_EQ(top1.size(), 1u);
+    EXPECT_EQ(top1[0].column, all[0].column);
+  }
+}
+
+TEST_F(TopKFixture, BatchSearchMatchesSequential) {
+  std::vector<VectorStore> queries;
+  for (int i = 0; i < 6; ++i) {
+    queries.push_back(MakeClusteredQuery(600 + i, 8, 15));
+  }
+  FractionalThresholds ft{0.07, 0.4};
+  SearchOptions sopts;
+  sopts.thresholds = ft.Resolve(metric_, 8, 15);
+
+  auto batched = SearchBatch(*index_, queries, sopts, 4);
+  ASSERT_EQ(batched.size(), queries.size());
+  PexesoSearcher searcher(index_.get());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto sequential = searcher.Search(queries[i], sopts, nullptr);
+    EXPECT_EQ(ResultColumns(batched[i]), ResultColumns(sequential));
+  }
+}
+
+TEST_F(TopKFixture, BatchSearchAccumulatesStats) {
+  std::vector<VectorStore> queries;
+  for (int i = 0; i < 3; ++i) {
+    queries.push_back(MakeClusteredQuery(700 + i, 8, 12));
+  }
+  FractionalThresholds ft{0.07, 0.4};
+  SearchOptions sopts;
+  sopts.thresholds = ft.Resolve(metric_, 8, 12);
+  SearchStats stats;
+  SearchBatch(*index_, queries, sopts, 2, &stats);
+  EXPECT_GT(stats.candidate_pairs + stats.matching_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace pexeso

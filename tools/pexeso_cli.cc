@@ -1,0 +1,265 @@
+// pexeso_cli: command-line driver for the PEXESO library.
+//
+//   pexeso_cli index  --input <csv-dir> --output <index-file>
+//                     [--pivots N] [--levels M] [--model chargram|wordavg]
+//                     [--dim D] [--metric l2|cosine|l1]
+//   pexeso_cli search --index <index-file> --query <csv> [--column <name>]
+//                     [--tau F] [--t F] [--topk K] [--mappings]
+//                     [--model chargram|wordavg] [--dim D]
+//   pexeso_cli info   --index <index-file>
+//
+// The offline component (Figure 1 of the paper): `index` loads raw CSV
+// tables, detects join-key candidate columns, embeds their records and
+// builds the search structures. The online component: `search` embeds a
+// query column and reports joinable columns (optionally top-k ranked, with
+// record mappings).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/pexeso_index.h"
+#include "core/searcher.h"
+#include "core/topk.h"
+#include "embed/char_gram_model.h"
+#include "embed/word_avg_model.h"
+#include "table/csv.h"
+#include "table/repository.h"
+#include "table/type_detect.h"
+
+namespace {
+
+using namespace pexeso;
+
+/// Minimal flag parser: --key value pairs plus boolean --flags.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::atof(it->second.c_str());
+  }
+  long GetInt(const std::string& key, long def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::atol(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::unique_ptr<EmbeddingModel> MakeModel(const Flags& flags) {
+  const std::string name = flags.Get("model", "chargram");
+  const uint32_t dim = static_cast<uint32_t>(flags.GetInt("dim", 50));
+  if (name == "chargram") {
+    CharGramModel::Options opts;
+    opts.dim = dim;
+    return std::make_unique<CharGramModel>(opts);
+  }
+  if (name == "wordavg") {
+    WordAvgModel::Options opts;
+    opts.dim = dim;
+    return std::make_unique<WordAvgModel>(opts);
+  }
+  return nullptr;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pexeso_cli <index|search|info> [--flags]\n"
+               "  index  --input DIR --output FILE [--pivots N --levels M "
+               "--model chargram|wordavg --dim D --metric l2|cosine|l1]\n"
+               "  search --index FILE --query CSV [--column NAME --tau F "
+               "--t F --topk K --mappings --model ... --dim D]\n"
+               "  info   --index FILE\n");
+  return 2;
+}
+
+int CmdIndex(const Flags& flags) {
+  const std::string input = flags.Get("input");
+  const std::string output = flags.Get("output");
+  if (input.empty() || output.empty()) return Usage();
+  auto model = MakeModel(flags);
+  if (!model) return Usage();
+  auto metric = MakeMetric(flags.Get("metric", "l2"));
+  if (!metric) return Usage();
+
+  TableRepository repo(model.get());
+  auto loaded = repo.LoadDirectory(input);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu key columns (%zu record vectors) from %s\n",
+              repo.catalog().num_columns(), repo.catalog().num_vectors(),
+              input.c_str());
+  if (repo.catalog().num_columns() == 0) {
+    std::fprintf(stderr, "nothing to index\n");
+    return 1;
+  }
+  PexesoOptions opts;
+  opts.num_pivots = static_cast<uint32_t>(flags.GetInt("pivots", 5));
+  opts.levels = static_cast<uint32_t>(flags.GetInt("levels", 0));
+  PexesoIndex index =
+      PexesoIndex::Build(repo.TakeCatalog(), metric.get(), opts);
+  Status st = index.Save(output);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("index written to %s (|P|=%u, m=%u, %.1f MB)\n", output.c_str(),
+              index.pivots().num_pivots(), index.grid().levels(),
+              index.IndexSizeBytes() / 1e6);
+  return 0;
+}
+
+int CmdSearch(const Flags& flags) {
+  const std::string index_path = flags.Get("index");
+  const std::string query_path = flags.Get("query");
+  if (index_path.empty() || query_path.empty()) return Usage();
+  auto model = MakeModel(flags);
+  auto metric = MakeMetric(flags.Get("metric", "l2"));
+  if (!model || !metric) return Usage();
+
+  auto loaded = PexesoIndex::Load(index_path, metric.get());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "index load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  PexesoIndex index = std::move(loaded).ValueOrDie();
+  if (index.catalog().dim() != model->dim()) {
+    std::fprintf(stderr,
+                 "index dim %u != model dim %u (pass matching --dim)\n",
+                 index.catalog().dim(), model->dim());
+    return 1;
+  }
+
+  auto table = Csv::ReadFile(query_path);
+  if (!table.ok()) {
+    std::fprintf(stderr, "query load failed: %s\n",
+                 table.status().ToString().c_str());
+    return 1;
+  }
+  RawTable query_table = std::move(table).ValueOrDie();
+  TypeDetector::DetectAll(&query_table);
+
+  // Query column selection, Section II-A: (1) user-specified via --column,
+  // (2) otherwise the string column with the best key score.
+  int col_idx = -1;
+  const std::string col_name = flags.Get("column");
+  if (!col_name.empty()) {
+    for (size_t c = 0; c < query_table.columns.size(); ++c) {
+      if (query_table.columns[c].name == col_name) {
+        col_idx = static_cast<int>(c);
+      }
+    }
+    if (col_idx < 0) {
+      std::fprintf(stderr, "no column named '%s' in %s\n", col_name.c_str(),
+                   query_path.c_str());
+      return 1;
+    }
+  } else {
+    col_idx = TypeDetector::SelectKeyColumn(query_table);
+    if (col_idx < 0) {
+      std::fprintf(stderr, "no string column suitable as query column\n");
+      return 1;
+    }
+    std::printf("query column auto-selected: '%s'\n",
+                query_table.columns[col_idx].name.c_str());
+  }
+  TableRepository repo(model.get());
+  VectorStore query =
+      repo.EmbedQueryColumn(query_table.columns[col_idx].values);
+  if (query.empty()) {
+    std::fprintf(stderr, "query column has no non-empty values\n");
+    return 1;
+  }
+
+  FractionalThresholds ft{flags.GetDouble("tau", 0.35),
+                          flags.GetDouble("t", 0.5)};
+  SearchOptions sopts;
+  sopts.thresholds = ft.Resolve(*metric, model->dim(), query.size());
+  sopts.collect_mappings = flags.Has("mappings");
+  PexesoSearcher searcher(&index);
+
+  std::vector<JoinableColumn> results;
+  const long topk = flags.GetInt("topk", 0);
+  if (topk > 0) {
+    results = SearchTopK(searcher, query, sopts.thresholds.tau,
+                         static_cast<size_t>(topk));
+  } else {
+    results = searcher.Search(query, sopts, nullptr);
+  }
+
+  std::printf("%zu joinable column(s) (tau=%.3f, T=%u/%zu):\n", results.size(),
+              sopts.thresholds.tau, sopts.thresholds.t_abs, query.size());
+  for (const auto& r : results) {
+    const ColumnMeta& meta = index.catalog().column(r.column);
+    std::printf("  %-30s %-20s joinability %.3f\n", meta.table_name.c_str(),
+                meta.column_name.c_str(), r.joinability);
+    for (const auto& m : r.mapping) {
+      std::printf("    query[%u] <-> %s[%u]\n", m.query_index,
+                  meta.table_name.c_str(), m.target_vec - meta.first);
+    }
+  }
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  const std::string index_path = flags.Get("index");
+  if (index_path.empty()) return Usage();
+  auto metric = MakeMetric(flags.Get("metric", "l2"));
+  auto loaded = PexesoIndex::Load(index_path, metric.get());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "index load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const PexesoIndex index = std::move(loaded).ValueOrDie();
+  std::printf("index: %s\n", index_path.c_str());
+  std::printf("  columns:       %zu\n", index.catalog().num_columns());
+  std::printf("  vectors:       %zu\n", index.catalog().num_vectors());
+  std::printf("  dim:           %u\n", index.catalog().dim());
+  std::printf("  pivots |P|:    %u\n", index.pivots().num_pivots());
+  std::printf("  grid levels m: %u\n", index.grid().levels());
+  std::printf("  leaf cells:    %zu\n", index.grid().LeafCells().size());
+  std::printf("  index size:    %.2f MB\n", index.IndexSizeBytes() / 1e6);
+  size_t deleted = 0;
+  for (ColumnId c = 0; c < index.catalog().num_columns(); ++c) {
+    if (index.IsDeleted(c)) ++deleted;
+  }
+  std::printf("  tombstoned:    %zu\n", deleted);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  Flags flags(argc, argv);
+  if (cmd == "index") return CmdIndex(flags);
+  if (cmd == "search") return CmdSearch(flags);
+  if (cmd == "info") return CmdInfo(flags);
+  return Usage();
+}
