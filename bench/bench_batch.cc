@@ -1,0 +1,88 @@
+// bench_batch: single-thread vs N-thread batch query throughput.
+//
+// Data-lake discovery is a batch workload — many query columns against one
+// shared index — so this bench measures what the BatchQueryRunner buys:
+// columns/second at increasing thread counts over a generated lake, with a
+// result-equality check against the serial run (the runner's determinism
+// contract). Thread counts swept: 1, 2, 4, ..., up to
+// PEXESO_BENCH_MAX_THREADS (default 8).
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/batch_runner.h"
+#include "core/searcher.h"
+
+namespace pexeso::bench {
+namespace {
+
+size_t MaxThreads(size_t def = 8) {
+  const char* env = std::getenv("PEXESO_BENCH_MAX_THREADS");
+  if (env == nullptr) return def;
+  const long v = std::atol(env);
+  return v <= 0 ? def : static_cast<size_t>(v);
+}
+
+void BatchThroughputExperiment(const VectorLakeOptions& profile) {
+  ColumnCatalog catalog = GenerateVectorLake(profile);
+  std::printf("lake: %zu columns, %zu vectors, dim %u\n",
+              catalog.num_columns(), catalog.num_vectors(), catalog.dim());
+
+  L2Metric metric;
+  PexesoOptions opts;
+  opts.num_pivots = 5;
+  opts.levels = 5;
+  PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
+  PexesoSearcher searcher(&index);
+
+  // A >= 64-column batch, per the workload shape of the motivating systems.
+  const size_t batch_size = std::max<size_t>(64, NumQueries(64));
+  std::vector<VectorStore> queries = MakeQueries(profile, batch_size, 20);
+  FractionalThresholds ft{0.06, 0.6};
+  SearchOptions sopts;
+  sopts.thresholds = ft.Resolve(metric, profile.dim, 20);
+
+  std::printf("\nbatch: %zu query columns of 20 vectors\n", batch_size);
+  std::printf("%8s %12s %14s %10s %10s\n", "threads", "wall (s)", "columns/s",
+              "speedup", "identical");
+
+  BatchResult serial;
+  double t1 = 0.0;
+  for (size_t threads = 1; threads <= MaxThreads(); threads *= 2) {
+    BatchQueryRunner runner(&searcher, {.num_threads = threads});
+    BatchResult r = runner.Run(queries, sopts);
+    if (threads == 1) {
+      serial = r;
+      t1 = r.wall_seconds;
+    }
+    bool identical = r.results.size() == serial.results.size();
+    for (size_t i = 0; identical && i < r.results.size(); ++i) {
+      identical = r.results[i].size() == serial.results[i].size();
+      for (size_t j = 0; identical && j < r.results[i].size(); ++j) {
+        identical = r.results[i][j].column == serial.results[i][j].column &&
+                    r.results[i][j].match_count ==
+                        serial.results[i][j].match_count;
+      }
+    }
+    std::printf("%8zu %12.4f %14.1f %9.2fx %10s\n", threads, r.wall_seconds,
+                static_cast<double>(batch_size) /
+                    std::max(r.wall_seconds, 1e-9),
+                t1 / std::max(r.wall_seconds, 1e-9),
+                identical ? "yes" : "NO");
+  }
+}
+
+}  // namespace
+}  // namespace pexeso::bench
+
+int main() {
+  using namespace pexeso::bench;
+  using pexeso::BenchProfiles;
+  Banner("bench_batch: parallel batch query runner throughput",
+         "the multi-query workload of Section VI at lake scale");
+  const double scale = BenchProfiles::EnvScale();
+  BatchThroughputExperiment(BenchProfiles::SwdcLike(scale));
+  return 0;
+}

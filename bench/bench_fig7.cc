@@ -84,7 +84,7 @@ void PartitioningExperiment(const VectorLakeOptions& profile) {
         sopts.thresholds = ft.Resolve(metric, profile.dim, q.size());
         double io = 0.0;
         Stopwatch w;
-        auto r = parts.value().Search(q, sopts, nullptr, &io);
+        auto r = parts.value().SearchPartitions(q, sopts, nullptr, &io);
         // Exclude disk I/O: the figure compares partition *quality* (how
         // well each part's pivots filter), not disk throughput.
         times[strategy] += w.ElapsedSeconds() - io;

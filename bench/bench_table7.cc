@@ -189,8 +189,8 @@ void RunOutOfCore(const char* name, const VectorLakeOptions& profile,
         t_h = TimedOrBudget(queries, budget * 4, [&](const VectorStore& q) {
           SearchOptions sopts;
           sopts.thresholds = th;
-          parts.value().Search(q, sopts, nullptr, nullptr,
-                               PartitionedPexeso::Engine::kPexesoH);
+          parts.value().SearchPartitions(q, sopts, nullptr, nullptr,
+                                         PartitionedPexeso::Engine::kPexesoH);
         });
         h_dead = t_h < 0;
       }
@@ -198,7 +198,7 @@ void RunOutOfCore(const char* name, const VectorLakeOptions& profile,
           TimedOrBudget(queries, budget * 4, [&](const VectorStore& q) {
             SearchOptions sopts;
             sopts.thresholds = th;
-            parts.value().Search(q, sopts, nullptr);
+            parts.value().SearchPartitions(q, sopts, nullptr);
           });
       std::printf("%4d %4d", T, tau);
       PrintCell(t_ctree);

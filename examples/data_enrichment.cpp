@@ -85,8 +85,11 @@ int main() {
     SearchOptions sopts;
     sopts.thresholds = ft.Resolve(metric, model.dim(), query.size());
     sopts.collect_mappings = true;
+    // Driven through the unified engine interface: swapping in another
+    // JoinSearchEngine implementation changes nothing below this line.
     PexesoSearcher searcher(&index);
-    auto results = searcher.Search(query, sopts, nullptr);
+    const JoinSearchEngine& engine = searcher;
+    auto results = engine.Search(query, sopts, nullptr);
 
     JoinMap jm(task.tables.size());
     for (auto& v : jm) v.assign(task.query_keys.size(), -1);

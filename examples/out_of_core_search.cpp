@@ -55,7 +55,8 @@ int main() {
   sopts.thresholds = ft.Resolve(metric, lake_opts.dim, query.size());
   double io_seconds = 0.0;
   SearchStats stats;
-  auto results = built.value().Search(query, sopts, &stats, &io_seconds);
+  auto results = built.value().SearchPartitions(query, sopts, &stats,
+                                                &io_seconds);
   if (!results.ok()) {
     std::fprintf(stderr, "search failed: %s\n",
                  results.status().ToString().c_str());

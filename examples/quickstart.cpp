@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "core/batch_runner.h"
 #include "core/pexeso_index.h"
 #include "core/searcher.h"
 #include "embed/char_gram_model.h"
@@ -75,12 +76,15 @@ int main() {
       {"Mario Party", "Zelda Ocarina", "Metroid Prime", "Gran Turismo"});
 
   // 5. Search: tau = 35% of the max distance, T = 60% of the query size.
+  // Every search method implements JoinSearchEngine, so the driver code
+  // below works unchanged with PexesoHSearcher, NaiveSearcher, etc.
   FractionalThresholds ft{0.35, 0.6};
   SearchOptions sopts;
   sopts.thresholds = ft.Resolve(metric, model.dim(), query.size());
   sopts.collect_mappings = true;
   PexesoSearcher searcher(&index);
-  auto results = searcher.Search(query, sopts, nullptr);
+  const JoinSearchEngine& engine = searcher;
+  auto results = engine.Search(query, sopts, nullptr);
 
   std::printf("\njoinable columns (tau=%.2f, T=%u of %zu):\n",
               sopts.thresholds.tau, sopts.thresholds.t_abs, query.size());
@@ -94,6 +98,30 @@ int main() {
       std::printf("    query record %u  <->  repository vector %u\n",
                   m.query_index, m.target_vec);
     }
+  }
+
+  // 6. Batch mode: data-lake discovery is usually many query columns against
+  // one index. BatchQueryRunner fans them out across a thread pool and
+  // returns the results in input order.
+  std::vector<VectorStore> batch_queries;
+  batch_queries.push_back(query);
+  batch_queries.push_back(
+      repo.EmbedQueryColumn({"Halo", "Forza Horizon", "Wii Sports"}));
+  batch_queries.push_back(repo.EmbedQueryColumn({"Tokyo", "Delhi", "Osaka"}));
+  // Fractional T resolves per query size, so each query gets its own
+  // options (the per-query Run overload exists exactly for this).
+  std::vector<SearchOptions> batch_opts(batch_queries.size());
+  for (size_t i = 0; i < batch_queries.size(); ++i) {
+    batch_opts[i].thresholds =
+        ft.Resolve(metric, model.dim(), batch_queries[i].size());
+  }
+  BatchQueryRunner runner(&engine, {.num_threads = 2});
+  BatchResult batch = runner.Run(batch_queries, batch_opts);
+  std::printf("\nbatch of %zu query columns in %.4fs:\n", batch_queries.size(),
+              batch.wall_seconds);
+  for (size_t i = 0; i < batch.results.size(); ++i) {
+    std::printf("  query %zu: %zu joinable column(s)\n", i,
+                batch.results[i].size());
   }
   return 0;
 }

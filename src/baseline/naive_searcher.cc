@@ -7,10 +7,18 @@ namespace pexeso {
 std::vector<JoinableColumn> NaiveSearcher::Search(
     const VectorStore& query, const SearchThresholds& thresholds,
     SearchStats* stats) const {
+  SearchOptions options;
+  options.thresholds = thresholds;
+  return Search(query, options, stats);
+}
+
+std::vector<JoinableColumn> NaiveSearcher::Search(const VectorStore& query,
+                                                  const SearchOptions& options,
+                                                  SearchStats* stats) const {
   SearchStats local;
   if (stats == nullptr) stats = &local;
-  const double tau = thresholds.tau;
-  const uint32_t t_abs = std::max<uint32_t>(1, thresholds.t_abs);
+  const double tau = options.thresholds.tau;
+  const uint32_t t_abs = std::max<uint32_t>(1, options.thresholds.t_abs);
   const uint32_t num_q = static_cast<uint32_t>(query.size());
   const VectorStore& rstore = catalog_->store();
   const uint32_t dim = rstore.dim();
@@ -33,10 +41,12 @@ std::vector<JoinableColumn> NaiveSearcher::Search(
         }
       }
       if (matched) {
-        if (++matches >= t_abs) {
+        if (++matches >= t_abs && !joinable) {
           joinable = true;
           ++stats->early_joinable;
-          break;
+          // Joinable-skip: stop as soon as the column is confirmed, unless
+          // the caller wants the exact joinability reported.
+          if (!options.exact_joinability) break;
         }
       } else {
         ++mismatches;
@@ -52,6 +62,25 @@ std::vector<JoinableColumn> NaiveSearcher::Search(
       jc.match_count = matches;
       jc.joinability =
           static_cast<double>(matches) / static_cast<double>(num_q);
+      if (options.collect_mappings) {
+        // Post-pass, mirroring PexesoSearcher::CollectMappings: one target
+        // vector (the first in store order) per matching query record, and
+        // the counters upgraded to the exact joinability the full scan
+        // resolves as a side effect.
+        for (uint32_t q = 0; q < num_q; ++q) {
+          const float* qv = query.View(q);
+          for (VecId v = meta.first; v < meta.end(); ++v) {
+            ++stats->distance_computations;
+            if (metric_->Dist(qv, rstore.View(v), dim) <= tau) {
+              jc.mapping.push_back({q, v});
+              break;
+            }
+          }
+        }
+        jc.match_count = static_cast<uint32_t>(jc.mapping.size());
+        jc.joinability =
+            static_cast<double>(jc.match_count) / static_cast<double>(num_q);
+      }
       out.push_back(jc);
     }
   }

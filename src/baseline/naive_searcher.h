@@ -3,11 +3,9 @@
 
 #include <vector>
 
-#include "core/join_result.h"
-#include "core/thresholds.h"
+#include "core/engine.h"
 #include "vec/column_catalog.h"
 #include "vec/metric.h"
-#include "vec/search_stats.h"
 
 namespace pexeso {
 
@@ -21,14 +19,24 @@ namespace pexeso {
 /// column is confirmed and skipped, and once too many query records have
 /// provably no match the column is abandoned (Lemma 7 logic, which requires
 /// no index).
-class NaiveSearcher {
+class NaiveSearcher : public JoinSearchEngine {
  public:
   NaiveSearcher(const ColumnCatalog* catalog, const Metric* metric)
       : catalog_(catalog), metric_(metric) {}
 
+  const char* name() const override { return "naive"; }
+
   std::vector<JoinableColumn> Search(const VectorStore& query,
                                      const SearchThresholds& thresholds,
                                      SearchStats* stats) const;
+
+  /// Engine-interface entry point. The ablation switches are moot (there is
+  /// no index to ablate) but `exact_joinability` and `collect_mappings` are
+  /// honored, so the naive scan stays the oracle for every option the
+  /// indexed engines support.
+  std::vector<JoinableColumn> Search(const VectorStore& query,
+                                     const SearchOptions& options,
+                                     SearchStats* stats) const override;
 
  private:
   const ColumnCatalog* catalog_;

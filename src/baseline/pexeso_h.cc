@@ -13,6 +13,9 @@ std::vector<JoinableColumn> PexesoHSearcher::Search(
   if (stats == nullptr) stats = &local;
   const double tau = options.thresholds.tau;
   const uint32_t t_abs = std::max<uint32_t>(1, options.thresholds.t_abs);
+  // With exact_joinability the joinable-skip is disabled so match counts
+  // keep accumulating past T instead of clamping there.
+  const bool skip_joinable = !options.exact_joinability;
   const uint32_t num_q = static_cast<uint32_t>(query.size());
   std::vector<JoinableColumn> out;
   if (num_q == 0) return out;
@@ -59,11 +62,12 @@ std::vector<JoinableColumn> PexesoHSearcher::Search(
     for (uint32_t cell : blocks.match_cells[q]) {
       for (VecId v : leaves[cell].items) {
         const ColumnId col = vec2col[v];
-        if (stamp[col] == mark || joinable[col] || index_->IsDeleted(col)) {
+        if (stamp[col] == mark || (joinable[col] && skip_joinable) ||
+            index_->IsDeleted(col)) {
           continue;
         }
         stamp[col] = mark;
-        if (++match_map[col] >= t_abs) {
+        if (++match_map[col] >= t_abs && !joinable[col]) {
           joinable[col] = 1;
           ++stats->early_joinable;
         }
@@ -74,13 +78,14 @@ std::vector<JoinableColumn> PexesoHSearcher::Search(
     for (uint32_t cell : blocks.cand_cells[q]) {
       for (VecId v : leaves[cell].items) {
         const ColumnId col = vec2col[v];
-        if (stamp[col] == mark || joinable[col] || index_->IsDeleted(col)) {
+        if (stamp[col] == mark || (joinable[col] && skip_joinable) ||
+            index_->IsDeleted(col)) {
           continue;
         }
         ++stats->distance_computations;
         if (metric.Dist(qv, rstore.View(v), dim) <= tau) {
           stamp[col] = mark;
-          if (++match_map[col] >= t_abs) {
+          if (++match_map[col] >= t_abs && !joinable[col]) {
             joinable[col] = 1;
             ++stats->early_joinable;
           }
@@ -98,6 +103,26 @@ std::vector<JoinableColumn> PexesoHSearcher::Search(
       jc.match_count = match_map[col];
       jc.joinability =
           static_cast<double>(jc.match_count) / static_cast<double>(num_q);
+      if (options.collect_mappings) {
+        // Post-pass in the spirit of the method: no index structures, just
+        // distances — one target vector (first in store order) per matching
+        // query record, with the counters upgraded to the exact joinability
+        // the full scan resolves (as PexesoSearcher::CollectMappings does).
+        const ColumnMeta& meta = catalog.column(col);
+        for (uint32_t q = 0; q < num_q; ++q) {
+          const float* qv = query.View(q);
+          for (VecId v = meta.first; v < meta.end(); ++v) {
+            ++stats->distance_computations;
+            if (metric.Dist(qv, rstore.View(v), dim) <= tau) {
+              jc.mapping.push_back({q, v});
+              break;
+            }
+          }
+        }
+        jc.match_count = static_cast<uint32_t>(jc.mapping.size());
+        jc.joinability =
+            static_cast<double>(jc.match_count) / static_cast<double>(num_q);
+      }
       out.push_back(jc);
     }
   }

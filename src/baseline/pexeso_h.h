@@ -15,13 +15,15 @@ namespace pexeso {
 /// vector to every vector in the cell. No inverted index, no DaaT order, no
 /// Lemma 1/2 per-vector filters, no Lemma 7. The joinable-skip early
 /// termination is kept (every competitor in the paper has it).
-class PexesoHSearcher {
+class PexesoHSearcher : public JoinSearchEngine {
  public:
   explicit PexesoHSearcher(const PexesoIndex* index) : index_(index) {}
 
+  const char* name() const override { return "pexeso-h"; }
+
   std::vector<JoinableColumn> Search(const VectorStore& query,
                                      const SearchOptions& options,
-                                     SearchStats* stats) const;
+                                     SearchStats* stats) const override;
 
  private:
   const PexesoIndex* index_;

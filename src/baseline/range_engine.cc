@@ -5,8 +5,9 @@
 namespace pexeso {
 
 JoinableRangeSearcher::JoinableRangeSearcher(const ColumnCatalog* catalog,
-                                             const RangeQueryEngine* engine)
-    : catalog_(catalog), engine_(engine) {
+                                             const RangeQueryEngine* engine,
+                                             const char* name)
+    : catalog_(catalog), engine_(engine), name_(name) {
   vec2col_.resize(catalog->num_vectors());
   for (ColumnId col = 0; col < catalog->num_columns(); ++col) {
     const ColumnMeta& meta = catalog->column(col);
@@ -14,9 +15,9 @@ JoinableRangeSearcher::JoinableRangeSearcher(const ColumnCatalog* catalog,
   }
 }
 
-std::vector<JoinableColumn> JoinableRangeSearcher::Search(
+std::vector<JoinableColumn> JoinableRangeSearcher::SearchImpl(
     const VectorStore& query, const SearchThresholds& thresholds,
-    SearchStats* stats) const {
+    bool exact_joinability, SearchStats* stats) const {
   SearchStats local;
   if (stats == nullptr) stats = &local;
   const uint32_t t_abs = std::max<uint32_t>(1, thresholds.t_abs);
@@ -34,9 +35,11 @@ std::vector<JoinableColumn> JoinableRangeSearcher::Search(
     const uint32_t mark = q + 1;
     for (VecId v : results) {
       const ColumnId col = vec2col_[v];
-      if (stamp[col] == mark || joinable[col]) continue;
+      if (stamp[col] == mark || (joinable[col] && !exact_joinability)) {
+        continue;
+      }
       stamp[col] = mark;
-      if (++match_map[col] >= t_abs) {
+      if (++match_map[col] >= t_abs && !joinable[col]) {
         joinable[col] = 1;
         ++stats->early_joinable;
       }

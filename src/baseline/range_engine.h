@@ -3,10 +3,8 @@
 
 #include <vector>
 
-#include "core/join_result.h"
-#include "core/thresholds.h"
+#include "core/engine.h"
 #include "vec/column_catalog.h"
-#include "vec/search_stats.h"
 
 namespace pexeso {
 
@@ -32,18 +30,41 @@ class RangeQueryEngine {
 /// for each query record run a range query and credit each returned vector
 /// to its column (deduplicated per record), with the joinable-skip early
 /// termination every competitor is equipped with.
-class JoinableRangeSearcher {
+class JoinableRangeSearcher : public JoinSearchEngine {
  public:
+  /// `name` labels the workflow after its range engine ("ctree", "ept",
+  /// "pq", ...); the pointee must outlive the searcher (string literals do).
   JoinableRangeSearcher(const ColumnCatalog* catalog,
-                        const RangeQueryEngine* engine);
+                        const RangeQueryEngine* engine,
+                        const char* name = "range");
+
+  const char* name() const override { return name_; }
 
   std::vector<JoinableColumn> Search(const VectorStore& query,
                                      const SearchThresholds& thresholds,
-                                     SearchStats* stats) const;
+                                     SearchStats* stats) const {
+    return SearchImpl(query, thresholds, /*exact_joinability=*/false, stats);
+  }
+
+  /// Engine-interface entry point. `exact_joinability` is honored (the
+  /// joinable-skip is disabled so the reported counts are exact);
+  /// mappings/ablation are PEXESO-index concepts and ignored here.
+  std::vector<JoinableColumn> Search(const VectorStore& query,
+                                     const SearchOptions& options,
+                                     SearchStats* stats) const override {
+    return SearchImpl(query, options.thresholds, options.exact_joinability,
+                      stats);
+  }
 
  private:
+  std::vector<JoinableColumn> SearchImpl(const VectorStore& query,
+                                         const SearchThresholds& thresholds,
+                                         bool exact_joinability,
+                                         SearchStats* stats) const;
+
   const ColumnCatalog* catalog_;
   const RangeQueryEngine* engine_;
+  const char* name_;
   std::vector<ColumnId> vec2col_;
 };
 

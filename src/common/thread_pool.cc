@@ -2,10 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 #include "common/check.h"
 
 namespace pexeso {
+
+namespace {
+/// The pool the current thread is a worker of (nullptr on non-pool threads).
+/// Lets ParallelFor detect the self-deadlocking nested call.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(size_t threads) {
   PEXESO_CHECK(threads >= 1);
@@ -36,9 +43,19 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
+bool ThreadPool::OnWorkerThread() const { return current_worker_pool == this; }
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  PEXESO_CHECK_MSG(!OnWorkerThread(),
+                   "nested ParallelFor from a worker of the same pool "
+                   "self-deadlocks; run it from the owning thread");
   if (n == 0) return;
   const size_t shards = std::min(n, workers_.size() * 4);
   std::atomic<size_t> next{0};
@@ -55,22 +72,31 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 }
 
 void ThreadPool::WorkerLoop() {
+  current_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
+      if (stop_ && tasks_.empty()) break;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // The decrement must happen whether or not the task throws; otherwise
+    // a throwing task leaves in_flight_ stuck and Wait() blocks forever.
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;
       if (in_flight_ == 0) cv_done_.notify_all();
     }
   }
+  current_worker_pool = nullptr;
 }
 
 }  // namespace pexeso

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -11,8 +12,15 @@
 
 namespace pexeso {
 
-/// \brief Minimal fixed-size thread pool used by index construction and the
-/// benchmark harnesses for embarrassingly-parallel loops.
+/// \brief Minimal fixed-size thread pool used by index construction, the
+/// batch query runner and the benchmark harnesses for embarrassingly-
+/// parallel loops.
+///
+/// Exception contract: a task that throws does not wedge the pool — the
+/// in-flight accounting is decremented regardless (RAII), the first thrown
+/// exception is captured, and the next Wait() (or ParallelFor, which waits)
+/// rethrows it on the caller's thread. Later exceptions of the same batch
+/// are dropped.
 class ThreadPool {
  public:
   /// Starts `threads` workers (>= 1).
@@ -25,16 +33,23 @@ class ThreadPool {
   /// Enqueues a task; tasks may not themselves block on the pool.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. Rethrows the first
+  /// exception any task of the batch threw, if one did.
   void Wait();
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Must not be called from one of this pool's own workers: the nested
+  /// Wait() would consume a worker that the inner tasks need, deadlocking
+  /// the pool (PEXESO_CHECK-enforced).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
   void WorkerLoop();
+
+  /// True when the calling thread is one of this pool's workers.
+  bool OnWorkerThread() const;
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
@@ -43,6 +58,7 @@ class ThreadPool {
   std::condition_variable cv_done_;
   size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  ///< guarded by mu_
 };
 
 }  // namespace pexeso

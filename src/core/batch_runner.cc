@@ -1,0 +1,65 @@
+#include "core/batch_runner.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace pexeso {
+
+BatchQueryRunner::BatchQueryRunner(const JoinSearchEngine* engine,
+                                   BatchRunnerOptions options)
+    : engine_(engine) {
+  PEXESO_CHECK(engine != nullptr);
+  num_threads_ = options.num_threads;
+  if (num_threads_ == 0) {
+    num_threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+BatchResult BatchQueryRunner::Run(const std::vector<VectorStore>& queries,
+                                  const SearchOptions& options) const {
+  const auto same = [&options](size_t) -> const SearchOptions& {
+    return options;
+  };
+  return RunImpl(queries, same);
+}
+
+BatchResult BatchQueryRunner::Run(
+    const std::vector<VectorStore>& queries,
+    const std::vector<SearchOptions>& options) const {
+  PEXESO_CHECK(options.size() == queries.size());
+  const auto per_query = [&options](size_t i) -> const SearchOptions& {
+    return options[i];
+  };
+  return RunImpl(queries, per_query);
+}
+
+template <typename OptionsFor>
+BatchResult BatchQueryRunner::RunImpl(const std::vector<VectorStore>& queries,
+                                      const OptionsFor& options_for) const {
+  BatchResult out;
+  out.results.resize(queries.size());
+  Stopwatch watch;
+  // One stats scratch slot per query: workers never share a slot, and the
+  // serial input-order merge below keeps the floating-point sums identical
+  // at every thread count.
+  std::vector<SearchStats> scratch(queries.size());
+  if (num_threads_ <= 1 || queries.size() <= 1) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out.results[i] = engine_->Search(queries[i], options_for(i), &scratch[i]);
+    }
+  } else {
+    ThreadPool pool(std::min(num_threads_, queries.size()));
+    pool.ParallelFor(queries.size(), [&](size_t i) {
+      out.results[i] = engine_->Search(queries[i], options_for(i), &scratch[i]);
+    });
+  }
+  for (const SearchStats& s : scratch) out.stats += s;
+  out.wall_seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace pexeso

@@ -1,0 +1,75 @@
+#ifndef PEXESO_CORE_BATCH_RUNNER_H_
+#define PEXESO_CORE_BATCH_RUNNER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace pexeso {
+
+/// \brief Options for a batch run.
+struct BatchRunnerOptions {
+  /// Worker threads fanning the queries out. 0 = one per hardware thread.
+  size_t num_threads = 1;
+};
+
+/// \brief Outcome of one batch run.
+struct BatchResult {
+  /// results[i] is the joinable set of queries[i] — input order, always,
+  /// regardless of how many threads executed the batch.
+  std::vector<std::vector<JoinableColumn>> results;
+  /// Counters of every search, merged in input order: the counter fields
+  /// are identical at any thread count (the *_seconds fields are wall-clock
+  /// measurements and naturally vary run to run).
+  SearchStats stats;
+  /// Wall-clock of the fan-out (excludes engine/index construction).
+  double wall_seconds = 0.0;
+};
+
+/// \brief Parallel batch query runner: fans M query columns out across a
+/// thread pool against one shared read-only engine.
+///
+/// Data-lake discovery is a batch workload — thousands of query columns
+/// against one index — so the per-column Search latency matters less than
+/// aggregate throughput. The runner exploits the embarrassing parallelism
+/// across query columns: each worker searches whole columns with its own
+/// SearchStats scratch slot, and the slots are merged after the barrier.
+///
+/// Determinism contract: results (and the stats counters) are identical
+/// for any `num_threads`, because (a) engines are deterministic per query,
+/// (b) every query writes only its own pre-allocated slot, and (c) slots
+/// are merged serially in input order.
+class BatchQueryRunner {
+ public:
+  /// `engine` is borrowed and must outlive the runner. Its Search must be
+  /// safe for concurrent calls (true for every engine in the library).
+  explicit BatchQueryRunner(const JoinSearchEngine* engine,
+                            BatchRunnerOptions options = {});
+
+  /// Searches every query column and returns all results in input order.
+  BatchResult Run(const std::vector<VectorStore>& queries,
+                  const SearchOptions& options) const;
+
+  /// Per-query options variant (fractional thresholds resolve to a
+  /// different absolute T per query size). options.size() must equal
+  /// queries.size().
+  BatchResult Run(const std::vector<VectorStore>& queries,
+                  const std::vector<SearchOptions>& options) const;
+
+  size_t num_threads() const { return num_threads_; }
+  const JoinSearchEngine* engine() const { return engine_; }
+
+ private:
+  /// `options_for(i)` yields the SearchOptions for queries[i].
+  template <typename OptionsFor>
+  BatchResult RunImpl(const std::vector<VectorStore>& queries,
+                      const OptionsFor& options_for) const;
+
+  const JoinSearchEngine* engine_;
+  size_t num_threads_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_CORE_BATCH_RUNNER_H_

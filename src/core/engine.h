@@ -1,0 +1,57 @@
+#ifndef PEXESO_CORE_ENGINE_H_
+#define PEXESO_CORE_ENGINE_H_
+
+#include <vector>
+
+#include "core/ablation.h"
+#include "core/join_result.h"
+#include "core/thresholds.h"
+#include "vec/search_stats.h"
+#include "vec/vector_store.h"
+
+namespace pexeso {
+
+/// \brief Per-search options.
+struct SearchOptions {
+  SearchThresholds thresholds;
+  AblationConfig ablation;
+  /// When true, each returned column carries the record-level mapping
+  /// (query index -> one matching target vector). Costs a post-pass.
+  bool collect_mappings = false;
+  /// When true, joinable columns keep verifying to report the exact
+  /// joinability instead of stopping at T (disables the joinable-skip).
+  bool exact_joinability = false;
+};
+
+/// \brief The unified joinable-table-search engine interface: given one
+/// query column, return every repository column joinable with it.
+///
+/// Every search method in the library — PEXESO itself, PEXESO-H, the
+/// exhaustive NaiveSearcher, the range-engine workflows (CTREE / EPT / PQ)
+/// and the out-of-core PartitionedPexeso — implements this, so drivers
+/// (CLI, examples, benches, BatchQueryRunner) can be written once against
+/// the interface instead of hard-coding one engine each.
+///
+/// Contract:
+///  - Search is const and safe to call concurrently from multiple threads
+///    (implementations keep per-call state on the stack).
+///  - Results are deterministic for a given (engine, query, options).
+///  - `stats` may be null; when non-null the call's counters are *added*
+///    to it (callers Reset() when they want a fresh reading).
+class JoinSearchEngine {
+ public:
+  virtual ~JoinSearchEngine() = default;
+
+  /// Short stable identifier ("pexeso", "naive", ...) for logs and CLIs.
+  virtual const char* name() const = 0;
+
+  /// Finds all repository columns joinable with the query column. `query`
+  /// holds |Q| unit-normalized vectors of the repository dimensionality.
+  virtual std::vector<JoinableColumn> Search(const VectorStore& query,
+                                             const SearchOptions& options,
+                                             SearchStats* stats) const = 0;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_CORE_ENGINE_H_

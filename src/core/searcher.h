@@ -4,42 +4,28 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/ablation.h"
 #include "core/blocker.h"
-#include "core/join_result.h"
+#include "core/engine.h"
 #include "core/pexeso_index.h"
-#include "core/thresholds.h"
-#include "vec/search_stats.h"
-#include "vec/vector_store.h"
 
 namespace pexeso {
-
-/// \brief Per-search options.
-struct SearchOptions {
-  SearchThresholds thresholds;
-  AblationConfig ablation;
-  /// When true, each returned column carries the record-level mapping
-  /// (query index -> one matching target vector). Costs a post-pass.
-  bool collect_mappings = false;
-  /// When true, joinable columns keep verifying to report the exact
-  /// joinability instead of stopping at T (disables the joinable-skip).
-  bool exact_joinability = false;
-};
 
 /// \brief The online side of PEXESO (Algorithm 3): builds HGQ for the query
 /// column, quick-browses co-located leaf cells, blocks with Algorithm 1, and
 /// verifies with Algorithm 2 over the inverted index.
-class PexesoSearcher {
+class PexesoSearcher : public JoinSearchEngine {
  public:
   /// `index` is borrowed and must outlive the searcher.
   explicit PexesoSearcher(const PexesoIndex* index) : index_(index) {}
+
+  const char* name() const override { return "pexeso"; }
 
   /// Finds all repository columns joinable with the query column. `query`
   /// holds |Q| unit-normalized vectors of the index's dimensionality.
   /// `stats` may be null.
   std::vector<JoinableColumn> Search(const VectorStore& query,
                                      const SearchOptions& options,
-                                     SearchStats* stats) const;
+                                     SearchStats* stats) const override;
 
  private:
   struct Context;

@@ -1,20 +1,19 @@
 #include "core/topk.h"
 
 #include <algorithm>
-#include <mutex>
 
-#include "common/thread_pool.h"
+#include "core/batch_runner.h"
 
 namespace pexeso {
 
-std::vector<JoinableColumn> SearchTopK(const PexesoSearcher& searcher,
+std::vector<JoinableColumn> SearchTopK(const JoinSearchEngine& engine,
                                        const VectorStore& query, double tau,
                                        size_t k, SearchStats* stats) {
   SearchOptions options;
   options.thresholds.tau = tau;
   options.thresholds.t_abs = 1;
   options.exact_joinability = true;
-  std::vector<JoinableColumn> all = searcher.Search(query, options, stats);
+  std::vector<JoinableColumn> all = engine.Search(query, options, stats);
   std::sort(all.begin(), all.end(),
             [](const JoinableColumn& a, const JoinableColumn& b) {
               if (a.joinability != b.joinability) {
@@ -29,17 +28,11 @@ std::vector<JoinableColumn> SearchTopK(const PexesoSearcher& searcher,
 std::vector<std::vector<JoinableColumn>> SearchBatch(
     const PexesoIndex& index, const std::vector<VectorStore>& queries,
     const SearchOptions& options, size_t num_threads, SearchStats* stats) {
-  std::vector<std::vector<JoinableColumn>> results(queries.size());
-  std::vector<SearchStats> per_thread(queries.size());
-  ThreadPool pool(std::max<size_t>(1, num_threads));
-  pool.ParallelFor(queries.size(), [&](size_t i) {
-    PexesoSearcher searcher(&index);
-    results[i] = searcher.Search(queries[i], options, &per_thread[i]);
-  });
-  if (stats != nullptr) {
-    for (const auto& s : per_thread) *stats += s;
-  }
-  return results;
+  PexesoSearcher searcher(&index);
+  BatchQueryRunner runner(&searcher, {.num_threads = num_threads});
+  BatchResult batch = runner.Run(queries, options);
+  if (stats != nullptr) *stats += batch.stats;
+  return std::move(batch.results);
 }
 
 }  // namespace pexeso

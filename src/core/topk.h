@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/engine.h"
 #include "core/searcher.h"
 
 namespace pexeso {
@@ -12,11 +13,10 @@ namespace pexeso {
 ///
 /// Returns the k columns with the highest joinability to the query under
 /// distance threshold tau, ordered by decreasing joinability (ties by
-/// ascending column id). Implemented as an exact-joinability search with the
-/// column-count threshold relaxed to 1 match, then ranked; the inverted
-/// index and blocking do all the pruning, and Lemma 7 still kills columns
-/// that cannot beat the current k-th joinability.
-std::vector<JoinableColumn> SearchTopK(const PexesoSearcher& searcher,
+/// ascending column id). Works over any JoinSearchEngine: the engine runs an
+/// exact-joinability search with the column-count threshold relaxed to 1
+/// match, then the results are ranked.
+std::vector<JoinableColumn> SearchTopK(const JoinSearchEngine& engine,
                                        const VectorStore& query, double tau,
                                        size_t k,
                                        SearchStats* stats = nullptr);
@@ -24,6 +24,8 @@ std::vector<JoinableColumn> SearchTopK(const PexesoSearcher& searcher,
 /// \brief Batch search: runs one query column per thread across a pool.
 /// Results are positionally aligned with `queries`. The index is shared
 /// read-only; each worker keeps its own SearchStats, summed into `stats`.
+/// Convenience wrapper over BatchQueryRunner for the common PEXESO case;
+/// `num_threads == 0` means one thread per hardware thread.
 std::vector<std::vector<JoinableColumn>> SearchBatch(
     const PexesoIndex& index, const std::vector<VectorStore>& queries,
     const SearchOptions& options, size_t num_threads,

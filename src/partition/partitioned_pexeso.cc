@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "baseline/pexeso_h.h"
+#include "common/check.h"
 #include "common/stopwatch.h"
 
 namespace pexeso {
@@ -57,7 +58,15 @@ Result<PartitionedPexeso> PartitionedPexeso::Open(const std::string& dir,
   return PartitionedPexeso(dir, metric, parts);
 }
 
-Result<std::vector<JoinableColumn>> PartitionedPexeso::Search(
+std::vector<JoinableColumn> PartitionedPexeso::Search(
+    const VectorStore& query, const SearchOptions& options,
+    SearchStats* stats) const {
+  auto result = SearchPartitions(query, options, stats, nullptr, engine_);
+  PEXESO_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).ValueOrDie();
+}
+
+Result<std::vector<JoinableColumn>> PartitionedPexeso::SearchPartitions(
     const VectorStore& query, const SearchOptions& options, SearchStats* stats,
     double* io_seconds, Engine engine) const {
   std::vector<JoinableColumn> merged;

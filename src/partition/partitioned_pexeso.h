@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.h"
 #include "core/pexeso_index.h"
 #include "core/searcher.h"
 #include "partition/partitioner.h"
@@ -15,7 +16,7 @@ namespace pexeso {
 /// A search loads one partition into memory at a time, runs the in-memory
 /// search, and merges results (reported in the global column-id space via
 /// ColumnMeta::source_id).
-class PartitionedPexeso {
+class PartitionedPexeso : public JoinSearchEngine {
  public:
   /// Splits `catalog` by `assignment`, builds one index per partition and
   /// writes them under `dir` as part-<i>.pxso. Returns the handle.
@@ -37,11 +38,29 @@ class PartitionedPexeso {
   /// Searches every partition, loading each from disk in turn. Results are
   /// keyed by global column ids. `stats` (optional) accumulates across
   /// partitions; `io_seconds` (optional) reports the disk-loading share.
-  Result<std::vector<JoinableColumn>> Search(const VectorStore& query,
-                                             const SearchOptions& options,
-                                             SearchStats* stats,
-                                             double* io_seconds = nullptr,
-                                             Engine engine = Engine::kPexeso) const;
+  /// This is the status-returning workhorse; the JoinSearchEngine override
+  /// below forwards to it.
+  Result<std::vector<JoinableColumn>> SearchPartitions(
+      const VectorStore& query, const SearchOptions& options,
+      SearchStats* stats, double* io_seconds = nullptr,
+      Engine engine = Engine::kPexeso) const;
+
+  const char* name() const override {
+    return engine_ == Engine::kPexeso ? "pexeso-part" : "pexeso-h-part";
+  }
+
+  /// Engine-interface entry point: searches with the per-partition engine
+  /// selected by set_engine() (PEXESO by default). Partition files were
+  /// validated at Build/Open time, so an I/O failure here is an environment
+  /// fault (file deleted mid-run) and aborts via PEXESO_CHECK; callers who
+  /// need to recover use SearchPartitions directly.
+  std::vector<JoinableColumn> Search(const VectorStore& query,
+                                     const SearchOptions& options,
+                                     SearchStats* stats) const override;
+
+  /// Which in-memory searcher the JoinSearchEngine entry point runs against
+  /// each loaded partition.
+  void set_engine(Engine engine) { engine_ = engine; }
 
   size_t num_partitions() const { return num_parts_; }
 
@@ -57,6 +76,7 @@ class PartitionedPexeso {
   std::string dir_;
   const Metric* metric_;
   size_t num_parts_;
+  Engine engine_ = Engine::kPexeso;
 };
 
 }  // namespace pexeso

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <set>
+#include <stdexcept>
 #include <string>
 
 #include "common/rng.h"
@@ -223,6 +224,53 @@ TEST(ThreadPoolTest, ParallelForCoversRange) {
   std::vector<std::atomic<int>> hits(257);
   pool.ParallelFor(257, [&hits](size_t i) { hits[i].fetch_add(1); });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotDeadlockWait) {
+  // Regression: in_flight_ used to be decremented only after a normal task
+  // return, so one throwing task wedged Wait() forever. The decrement is now
+  // exception-safe and the first exception is rethrown by Wait().
+  ThreadPool pool(2);
+  std::atomic<int> survivors{0};
+  pool.Submit([] { throw std::runtime_error("task exploded"); });
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&survivors] { survivors.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(survivors.load(), 8);
+
+  // The pool stays usable after the failed batch.
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesTaskException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [](size_t i) {
+                                  if (i == 13) {
+                                    throw std::runtime_error("mid-loop");
+                                  }
+                                }),
+               std::runtime_error);
+  // And again: a poisoned loop must not poison the pool.
+  std::atomic<int> count{0};
+  pool.ParallelFor(16, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolDeathTest, NestedParallelForFromWorkerAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.ParallelFor(4, [&pool](size_t) {
+          pool.ParallelFor(2, [](size_t) {});  // self-deadlock without guard
+        });
+      },
+      "nested ParallelFor");
 }
 
 TEST(Fnv1aTest, StableAndSensitive) {

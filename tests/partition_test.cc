@@ -156,7 +156,7 @@ TEST(PartitionedPexesoTest, SearchEqualsInMemorySearch) {
   sopts.thresholds = th;
   double io = 0.0;
   SearchStats stats;
-  auto merged = built.value().Search(query, sopts, &stats, &io);
+  auto merged = built.value().SearchPartitions(query, sopts, &stats, &io);
   ASSERT_TRUE(merged.ok());
   EXPECT_EQ(ResultColumns(merged.value()), expected);
   EXPECT_GT(io, 0.0);

@@ -129,10 +129,15 @@ TEST(PartitionedEngineTest, PexesoHEngineMatchesNaive) {
   ASSERT_TRUE(parts.ok());
   SearchOptions sopts;
   sopts.thresholds = th;
-  auto via_h = parts.value().Search(query, sopts, nullptr, nullptr,
-                                    PartitionedPexeso::Engine::kPexesoH);
+  auto via_h = parts.value().SearchPartitions(
+      query, sopts, nullptr, nullptr, PartitionedPexeso::Engine::kPexesoH);
   ASSERT_TRUE(via_h.ok());
   EXPECT_EQ(ResultColumns(via_h.value()), expected);
+
+  // The same variant through the unified engine interface.
+  parts.value().set_engine(PartitionedPexeso::Engine::kPexesoH);
+  const JoinSearchEngine& engine = parts.value();
+  EXPECT_EQ(ResultColumns(engine.Search(query, sopts, nullptr)), expected);
   fs::remove_all(dir);
 }
 

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification, exactly as CI runs it: configure with warnings on,
+# build everything (library, CLI, examples, benches, tests), run ctest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}" \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

@@ -5,21 +5,36 @@
 //                     [--dim D] [--metric l2|cosine|l1]
 //   pexeso_cli search --index <index-file> --query <csv> [--column <name>]
 //                     [--tau F] [--t F] [--topk K] [--mappings]
+//                     [--engine pexeso|pexeso-h|naive]
 //                     [--model chargram|wordavg] [--dim D]
+//   pexeso_cli batch  --index <index-file> --queries <csv-dir>
+//                     [--threads N] [--tau F] [--t F]
+//                     [--engine pexeso|pexeso-h|naive] [--model ...] [--dim D]
 //   pexeso_cli info   --index <index-file>
 //
 // The offline component (Figure 1 of the paper): `index` loads raw CSV
 // tables, detects join-key candidate columns, embeds their records and
 // builds the search structures. The online component: `search` embeds a
 // query column and reports joinable columns (optionally top-k ranked, with
-// record mappings).
+// record mappings). `batch` is the multi-query path: every CSV in a
+// directory becomes one query column and the batch is fanned out across a
+// BatchQueryRunner thread pool.
+//
+// Every online command goes through the JoinSearchEngine interface, so
+// --engine swaps the search method without touching the driver logic.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "baseline/naive_searcher.h"
+#include "baseline/pexeso_h.h"
+#include "core/batch_runner.h"
 #include "core/pexeso_index.h"
 #include "core/searcher.h"
 #include "core/topk.h"
@@ -82,15 +97,116 @@ std::unique_ptr<EmbeddingModel> MakeModel(const Flags& flags) {
   return nullptr;
 }
 
+/// Builds the search engine selected by --engine over a loaded index. All
+/// engines share the index's catalog/metric, so one loaded file serves any
+/// of them.
+std::unique_ptr<JoinSearchEngine> MakeEngine(const std::string& name,
+                                             const PexesoIndex& index) {
+  if (name == "pexeso") return std::make_unique<PexesoSearcher>(&index);
+  if (name == "pexeso-h") return std::make_unique<PexesoHSearcher>(&index);
+  if (name == "naive") {
+    return std::make_unique<NaiveSearcher>(&index.catalog(), index.metric());
+  }
+  return nullptr;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: pexeso_cli <index|search|info> [--flags]\n"
+               "usage: pexeso_cli <index|search|batch|info> [--flags]\n"
                "  index  --input DIR --output FILE [--pivots N --levels M "
                "--model chargram|wordavg --dim D --metric l2|cosine|l1]\n"
                "  search --index FILE --query CSV [--column NAME --tau F "
-               "--t F --topk K --mappings --model ... --dim D]\n"
+               "--t F --topk K --mappings --engine pexeso|pexeso-h|naive "
+               "--model ... --dim D]\n"
+               "  batch  --index FILE --queries DIR [--threads N --tau F "
+               "--t F --engine ... --model ... --dim D]\n"
                "  info   --index FILE\n");
   return 2;
+}
+
+/// Everything the online commands (search, batch) share: the embedding
+/// model, the metric, the loaded index, the selected engine and the
+/// fractional thresholds from --tau/--t.
+struct OnlineContext {
+  std::unique_ptr<EmbeddingModel> model;
+  std::unique_ptr<Metric> metric;
+  std::unique_ptr<PexesoIndex> index;
+  std::unique_ptr<JoinSearchEngine> engine;
+  FractionalThresholds thresholds;
+};
+
+/// Fills `ctx` from the flags. Returns 0 on success, else the process exit
+/// code (after printing the reason).
+/// Reads `path`, picks the query column (`column_name`, or the best key
+/// column when empty) and embeds it with `repo`'s model. Returns an empty
+/// store after printing the reason when anything fails; `out_column`
+/// (optional) receives the chosen column name.
+VectorStore LoadQueryColumn(const TableRepository& repo, uint32_t dim,
+                            const std::string& path,
+                            const std::string& column_name,
+                            std::string* out_column) {
+  const VectorStore empty(dim);
+  auto table = Csv::ReadFile(path);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s: load failed: %s\n", path.c_str(),
+                 table.status().ToString().c_str());
+    return empty;
+  }
+  RawTable query_table = std::move(table).ValueOrDie();
+  TypeDetector::DetectAll(&query_table);
+
+  // Query column selection, Section II-A: (1) user-specified by name,
+  // (2) otherwise the string column with the best key score.
+  int col_idx = -1;
+  if (!column_name.empty()) {
+    for (size_t c = 0; c < query_table.columns.size(); ++c) {
+      if (query_table.columns[c].name == column_name) {
+        col_idx = static_cast<int>(c);
+      }
+    }
+    if (col_idx < 0) {
+      std::fprintf(stderr, "no column named '%s' in %s\n", column_name.c_str(),
+                   path.c_str());
+      return empty;
+    }
+  } else {
+    col_idx = TypeDetector::SelectKeyColumn(query_table);
+    if (col_idx < 0) {
+      std::fprintf(stderr, "%s: no string column suitable as query column\n",
+                   path.c_str());
+      return empty;
+    }
+  }
+  if (out_column != nullptr) *out_column = query_table.columns[col_idx].name;
+  VectorStore q = repo.EmbedQueryColumn(query_table.columns[col_idx].values);
+  if (q.empty()) {
+    std::fprintf(stderr, "%s: query column has no non-empty values\n",
+                 path.c_str());
+  }
+  return q;
+}
+
+int LoadOnlineContext(const Flags& flags, OnlineContext* ctx) {
+  ctx->model = MakeModel(flags);
+  ctx->metric = MakeMetric(flags.Get("metric", "l2"));
+  if (!ctx->model || !ctx->metric) return Usage();
+  auto loaded = PexesoIndex::Load(flags.Get("index"), ctx->metric.get());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "index load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  ctx->index =
+      std::make_unique<PexesoIndex>(std::move(loaded).ValueOrDie());
+  if (ctx->index->catalog().dim() != ctx->model->dim()) {
+    std::fprintf(stderr, "index dim %u != model dim %u (pass matching --dim)\n",
+                 ctx->index->catalog().dim(), ctx->model->dim());
+    return 1;
+  }
+  ctx->engine = MakeEngine(flags.Get("engine", "pexeso"), *ctx->index);
+  if (!ctx->engine) return Usage();
+  ctx->thresholds = {flags.GetDouble("tau", 0.35), flags.GetDouble("t", 0.5)};
+  return 0;
 }
 
 int CmdIndex(const Flags& flags) {
@@ -136,83 +252,36 @@ int CmdSearch(const Flags& flags) {
   const std::string index_path = flags.Get("index");
   const std::string query_path = flags.Get("query");
   if (index_path.empty() || query_path.empty()) return Usage();
-  auto model = MakeModel(flags);
-  auto metric = MakeMetric(flags.Get("metric", "l2"));
-  if (!model || !metric) return Usage();
+  OnlineContext ctx;
+  if (int rc = LoadOnlineContext(flags, &ctx); rc != 0) return rc;
+  const PexesoIndex& index = *ctx.index;
 
-  auto loaded = PexesoIndex::Load(index_path, metric.get());
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "index load failed: %s\n",
-                 loaded.status().ToString().c_str());
-    return 1;
-  }
-  PexesoIndex index = std::move(loaded).ValueOrDie();
-  if (index.catalog().dim() != model->dim()) {
-    std::fprintf(stderr,
-                 "index dim %u != model dim %u (pass matching --dim)\n",
-                 index.catalog().dim(), model->dim());
-    return 1;
+  TableRepository repo(ctx.model.get());
+  std::string column;
+  VectorStore query = LoadQueryColumn(repo, ctx.model->dim(), query_path,
+                                      flags.Get("column"), &column);
+  if (query.empty()) return 1;
+  if (!flags.Has("column")) {
+    std::printf("query column auto-selected: '%s'\n", column.c_str());
   }
 
-  auto table = Csv::ReadFile(query_path);
-  if (!table.ok()) {
-    std::fprintf(stderr, "query load failed: %s\n",
-                 table.status().ToString().c_str());
-    return 1;
-  }
-  RawTable query_table = std::move(table).ValueOrDie();
-  TypeDetector::DetectAll(&query_table);
-
-  // Query column selection, Section II-A: (1) user-specified via --column,
-  // (2) otherwise the string column with the best key score.
-  int col_idx = -1;
-  const std::string col_name = flags.Get("column");
-  if (!col_name.empty()) {
-    for (size_t c = 0; c < query_table.columns.size(); ++c) {
-      if (query_table.columns[c].name == col_name) {
-        col_idx = static_cast<int>(c);
-      }
-    }
-    if (col_idx < 0) {
-      std::fprintf(stderr, "no column named '%s' in %s\n", col_name.c_str(),
-                   query_path.c_str());
-      return 1;
-    }
-  } else {
-    col_idx = TypeDetector::SelectKeyColumn(query_table);
-    if (col_idx < 0) {
-      std::fprintf(stderr, "no string column suitable as query column\n");
-      return 1;
-    }
-    std::printf("query column auto-selected: '%s'\n",
-                query_table.columns[col_idx].name.c_str());
-  }
-  TableRepository repo(model.get());
-  VectorStore query =
-      repo.EmbedQueryColumn(query_table.columns[col_idx].values);
-  if (query.empty()) {
-    std::fprintf(stderr, "query column has no non-empty values\n");
-    return 1;
-  }
-
-  FractionalThresholds ft{flags.GetDouble("tau", 0.35),
-                          flags.GetDouble("t", 0.5)};
   SearchOptions sopts;
-  sopts.thresholds = ft.Resolve(*metric, model->dim(), query.size());
+  sopts.thresholds =
+      ctx.thresholds.Resolve(*ctx.metric, ctx.model->dim(), query.size());
   sopts.collect_mappings = flags.Has("mappings");
-  PexesoSearcher searcher(&index);
 
   std::vector<JoinableColumn> results;
   const long topk = flags.GetInt("topk", 0);
   if (topk > 0) {
-    results = SearchTopK(searcher, query, sopts.thresholds.tau,
+    results = SearchTopK(*ctx.engine, query, sopts.thresholds.tau,
                          static_cast<size_t>(topk));
   } else {
-    results = searcher.Search(query, sopts, nullptr);
+    results = ctx.engine->Search(query, sopts, nullptr);
   }
 
-  std::printf("%zu joinable column(s) (tau=%.3f, T=%u/%zu):\n", results.size(),
-              sopts.thresholds.tau, sopts.thresholds.t_abs, query.size());
+  std::printf("%zu joinable column(s) via %s (tau=%.3f, T=%u/%zu):\n",
+              results.size(), ctx.engine->name(), sopts.thresholds.tau,
+              sopts.thresholds.t_abs, query.size());
   for (const auto& r : results) {
     const ColumnMeta& meta = index.catalog().column(r.column);
     std::printf("  %-30s %-20s joinability %.3f\n", meta.table_name.c_str(),
@@ -220,6 +289,81 @@ int CmdSearch(const Flags& flags) {
     for (const auto& m : r.mapping) {
       std::printf("    query[%u] <-> %s[%u]\n", m.query_index,
                   meta.table_name.c_str(), m.target_vec - meta.first);
+    }
+  }
+  return 0;
+}
+
+int CmdBatch(const Flags& flags) {
+  const std::string index_path = flags.Get("index");
+  const std::string queries_dir = flags.Get("queries");
+  if (index_path.empty() || queries_dir.empty()) return Usage();
+  OnlineContext ctx;
+  if (int rc = LoadOnlineContext(flags, &ctx); rc != 0) return rc;
+  const PexesoIndex& index = *ctx.index;
+
+  // One query column per CSV file: the auto-selected key column, embedded
+  // with the same model as the repository. Sorted paths keep the batch
+  // order (and therefore the output) deterministic.
+  std::vector<std::string> paths;
+  try {
+    for (const auto& entry :
+         std::filesystem::directory_iterator(queries_dir)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+        paths.push_back(entry.path().string());
+      }
+    }
+  } catch (const std::filesystem::filesystem_error& e) {
+    std::fprintf(stderr, "cannot read %s: %s\n", queries_dir.c_str(),
+                 e.what());
+    return 1;
+  }
+  std::sort(paths.begin(), paths.end());
+
+  TableRepository repo(ctx.model.get());
+  std::vector<std::string> names;
+  std::vector<VectorStore> queries;
+  for (const std::string& path : paths) {
+    std::string column;
+    VectorStore q = LoadQueryColumn(repo, ctx.model->dim(), path,
+                                    /*column_name=*/"", &column);
+    if (q.empty()) continue;  // reason already printed; batch skips on
+    names.push_back(std::filesystem::path(path).filename().string() + ":" +
+                    column);
+    queries.push_back(std::move(q));
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "no usable query columns under %s\n",
+                 queries_dir.c_str());
+    return 1;
+  }
+
+  std::vector<SearchOptions> sopts(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    sopts[i].thresholds =
+        ctx.thresholds.Resolve(*ctx.metric, ctx.model->dim(),
+                               queries[i].size());
+  }
+
+  BatchRunnerOptions bopts;
+  bopts.num_threads = static_cast<size_t>(flags.GetInt("threads", 0));
+  BatchQueryRunner runner(ctx.engine.get(), bopts);
+  BatchResult batch = runner.Run(queries, sopts);
+
+  std::printf("batch of %zu query columns via %s on %zu thread(s): %.3fs "
+              "(%.1f columns/s)\n",
+              queries.size(), ctx.engine->name(), runner.num_threads(),
+              batch.wall_seconds,
+              static_cast<double>(queries.size()) /
+                  std::max(batch.wall_seconds, 1e-9));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::printf("  %-40s %zu joinable column(s)\n", names[i].c_str(),
+                batch.results[i].size());
+    for (const auto& r : batch.results[i]) {
+      const ColumnMeta& meta = index.catalog().column(r.column);
+      std::printf("    %-30s %-20s joinability %.3f\n",
+                  meta.table_name.c_str(), meta.column_name.c_str(),
+                  r.joinability);
     }
   }
   return 0;
@@ -260,6 +404,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   if (cmd == "index") return CmdIndex(flags);
   if (cmd == "search") return CmdSearch(flags);
+  if (cmd == "batch") return CmdBatch(flags);
   if (cmd == "info") return CmdInfo(flags);
   return Usage();
 }
