@@ -2,15 +2,28 @@
 // from: distance computation, pivot mapping, grid construction, inverted-
 // index verification, embedding, and full index build/search at small scale.
 // These are regression guards, not paper figures.
+//
+// In addition to the Google-Benchmark timing loops, main() always measures
+// the distance-kernel throughput trajectory (scalar virtual Metric::Dist vs
+// the dispatched KernelSet, per metric x dim) and writes it as
+// BENCH_kernels.json so successive PRs can track it; run with
+// --benchmark_filter='^$' to emit only the JSON.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "core/pexeso_index.h"
 #include "core/searcher.h"
 #include "datagen/vector_lake.h"
 #include "embed/char_gram_model.h"
 #include "pivot/pivot_selector.h"
+#include "vec/kernels.h"
 #include "vec/metric.h"
 
 namespace pexeso {
@@ -29,6 +42,165 @@ void BM_L2Distance(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_L2Distance)->Arg(50)->Arg(300);
+
+// ------------------------------------------------------ distance kernels
+//
+// One-to-many throughput (pairs/sec) per metric x dim, three variants:
+// the per-pair virtual Metric::Dist baseline, the scalar KernelSet tier,
+// and the runtime-dispatched tier (AVX2/NEON when the CPU has it).
+
+constexpr size_t kKernelBenchRows = 2048;
+
+std::vector<float> RandomPacked(uint64_t seed, size_t n, uint32_t dim) {
+  Rng rng(seed);
+  std::vector<float> out(n * dim);
+  for (auto& x : out) x = static_cast<float>(rng.Normal());
+  return out;
+}
+
+void BM_DistManyVirtual(benchmark::State& state, const std::string& name) {
+  const uint32_t dim = static_cast<uint32_t>(state.range(0));
+  auto metric = MakeMetric(name);
+  const auto base = RandomPacked(2, kKernelBenchRows, dim);
+  const auto q = RandomPacked(3, 1, dim);
+  std::vector<double> out(kKernelBenchRows);
+  for (auto _ : state) {
+    for (size_t r = 0; r < kKernelBenchRows; ++r) {
+      out[r] = metric->Dist(q.data(), base.data() + r * dim, dim);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelBenchRows);
+}
+
+void BM_DistManyKernel(benchmark::State& state, const std::string& name,
+                       SimdLevel level) {
+  const uint32_t dim = static_cast<uint32_t>(state.range(0));
+  auto metric = MakeMetric(name);
+  const KernelSet* ks = GetKernels(metric->kernels()->kind, level);
+  if (ks == nullptr) {
+    state.SkipWithError("SIMD level unavailable on this CPU");
+    return;
+  }
+  const auto base = RandomPacked(2, kKernelBenchRows, dim);
+  const auto q = RandomPacked(3, 1, dim);
+  std::vector<double> out(kKernelBenchRows);
+  for (auto _ : state) {
+    ks->DistMany(q.data(), base.data(), kKernelBenchRows, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelBenchRows);
+}
+
+void RegisterKernelBenches() {
+  for (const char* name : {"l2", "cosine", "l1"}) {
+    for (int64_t dim : {50, 100, 300}) {
+      benchmark::RegisterBenchmark(
+          (std::string("BM_DistMany/") + name + "/virtual").c_str(),
+          [name](benchmark::State& s) { BM_DistManyVirtual(s, name); })
+          ->Arg(dim);
+      benchmark::RegisterBenchmark(
+          (std::string("BM_DistMany/") + name + "/scalar").c_str(),
+          [name](benchmark::State& s) {
+            BM_DistManyKernel(s, name, SimdLevel::kScalar);
+          })
+          ->Arg(dim);
+      const SimdLevel active = ActiveSimdLevel();
+      if (active != SimdLevel::kScalar) {
+        benchmark::RegisterBenchmark(
+            (std::string("BM_DistMany/") + name + "/" + SimdLevelName(active))
+                .c_str(),
+            [name, active](benchmark::State& s) {
+              BM_DistManyKernel(s, name, active);
+            })
+            ->Arg(dim);
+      }
+    }
+  }
+}
+
+// --------------------------------------------- BENCH_kernels.json writer
+
+/// Pairs/sec of `fn` measured over enough repetitions to fill ~80ms.
+template <typename Fn>
+double MeasurePairsPerSec(size_t pairs_per_call, Fn&& fn) {
+  fn();  // warm up caches and the dispatch table
+  size_t reps = 1;
+  double elapsed = 0.0;
+  for (;;) {
+    Stopwatch watch;
+    for (size_t i = 0; i < reps; ++i) fn();
+    elapsed = watch.ElapsedSeconds();
+    if (elapsed >= 0.08) break;
+    reps *= 4;
+  }
+  return static_cast<double>(pairs_per_call) * static_cast<double>(reps) /
+         elapsed;
+}
+
+/// Writes the machine-readable kernel-throughput record. Schema
+/// ("BENCH_kernels/v1"): simd_level, then one entry per metric x dim with
+/// pairs/sec for the virtual baseline, the scalar kernel tier, the
+/// dispatched tier, and speedup = dispatched / virtual.
+void WriteKernelBenchJson() {
+  const char* path_env = std::getenv("PEXESO_BENCH_KERNELS_JSON");
+  const std::string path =
+      path_env != nullptr ? path_env : "BENCH_kernels.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"BENCH_kernels/v1\",\n");
+  std::fprintf(f, "  \"simd_level\": \"%s\",\n",
+               SimdLevelName(ActiveSimdLevel()));
+  std::fprintf(f, "  \"pairs_per_call\": %zu,\n  \"results\": [",
+               kKernelBenchRows);
+  bool first = true;
+  for (const char* name : {"l2", "cosine", "l1"}) {
+    auto metric = MakeMetric(name);
+    for (uint32_t dim : {50u, 100u, 300u}) {
+      const auto base = RandomPacked(2, kKernelBenchRows, dim);
+      const auto q = RandomPacked(3, 1, dim);
+      std::vector<double> out(kKernelBenchRows);
+      const double virt =
+          MeasurePairsPerSec(kKernelBenchRows, [&] {
+            for (size_t r = 0; r < kKernelBenchRows; ++r) {
+              out[r] = metric->Dist(q.data(), base.data() + r * dim, dim);
+            }
+            benchmark::DoNotOptimize(out.data());
+          });
+      const KernelSet* scalar_ks =
+          GetKernels(metric->kernels()->kind, SimdLevel::kScalar);
+      const double scalar =
+          MeasurePairsPerSec(kKernelBenchRows, [&] {
+            scalar_ks->DistMany(q.data(), base.data(), kKernelBenchRows, dim,
+                                out.data());
+            benchmark::DoNotOptimize(out.data());
+          });
+      const KernelSet* active_ks = metric->kernels();
+      const double dispatched =
+          MeasurePairsPerSec(kKernelBenchRows, [&] {
+            active_ks->DistMany(q.data(), base.data(), kKernelBenchRows, dim,
+                                out.data());
+            benchmark::DoNotOptimize(out.data());
+          });
+      std::fprintf(f,
+                   "%s\n    {\"metric\": \"%s\", \"dim\": %u, "
+                   "\"virtual_pairs_per_sec\": %.0f, "
+                   "\"scalar_kernel_pairs_per_sec\": %.0f, "
+                   "\"dispatched_pairs_per_sec\": %.0f, "
+                   "\"speedup_vs_virtual\": %.2f}",
+                   first ? "" : ",", name, dim, virt, scalar, dispatched,
+                   dispatched / virt);
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("kernel throughput written to %s (simd=%s)\n", path.c_str(),
+              SimdLevelName(ActiveSimdLevel()));
+}
 
 void BM_PivotMapping(benchmark::State& state) {
   const uint32_t dim = 50, np = 5;
@@ -121,4 +293,12 @@ BENCHMARK(BM_PexesoSearch)->Arg(500)->Arg(2000);
 }  // namespace
 }  // namespace pexeso
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  pexeso::RegisterKernelBenches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  pexeso::WriteKernelBenchJson();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "baseline/range_engine.h"
 #include "vec/column_catalog.h"
+#include "vec/kernels.h"
 #include "vec/metric.h"
 #include "vec/search_stats.h"
 
@@ -21,7 +22,7 @@ namespace pexeso {
 class CoverTree : public RangeQueryEngine {
  public:
   CoverTree(const VectorStore* store, const Metric* metric)
-      : store_(store), metric_(metric) {}
+      : store_(store), metric_(metric), kernels_(metric->kernels()) {}
 
   /// Inserts every vector of the store. Returns build distance count.
   uint64_t BuildAll();
@@ -41,8 +42,10 @@ class CoverTree : public RangeQueryEngine {
     std::vector<VecId> duplicates;  ///< points identical to `point`
   };
 
+  /// Devirtualized: the cover tree needs true distances (its bounds add
+  /// radii), so it uses the kernel distance space, not the comparison one.
   double Dist(const float* a, VecId b) const {
-    return metric_->Dist(a, store_->View(b), store_->dim());
+    return KernelDist(*metric_, kernels_, a, store_->View(b), store_->dim());
   }
 
   void Insert(VecId p);
@@ -50,6 +53,7 @@ class CoverTree : public RangeQueryEngine {
 
   const VectorStore* store_;
   const Metric* metric_;
+  const KernelSet* kernels_;
   std::vector<Node> nodes_;
   int32_t root_ = -1;
   mutable uint64_t build_distances_ = 0;

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "vec/kernels.h"
 
 namespace pexeso {
 
@@ -15,6 +16,7 @@ void ExtremePivotTable::Build(const Options& options) {
   PEXESO_CHECK(n > 0);
   num_pivots_ = options.num_groups * options.pivots_per_group;
   PEXESO_CHECK(num_pivots_ > 0 && num_pivots_ < (1u << 16));
+  const KernelSet* ks = metric_->kernels();
 
   Rng rng(options.seed);
   // Candidate pivots: random data points (the EPT paper's construction
@@ -27,36 +29,65 @@ void ExtremePivotTable::Build(const Options& options) {
     const float* src = store_->View(static_cast<VecId>(picks[p % picks.size()]));
     std::copy(src, src + dim, pivots_.data() + static_cast<size_t>(p) * dim);
   }
+  // Pivot and store norms, computed once, keep the cosine build at one dot
+  // product per point-pivot pair (DistManyNormed).
+  pivot_norms_.assign(num_pivots_, 0.0f);
+  const float* snorms = nullptr;
+  if (ks != nullptr) {
+    ComputeNorms(pivots_.data(), num_pivots_, dim, pivot_norms_.data());
+    if (ks->kind == MetricKind::kCosine) snorms = store_->EnsureNorms();
+  }
 
-  // Estimate mu_p on a sample.
+  // Estimate mu_p on a sample. One batched point-vs-all-pivots kernel call
+  // per sampled row; per-pivot accumulation order stays row order, so the
+  // estimates match the per-pivot scan exactly.
   const size_t sample = std::min(options.mu_sample, n);
   std::vector<size_t> srows = rng.SampleIndices(n, sample);
   mu_.assign(num_pivots_, 0.0);
-  for (uint32_t p = 0; p < num_pivots_; ++p) {
-    const float* pv = pivots_.data() + static_cast<size_t>(p) * dim;
-    double acc = 0.0;
-    for (size_t r : srows) {
-      acc += metric_->Dist(pv, store_->View(static_cast<VecId>(r)), dim);
+  std::vector<double> dq(num_pivots_);
+  for (size_t r : srows) {
+    const float* xv = store_->View(static_cast<VecId>(r));
+    if (ks != nullptr) {
+      const double xn = snorms != nullptr ? snorms[r] : 1.0;
+      ks->DistManyNormed(xv, xn, pivots_.data(), pivot_norms_.data(),
+                         num_pivots_, dim, dq.data());
+    } else {
+      for (uint32_t p = 0; p < num_pivots_; ++p) {
+        dq[p] = metric_->Dist(pivots_.data() + static_cast<size_t>(p) * dim,
+                              xv, dim);
+      }
     }
-    mu_[p] = acc / static_cast<double>(sample);
+    for (uint32_t p = 0; p < num_pivots_; ++p) mu_[p] += dq[p];
+  }
+  for (uint32_t p = 0; p < num_pivots_; ++p) {
+    mu_[p] /= static_cast<double>(sample);
   }
 
-  // Per point, per group: keep the most extreme pivot.
+  // Per point, per group: keep the most extreme pivot. Again one batched
+  // kernel call per point covering every pivot of every group.
   const uint32_t g = options.num_groups;
   const uint32_t c = options.pivots_per_group;
   assigned_.assign(n * g, 0);
   pivot_dist_.assign(n * g, 0.0f);
   for (size_t x = 0; x < n; ++x) {
     const float* xv = store_->View(static_cast<VecId>(x));
+    if (ks != nullptr) {
+      const double xn = snorms != nullptr ? snorms[x] : 1.0;
+      ks->DistManyNormed(xv, xn, pivots_.data(), pivot_norms_.data(),
+                         num_pivots_, dim, dq.data());
+    } else {
+      for (uint32_t p = 0; p < num_pivots_; ++p) {
+        dq[p] = metric_->Dist(pivots_.data() + static_cast<size_t>(p) * dim,
+                              xv, dim);
+      }
+    }
     for (uint32_t j = 0; j < g; ++j) {
       double best_score = -1.0;
       uint32_t best_p = j * c;
       double best_d = 0.0;
       for (uint32_t k = 0; k < c; ++k) {
         const uint32_t p = j * c + k;
-        const double d =
-            metric_->Dist(pivots_.data() + static_cast<size_t>(p) * dim, xv,
-                          dim);
+        const double d = dq[p];
         const double score = std::fabs(d - mu_[p]);
         if (score > best_score) {
           best_score = score;
@@ -76,13 +107,23 @@ void ExtremePivotTable::RangeQuery(const float* q, double radius,
   const size_t n = store_->size();
   const uint32_t dim = store_->dim();
   const uint32_t g = options_.num_groups;
+  const KernelSet* ks = metric_->kernels();
 
   std::vector<double> dq(num_pivots_);
-  for (uint32_t p = 0; p < num_pivots_; ++p) {
-    ++stats->distance_computations;
-    dq[p] = metric_->Dist(pivots_.data() + static_cast<size_t>(p) * dim, q,
-                          dim);
+  stats->distance_computations += num_pivots_;
+  const double qn = ks != nullptr ? ks->QueryNorm(q, dim) : 1.0;
+  if (ks != nullptr) {
+    ks->DistManyNormed(q, qn, pivots_.data(), pivot_norms_.data(), num_pivots_,
+                       dim, dq.data());
+  } else {
+    for (uint32_t p = 0; p < num_pivots_; ++p) {
+      dq[p] = metric_->Dist(pivots_.data() + static_cast<size_t>(p) * dim, q,
+                            dim);
+    }
   }
+
+  const RangePredicate pred(*metric_, radius);
+  const float* norms = pred.wants_norms() ? store_->EnsureNorms() : nullptr;
   for (size_t x = 0; x < n; ++x) {
     bool pruned = false;
     for (uint32_t j = 0; j < g; ++j) {
@@ -96,14 +137,18 @@ void ExtremePivotTable::RangeQuery(const float* q, double radius,
     }
     if (pruned) continue;
     ++stats->distance_computations;
-    if (metric_->Dist(q, store_->View(static_cast<VecId>(x)), dim) <= radius) {
+    stats->sqrt_free_comparisons += pred.sqrt_saved();
+    const double rn = norms != nullptr ? norms[x] : 1.0;
+    if (pred.MatchNormed(q, store_->View(static_cast<VecId>(x)), dim, qn,
+                         rn)) {
       out->push_back(static_cast<VecId>(x));
     }
   }
 }
 
 size_t ExtremePivotTable::MemoryBytes() const {
-  return pivots_.capacity() * sizeof(float) + mu_.capacity() * sizeof(double) +
+  return (pivots_.capacity() + pivot_norms_.capacity()) * sizeof(float) +
+         mu_.capacity() * sizeof(double) +
          assigned_.capacity() * sizeof(uint16_t) +
          pivot_dist_.capacity() * sizeof(float);
 }

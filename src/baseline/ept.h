@@ -48,6 +48,7 @@ class ExtremePivotTable : public RangeQueryEngine {
   Options options_;
   uint32_t num_pivots_ = 0;          ///< num_groups * pivots_per_group
   std::vector<float> pivots_;        ///< num_pivots_ x dim
+  std::vector<float> pivot_norms_;   ///< ||p||, for the normed kernel path
   std::vector<double> mu_;           ///< per pivot mean distance
   std::vector<uint16_t> assigned_;   ///< n x num_groups: global pivot index
   std::vector<float> pivot_dist_;    ///< n x num_groups: d(x, assigned pivot)

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "vec/kernels.h"
+
 namespace pexeso {
 
 std::vector<JoinableColumn> NaiveSearcher::Search(
@@ -22,6 +24,11 @@ std::vector<JoinableColumn> NaiveSearcher::Search(const VectorStore& query,
   const uint32_t num_q = static_cast<uint32_t>(query.size());
   const VectorStore& rstore = catalog_->store();
   const uint32_t dim = rstore.dim();
+  // The exhaustive scan is all distance evaluations, so it benefits the
+  // most from the devirtualized comparison-space kernels.
+  const RangePredicate pred(*metric_, tau);
+  const float* rnorms = pred.wants_norms() ? rstore.EnsureNorms() : nullptr;
+  const float* qnorms = pred.wants_norms() ? query.EnsureNorms() : nullptr;
 
   std::vector<JoinableColumn> out;
   if (num_q == 0) return out;
@@ -32,10 +39,13 @@ std::vector<JoinableColumn> NaiveSearcher::Search(const VectorStore& query,
     bool joinable = false;
     for (uint32_t q = 0; q < num_q; ++q) {
       const float* qv = query.View(q);
+      const double qn = qnorms != nullptr ? qnorms[q] : 1.0;
       bool matched = false;
       for (VecId v = meta.first; v < meta.end(); ++v) {
         ++stats->distance_computations;
-        if (metric_->Dist(qv, rstore.View(v), dim) <= tau) {
+        stats->sqrt_free_comparisons += pred.sqrt_saved();
+        const double rn = rnorms != nullptr ? rnorms[v] : 1.0;
+        if (pred.MatchNormed(qv, rstore.View(v), dim, qn, rn)) {
           matched = true;
           break;
         }
@@ -69,9 +79,12 @@ std::vector<JoinableColumn> NaiveSearcher::Search(const VectorStore& query,
         // resolves as a side effect.
         for (uint32_t q = 0; q < num_q; ++q) {
           const float* qv = query.View(q);
+          const double qn = qnorms != nullptr ? qnorms[q] : 1.0;
           for (VecId v = meta.first; v < meta.end(); ++v) {
             ++stats->distance_computations;
-            if (metric_->Dist(qv, rstore.View(v), dim) <= tau) {
+            stats->sqrt_free_comparisons += pred.sqrt_saved();
+            const double rn = rnorms != nullptr ? rnorms[v] : 1.0;
+            if (pred.MatchNormed(qv, rstore.View(v), dim, qn, rn)) {
               jc.mapping.push_back({q, v});
               break;
             }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/stopwatch.h"
+#include "vec/kernels.h"
 
 namespace pexeso {
 
@@ -38,8 +39,10 @@ std::vector<JoinableColumn> PexesoHSearcher::Search(
   const ColumnCatalog& catalog = index_->catalog();
   const VectorStore& rstore = catalog.store();
   const uint32_t dim = rstore.dim();
-  const Metric& metric = *index_->metric();
   const size_t num_cols = catalog.num_columns();
+  const RangePredicate pred(*index_->metric(), tau);
+  const float* rnorms = pred.wants_norms() ? rstore.EnsureNorms() : nullptr;
+  const float* qnorms = pred.wants_norms() ? query.EnsureNorms() : nullptr;
 
   // Precompute vec -> column once; the naive verification resolves columns
   // per vector rather than per postings list.
@@ -57,6 +60,7 @@ std::vector<JoinableColumn> PexesoHSearcher::Search(
   const auto& leaves = index_->grid().LeafCells();
   for (uint32_t q = 0; q < num_q; ++q) {
     const float* qv = query.View(q);
+    const double qn = qnorms != nullptr ? qnorms[q] : 1.0;
     const uint32_t mark = q + 1;
     // Matching cells first: every vector inside matches q by Lemma 5/6.
     for (uint32_t cell : blocks.match_cells[q]) {
@@ -83,7 +87,9 @@ std::vector<JoinableColumn> PexesoHSearcher::Search(
           continue;
         }
         ++stats->distance_computations;
-        if (metric.Dist(qv, rstore.View(v), dim) <= tau) {
+        stats->sqrt_free_comparisons += pred.sqrt_saved();
+        const double rn = rnorms != nullptr ? rnorms[v] : 1.0;
+        if (pred.MatchNormed(qv, rstore.View(v), dim, qn, rn)) {
           stamp[col] = mark;
           if (++match_map[col] >= t_abs && !joinable[col]) {
             joinable[col] = 1;
@@ -111,9 +117,12 @@ std::vector<JoinableColumn> PexesoHSearcher::Search(
         const ColumnMeta& meta = catalog.column(col);
         for (uint32_t q = 0; q < num_q; ++q) {
           const float* qv = query.View(q);
+          const double qn = qnorms != nullptr ? qnorms[q] : 1.0;
           for (VecId v = meta.first; v < meta.end(); ++v) {
             ++stats->distance_computations;
-            if (metric.Dist(qv, rstore.View(v), dim) <= tau) {
+            stats->sqrt_free_comparisons += pred.sqrt_saved();
+            const double rn = rnorms != nullptr ? rnorms[v] : 1.0;
+            if (pred.MatchNormed(qv, rstore.View(v), dim, qn, rn)) {
               jc.mapping.push_back({q, v});
               break;
             }

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "vec/kernels.h"
 
 namespace pexeso {
 
@@ -102,12 +103,19 @@ double PqIndex::CalibrateRadiusScale(const VectorStore& queries, double tau,
                                      double step, double hi) {
   const size_t n = store_->size();
   const uint32_t dim = store_->dim();
-  // Exact ground truth per calibration query.
+  // Exact ground truth per calibration query, through the comparison-space
+  // kernel predicate (|queries| * n pairs is the expensive part here).
+  const RangePredicate pred(*metric, tau);
+  const float* norms = pred.wants_norms() ? store_->EnsureNorms() : nullptr;
+  const float* qnorms = pred.wants_norms() ? queries.EnsureNorms() : nullptr;
   std::vector<std::vector<VecId>> truth(queries.size());
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     const float* q = queries.View(static_cast<VecId>(qi));
+    const double qn = qnorms != nullptr ? qnorms[qi] : 1.0;
     for (size_t x = 0; x < n; ++x) {
-      if (metric->Dist(q, store_->View(static_cast<VecId>(x)), dim) <= tau) {
+      const double rn = norms != nullptr ? norms[x] : 1.0;
+      if (pred.MatchNormed(q, store_->View(static_cast<VecId>(x)), dim, qn,
+                           rn)) {
         truth[qi].push_back(static_cast<VecId>(x));
       }
     }

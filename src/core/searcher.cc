@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/stopwatch.h"
+#include "vec/kernels.h"
 
 namespace pexeso {
 
@@ -89,9 +90,15 @@ void PexesoSearcher::Verify(Context* ctx) const {
   const InvertedIndex& inv = index_->inverted_index();
   const uint32_t np = ctx->hgq.num_pivots();
   const double tau = ctx->tau;
-  const Metric& metric = *index_->metric();
   const VectorStore& rstore = index_->catalog().store();
   const uint32_t dim = rstore.dim();
+  // Kernel path: one comparison-space predicate for the whole search (no
+  // virtual call and no sqrt per pair), with norms precomputed when the
+  // metric consumes them (cosine).
+  const RangePredicate pred(*index_->metric(), tau);
+  const float* rnorms = pred.wants_norms() ? rstore.EnsureNorms() : nullptr;
+  const float* qnorms =
+      pred.wants_norms() ? ctx->query->EnsureNorms() : nullptr;
   const bool use_l1 = ctx->options->ablation.use_lemma1;
   const bool use_l2 = ctx->options->ablation.use_lemma2;
   const bool use_l7 = ctx->options->ablation.use_lemma7;
@@ -110,6 +117,7 @@ void PexesoSearcher::Verify(Context* ctx) const {
   for (uint32_t q = 0; q < ctx->num_q; ++q) {
     const double* mq = ctx->mapped_q.data() + static_cast<size_t>(q) * np;
     const float* qv = ctx->query->View(q);
+    const double qn = qnorms != nullptr ? qnorms[q] : 1.0;
     cursors.clear();
     for (uint32_t cell : ctx->blocks.match_cells[q]) {
       auto span = inv.PostingsOf(cell);
@@ -182,7 +190,9 @@ void PexesoSearcher::Verify(Context* ctx) const {
                 }
               }
               ++ctx->stats->distance_computations;
-              if (metric.Dist(qv, rstore.View(v), dim) <= tau) {
+              ctx->stats->sqrt_free_comparisons += pred.sqrt_saved();
+              const double rn = rnorms != nullptr ? rnorms[v] : 1.0;
+              if (pred.MatchNormed(qv, rstore.View(v), dim, qn, rn)) {
                 matched = true;
               }
             }
@@ -218,16 +228,20 @@ void PexesoSearcher::Verify(Context* ctx) const {
 
 void PexesoSearcher::CollectMappings(Context* ctx,
                                      std::vector<JoinableColumn>* out) const {
-  const Metric& metric = *index_->metric();
   const VectorStore& rstore = index_->catalog().store();
   const uint32_t dim = rstore.dim();
   const uint32_t np = index_->pivots().num_pivots();
   const double tau = ctx->tau;
+  const RangePredicate pred(*index_->metric(), tau);
+  const float* rnorms = pred.wants_norms() ? rstore.EnsureNorms() : nullptr;
+  const float* qnorms =
+      pred.wants_norms() ? ctx->query->EnsureNorms() : nullptr;
   for (auto& jc : *out) {
     const ColumnMeta& meta = index_->catalog().column(jc.column);
     for (uint32_t q = 0; q < ctx->num_q; ++q) {
       const double* mq = ctx->mapped_q.data() + static_cast<size_t>(q) * np;
       const float* qv = ctx->query->View(q);
+      const double qn = qnorms != nullptr ? qnorms[q] : 1.0;
       for (VecId v = meta.first; v < meta.end(); ++v) {
         const double* mx = index_->MappedVec(v);
         bool filtered = false;
@@ -239,7 +253,8 @@ void PexesoSearcher::CollectMappings(Context* ctx,
           }
         }
         if (filtered) continue;
-        if (metric.Dist(qv, rstore.View(v), dim) <= tau) {
+        const double rn = rnorms != nullptr ? rnorms[v] : 1.0;
+        if (pred.MatchNormed(qv, rstore.View(v), dim, qn, rn)) {
           jc.mapping.push_back(RecordMatch{q, v});
           break;  // one mapping per query record
         }

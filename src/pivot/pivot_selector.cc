@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "la/pca.h"
+#include "vec/kernels.h"
 
 namespace pexeso {
 
@@ -78,6 +79,7 @@ std::vector<float> PivotSelector::SelectPca(const float* data, size_t n,
     }
     chosen.push_back(best_i);
   }
+  const KernelSet* ks = metric->kernels();
   while (chosen.size() < k) {
     double best = -1.0;
     size_t best_i = static_cast<size_t>(-1);
@@ -85,7 +87,8 @@ std::vector<float> PivotSelector::SelectPca(const float* data, size_t n,
       if (std::find(chosen.begin(), chosen.end(), i) != chosen.end()) continue;
       double mind = std::numeric_limits<double>::max();
       for (size_t c : chosen) {
-        mind = std::min(mind, metric->Dist(data + i * dim, data + c * dim, dim));
+        mind = std::min(mind, KernelDist(*metric, ks, data + i * dim,
+                                         data + c * dim, dim));
       }
       if (mind > best) {
         best = mind;

@@ -7,6 +7,7 @@
 
 #include "common/serde.h"
 #include "common/status.h"
+#include "vec/kernels.h"
 #include "vec/metric.h"
 #include "vec/vector_store.h"
 
@@ -18,6 +19,11 @@ namespace pexeso {
 /// The pivot space is where every filtering lemma operates; mapped vectors
 /// are |P|-dimensional regardless of the embedding dimensionality, which is
 /// how PEXESO sidesteps the curse of dimensionality during blocking.
+///
+/// Mapping runs on the metric's batched kernels: one one-to-many kernel
+/// call per vector against the packed pivot block (which stays cache
+/// resident), with pivot norms precomputed once so cosine never recomputes
+/// them per pair. Metrics without kernels fall back to virtual Dist.
 class PivotSpace {
  public:
   PivotSpace() = default;
@@ -52,15 +58,19 @@ class PivotSpace {
   Status Deserialize(BinaryReader* r, const Metric* metric);
 
   size_t MemoryBytes() const {
-    return pivots_.capacity() * sizeof(float);
+    return (pivots_.capacity() + pivot_norms_.capacity()) * sizeof(float);
   }
 
  private:
+  void BindMetric(const Metric* metric);
+
   uint32_t num_pivots_ = 0;
   uint32_t dim_ = 0;
   double axis_extent_ = 2.0;
   std::vector<float> pivots_;
+  std::vector<float> pivot_norms_;  ///< ||p_i||, for the normed kernel path
   const Metric* metric_ = nullptr;
+  const KernelSet* kernels_ = nullptr;
 };
 
 }  // namespace pexeso

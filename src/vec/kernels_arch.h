@@ -1,0 +1,33 @@
+#ifndef PEXESO_VEC_KERNELS_ARCH_H_
+#define PEXESO_VEC_KERNELS_ARCH_H_
+
+// Internal: which SIMD kernel TUs this build compiles, and their entry
+// points. Included by kernels.cc and the per-arch kernel TUs only; the
+// public surface is vec/kernels.h.
+
+#include "vec/kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+#define PEXESO_HAVE_AVX2_KERNELS 1
+#endif
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#define PEXESO_HAVE_NEON_KERNELS 1
+#endif
+
+namespace pexeso::simd {
+
+#if defined(PEXESO_HAVE_AVX2_KERNELS)
+/// Runtime check: this CPU executes AVX2+FMA (the kernels are compiled with
+/// per-function target attributes, so the binary itself stays portable).
+bool Avx2CpuSupported();
+const Ops& Avx2Ops();
+#endif
+
+#if defined(PEXESO_HAVE_NEON_KERNELS)
+const Ops& NeonOps();
+#endif
+
+}  // namespace pexeso::simd
+
+#endif  // PEXESO_VEC_KERNELS_ARCH_H_

@@ -1,12 +1,35 @@
 #include "vec/metric.h"
 
+#include <algorithm>
+#include <cctype>
+
+#include "vec/kernels.h"
+
 namespace pexeso {
 
+const KernelSet* L2Metric::kernels() const {
+  return GetKernels(MetricKind::kL2);
+}
+
+const KernelSet* CosineMetric::kernels() const {
+  return GetKernels(MetricKind::kCosine);
+}
+
+const KernelSet* L1Metric::kernels() const {
+  return GetKernels(MetricKind::kL1);
+}
+
 std::unique_ptr<Metric> MakeMetric(const std::string& name) {
-  if (name == "l2") return std::make_unique<L2Metric>();
-  if (name == "cosine") return std::make_unique<CosineMetric>();
-  if (name == "l1") return std::make_unique<L1Metric>();
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "l2") return std::make_unique<L2Metric>();
+  if (lower == "cosine") return std::make_unique<CosineMetric>();
+  if (lower == "l1") return std::make_unique<L1Metric>();
   return nullptr;
 }
+
+const char* KnownMetricNames() { return "l2|cosine|l1"; }
 
 }  // namespace pexeso

@@ -8,12 +8,23 @@
 
 namespace pexeso {
 
+struct KernelSet;
+
+/// Identifies the built-in metrics that have batched SIMD kernels
+/// (src/vec/kernels.h). Custom Metric subclasses have no kind.
+enum class MetricKind : uint8_t { kL2 = 0, kCosine = 1, kL1 = 2 };
+
 /// \brief A distance function over dense float vectors that satisfies the
 /// metric axioms (in particular the triangle inequality, which every filter
 /// in this library relies on).
 ///
 /// PEXESO supports "any similarity function in a metric space" (paper,
 /// Section I); the concrete metrics below are the ones the experiments use.
+///
+/// Dist is the scalar, double-accumulating *correctness oracle*. The hot
+/// paths instead fetch kernels() once per search and run the devirtualized
+/// batched kernels; a custom metric that returns nullptr from kernels()
+/// transparently falls back to per-pair virtual Dist everywhere.
 class Metric {
  public:
   virtual ~Metric() = default;
@@ -27,6 +38,10 @@ class Metric {
 
   /// Short human-readable name ("l2", "cosine", "l1").
   virtual std::string Name() const = 0;
+
+  /// Batched/devirtualized kernels for this metric at the active SIMD
+  /// level, or nullptr when none exist (callers fall back to Dist).
+  virtual const KernelSet* kernels() const { return nullptr; }
 };
 
 /// \brief Euclidean (L2) distance; the default in the paper's experiments.
@@ -43,6 +58,7 @@ class L2Metric final : public Metric {
   }
   double MaxUnitDistance(uint32_t) const override { return 2.0; }
   std::string Name() const override { return "l2"; }
+  const KernelSet* kernels() const override;
 };
 
 /// \brief Angular-compatible cosine distance sqrt(2 - 2 cos(a,b)).
@@ -66,6 +82,7 @@ class CosineMetric final : public Metric {
   }
   double MaxUnitDistance(uint32_t) const override { return 2.0; }
   std::string Name() const override { return "cosine"; }
+  const KernelSet* kernels() const override;
 };
 
 /// \brief Manhattan (L1) distance; exercised by the metric-genericity tests.
@@ -83,10 +100,16 @@ class L1Metric final : public Metric {
     return 2.0 * std::sqrt(static_cast<double>(dim));
   }
   std::string Name() const override { return "l1"; }
+  const KernelSet* kernels() const override;
 };
 
-/// Factory by name; returns nullptr for unknown names.
+/// Factory by name, case-insensitively ("l2", "L2", "Cosine", ...); returns
+/// nullptr for unknown names. KnownMetricNames() lists the valid inputs for
+/// error messages.
 std::unique_ptr<Metric> MakeMetric(const std::string& name);
+
+/// "l2|cosine|l1" — for CLI/usage error messages.
+const char* KnownMetricNames();
 
 }  // namespace pexeso
 

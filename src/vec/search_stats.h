@@ -11,6 +11,10 @@ namespace pexeso {
 struct SearchStats {
   /// Exact d(.,.) evaluations in the original (embedding) space.
   uint64_t distance_computations = 0;
+  /// Of those, evaluations answered in the squared-distance comparison
+  /// space (kernel shortcut): the inequality against tau^2 saved the
+  /// per-pair sqrt that a full distance would have cost.
+  uint64_t sqrt_free_comparisons = 0;
   /// Vector pairs ruled out by Lemma 1 (pivot filtering) during verification.
   uint64_t lemma1_filtered = 0;
   /// Vector pairs confirmed by Lemma 2 (pivot matching) without distance.
@@ -35,6 +39,7 @@ struct SearchStats {
 
   SearchStats& operator+=(const SearchStats& o) {
     distance_computations += o.distance_computations;
+    sqrt_free_comparisons += o.sqrt_free_comparisons;
     lemma1_filtered += o.lemma1_filtered;
     lemma2_matched += o.lemma2_matched;
     cells_filtered += o.cells_filtered;

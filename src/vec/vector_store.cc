@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "vec/kernels.h"
+
 namespace pexeso {
 
 void VectorStore::NormalizeInPlace(float* v, uint32_t dim) {
@@ -21,6 +23,24 @@ void VectorStore::NormalizeAll() {
   for (size_t i = 0; i < n; ++i) {
     NormalizeInPlace(data_.data() + i * dim_, dim_);
   }
+  InvalidateNorms();
+}
+
+const float* VectorStore::EnsureNorms() const {
+  const size_t n = size();
+  if (n == 0) return nullptr;
+  if (norms_ready_.load(std::memory_order_acquire) >= n) {
+    return norms_.data();
+  }
+  std::lock_guard<std::mutex> lock(norms_mutex_);
+  size_t ready = norms_ready_.load(std::memory_order_relaxed);
+  if (ready < n) {
+    norms_.resize(n);
+    ComputeNorms(data_.data() + ready * dim_, n - ready, dim_,
+                 norms_.data() + ready);
+    norms_ready_.store(n, std::memory_order_release);
+  }
+  return norms_.data();
 }
 
 void VectorStore::Serialize(BinaryWriter* w) const {
@@ -31,6 +51,7 @@ void VectorStore::Serialize(BinaryWriter* w) const {
 Status VectorStore::Deserialize(BinaryReader* r) {
   PEXESO_RETURN_NOT_OK(r->Read(&dim_));
   PEXESO_RETURN_NOT_OK(r->ReadVector(&data_));
+  InvalidateNorms();
   if (dim_ != 0 && data_.size() % dim_ != 0) {
     return Status::Corruption("vector buffer not a multiple of dim");
   }

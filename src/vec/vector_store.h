@@ -1,7 +1,9 @@
 #ifndef PEXESO_VEC_VECTOR_STORE_H_
 #define PEXESO_VEC_VECTOR_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -31,6 +33,37 @@ class VectorStore {
 
   VectorStore() : dim_(0) {}
 
+  // The norms cache carries a mutex, so the special members are spelled
+  // out: vector data travels, the cache is moved when possible and
+  // recomputed otherwise.
+  VectorStore(const VectorStore& o) : dim_(o.dim_), data_(o.data_) {}
+  VectorStore& operator=(const VectorStore& o) {
+    if (this != &o) {
+      dim_ = o.dim_;
+      data_ = o.data_;
+      InvalidateNorms();
+    }
+    return *this;
+  }
+  VectorStore(VectorStore&& o) noexcept
+      : dim_(o.dim_),
+        data_(std::move(o.data_)),
+        norms_(std::move(o.norms_)),
+        norms_ready_(o.norms_ready_.load(std::memory_order_relaxed)) {
+    o.InvalidateNorms();  // its norms_ buffer is gone
+  }
+  VectorStore& operator=(VectorStore&& o) noexcept {
+    if (this != &o) {
+      dim_ = o.dim_;
+      data_ = std::move(o.data_);
+      norms_ = std::move(o.norms_);
+      norms_ready_.store(o.norms_ready_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+      o.InvalidateNorms();
+    }
+    return *this;
+  }
+
   uint32_t dim() const { return dim_; }
   size_t size() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
   bool empty() const { return data_.empty(); }
@@ -59,9 +92,11 @@ class VectorStore {
     return data_.data() + static_cast<size_t>(id) * dim_;
   }
 
-  /// Mutable view (used by normalization and tests).
+  /// Mutable view (used by normalization and tests). Invalidates the norm
+  /// cache from `id` on, since the caller may rewrite the vector.
   float* MutableView(VecId id) {
     PEXESO_DCHECK(static_cast<size_t>(id) < size());
+    TruncateNorms(id);
     return data_.data() + static_cast<size_t>(id) * dim_;
   }
 
@@ -76,8 +111,17 @@ class VectorStore {
   /// Normalizes a single raw vector buffer in place.
   static void NormalizeInPlace(float* v, uint32_t dim);
 
+  /// Per-vector L2 norms for the normed kernel paths (cosine). Computed on
+  /// first use and cached; safe to call concurrently from const searches.
+  /// Mutation (Add/MutableView/NormalizeAll/Deserialize) invalidates the
+  /// affected suffix, so interleave it only with the single-writer phases.
+  /// Returns nullptr for an empty store.
+  const float* EnsureNorms() const;
+
   /// Approximate heap footprint in bytes.
-  size_t MemoryBytes() const { return data_.capacity() * sizeof(float); }
+  size_t MemoryBytes() const {
+    return data_.capacity() * sizeof(float) + norms_.capacity() * sizeof(float);
+  }
 
   /// Serialization for partition files.
   void Serialize(BinaryWriter* w) const;
@@ -86,8 +130,21 @@ class VectorStore {
   const std::vector<float>& raw() const { return data_; }
 
  private:
+  void InvalidateNorms() { norms_ready_.store(0, std::memory_order_relaxed); }
+  void TruncateNorms(VecId id) {
+    size_t ready = norms_ready_.load(std::memory_order_relaxed);
+    if (ready > id) norms_ready_.store(id, std::memory_order_relaxed);
+  }
+
   uint32_t dim_;
   std::vector<float> data_;
+
+  // Lazily computed ||v|| cache. norms_ready_ counts valid prefix entries;
+  // readers publish with release stores under norms_mutex_ and check with an
+  // acquire load first, so the common post-warmup path is lock-free.
+  mutable std::vector<float> norms_;
+  mutable std::atomic<size_t> norms_ready_{0};
+  mutable std::mutex norms_mutex_;
 };
 
 }  // namespace pexeso

@@ -1,6 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 verification, exactly as CI runs it: configure with warnings on,
-# build everything (library, CLI, examples, benches, tests), run ctest.
+# Tier-1 verification, exactly as CI runs it.
+#
+# Pass 1 (the tier-1 gate): Release, PEXESO_NATIVE_ARCH off — portable
+# codegen plus the runtime-dispatched SIMD kernels, i.e. what a shipped
+# binary runs. Builds everything (library, CLI, examples, benches, tests),
+# runs the whole ctest suite, then records kernel throughput into
+# BENCH_kernels.json when bench_micro was built.
+#
+# Pass 2: Debug with Address+UB sanitizers, sanitizer-friendly flags
+# (frame pointers, no march tuning). The kernels must be correct under
+# both, so the kernel/vector suites rerun here; set PEXESO_CI_SANITIZE=0
+# to skip the pass (e.g. on toolchains without libasan).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,6 +19,25 @@ JOBS="${JOBS:-$(nproc)}"
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}" \
+  -DPEXESO_NATIVE_ARCH=OFF \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [[ -x "$BUILD_DIR/bench/bench_micro" ]]; then
+  # Writes BENCH_kernels.json (scalar-vs-dispatched throughput trajectory);
+  # the empty filter skips the Google-Benchmark timing loops themselves.
+  "$BUILD_DIR/bench/bench_micro" --benchmark_filter='^$'
+fi
+
+if [[ "${PEXESO_CI_SANITIZE:-1}" == "1" ]]; then
+  SAN_DIR="${SAN_BUILD_DIR:-build-asan}"
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake -B "$SAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DPEXESO_NATIVE_ARCH=OFF \
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+  cmake --build "$SAN_DIR" -j "$JOBS" --target kernel_test vec_test
+  ctest --test-dir "$SAN_DIR" --output-on-failure -R '^(kernel_test|vec_test)$'
+fi

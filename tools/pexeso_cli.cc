@@ -4,11 +4,11 @@
 //                     [--pivots N] [--levels M] [--model chargram|wordavg]
 //                     [--dim D] [--metric l2|cosine|l1]
 //   pexeso_cli search --index <index-file> --query <csv> [--column <name>]
-//                     [--tau F] [--t F] [--topk K] [--mappings]
+//                     [--tau F] [--t F] [--topk K] [--mappings] [--stats]
 //                     [--engine pexeso|pexeso-h|naive]
 //                     [--model chargram|wordavg] [--dim D]
 //   pexeso_cli batch  --index <index-file> --queries <csv-dir>
-//                     [--threads N] [--tau F] [--t F]
+//                     [--threads N] [--tau F] [--t F] [--stats]
 //                     [--engine pexeso|pexeso-h|naive] [--model ...] [--dim D]
 //   pexeso_cli info   --index <index-file>
 //
@@ -43,6 +43,7 @@
 #include "table/csv.h"
 #include "table/repository.h"
 #include "table/type_detect.h"
+#include "vec/kernels.h"
 
 namespace {
 
@@ -81,6 +82,44 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
+/// MakeMetric with a CLI-grade error path: unknown names (the factory is
+/// case-insensitive, so "--metric L2" works) report what was passed and
+/// what is accepted instead of silently yielding nullptr downstream.
+std::unique_ptr<Metric> MakeMetricOrExplain(const Flags& flags) {
+  const std::string name = flags.Get("metric", "l2");
+  auto metric = MakeMetric(name);
+  if (!metric) {
+    std::fprintf(stderr, "unknown metric '%s' (expected %s)\n", name.c_str(),
+                 KnownMetricNames());
+  }
+  return metric;
+}
+
+/// Prints the instrumentation counters behind --stats.
+void PrintStats(const SearchStats& stats) {
+  std::printf("stats (simd=%s):\n", SimdLevelName(ActiveSimdLevel()));
+  std::printf("  distance computations:   %llu\n",
+              static_cast<unsigned long long>(stats.distance_computations));
+  std::printf("  sqrt-free (squared-cmp): %llu\n",
+              static_cast<unsigned long long>(stats.sqrt_free_comparisons));
+  std::printf("  lemma1 filtered:         %llu\n",
+              static_cast<unsigned long long>(stats.lemma1_filtered));
+  std::printf("  lemma2 matched:          %llu\n",
+              static_cast<unsigned long long>(stats.lemma2_matched));
+  std::printf("  cells filtered/matched:  %llu / %llu\n",
+              static_cast<unsigned long long>(stats.cells_filtered),
+              static_cast<unsigned long long>(stats.cells_matched));
+  std::printf("  candidate/matching prs:  %llu / %llu\n",
+              static_cast<unsigned long long>(stats.candidate_pairs),
+              static_cast<unsigned long long>(stats.matching_pairs));
+  std::printf("  lemma7 kills:            %llu\n",
+              static_cast<unsigned long long>(stats.lemma7_kills));
+  std::printf("  early joinable:          %llu\n",
+              static_cast<unsigned long long>(stats.early_joinable));
+  std::printf("  block/verify seconds:    %.4f / %.4f\n", stats.block_seconds,
+              stats.verify_seconds);
+}
+
 std::unique_ptr<EmbeddingModel> MakeModel(const Flags& flags) {
   const std::string name = flags.Get("model", "chargram");
   const uint32_t dim = static_cast<uint32_t>(flags.GetInt("dim", 50));
@@ -116,10 +155,10 @@ int Usage() {
                "  index  --input DIR --output FILE [--pivots N --levels M "
                "--model chargram|wordavg --dim D --metric l2|cosine|l1]\n"
                "  search --index FILE --query CSV [--column NAME --tau F "
-               "--t F --topk K --mappings --engine pexeso|pexeso-h|naive "
-               "--model ... --dim D]\n"
+               "--t F --topk K --mappings --stats "
+               "--engine pexeso|pexeso-h|naive --model ... --dim D]\n"
                "  batch  --index FILE --queries DIR [--threads N --tau F "
-               "--t F --engine ... --model ... --dim D]\n"
+               "--t F --stats --engine ... --model ... --dim D]\n"
                "  info   --index FILE\n");
   return 2;
 }
@@ -188,8 +227,9 @@ VectorStore LoadQueryColumn(const TableRepository& repo, uint32_t dim,
 
 int LoadOnlineContext(const Flags& flags, OnlineContext* ctx) {
   ctx->model = MakeModel(flags);
-  ctx->metric = MakeMetric(flags.Get("metric", "l2"));
-  if (!ctx->model || !ctx->metric) return Usage();
+  if (!ctx->model) return Usage();
+  ctx->metric = MakeMetricOrExplain(flags);
+  if (!ctx->metric) return 2;
   auto loaded = PexesoIndex::Load(flags.Get("index"), ctx->metric.get());
   if (!loaded.ok()) {
     std::fprintf(stderr, "index load failed: %s\n",
@@ -215,8 +255,8 @@ int CmdIndex(const Flags& flags) {
   if (input.empty() || output.empty()) return Usage();
   auto model = MakeModel(flags);
   if (!model) return Usage();
-  auto metric = MakeMetric(flags.Get("metric", "l2"));
-  if (!metric) return Usage();
+  auto metric = MakeMetricOrExplain(flags);
+  if (!metric) return 2;
 
   TableRepository repo(model.get());
   auto loaded = repo.LoadDirectory(input);
@@ -271,12 +311,17 @@ int CmdSearch(const Flags& flags) {
   sopts.collect_mappings = flags.Has("mappings");
 
   std::vector<JoinableColumn> results;
+  SearchStats stats;
+  const bool want_stats = flags.Has("stats");
   const long topk = flags.GetInt("topk", 0);
   if (topk > 0) {
     results = SearchTopK(*ctx.engine, query, sopts.thresholds.tau,
                          static_cast<size_t>(topk));
+    if (want_stats) {
+      std::fprintf(stderr, "--stats is not tracked through --topk ranking\n");
+    }
   } else {
-    results = ctx.engine->Search(query, sopts, nullptr);
+    results = ctx.engine->Search(query, sopts, want_stats ? &stats : nullptr);
   }
 
   std::printf("%zu joinable column(s) via %s (tau=%.3f, T=%u/%zu):\n",
@@ -291,6 +336,7 @@ int CmdSearch(const Flags& flags) {
                   meta.table_name.c_str(), m.target_vec - meta.first);
     }
   }
+  if (want_stats && topk <= 0) PrintStats(stats);
   return 0;
 }
 
@@ -366,13 +412,15 @@ int CmdBatch(const Flags& flags) {
                   r.joinability);
     }
   }
+  if (flags.Has("stats")) PrintStats(batch.stats);
   return 0;
 }
 
 int CmdInfo(const Flags& flags) {
   const std::string index_path = flags.Get("index");
   if (index_path.empty()) return Usage();
-  auto metric = MakeMetric(flags.Get("metric", "l2"));
+  auto metric = MakeMetricOrExplain(flags);
+  if (!metric) return 2;
   auto loaded = PexesoIndex::Load(index_path, metric.get());
   if (!loaded.ok()) {
     std::fprintf(stderr, "index load failed: %s\n",
