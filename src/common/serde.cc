@@ -1,6 +1,34 @@
 #include "common/serde.h"
 
+#include <array>
+
 namespace pexeso {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t n) {
+  static const std::array<uint32_t, 256> table = BuildCrc32Table();
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
 
 Result<BinaryWriter> BinaryWriter::Open(const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -19,6 +47,36 @@ Result<BinaryReader> BinaryReader::Open(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for read: " + path);
   return BinaryReader(std::move(in));
+}
+
+Status BinaryReader::VerifyChecksum(bool require_footer) {
+  const uint32_t computed = crc_;
+  uint32_t magic = 0;
+  in_.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (in_.gcount() == 0) {
+    if (require_footer) {
+      return Status::Corruption("snapshot checksum footer missing");
+    }
+    return Status::OK();  // legacy pre-checksum file
+  }
+  if (in_.gcount() < static_cast<std::streamsize>(sizeof(magic)) ||
+      magic != kChecksumFooterMagic) {
+    return Status::Corruption("snapshot checksum footer malformed");
+  }
+  uint32_t stored = 0;
+  in_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (in_.gcount() < static_cast<std::streamsize>(sizeof(stored))) {
+    return Status::Corruption("snapshot checksum footer truncated");
+  }
+  if (stored != computed) {
+    return Status::Corruption("snapshot checksum mismatch (corrupt file)");
+  }
+  // The footer is the end of the file; anything after it is not ours.
+  in_.peek();
+  if (!in_.eof()) {
+    return Status::Corruption("trailing bytes after checksum footer");
+  }
+  return Status::OK();
 }
 
 }  // namespace pexeso

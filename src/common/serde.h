@@ -12,9 +12,22 @@
 
 namespace pexeso {
 
+/// Incremental CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+/// `crc` is the running value, starting at 0 for a fresh stream.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t n);
+
+/// Footer marker written after the payload by WriteChecksumFooter
+/// ("1CRC" little-endian). Files written before the footer existed simply
+/// end at the payload, which VerifyChecksum accepts as legacy.
+inline constexpr uint32_t kChecksumFooterMagic = 0x43524331u;
+
 /// \brief Little binary writer for the partition files used by the
 /// out-of-core search path. The format is a private on-disk format (magic +
 /// version header written by the owning serializer), not an interchange one.
+///
+/// Every byte written feeds a running CRC-32; serializers that want
+/// end-to-end corruption detection call WriteChecksumFooter() last, and
+/// their readers call BinaryReader::VerifyChecksum() after the payload.
 class BinaryWriter {
  public:
   /// Opens `path` for truncating binary write.
@@ -24,13 +37,13 @@ class BinaryWriter {
   template <typename T>
   void Write(const T& v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    out_.write(reinterpret_cast<const char*>(&v), sizeof(T));
+    WriteRaw(&v, sizeof(T));
   }
 
   /// Writes a length-prefixed string.
   void WriteString(const std::string& s) {
     Write<uint64_t>(s.size());
-    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    WriteRaw(s.data(), s.size());
   }
 
   /// Writes a length-prefixed vector of trivially-copyable elements.
@@ -38,8 +51,15 @@ class BinaryWriter {
   void WriteVector(const std::vector<T>& v) {
     static_assert(std::is_trivially_copyable_v<T>);
     Write<uint64_t>(v.size());
-    out_.write(reinterpret_cast<const char*>(v.data()),
-               static_cast<std::streamsize>(v.size() * sizeof(T)));
+    WriteRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Appends the footer: kChecksumFooterMagic + the CRC-32 of every payload
+  /// byte written so far. Must be the last write before Close().
+  void WriteChecksumFooter() {
+    const uint32_t payload_crc = crc_;
+    Write<uint32_t>(kChecksumFooterMagic);
+    Write<uint32_t>(payload_crc);
   }
 
   /// Flushes and reports any stream error.
@@ -47,7 +67,15 @@ class BinaryWriter {
 
  private:
   explicit BinaryWriter(std::ofstream out) : out_(std::move(out)) {}
+
+  void WriteRaw(const void* p, size_t n) {
+    crc_ = Crc32Update(crc_, p, n);
+    out_.write(static_cast<const char*>(p),
+               static_cast<std::streamsize>(n));
+  }
+
   std::ofstream out_;
+  uint32_t crc_ = 0;
 };
 
 /// \brief Reader counterpart of BinaryWriter. All reads report corruption via
@@ -60,9 +88,7 @@ class BinaryReader {
   template <typename T>
   Status Read(T* v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    in_.read(reinterpret_cast<char*>(v), sizeof(T));
-    if (!in_) return Status::Corruption("truncated read of fixed field");
-    return Status::OK();
+    return ReadRaw(v, sizeof(T), "truncated read of fixed field");
   }
 
   Status ReadString(std::string* s) {
@@ -70,9 +96,7 @@ class BinaryReader {
     PEXESO_RETURN_NOT_OK(Read(&n));
     if (n > (1ULL << 32)) return Status::Corruption("string length implausible");
     s->resize(n);
-    in_.read(s->data(), static_cast<std::streamsize>(n));
-    if (!in_) return Status::Corruption("truncated string");
-    return Status::OK();
+    return ReadRaw(s->data(), n, "truncated string");
   }
 
   template <typename T>
@@ -84,15 +108,30 @@ class BinaryReader {
       return Status::Corruption("vector length implausible");
     }
     v->resize(n);
-    in_.read(reinterpret_cast<char*>(v->data()),
-             static_cast<std::streamsize>(n * sizeof(T)));
-    if (!in_) return Status::Corruption("truncated vector");
-    return Status::OK();
+    return ReadRaw(v->data(), n * sizeof(T), "truncated vector");
   }
+
+  /// Call after consuming the whole payload. Checks the CRC-32 footer: a
+  /// malformed footer, trailing bytes after it, or a CRC mismatch is
+  /// Corruption. A clean EOF instead of a footer passes only when
+  /// `require_footer` is false (the legacy pre-checksum allowance) — format
+  /// owners that version their headers pass true for post-footer versions,
+  /// so a file truncated exactly at the footer boundary cannot masquerade
+  /// as legacy.
+  Status VerifyChecksum(bool require_footer = false);
 
  private:
   explicit BinaryReader(std::ifstream in) : in_(std::move(in)) {}
+
+  Status ReadRaw(void* p, size_t n, const char* what) {
+    in_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    if (!in_) return Status::Corruption(what);
+    crc_ = Crc32Update(crc_, p, n);
+    return Status::OK();
+  }
+
   std::ifstream in_;
+  uint32_t crc_ = 0;
 };
 
 }  // namespace pexeso

@@ -71,6 +71,39 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   Wait();
 }
 
+TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {
+  PEXESO_CHECK(pool != nullptr);
+}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++in_flight_;
+  }
+  pool_->Submit([this, task = std::move(task)] {
+    // The decrement must run whether or not the task throws; the exception
+    // itself is the pool's to capture (WorkerLoop catch-all).
+    struct Decrement {
+      TaskGroup* group;
+      ~Decrement() {
+        std::unique_lock<std::mutex> lock(group->mu_);
+        if (--group->in_flight_ == 0) group->cv_done_.notify_all();
+      }
+    } decrement{this};
+    task();
+  });
+}
+
+void TaskGroup::Wait() {
+  PEXESO_CHECK_MSG(!pool_->OnWorkerThread(),
+                   "TaskGroup::Wait from a worker of its own pool "
+                   "self-deadlocks; wait from the owning thread");
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
 void ThreadPool::WorkerLoop() {
   current_worker_pool = this;
   while (true) {

@@ -46,6 +46,8 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
  private:
+  friend class TaskGroup;  // shares the OnWorkerThread deadlock guard
+
   void WorkerLoop();
 
   /// True when the calling thread is one of this pool's workers.
@@ -59,6 +61,44 @@ class ThreadPool {
   size_t in_flight_ = 0;
   bool stop_ = false;
   std::exception_ptr first_error_;  ///< guarded by mu_
+};
+
+/// \brief Completion tracker for a subset of a pool's tasks, so several
+/// clients (e.g. ServeSessions) can share one ThreadPool and each wait for
+/// just their own work instead of the pool-wide Wait().
+///
+/// Tasks submitted through a group run on the underlying pool; Wait()
+/// blocks until this group's tasks — and only this group's — are done.
+/// A task that throws still counts as completed here (the group must not
+/// wedge), and its exception flows into the pool's first-error slot exactly
+/// as with a direct ThreadPool::Submit.
+class TaskGroup {
+ public:
+  /// `pool` is borrowed and must outlive the group.
+  explicit TaskGroup(ThreadPool* pool);
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Waits for any still-running tasks of the group.
+  ~TaskGroup();
+
+  /// Enqueues a task on the pool, counted toward this group.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted through this group has finished.
+  /// Must not be called from one of the pool's own workers: the group's
+  /// tasks may need the waiting worker, deadlocking the pool
+  /// (PEXESO_CHECK-enforced, like ThreadPool::ParallelFor).
+  void Wait();
+
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_done_;
+  size_t in_flight_ = 0;  ///< guarded by mu_
 };
 
 }  // namespace pexeso

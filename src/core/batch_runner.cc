@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
@@ -11,7 +12,7 @@ namespace pexeso {
 
 BatchQueryRunner::BatchQueryRunner(const JoinSearchEngine* engine,
                                    BatchRunnerOptions options)
-    : engine_(engine) {
+    : engine_(engine), partition_mode_(options.partition_mode) {
   PEXESO_CHECK(engine != nullptr);
   num_threads_ = options.num_threads;
   if (num_threads_ == 0) {
@@ -47,7 +48,18 @@ BatchResult BatchQueryRunner::RunImpl(const std::vector<VectorStore>& queries,
   // serial input-order merge below keeps the floating-point sums identical
   // at every thread count.
   std::vector<SearchStats> scratch(queries.size());
-  if (num_threads_ <= 1 || queries.size() <= 1) {
+
+  const auto* parts = dynamic_cast<const PartitionedJoinEngine*>(engine_);
+  const bool partition_major =
+      parts != nullptr && !queries.empty() &&
+      (partition_mode_ == BatchPartitionMode::kPartitionMajor ||
+       (partition_mode_ == BatchPartitionMode::kAuto &&
+        parts->NumParts() > 1 && queries.size() > 1 &&
+        !parts->PartsStayResident()));
+
+  if (partition_major) {
+    RunPartitionMajor(*parts, queries, options_for, &scratch, &out);
+  } else if (num_threads_ <= 1 || queries.size() <= 1) {
     for (size_t i = 0; i < queries.size(); ++i) {
       out.results[i] = engine_->Search(queries[i], options_for(i), &scratch[i]);
     }
@@ -60,6 +72,46 @@ BatchResult BatchQueryRunner::RunImpl(const std::vector<VectorStore>& queries,
   for (const SearchStats& s : scratch) out.stats += s;
   out.wall_seconds = watch.ElapsedSeconds();
   return out;
+}
+
+template <typename OptionsFor>
+void BatchQueryRunner::RunPartitionMajor(
+    const PartitionedJoinEngine& parts,
+    const std::vector<VectorStore>& queries, const OptionsFor& options_for,
+    std::vector<SearchStats>* scratch, BatchResult* out) const {
+  const size_t n = queries.size();
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads_ > 1 && n > 1) {
+    pool = std::make_unique<ThreadPool>(std::min(num_threads_, n));
+  }
+  double io = 0.0;
+  for (size_t part = 0; part < parts.NumParts(); ++part) {
+    // One load per partition per batch: the handle keeps the partition
+    // resident while every query of the wave searches it IO-free.
+    auto handle = parts.AcquirePart(part, &io);
+    // Same environment-fault doctrine as JoinSearchEngine::Search on a
+    // partitioned engine: files were validated at Build/Open time.
+    PEXESO_CHECK_MSG(handle.ok(), handle.status().ToString().c_str());
+    const PartHandle held = std::move(handle).ValueOrDie();
+    const auto search_one = [&](size_t i) {
+      auto chunk = parts.SearchPart(part, queries[i], options_for(i),
+                                    &(*scratch)[i], nullptr, held);
+      PEXESO_CHECK_MSG(chunk.ok(), chunk.status().ToString().c_str());
+      auto results = std::move(chunk).ValueOrDie();
+      out->results[i].insert(out->results[i].end(),
+                             std::make_move_iterator(results.begin()),
+                             std::make_move_iterator(results.end()));
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(n, search_one);
+    } else {
+      for (size_t i = 0; i < n; ++i) search_one(i);
+    }
+  }
+  // Chunks landed in partition order per query; one canonical merge makes
+  // the output byte-identical to the query-major SearchPartitions path.
+  for (auto& results : out->results) FinishPartMerge(&results);
+  out->io_seconds = io;
 }
 
 }  // namespace pexeso

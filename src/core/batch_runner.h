@@ -8,10 +8,27 @@
 
 namespace pexeso {
 
+/// \brief How a batch iterates a PartitionedJoinEngine (ignored for
+/// in-memory engines, which have no partition axis).
+enum class BatchPartitionMode {
+  /// Partition-major when the engine reports its parts will NOT stay
+  /// resident across queries (no cache, or a budget too small to hold the
+  /// partitions); query-major otherwise.
+  kAuto,
+  /// Every query searches all partitions itself (each load hits the cache
+  /// or disk per query) — the pre-serving-layer behavior.
+  kQueryMajor,
+  /// Outer loop over partitions: each partition is loaded ONCE per batch
+  /// and all queries search it while it is held resident, so batch IO is
+  /// O(partitions) instead of O(queries x partitions).
+  kPartitionMajor,
+};
+
 /// \brief Options for a batch run.
 struct BatchRunnerOptions {
   /// Worker threads fanning the queries out. 0 = one per hardware thread.
   size_t num_threads = 1;
+  BatchPartitionMode partition_mode = BatchPartitionMode::kAuto;
 };
 
 /// \brief Outcome of one batch run.
@@ -25,6 +42,10 @@ struct BatchResult {
   SearchStats stats;
   /// Wall-clock of the fan-out (excludes engine/index construction).
   double wall_seconds = 0.0;
+  /// Time blocked on partition IO across the batch. Tracked only on the
+  /// partition-major path (query-major searches hide their IO inside the
+  /// engine's Search).
+  double io_seconds = 0.0;
 };
 
 /// \brief Parallel batch query runner: fans M query columns out across a
@@ -36,10 +57,19 @@ struct BatchResult {
 /// across query columns: each worker searches whole columns with its own
 /// SearchStats scratch slot, and the slots are merged after the barrier.
 ///
+/// Out-of-core engines get a second axis: when the engine implements
+/// PartitionedJoinEngine and its parts will not stay resident (see
+/// BatchPartitionMode), the runner flips to a partition-major loop that
+/// loads each partition once per batch and fans the queries out against the
+/// held partition — the difference between O(partitions) and
+/// O(queries x partitions) deserializations per batch.
+///
 /// Determinism contract: results (and the stats counters) are identical
-/// for any `num_threads`, because (a) engines are deterministic per query,
-/// (b) every query writes only its own pre-allocated slot, and (c) slots
-/// are merged serially in input order.
+/// for any `num_threads` and either partition mode, because (a) engines are
+/// deterministic per query, (b) every query writes only its own
+/// pre-allocated slot, (c) slots are merged serially in input order, and
+/// (d) partition-major chunks are concatenated in partition order before
+/// the canonical global-column-id merge.
 class BatchQueryRunner {
  public:
   /// `engine` is borrowed and must outlive the runner. Its Search must be
@@ -66,8 +96,18 @@ class BatchQueryRunner {
   BatchResult RunImpl(const std::vector<VectorStore>& queries,
                       const OptionsFor& options_for) const;
 
+  /// The partition-major loop described above. `parts` is engine_'s
+  /// PartitionedJoinEngine view.
+  template <typename OptionsFor>
+  void RunPartitionMajor(const PartitionedJoinEngine& parts,
+                         const std::vector<VectorStore>& queries,
+                         const OptionsFor& options_for,
+                         std::vector<SearchStats>* scratch,
+                         BatchResult* out) const;
+
   const JoinSearchEngine* engine_;
   size_t num_threads_;
+  BatchPartitionMode partition_mode_;
 };
 
 }  // namespace pexeso

@@ -1,8 +1,12 @@
 #ifndef PEXESO_CORE_ENGINE_H_
 #define PEXESO_CORE_ENGINE_H_
 
+#include <algorithm>
+#include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "core/ablation.h"
 #include "core/join_result.h"
 #include "core/thresholds.h"
@@ -51,6 +55,62 @@ class JoinSearchEngine {
                                              const SearchOptions& options,
                                              SearchStats* stats) const = 0;
 };
+
+/// \brief Opaque token that keeps one part of a partitioned engine loaded in
+/// memory for as long as the token lives (a cache-held or directly-loaded
+/// index behind the scenes).
+using PartHandle = std::shared_ptr<const void>;
+
+/// \brief Optional second interface for engines whose repository is split
+/// into independently-searchable parts (the out-of-core PartitionedPexeso).
+///
+/// The serving layer builds on "search ONE part" rather than the all-parts
+/// Search above: the batch runner's partition-major loop pays each part's
+/// load once per batch instead of once per query, and ServeSession streams
+/// per-part result chunks as they complete. Implementations expose both
+/// interfaces (`class X : public JoinSearchEngine, public
+/// PartitionedJoinEngine`); drivers discover the second via dynamic_cast.
+class PartitionedJoinEngine {
+ public:
+  virtual ~PartitionedJoinEngine() = default;
+
+  /// Number of independently-searchable parts.
+  virtual size_t NumParts() const = 0;
+
+  /// Loads part `part` (through the attached cache when one is present) and
+  /// returns a handle that keeps it resident until the handle is destroyed.
+  /// `io_seconds` (optional) is *incremented* by the time this call spent
+  /// blocked on disk (0 when the part was already cached).
+  virtual Result<PartHandle> AcquirePart(size_t part,
+                                         double* io_seconds) const = 0;
+
+  /// Searches part `part` only. Results are keyed by *global* column ids but
+  /// not sorted; callers concatenate chunks in part order and call
+  /// FinishPartMerge once. When `preloaded` is a handle from AcquirePart of
+  /// the same part, the call is guaranteed IO-free; otherwise the part is
+  /// acquired internally and `io_seconds` (optional) is incremented by the
+  /// load share — including on the error path, so IO accounting survives a
+  /// failed load.
+  virtual Result<std::vector<JoinableColumn>> SearchPart(
+      size_t part, const VectorStore& query, const SearchOptions& options,
+      SearchStats* stats, double* io_seconds,
+      const PartHandle& preloaded) const = 0;
+
+  /// True when per-part working sets are expected to stay resident across
+  /// queries (an attached cache whose budget holds every part), making the
+  /// query-major batch loop as IO-cheap as the partition-major one.
+  virtual bool PartsStayResident() const = 0;
+};
+
+/// Restores the deterministic result order of a concatenated per-part merge.
+/// Each global column id lives in exactly one part, so ordering by id is a
+/// total order and the outcome is byte-identical however the chunks raced.
+inline void FinishPartMerge(std::vector<JoinableColumn>* merged) {
+  std::sort(merged->begin(), merged->end(),
+            [](const JoinableColumn& a, const JoinableColumn& b) {
+              return a.column < b.column;
+            });
+}
 
 }  // namespace pexeso
 

@@ -9,7 +9,10 @@ namespace pexeso {
 
 namespace {
 constexpr uint32_t kMagic = 0x5058534Fu;  // "PXSO"
-constexpr uint32_t kVersion = 1;
+// v1: no checksum footer. v2: CRC-32 footer required (so a truncation that
+// removes exactly the footer cannot masquerade as a legacy file).
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 }  // namespace
 
 PexesoIndex PexesoIndex::Build(ColumnCatalog catalog, const Metric* metric,
@@ -137,7 +140,33 @@ Status PexesoIndex::Save(const std::string& path) const {
   grid_.Serialize(&w);
   inv_.Serialize(&w);
   w.WriteVector(tombstones_);
+  w.WriteChecksumFooter();
   return w.Close();
+}
+
+Result<uint32_t> PexesoIndex::PeekDim(const std::string& path) {
+  auto rd = BinaryReader::Open(path);
+  if (!rd.ok()) return rd.status();
+  BinaryReader r = std::move(rd).ValueOrDie();
+  uint32_t magic = 0, version = 0;
+  PEXESO_RETURN_NOT_OK(r.Read(&magic));
+  if (magic != kMagic) return Status::Corruption("bad index magic");
+  PEXESO_RETURN_NOT_OK(r.Read(&version));
+  if (version < kMinVersion || version > kVersion) {
+    return Status::NotSupported("index version");
+  }
+  // Skip the options block; the store's dim is the next field (the layout
+  // Save writes: options, then catalog = store-first).
+  uint32_t u32 = 0;
+  uint64_t seed = 0;
+  uint8_t strat = 0;
+  PEXESO_RETURN_NOT_OK(r.Read(&u32));    // num_pivots
+  PEXESO_RETURN_NOT_OK(r.Read(&u32));    // levels
+  PEXESO_RETURN_NOT_OK(r.Read(&seed));   // seed
+  PEXESO_RETURN_NOT_OK(r.Read(&strat));  // pivot strategy
+  uint32_t dim = 0;
+  PEXESO_RETURN_NOT_OK(r.Read(&dim));
+  return dim;
 }
 
 Result<PexesoIndex> PexesoIndex::Load(const std::string& path,
@@ -149,7 +178,9 @@ Result<PexesoIndex> PexesoIndex::Load(const std::string& path,
   PEXESO_RETURN_NOT_OK(r.Read(&magic));
   if (magic != kMagic) return Status::Corruption("bad index magic");
   PEXESO_RETURN_NOT_OK(r.Read(&version));
-  if (version != kVersion) return Status::NotSupported("index version");
+  if (version < kMinVersion || version > kVersion) {
+    return Status::NotSupported("index version");
+  }
 
   PexesoIndex index;
   index.metric_ = metric;
@@ -167,6 +198,11 @@ Result<PexesoIndex> PexesoIndex::Load(const std::string& path,
   PEXESO_RETURN_NOT_OK(index.grid_.Deserialize(&r));
   PEXESO_RETURN_NOT_OK(index.inv_.Deserialize(&r));
   PEXESO_RETURN_NOT_OK(r.ReadVector(&index.tombstones_));
+  // Reject snapshots whose payload parsed but was silently corrupted (a
+  // flipped byte in vector data leaves every length plausible). v1 files
+  // predate the footer and end exactly at the payload; v2 files must carry
+  // one.
+  PEXESO_RETURN_NOT_OK(r.VerifyChecksum(/*require_footer=*/version >= 2));
   return index;
 }
 

@@ -84,6 +84,11 @@ class PexesoIndex {
   static Result<PexesoIndex> Load(const std::string& path,
                                   const Metric* metric);
 
+  /// Reads just the snapshot header and returns the repository
+  /// dimensionality — a cheap sanity check against an embedding model that
+  /// avoids deserializing (and then discarding) a whole partition.
+  static Result<uint32_t> PeekDim(const std::string& path);
+
  private:
   ColumnCatalog catalog_;
   PivotSpace pivots_;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <utility>
 
 #include "baseline/pexeso_h.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "serve/index_cache.h"
 
 namespace pexeso {
 
@@ -66,34 +68,83 @@ std::vector<JoinableColumn> PartitionedPexeso::Search(
   return std::move(result).ValueOrDie();
 }
 
+Result<PartHandle> PartitionedPexeso::AcquirePart(size_t part,
+                                                  double* io_seconds) const {
+  PEXESO_CHECK(part < num_parts_);
+  Stopwatch watch;
+  if (cache_ != nullptr) {
+    auto got = cache_->Get(PartPath(part), metric_);
+    if (io_seconds != nullptr) *io_seconds += watch.ElapsedSeconds();
+    if (!got.ok()) return got.status();
+    return std::static_pointer_cast<const void>(std::move(got).ValueOrDie());
+  }
+  auto loaded = PexesoIndex::Load(PartPath(part), metric_);
+  if (io_seconds != nullptr) *io_seconds += watch.ElapsedSeconds();
+  if (!loaded.ok()) return loaded.status();
+  return std::static_pointer_cast<const void>(
+      std::make_shared<const PexesoIndex>(std::move(loaded).ValueOrDie()));
+}
+
+Result<std::vector<JoinableColumn>> PartitionedPexeso::SearchOnePart(
+    size_t part, const VectorStore& query, const SearchOptions& options,
+    SearchStats* stats, double* io_seconds, Engine engine,
+    const PexesoIndex* preloaded) const {
+  PartHandle held;
+  const PexesoIndex* index = preloaded;
+  if (index == nullptr) {
+    auto handle = AcquirePart(part, io_seconds);
+    if (!handle.ok()) return handle.status();
+    held = std::move(handle).ValueOrDie();
+    index = static_cast<const PexesoIndex*>(held.get());
+  }
+  std::vector<JoinableColumn> results;
+  if (engine == Engine::kPexeso) {
+    results = PexesoSearcher(index).Search(query, options, stats);
+  } else {
+    results = PexesoHSearcher(index).Search(query, options, stats);
+  }
+  for (auto& r : results) {
+    r.column = index->catalog().column(r.column).source_id;
+  }
+  // When uncached, the partition index dies with `held` here: only one
+  // partition is ever resident, which is the Section IV memory contract.
+  // With a cache attached, residency is the cache's budgeted decision.
+  return results;
+}
+
+Result<std::vector<JoinableColumn>> PartitionedPexeso::SearchPart(
+    size_t part, const VectorStore& query, const SearchOptions& options,
+    SearchStats* stats, double* io_seconds, const PartHandle& preloaded) const {
+  return SearchOnePart(part, query, options, stats, io_seconds, engine_,
+                       static_cast<const PexesoIndex*>(preloaded.get()));
+}
+
+bool PartitionedPexeso::PartsStayResident() const {
+  // Conservative resident-size estimate: the in-memory structures mirror
+  // the serialized ones byte-for-byte plus container slack, so twice the
+  // disk footprint bounds what the cache will be charged.
+  return cache_ != nullptr && cache_->budget_bytes() >= DiskBytes() * 2;
+}
+
 Result<std::vector<JoinableColumn>> PartitionedPexeso::SearchPartitions(
     const VectorStore& query, const SearchOptions& options, SearchStats* stats,
     double* io_seconds, Engine engine) const {
   std::vector<JoinableColumn> merged;
   double io = 0.0;
   for (size_t part = 0; part < num_parts_; ++part) {
-    Stopwatch load_watch;
-    auto loaded = PexesoIndex::Load(PartPath(part), metric_);
-    if (!loaded.ok()) return loaded.status();
-    io += load_watch.ElapsedSeconds();
-    const PexesoIndex index = std::move(loaded).ValueOrDie();
-    std::vector<JoinableColumn> results;
-    if (engine == Engine::kPexeso) {
-      results = PexesoSearcher(&index).Search(query, options, stats);
-    } else {
-      results = PexesoHSearcher(&index).Search(query, options, stats);
+    auto results =
+        SearchOnePart(part, query, options, stats, &io, engine, nullptr);
+    if (!results.ok()) {
+      // Keep the IO accounting on the error path: the caller still learns
+      // how long the failed load (and the successful ones before it) took.
+      if (io_seconds != nullptr) *io_seconds = io;
+      return results.status();
     }
-    for (auto& r : results) {
-      r.column = index.catalog().column(r.column).source_id;
-      merged.push_back(std::move(r));
-    }
-    // The partition index goes out of scope here: only one partition is
-    // ever resident, which is the Section IV memory contract.
+    auto chunk = std::move(results).ValueOrDie();
+    merged.insert(merged.end(), std::make_move_iterator(chunk.begin()),
+                  std::make_move_iterator(chunk.end()));
   }
-  std::sort(merged.begin(), merged.end(),
-            [](const JoinableColumn& a, const JoinableColumn& b) {
-              return a.column < b.column;
-            });
+  FinishPartMerge(&merged);
   if (io_seconds != nullptr) *io_seconds = io;
   return merged;
 }

@@ -1,6 +1,7 @@
 #ifndef PEXESO_PARTITION_PARTITIONED_PEXESO_H_
 #define PEXESO_PARTITION_PARTITIONED_PEXESO_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,10 @@
 #include "core/searcher.h"
 #include "partition/partitioner.h"
 
+namespace pexeso::serve {
+class IndexCache;
+}  // namespace pexeso::serve
+
 namespace pexeso {
 
 /// \brief Out-of-core PEXESO (Section IV): the repository is split into
@@ -16,7 +21,15 @@ namespace pexeso {
 /// A search loads one partition into memory at a time, runs the in-memory
 /// search, and merges results (reported in the global column-id space via
 /// ColumnMeta::source_id).
-class PartitionedPexeso : public JoinSearchEngine {
+///
+/// Serving: AttachCache() routes every partition load through a shared
+/// serve::IndexCache, so a batch of queries deserializes each partition file
+/// once instead of once per query. Without a cache, loads go straight to
+/// disk (the original Section IV one-partition-resident protocol). The
+/// PartitionedJoinEngine side exposes per-partition search for the
+/// partition-major batch loop and ServeSession streaming.
+class PartitionedPexeso : public JoinSearchEngine,
+                          public PartitionedJoinEngine {
  public:
   /// Splits `catalog` by `assignment`, builds one index per partition and
   /// writes them under `dir` as part-<i>.pxso. Returns the handle.
@@ -37,7 +50,9 @@ class PartitionedPexeso : public JoinSearchEngine {
 
   /// Searches every partition, loading each from disk in turn. Results are
   /// keyed by global column ids. `stats` (optional) accumulates across
-  /// partitions; `io_seconds` (optional) reports the disk-loading share.
+  /// partitions; `io_seconds` (optional) reports the disk-loading share —
+  /// including on the error path, so a failed partition load still accounts
+  /// the IO it burned before failing.
   /// This is the status-returning workhorse; the JoinSearchEngine override
   /// below forwards to it.
   Result<std::vector<JoinableColumn>> SearchPartitions(
@@ -58,6 +73,26 @@ class PartitionedPexeso : public JoinSearchEngine {
                                      const SearchOptions& options,
                                      SearchStats* stats) const override;
 
+  // ------------------------------------------- PartitionedJoinEngine side
+  size_t NumParts() const override { return num_parts_; }
+  Result<PartHandle> AcquirePart(size_t part,
+                                 double* io_seconds) const override;
+  Result<std::vector<JoinableColumn>> SearchPart(
+      size_t part, const VectorStore& query, const SearchOptions& options,
+      SearchStats* stats, double* io_seconds,
+      const PartHandle& preloaded) const override;
+  bool PartsStayResident() const override;
+
+  /// Routes partition loads through `cache` (borrowed; must outlive this
+  /// object; thread-safe itself). Call before concurrent searches start —
+  /// the pointer is read unsynchronized on the search paths. Pass nullptr
+  /// to detach and fall back to direct disk loads.
+  void AttachCache(serve::IndexCache* cache) { cache_ = cache; }
+  serve::IndexCache* cache() const { return cache_; }
+
+  /// Path of partition `i`'s snapshot file (cache key / warm-up pinning).
+  std::string PartPath(size_t i) const;
+
   /// Which in-memory searcher the JoinSearchEngine entry point runs against
   /// each loaded partition.
   void set_engine(Engine engine) { engine_ = engine; }
@@ -71,12 +106,20 @@ class PartitionedPexeso : public JoinSearchEngine {
   PartitionedPexeso(std::string dir, const Metric* metric, size_t parts)
       : dir_(std::move(dir)), metric_(metric), num_parts_(parts) {}
 
-  std::string PartPath(size_t i) const;
+  /// Searches one partition with an explicit per-partition engine: acquires
+  /// the index (preloaded handle > cache > direct load), remaps results to
+  /// global column ids. `io_seconds` is incremented even when the load
+  /// fails.
+  Result<std::vector<JoinableColumn>> SearchOnePart(
+      size_t part, const VectorStore& query, const SearchOptions& options,
+      SearchStats* stats, double* io_seconds, Engine engine,
+      const PexesoIndex* preloaded) const;
 
   std::string dir_;
   const Metric* metric_;
   size_t num_parts_;
   Engine engine_ = Engine::kPexeso;
+  serve::IndexCache* cache_ = nullptr;
 };
 
 }  // namespace pexeso

@@ -1,0 +1,226 @@
+#include "serve/serve_session.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pexeso::serve {
+
+struct ServeSession::QueryState {
+  uint64_t ticket = 0;
+  const VectorStore* query = nullptr;
+  SearchOptions options;
+  ChunkCallback on_chunk;  ///< null for non-streaming submits
+  bool want_future = false;
+  std::promise<QueryOutcome> promise;
+
+  size_t parts_total = 1;
+  /// True for partitioned engines: results need the canonical global-column
+  /// ordering (SearchPartitions sorts even for a single part).
+  bool merge_parts = false;
+  /// Serializes chunk callbacks of this query and guards parts_done and the
+  /// finalize step. Per-part slots below are lock-free: each part task
+  /// writes only its own index, and the finalizer observes every write
+  /// through the parts_done increments under this mutex.
+  std::mutex mu;
+  size_t parts_done = 0;
+  std::vector<std::vector<JoinableColumn>> part_results;
+  std::vector<SearchStats> part_stats;
+  std::vector<double> part_io;
+  std::vector<Status> part_status;
+
+  QueryOutcome outcome;  ///< valid once every part is done
+};
+
+namespace {
+
+/// Worker count of an owned pool: 0 means one per hardware thread, and a
+/// ceiling guards against bogus huge values (e.g. a negative count cast to
+/// size_t) turning into a workers_.reserve() of billions.
+size_t OwnedPoolThreads(size_t requested) {
+  if (requested == 0) {
+    return std::max(1u, std::thread::hardware_concurrency());
+  }
+  return std::min<size_t>(requested, 256);
+}
+
+}  // namespace
+
+ServeSession::ServeSession(const JoinSearchEngine* engine,
+                           ServeSessionOptions options,
+                           ThreadPool* shared_pool)
+    : engine_(engine),
+      parts_(dynamic_cast<const PartitionedJoinEngine*>(engine)),
+      owned_pool_(shared_pool != nullptr
+                      ? nullptr
+                      : std::make_unique<ThreadPool>(
+                            OwnedPoolThreads(options.num_threads))),
+      pool_(shared_pool != nullptr ? shared_pool : owned_pool_.get()),
+      group_(pool_) {
+  PEXESO_CHECK(engine != nullptr);
+}
+
+ServeSession::~ServeSession() { group_.Wait(); }
+
+std::future<QueryOutcome> ServeSession::Submit(const VectorStore* query,
+                                               SearchOptions options) {
+  std::future<QueryOutcome> future;
+  Enqueue(query, std::move(options), nullptr, /*want_future=*/true, &future);
+  return future;
+}
+
+uint64_t ServeSession::SubmitStreaming(const VectorStore* query,
+                                       SearchOptions options,
+                                       ChunkCallback on_chunk) {
+  return Enqueue(query, std::move(options), std::move(on_chunk),
+                 /*want_future=*/false, nullptr);
+}
+
+uint64_t ServeSession::Enqueue(const VectorStore* query, SearchOptions options,
+                               ChunkCallback on_chunk, bool want_future,
+                               std::future<QueryOutcome>* future_out) {
+  PEXESO_CHECK(query != nullptr);
+  auto state = std::make_unique<QueryState>();
+  state->query = query;
+  state->options = std::move(options);
+  state->on_chunk = std::move(on_chunk);
+  state->want_future = want_future;
+  if (want_future) *future_out = state->promise.get_future();
+  state->parts_total =
+      parts_ != nullptr ? std::max<size_t>(1, parts_->NumParts()) : 1;
+  state->merge_parts = parts_ != nullptr;
+  state->part_results.resize(state->parts_total);
+  state->part_stats.resize(state->parts_total);
+  state->part_io.assign(state->parts_total, 0.0);
+  state->part_status.assign(state->parts_total, Status::OK());
+
+  QueryState* raw = state.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    raw->ticket = queries_.size();
+    queries_.push_back(std::move(state));
+  }
+  for (size_t part = 0; part < raw->parts_total; ++part) {
+    group_.Submit([this, raw, part] { RunPart(raw, part); });
+  }
+  return raw->ticket;
+}
+
+void ServeSession::RunPart(QueryState* state, size_t part) const {
+  Status status;
+  try {
+    if (parts_ != nullptr) {
+      auto chunk = parts_->SearchPart(part, *state->query, state->options,
+                                      &state->part_stats[part],
+                                      &state->part_io[part],
+                                      /*preloaded=*/nullptr);
+      if (chunk.ok()) {
+        state->part_results[part] = std::move(chunk).ValueOrDie();
+      } else {
+        status = chunk.status();
+      }
+    } else {
+      state->part_results[part] = engine_->Search(
+          *state->query, state->options, &state->part_stats[part]);
+    }
+  } catch (const std::exception& e) {
+    status = Status::Internal(std::string("search task threw: ") + e.what());
+  } catch (...) {
+    status = Status::Internal("search task threw");
+  }
+  state->part_status[part] = status;
+
+  // Build the chunk before taking the lock: the slot is still this task's
+  // private data (finalize cannot run until our parts_done increment), and
+  // the copy it needs — finalize will move the slot out — should not
+  // serialize other parts' callbacks.
+  StreamChunk chunk;
+  if (state->on_chunk != nullptr) {
+    chunk.ticket = state->ticket;
+    chunk.part = part;
+    chunk.parts_total = state->parts_total;
+    chunk.status = status;
+    chunk.results = state->part_results[part];
+  }
+
+  std::lock_guard<std::mutex> lock(state->mu);
+  const bool last = ++state->parts_done == state->parts_total;
+  if (state->on_chunk != nullptr) {
+    chunk.last = last;
+    // A throwing consumer must not escape into the pool's error slot (it
+    // would surface from an unrelated Wait, or never): it marks this part
+    // — and therefore the query outcome — failed instead. Running the
+    // callback before finalize means even a last-chunk throw is folded in.
+    try {
+      state->on_chunk(chunk);
+    } catch (const std::exception& e) {
+      if (state->part_status[part].ok()) {
+        state->part_status[part] =
+            Status::Internal(std::string("stream callback threw: ") +
+                             e.what());
+      }
+    } catch (...) {
+      if (state->part_status[part].ok()) {
+        state->part_status[part] = Status::Internal("stream callback threw");
+      }
+    }
+  }
+  if (last) FinalizeLocked(state);
+}
+
+void ServeSession::FinalizeLocked(QueryState* state) {
+  QueryOutcome& out = state->outcome;
+  for (size_t part = 0; part < state->parts_total; ++part) {
+    out.stats += state->part_stats[part];
+    out.io_seconds += state->part_io[part];
+    if (!state->part_status[part].ok() && out.status.ok()) {
+      out.status = state->part_status[part];  // first failing part wins
+    }
+  }
+  if (out.status.ok()) {
+    for (auto& chunk : state->part_results) {
+      out.results.insert(out.results.end(),
+                         std::make_move_iterator(chunk.begin()),
+                         std::make_move_iterator(chunk.end()));
+    }
+    // In-memory engines return their own (already deterministic) order;
+    // per-part merges need the canonical global-column ordering.
+    if (state->merge_parts) FinishPartMerge(&out.results);
+  }
+  if (state->want_future) state->promise.set_value(out);
+}
+
+std::vector<QueryOutcome> ServeSession::Drain() {
+  // A Submit racing this Drain may have registered its QueryState but not
+  // yet handed every part task to the group, in which case group_.Wait()
+  // returns with that query still unfinished; loop until a Wait() lands
+  // with every registered query finalized (each pass waits for real work,
+  // so the loop terminates as soon as submissions stop racing).
+  for (;;) {
+    group_.Wait();
+    std::lock_guard<std::mutex> lock(mu_);
+    bool all_done = true;
+    for (const auto& state : queries_) {
+      std::lock_guard<std::mutex> state_lock(state->mu);
+      if (state->parts_done != state->parts_total) {
+        all_done = false;
+        break;
+      }
+    }
+    if (!all_done) {
+      // The racing submitter holds no lock we can wait on; yield until its
+      // tasks reach the group (group_.Wait() then blocks on real work).
+      std::this_thread::yield();
+      continue;
+    }
+    std::vector<QueryOutcome> out;
+    out.reserve(queries_.size());
+    for (const auto& state : queries_) out.push_back(state->outcome);
+    return out;
+  }
+}
+
+}  // namespace pexeso::serve

@@ -1,0 +1,131 @@
+#ifndef PEXESO_SERVE_SERVE_SESSION_H_
+#define PEXESO_SERVE_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+
+namespace pexeso::serve {
+
+/// \brief ServeSession configuration.
+struct ServeSessionOptions {
+  /// Worker threads of the owned pool. 0 = one per hardware thread.
+  /// Ignored when an external pool is passed to the constructor.
+  size_t num_threads = 0;
+};
+
+/// \brief One part's worth of results for one streaming query, delivered to
+/// the SubmitStreaming callback as the part completes.
+struct StreamChunk {
+  uint64_t ticket = 0;       ///< submission-order id of the query
+  size_t part = 0;           ///< which part produced this chunk
+  size_t parts_total = 1;    ///< chunk count the query will emit
+  bool last = false;         ///< true on the final chunk of the query
+  Status status;             ///< non-OK: this part failed to load/search
+  /// This part's joinable columns (global column ids, unmerged/unsorted).
+  std::vector<JoinableColumn> results;
+};
+
+/// \brief Final outcome of one submitted query.
+struct QueryOutcome {
+  Status status;
+  /// Merged results. For a partitioned engine these are byte-identical to a
+  /// serial SearchPartitions call (concatenated in part order, then ordered
+  /// by global column id); empty when status is non-OK.
+  std::vector<JoinableColumn> results;
+  /// Counters accumulated in part order — deterministic at any thread count.
+  SearchStats stats;
+  /// Time spent blocked on partition IO (0 for in-memory engines).
+  double io_seconds = 0.0;
+};
+
+using ChunkCallback = std::function<void(const StreamChunk&)>;
+
+/// \brief Async query session over one shared read-only engine: the online
+/// half of the serving layer.
+///
+/// Queries are accepted without blocking (Submit returns a future,
+/// SubmitStreaming a ticket) and fan out across a ThreadPool. For an engine
+/// that also implements PartitionedJoinEngine, each query becomes one task
+/// per part, so a single query overlaps the IO and search of all its
+/// partitions — and with an IndexCache attached to the engine, concurrent
+/// queries share each part's single load. Other engines run as one task.
+///
+/// Streaming: SubmitStreaming's callback fires once per part as that part
+/// completes (parts race, so chunk order is nondeterministic — consumers
+/// needing the deterministic merge read the drained outcome). Callbacks of
+/// one query are serialized; different queries' callbacks may run
+/// concurrently on pool threads. A callback that throws marks its query's
+/// outcome failed (Status::Internal) rather than leaking the exception
+/// into the pool.
+///
+/// Determinism contract (the BatchQueryRunner contract, extended): Drain()
+/// returns outcomes in submission order, and each outcome's results and
+/// stats counters are identical at any thread count and any cache budget,
+/// because per-part chunks are merged in part order regardless of
+/// completion order.
+class ServeSession {
+ public:
+  /// `engine` is borrowed and must outlive the session. When `shared_pool`
+  /// is non-null the session runs on it (and only waits for its own tasks);
+  /// otherwise it owns a pool of options.num_threads workers.
+  explicit ServeSession(const JoinSearchEngine* engine,
+                        ServeSessionOptions options = {},
+                        ThreadPool* shared_pool = nullptr);
+
+  /// Drains in-flight queries before tearing down.
+  ~ServeSession();
+
+  ServeSession(const ServeSession&) = delete;
+  ServeSession& operator=(const ServeSession&) = delete;
+
+  /// Submits a query; the future resolves when every part has completed.
+  /// `query` is borrowed and must stay alive until the query finishes.
+  std::future<QueryOutcome> Submit(const VectorStore* query,
+                                   SearchOptions options);
+
+  /// Streaming submit: per-part chunks via `on_chunk`, merged outcome via
+  /// Drain(). Returns the query's ticket (its index in Drain()'s output).
+  uint64_t SubmitStreaming(const VectorStore* query, SearchOptions options,
+                           ChunkCallback on_chunk);
+
+  /// Blocks until every submitted query has finished and returns all
+  /// outcomes so far in submission order (ticket order).
+  std::vector<QueryOutcome> Drain();
+
+  size_t num_threads() const { return pool_->num_threads(); }
+
+ private:
+  struct QueryState;
+
+  uint64_t Enqueue(const VectorStore* query, SearchOptions options,
+                   ChunkCallback on_chunk, bool want_future,
+                   std::future<QueryOutcome>* future_out);
+
+  /// Pool task: search one part of one query, emit its chunk, and finalize
+  /// the query when this was the last outstanding part.
+  void RunPart(QueryState* state, size_t part) const;
+
+  /// Merges per-part slots in part order into the outcome (determinism) and
+  /// fulfills the future. Caller holds state->mu.
+  static void FinalizeLocked(QueryState* state);
+
+  const JoinSearchEngine* engine_;
+  const PartitionedJoinEngine* parts_;  ///< engine_'s part view; may be null
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
+  TaskGroup group_;
+  mutable std::mutex mu_;  ///< guards queries_
+  std::vector<std::unique_ptr<QueryState>> queries_;
+};
+
+}  // namespace pexeso::serve
+
+#endif  // PEXESO_SERVE_SERVE_SESSION_H_

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "common/rng.h"
 #include "common/serde.h"
@@ -209,6 +212,133 @@ TEST(SerdeTest, MissingFileIsIoError) {
   EXPECT_EQ(rd.status().code(), Status::Code::kIoError);
 }
 
+TEST(SerdeTest, Crc32MatchesKnownVector) {
+  // The IEEE CRC-32 of "123456789" is the classic check value.
+  EXPECT_EQ(Crc32Update(0, "123456789", 9), 0xCBF43926u);
+  // Incremental updates equal one-shot.
+  uint32_t crc = Crc32Update(0, "12345", 5);
+  crc = Crc32Update(crc, "6789", 4);
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+TEST(SerdeTest, ChecksumFooterRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/serde_crc.bin";
+  {
+    auto wr = BinaryWriter::Open(path);
+    ASSERT_TRUE(wr.ok());
+    BinaryWriter w = std::move(wr).ValueOrDie();
+    w.Write<uint32_t>(42);
+    w.WriteString("checksummed");
+    w.WriteVector(std::vector<float>{1.0f, 2.0f});
+    w.WriteChecksumFooter();
+    ASSERT_TRUE(w.Close().ok());
+  }
+  auto rd = BinaryReader::Open(path);
+  ASSERT_TRUE(rd.ok());
+  BinaryReader r = std::move(rd).ValueOrDie();
+  uint32_t v = 0;
+  std::string s;
+  std::vector<float> f;
+  ASSERT_TRUE(r.Read(&v).ok());
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  ASSERT_TRUE(r.ReadVector(&f).ok());
+  EXPECT_TRUE(r.VerifyChecksum().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, ChecksumCatchesFlippedPayloadByte) {
+  const std::string path = ::testing::TempDir() + "/serde_crc_flip.bin";
+  {
+    auto wr = BinaryWriter::Open(path);
+    ASSERT_TRUE(wr.ok());
+    BinaryWriter w = std::move(wr).ValueOrDie();
+    w.WriteVector(std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f});
+    w.WriteChecksumFooter();
+    ASSERT_TRUE(w.Close().ok());
+  }
+  // Flip one byte inside the float payload: every length stays plausible,
+  // so only the checksum can notice.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    char b = 0;
+    f.seekg(10);
+    f.read(&b, 1);
+    b ^= 0x40;
+    f.seekp(10);
+    f.write(&b, 1);
+  }
+  auto rd = BinaryReader::Open(path);
+  ASSERT_TRUE(rd.ok());
+  BinaryReader r = std::move(rd).ValueOrDie();
+  std::vector<float> v;
+  ASSERT_TRUE(r.ReadVector(&v).ok());
+  const Status st = r.VerifyChecksum();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, TrailingBytesAfterFooterAreCorruption) {
+  const std::string path = ::testing::TempDir() + "/serde_trailing.bin";
+  {
+    auto wr = BinaryWriter::Open(path);
+    ASSERT_TRUE(wr.ok());
+    BinaryWriter w = std::move(wr).ValueOrDie();
+    w.Write<uint32_t>(7);
+    w.WriteChecksumFooter();
+    ASSERT_TRUE(w.Close().ok());
+  }
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f << "junk";
+  }
+  auto rd = BinaryReader::Open(path);
+  ASSERT_TRUE(rd.ok());
+  BinaryReader r = std::move(rd).ValueOrDie();
+  uint32_t v = 0;
+  ASSERT_TRUE(r.Read(&v).ok());
+  EXPECT_EQ(r.VerifyChecksum().code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, MissingFooterRejectedWhenRequired) {
+  const std::string path = ::testing::TempDir() + "/serde_nofooter.bin";
+  {
+    auto wr = BinaryWriter::Open(path);
+    ASSERT_TRUE(wr.ok());
+    BinaryWriter w = std::move(wr).ValueOrDie();
+    w.Write<uint32_t>(7);  // payload only
+    ASSERT_TRUE(w.Close().ok());
+  }
+  auto rd = BinaryReader::Open(path);
+  ASSERT_TRUE(rd.ok());
+  BinaryReader r = std::move(rd).ValueOrDie();
+  uint32_t v = 0;
+  ASSERT_TRUE(r.Read(&v).ok());
+  EXPECT_EQ(r.VerifyChecksum(/*require_footer=*/true).code(),
+            Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, LegacyFileWithoutFooterStillVerifies) {
+  const std::string path = ::testing::TempDir() + "/serde_legacy.bin";
+  {
+    auto wr = BinaryWriter::Open(path);
+    ASSERT_TRUE(wr.ok());
+    BinaryWriter w = std::move(wr).ValueOrDie();
+    w.Write<uint32_t>(7);  // no WriteChecksumFooter: the pre-footer format
+    ASSERT_TRUE(w.Close().ok());
+  }
+  auto rd = BinaryReader::Open(path);
+  ASSERT_TRUE(rd.ok());
+  BinaryReader r = std::move(rd).ValueOrDie();
+  uint32_t v = 0;
+  ASSERT_TRUE(r.Read(&v).ok());
+  EXPECT_TRUE(r.VerifyChecksum().ok());
+  std::remove(path.c_str());
+}
+
 TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> count{0};
@@ -271,6 +401,67 @@ TEST(ThreadPoolDeathTest, NestedParallelForFromWorkerAborts) {
         });
       },
       "nested ParallelFor");
+}
+
+TEST(TaskGroupTest, WaitsOnlyForOwnTasks) {
+  // Two groups sharing one pool: each group's Wait() returns when ITS tasks
+  // are done, even while the other group still has work in flight.
+  ThreadPool pool(4);
+  TaskGroup fast(&pool);
+  TaskGroup slow(&pool);
+  std::atomic<int> fast_done{0};
+  std::atomic<bool> release{false};
+  slow.Submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  for (int i = 0; i < 8; ++i) {
+    fast.Submit([&fast_done] { fast_done.fetch_add(1); });
+  }
+  fast.Wait();  // must not block on the slow group's task
+  EXPECT_EQ(fast_done.load(), 8);
+  release.store(true);
+  slow.Wait();
+}
+
+TEST(TaskGroupTest, ThrowingTaskStillCompletesGroup) {
+  ThreadPool pool(2);
+  {
+    TaskGroup group(&pool);
+    group.Submit([] { throw std::runtime_error("task exploded"); });
+    group.Wait();  // the group must not wedge on the throw
+  }
+  // The exception still reached the pool's first-error slot.
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(TaskGroupDeathTest, WaitFromOwnPoolWorkerAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        TaskGroup outer(&pool);
+        outer.Submit([&pool] {
+          TaskGroup inner(&pool);
+          inner.Wait();  // worker waiting on its own pool self-deadlocks
+        });
+        outer.Wait();
+      },
+      "TaskGroup::Wait from a worker");
+}
+
+TEST(TaskGroupTest, DestructorDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 16; ++i) {
+      group.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        count.fetch_add(1);
+      });
+    }
+  }  // ~TaskGroup waits
+  EXPECT_EQ(count.load(), 16);
 }
 
 TEST(Fnv1aTest, StableAndSensitive) {

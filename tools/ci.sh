@@ -30,6 +30,12 @@ if [[ -x "$BUILD_DIR/bench/bench_micro" ]]; then
   "$BUILD_DIR/bench/bench_micro" --benchmark_filter='^$'
 fi
 
+if [[ -x "$BUILD_DIR/bench/bench_serve" ]]; then
+  # Writes BENCH_serve.json (cold vs warm partitioned batch throughput
+  # through the serving-layer index cache).
+  "$BUILD_DIR/bench/bench_serve"
+fi
+
 if [[ "${PEXESO_CI_SANITIZE:-1}" == "1" ]]; then
   SAN_DIR="${SAN_BUILD_DIR:-build-asan}"
   SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
@@ -38,6 +44,11 @@ if [[ "${PEXESO_CI_SANITIZE:-1}" == "1" ]]; then
     -DPEXESO_NATIVE_ARCH=OFF \
     -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
     -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
-  cmake --build "$SAN_DIR" -j "$JOBS" --target kernel_test vec_test
-  ctest --test-dir "$SAN_DIR" --output-on-failure -R '^(kernel_test|vec_test)$'
+  # serve_test and the TaskGroup half of common_test join the kernel/vector
+  # suites here: cache eviction and concurrent streaming sessions are
+  # exactly where object-lifetime and data-race bugs hide.
+  cmake --build "$SAN_DIR" -j "$JOBS" \
+    --target kernel_test vec_test serve_test common_test
+  ctest --test-dir "$SAN_DIR" --output-on-failure \
+    -R '^(kernel_test|vec_test|serve_test|common_test)$'
 fi

@@ -1,16 +1,19 @@
 // pexeso_cli: command-line driver for the PEXESO library.
 //
-//   pexeso_cli index  --input <csv-dir> --output <index-file>
-//                     [--pivots N] [--levels M] [--model chargram|wordavg]
+//   pexeso_cli index  --input <csv-dir> --output <index-file|partition-dir>
+//                     [--pivots N] [--levels M] [--partitions K]
+//                     [--model chargram|wordavg]
 //                     [--dim D] [--metric l2|cosine|l1]
-//   pexeso_cli search --index <index-file> --query <csv> [--column <name>]
-//                     [--tau F] [--t F] [--topk K] [--mappings] [--stats]
-//                     [--engine pexeso|pexeso-h|naive]
+//   pexeso_cli search --index <index-file|partition-dir> --query <csv>
+//                     [--column <name>] [--tau F] [--t F] [--topk K]
+//                     [--mappings] [--stats] [--stream] [--threads N]
+//                     [--engine pexeso|pexeso-h|naive] [--cache-mb MB]
 //                     [--model chargram|wordavg] [--dim D]
-//   pexeso_cli batch  --index <index-file> --queries <csv-dir>
-//                     [--threads N] [--tau F] [--t F] [--stats]
-//                     [--engine pexeso|pexeso-h|naive] [--model ...] [--dim D]
-//   pexeso_cli info   --index <index-file>
+//   pexeso_cli batch  --index <index-file|partition-dir> --queries <csv-dir>
+//                     [--threads N] [--tau F] [--t F] [--stats] [--stream]
+//                     [--engine pexeso|pexeso-h|naive] [--cache-mb MB]
+//                     [--model ...] [--dim D]
+//   pexeso_cli info   --index <index-file|partition-dir>
 //
 // The offline component (Figure 1 of the paper): `index` loads raw CSV
 // tables, detects join-key candidate columns, embeds their records and
@@ -19,6 +22,14 @@
 // record mappings). `batch` is the multi-query path: every CSV in a
 // directory becomes one query column and the batch is fanned out across a
 // BatchQueryRunner thread pool.
+//
+// Serving mode: when --index names a DIRECTORY of partition snapshots
+// (part-<i>.pxso, as written by PartitionedPexeso::Build), the online
+// commands run out-of-core through a memory-budgeted IndexCache
+// (--cache-mb, default 256; 0 disables caching) so a batch deserializes
+// each partition once instead of once per query. --stream switches to the
+// ServeSession async path and prints per-partition result chunks as they
+// complete; --stats additionally reports cache hit/miss/eviction counters.
 //
 // Every online command goes through the JoinSearchEngine interface, so
 // --engine swaps the search method without touching the driver logic.
@@ -32,7 +43,10 @@
 #include <string>
 #include <vector>
 
+#include <mutex>
+
 #include "baseline/naive_searcher.h"
+#include "common/stopwatch.h"
 #include "baseline/pexeso_h.h"
 #include "core/batch_runner.h"
 #include "core/pexeso_index.h"
@@ -40,6 +54,9 @@
 #include "core/topk.h"
 #include "embed/char_gram_model.h"
 #include "embed/word_avg_model.h"
+#include "partition/partitioned_pexeso.h"
+#include "serve/index_cache.h"
+#include "serve/serve_session.h"
 #include "table/csv.h"
 #include "table/repository.h"
 #include "table/type_detect.h"
@@ -82,6 +99,17 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
+/// --threads with a CLI-grade value check: negatives would wrap to a huge
+/// size_t and ask a pool for billions of workers; treat them as 0 (auto).
+size_t ThreadsFlag(const Flags& flags) {
+  const long v = flags.GetInt("threads", 0);
+  if (v < 0) {
+    std::fprintf(stderr, "--threads %ld is negative; using auto (0)\n", v);
+    return 0;
+  }
+  return static_cast<size_t>(v);
+}
+
 /// MakeMetric with a CLI-grade error path: unknown names (the factory is
 /// case-insensitive, so "--metric L2" works) report what was passed and
 /// what is accepted instead of silently yielding nullptr downstream.
@@ -120,6 +148,23 @@ void PrintStats(const SearchStats& stats) {
               stats.verify_seconds);
 }
 
+/// Prints the serving-layer cache counters behind --stats (partition-dir
+/// indexes only).
+void PrintCacheStats(const serve::IndexCache& cache) {
+  const serve::IndexCacheStats s = cache.stats();
+  std::printf("index cache (budget %.1f MB):\n",
+              cache.budget_bytes() / 1e6);
+  std::printf("  hits / misses:           %llu / %llu (%.1f%% hit rate)\n",
+              static_cast<unsigned long long>(s.hits),
+              static_cast<unsigned long long>(s.misses), s.HitRate() * 100.0);
+  std::printf("  evictions:               %llu\n",
+              static_cast<unsigned long long>(s.evictions));
+  std::printf("  single-flight waits:     %llu\n",
+              static_cast<unsigned long long>(s.single_flight_waits));
+  std::printf("  resident:                %zu entries (%zu pinned), %.1f MB\n",
+              s.entries, s.pinned, s.bytes_resident / 1e6);
+}
+
 std::unique_ptr<EmbeddingModel> MakeModel(const Flags& flags) {
   const std::string name = flags.Get("model", "chargram");
   const uint32_t dim = static_cast<uint32_t>(flags.GetInt("dim", 50));
@@ -153,26 +198,65 @@ int Usage() {
   std::fprintf(stderr,
                "usage: pexeso_cli <index|search|batch|info> [--flags]\n"
                "  index  --input DIR --output FILE [--pivots N --levels M "
-               "--model chargram|wordavg --dim D --metric l2|cosine|l1]\n"
-               "  search --index FILE --query CSV [--column NAME --tau F "
-               "--t F --topk K --mappings --stats "
+               "--partitions K --model chargram|wordavg --dim D "
+               "--metric l2|cosine|l1]\n"
+               "  search --index FILE|PARTDIR --query CSV [--column NAME "
+               "--tau F --t F --topk K --mappings --stats --stream "
+               "--threads N --cache-mb MB "
                "--engine pexeso|pexeso-h|naive --model ... --dim D]\n"
-               "  batch  --index FILE --queries DIR [--threads N --tau F "
-               "--t F --stats --engine ... --model ... --dim D]\n"
-               "  info   --index FILE\n");
+               "  batch  --index FILE|PARTDIR --queries DIR [--threads N "
+               "--tau F --t F --stats --stream --cache-mb MB "
+               "--engine ... --model ... --dim D]\n"
+               "  info   --index FILE|PARTDIR\n"
+               "PARTDIR is a PartitionedPexeso directory (part-<i>.pxso): "
+               "online commands then serve out-of-core through a --cache-mb "
+               "budgeted index cache; --stream emits per-partition chunks "
+               "as they complete.\n");
   return 2;
 }
 
 /// Everything the online commands (search, batch) share: the embedding
-/// model, the metric, the loaded index, the selected engine and the
-/// fractional thresholds from --tau/--t.
+/// model, the metric, the loaded index (single-file mode) or partition
+/// handle + cache (directory mode), the selected engine and the fractional
+/// thresholds from --tau/--t.
 struct OnlineContext {
   std::unique_ptr<EmbeddingModel> model;
   std::unique_ptr<Metric> metric;
-  std::unique_ptr<PexesoIndex> index;
+  std::unique_ptr<PexesoIndex> index;  ///< single-file mode only
+  std::unique_ptr<serve::IndexCache> cache;  ///< partition-dir mode, optional
   std::unique_ptr<JoinSearchEngine> engine;
+  /// Non-owning view of `engine` when it is a PartitionedPexeso (directory
+  /// mode); null in single-file mode.
+  PartitionedPexeso* parts = nullptr;
   FractionalThresholds thresholds;
 };
+
+/// One result line. Single-file mode resolves table/column names through
+/// the in-memory catalog; partition-dir mode reports the global column id
+/// (per-partition catalogs stay on disk).
+void PrintResult(const OnlineContext& ctx, const JoinableColumn& r,
+                 const char* indent) {
+  if (ctx.index != nullptr) {
+    const ColumnMeta& meta = ctx.index->catalog().column(r.column);
+    std::printf("%s%-30s %-20s joinability %.3f\n", indent,
+                meta.table_name.c_str(), meta.column_name.c_str(),
+                r.joinability);
+    for (const auto& m : r.mapping) {
+      std::printf("%s  query[%u] <-> %s[%u]\n", indent, m.query_index,
+                  meta.table_name.c_str(), m.target_vec - meta.first);
+    }
+  } else {
+    std::printf("%sglobal column %-10u joinability %.3f (%u matching "
+                "records)\n",
+                indent, r.column, r.joinability, r.match_count);
+    for (const auto& m : r.mapping) {
+      // Per-partition catalogs stay on disk, so the target is reported as
+      // the partition-local vector id rather than a resolved record index.
+      std::printf("%s  query[%u] <-> partition-local vec %u\n", indent,
+                  m.query_index, m.target_vec);
+    }
+  }
+}
 
 /// Fills `ctx` from the flags. Returns 0 on success, else the process exit
 /// code (after printing the reason).
@@ -225,12 +309,74 @@ VectorStore LoadQueryColumn(const TableRepository& repo, uint32_t dim,
   return q;
 }
 
+/// Directory-mode half of LoadOnlineContext: opens the partition set,
+/// attaches the --cache-mb IndexCache, checks the snapshot dimensionality
+/// against the embedding model (a header peek, not a full load) and warms
+/// partition 0 into the cache when one is attached.
+int LoadPartitionedContext(const Flags& flags, const std::string& dir,
+                           OnlineContext* ctx) {
+  const std::string engine_name = flags.Get("engine", "pexeso");
+  if (engine_name != "pexeso" && engine_name != "pexeso-h") {
+    std::fprintf(stderr,
+                 "--engine %s is not available over a partition directory "
+                 "(expected pexeso or pexeso-h)\n",
+                 engine_name.c_str());
+    return 2;
+  }
+  auto opened = PartitionedPexeso::Open(dir, ctx->metric.get());
+  if (!opened.ok()) {
+    std::fprintf(stderr, "partition dir open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  auto parts =
+      std::make_unique<PartitionedPexeso>(std::move(opened).ValueOrDie());
+  if (engine_name == "pexeso-h") {
+    parts->set_engine(PartitionedPexeso::Engine::kPexesoH);
+  }
+  const long cache_mb = flags.GetInt("cache-mb", 256);
+  if (cache_mb > 0) {
+    ctx->cache = std::make_unique<serve::IndexCache>(serve::IndexCacheOptions{
+        .budget_bytes = static_cast<size_t>(cache_mb) << 20});
+    parts->AttachCache(ctx->cache.get());
+  }
+  auto dim = PexesoIndex::PeekDim(parts->PartPath(0));
+  if (!dim.ok()) {
+    std::fprintf(stderr, "partition read failed: %s\n",
+                 dim.status().ToString().c_str());
+    return 1;
+  }
+  if (dim.value() != ctx->model->dim()) {
+    std::fprintf(stderr, "index dim %u != model dim %u (pass matching --dim)\n",
+                 dim.value(), ctx->model->dim());
+    return 1;
+  }
+  if (ctx->cache != nullptr) {
+    // Pre-warm the first partition; uncached mode skips this — the load
+    // would be thrown away.
+    auto warm = parts->AcquirePart(0, nullptr);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "partition load failed: %s\n",
+                   warm.status().ToString().c_str());
+      return 1;
+    }
+  }
+  ctx->parts = parts.get();
+  ctx->engine = std::move(parts);
+  return 0;
+}
+
 int LoadOnlineContext(const Flags& flags, OnlineContext* ctx) {
   ctx->model = MakeModel(flags);
   if (!ctx->model) return Usage();
   ctx->metric = MakeMetricOrExplain(flags);
   if (!ctx->metric) return 2;
-  auto loaded = PexesoIndex::Load(flags.Get("index"), ctx->metric.get());
+  ctx->thresholds = {flags.GetDouble("tau", 0.35), flags.GetDouble("t", 0.5)};
+  const std::string index_path = flags.Get("index");
+  if (std::filesystem::is_directory(index_path)) {
+    return LoadPartitionedContext(flags, index_path, ctx);
+  }
+  auto loaded = PexesoIndex::Load(index_path, ctx->metric.get());
   if (!loaded.ok()) {
     std::fprintf(stderr, "index load failed: %s\n",
                  loaded.status().ToString().c_str());
@@ -245,7 +391,6 @@ int LoadOnlineContext(const Flags& flags, OnlineContext* ctx) {
   }
   ctx->engine = MakeEngine(flags.Get("engine", "pexeso"), *ctx->index);
   if (!ctx->engine) return Usage();
-  ctx->thresholds = {flags.GetDouble("tau", 0.35), flags.GetDouble("t", 0.5)};
   return 0;
 }
 
@@ -275,6 +420,30 @@ int CmdIndex(const Flags& flags) {
   PexesoOptions opts;
   opts.num_pivots = static_cast<uint32_t>(flags.GetInt("pivots", 5));
   opts.levels = static_cast<uint32_t>(flags.GetInt("levels", 0));
+
+  // --partitions K: out-of-core layout — JSD-cluster the columns into K
+  // partitions, one index snapshot per partition under the --output
+  // directory. The online commands then serve it through the index cache.
+  const long partitions = flags.GetInt("partitions", 0);
+  if (partitions > 0) {
+    ColumnCatalog catalog = repo.TakeCatalog();
+    Partitioner::Options popts;
+    popts.k = static_cast<uint32_t>(partitions);
+    auto assignment = Partitioner::JsdClustering(catalog, popts);
+    auto built = PartitionedPexeso::Build(catalog, assignment, output,
+                                          metric.get(), opts);
+    if (!built.ok()) {
+      std::fprintf(stderr, "partition build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("partitioned index written to %s/ (%zu partitions, "
+                "%.1f MB on disk)\n",
+                output.c_str(), built.value().num_partitions(),
+                built.value().DiskBytes() / 1e6);
+    return 0;
+  }
+
   PexesoIndex index =
       PexesoIndex::Build(repo.TakeCatalog(), metric.get(), opts);
   Status st = index.Save(output);
@@ -288,13 +457,49 @@ int CmdIndex(const Flags& flags) {
   return 0;
 }
 
+/// The --stream search path: one ServeSession query, chunks printed as the
+/// partitions complete, then the deterministic merged result.
+int StreamSearch(const OnlineContext& ctx, const VectorStore& query,
+                 const SearchOptions& sopts, size_t threads,
+                 bool want_stats) {
+  serve::ServeSession session(ctx.engine.get(), {.num_threads = threads});
+  std::mutex print_mu;
+  session.SubmitStreaming(&query, sopts, [&](const serve::StreamChunk& c) {
+    std::lock_guard<std::mutex> lock(print_mu);
+    if (!c.status.ok()) {
+      std::printf("[part %zu/%zu] FAILED: %s\n", c.part + 1, c.parts_total,
+                  c.status.ToString().c_str());
+      return;
+    }
+    std::printf("[part %zu/%zu] %zu joinable column(s)%s\n", c.part + 1,
+                c.parts_total, c.results.size(),
+                c.last ? " <- final chunk" : "");
+    for (const auto& r : c.results) PrintResult(ctx, r, "  ");
+  });
+  auto outcomes = session.Drain();
+  const serve::QueryOutcome& out = outcomes.front();
+  if (!out.status.ok()) {
+    std::fprintf(stderr, "streamed search failed: %s\n",
+                 out.status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nmerged: %zu joinable column(s) via %s (%.3fs partition "
+              "IO)\n",
+              out.results.size(), ctx.engine->name(), out.io_seconds);
+  for (const auto& r : out.results) PrintResult(ctx, r, "  ");
+  if (want_stats) {
+    PrintStats(out.stats);
+    if (ctx.cache) PrintCacheStats(*ctx.cache);
+  }
+  return 0;
+}
+
 int CmdSearch(const Flags& flags) {
   const std::string index_path = flags.Get("index");
   const std::string query_path = flags.Get("query");
   if (index_path.empty() || query_path.empty()) return Usage();
   OnlineContext ctx;
   if (int rc = LoadOnlineContext(flags, &ctx); rc != 0) return rc;
-  const PexesoIndex& index = *ctx.index;
 
   TableRepository repo(ctx.model.get());
   std::string column;
@@ -309,10 +514,28 @@ int CmdSearch(const Flags& flags) {
   sopts.thresholds =
       ctx.thresholds.Resolve(*ctx.metric, ctx.model->dim(), query.size());
   sopts.collect_mappings = flags.Has("mappings");
+  const bool want_stats = flags.Has("stats");
+
+  if (flags.Has("stream")) {
+    if (ctx.parts == nullptr) {
+      std::fprintf(stderr,
+                   "--stream needs a partition directory index (partial "
+                   "results are per-partition chunks)\n");
+      return 2;
+    }
+    if (flags.GetInt("topk", 0) > 0) {
+      std::fprintf(stderr,
+                   "--topk is not supported with --stream (ranking needs "
+                   "the complete result set)\n");
+      return 2;
+    }
+    return StreamSearch(ctx, query, sopts,
+                        ThreadsFlag(flags),
+                        want_stats);
+  }
 
   std::vector<JoinableColumn> results;
   SearchStats stats;
-  const bool want_stats = flags.Has("stats");
   const long topk = flags.GetInt("topk", 0);
   if (topk > 0) {
     results = SearchTopK(*ctx.engine, query, sopts.thresholds.tau,
@@ -327,17 +550,60 @@ int CmdSearch(const Flags& flags) {
   std::printf("%zu joinable column(s) via %s (tau=%.3f, T=%u/%zu):\n",
               results.size(), ctx.engine->name(), sopts.thresholds.tau,
               sopts.thresholds.t_abs, query.size());
-  for (const auto& r : results) {
-    const ColumnMeta& meta = index.catalog().column(r.column);
-    std::printf("  %-30s %-20s joinability %.3f\n", meta.table_name.c_str(),
-                meta.column_name.c_str(), r.joinability);
-    for (const auto& m : r.mapping) {
-      std::printf("    query[%u] <-> %s[%u]\n", m.query_index,
-                  meta.table_name.c_str(), m.target_vec - meta.first);
-    }
+  for (const auto& r : results) PrintResult(ctx, r, "  ");
+  if (want_stats && topk <= 0) {
+    PrintStats(stats);
+    if (ctx.cache) PrintCacheStats(*ctx.cache);
   }
-  if (want_stats && topk <= 0) PrintStats(stats);
   return 0;
+}
+
+/// The --stream batch path: every query is a ServeSession streaming
+/// submission; chunk-completion lines interleave as partitions finish, and
+/// the deterministic per-query summaries print after the drain.
+int StreamBatch(const OnlineContext& ctx,
+                const std::vector<std::string>& names,
+                const std::vector<VectorStore>& queries,
+                const std::vector<SearchOptions>& sopts, size_t threads,
+                bool want_stats) {
+  serve::ServeSession session(ctx.engine.get(), {.num_threads = threads});
+  std::mutex print_mu;
+  Stopwatch watch;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    session.SubmitStreaming(
+        &queries[i], sopts[i], [&, i](const serve::StreamChunk& c) {
+          std::lock_guard<std::mutex> lock(print_mu);
+          std::printf("  %-40s part %zu/%zu: %zu joinable%s\n",
+                      names[i].c_str(), c.part + 1, c.parts_total,
+                      c.results.size(), c.last ? " (query done)" : "");
+        });
+  }
+  auto outcomes = session.Drain();
+  const double wall = watch.ElapsedSeconds();
+  std::printf("\nstreamed batch of %zu query columns via %s on %zu "
+              "thread(s): %.3fs (%.1f columns/s)\n",
+              queries.size(), ctx.engine->name(), session.num_threads(),
+              wall, static_cast<double>(queries.size()) /
+                        std::max(wall, 1e-9));
+  SearchStats stats;
+  int rc = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].status.ok()) {
+      std::printf("  %-40s FAILED: %s\n", names[i].c_str(),
+                  outcomes[i].status.ToString().c_str());
+      rc = 1;
+      continue;
+    }
+    std::printf("  %-40s %zu joinable column(s)\n", names[i].c_str(),
+                outcomes[i].results.size());
+    for (const auto& r : outcomes[i].results) PrintResult(ctx, r, "    ");
+    stats += outcomes[i].stats;
+  }
+  if (want_stats) {
+    PrintStats(stats);
+    if (ctx.cache) PrintCacheStats(*ctx.cache);
+  }
+  return rc;
 }
 
 int CmdBatch(const Flags& flags) {
@@ -346,7 +612,6 @@ int CmdBatch(const Flags& flags) {
   if (index_path.empty() || queries_dir.empty()) return Usage();
   OnlineContext ctx;
   if (int rc = LoadOnlineContext(flags, &ctx); rc != 0) return rc;
-  const PexesoIndex& index = *ctx.index;
 
   // One query column per CSV file: the auto-selected key column, embedded
   // with the same model as the repository. Sorted paths keep the batch
@@ -391,8 +656,20 @@ int CmdBatch(const Flags& flags) {
                                queries[i].size());
   }
 
+  if (flags.Has("stream")) {
+    if (ctx.parts == nullptr) {
+      std::fprintf(stderr,
+                   "--stream needs a partition directory index (partial "
+                   "results are per-partition chunks)\n");
+      return 2;
+    }
+    return StreamBatch(ctx, names, queries, sopts,
+                       ThreadsFlag(flags),
+                       flags.Has("stats"));
+  }
+
   BatchRunnerOptions bopts;
-  bopts.num_threads = static_cast<size_t>(flags.GetInt("threads", 0));
+  bopts.num_threads = ThreadsFlag(flags);
   BatchQueryRunner runner(ctx.engine.get(), bopts);
   BatchResult batch = runner.Run(queries, sopts);
 
@@ -402,17 +679,20 @@ int CmdBatch(const Flags& flags) {
               batch.wall_seconds,
               static_cast<double>(queries.size()) /
                   std::max(batch.wall_seconds, 1e-9));
+  if (batch.io_seconds > 0.0) {
+    std::printf("partition-major IO: %.3fs (each partition loaded once for "
+                "the whole batch)\n",
+                batch.io_seconds);
+  }
   for (size_t i = 0; i < queries.size(); ++i) {
     std::printf("  %-40s %zu joinable column(s)\n", names[i].c_str(),
                 batch.results[i].size());
-    for (const auto& r : batch.results[i]) {
-      const ColumnMeta& meta = index.catalog().column(r.column);
-      std::printf("    %-30s %-20s joinability %.3f\n",
-                  meta.table_name.c_str(), meta.column_name.c_str(),
-                  r.joinability);
-    }
+    for (const auto& r : batch.results[i]) PrintResult(ctx, r, "    ");
   }
-  if (flags.Has("stats")) PrintStats(batch.stats);
+  if (flags.Has("stats")) {
+    PrintStats(batch.stats);
+    if (ctx.cache) PrintCacheStats(*ctx.cache);
+  }
   return 0;
 }
 
@@ -421,6 +701,19 @@ int CmdInfo(const Flags& flags) {
   if (index_path.empty()) return Usage();
   auto metric = MakeMetricOrExplain(flags);
   if (!metric) return 2;
+  if (std::filesystem::is_directory(index_path)) {
+    auto opened = PartitionedPexeso::Open(index_path, metric.get());
+    if (!opened.ok()) {
+      std::fprintf(stderr, "partition dir open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("partitioned index: %s\n", index_path.c_str());
+    std::printf("  partitions:    %zu\n", opened.value().num_partitions());
+    std::printf("  on disk:       %.2f MB\n",
+                opened.value().DiskBytes() / 1e6);
+    return 0;
+  }
   auto loaded = PexesoIndex::Load(index_path, metric.get());
   if (!loaded.ok()) {
     std::fprintf(stderr, "index load failed: %s\n",
