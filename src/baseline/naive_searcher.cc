@@ -73,7 +73,7 @@ std::vector<JoinableColumn> NaiveSearcher::Search(const VectorStore& query,
       jc.joinability =
           static_cast<double>(matches) / static_cast<double>(num_q);
       if (options.collect_mappings) {
-        // Post-pass, mirroring PexesoSearcher::CollectMappings: one target
+        // Post-pass, mirroring VerifyPipeline::CollectMappings: one target
         // vector (the first in store order) per matching query record, and
         // the counters upgraded to the exact joinability the full scan
         // resolves as a side effect.

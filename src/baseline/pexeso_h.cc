@@ -113,7 +113,7 @@ std::vector<JoinableColumn> PexesoHSearcher::Search(
         // Post-pass in the spirit of the method: no index structures, just
         // distances — one target vector (first in store order) per matching
         // query record, with the counters upgraded to the exact joinability
-        // the full scan resolves (as PexesoSearcher::CollectMappings does).
+        // the full scan resolves (as VerifyPipeline::CollectMappings does).
         const ColumnMeta& meta = catalog.column(col);
         for (uint32_t q = 0; q < num_q; ++q) {
           const float* qv = query.View(q);

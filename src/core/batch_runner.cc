@@ -49,6 +49,42 @@ BatchResult BatchQueryRunner::RunImpl(const std::vector<VectorStore>& queries,
   // at every thread count.
   std::vector<SearchStats> scratch(queries.size());
 
+  // Intra-query composition: queries may ask for intra-query verification
+  // shards (SearchOptions::intra_query_threads) without carrying a pool. The
+  // runner then provisions ONE intra pool shared by every query (the
+  // pipeline tracks its shards with a per-search TaskGroup) and shrinks its
+  // own fan-out so batch-major workers times intra-query shards stays within
+  // the requested thread budget instead of multiplying it.
+  size_t max_intra = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const SearchOptions& o = options_for(i);
+    if (o.intra_query_pool == nullptr) {
+      max_intra = std::max(max_intra, o.intra_query_threads);
+    }
+  }
+  std::unique_ptr<ThreadPool> intra_pool;
+  std::vector<SearchOptions> rewritten;
+  size_t outer_threads = num_threads_;
+  if (max_intra > 1) {
+    // The pool honors the runner's total budget (shard COUNTS stay at the
+    // requested intra_query_threads — a pure function of the options — so
+    // results and stats are unchanged; extra shards just queue).
+    intra_pool = std::make_unique<ThreadPool>(
+        std::min({max_intra, std::max<size_t>(1, num_threads_), size_t{256}}));
+    outer_threads = std::max<size_t>(1, num_threads_ / max_intra);
+    rewritten.resize(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      rewritten[i] = options_for(i);
+      if (rewritten[i].intra_query_threads > 1 &&
+          rewritten[i].intra_query_pool == nullptr) {
+        rewritten[i].intra_query_pool = intra_pool.get();
+      }
+    }
+  }
+  const auto eff_options = [&](size_t i) -> const SearchOptions& {
+    return rewritten.empty() ? options_for(i) : rewritten[i];
+  };
+
   const auto* parts = dynamic_cast<const PartitionedJoinEngine*>(engine_);
   const bool partition_major =
       parts != nullptr && !queries.empty() &&
@@ -58,15 +94,18 @@ BatchResult BatchQueryRunner::RunImpl(const std::vector<VectorStore>& queries,
         !parts->PartsStayResident()));
 
   if (partition_major) {
-    RunPartitionMajor(*parts, queries, options_for, &scratch, &out);
-  } else if (num_threads_ <= 1 || queries.size() <= 1) {
+    RunPartitionMajor(*parts, queries, eff_options, outer_threads, &scratch,
+                      &out);
+  } else if (outer_threads <= 1 || queries.size() <= 1) {
     for (size_t i = 0; i < queries.size(); ++i) {
-      out.results[i] = engine_->Search(queries[i], options_for(i), &scratch[i]);
+      out.results[i] =
+          engine_->Search(queries[i], eff_options(i), &scratch[i]);
     }
   } else {
-    ThreadPool pool(std::min(num_threads_, queries.size()));
+    ThreadPool pool(std::min(outer_threads, queries.size()));
     pool.ParallelFor(queries.size(), [&](size_t i) {
-      out.results[i] = engine_->Search(queries[i], options_for(i), &scratch[i]);
+      out.results[i] =
+          engine_->Search(queries[i], eff_options(i), &scratch[i]);
     });
   }
   for (const SearchStats& s : scratch) out.stats += s;
@@ -78,11 +117,12 @@ template <typename OptionsFor>
 void BatchQueryRunner::RunPartitionMajor(
     const PartitionedJoinEngine& parts,
     const std::vector<VectorStore>& queries, const OptionsFor& options_for,
-    std::vector<SearchStats>* scratch, BatchResult* out) const {
+    size_t outer_threads, std::vector<SearchStats>* scratch,
+    BatchResult* out) const {
   const size_t n = queries.size();
   std::unique_ptr<ThreadPool> pool;
-  if (num_threads_ > 1 && n > 1) {
-    pool = std::make_unique<ThreadPool>(std::min(num_threads_, n));
+  if (outer_threads > 1 && n > 1) {
+    pool = std::make_unique<ThreadPool>(std::min(outer_threads, n));
   }
   double io = 0.0;
   for (size_t part = 0; part < parts.NumParts(); ++part) {

@@ -64,6 +64,17 @@ struct BatchResult {
 /// held partition — the difference between O(partitions) and
 /// O(queries x partitions) deserializations per batch.
 ///
+/// A third axis composes with both: queries whose SearchOptions ask for
+/// intra-query verification shards (intra_query_threads > 1) without a pool
+/// get ONE runner-provisioned intra pool shared across the batch, and the
+/// batch-major fan-out shrinks to num_threads / intra so the two axes
+/// multiply to roughly the requested budget instead of oversubscribing.
+/// The shrink is batch-wide (sized by the LARGEST intra request), so a
+/// batch mixing one intra-parallel giant with many serial queries
+/// serializes the serial ones too — submit such mixes as separate batches,
+/// or hand every query an explicit shared intra_query_pool to keep the
+/// fan-out untouched.
+///
 /// Determinism contract: results (and the stats counters) are identical
 /// for any `num_threads` and either partition mode, because (a) engines are
 /// deterministic per query, (b) every query writes only its own
@@ -97,11 +108,12 @@ class BatchQueryRunner {
                       const OptionsFor& options_for) const;
 
   /// The partition-major loop described above. `parts` is engine_'s
-  /// PartitionedJoinEngine view.
+  /// PartitionedJoinEngine view; `outer_threads` is the batch-major fan-out
+  /// left after the intra-query composition carved out its share.
   template <typename OptionsFor>
   void RunPartitionMajor(const PartitionedJoinEngine& parts,
                          const std::vector<VectorStore>& queries,
-                         const OptionsFor& options_for,
+                         const OptionsFor& options_for, size_t outer_threads,
                          std::vector<SearchStats>* scratch,
                          BatchResult* out) const;
 

@@ -15,6 +15,8 @@
 
 namespace pexeso {
 
+class ThreadPool;
+
 /// \brief Per-search options.
 struct SearchOptions {
   SearchThresholds thresholds;
@@ -25,6 +27,20 @@ struct SearchOptions {
   /// When true, joinable columns keep verifying to report the exact
   /// joinability instead of stopping at T (disables the joinable-skip).
   bool exact_joinability = false;
+  /// Intra-query parallelism: verification work of ONE search is sharded by
+  /// column range across this many workers (core/verify_pipeline.h). 0 or 1
+  /// keeps the search single-threaded — the right default for batch
+  /// workloads, which already parallelize across queries; raise it for a
+  /// huge query column searched on its own. Results and stats counters are
+  /// identical at every setting (the pipeline's determinism contract).
+  size_t intra_query_threads = 0;
+  /// Optional shared pool the verification shards run on (borrowed; used
+  /// via a TaskGroup, so several concurrent searches can share it). When
+  /// null and intra_query_threads > 1, the search spins up a transient
+  /// pool. Must NOT be a pool whose worker is executing this very search —
+  /// the shard wait would consume the worker the shards need
+  /// (PEXESO_CHECK-enforced, like nested ThreadPool::ParallelFor).
+  ThreadPool* intra_query_pool = nullptr;
 };
 
 /// \brief The unified joinable-table-search engine interface: given one

@@ -1,271 +1,69 @@
 #include "core/searcher.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "common/stopwatch.h"
-#include "vec/kernels.h"
+#include "core/verify_pipeline.h"
 
 namespace pexeso {
-
-/// Mutable state of one Search() call.
-struct PexesoSearcher::Context {
-  const SearchOptions* options = nullptr;
-  SearchStats* stats = nullptr;
-  const VectorStore* query = nullptr;
-
-  std::vector<double> mapped_q;  ///< |Q| x |P|
-  HierarchicalGrid hgq;
-  BlockResult blocks;
-
-  /// Verification state per column.
-  std::vector<uint32_t> match_map;
-  std::vector<uint32_t> mismatch_map;
-  enum : uint8_t { kActive = 0, kJoinable = 1, kDead = 2 };
-  std::vector<uint8_t> state;
-
-  double tau = 0.0;
-  uint32_t t_abs = 1;
-  uint32_t num_q = 0;
-};
 
 std::vector<JoinableColumn> PexesoSearcher::Search(
     const VectorStore& query, const SearchOptions& options,
     SearchStats* stats) const {
   SearchStats local_stats;
-  Context ctx;
-  ctx.options = &options;
-  ctx.stats = stats != nullptr ? stats : &local_stats;
-  ctx.query = &query;
-  ctx.tau = options.thresholds.tau;
-  ctx.t_abs = std::max<uint32_t>(1, options.thresholds.t_abs);
-  ctx.num_q = static_cast<uint32_t>(query.size());
-
+  SearchStats* out_stats = stats != nullptr ? stats : &local_stats;
+  const uint32_t num_q = static_cast<uint32_t>(query.size());
   const size_t num_cols = index_->catalog().num_columns();
-  ctx.match_map.assign(num_cols, 0);
-  ctx.mismatch_map.assign(num_cols, 0);
-  ctx.state.assign(num_cols, Context::kActive);
+  const uint32_t t_abs = std::max<uint32_t>(1, options.thresholds.t_abs);
 
   std::vector<JoinableColumn> out;
-  if (ctx.num_q == 0) return out;
+  if (num_q == 0) return out;
 
   Stopwatch block_watch;
   // Map the query column into the pivot space and build HGQ (same number of
   // levels as HGRV so leaf cells align, enabling quick browsing).
   const PivotSpace& ps = index_->pivots();
-  ctx.mapped_q = ps.MapAll(query.raw().data(), query.size());
+  const std::vector<double> mapped_q =
+      ps.MapAll(query.raw().data(), query.size());
+  HierarchicalGrid hgq;
   HierarchicalGrid::Options gopts;
   gopts.levels = index_->grid().levels();
   gopts.store_leaf_items = true;
-  ctx.hgq.Build(ctx.mapped_q.data(), query.size(), ps.num_pivots(),
-                ps.AxisExtent(), gopts);
+  hgq.Build(mapped_q.data(), query.size(), ps.num_pivots(), ps.AxisExtent(),
+            gopts);
 
   GridBlocker blocker(&index_->grid());
-  ctx.blocks = blocker.Run(ctx.hgq, ctx.mapped_q, ctx.tau, options.ablation,
-                           ctx.stats);
-  ctx.stats->block_seconds += block_watch.ElapsedSeconds();
+  const BlockResult blocks = blocker.Run(hgq, mapped_q, options.thresholds.tau,
+                                         options.ablation, out_stats);
+  out_stats->block_seconds += block_watch.ElapsedSeconds();
 
+  // The staged verification pipeline: candidate generation (stage 1),
+  // column-sharded tiled verification (stage 2), deterministic reduction
+  // (stage 3). Serial when options.intra_query_threads <= 1.
   Stopwatch verify_watch;
-  Verify(&ctx);
-  ctx.stats->verify_seconds += verify_watch.ElapsedSeconds();
+  VerifyPipeline pipeline(index_);
+  CandidateSet cands;
+  pipeline.GenerateCandidates(blocks, num_q, &cands, out_stats);
+  std::vector<uint32_t> match_map(num_cols, 0);
+  pipeline.VerifyCandidates(cands, query, mapped_q, options, &match_map,
+                            out_stats);
+  out_stats->verify_seconds += verify_watch.ElapsedSeconds();
 
   for (ColumnId col = 0; col < num_cols; ++col) {
     if (index_->IsDeleted(col)) continue;
-    if (ctx.match_map[col] >= ctx.t_abs) {
+    if (match_map[col] >= t_abs) {
       JoinableColumn jc;
       jc.column = col;
-      jc.match_count = ctx.match_map[col];
+      jc.match_count = match_map[col];
       jc.joinability =
-          static_cast<double>(jc.match_count) / static_cast<double>(ctx.num_q);
+          static_cast<double>(jc.match_count) / static_cast<double>(num_q);
       out.push_back(std::move(jc));
     }
   }
   if (options.collect_mappings) {
-    CollectMappings(&ctx, &out);
+    pipeline.CollectMappings(query, mapped_q, options, &out, out_stats);
   }
   return out;
-}
-
-void PexesoSearcher::Verify(Context* ctx) const {
-  const InvertedIndex& inv = index_->inverted_index();
-  const uint32_t np = ctx->hgq.num_pivots();
-  const double tau = ctx->tau;
-  const VectorStore& rstore = index_->catalog().store();
-  const uint32_t dim = rstore.dim();
-  // Kernel path: one comparison-space predicate for the whole search (no
-  // virtual call and no sqrt per pair), with norms precomputed when the
-  // metric consumes them (cosine).
-  const RangePredicate pred(*index_->metric(), tau);
-  const float* rnorms = pred.wants_norms() ? rstore.EnsureNorms() : nullptr;
-  const float* qnorms =
-      pred.wants_norms() ? ctx->query->EnsureNorms() : nullptr;
-  const bool use_l1 = ctx->options->ablation.use_lemma1;
-  const bool use_l2 = ctx->options->ablation.use_lemma2;
-  const bool use_l7 = ctx->options->ablation.use_lemma7;
-  const bool exact = ctx->options->exact_joinability;
-
-  struct Cursor {
-    std::span<const InvertedIndex::Posting> postings;
-    size_t pos = 0;
-    bool is_match = false;
-  };
-  std::vector<Cursor> cursors;
-  using HeapEntry = std::pair<ColumnId, uint32_t>;  // (current column, cursor)
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
-  std::vector<uint32_t> active;  // cursors positioned on the current column
-
-  for (uint32_t q = 0; q < ctx->num_q; ++q) {
-    const double* mq = ctx->mapped_q.data() + static_cast<size_t>(q) * np;
-    const float* qv = ctx->query->View(q);
-    const double qn = qnorms != nullptr ? qnorms[q] : 1.0;
-    cursors.clear();
-    for (uint32_t cell : ctx->blocks.match_cells[q]) {
-      auto span = inv.PostingsOf(cell);
-      if (!span.empty()) cursors.push_back(Cursor{span, 0, true});
-    }
-    for (uint32_t cell : ctx->blocks.cand_cells[q]) {
-      auto span = inv.PostingsOf(cell);
-      if (!span.empty()) cursors.push_back(Cursor{span, 0, false});
-    }
-    if (cursors.empty()) continue;
-    while (!heap.empty()) heap.pop();
-    for (uint32_t c = 0; c < cursors.size(); ++c) {
-      heap.emplace(cursors[c].postings[0].column, c);
-    }
-    // DaaT: resolve the (q, column) pairs in increasing column-id order so
-    // each pair is decided exactly once even when a column spans many cells.
-    while (!heap.empty()) {
-      const ColumnId col = heap.top().first;
-      active.clear();
-      while (!heap.empty() && heap.top().first == col) {
-        active.push_back(heap.top().second);
-        heap.pop();
-      }
-      const bool skip = index_->IsDeleted(col) ||
-                        ctx->state[col] == Context::kDead ||
-                        (!exact && ctx->state[col] == Context::kJoinable);
-      if (!skip) {
-        bool matched = false;
-        for (uint32_t c : active) {
-          if (cursors[c].is_match) {
-            // Lemma 5/6 guaranteed every vector in this cell matches q, and
-            // the column has at least one vector here.
-            matched = true;
-            break;
-          }
-        }
-        if (!matched) {
-          for (uint32_t c : active) {
-            if (matched) break;
-            const auto& p = cursors[c].postings[cursors[c].pos];
-            for (uint32_t k = 0; k < p.vec_count && !matched; ++k) {
-              const VecId v = inv.vec_ids()[p.vec_begin + k];
-              const double* mx = index_->MappedVec(v);
-              if (use_l1) {
-                bool filtered = false;
-                for (uint32_t i = 0; i < np; ++i) {
-                  const double diff = mq[i] - mx[i];
-                  if (diff > tau || diff < -tau) {
-                    filtered = true;
-                    break;
-                  }
-                }
-                if (filtered) {
-                  ++ctx->stats->lemma1_filtered;
-                  continue;
-                }
-              }
-              if (use_l2) {
-                bool pivot_matched = false;
-                for (uint32_t i = 0; i < np; ++i) {
-                  if (mq[i] + mx[i] <= tau) {
-                    pivot_matched = true;
-                    break;
-                  }
-                }
-                if (pivot_matched) {
-                  ++ctx->stats->lemma2_matched;
-                  matched = true;
-                  break;
-                }
-              }
-              ++ctx->stats->distance_computations;
-              ctx->stats->sqrt_free_comparisons += pred.sqrt_saved();
-              const double rn = rnorms != nullptr ? rnorms[v] : 1.0;
-              if (pred.MatchNormed(qv, rstore.View(v), dim, qn, rn)) {
-                matched = true;
-              }
-            }
-          }
-        }
-        if (matched) {
-          ++ctx->match_map[col];
-          if (ctx->match_map[col] >= ctx->t_abs &&
-              ctx->state[col] == Context::kActive) {
-            ctx->state[col] = Context::kJoinable;
-            ++ctx->stats->early_joinable;
-          }
-        } else {
-          ++ctx->mismatch_map[col];
-          if (use_l7 && ctx->state[col] == Context::kActive &&
-              ctx->num_q - ctx->mismatch_map[col] < ctx->t_abs) {
-            // Lemma 7: even if every unresolved query record matched, the
-            // column could no longer reach T.
-            ctx->state[col] = Context::kDead;
-            ++ctx->stats->lemma7_kills;
-          }
-        }
-      }
-      // Advance every cursor that was positioned on `col`.
-      for (uint32_t c : active) {
-        if (++cursors[c].pos < cursors[c].postings.size()) {
-          heap.emplace(cursors[c].postings[cursors[c].pos].column, c);
-        }
-      }
-    }
-  }
-}
-
-void PexesoSearcher::CollectMappings(Context* ctx,
-                                     std::vector<JoinableColumn>* out) const {
-  const VectorStore& rstore = index_->catalog().store();
-  const uint32_t dim = rstore.dim();
-  const uint32_t np = index_->pivots().num_pivots();
-  const double tau = ctx->tau;
-  const RangePredicate pred(*index_->metric(), tau);
-  const float* rnorms = pred.wants_norms() ? rstore.EnsureNorms() : nullptr;
-  const float* qnorms =
-      pred.wants_norms() ? ctx->query->EnsureNorms() : nullptr;
-  for (auto& jc : *out) {
-    const ColumnMeta& meta = index_->catalog().column(jc.column);
-    for (uint32_t q = 0; q < ctx->num_q; ++q) {
-      const double* mq = ctx->mapped_q.data() + static_cast<size_t>(q) * np;
-      const float* qv = ctx->query->View(q);
-      const double qn = qnorms != nullptr ? qnorms[q] : 1.0;
-      for (VecId v = meta.first; v < meta.end(); ++v) {
-        const double* mx = index_->MappedVec(v);
-        bool filtered = false;
-        for (uint32_t i = 0; i < np; ++i) {
-          const double diff = mq[i] - mx[i];
-          if (diff > tau || diff < -tau) {
-            filtered = true;
-            break;
-          }
-        }
-        if (filtered) continue;
-        const double rn = rnorms != nullptr ? rnorms[v] : 1.0;
-        if (pred.MatchNormed(qv, rstore.View(v), dim, qn, rn)) {
-          jc.mapping.push_back(RecordMatch{q, v});
-          break;  // one mapping per query record
-        }
-      }
-    }
-    // The mapping scan resolves every query record exactly, so upgrade the
-    // (possibly early-terminated) counters to the exact joinability.
-    jc.match_count = static_cast<uint32_t>(jc.mapping.size());
-    jc.joinability =
-        static_cast<double>(jc.match_count) / static_cast<double>(ctx->num_q);
-  }
 }
 
 }  // namespace pexeso

@@ -12,7 +12,10 @@ namespace pexeso {
 
 /// \brief The online side of PEXESO (Algorithm 3): builds HGQ for the query
 /// column, quick-browses co-located leaf cells, blocks with Algorithm 1, and
-/// verifies with Algorithm 2 over the inverted index.
+/// verifies through the staged VerifyPipeline (candidate generation ->
+/// column-sharded tiled verification -> deterministic reduction; see
+/// core/verify_pipeline.h). SearchOptions::intra_query_threads parallelizes
+/// the verification of a single huge query column.
 class PexesoSearcher : public JoinSearchEngine {
  public:
   /// `index` is borrowed and must outlive the searcher.
@@ -28,11 +31,6 @@ class PexesoSearcher : public JoinSearchEngine {
                                      SearchStats* stats) const override;
 
  private:
-  struct Context;
-
-  void Verify(Context* ctx) const;
-  void CollectMappings(Context* ctx, std::vector<JoinableColumn>* out) const;
-
   const PexesoIndex* index_;
 };
 

@@ -1,0 +1,149 @@
+#ifndef PEXESO_CORE_VERIFY_PIPELINE_H_
+#define PEXESO_CORE_VERIFY_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/blocker.h"
+#include "core/engine.h"
+#include "core/join_result.h"
+#include "core/pexeso_index.h"
+
+namespace pexeso {
+
+/// \brief One (query record, column) pair emitted by candidate generation:
+/// the unit of work the tiled verification stage resolves. `cell_matched`
+/// pairs were decided by the blocking lemmas (5/6) alone and carry no
+/// ranges; the rest name the postings ranges whose vectors must be checked,
+/// in the exact order the serial scan would have visited them.
+struct CandidateBlock {
+  uint32_t query = 0;        ///< query record index
+  uint32_t range_begin = 0;  ///< first VecIdRange of this pair
+  uint32_t range_count = 0;  ///< number of ranges
+  uint8_t cell_matched = 0;  ///< 1: a Lemma 5/6 match cell decided the pair
+};
+
+/// Contiguous run of InvertedIndex::vec_ids() holding one cell's candidate
+/// vectors of one column.
+struct VecIdRange {
+  uint32_t begin = 0;
+  uint32_t count = 0;
+};
+
+/// \brief Stage-1 output: every (query record, column) pair of the search,
+/// CSR-grouped by column with each column's pairs in ascending query order —
+/// exactly the order the serial DaaT loop resolves them in. That ordering is
+/// what lets stage 2 replay the per-column Lemma-7 / early-joinable state
+/// machine bit-for-bit under any shard layout.
+struct CandidateSet {
+  std::vector<CandidateBlock> blocks;
+  std::vector<VecIdRange> ranges;  ///< each block's ranges are contiguous
+  /// Blocks of column c occupy [block_begin[c], block_begin[c+1]).
+  std::vector<uint32_t> block_begin;
+  /// Verification cost estimate per column (candidate vector count, 1 for a
+  /// cell-matched pair); drives the weight-balanced sharding of stage 2.
+  std::vector<uint64_t> weight;
+  uint64_t total_weight = 0;
+
+  bool empty() const { return blocks.empty(); }
+};
+
+/// \brief The staged online verification pipeline: Algorithm 2 restructured
+/// from a monolithic per-query DaaT loop into three explicit stages.
+///
+///   stage 1  candidate generation — the DaaT merge over the blocking
+///            output emits CandidateBlocks instead of deciding pairs
+///            inline (GenerateCandidates);
+///   stage 2  tiled verification — columns are sharded into contiguous,
+///            weight-balanced ranges across SearchOptions::
+///            intra_query_threads workers; each shard replays the serial
+///            per-column state machine, batching safe runs of pairs into
+///            many-to-many KernelSet tiles (VerifyCandidates);
+///   stage 3  deterministic reduction — shards own disjoint match_map
+///            slices and private stats, merged in shard (= column) order.
+///
+/// Determinism contract: because a column's pairs are always resolved by
+/// one shard, in ascending query order, with Lemma-7 kills and t_abs
+/// early-joinable upgrades applied between tile batches exactly where the
+/// serial scan would apply them, results AND stats counters are identical
+/// at every intra_query_threads setting (shard_max_blocks, the imbalance
+/// diagnostic, is the one exception by design).
+///
+/// Tile-batching rule: a run of k pending pairs of one column can be
+/// evaluated as one batch only when no skip-triggering state transition can
+/// occur before its last pair — k <= t_abs - match (early-joinable) and
+/// k <= |Q| - t_abs - mismatch + 1 (Lemma-7) — so batching never evaluates
+/// a pair the serial scan would have skipped.
+class VerifyPipeline {
+ public:
+  /// `index` is borrowed and must outlive the pipeline.
+  explicit VerifyPipeline(const PexesoIndex* index) : index_(index) {}
+
+  /// Stage 1. `blocks` is the blocking output for `num_q` query records.
+  void GenerateCandidates(const BlockResult& blocks, uint32_t num_q,
+                          CandidateSet* out, SearchStats* stats) const;
+
+  /// Stages 2 + 3. `match_map` must be sized to the catalog's column count
+  /// and zero-initialized; on return match_map[c] holds the (possibly
+  /// early-terminated, per exact_joinability) match count of column c.
+  void VerifyCandidates(const CandidateSet& cands, const VectorStore& query,
+                        const std::vector<double>& mapped_q,
+                        const SearchOptions& options,
+                        std::vector<uint32_t>* match_map,
+                        SearchStats* stats) const;
+
+  /// Record-level mappings over the same tile machinery: each joinable
+  /// column is one many-to-many tile sweep of (query records x the column's
+  /// contiguous vector range) with Lemma-1 masking, instead of the old
+  /// per-pair rescan. Parallelizes across result columns under the same
+  /// intra-query options, with per-column stats merged in column order.
+  void CollectMappings(const VectorStore& query,
+                       const std::vector<double>& mapped_q,
+                       const SearchOptions& options,
+                       std::vector<JoinableColumn>* out,
+                       SearchStats* stats) const;
+
+ private:
+  struct TileScratch;
+
+  /// Stage-2 worker: verifies columns [col_lo, col_hi), writing only that
+  /// slice of match_map and its private `stats`.
+  void VerifyShard(const CandidateSet& cands, ColumnId col_lo, ColumnId col_hi,
+                   const VectorStore& query,
+                   const std::vector<double>& mapped_q,
+                   const SearchOptions& options, const float* query_norms,
+                   const float* repo_norms, std::vector<uint32_t>* match_map,
+                   SearchStats* stats) const;
+
+  /// Resolves pairs blocks[i..i+k) of one column (a safe batch: no
+  /// skip-triggering transition can occur before the last pair), filling
+  /// matched[0..k).
+  void EvaluateRun(const CandidateSet& cands, size_t i, size_t k,
+                   const VectorStore& query,
+                   const std::vector<double>& mapped_q,
+                   const SearchOptions& options, const float* query_norms,
+                   const float* repo_norms, TileScratch* scratch,
+                   uint8_t* matched, SearchStats* stats) const;
+
+  /// Resolves one group of `m` consecutive pairs sharing an identical range
+  /// list via gather + masked many-to-many tiles.
+  void EvaluateGroup(const CandidateSet& cands, const CandidateBlock* group,
+                     size_t m, const VectorStore& query,
+                     const std::vector<double>& mapped_q,
+                     const SearchOptions& options, const float* query_norms,
+                     const float* repo_norms, TileScratch* scratch,
+                     uint8_t* matched, SearchStats* stats) const;
+
+  /// Mapping sweep of one result column (see CollectMappings).
+  void MapColumn(JoinableColumn* jc, const VectorStore& query,
+                 const std::vector<double>& mapped_q,
+                 const SearchOptions& options, const float* query_norms,
+                 const float* repo_norms, TileScratch* scratch,
+                 SearchStats* stats) const;
+
+  const PexesoIndex* index_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_CORE_VERIFY_PIPELINE_H_

@@ -54,6 +54,11 @@ ServeSession::ServeSession(const JoinSearchEngine* engine,
                            ThreadPool* shared_pool)
     : engine_(engine),
       parts_(dynamic_cast<const PartitionedJoinEngine*>(engine)),
+      intra_pool_(options.intra_query_threads > 1
+                      ? std::make_unique<ThreadPool>(
+                            std::min<size_t>(options.intra_query_threads, 256))
+                      : nullptr),
+      default_intra_threads_(options.intra_query_threads),
       owned_pool_(shared_pool != nullptr
                       ? nullptr
                       : std::make_unique<ThreadPool>(
@@ -86,6 +91,18 @@ uint64_t ServeSession::Enqueue(const VectorStore* query, SearchOptions options,
   auto state = std::make_unique<QueryState>();
   state->query = query;
   state->options = std::move(options);
+  // Intra-query default: queries that carry no setting of their own inherit
+  // the session's, and any intra-parallel query without a pool runs its
+  // shards on the session's dedicated intra pool (when one exists) so part
+  // tasks never spawn transient pools per search.
+  if (state->options.intra_query_pool == nullptr) {
+    if (state->options.intra_query_threads == 0) {
+      state->options.intra_query_threads = default_intra_threads_;
+    }
+    if (state->options.intra_query_threads > 1 && intra_pool_ != nullptr) {
+      state->options.intra_query_pool = intra_pool_.get();
+    }
+  }
   state->on_chunk = std::move(on_chunk);
   state->want_future = want_future;
   if (want_future) *future_out = state->promise.get_future();

@@ -19,6 +19,13 @@ struct ServeSessionOptions {
   /// Worker threads of the owned pool. 0 = one per hardware thread.
   /// Ignored when an external pool is passed to the constructor.
   size_t num_threads = 0;
+  /// Default intra-query parallelism applied to every submitted query that
+  /// does not carry its own SearchOptions::intra_query_threads: a huge query
+  /// column then parallelizes *within* one partition's verification, not
+  /// just across partitions. Shards run on a dedicated session-owned intra
+  /// pool (separate from the part-task pool, so a part task waiting on its
+  /// shards can never starve shard execution). 0 = off.
+  size_t intra_query_threads = 0;
 };
 
 /// \brief One part's worth of results for one streaming query, delivered to
@@ -119,6 +126,11 @@ class ServeSession {
 
   const JoinSearchEngine* engine_;
   const PartitionedJoinEngine* parts_;  ///< engine_'s part view; may be null
+  /// Intra-query shard pool (ServeSessionOptions::intra_query_threads > 1).
+  /// Declared before the part-task pool/group so it is destroyed last —
+  /// after the group's wait, when no search can still hold shard tasks.
+  std::unique_ptr<ThreadPool> intra_pool_;
+  size_t default_intra_threads_ = 0;
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;
   TaskGroup group_;

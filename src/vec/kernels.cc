@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "vec/kernels_arch.h"
 
@@ -105,10 +106,105 @@ void ScalarNorms(const float* base, size_t n, uint32_t dim, float* out) {
   }
 }
 
+// Tiles process four query rows per pass over a base row, so each base row
+// is read from memory once per row-block instead of once per query row.
+
+void ScalarSqL2Tile(const float* qs, size_t nq, const float* base, size_t nv,
+                    uint32_t dim, double* out) {
+  size_t r = 0;
+  for (; r + 4 <= nq; r += 4) {
+    const float* q0 = qs + (r + 0) * dim;
+    const float* q1 = qs + (r + 1) * dim;
+    const float* q2 = qs + (r + 2) * dim;
+    const float* q3 = qs + (r + 3) * dim;
+    for (size_t c = 0; c < nv; ++c) {
+      const float* v = base + c * dim;
+      float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+      for (uint32_t i = 0; i < dim; ++i) {
+        const float x = v[i];
+        const float d0 = q0[i] - x;
+        const float d1 = q1[i] - x;
+        const float d2 = q2[i] - x;
+        const float d3 = q3[i] - x;
+        a0 += d0 * d0;
+        a1 += d1 * d1;
+        a2 += d2 * d2;
+        a3 += d3 * d3;
+      }
+      out[(r + 0) * nv + c] = static_cast<double>(a0);
+      out[(r + 1) * nv + c] = static_cast<double>(a1);
+      out[(r + 2) * nv + c] = static_cast<double>(a2);
+      out[(r + 3) * nv + c] = static_cast<double>(a3);
+    }
+  }
+  for (; r < nq; ++r) {
+    ScalarSqL2Many(qs + r * dim, base, nv, dim, out + r * nv);
+  }
+}
+
+void ScalarDotTile(const float* qs, size_t nq, const float* base, size_t nv,
+                   uint32_t dim, double* out) {
+  size_t r = 0;
+  for (; r + 4 <= nq; r += 4) {
+    const float* q0 = qs + (r + 0) * dim;
+    const float* q1 = qs + (r + 1) * dim;
+    const float* q2 = qs + (r + 2) * dim;
+    const float* q3 = qs + (r + 3) * dim;
+    for (size_t c = 0; c < nv; ++c) {
+      const float* v = base + c * dim;
+      float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+      for (uint32_t i = 0; i < dim; ++i) {
+        const float x = v[i];
+        a0 += q0[i] * x;
+        a1 += q1[i] * x;
+        a2 += q2[i] * x;
+        a3 += q3[i] * x;
+      }
+      out[(r + 0) * nv + c] = static_cast<double>(a0);
+      out[(r + 1) * nv + c] = static_cast<double>(a1);
+      out[(r + 2) * nv + c] = static_cast<double>(a2);
+      out[(r + 3) * nv + c] = static_cast<double>(a3);
+    }
+  }
+  for (; r < nq; ++r) {
+    ScalarDotMany(qs + r * dim, base, nv, dim, out + r * nv);
+  }
+}
+
+void ScalarL1Tile(const float* qs, size_t nq, const float* base, size_t nv,
+                  uint32_t dim, double* out) {
+  size_t r = 0;
+  for (; r + 4 <= nq; r += 4) {
+    const float* q0 = qs + (r + 0) * dim;
+    const float* q1 = qs + (r + 1) * dim;
+    const float* q2 = qs + (r + 2) * dim;
+    const float* q3 = qs + (r + 3) * dim;
+    for (size_t c = 0; c < nv; ++c) {
+      const float* v = base + c * dim;
+      float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+      for (uint32_t i = 0; i < dim; ++i) {
+        const float x = v[i];
+        a0 += std::fabs(q0[i] - x);
+        a1 += std::fabs(q1[i] - x);
+        a2 += std::fabs(q2[i] - x);
+        a3 += std::fabs(q3[i] - x);
+      }
+      out[(r + 0) * nv + c] = static_cast<double>(a0);
+      out[(r + 1) * nv + c] = static_cast<double>(a1);
+      out[(r + 2) * nv + c] = static_cast<double>(a2);
+      out[(r + 3) * nv + c] = static_cast<double>(a3);
+    }
+  }
+  for (; r < nq; ++r) {
+    ScalarL1Many(qs + r * dim, base, nv, dim, out + r * nv);
+  }
+}
+
 constexpr Ops kScalarOps = {
     SimdLevel::kScalar, &ScalarSqL2,     &ScalarSqL2Many,
     &ScalarDot,         &ScalarDotMany,  &ScalarCosCore,
     &ScalarL1,          &ScalarL1Many,   &ScalarNorms,
+    &ScalarSqL2Tile,    &ScalarDotTile,  &ScalarL1Tile,
 };
 
 // ------------------------------------------------------------ dispatch
@@ -229,6 +325,66 @@ void KernelSet::DistMany(const float* q, const float* base, size_t n,
       return;
     case MetricKind::kL1:
       ops->l1_many(q, base, n, dim, out);
+      return;
+  }
+}
+
+void KernelSet::DistTile(const float* qs, size_t nq, const float* base,
+                         size_t nv, uint32_t dim, double* out) const {
+  if (kind == MetricKind::kCosine) {
+    // Compute both sides' norms once per tile, then share the normed path.
+    std::vector<float> qn32(nq), bn(nv);
+    ops->norms(qs, nq, dim, qn32.data());
+    ops->norms(base, nv, dim, bn.data());
+    std::vector<double> qn(nq);
+    for (size_t r = 0; r < nq; ++r) qn[r] = static_cast<double>(qn32[r]);
+    DistTileNormed(qs, qn.data(), base, bn.data(), nq, nv, dim, out);
+    return;
+  }
+  CmpTileNormed(qs, nullptr, base, nullptr, nq, nv, dim, out);
+  if (kind == MetricKind::kL2) {
+    for (size_t i = 0; i < nq * nv; ++i) out[i] = std::sqrt(out[i]);
+  }
+}
+
+void KernelSet::DistTileNormed(const float* qs, const double* qnorms,
+                               const float* base, const float* base_norms,
+                               size_t nq, size_t nv, uint32_t dim,
+                               double* out) const {
+  CmpTileNormed(qs, qnorms, base, base_norms, nq, nv, dim, out);
+  if (kind != MetricKind::kL1) {
+    for (size_t i = 0; i < nq * nv; ++i) out[i] = std::sqrt(out[i]);
+  }
+}
+
+void KernelSet::CmpTileNormed(const float* qs, const double* qnorms,
+                              const float* base, const float* base_norms,
+                              size_t nq, size_t nv, uint32_t dim,
+                              double* out) const {
+  switch (kind) {
+    case MetricKind::kL2:
+      ops->sq_l2_tile(qs, nq, base, nv, dim, out);
+      return;
+    case MetricKind::kCosine:
+      ops->dot_tile(qs, nq, base, nv, dim, out);
+      for (size_t r = 0; r < nq; ++r) {
+        const double qn = qnorms[r];
+        double* row = out + r * nv;
+        for (size_t c = 0; c < nv; ++c) {
+          const double denom = qn * static_cast<double>(base_norms[c]);
+          if (denom <= 0.0) {
+            row[c] = 2.0;  // zero vector: dist^2 = 2 (Cmp1Normed semantics)
+            continue;
+          }
+          double cosv = row[c] / denom;
+          if (cosv > 1.0) cosv = 1.0;
+          if (cosv < -1.0) cosv = -1.0;
+          row[c] = 2.0 - 2.0 * cosv;
+        }
+      }
+      return;
+    case MetricKind::kL1:
+      ops->l1_tile(qs, nq, base, nv, dim, out);
       return;
   }
 }

@@ -61,6 +61,22 @@ struct Ops {
                   double* out);
   /// out[r] = ||base_r||_2
   void (*norms)(const float* base, size_t n, uint32_t dim, float* out);
+
+  // Many-to-many tiles: nq packed query rows against nv packed base rows,
+  // out[r * nv + c] = f(qs_r, base_c). Row-blocked so each base row is
+  // streamed from memory once per block of query rows instead of once per
+  // row — the arithmetic-intensity win the verification pipeline's tiled
+  // stage is built on.
+
+  /// out[r*nv + c] = sum_i (qs[r*dim+i] - base[c*dim+i])^2
+  void (*sq_l2_tile)(const float* qs, size_t nq, const float* base, size_t nv,
+                     uint32_t dim, double* out);
+  /// out[r*nv + c] = dot(qs_r, base_c)
+  void (*dot_tile)(const float* qs, size_t nq, const float* base, size_t nv,
+                   uint32_t dim, double* out);
+  /// out[r*nv + c] = sum_i |qs[r*dim+i] - base[c*dim+i]|
+  void (*l1_tile)(const float* qs, size_t nq, const float* base, size_t nv,
+                  uint32_t dim, double* out);
 };
 
 /// The portable tier (always available; also the reference in tests).
@@ -126,6 +142,26 @@ struct KernelSet {
   void DistManyNormed(const float* q, double qnorm, const float* base,
                       const float* base_norms, size_t n, uint32_t dim,
                       double* out) const;
+
+  /// Many-to-many true-distance tile: out[r*nv + c] = Dist1(qs_r, base_c)
+  /// for nq packed query rows against nv packed base rows. Cosine computes
+  /// both norms internally; prefer DistTileNormed when they are cached.
+  void DistTile(const float* qs, size_t nq, const float* base, size_t nv,
+                uint32_t dim, double* out) const;
+
+  /// DistTile with precomputed norms (qnorms[r] = ||qs_r||, base_norms[c] =
+  /// ||base_c||); only cosine reads them.
+  void DistTileNormed(const float* qs, const double* qnorms, const float* base,
+                      const float* base_norms, size_t nq, size_t nv,
+                      uint32_t dim, double* out) const;
+
+  /// Many-to-many comparison-space tile: out[r*nv + c] = Cmp1Normed(qs_r,
+  /// base_c) — squared distance for L2/cosine (compare against
+  /// CmpBound(tau), no sqrt per slot), identity for L1. The workhorse of
+  /// the staged verification pipeline (core/verify_pipeline.cc).
+  void CmpTileNormed(const float* qs, const double* qnorms, const float* base,
+                     const float* base_norms, size_t nq, size_t nv,
+                     uint32_t dim, double* out) const;
 
   /// Comparison-space value of one pair (see class comment).
   double Cmp1(const float* a, const float* b, uint32_t dim) const {

@@ -150,12 +150,153 @@ PEXESO_AVX2 void Avx2Norms(const float* base, size_t n, uint32_t dim,
   }
 }
 
+// Many-to-many tiles, blocked four query rows deep: each 8-float chunk of a
+// base row is loaded once and fed to four FMA accumulators, so the tile is
+// ~4x less load-bound than four independent one-to-many sweeps.
+
+PEXESO_AVX2 void Avx2SqL2Tile(const float* qs, size_t nq, const float* base,
+                              size_t nv, uint32_t dim, double* out) {
+  size_t r = 0;
+  for (; r + 4 <= nq; r += 4) {
+    const float* q0 = qs + (r + 0) * dim;
+    const float* q1 = qs + (r + 1) * dim;
+    const float* q2 = qs + (r + 2) * dim;
+    const float* q3 = qs + (r + 3) * dim;
+    for (size_t c = 0; c < nv; ++c) {
+      const float* v = base + c * dim;
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      uint32_t i = 0;
+      for (; i + 8 <= dim; i += 8) {
+        const __m256 bv = _mm256_loadu_ps(v + i);
+        const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(q0 + i), bv);
+        const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(q1 + i), bv);
+        const __m256 d2 = _mm256_sub_ps(_mm256_loadu_ps(q2 + i), bv);
+        const __m256 d3 = _mm256_sub_ps(_mm256_loadu_ps(q3 + i), bv);
+        acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+        acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+        acc2 = _mm256_fmadd_ps(d2, d2, acc2);
+        acc3 = _mm256_fmadd_ps(d3, d3, acc3);
+      }
+      float t0 = 0.0f, t1 = 0.0f, t2 = 0.0f, t3 = 0.0f;
+      for (; i < dim; ++i) {
+        const float x = v[i];
+        const float d0 = q0[i] - x;
+        const float d1 = q1[i] - x;
+        const float d2 = q2[i] - x;
+        const float d3 = q3[i] - x;
+        t0 += d0 * d0;
+        t1 += d1 * d1;
+        t2 += d2 * d2;
+        t3 += d3 * d3;
+      }
+      out[(r + 0) * nv + c] = HSum(acc0) + static_cast<double>(t0);
+      out[(r + 1) * nv + c] = HSum(acc1) + static_cast<double>(t1);
+      out[(r + 2) * nv + c] = HSum(acc2) + static_cast<double>(t2);
+      out[(r + 3) * nv + c] = HSum(acc3) + static_cast<double>(t3);
+    }
+  }
+  for (; r < nq; ++r) {
+    Avx2SqL2Many(qs + r * dim, base, nv, dim, out + r * nv);
+  }
+}
+
+PEXESO_AVX2 void Avx2DotTile(const float* qs, size_t nq, const float* base,
+                             size_t nv, uint32_t dim, double* out) {
+  size_t r = 0;
+  for (; r + 4 <= nq; r += 4) {
+    const float* q0 = qs + (r + 0) * dim;
+    const float* q1 = qs + (r + 1) * dim;
+    const float* q2 = qs + (r + 2) * dim;
+    const float* q3 = qs + (r + 3) * dim;
+    for (size_t c = 0; c < nv; ++c) {
+      const float* v = base + c * dim;
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      uint32_t i = 0;
+      for (; i + 8 <= dim; i += 8) {
+        const __m256 bv = _mm256_loadu_ps(v + i);
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(q0 + i), bv, acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(q1 + i), bv, acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(q2 + i), bv, acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(q3 + i), bv, acc3);
+      }
+      float t0 = 0.0f, t1 = 0.0f, t2 = 0.0f, t3 = 0.0f;
+      for (; i < dim; ++i) {
+        const float x = v[i];
+        t0 += q0[i] * x;
+        t1 += q1[i] * x;
+        t2 += q2[i] * x;
+        t3 += q3[i] * x;
+      }
+      out[(r + 0) * nv + c] = HSum(acc0) + static_cast<double>(t0);
+      out[(r + 1) * nv + c] = HSum(acc1) + static_cast<double>(t1);
+      out[(r + 2) * nv + c] = HSum(acc2) + static_cast<double>(t2);
+      out[(r + 3) * nv + c] = HSum(acc3) + static_cast<double>(t3);
+    }
+  }
+  for (; r < nq; ++r) {
+    Avx2DotMany(qs + r * dim, base, nv, dim, out + r * nv);
+  }
+}
+
+PEXESO_AVX2 void Avx2L1Tile(const float* qs, size_t nq, const float* base,
+                            size_t nv, uint32_t dim, double* out) {
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+  size_t r = 0;
+  for (; r + 4 <= nq; r += 4) {
+    const float* q0 = qs + (r + 0) * dim;
+    const float* q1 = qs + (r + 1) * dim;
+    const float* q2 = qs + (r + 2) * dim;
+    const float* q3 = qs + (r + 3) * dim;
+    for (size_t c = 0; c < nv; ++c) {
+      const float* v = base + c * dim;
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      uint32_t i = 0;
+      for (; i + 8 <= dim; i += 8) {
+        const __m256 bv = _mm256_loadu_ps(v + i);
+        const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(q0 + i), bv);
+        const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(q1 + i), bv);
+        const __m256 d2 = _mm256_sub_ps(_mm256_loadu_ps(q2 + i), bv);
+        const __m256 d3 = _mm256_sub_ps(_mm256_loadu_ps(q3 + i), bv);
+        acc0 = _mm256_add_ps(acc0, _mm256_andnot_ps(sign_mask, d0));
+        acc1 = _mm256_add_ps(acc1, _mm256_andnot_ps(sign_mask, d1));
+        acc2 = _mm256_add_ps(acc2, _mm256_andnot_ps(sign_mask, d2));
+        acc3 = _mm256_add_ps(acc3, _mm256_andnot_ps(sign_mask, d3));
+      }
+      float t0 = 0.0f, t1 = 0.0f, t2 = 0.0f, t3 = 0.0f;
+      for (; i < dim; ++i) {
+        const float x = v[i];
+        t0 += std::fabs(q0[i] - x);
+        t1 += std::fabs(q1[i] - x);
+        t2 += std::fabs(q2[i] - x);
+        t3 += std::fabs(q3[i] - x);
+      }
+      out[(r + 0) * nv + c] = HSum(acc0) + static_cast<double>(t0);
+      out[(r + 1) * nv + c] = HSum(acc1) + static_cast<double>(t1);
+      out[(r + 2) * nv + c] = HSum(acc2) + static_cast<double>(t2);
+      out[(r + 3) * nv + c] = HSum(acc3) + static_cast<double>(t3);
+    }
+  }
+  for (; r < nq; ++r) {
+    Avx2L1Many(qs + r * dim, base, nv, dim, out + r * nv);
+  }
+}
+
 #undef PEXESO_AVX2
 
 constexpr Ops kAvx2Ops = {
     SimdLevel::kAvx2, &Avx2SqL2,    &Avx2SqL2Many,
     &Avx2Dot,         &Avx2DotMany, &Avx2CosCore,
     &Avx2L1,          &Avx2L1Many,  &Avx2Norms,
+    &Avx2SqL2Tile,    &Avx2DotTile, &Avx2L1Tile,
 };
 
 }  // namespace

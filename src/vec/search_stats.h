@@ -1,6 +1,7 @@
 #ifndef PEXESO_VEC_SEARCH_STATS_H_
 #define PEXESO_VEC_SEARCH_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 
 namespace pexeso {
@@ -9,7 +10,11 @@ namespace pexeso {
 /// the paper compares the number of exact distance computations per method;
 /// each searcher fills these in so the benchmark can reproduce that figure.
 struct SearchStats {
-  /// Exact d(.,.) evaluations in the original (embedding) space.
+  /// Exact d(.,.) evaluations in the original (embedding) space. The tiled
+  /// verification pipeline counts every tile slot it evaluates (a tile may
+  /// cover slots the per-pair scan would have skipped after an early match);
+  /// the count is deterministic for a given (query, options) at any thread
+  /// count, but not comparable pair-for-pair with the pre-pipeline scan.
   uint64_t distance_computations = 0;
   /// Of those, evaluations answered in the squared-distance comparison
   /// space (kernel shortcut): the inequality against tau^2 saved the
@@ -31,6 +36,19 @@ struct SearchStats {
   uint64_t lemma7_kills = 0;
   /// Columns confirmed joinable before exhausting their candidates.
   uint64_t early_joinable = 0;
+  /// (query record, column) pairs emitted by stage 1 of the verification
+  /// pipeline (candidate generation).
+  uint64_t candidate_blocks = 0;
+  /// Many-to-many kernel tiles dispatched by stage 2 (tiled verification).
+  /// Tile shapes depend only on the candidate set and the search options,
+  /// never on the shard layout, so the count is identical at any
+  /// intra-query thread count.
+  uint64_t tiles_evaluated = 0;
+  /// Largest number of candidate blocks any one verification shard owned —
+  /// a shard-imbalance diagnostic. Unlike every other counter this merges
+  /// by MAX (a sum would be meaningless across shards/queries) and it
+  /// naturally varies with intra_query_threads.
+  uint64_t shard_max_blocks = 0;
   /// Wall-clock split (seconds) of the two search phases.
   double block_seconds = 0.0;
   double verify_seconds = 0.0;
@@ -48,6 +66,9 @@ struct SearchStats {
     matching_pairs += o.matching_pairs;
     lemma7_kills += o.lemma7_kills;
     early_joinable += o.early_joinable;
+    candidate_blocks += o.candidate_blocks;
+    tiles_evaluated += o.tiles_evaluated;
+    shard_max_blocks = std::max(shard_max_blocks, o.shard_max_blocks);
     block_seconds += o.block_seconds;
     verify_seconds += o.verify_seconds;
     return *this;

@@ -143,6 +143,32 @@ TEST_F(BatchRunnerTest, ZeroThreadsMeansHardwareConcurrency) {
                       .results);
 }
 
+TEST_F(BatchRunnerTest, IntraQueryShardsComposeWithBatchFanout) {
+  // Batch-major fan-out times intra-query verification shards: the runner
+  // provisions one shared intra pool and divides its budget, and the output
+  // must stay byte-identical to the plain serial loop (including the
+  // per-query stats counters).
+  PexesoSearcher searcher(index_.get());
+  BatchQueryRunner serial(&searcher, {.num_threads = 1});
+  const BatchResult expect = serial.Run(queries_, options_);
+
+  SearchOptions intra = options_;
+  intra.intra_query_threads = 2;
+  std::vector<SearchOptions> per_query(queries_.size(), intra);
+  for (size_t outer : {1, 4}) {
+    BatchQueryRunner runner(&searcher, {.num_threads = outer});
+    const BatchResult got = runner.Run(queries_, per_query);
+    ExpectIdentical(got.results, expect.results);
+    EXPECT_EQ(got.stats.distance_computations,
+              expect.stats.distance_computations)
+        << "outer=" << outer;
+    EXPECT_EQ(got.stats.lemma1_filtered, expect.stats.lemma1_filtered)
+        << "outer=" << outer;
+    EXPECT_EQ(got.stats.tiles_evaluated, expect.stats.tiles_evaluated)
+        << "outer=" << outer;
+  }
+}
+
 TEST_F(BatchRunnerTest, EngineExceptionPropagatesToCaller) {
   // An engine that throws mid-batch must surface the exception to Run's
   // caller instead of wedging the pool (the ThreadPool Wait() contract).

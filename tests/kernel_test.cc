@@ -142,6 +142,65 @@ TEST_P(KernelMetricTest, NormedPathMatchesUnnormed) {
   }
 }
 
+TEST_P(KernelMetricTest, DistTileMatchesDist1OverAllRemainderDims) {
+  // The many-to-many tile entry points drive the staged verification
+  // pipeline; every cell of a tile must agree with the one-pair kernel on
+  // EVERY dim from 1 to 100 (the 4-row blocking adds a second remainder
+  // axis — query rows — on top of the SIMD lane remainders).
+  auto metric = MakeMetric(GetParam());
+  const MetricKind kind = metric->kernels()->kind;
+  Rng rng(29);
+  for (SimdLevel lv : AvailableLevels()) {
+    const KernelSet* ks = GetKernels(kind, lv);
+    ASSERT_NE(ks, nullptr) << SimdLevelName(lv);
+    for (uint32_t dim = 1; dim <= 100; ++dim) {
+      const size_t nq = 6;  // not a multiple of the 4-row blocking
+      const size_t nv = 5;
+      std::vector<float> qs, base;
+      for (size_t r = 0; r < nq; ++r) {
+        const auto v = RandomVec(&rng, dim);
+        qs.insert(qs.end(), v.begin(), v.end());
+      }
+      for (size_t c = 0; c < nv; ++c) {
+        const auto v = RandomVec(&rng, dim);
+        base.insert(base.end(), v.begin(), v.end());
+      }
+      std::vector<double> tile(nq * nv);
+      ks->DistTile(qs.data(), nq, base.data(), nv, dim, tile.data());
+      for (size_t r = 0; r < nq; ++r) {
+        for (size_t c = 0; c < nv; ++c) {
+          const double one =
+              ks->Dist1(qs.data() + r * dim, base.data() + c * dim, dim);
+          ExpectDistNear(kind, tile[r * nv + c], one,
+                         std::string(SimdLevelName(lv)) + " dim=" +
+                             std::to_string(dim) + " r=" + std::to_string(r) +
+                             " c=" + std::to_string(c));
+        }
+      }
+
+      // Normed comparison-space tile against the per-pair normed kernel.
+      std::vector<float> bnorms(nv);
+      ks->ops->norms(base.data(), nv, dim, bnorms.data());
+      std::vector<double> qnorms(nq);
+      for (size_t r = 0; r < nq; ++r) {
+        qnorms[r] = ks->QueryNorm(qs.data() + r * dim, dim);
+      }
+      std::vector<double> cmp(nq * nv);
+      ks->CmpTileNormed(qs.data(), qnorms.data(), base.data(), bnorms.data(),
+                        nq, nv, dim, cmp.data());
+      for (size_t r = 0; r < nq; ++r) {
+        for (size_t c = 0; c < nv; ++c) {
+          const double one =
+              ks->Cmp1Normed(qs.data() + r * dim, base.data() + c * dim, dim,
+                             qnorms[r], bnorms[c]);
+          EXPECT_NEAR(cmp[r * nv + c], one, 1e-4 * (1.0 + one))
+              << SimdLevelName(lv) << " dim=" << dim;
+        }
+      }
+    }
+  }
+}
+
 TEST_P(KernelMetricTest, CmpSpaceIsEquivalentToDistanceThreshold) {
   auto metric = MakeMetric(GetParam());
   const MetricKind kind = metric->kernels()->kind;

@@ -1,0 +1,357 @@
+// Determinism and correctness suite for the staged verification pipeline
+// (src/core/verify_pipeline.{h,cc}): the column-sharded tiled search must
+// return byte-identical results to its own serial execution at every
+// intra-query thread count, across every lemma-ablation combination, with
+// exact_joinability on and off, and with record-mapping collection — and
+// the whole thing must agree with a brute-force scalar oracle.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/pexeso_index.h"
+#include "core/searcher.h"
+#include "core/verify_pipeline.h"
+#include "test_util.h"
+#include "vec/metric.h"
+
+namespace pexeso {
+namespace {
+
+using testing::MakeClusteredCatalog;
+using testing::MakeClusteredQuery;
+
+/// Brute-force join with exact counts and first-match mappings, spelled out
+/// with the double-accumulating virtual Metric::Dist oracle.
+std::vector<JoinableColumn> OracleJoin(const ColumnCatalog& catalog,
+                                       const Metric& metric,
+                                       const VectorStore& query,
+                                       const SearchThresholds& t,
+                                       bool with_mappings) {
+  const VectorStore& rstore = catalog.store();
+  const uint32_t dim = rstore.dim();
+  std::vector<JoinableColumn> out;
+  for (ColumnId col = 0; col < catalog.num_columns(); ++col) {
+    const ColumnMeta& meta = catalog.column(col);
+    JoinableColumn jc;
+    jc.column = col;
+    for (uint32_t q = 0; q < query.size(); ++q) {
+      for (VecId v = meta.first; v < meta.end(); ++v) {
+        if (metric.Dist(query.View(q), rstore.View(v), dim) <= t.tau) {
+          ++jc.match_count;
+          if (with_mappings) jc.mapping.push_back(RecordMatch{q, v});
+          break;
+        }
+      }
+    }
+    if (jc.match_count >= std::max<uint32_t>(1, t.t_abs)) {
+      jc.joinability = static_cast<double>(jc.match_count) /
+                       static_cast<double>(query.size());
+      out.push_back(std::move(jc));
+    }
+  }
+  return out;
+}
+
+void ExpectByteIdentical(const std::vector<JoinableColumn>& a,
+                         const std::vector<JoinableColumn>& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].column, b[i].column) << label;
+    EXPECT_EQ(a[i].match_count, b[i].match_count) << label;
+    EXPECT_EQ(a[i].joinability, b[i].joinability) << label;
+    ASSERT_EQ(a[i].mapping.size(), b[i].mapping.size()) << label;
+    for (size_t m = 0; m < a[i].mapping.size(); ++m) {
+      EXPECT_EQ(a[i].mapping[m].query_index, b[i].mapping[m].query_index)
+          << label;
+      EXPECT_EQ(a[i].mapping[m].target_vec, b[i].mapping[m].target_vec)
+          << label;
+    }
+  }
+}
+
+/// Counter fields must be identical at any intra-query thread count. The
+/// *_seconds fields are wall-clock and shard_max_blocks is the (thread-count
+/// dependent) imbalance diagnostic, so both stay out of the comparison.
+void ExpectSameCounters(const SearchStats& a, const SearchStats& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.distance_computations, b.distance_computations) << label;
+  EXPECT_EQ(a.sqrt_free_comparisons, b.sqrt_free_comparisons) << label;
+  EXPECT_EQ(a.lemma1_filtered, b.lemma1_filtered) << label;
+  EXPECT_EQ(a.lemma2_matched, b.lemma2_matched) << label;
+  EXPECT_EQ(a.cells_filtered, b.cells_filtered) << label;
+  EXPECT_EQ(a.cells_matched, b.cells_matched) << label;
+  EXPECT_EQ(a.candidate_pairs, b.candidate_pairs) << label;
+  EXPECT_EQ(a.matching_pairs, b.matching_pairs) << label;
+  EXPECT_EQ(a.lemma7_kills, b.lemma7_kills) << label;
+  EXPECT_EQ(a.early_joinable, b.early_joinable) << label;
+  EXPECT_EQ(a.candidate_blocks, b.candidate_blocks) << label;
+  EXPECT_EQ(a.tiles_evaluated, b.tiles_evaluated) << label;
+}
+
+std::vector<ColumnId> Columns(const std::vector<JoinableColumn>& r) {
+  std::vector<ColumnId> out;
+  for (const auto& jc : r) out.push_back(jc.column);
+  return out;
+}
+
+class PipelineDeterminismTest : public ::testing::TestWithParam<const char*> {
+};
+
+/// The tentpole acceptance matrix: serial pipeline == sharded pipeline at
+/// 1/2/8 intra-query threads, across the lemma-ablation lattice, exact
+/// joinability on/off, and with mapping collection — and the serial run
+/// matches the brute-force oracle.
+TEST_P(PipelineDeterminismTest, ShardedEqualsSerialAcrossAblations) {
+  auto metric = MakeMetric(GetParam());
+  ASSERT_NE(metric, nullptr);
+  const uint32_t dim = 17;  // odd: exercises SIMD remainder lanes end to end
+  ColumnCatalog catalog = MakeClusteredCatalog(77, dim, 28, 14);
+  VectorStore query = MakeClusteredQuery(77, dim, 20);
+  FractionalThresholds ft{0.08, 0.4};
+
+  PexesoOptions popts;
+  popts.num_pivots = 4;
+  popts.levels = 4;
+  ColumnCatalog copy = catalog;
+  PexesoIndex index = PexesoIndex::Build(std::move(copy), metric.get(), popts);
+  PexesoSearcher searcher(&index);
+
+  for (bool use_l1 : {true, false}) {
+    for (bool use_l2 : {true, false}) {
+      for (bool use_l7 : {true, false}) {
+        for (bool exact : {false, true}) {
+          for (bool mappings : {false, true}) {
+            SearchOptions sopts;
+            sopts.thresholds = ft.Resolve(*metric, dim, query.size());
+            sopts.ablation.use_lemma1 = use_l1;
+            sopts.ablation.use_lemma2 = use_l2;
+            sopts.ablation.use_lemma7 = use_l7;
+            sopts.exact_joinability = exact;
+            sopts.collect_mappings = mappings;
+            const std::string label =
+                std::string(GetParam()) + " l1=" + std::to_string(use_l1) +
+                " l2=" + std::to_string(use_l2) +
+                " l7=" + std::to_string(use_l7) +
+                " exact=" + std::to_string(exact) +
+                " map=" + std::to_string(mappings);
+
+            SearchStats serial_stats;
+            const auto serial = searcher.Search(query, sopts, &serial_stats);
+
+            // Oracle agreement: the joinable set is always identical; the
+            // counts are exact whenever the search reports exact counts
+            // (exact mode, or the mapping post-pass upgrade).
+            const auto oracle = OracleJoin(catalog, *metric, query,
+                                           sopts.thresholds, mappings);
+            ASSERT_EQ(Columns(serial), Columns(oracle)) << label;
+            if (exact || mappings) {
+              for (size_t i = 0; i < serial.size(); ++i) {
+                EXPECT_EQ(serial[i].match_count, oracle[i].match_count)
+                    << label;
+              }
+            }
+            if (mappings) {
+              ExpectByteIdentical(serial, oracle, label + " vs oracle");
+            }
+
+            for (size_t threads : {1, 2, 8}) {
+              SearchOptions topts = sopts;
+              topts.intra_query_threads = threads;
+              SearchStats tstats;
+              const auto threaded = searcher.Search(query, topts, &tstats);
+              ExpectByteIdentical(
+                  threaded, serial,
+                  label + " threads=" + std::to_string(threads));
+              ExpectSameCounters(
+                  tstats, serial_stats,
+                  label + " threads=" + std::to_string(threads));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, PipelineDeterminismTest,
+                         ::testing::Values("l2", "cosine", "l1"));
+
+TEST(PipelineTest, SharedIntraPoolMatchesTransientPool) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(78, 12, 30, 16);
+  VectorStore query = MakeClusteredQuery(78, 12, 24);
+  PexesoOptions popts;
+  popts.num_pivots = 3;
+  popts.levels = 4;
+  PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, popts);
+  PexesoSearcher searcher(&index);
+
+  FractionalThresholds ft{0.08, 0.4};
+  SearchOptions sopts;
+  sopts.thresholds = ft.Resolve(metric, 12, query.size());
+  sopts.collect_mappings = true;
+  const auto serial = searcher.Search(query, sopts, nullptr);
+
+  // Transient pool (no intra_query_pool) vs a caller-provided shared pool
+  // driven through a TaskGroup: same results either way.
+  sopts.intra_query_threads = 4;
+  const auto transient = searcher.Search(query, sopts, nullptr);
+  ThreadPool shared(4);
+  sopts.intra_query_pool = &shared;
+  const auto pooled = searcher.Search(query, sopts, nullptr);
+  ExpectByteIdentical(transient, serial, "transient pool");
+  ExpectByteIdentical(pooled, serial, "shared pool");
+}
+
+/// Satellite bugfix regression: the mapping post-pass must route its
+/// distance computations and Lemma-1 filter hits through the same counters
+/// as verification (it used to report nothing).
+TEST(PipelineTest, CollectMappingsRoutesStatsThroughSearchCounters) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(79, 10, 25, 15);
+  VectorStore query = MakeClusteredQuery(79, 10, 20);
+  PexesoOptions popts;
+  popts.num_pivots = 3;
+  popts.levels = 4;
+  PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, popts);
+  PexesoSearcher searcher(&index);
+  FractionalThresholds ft{0.08, 0.3};
+  SearchOptions sopts;
+  sopts.thresholds = ft.Resolve(metric, 10, query.size());
+
+  SearchStats without;
+  const auto r0 = searcher.Search(query, sopts, &without);
+  ASSERT_FALSE(r0.empty());
+  sopts.collect_mappings = true;
+  SearchStats with;
+  const auto r1 = searcher.Search(query, sopts, &with);
+  ASSERT_FALSE(r1.empty());
+  // The mapping sweep re-verifies every (query record, column row) pair of
+  // each joinable column, so both counters must strictly grow.
+  EXPECT_GT(with.distance_computations, without.distance_computations);
+  EXPECT_GT(with.lemma1_filtered, without.lemma1_filtered);
+}
+
+/// Regression for the Lemma-7 batch headroom clamp: an unreachable T
+/// (t_abs > |Q|) kills every column on its first mismatch; the batched
+/// state machine must take pairs one at a time there, not underflow.
+TEST(PipelineTest, UnreachableThresholdIsSafeAtAnyThreadCount) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(80, 8, 15, 10);
+  VectorStore query = MakeClusteredQuery(80, 8, 12);
+  PexesoOptions popts;
+  popts.num_pivots = 3;
+  popts.levels = 3;
+  PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, popts);
+  PexesoSearcher searcher(&index);
+  SearchOptions sopts;
+  sopts.thresholds.tau = 0.08;
+  sopts.thresholds.t_abs = static_cast<uint32_t>(query.size()) + 5;
+  SearchStats s1, s8;
+  const auto serial = searcher.Search(query, sopts, &s1);
+  EXPECT_TRUE(serial.empty());
+  sopts.intra_query_threads = 8;
+  const auto threaded = searcher.Search(query, sopts, &s8);
+  EXPECT_TRUE(threaded.empty());
+  ExpectSameCounters(s8, s1, "unreachable T");
+}
+
+/// Structural invariants of stage 1: CSR grouping by column with each
+/// column's pairs in ascending query order, and weights consistent with the
+/// emitted ranges.
+TEST(PipelineTest, CandidateSetIsColumnGroupedAndQueryOrdered) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(81, 10, 20, 12);
+  VectorStore query = MakeClusteredQuery(81, 10, 16);
+  PexesoOptions popts;
+  popts.num_pivots = 3;
+  popts.levels = 4;
+  PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, popts);
+
+  FractionalThresholds ft{0.08, 0.4};
+  const SearchThresholds th = ft.Resolve(metric, 10, query.size());
+
+  // Re-run blocking exactly as the searcher does, then stage 1 directly.
+  const PivotSpace& ps = index.pivots();
+  const std::vector<double> mapped_q =
+      ps.MapAll(query.raw().data(), query.size());
+  HierarchicalGrid hgq;
+  HierarchicalGrid::Options gopts;
+  gopts.levels = index.grid().levels();
+  gopts.store_leaf_items = true;
+  hgq.Build(mapped_q.data(), query.size(), ps.num_pivots(), ps.AxisExtent(),
+            gopts);
+  GridBlocker blocker(&index.grid());
+  SearchStats stats;
+  const BlockResult blocks =
+      blocker.Run(hgq, mapped_q, th.tau, AblationConfig{}, &stats);
+
+  VerifyPipeline pipeline(&index);
+  CandidateSet cands;
+  pipeline.GenerateCandidates(blocks, static_cast<uint32_t>(query.size()),
+                              &cands, &stats);
+
+  ASSERT_EQ(cands.block_begin.size(), index.catalog().num_columns() + 1);
+  EXPECT_EQ(cands.block_begin.front(), 0u);
+  EXPECT_EQ(cands.block_begin.back(), cands.blocks.size());
+  EXPECT_EQ(stats.candidate_blocks, cands.blocks.size());
+  EXPECT_GT(cands.blocks.size(), 0u);
+
+  uint64_t weight_sum = 0;
+  for (ColumnId c = 0; c + 1 < cands.block_begin.size(); ++c) {
+    EXPECT_LE(cands.block_begin[c], cands.block_begin[c + 1]);
+    uint64_t col_weight = 0;
+    for (size_t b = cands.block_begin[c]; b < cands.block_begin[c + 1]; ++b) {
+      if (b > cands.block_begin[c]) {
+        // Ascending query order within the column — the ordering the
+        // stage-2 state machine relies on.
+        EXPECT_LT(cands.blocks[b - 1].query, cands.blocks[b].query);
+      }
+      const CandidateBlock& blk = cands.blocks[b];
+      if (blk.cell_matched) {
+        EXPECT_EQ(blk.range_count, 0u);
+        col_weight += 1;
+      } else {
+        EXPECT_GT(blk.range_count, 0u);
+        for (uint32_t r = 0; r < blk.range_count; ++r) {
+          const VecIdRange& range = cands.ranges[blk.range_begin + r];
+          EXPECT_GT(range.count, 0u);
+          col_weight += range.count;
+        }
+      }
+    }
+    EXPECT_EQ(cands.weight[c], col_weight);
+    weight_sum += col_weight;
+  }
+  EXPECT_EQ(cands.total_weight, weight_sum);
+}
+
+/// A deleted column's candidate blocks are skipped by every shard layout.
+TEST(PipelineTest, DeletedColumnStaysDeletedUnderSharding) {
+  L2Metric metric;
+  ColumnCatalog catalog = MakeClusteredCatalog(82, 8, 15, 12);
+  VectorStore query = MakeClusteredQuery(82, 8, 15);
+  PexesoOptions popts;
+  popts.num_pivots = 3;
+  popts.levels = 3;
+  PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, popts);
+  PexesoSearcher searcher(&index);
+  FractionalThresholds ft{0.08, 0.3};
+  SearchOptions sopts;
+  sopts.thresholds = ft.Resolve(metric, 8, query.size());
+  auto before = searcher.Search(query, sopts, nullptr);
+  ASSERT_FALSE(before.empty());
+  index.DeleteColumn(before[0].column);
+  sopts.intra_query_threads = 4;
+  auto after = searcher.Search(query, sopts, nullptr);
+  for (const auto& r : after) EXPECT_NE(r.column, before[0].column);
+  EXPECT_EQ(after.size(), before.size() - 1);
+}
+
+}  // namespace
+}  // namespace pexeso

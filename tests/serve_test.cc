@@ -483,6 +483,37 @@ TEST_F(ServeTest, DeterministicAtAnyThreadCountAndBudget) {
   }
 }
 
+TEST_F(ServeTest, IntraQueryShardsStayByteIdenticalInSessions) {
+  // The ROADMAP serving gap this closes: a huge query column used to get at
+  // most one thread per partition. With intra_query_threads the session
+  // shards the verification WITHIN each partition's search — and the
+  // outcome (results and stats counters) must stay byte-identical to the
+  // serial SearchPartitions oracle.
+  PartitionedPexeso oracle = OpenParts();
+  VectorStore query = MakeClusteredQuery(9700, kDim, 48);
+  const SearchOptions sopts = MakeSearchOptions(query.size());
+  SearchStats serial_stats;
+  auto serial = oracle.SearchPartitions(query, sopts, &serial_stats, nullptr);
+  ASSERT_TRUE(serial.ok());
+
+  for (size_t intra : {size_t{2}, size_t{4}}) {
+    PartitionedPexeso parts = OpenParts();
+    IndexCache cache({.budget_bytes = size_t{1} << 30});
+    parts.AttachCache(&cache);
+    ServeSession session(&parts, {.num_threads = 2,
+                                  .intra_query_threads = intra});
+    auto future = session.Submit(&query, sopts);
+    auto outcome = future.get();
+    SCOPED_TRACE("intra=" + std::to_string(intra));
+    ASSERT_TRUE(outcome.status.ok());
+    ExpectIdenticalResults(outcome.results, serial.value());
+    EXPECT_EQ(outcome.stats.distance_computations,
+              serial_stats.distance_computations);
+    EXPECT_EQ(outcome.stats.lemma1_filtered, serial_stats.lemma1_filtered);
+    EXPECT_EQ(outcome.stats.tiles_evaluated, serial_stats.tiles_evaluated);
+  }
+}
+
 TEST_F(ServeTest, SessionOverInMemoryEngineMatchesDirectSearch) {
   // The generic (non-partitioned) path: one task per query, no merge step.
   ColumnCatalog catalog = MakeClusteredCatalog(9100, kDim, 48, 12);

@@ -199,11 +199,23 @@ TEST(SearchStatsTest, AccumulateAndReset) {
   a.distance_computations = 5;
   b.distance_computations = 7;
   b.lemma7_kills = 2;
+  // Pipeline counters: sums for blocks/tiles, MAX for the shard-imbalance
+  // diagnostic (a sum across shards/queries would be meaningless).
+  a.candidate_blocks = 3;
+  b.candidate_blocks = 4;
+  a.tiles_evaluated = 10;
+  b.tiles_evaluated = 1;
+  a.shard_max_blocks = 9;
+  b.shard_max_blocks = 6;
   a += b;
   EXPECT_EQ(a.distance_computations, 12u);
   EXPECT_EQ(a.lemma7_kills, 2u);
+  EXPECT_EQ(a.candidate_blocks, 7u);
+  EXPECT_EQ(a.tiles_evaluated, 11u);
+  EXPECT_EQ(a.shard_max_blocks, 9u);  // max-merge, not sum
   a.Reset();
   EXPECT_EQ(a.distance_computations, 0u);
+  EXPECT_EQ(a.shard_max_blocks, 0u);
 }
 
 }  // namespace

@@ -11,6 +11,11 @@
 # (frame pointers, no march tuning). The kernels must be correct under
 # both, so the kernel/vector suites rerun here; set PEXESO_CI_SANITIZE=0
 # to skip the pass (e.g. on toolchains without libasan).
+#
+# Pass 3: Debug with ThreadSanitizer over the concurrency-heavy suites —
+# the staged verification pipeline (column shards on TaskGroups), the
+# batch runner (batch-major x intra-query composition) and the serving
+# layer. Set PEXESO_CI_TSAN=0 to skip (e.g. toolchains without libtsan).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,6 +41,12 @@ if [[ -x "$BUILD_DIR/bench/bench_serve" ]]; then
   "$BUILD_DIR/bench/bench_serve"
 fi
 
+if [[ -x "$BUILD_DIR/bench/bench_pipeline" ]]; then
+  # Writes BENCH_pipeline.json (tiled-vs-per-pair verification throughput,
+  # candidate-generation regression guard, intra-query thread scaling).
+  "$BUILD_DIR/bench/bench_pipeline"
+fi
+
 if [[ "${PEXESO_CI_SANITIZE:-1}" == "1" ]]; then
   SAN_DIR="${SAN_BUILD_DIR:-build-asan}"
   SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
@@ -48,7 +59,25 @@ if [[ "${PEXESO_CI_SANITIZE:-1}" == "1" ]]; then
   # suites here: cache eviction and concurrent streaming sessions are
   # exactly where object-lifetime and data-race bugs hide.
   cmake --build "$SAN_DIR" -j "$JOBS" \
-    --target kernel_test vec_test serve_test common_test
+    --target kernel_test vec_test serve_test common_test pipeline_test
   ctest --test-dir "$SAN_DIR" --output-on-failure \
-    -R '^(kernel_test|vec_test|serve_test|common_test)$'
+    -R '^(kernel_test|vec_test|serve_test|common_test|pipeline_test)$'
+fi
+
+if [[ "${PEXESO_CI_TSAN:-1}" == "1" ]]; then
+  TSAN_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+  TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+  cmake -B "$TSAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DPEXESO_NATIVE_ARCH=OFF \
+    -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
+  # The suites where a pipeline/runner/session data race would live: shard
+  # fan-out over shared match_map slices, TaskGroup completion tracking,
+  # intra-pool sharing across concurrent searches, streaming sessions. The
+  # explicit --timeout turns a TSan-slowed deadlock into a fast failure.
+  cmake --build "$TSAN_DIR" -j "$JOBS" \
+    --target pipeline_test batch_runner_test serve_test common_test
+  ctest --test-dir "$TSAN_DIR" --output-on-failure --timeout 600 \
+    -R '^(pipeline_test|batch_runner_test|serve_test|common_test)$'
 fi

@@ -7,10 +7,12 @@
 //   pexeso_cli search --index <index-file|partition-dir> --query <csv>
 //                     [--column <name>] [--tau F] [--t F] [--topk K]
 //                     [--mappings] [--stats] [--stream] [--threads N]
+//                     [--intra-threads N]
 //                     [--engine pexeso|pexeso-h|naive] [--cache-mb MB]
 //                     [--model chargram|wordavg] [--dim D]
 //   pexeso_cli batch  --index <index-file|partition-dir> --queries <csv-dir>
-//                     [--threads N] [--tau F] [--t F] [--stats] [--stream]
+//                     [--threads N] [--intra-threads N] [--tau F] [--t F]
+//                     [--stats] [--stream]
 //                     [--engine pexeso|pexeso-h|naive] [--cache-mb MB]
 //                     [--model ...] [--dim D]
 //   pexeso_cli info   --index <index-file|partition-dir>
@@ -110,6 +112,20 @@ size_t ThreadsFlag(const Flags& flags) {
   return static_cast<size_t>(v);
 }
 
+/// --intra-threads: verification shards *within* one query's search (the
+/// staged pipeline's stage-2 fan-out). 0 keeps searches single-threaded —
+/// the right default for batches, which already parallelize across queries;
+/// raise it for one huge query column. Composes with --threads: the batch
+/// runner divides its budget so outer x intra stays within --threads.
+size_t IntraThreadsFlag(const Flags& flags) {
+  const long v = flags.GetInt("intra-threads", 0);
+  if (v < 0) {
+    std::fprintf(stderr, "--intra-threads %ld is negative; using 0\n", v);
+    return 0;
+  }
+  return static_cast<size_t>(v);
+}
+
 /// MakeMetric with a CLI-grade error path: unknown names (the factory is
 /// case-insensitive, so "--metric L2" works) report what was passed and
 /// what is accepted instead of silently yielding nullptr downstream.
@@ -144,6 +160,12 @@ void PrintStats(const SearchStats& stats) {
               static_cast<unsigned long long>(stats.lemma7_kills));
   std::printf("  early joinable:          %llu\n",
               static_cast<unsigned long long>(stats.early_joinable));
+  std::printf("  candidate blocks:        %llu\n",
+              static_cast<unsigned long long>(stats.candidate_blocks));
+  std::printf("  verify tiles:            %llu\n",
+              static_cast<unsigned long long>(stats.tiles_evaluated));
+  std::printf("  max shard blocks:        %llu\n",
+              static_cast<unsigned long long>(stats.shard_max_blocks));
   std::printf("  block/verify seconds:    %.4f / %.4f\n", stats.block_seconds,
               stats.verify_seconds);
 }
@@ -202,16 +224,18 @@ int Usage() {
                "--metric l2|cosine|l1]\n"
                "  search --index FILE|PARTDIR --query CSV [--column NAME "
                "--tau F --t F --topk K --mappings --stats --stream "
-               "--threads N --cache-mb MB "
+               "--threads N --intra-threads N --cache-mb MB "
                "--engine pexeso|pexeso-h|naive --model ... --dim D]\n"
                "  batch  --index FILE|PARTDIR --queries DIR [--threads N "
-               "--tau F --t F --stats --stream --cache-mb MB "
-               "--engine ... --model ... --dim D]\n"
+               "--intra-threads N --tau F --t F --stats --stream "
+               "--cache-mb MB --engine ... --model ... --dim D]\n"
                "  info   --index FILE|PARTDIR\n"
                "PARTDIR is a PartitionedPexeso directory (part-<i>.pxso): "
                "online commands then serve out-of-core through a --cache-mb "
                "budgeted index cache; --stream emits per-partition chunks "
-               "as they complete.\n");
+               "as they complete. --intra-threads shards the verification "
+               "of EACH query column (use for huge query columns); "
+               "--threads fans out across queries/partitions.\n");
   return 2;
 }
 
@@ -461,8 +485,10 @@ int CmdIndex(const Flags& flags) {
 /// partitions complete, then the deterministic merged result.
 int StreamSearch(const OnlineContext& ctx, const VectorStore& query,
                  const SearchOptions& sopts, size_t threads,
-                 bool want_stats) {
-  serve::ServeSession session(ctx.engine.get(), {.num_threads = threads});
+                 size_t intra_threads, bool want_stats) {
+  serve::ServeSession session(
+      ctx.engine.get(),
+      {.num_threads = threads, .intra_query_threads = intra_threads});
   std::mutex print_mu;
   session.SubmitStreaming(&query, sopts, [&](const serve::StreamChunk& c) {
     std::lock_guard<std::mutex> lock(print_mu);
@@ -514,6 +540,7 @@ int CmdSearch(const Flags& flags) {
   sopts.thresholds =
       ctx.thresholds.Resolve(*ctx.metric, ctx.model->dim(), query.size());
   sopts.collect_mappings = flags.Has("mappings");
+  sopts.intra_query_threads = IntraThreadsFlag(flags);
   const bool want_stats = flags.Has("stats");
 
   if (flags.Has("stream")) {
@@ -529,9 +556,8 @@ int CmdSearch(const Flags& flags) {
                    "the complete result set)\n");
       return 2;
     }
-    return StreamSearch(ctx, query, sopts,
-                        ThreadsFlag(flags),
-                        want_stats);
+    return StreamSearch(ctx, query, sopts, ThreadsFlag(flags),
+                        IntraThreadsFlag(flags), want_stats);
   }
 
   std::vector<JoinableColumn> results;
@@ -565,8 +591,10 @@ int StreamBatch(const OnlineContext& ctx,
                 const std::vector<std::string>& names,
                 const std::vector<VectorStore>& queries,
                 const std::vector<SearchOptions>& sopts, size_t threads,
-                bool want_stats) {
-  serve::ServeSession session(ctx.engine.get(), {.num_threads = threads});
+                size_t intra_threads, bool want_stats) {
+  serve::ServeSession session(
+      ctx.engine.get(),
+      {.num_threads = threads, .intra_query_threads = intra_threads});
   std::mutex print_mu;
   Stopwatch watch;
   for (size_t i = 0; i < queries.size(); ++i) {
@@ -654,6 +682,7 @@ int CmdBatch(const Flags& flags) {
     sopts[i].thresholds =
         ctx.thresholds.Resolve(*ctx.metric, ctx.model->dim(),
                                queries[i].size());
+    sopts[i].intra_query_threads = IntraThreadsFlag(flags);
   }
 
   if (flags.Has("stream")) {
@@ -663,9 +692,8 @@ int CmdBatch(const Flags& flags) {
                    "results are per-partition chunks)\n");
       return 2;
     }
-    return StreamBatch(ctx, names, queries, sopts,
-                       ThreadsFlag(flags),
-                       flags.Has("stats"));
+    return StreamBatch(ctx, names, queries, sopts, ThreadsFlag(flags),
+                       IntraThreadsFlag(flags), flags.Has("stats"));
   }
 
   BatchRunnerOptions bopts;
