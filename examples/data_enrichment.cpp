@@ -82,14 +82,17 @@ int main() {
       query.Add(v);
     }
     FractionalThresholds ft{0.35, 0.2};
-    SearchOptions sopts;
-    sopts.thresholds = ft.Resolve(metric, model.dim(), query.size());
-    sopts.collect_mappings = true;
+    JoinQuery jq;
+    jq.vectors = &query;
+    jq.thresholds = ft.Resolve(metric, model.dim(), query.size());
+    jq.collect_mappings = true;
     // Driven through the unified engine interface: swapping in another
     // JoinSearchEngine implementation changes nothing below this line.
     PexesoSearcher searcher(&index);
     const JoinSearchEngine& engine = searcher;
-    auto results = engine.Search(query, sopts, nullptr);
+    CollectSink sink;
+    engine.Execute(jq, &sink, nullptr);
+    const auto& results = sink.columns();
 
     JoinMap jm(task.tables.size());
     for (auto& v : jm) v.assign(task.query_keys.size(), -1);

@@ -74,12 +74,21 @@ int main() {
     queries.push_back(GenerateVectorQuery(lake_opts, 40, 777 + i * 13));
   }
   FractionalThresholds ft{0.06, 0.5};
-  SearchOptions sopts;
-  sopts.thresholds = ft.Resolve(metric, lake_opts.dim, queries[0].size());
+  const SearchThresholds thresholds =
+      ft.Resolve(metric, lake_opts.dim, queries[0].size());
+  const auto make_request = [&](size_t i) {
+    JoinQuery jq;
+    jq.vectors = &queries[i];
+    jq.thresholds = thresholds;
+    // A per-query wall budget: a query past it returns the partitions that
+    // completed as partial results instead of occupying the pool.
+    jq.deadline = Deadline::After(30.0);
+    return jq;
+  };
 
   serve::ServeSession session(&parts, {.num_threads = 4});
   std::mutex print_mu;
-  session.SubmitStreaming(&queries[0], sopts,
+  session.SubmitStreaming(make_request(0),
                           [&](const serve::StreamChunk& chunk) {
                             std::lock_guard<std::mutex> lock(print_mu);
                             std::printf(
@@ -90,7 +99,7 @@ int main() {
                                 chunk.last ? " (done)" : "");
                           });
   for (size_t i = 1; i < kQueries; ++i) {
-    session.Submit(&queries[i], sopts);
+    session.Submit(make_request(i));
   }
   auto outcomes = session.Drain();
 

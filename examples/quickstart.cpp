@@ -75,19 +75,25 @@ int main() {
   VectorStore query = repo.EmbedQueryColumn(
       {"Mario Party", "Zelda Ocarina", "Metroid Prime", "Gran Turismo"});
 
-  // 5. Search: tau = 35% of the max distance, T = 60% of the query size.
-  // Every search method implements JoinSearchEngine, so the driver code
-  // below works unchanged with PexesoHSearcher, NaiveSearcher, etc.
+  // 5. Search: one JoinQuery request against the JoinSearchEngine
+  // interface. tau = 35% of the max distance, T = 60% of the query size.
+  // Every search method implements Execute, so the driver code below works
+  // unchanged with PexesoHSearcher, NaiveSearcher, etc. CollectSink gathers
+  // the streamed columns into a vector (any ResultSink can consume them
+  // incrementally instead).
   FractionalThresholds ft{0.35, 0.6};
-  SearchOptions sopts;
-  sopts.thresholds = ft.Resolve(metric, model.dim(), query.size());
-  sopts.collect_mappings = true;
+  JoinQuery jq;
+  jq.vectors = &query;
+  jq.thresholds = ft.Resolve(metric, model.dim(), query.size());
+  jq.collect_mappings = true;
   PexesoSearcher searcher(&index);
   const JoinSearchEngine& engine = searcher;
-  auto results = engine.Search(query, sopts, nullptr);
+  CollectSink sink;
+  engine.Execute(jq, &sink, nullptr);
+  const auto& results = sink.columns();
 
   std::printf("\njoinable columns (tau=%.2f, T=%u of %zu):\n",
-              sopts.thresholds.tau, sopts.thresholds.t_abs, query.size());
+              jq.thresholds.tau, jq.thresholds.t_abs, query.size());
   for (const auto& r : results) {
     const ColumnMeta& meta = index.catalog().column(r.column);
     std::printf("  column '%s' (table #%u): joinability %.2f, %u matching "
@@ -100,28 +106,49 @@ int main() {
     }
   }
 
-  // 6. Batch mode: data-lake discovery is usually many query columns against
-  // one index. BatchQueryRunner fans them out across a thread pool and
-  // returns the results in input order.
+  // 6. Top-k: the ranking consumption mode. QueryMode::kTopK pushes the
+  // running k-th-best bound into the verifier, so columns that cannot make
+  // the top-k are abandoned mid-verification instead of exact-verified
+  // (watch stats.columns_pruned_topk on a big repository). A deadline
+  // and/or CancelToken bounds the query: on expiry Execute returns
+  // DeadlineExceeded with whatever completed as partial results.
+  JoinQuery ranked = jq;
+  ranked.mode = QueryMode::kTopK;
+  ranked.k = 2;
+  ranked.collect_mappings = false;
+  ranked.deadline = Deadline::AfterMillis(500);
+  SearchStats topk_stats;
+  CollectSink ranked_sink;
+  Status st = engine.Execute(ranked, &ranked_sink, &topk_stats);
+  std::printf("\ntop-%zu columns by joinability (%s):\n", ranked.k,
+              st.ToString().c_str());
+  for (const auto& r : ranked_sink.columns()) {
+    std::printf("  column %u: joinability %.2f\n", r.column, r.joinability);
+  }
+
+  // 7. Batch mode: data-lake discovery is usually many query columns against
+  // one index. BatchQueryRunner fans JoinQuery requests out across a thread
+  // pool and returns the results (and per-query statuses) in input order.
   std::vector<VectorStore> batch_queries;
   batch_queries.push_back(query);
   batch_queries.push_back(
       repo.EmbedQueryColumn({"Halo", "Forza Horizon", "Wii Sports"}));
   batch_queries.push_back(repo.EmbedQueryColumn({"Tokyo", "Delhi", "Osaka"}));
-  // Fractional T resolves per query size, so each query gets its own
-  // options (the per-query Run overload exists exactly for this).
-  std::vector<SearchOptions> batch_opts(batch_queries.size());
+  // Fractional T resolves per query size, so each request carries its own
+  // thresholds.
+  std::vector<JoinQuery> batch_requests(batch_queries.size());
   for (size_t i = 0; i < batch_queries.size(); ++i) {
-    batch_opts[i].thresholds =
+    batch_requests[i].vectors = &batch_queries[i];
+    batch_requests[i].thresholds =
         ft.Resolve(metric, model.dim(), batch_queries[i].size());
   }
   BatchQueryRunner runner(&engine, {.num_threads = 2});
-  BatchResult batch = runner.Run(batch_queries, batch_opts);
+  BatchResult batch = runner.Run(batch_requests);
   std::printf("\nbatch of %zu query columns in %.4fs:\n", batch_queries.size(),
               batch.wall_seconds);
   for (size_t i = 0; i < batch.results.size(); ++i) {
-    std::printf("  query %zu: %zu joinable column(s)\n", i,
-                batch.results[i].size());
+    std::printf("  query %zu: %zu joinable column(s) (%s)\n", i,
+                batch.results[i].size(), batch.statuses[i].ToString().c_str());
   }
   return 0;
 }

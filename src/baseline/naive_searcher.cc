@@ -1,7 +1,10 @@
 #include "baseline/naive_searcher.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "baseline/scan_mapping.h"
+#include "common/check.h"
 #include "vec/kernels.h"
 
 namespace pexeso {
@@ -14,13 +17,17 @@ std::vector<JoinableColumn> NaiveSearcher::Search(
   return Search(query, options, stats);
 }
 
-std::vector<JoinableColumn> NaiveSearcher::Search(const VectorStore& query,
-                                                  const SearchOptions& options,
-                                                  SearchStats* stats) const {
+Status NaiveSearcher::Execute(const JoinQuery& jq, ResultSink* sink,
+                              SearchStats* stats) const {
+  PEXESO_CHECK(jq.vectors != nullptr);
+  PEXESO_CHECK(sink != nullptr);
   SearchStats local;
   if (stats == nullptr) stats = &local;
-  const double tau = options.thresholds.tau;
-  const uint32_t t_abs = std::max<uint32_t>(1, options.thresholds.t_abs);
+  const VectorStore& query = *jq.vectors;
+  const double tau = jq.thresholds.tau;
+  const uint32_t t_abs = jq.EffectiveT();
+  const bool exact = jq.exact_counts();
+  const bool topk_mode = jq.mode == QueryMode::kTopK;
   const uint32_t num_q = static_cast<uint32_t>(query.size());
   const VectorStore& rstore = catalog_->store();
   const uint32_t dim = rstore.dim();
@@ -30,14 +37,48 @@ std::vector<JoinableColumn> NaiveSearcher::Search(const VectorStore& query,
   const float* rnorms = pred.wants_norms() ? rstore.EnsureNorms() : nullptr;
   const float* qnorms = pred.wants_norms() ? query.EnsureNorms() : nullptr;
 
-  std::vector<JoinableColumn> out;
-  if (num_q == 0) return out;
+  const auto finish = [&](const Status& st) {
+    sink->OnDone(st);
+    return st;
+  };
+  if (num_q == 0 || (topk_mode && jq.k == 0)) return finish(Status::OK());
+
+  const auto map_column = [&](JoinableColumn* jc) {
+    ScanMapColumn(*catalog_, pred, query, qnorms, rnorms, jc, stats);
+  };
+
+  TopKBound bound(jq.k, jq.topk_floor);
+  std::vector<JoinableColumn> topk_candidates;
   for (ColumnId col = 0; col < catalog_->num_columns(); ++col) {
+    // Deadline/cancellation checkpoint: per column, so an expired query
+    // stops before the next column scan. Columns already delivered (or
+    // collected, kTopK) stay valid partial results.
+    Status live = jq.CheckLive();
+    if (!live.ok()) {
+      ++stats->deadline_expired;
+      if (topk_mode) {
+        // Partial top-k: rank what completed before the trip.
+        RankTopK(&topk_candidates, jq.k);
+        for (auto& jc : topk_candidates) sink->OnColumn(std::move(jc));
+      }
+      return finish(live);
+    }
     const ColumnMeta& meta = catalog_->column(col);
     uint32_t matches = 0;
     uint32_t mismatches = 0;
     bool joinable = false;
+    bool abandoned = false;
     for (uint32_t q = 0; q < num_q; ++q) {
+      if (topk_mode) {
+        // kTopK pushdown: even if every remaining record matched, a column
+        // that cannot strictly beat the running k-th-best bound is out.
+        const uint32_t b = bound.bound();
+        if (static_cast<uint64_t>(matches) + (num_q - q) < b) {
+          abandoned = true;
+          ++stats->columns_pruned_topk;
+          break;
+        }
+      }
       const float* qv = query.View(q);
       const double qn = qnorms != nullptr ? qnorms[q] : 1.0;
       bool matched = false;
@@ -55,8 +96,8 @@ std::vector<JoinableColumn> NaiveSearcher::Search(const VectorStore& query,
           joinable = true;
           ++stats->early_joinable;
           // Joinable-skip: stop as soon as the column is confirmed, unless
-          // the caller wants the exact joinability reported.
-          if (!options.exact_joinability) break;
+          // the mode needs the exact joinability reported.
+          if (!exact) break;
         }
       } else {
         ++mismatches;
@@ -66,38 +107,30 @@ std::vector<JoinableColumn> NaiveSearcher::Search(const VectorStore& query,
         }
       }
     }
-    if (joinable) {
-      JoinableColumn jc;
-      jc.column = col;
-      jc.match_count = matches;
-      jc.joinability =
-          static_cast<double>(matches) / static_cast<double>(num_q);
-      if (options.collect_mappings) {
-        // Post-pass, mirroring VerifyPipeline::CollectMappings: one target
-        // vector (the first in store order) per matching query record, and
-        // the counters upgraded to the exact joinability the full scan
-        // resolves as a side effect.
-        for (uint32_t q = 0; q < num_q; ++q) {
-          const float* qv = query.View(q);
-          const double qn = qnorms != nullptr ? qnorms[q] : 1.0;
-          for (VecId v = meta.first; v < meta.end(); ++v) {
-            ++stats->distance_computations;
-            stats->sqrt_free_comparisons += pred.sqrt_saved();
-            const double rn = rnorms != nullptr ? rnorms[v] : 1.0;
-            if (pred.MatchNormed(qv, rstore.View(v), dim, qn, rn)) {
-              jc.mapping.push_back({q, v});
-              break;
-            }
-          }
-        }
-        jc.match_count = static_cast<uint32_t>(jc.mapping.size());
-        jc.joinability =
-            static_cast<double>(jc.match_count) / static_cast<double>(num_q);
-      }
-      out.push_back(jc);
+    if (abandoned || !joinable) continue;
+    JoinableColumn jc;
+    jc.column = col;
+    jc.match_count = matches;
+    jc.joinability =
+        static_cast<double>(matches) / static_cast<double>(num_q);
+    if (topk_mode) {
+      bound.Offer(matches);
+      topk_candidates.push_back(std::move(jc));
+    } else {
+      if (jq.collect_mappings) map_column(&jc);
+      sink->OnColumn(std::move(jc));
     }
   }
-  return out;
+  if (topk_mode) {
+    RankTopK(&topk_candidates, jq.k);
+    if (jq.collect_mappings) {
+      // Mapping post-pass over the final k columns only — the pushdown's
+      // second saving vs the verify-everything wrapper.
+      for (auto& jc : topk_candidates) map_column(&jc);
+    }
+    for (auto& jc : topk_candidates) sink->OnColumn(std::move(jc));
+  }
+  return finish(Status::OK());
 }
 
 }  // namespace pexeso

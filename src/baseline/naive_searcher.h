@@ -26,17 +26,22 @@ class NaiveSearcher : public JoinSearchEngine {
 
   const char* name() const override { return "naive"; }
 
+  /// The deprecated base-class Search shim stays visible next to the
+  /// thresholds-only convenience overload below.
+  using JoinSearchEngine::Search;
+
   std::vector<JoinableColumn> Search(const VectorStore& query,
                                      const SearchThresholds& thresholds,
                                      SearchStats* stats) const;
 
   /// Engine-interface entry point. The ablation switches are moot (there is
-  /// no index to ablate) but `exact_joinability` and `collect_mappings` are
-  /// honored, so the naive scan stays the oracle for every option the
-  /// indexed engines support.
-  std::vector<JoinableColumn> Search(const VectorStore& query,
-                                     const SearchOptions& options,
-                                     SearchStats* stats) const override;
+  /// no index to ablate) but every query mode, mapping collection and the
+  /// deadline/cancel controls are honored, so the naive scan stays the
+  /// oracle for every request shape the indexed engines support. kTopK
+  /// abandons a column as soon as its achieved matches plus remaining query
+  /// records cannot strictly beat the running k-th-best bound.
+  Status Execute(const JoinQuery& query, ResultSink* sink,
+                 SearchStats* stats) const override;
 
  private:
   const ColumnCatalog* catalog_;

@@ -15,15 +15,19 @@ namespace pexeso {
 /// vector to every vector in the cell. No inverted index, no DaaT order, no
 /// Lemma 1/2 per-vector filters, no Lemma 7. The joinable-skip early
 /// termination is kept (every competitor in the paper has it).
+///
+/// Verification here is query-record-major, so the kTopK pushdown works
+/// per record: before each record the running k-th-best bound (recomputed
+/// from the live match counts) marks every column that can no longer
+/// strictly beat it dead, and dead columns skip all further distance work.
 class PexesoHSearcher : public JoinSearchEngine {
  public:
   explicit PexesoHSearcher(const PexesoIndex* index) : index_(index) {}
 
   const char* name() const override { return "pexeso-h"; }
 
-  std::vector<JoinableColumn> Search(const VectorStore& query,
-                                     const SearchOptions& options,
-                                     SearchStats* stats) const override;
+  Status Execute(const JoinQuery& query, ResultSink* sink,
+                 SearchStats* stats) const override;
 
  private:
   const PexesoIndex* index_;

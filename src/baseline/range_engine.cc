@@ -1,6 +1,9 @@
 #include "baseline/range_engine.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/check.h"
 
 namespace pexeso {
 
@@ -15,27 +18,78 @@ JoinableRangeSearcher::JoinableRangeSearcher(const ColumnCatalog* catalog,
   }
 }
 
-std::vector<JoinableColumn> JoinableRangeSearcher::SearchImpl(
+std::vector<JoinableColumn> JoinableRangeSearcher::Search(
     const VectorStore& query, const SearchThresholds& thresholds,
-    bool exact_joinability, SearchStats* stats) const {
+    SearchStats* stats) const {
+  SearchOptions options;
+  options.thresholds = thresholds;
+  return Search(query, options, stats);
+}
+
+Status JoinableRangeSearcher::Execute(const JoinQuery& jq, ResultSink* sink,
+                                      SearchStats* stats) const {
+  PEXESO_CHECK(jq.vectors != nullptr);
+  PEXESO_CHECK(sink != nullptr);
   SearchStats local;
   if (stats == nullptr) stats = &local;
-  const uint32_t t_abs = std::max<uint32_t>(1, thresholds.t_abs);
+  const VectorStore& query = *jq.vectors;
+  const uint32_t t_abs = jq.EffectiveT();
+  const bool topk_mode = jq.mode == QueryMode::kTopK;
+  const bool exact = jq.exact_counts();
   const uint32_t num_q = static_cast<uint32_t>(query.size());
   const size_t num_cols = catalog_->num_columns();
 
+  const auto finish = [&](const Status& st) {
+    sink->OnDone(st);
+    return st;
+  };
+  if (num_q == 0 || (topk_mode && jq.k == 0)) return finish(Status::OK());
+
   std::vector<uint32_t> match_map(num_cols, 0);
   std::vector<uint8_t> joinable(num_cols, 0);
+  std::vector<uint8_t> dead(num_cols, 0);
+  std::vector<uint32_t> bound_scratch;
+  uint32_t bound = jq.topk_floor;
   std::vector<uint32_t> stamp(num_cols, 0);
   std::vector<VecId> results;
 
   for (uint32_t q = 0; q < num_q; ++q) {
+    // Deadline/cancellation checkpoint before each range query (the unit
+    // of work here). Record-major counts are incomplete mid-scan, so a
+    // trip returns the status with no result columns.
+    Status live = jq.CheckLive();
+    if (!live.ok()) {
+      ++stats->deadline_expired;
+      return finish(live);
+    }
+    if (topk_mode && num_cols >= jq.k && (q & 7u) == 0) {
+      // Same record-major pushdown as PEXESO-H, at the same checkpoint
+      // granularity (every 8 records — a stale bound only prunes less,
+      // never wrongly): mark columns that cannot strictly beat the running
+      // k-th-best count dead. The range query below still runs (it serves
+      // every column at once), but dead columns stop being credited or
+      // tracked.
+      bound_scratch.assign(match_map.begin(), match_map.end());
+      std::nth_element(bound_scratch.begin(),
+                       bound_scratch.begin() + (jq.k - 1),
+                       bound_scratch.end(), std::greater<uint32_t>());
+      bound = std::max({bound, jq.topk_floor, bound_scratch[jq.k - 1]});
+      if (bound > 0) {
+        for (ColumnId col = 0; col < num_cols; ++col) {
+          if (dead[col]) continue;
+          if (static_cast<uint64_t>(match_map[col]) + (num_q - q) < bound) {
+            dead[col] = 1;
+            ++stats->columns_pruned_topk;
+          }
+        }
+      }
+    }
     results.clear();
-    engine_->RangeQuery(query.View(q), thresholds.tau, &results, stats);
+    engine_->RangeQuery(query.View(q), jq.thresholds.tau, &results, stats);
     const uint32_t mark = q + 1;
     for (VecId v : results) {
       const ColumnId col = vec2col_[v];
-      if (stamp[col] == mark || (joinable[col] && !exact_joinability)) {
+      if (stamp[col] == mark || (joinable[col] && !exact) || dead[col]) {
         continue;
       }
       stamp[col] = mark;
@@ -48,16 +102,19 @@ std::vector<JoinableColumn> JoinableRangeSearcher::SearchImpl(
 
   std::vector<JoinableColumn> out;
   for (ColumnId col = 0; col < num_cols; ++col) {
+    if (topk_mode && dead[col]) continue;
     if (match_map[col] >= t_abs) {
       JoinableColumn jc;
       jc.column = col;
       jc.match_count = match_map[col];
       jc.joinability =
           static_cast<double>(jc.match_count) / static_cast<double>(num_q);
-      out.push_back(jc);
+      out.push_back(std::move(jc));
     }
   }
-  return out;
+  if (topk_mode) RankTopK(&out, jq.k);
+  for (auto& jc : out) sink->OnColumn(std::move(jc));
+  return finish(Status::OK());
 }
 
 }  // namespace pexeso

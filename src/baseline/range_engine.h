@@ -40,28 +40,24 @@ class JoinableRangeSearcher : public JoinSearchEngine {
 
   const char* name() const override { return name_; }
 
+  /// The deprecated base-class Search shim stays visible next to the
+  /// thresholds-only convenience overload below.
+  using JoinSearchEngine::Search;
+
   std::vector<JoinableColumn> Search(const VectorStore& query,
                                      const SearchThresholds& thresholds,
-                                     SearchStats* stats) const {
-    return SearchImpl(query, thresholds, /*exact_joinability=*/false, stats);
-  }
+                                     SearchStats* stats) const;
 
-  /// Engine-interface entry point. `exact_joinability` is honored (the
-  /// joinable-skip is disabled so the reported counts are exact);
-  /// mappings/ablation are PEXESO-index concepts and ignored here.
-  std::vector<JoinableColumn> Search(const VectorStore& query,
-                                     const SearchOptions& options,
-                                     SearchStats* stats) const override {
-    return SearchImpl(query, options.thresholds, options.exact_joinability,
-                      stats);
-  }
+  /// Engine-interface entry point. Every query mode and the deadline/cancel
+  /// controls are honored; mappings/ablation are PEXESO-index concepts and
+  /// ignored here. The range queries themselves are per query record and
+  /// shared by every column, so kTopK cannot skip distance work the way the
+  /// column-major engines do — it ranks the exact counts and truncates
+  /// (columns the running bound rules out just stop being credited).
+  Status Execute(const JoinQuery& query, ResultSink* sink,
+                 SearchStats* stats) const override;
 
  private:
-  std::vector<JoinableColumn> SearchImpl(const VectorStore& query,
-                                         const SearchThresholds& thresholds,
-                                         bool exact_joinability,
-                                         SearchStats* stats) const;
-
   const ColumnCatalog* catalog_;
   const RangeQueryEngine* engine_;
   const char* name_;

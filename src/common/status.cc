@@ -13,6 +13,8 @@ const char* CodeName(Status::Code code) {
     case Status::Code::kNotSupported: return "NotSupported";
     case Status::Code::kOutOfRange: return "OutOfRange";
     case Status::Code::kInternal: return "Internal";
+    case Status::Code::kCancelled: return "Cancelled";
+    case Status::Code::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -22,6 +22,8 @@ class Status {
     kNotSupported,
     kOutOfRange,
     kInternal,
+    kCancelled,
+    kDeadlineExceeded,
   };
 
   /// Constructs an OK status.
@@ -49,8 +51,20 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
+  /// True for the cooperative-interruption codes (cancellation / deadline):
+  /// the operation stopped early by request, and any results delivered
+  /// before the stop are valid partial results — unlike a real failure.
+  bool interrupted() const {
+    return code_ == Code::kCancelled || code_ == Code::kDeadlineExceeded;
+  }
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
 

@@ -1,6 +1,7 @@
 #include "core/batch_runner.h"
 
 #include <algorithm>
+#include <memory>
 #include <thread>
 #include <utility>
 
@@ -22,27 +23,38 @@ BatchQueryRunner::BatchQueryRunner(const JoinSearchEngine* engine,
 
 BatchResult BatchQueryRunner::Run(const std::vector<VectorStore>& queries,
                                   const SearchOptions& options) const {
-  const auto same = [&options](size_t) -> const SearchOptions& {
-    return options;
-  };
-  return RunImpl(queries, same);
+  std::vector<JoinQuery> jqs(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    jqs[i] = JoinQuery::FromLegacy(&queries[i], options);
+  }
+  BatchResult out = Run(jqs);
+  // Legacy queries carry no deadline/cancel controls, so any non-OK status
+  // is an environment fault — the old contract aborted on those.
+  for (const Status& st : out.statuses) {
+    PEXESO_CHECK_MSG(st.ok(), st.ToString().c_str());
+  }
+  return out;
 }
 
 BatchResult BatchQueryRunner::Run(
     const std::vector<VectorStore>& queries,
     const std::vector<SearchOptions>& options) const {
   PEXESO_CHECK(options.size() == queries.size());
-  const auto per_query = [&options](size_t i) -> const SearchOptions& {
-    return options[i];
-  };
-  return RunImpl(queries, per_query);
+  std::vector<JoinQuery> jqs(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    jqs[i] = JoinQuery::FromLegacy(&queries[i], options[i]);
+  }
+  BatchResult out = Run(jqs);
+  for (const Status& st : out.statuses) {
+    PEXESO_CHECK_MSG(st.ok(), st.ToString().c_str());
+  }
+  return out;
 }
 
-template <typename OptionsFor>
-BatchResult BatchQueryRunner::RunImpl(const std::vector<VectorStore>& queries,
-                                      const OptionsFor& options_for) const {
+BatchResult BatchQueryRunner::Run(const std::vector<JoinQuery>& queries) const {
   BatchResult out;
   out.results.resize(queries.size());
+  out.statuses.resize(queries.size());
   Stopwatch watch;
   // One stats scratch slot per query: workers never share a slot, and the
   // serial input-order merge below keeps the floating-point sums identical
@@ -50,40 +62,36 @@ BatchResult BatchQueryRunner::RunImpl(const std::vector<VectorStore>& queries,
   std::vector<SearchStats> scratch(queries.size());
 
   // Intra-query composition: queries may ask for intra-query verification
-  // shards (SearchOptions::intra_query_threads) without carrying a pool. The
+  // shards (JoinQuery::intra_query_threads) without carrying a pool. The
   // runner then provisions ONE intra pool shared by every query (the
   // pipeline tracks its shards with a per-search TaskGroup) and shrinks its
   // own fan-out so batch-major workers times intra-query shards stays within
   // the requested thread budget instead of multiplying it.
   size_t max_intra = 0;
-  for (size_t i = 0; i < queries.size(); ++i) {
-    const SearchOptions& o = options_for(i);
-    if (o.intra_query_pool == nullptr) {
-      max_intra = std::max(max_intra, o.intra_query_threads);
+  for (const JoinQuery& jq : queries) {
+    if (jq.intra_query_pool == nullptr) {
+      max_intra = std::max(max_intra, jq.intra_query_threads);
     }
   }
   std::unique_ptr<ThreadPool> intra_pool;
-  std::vector<SearchOptions> rewritten;
+  std::vector<JoinQuery> rewritten;
   size_t outer_threads = num_threads_;
+  const std::vector<JoinQuery>* effective = &queries;
   if (max_intra > 1) {
     // The pool honors the runner's total budget (shard COUNTS stay at the
-    // requested intra_query_threads — a pure function of the options — so
+    // requested intra_query_threads — a pure function of the request — so
     // results and stats are unchanged; extra shards just queue).
     intra_pool = std::make_unique<ThreadPool>(
         std::min({max_intra, std::max<size_t>(1, num_threads_), size_t{256}}));
     outer_threads = std::max<size_t>(1, num_threads_ / max_intra);
-    rewritten.resize(queries.size());
-    for (size_t i = 0; i < queries.size(); ++i) {
-      rewritten[i] = options_for(i);
-      if (rewritten[i].intra_query_threads > 1 &&
-          rewritten[i].intra_query_pool == nullptr) {
-        rewritten[i].intra_query_pool = intra_pool.get();
+    rewritten = queries;
+    for (JoinQuery& jq : rewritten) {
+      if (jq.intra_query_threads > 1 && jq.intra_query_pool == nullptr) {
+        jq.intra_query_pool = intra_pool.get();
       }
     }
+    effective = &rewritten;
   }
-  const auto eff_options = [&](size_t i) -> const SearchOptions& {
-    return rewritten.empty() ? options_for(i) : rewritten[i];
-  };
 
   const auto* parts = dynamic_cast<const PartitionedJoinEngine*>(engine_);
   const bool partition_major =
@@ -93,32 +101,40 @@ BatchResult BatchQueryRunner::RunImpl(const std::vector<VectorStore>& queries,
         parts->NumParts() > 1 && queries.size() > 1 &&
         !parts->PartsStayResident()));
 
-  if (partition_major) {
-    RunPartitionMajor(*parts, queries, eff_options, outer_threads, &scratch,
-                      &out);
-  } else if (outer_threads <= 1 || queries.size() <= 1) {
-    for (size_t i = 0; i < queries.size(); ++i) {
-      out.results[i] =
-          engine_->Search(queries[i], eff_options(i), &scratch[i]);
+  // One request: checks the query's controls, executes, records status and
+  // (possibly partial) results into the query's own slots.
+  const auto execute_one = [&](size_t i) {
+    const JoinQuery& jq = (*effective)[i];
+    const Status live = jq.CheckLive();
+    if (!live.ok()) {
+      // Dead on arrival: never touches the engine or the pool's time.
+      ++scratch[i].deadline_expired;
+      out.statuses[i] = live;
+      return;
     }
+    CollectSink sink;
+    out.statuses[i] = engine_->Execute(jq, &sink, &scratch[i]);
+    out.results[i] = std::move(sink).TakeColumns();
+  };
+
+  if (partition_major) {
+    RunPartitionMajor(*parts, *effective, outer_threads, &scratch, &out);
+  } else if (outer_threads <= 1 || queries.size() <= 1) {
+    for (size_t i = 0; i < queries.size(); ++i) execute_one(i);
   } else {
     ThreadPool pool(std::min(outer_threads, queries.size()));
-    pool.ParallelFor(queries.size(), [&](size_t i) {
-      out.results[i] =
-          engine_->Search(queries[i], eff_options(i), &scratch[i]);
-    });
+    pool.ParallelFor(queries.size(), execute_one);
   }
   for (const SearchStats& s : scratch) out.stats += s;
   out.wall_seconds = watch.ElapsedSeconds();
   return out;
 }
 
-template <typename OptionsFor>
-void BatchQueryRunner::RunPartitionMajor(
-    const PartitionedJoinEngine& parts,
-    const std::vector<VectorStore>& queries, const OptionsFor& options_for,
-    size_t outer_threads, std::vector<SearchStats>* scratch,
-    BatchResult* out) const {
+void BatchQueryRunner::RunPartitionMajor(const PartitionedJoinEngine& parts,
+                                         const std::vector<JoinQuery>& queries,
+                                         size_t outer_threads,
+                                         std::vector<SearchStats>* scratch,
+                                         BatchResult* out) const {
   const size_t n = queries.size();
   std::unique_ptr<ThreadPool> pool;
   if (outer_threads > 1 && n > 1) {
@@ -129,14 +145,26 @@ void BatchQueryRunner::RunPartitionMajor(
     // One load per partition per batch: the handle keeps the partition
     // resident while every query of the wave searches it IO-free.
     auto handle = parts.AcquirePart(part, &io);
-    // Same environment-fault doctrine as JoinSearchEngine::Search on a
+    // Same environment-fault doctrine as the legacy Search on a
     // partitioned engine: files were validated at Build/Open time.
     PEXESO_CHECK_MSG(handle.ok(), handle.status().ToString().c_str());
     const PartHandle held = std::move(handle).ValueOrDie();
     const auto search_one = [&](size_t i) {
-      auto chunk = parts.SearchPart(part, queries[i], options_for(i),
-                                    &(*scratch)[i], nullptr, held);
-      PEXESO_CHECK_MSG(chunk.ok(), chunk.status().ToString().c_str());
+      // A query that already tripped (or failed) stops burning the pool:
+      // its remaining parts are skipped outright.
+      if (!out->statuses[i].ok()) return;
+      const Status live = queries[i].CheckLive();
+      if (!live.ok()) {
+        ++(*scratch)[i].deadline_expired;
+        out->statuses[i] = live;
+        return;
+      }
+      auto chunk =
+          parts.SearchPart(part, queries[i], &(*scratch)[i], nullptr, held);
+      if (!chunk.ok()) {
+        out->statuses[i] = chunk.status();
+        return;
+      }
       auto results = std::move(chunk).ValueOrDie();
       out->results[i].insert(out->results[i].end(),
                              std::make_move_iterator(results.begin()),
@@ -148,9 +176,12 @@ void BatchQueryRunner::RunPartitionMajor(
       for (size_t i = 0; i < n; ++i) search_one(i);
     }
   }
-  // Chunks landed in partition order per query; one canonical merge makes
-  // the output byte-identical to the query-major SearchPartitions path.
-  for (auto& results : out->results) FinishPartMerge(&results);
+  // Chunks landed in partition order per query; one canonical mode-aware
+  // merge makes the output byte-identical to the query-major path (kTopK
+  // chunks are per-part local top-ks, re-ranked and truncated here).
+  for (size_t i = 0; i < n; ++i) {
+    FinishQueryMerge(queries[i], &out->results[i]);
+  }
   out->io_seconds = io;
 }
 

@@ -36,6 +36,13 @@ struct BatchResult {
   /// results[i] is the joinable set of queries[i] — input order, always,
   /// regardless of how many threads executed the batch.
   std::vector<std::vector<JoinableColumn>> results;
+  /// statuses[i] is queries[i]'s execution status: OK for a complete
+  /// search, Cancelled/DeadlineExceeded when that query's controls tripped
+  /// (results[i] then holds whatever completed — valid partial results),
+  /// or the failure of the part that broke it. The legacy SearchOptions
+  /// Run overloads carry no controls, so they abort on any non-OK status
+  /// (the old contract) and their statuses are always all-OK.
+  std::vector<Status> statuses;
   /// Counters of every search, merged in input order: the counter fields
   /// are identical at any thread count (the *_seconds fields are wall-clock
   /// measurements and naturally vary run to run).
@@ -44,17 +51,17 @@ struct BatchResult {
   double wall_seconds = 0.0;
   /// Time blocked on partition IO across the batch. Tracked only on the
   /// partition-major path (query-major searches hide their IO inside the
-  /// engine's Search).
+  /// engine's Execute).
   double io_seconds = 0.0;
 };
 
-/// \brief Parallel batch query runner: fans M query columns out across a
-/// thread pool against one shared read-only engine.
+/// \brief Parallel batch query runner: fans M JoinQuery requests out across
+/// a thread pool against one shared read-only engine.
 ///
 /// Data-lake discovery is a batch workload — thousands of query columns
-/// against one index — so the per-column Search latency matters less than
+/// against one index — so the per-column latency matters less than
 /// aggregate throughput. The runner exploits the embarrassing parallelism
-/// across query columns: each worker searches whole columns with its own
+/// across query columns: each worker executes whole requests with its own
 /// SearchStats scratch slot, and the slots are merged after the barrier.
 ///
 /// Out-of-core engines get a second axis: when the engine implements
@@ -64,7 +71,7 @@ struct BatchResult {
 /// held partition — the difference between O(partitions) and
 /// O(queries x partitions) deserializations per batch.
 ///
-/// A third axis composes with both: queries whose SearchOptions ask for
+/// A third axis composes with both: queries whose JoinQuery asks for
 /// intra-query verification shards (intra_query_threads > 1) without a pool
 /// get ONE runner-provisioned intra pool shared across the batch, and the
 /// batch-major fan-out shrinks to num_threads / intra so the two axes
@@ -75,26 +82,35 @@ struct BatchResult {
 /// or hand every query an explicit shared intra_query_pool to keep the
 /// fan-out untouched.
 ///
+/// Deadline/cancellation: each query's controls are checked before its
+/// work is dispatched (and, partition-major, before every further part),
+/// so a cancelled or expired query stops consuming the pool immediately
+/// and its status records the interruption.
+///
 /// Determinism contract: results (and the stats counters) are identical
 /// for any `num_threads` and either partition mode, because (a) engines are
 /// deterministic per query, (b) every query writes only its own
 /// pre-allocated slot, (c) slots are merged serially in input order, and
 /// (d) partition-major chunks are concatenated in partition order before
-/// the canonical global-column-id merge.
+/// the canonical mode-aware merge. (kTopK work COUNTERS vary with
+/// execution order; kTopK results do not.)
 class BatchQueryRunner {
  public:
-  /// `engine` is borrowed and must outlive the runner. Its Search must be
+  /// `engine` is borrowed and must outlive the runner. Its Execute must be
   /// safe for concurrent calls (true for every engine in the library).
   explicit BatchQueryRunner(const JoinSearchEngine* engine,
                             BatchRunnerOptions options = {});
 
-  /// Searches every query column and returns all results in input order.
+  /// Executes every request and returns all results in input order. Each
+  /// JoinQuery carries its own vectors/mode/thresholds/controls.
+  BatchResult Run(const std::vector<JoinQuery>& queries) const;
+
+  /// \deprecated Legacy-options entry points, kept for one release: every
+  /// query column gets the same options (or options[i] for the per-query
+  /// variant; fractional thresholds resolve to a different absolute T per
+  /// query size). Aborts on environment faults like the old Search.
   BatchResult Run(const std::vector<VectorStore>& queries,
                   const SearchOptions& options) const;
-
-  /// Per-query options variant (fractional thresholds resolve to a
-  /// different absolute T per query size). options.size() must equal
-  /// queries.size().
   BatchResult Run(const std::vector<VectorStore>& queries,
                   const std::vector<SearchOptions>& options) const;
 
@@ -102,18 +118,12 @@ class BatchQueryRunner {
   const JoinSearchEngine* engine() const { return engine_; }
 
  private:
-  /// `options_for(i)` yields the SearchOptions for queries[i].
-  template <typename OptionsFor>
-  BatchResult RunImpl(const std::vector<VectorStore>& queries,
-                      const OptionsFor& options_for) const;
-
   /// The partition-major loop described above. `parts` is engine_'s
   /// PartitionedJoinEngine view; `outer_threads` is the batch-major fan-out
   /// left after the intra-query composition carved out its share.
-  template <typename OptionsFor>
   void RunPartitionMajor(const PartitionedJoinEngine& parts,
-                         const std::vector<VectorStore>& queries,
-                         const OptionsFor& options_for, size_t outer_threads,
+                         const std::vector<JoinQuery>& queries,
+                         size_t outer_threads,
                          std::vector<SearchStats>* scratch,
                          BatchResult* out) const;
 

@@ -1,0 +1,22 @@
+#include "core/engine.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace pexeso {
+
+std::vector<JoinableColumn> JoinSearchEngine::Search(
+    const VectorStore& query, const SearchOptions& options,
+    SearchStats* stats) const {
+  CollectSink sink;
+  const Status st = Execute(JoinQuery::FromLegacy(&query, options), &sink,
+                            stats);
+  // FromLegacy never sets a deadline or token, so a non-OK status here is
+  // an environment fault (e.g. a partition file deleted mid-run) — the old
+  // Search contract aborted on those.
+  PEXESO_CHECK_MSG(st.ok(), st.ToString().c_str());
+  return std::move(sink).TakeColumns();
+}
+
+}  // namespace pexeso

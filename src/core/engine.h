@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/ablation.h"
 #include "core/join_result.h"
+#include "core/query.h"
 #include "core/thresholds.h"
 #include "vec/search_stats.h"
 #include "vec/vector_store.h"
@@ -17,45 +18,25 @@ namespace pexeso {
 
 class ThreadPool;
 
-/// \brief Per-search options.
-struct SearchOptions {
-  SearchThresholds thresholds;
-  AblationConfig ablation;
-  /// When true, each returned column carries the record-level mapping
-  /// (query index -> one matching target vector). Costs a post-pass.
-  bool collect_mappings = false;
-  /// When true, joinable columns keep verifying to report the exact
-  /// joinability instead of stopping at T (disables the joinable-skip).
-  bool exact_joinability = false;
-  /// Intra-query parallelism: verification work of ONE search is sharded by
-  /// column range across this many workers (core/verify_pipeline.h). 0 or 1
-  /// keeps the search single-threaded — the right default for batch
-  /// workloads, which already parallelize across queries; raise it for a
-  /// huge query column searched on its own. Results and stats counters are
-  /// identical at every setting (the pipeline's determinism contract).
-  size_t intra_query_threads = 0;
-  /// Optional shared pool the verification shards run on (borrowed; used
-  /// via a TaskGroup, so several concurrent searches can share it). When
-  /// null and intra_query_threads > 1, the search spins up a transient
-  /// pool. Must NOT be a pool whose worker is executing this very search —
-  /// the shard wait would consume the worker the shards need
-  /// (PEXESO_CHECK-enforced, like nested ThreadPool::ParallelFor).
-  ThreadPool* intra_query_pool = nullptr;
-};
-
-/// \brief The unified joinable-table-search engine interface: given one
-/// query column, return every repository column joinable with it.
+/// \brief The unified joinable-table-search engine interface: one JoinQuery
+/// request in, one ResultSink consumer out.
 ///
 /// Every search method in the library — PEXESO itself, PEXESO-H, the
 /// exhaustive NaiveSearcher, the range-engine workflows (CTREE / EPT / PQ)
-/// and the out-of-core PartitionedPexeso — implements this, so drivers
-/// (CLI, examples, benches, BatchQueryRunner) can be written once against
-/// the interface instead of hard-coding one engine each.
+/// and the out-of-core PartitionedPexeso — implements Execute, so drivers
+/// (CLI, examples, benches, BatchQueryRunner, ServeSession) can be written
+/// once against the interface instead of hard-coding one engine each.
 ///
 /// Contract:
-///  - Search is const and safe to call concurrently from multiple threads
+///  - Execute is const and safe to call concurrently from multiple threads
 ///    (implementations keep per-call state on the stack).
-///  - Results are deterministic for a given (engine, query, options).
+///  - Results are deterministic for a given (engine, query): ascending
+///    column order for the threshold modes, rank order for kTopK — at any
+///    intra_query_threads setting.
+///  - The sink's OnColumn fires once per result column, then OnDone fires
+///    exactly once with the status Execute returns. A Cancelled /
+///    DeadlineExceeded status means the query stopped at a checkpoint;
+///    columns already delivered are valid partial results.
 ///  - `stats` may be null; when non-null the call's counters are *added*
 ///    to it (callers Reset() when they want a fresh reading).
 class JoinSearchEngine {
@@ -65,11 +46,17 @@ class JoinSearchEngine {
   /// Short stable identifier ("pexeso", "naive", ...) for logs and CLIs.
   virtual const char* name() const = 0;
 
-  /// Finds all repository columns joinable with the query column. `query`
-  /// holds |Q| unit-normalized vectors of the repository dimensionality.
-  virtual std::vector<JoinableColumn> Search(const VectorStore& query,
-                                             const SearchOptions& options,
-                                             SearchStats* stats) const = 0;
+  /// Executes one request against the whole repository.
+  virtual Status Execute(const JoinQuery& query, ResultSink* sink,
+                         SearchStats* stats) const = 0;
+
+  /// \deprecated Eager convenience wrapper over Execute with a CollectSink,
+  /// kept for one release. Legacy options carry no deadline/cancellation,
+  /// so a non-OK execution here is an environment fault and aborts via
+  /// PEXESO_CHECK (the old Search contract); use Execute to handle it.
+  std::vector<JoinableColumn> Search(const VectorStore& query,
+                                     const SearchOptions& options,
+                                     SearchStats* stats) const;
 };
 
 /// \brief Opaque token that keeps one part of a partitioned engine loaded in
@@ -81,7 +68,7 @@ using PartHandle = std::shared_ptr<const void>;
 /// into independently-searchable parts (the out-of-core PartitionedPexeso).
 ///
 /// The serving layer builds on "search ONE part" rather than the all-parts
-/// Search above: the batch runner's partition-major loop pays each part's
+/// Execute above: the batch runner's partition-major loop pays each part's
 /// load once per batch instead of once per query, and ServeSession streams
 /// per-part result chunks as they complete. Implementations expose both
 /// interfaces (`class X : public JoinSearchEngine, public
@@ -100,17 +87,31 @@ class PartitionedJoinEngine {
   virtual Result<PartHandle> AcquirePart(size_t part,
                                          double* io_seconds) const = 0;
 
-  /// Searches part `part` only. Results are keyed by *global* column ids but
-  /// not sorted; callers concatenate chunks in part order and call
-  /// FinishPartMerge once. When `preloaded` is a handle from AcquirePart of
-  /// the same part, the call is guaranteed IO-free; otherwise the part is
-  /// acquired internally and `io_seconds` (optional) is incremented by the
-  /// load share — including on the error path, so IO accounting survives a
-  /// failed load.
+  /// Executes `query` against part `part` only. Results are keyed by
+  /// *global* column ids but not sorted; callers concatenate chunks in part
+  /// order and call FinishQueryMerge once. kTopK queries return the part's
+  /// LOCAL top-k (with query.topk_floor seeding the prune bound), which the
+  /// merge re-ranks — columns live in exactly one part, so the k best of
+  /// the concatenated local top-ks are the global top-k. The query's
+  /// deadline/cancel controls are honored per part (a tripped part returns
+  /// Cancelled/DeadlineExceeded). When `preloaded` is a handle from
+  /// AcquirePart of the same part, the call is guaranteed IO-free;
+  /// otherwise the part is acquired internally and `io_seconds` (optional)
+  /// is incremented by the load share — including on the error path, so IO
+  /// accounting survives a failed load.
   virtual Result<std::vector<JoinableColumn>> SearchPart(
+      size_t part, const JoinQuery& query, SearchStats* stats,
+      double* io_seconds, const PartHandle& preloaded) const = 0;
+
+  /// \deprecated Legacy-options shim over the JoinQuery SearchPart, kept
+  /// for one release.
+  Result<std::vector<JoinableColumn>> SearchPart(
       size_t part, const VectorStore& query, const SearchOptions& options,
       SearchStats* stats, double* io_seconds,
-      const PartHandle& preloaded) const = 0;
+      const PartHandle& preloaded) const {
+    return SearchPart(part, JoinQuery::FromLegacy(&query, options), stats,
+                      io_seconds, preloaded);
+  }
 
   /// True when per-part working sets are expected to stay resident across
   /// queries (an attached cache whose budget holds every part), making the
@@ -126,6 +127,18 @@ inline void FinishPartMerge(std::vector<JoinableColumn>* merged) {
             [](const JoinableColumn& a, const JoinableColumn& b) {
               return a.column < b.column;
             });
+}
+
+/// Mode-aware variant of FinishPartMerge: kTopK chunks are per-part local
+/// top-ks and need the global rank-and-truncate instead of the column-id
+/// ordering. Callers holding the original JoinQuery use this one.
+inline void FinishQueryMerge(const JoinQuery& query,
+                             std::vector<JoinableColumn>* merged) {
+  if (query.mode == QueryMode::kTopK) {
+    RankTopK(merged, query.k);
+  } else {
+    FinishPartMerge(merged);
+  }
 }
 
 }  // namespace pexeso

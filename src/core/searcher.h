@@ -14,8 +14,15 @@ namespace pexeso {
 /// column, quick-browses co-located leaf cells, blocks with Algorithm 1, and
 /// verifies through the staged VerifyPipeline (candidate generation ->
 /// column-sharded tiled verification -> deterministic reduction; see
-/// core/verify_pipeline.h). SearchOptions::intra_query_threads parallelizes
+/// core/verify_pipeline.h). JoinQuery::intra_query_threads parallelizes
 /// the verification of a single huge query column.
+///
+/// kTopK requests push the ranking into the verifier: a shared running
+/// k-th-best bound (TopKBound) feeds back into every verification shard as
+/// a dynamic early-exit threshold, so columns that provably cannot enter
+/// the top-k are abandoned mid-verification instead of exact-verified.
+/// Deadline/cancellation checkpoints run before blocking, before the
+/// verification tiles, and inside every shard's column loop.
 class PexesoSearcher : public JoinSearchEngine {
  public:
   /// `index` is borrowed and must outlive the searcher.
@@ -23,12 +30,8 @@ class PexesoSearcher : public JoinSearchEngine {
 
   const char* name() const override { return "pexeso"; }
 
-  /// Finds all repository columns joinable with the query column. `query`
-  /// holds |Q| unit-normalized vectors of the index's dimensionality.
-  /// `stats` may be null.
-  std::vector<JoinableColumn> Search(const VectorStore& query,
-                                     const SearchOptions& options,
-                                     SearchStats* stats) const override;
+  Status Execute(const JoinQuery& query, ResultSink* sink,
+                 SearchStats* stats) const override;
 
  private:
   const PexesoIndex* index_;

@@ -1,7 +1,10 @@
 #include "core/topk.h"
 
-#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <utility>
 
+#include "common/check.h"
 #include "core/batch_runner.h"
 
 namespace pexeso {
@@ -9,20 +12,21 @@ namespace pexeso {
 std::vector<JoinableColumn> SearchTopK(const JoinSearchEngine& engine,
                                        const VectorStore& query, double tau,
                                        size_t k, SearchStats* stats) {
-  SearchOptions options;
-  options.thresholds.tau = tau;
-  options.thresholds.t_abs = 1;
-  options.exact_joinability = true;
-  std::vector<JoinableColumn> all = engine.Search(query, options, stats);
-  std::sort(all.begin(), all.end(),
-            [](const JoinableColumn& a, const JoinableColumn& b) {
-              if (a.joinability != b.joinability) {
-                return a.joinability > b.joinability;
-              }
-              return a.column < b.column;
-            });
-  if (all.size() > k) all.resize(k);
-  return all;
+  static std::once_flag deprecation_note;
+  std::call_once(deprecation_note, [] {
+    std::fprintf(stderr,
+                 "note: SearchTopK() is deprecated; build a JoinQuery with "
+                 "QueryMode::kTopK and call JoinSearchEngine::Execute\n");
+  });
+  JoinQuery jq;
+  jq.vectors = &query;
+  jq.mode = QueryMode::kTopK;
+  jq.k = k;
+  jq.thresholds.tau = tau;
+  CollectSink sink;
+  const Status st = engine.Execute(jq, &sink, stats);
+  PEXESO_CHECK_MSG(st.ok(), st.ToString().c_str());
+  return std::move(sink).TakeColumns();
 }
 
 std::vector<std::vector<JoinableColumn>> SearchBatch(

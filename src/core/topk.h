@@ -8,14 +8,23 @@
 
 namespace pexeso {
 
-/// \brief Top-k joinable column search — the ranking variant suggested by
-/// the related-work discussion (Bogatu et al. find top-k related tables).
+/// \deprecated Top-k joinable column search, kept one release as a shim
+/// over the first-class QueryMode::kTopK (it logs a deprecation note once).
+/// New code builds a JoinQuery:
 ///
-/// Returns the k columns with the highest joinability to the query under
-/// distance threshold tau, ordered by decreasing joinability (ties by
-/// ascending column id). Works over any JoinSearchEngine: the engine runs an
-/// exact-joinability search with the column-count threshold relaxed to 1
-/// match, then the results are ranked.
+///   JoinQuery jq;
+///   jq.vectors = &query;
+///   jq.mode = QueryMode::kTopK;
+///   jq.k = k;
+///   jq.thresholds.tau = tau;
+///   CollectSink sink;
+///   engine.Execute(jq, &sink, stats);
+///
+/// Unlike the old wrapper — which relaxed T to 1 and exact-verified EVERY
+/// column before ranking — kTopK pushes the running k-th-best bound into
+/// the engines' verification loops, so non-contending columns are abandoned
+/// early (SearchStats::columns_pruned_topk) while the returned top-k stays
+/// bit-identical.
 std::vector<JoinableColumn> SearchTopK(const JoinSearchEngine& engine,
                                        const VectorStore& query, double tau,
                                        size_t k,

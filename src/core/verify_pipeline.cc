@@ -198,25 +198,30 @@ void VerifyPipeline::GenerateCandidates(const BlockResult& blocks,
   }
 }
 
-void VerifyPipeline::VerifyCandidates(const CandidateSet& cands,
-                                      const VectorStore& query,
-                                      const std::vector<double>& mapped_q,
-                                      const SearchOptions& options,
-                                      std::vector<uint32_t>* match_map,
-                                      SearchStats* stats) const {
+Status VerifyPipeline::VerifyCandidates(const CandidateSet& cands,
+                                        const VectorStore& query,
+                                        const std::vector<double>& mapped_q,
+                                        const JoinQuery& jq, TopKBound* topk,
+                                        std::vector<uint32_t>* match_map,
+                                        std::vector<uint8_t>* pruned,
+                                        SearchStats* stats) const {
   const size_t ncols = index_->catalog().num_columns();
   PEXESO_CHECK(match_map->size() == ncols);
-  if (cands.empty()) return;
-  const RangePredicate pred(*index_->metric(), options.thresholds.tau);
+  PEXESO_CHECK((topk != nullptr) == (jq.mode == QueryMode::kTopK));
+  // The bound and the pruned flags travel together: a shard abandoning a
+  // column against the bound records it in `pruned` unconditionally.
+  PEXESO_CHECK((pruned != nullptr) == (topk != nullptr));
+  PEXESO_CHECK(pruned == nullptr || pruned->size() == ncols);
+  if (cands.empty()) return Status::OK();
+  const RangePredicate pred(*index_->metric(), jq.thresholds.tau);
   const float* rnorms =
       pred.wants_norms() ? index_->catalog().store().EnsureNorms() : nullptr;
   const float* qnorms = pred.wants_norms() ? query.EnsureNorms() : nullptr;
 
-  const size_t want = options.intra_query_threads;
+  const size_t want = jq.intra_query_threads;
   if (want <= 1) {
-    VerifyShard(cands, 0, static_cast<ColumnId>(ncols), query, mapped_q,
-                options, qnorms, rnorms, match_map, stats);
-    return;
+    return VerifyShard(cands, 0, static_cast<ColumnId>(ncols), query, mapped_q,
+                       jq, topk, qnorms, rnorms, match_map, pruned, stats);
   }
 
   // Contiguous weight-balanced shard boundaries: cut after a column once
@@ -236,14 +241,17 @@ void VerifyPipeline::VerifyCandidates(const CandidateSet& cands,
     }
   }
 
-  // Stage 2: shards own disjoint match_map slices and private stats, so the
-  // fan-out is lock-free.
+  // Stage 2: shards own disjoint match_map/pruned slices, private stats and
+  // private status slots, so the fan-out is lock-free (the kTopK bound is
+  // the one shared object, and it synchronizes internally).
   std::vector<SearchStats> shard_stats(nshards);
+  std::vector<Status> shard_status(nshards);
   const auto run_shard = [&](size_t si) {
-    VerifyShard(cands, bounds[si], bounds[si + 1], query, mapped_q, options,
-                qnorms, rnorms, match_map, &shard_stats[si]);
+    shard_status[si] =
+        VerifyShard(cands, bounds[si], bounds[si + 1], query, mapped_q, jq,
+                    topk, qnorms, rnorms, match_map, pruned, &shard_stats[si]);
   };
-  if (options.intra_query_pool != nullptr) {
+  if (jq.intra_query_pool != nullptr) {
     // Shared pool: track completion per-search so concurrent searches can
     // interleave shards on the same workers. TaskGroup::Wait does NOT
     // rethrow task exceptions (they land in the pool's error slot, which
@@ -252,7 +260,7 @@ void VerifyPipeline::VerifyCandidates(const CandidateSet& cands,
     // instead, matching the transient ParallelFor branch below.
     std::mutex err_mu;
     std::exception_ptr first_error;
-    TaskGroup group(options.intra_query_pool);
+    TaskGroup group(jq.intra_query_pool);
     for (size_t si = 0; si < nshards; ++si) {
       group.Submit([&run_shard, &err_mu, &first_error, si] {
         try {
@@ -274,26 +282,40 @@ void VerifyPipeline::VerifyCandidates(const CandidateSet& cands,
   }
 
   // Stage 3: deterministic reduction — shard stats merge in shard
-  // (= ascending column) order.
+  // (= ascending column) order, and the first interrupted shard (in the
+  // same order) decides the returned status.
   for (const SearchStats& s : shard_stats) *stats += s;
+  for (const Status& st : shard_status) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
 }
 
-void VerifyPipeline::VerifyShard(const CandidateSet& cands, ColumnId col_lo,
-                                 ColumnId col_hi, const VectorStore& query,
-                                 const std::vector<double>& mapped_q,
-                                 const SearchOptions& options,
-                                 const float* query_norms,
-                                 const float* repo_norms,
-                                 std::vector<uint32_t>* match_map,
-                                 SearchStats* stats) const {
+Status VerifyPipeline::VerifyShard(const CandidateSet& cands, ColumnId col_lo,
+                                   ColumnId col_hi, const VectorStore& query,
+                                   const std::vector<double>& mapped_q,
+                                   const JoinQuery& jq, TopKBound* topk,
+                                   const float* query_norms,
+                                   const float* repo_norms,
+                                   std::vector<uint32_t>* match_map,
+                                   std::vector<uint8_t>* pruned,
+                                   SearchStats* stats) const {
   const uint32_t num_q = static_cast<uint32_t>(query.size());
-  const uint32_t t_abs = std::max<uint32_t>(1, options.thresholds.t_abs);
-  const bool exact = options.exact_joinability;
-  const bool use_l7 = options.ablation.use_lemma7;
+  const uint32_t t_abs = jq.EffectiveT();
+  const bool exact = jq.exact_counts();
+  const bool use_l7 = jq.ablation.use_lemma7;
   TileScratch scratch;
   uint64_t shard_blocks = 0;
+  Status live = Status::OK();
 
   for (ColumnId col = col_lo; col < col_hi; ++col) {
+    // Deadline/cancellation checkpoint: a tripped shard abandons the rest
+    // of its column range before dispatching any further tiles.
+    live = jq.CheckLive();
+    if (!live.ok()) {
+      ++stats->deadline_expired;
+      break;
+    }
     const size_t bb = cands.block_begin[col];
     const size_t be = cands.block_begin[col + 1];
     if (bb == be) continue;
@@ -303,6 +325,7 @@ void VerifyPipeline::VerifyShard(const CandidateSet& cands, ColumnId col_lo,
     uint32_t match = 0;
     uint32_t mismatch = 0;
     uint8_t state = kActive;
+    bool abandoned = false;
     size_t i = bb;
     while (i < be) {
       if (state == kDead || (state == kJoinable && !exact)) break;
@@ -310,6 +333,23 @@ void VerifyPipeline::VerifyShard(const CandidateSet& cands, ColumnId col_lo,
       // before the batch's last pair (see the class comment): the serial
       // scan and the tiled batch then evaluate exactly the same pairs.
       size_t k = be - i;
+      if (topk != nullptr) {
+        // kTopK pushdown: each remaining pair is a distinct query record,
+        // so match + (be - i) bounds the column's achievable count. Once
+        // that can no longer STRICTLY beat the running k-th-best bound the
+        // column is out (a tie loses on final rank or leaves the bound
+        // unchanged), and every further tile would be wasted work. The
+        // bound is re-read per batch, so concurrent shards feed each other.
+        const uint32_t bound = topk->bound();
+        const uint64_t max_possible = match + (be - i);
+        if (max_possible < bound) {
+          abandoned = true;
+          break;
+        }
+        // Each mismatch lowers max_possible by one; cap the batch so the
+        // prune above re-fires no later than one batch after it could.
+        k = std::min<uint64_t>(k, max_possible - bound + 1);
+      }
       if (!exact) k = std::min<size_t>(k, t_abs - match);
       if (use_l7) {
         // A kill can only fire once mismatch exceeds num_q - t_abs; with
@@ -321,8 +361,8 @@ void VerifyPipeline::VerifyShard(const CandidateSet& cands, ColumnId col_lo,
       }
       PEXESO_DCHECK(k >= 1);
       scratch.matched.assign(k, 0);
-      EvaluateRun(cands, i, k, query, mapped_q, options, query_norms,
-                  repo_norms, &scratch, scratch.matched.data(), stats);
+      EvaluateRun(cands, i, k, query, mapped_q, jq, query_norms, repo_norms,
+                  &scratch, scratch.matched.data(), stats);
       // Replay the serial outcome application verbatim.
       for (size_t j = 0; j < k; ++j) {
         if (scratch.matched[j]) {
@@ -343,15 +383,22 @@ void VerifyPipeline::VerifyShard(const CandidateSet& cands, ColumnId col_lo,
       }
       i += k;
     }
+    if (abandoned) {
+      ++stats->columns_pruned_topk;
+      (*pruned)[col] = 1;
+    } else if (topk != nullptr && match >= t_abs) {
+      topk->Offer(match);
+    }
     (*match_map)[col] = match;
   }
   stats->shard_max_blocks = std::max(stats->shard_max_blocks, shard_blocks);
+  return live;
 }
 
 void VerifyPipeline::EvaluateRun(const CandidateSet& cands, size_t i, size_t k,
                                  const VectorStore& query,
                                  const std::vector<double>& mapped_q,
-                                 const SearchOptions& options,
+                                 const JoinQuery& jq,
                                  const float* query_norms,
                                  const float* repo_norms, TileScratch* scratch,
                                  uint8_t* matched, SearchStats* stats) const {
@@ -374,8 +421,7 @@ void VerifyPipeline::EvaluateRun(const CandidateSet& cands, size_t i, size_t k,
     size_t j2 = j + 1;
     while (j2 < k && SameRanges(cands, b, cands.blocks[i + j2])) ++j2;
     EvaluateGroup(cands, cands.blocks.data() + i + j, j2 - j, query, mapped_q,
-                  options, query_norms, repo_norms, scratch, matched + j,
-                  stats);
+                  jq, query_norms, repo_norms, scratch, matched + j, stats);
     j = j2;
   }
 }
@@ -384,7 +430,7 @@ void VerifyPipeline::EvaluateGroup(const CandidateSet& cands,
                                    const CandidateBlock* group, size_t m,
                                    const VectorStore& query,
                                    const std::vector<double>& mapped_q,
-                                   const SearchOptions& options,
+                                   const JoinQuery& jq,
                                    const float* query_norms,
                                    const float* repo_norms,
                                    TileScratch* scratch, uint8_t* matched,
@@ -392,9 +438,9 @@ void VerifyPipeline::EvaluateGroup(const CandidateSet& cands,
   const VectorStore& rstore = index_->catalog().store();
   const uint32_t dim = rstore.dim();
   const uint32_t np = index_->pivots().num_pivots();
-  const double tau = options.thresholds.tau;
-  const bool use_l1 = options.ablation.use_lemma1;
-  const bool use_l2 = options.ablation.use_lemma2;
+  const double tau = jq.thresholds.tau;
+  const bool use_l1 = jq.ablation.use_lemma1;
+  const bool use_l2 = jq.ablation.use_lemma2;
   const std::vector<VecId>& vec_ids = index_->inverted_index().vec_ids();
 
   // Gather the shared candidate list once for the whole group.
@@ -568,41 +614,53 @@ void VerifyPipeline::EvaluateGroup(const CandidateSet& cands,
   }
 }
 
-void VerifyPipeline::CollectMappings(const VectorStore& query,
-                                     const std::vector<double>& mapped_q,
-                                     const SearchOptions& options,
-                                     std::vector<JoinableColumn>* out,
-                                     SearchStats* stats) const {
-  if (out->empty() || query.size() == 0) return;
-  const RangePredicate pred(*index_->metric(), options.thresholds.tau);
+Status VerifyPipeline::CollectMappings(const VectorStore& query,
+                                       const std::vector<double>& mapped_q,
+                                       const JoinQuery& jq,
+                                       std::vector<JoinableColumn>* out,
+                                       SearchStats* stats) const {
+  if (out->empty() || query.size() == 0) return Status::OK();
+  const RangePredicate pred(*index_->metric(), jq.thresholds.tau);
   const float* rnorms =
       pred.wants_norms() ? index_->catalog().store().EnsureNorms() : nullptr;
   const float* qnorms = pred.wants_norms() ? query.EnsureNorms() : nullptr;
 
-  const size_t want = options.intra_query_threads;
+  const size_t want = jq.intra_query_threads;
   if (want <= 1 || out->size() == 1) {
     TileScratch scratch;
     for (auto& jc : *out) {
-      MapColumn(&jc, query, mapped_q, options, qnorms, rnorms, &scratch,
-                stats);
+      Status live = jq.CheckLive();
+      if (!live.ok()) {
+        ++stats->deadline_expired;
+        return live;
+      }
+      MapColumn(&jc, query, mapped_q, jq, qnorms, rnorms, &scratch, stats);
     }
-    return;
+    return Status::OK();
   }
   // One task per result column (columns are the natural independent unit);
   // per-column stats slots merge in column order, so counters are identical
-  // to the serial sweep at any thread count.
+  // to the serial sweep at any thread count. Each slot also records its
+  // column's deadline checkpoint outcome; the first tripped column (in
+  // column order) decides the returned status.
   std::vector<SearchStats> col_stats(out->size());
+  std::vector<Status> col_status(out->size());
   const auto map_one = [&](size_t i) {
+    col_status[i] = jq.CheckLive();
+    if (!col_status[i].ok()) {
+      ++col_stats[i].deadline_expired;
+      return;
+    }
     TileScratch scratch;
-    MapColumn(&(*out)[i], query, mapped_q, options, qnorms, rnorms, &scratch,
+    MapColumn(&(*out)[i], query, mapped_q, jq, qnorms, rnorms, &scratch,
               &col_stats[i]);
   };
-  if (options.intra_query_pool != nullptr) {
+  if (jq.intra_query_pool != nullptr) {
     // Same rethrow discipline as VerifyCandidates: TaskGroup::Wait alone
     // would swallow a throwing column sweep.
     std::mutex err_mu;
     std::exception_ptr first_error;
-    TaskGroup group(options.intra_query_pool);
+    TaskGroup group(jq.intra_query_pool);
     for (size_t i = 0; i < out->size(); ++i) {
       group.Submit([&map_one, &err_mu, &first_error, i] {
         try {
@@ -620,18 +678,22 @@ void VerifyPipeline::CollectMappings(const VectorStore& query,
     pool.ParallelFor(out->size(), map_one);
   }
   for (const SearchStats& s : col_stats) *stats += s;
+  for (const Status& st : col_status) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
 }
 
 void VerifyPipeline::MapColumn(JoinableColumn* jc, const VectorStore& query,
                                const std::vector<double>& mapped_q,
-                               const SearchOptions& options,
+                               const JoinQuery& jq,
                                const float* query_norms,
                                const float* repo_norms, TileScratch* scratch,
                                SearchStats* stats) const {
   const VectorStore& rstore = index_->catalog().store();
   const uint32_t dim = rstore.dim();
   const uint32_t np = index_->pivots().num_pivots();
-  const double tau = options.thresholds.tau;
+  const double tau = jq.thresholds.tau;
   const uint32_t num_q = static_cast<uint32_t>(query.size());
   const ColumnMeta& meta = index_->catalog().column(jc->column);
   const uint32_t nv = meta.count;

@@ -55,10 +55,10 @@ struct CandidateSet {
 ///            output emits CandidateBlocks instead of deciding pairs
 ///            inline (GenerateCandidates);
 ///   stage 2  tiled verification — columns are sharded into contiguous,
-///            weight-balanced ranges across SearchOptions::
-///            intra_query_threads workers; each shard replays the serial
-///            per-column state machine, batching safe runs of pairs into
-///            many-to-many KernelSet tiles (VerifyCandidates);
+///            weight-balanced ranges across JoinQuery::intra_query_threads
+///            workers; each shard replays the serial per-column state
+///            machine, batching safe runs of pairs into many-to-many
+///            KernelSet tiles (VerifyCandidates);
 ///   stage 3  deterministic reduction — shards own disjoint match_map
 ///            slices and private stats, merged in shard (= column) order.
 ///
@@ -67,7 +67,22 @@ struct CandidateSet {
 /// early-joinable upgrades applied between tile batches exactly where the
 /// serial scan would apply them, results AND stats counters are identical
 /// at every intra_query_threads setting (shard_max_blocks, the imbalance
-/// diagnostic, is the one exception by design).
+/// diagnostic, is the one exception by design). kTopK executions keep the
+/// RESULT half of the contract — a column pruned against the shared
+/// running bound is provably outside the top-k under any schedule — but
+/// their work counters (distance_computations, columns_pruned_topk)
+/// legitimately vary with execution order.
+///
+/// kTopK pushdown: shards Offer() each finished column's match count into
+/// the shared TopKBound and read the running k-th-best bound back as a
+/// dynamic per-column early-exit threshold — a column whose remaining
+/// headroom (match + unresolved pairs) can no longer strictly beat the
+/// bound is abandoned mid-verification and flagged in `pruned`.
+///
+/// Deadline/cancellation: shards poll JoinQuery::CheckLive() between
+/// columns; a tripped shard abandons its remaining range and
+/// VerifyCandidates / CollectMappings return the Cancelled /
+/// DeadlineExceeded status (first shard in shard order wins).
 ///
 /// Tile-batching rule: a run of k pending pairs of one column can be
 /// evaluated as one batch only when no skip-triggering state transition can
@@ -85,61 +100,67 @@ class VerifyPipeline {
 
   /// Stages 2 + 3. `match_map` must be sized to the catalog's column count
   /// and zero-initialized; on return match_map[c] holds the (possibly
-  /// early-terminated, per exact_joinability) match count of column c.
-  void VerifyCandidates(const CandidateSet& cands, const VectorStore& query,
-                        const std::vector<double>& mapped_q,
-                        const SearchOptions& options,
-                        std::vector<uint32_t>* match_map,
-                        SearchStats* stats) const;
+  /// early-terminated, per the query mode) match count of column c. For
+  /// kTopK, `topk` carries the shared running bound and `pruned` (same
+  /// size, zero-initialized) flags columns abandoned against it; both must
+  /// be null otherwise. Returns OK, or the interruption status when a
+  /// deadline/cancel checkpoint tripped (match_map is then partial).
+  Status VerifyCandidates(const CandidateSet& cands, const VectorStore& query,
+                          const std::vector<double>& mapped_q,
+                          const JoinQuery& jq, TopKBound* topk,
+                          std::vector<uint32_t>* match_map,
+                          std::vector<uint8_t>* pruned,
+                          SearchStats* stats) const;
 
   /// Record-level mappings over the same tile machinery: each joinable
   /// column is one many-to-many tile sweep of (query records x the column's
   /// contiguous vector range) with Lemma-1 masking, instead of the old
   /// per-pair rescan. Parallelizes across result columns under the same
   /// intra-query options, with per-column stats merged in column order.
-  void CollectMappings(const VectorStore& query,
-                       const std::vector<double>& mapped_q,
-                       const SearchOptions& options,
-                       std::vector<JoinableColumn>* out,
-                       SearchStats* stats) const;
+  /// Returns OK or the interruption status (mappings are then partial; the
+  /// caller discards them).
+  Status CollectMappings(const VectorStore& query,
+                         const std::vector<double>& mapped_q,
+                         const JoinQuery& jq,
+                         std::vector<JoinableColumn>* out,
+                         SearchStats* stats) const;
 
  private:
   struct TileScratch;
 
   /// Stage-2 worker: verifies columns [col_lo, col_hi), writing only that
-  /// slice of match_map and its private `stats`.
-  void VerifyShard(const CandidateSet& cands, ColumnId col_lo, ColumnId col_hi,
-                   const VectorStore& query,
-                   const std::vector<double>& mapped_q,
-                   const SearchOptions& options, const float* query_norms,
-                   const float* repo_norms, std::vector<uint32_t>* match_map,
-                   SearchStats* stats) const;
+  /// slice of match_map (and `pruned`, kTopK) and its private `stats`.
+  Status VerifyShard(const CandidateSet& cands, ColumnId col_lo,
+                     ColumnId col_hi, const VectorStore& query,
+                     const std::vector<double>& mapped_q, const JoinQuery& jq,
+                     TopKBound* topk, const float* query_norms,
+                     const float* repo_norms, std::vector<uint32_t>* match_map,
+                     std::vector<uint8_t>* pruned, SearchStats* stats) const;
 
   /// Resolves pairs blocks[i..i+k) of one column (a safe batch: no
   /// skip-triggering transition can occur before the last pair), filling
   /// matched[0..k).
   void EvaluateRun(const CandidateSet& cands, size_t i, size_t k,
                    const VectorStore& query,
-                   const std::vector<double>& mapped_q,
-                   const SearchOptions& options, const float* query_norms,
-                   const float* repo_norms, TileScratch* scratch,
-                   uint8_t* matched, SearchStats* stats) const;
+                   const std::vector<double>& mapped_q, const JoinQuery& jq,
+                   const float* query_norms, const float* repo_norms,
+                   TileScratch* scratch, uint8_t* matched,
+                   SearchStats* stats) const;
 
   /// Resolves one group of `m` consecutive pairs sharing an identical range
   /// list via gather + masked many-to-many tiles.
   void EvaluateGroup(const CandidateSet& cands, const CandidateBlock* group,
                      size_t m, const VectorStore& query,
-                     const std::vector<double>& mapped_q,
-                     const SearchOptions& options, const float* query_norms,
-                     const float* repo_norms, TileScratch* scratch,
-                     uint8_t* matched, SearchStats* stats) const;
+                     const std::vector<double>& mapped_q, const JoinQuery& jq,
+                     const float* query_norms, const float* repo_norms,
+                     TileScratch* scratch, uint8_t* matched,
+                     SearchStats* stats) const;
 
   /// Mapping sweep of one result column (see CollectMappings).
   void MapColumn(JoinableColumn* jc, const VectorStore& query,
-                 const std::vector<double>& mapped_q,
-                 const SearchOptions& options, const float* query_norms,
-                 const float* repo_norms, TileScratch* scratch,
-                 SearchStats* stats) const;
+                 const std::vector<double>& mapped_q, const JoinQuery& jq,
+                 const float* query_norms, const float* repo_norms,
+                 TileScratch* scratch, SearchStats* stats) const;
 
   const PexesoIndex* index_;
 };

@@ -60,12 +60,51 @@ Result<PartitionedPexeso> PartitionedPexeso::Open(const std::string& dir,
   return PartitionedPexeso(dir, metric, parts);
 }
 
-std::vector<JoinableColumn> PartitionedPexeso::Search(
-    const VectorStore& query, const SearchOptions& options,
-    SearchStats* stats) const {
-  auto result = SearchPartitions(query, options, stats, nullptr, engine_);
-  PEXESO_CHECK_MSG(result.ok(), result.status().ToString().c_str());
-  return std::move(result).ValueOrDie();
+Status PartitionedPexeso::Execute(const JoinQuery& jq, ResultSink* sink,
+                                  SearchStats* stats) const {
+  PEXESO_CHECK(jq.vectors != nullptr);
+  PEXESO_CHECK(sink != nullptr);
+  SearchStats local;
+  if (stats == nullptr) stats = &local;
+  const bool topk_mode = jq.mode == QueryMode::kTopK;
+
+  std::vector<JoinableColumn> merged;
+  // Cross-partition kTopK pushdown: the bound a part establishes becomes
+  // the floor the next part prunes against.
+  TopKBound bound(jq.k, jq.topk_floor);
+  Status final_st;
+  for (size_t part = 0; part < num_parts_; ++part) {
+    Status live = jq.CheckLive();
+    if (!live.ok()) {
+      ++stats->deadline_expired;
+      final_st = live;
+      break;
+    }
+    JoinQuery part_jq = jq;
+    if (topk_mode) part_jq.topk_floor = bound.bound();
+    auto chunk =
+        SearchOnePart(part, part_jq, stats, nullptr, engine_, nullptr);
+    if (!chunk.ok()) {
+      final_st = chunk.status();
+      // Interruption inside a part keeps the completed parts' columns as
+      // partial results; a real failure (environment fault) returns bare.
+      if (!final_st.interrupted()) {
+        sink->OnDone(final_st);
+        return final_st;
+      }
+      break;
+    }
+    auto results = std::move(chunk).ValueOrDie();
+    if (topk_mode) {
+      for (const auto& jc : results) bound.Offer(jc.match_count);
+    }
+    merged.insert(merged.end(), std::make_move_iterator(results.begin()),
+                  std::make_move_iterator(results.end()));
+  }
+  FinishQueryMerge(jq, &merged);
+  for (auto& jc : merged) sink->OnColumn(std::move(jc));
+  sink->OnDone(final_st);
+  return final_st;
 }
 
 Result<PartHandle> PartitionedPexeso::AcquirePart(size_t part,
@@ -86,9 +125,8 @@ Result<PartHandle> PartitionedPexeso::AcquirePart(size_t part,
 }
 
 Result<std::vector<JoinableColumn>> PartitionedPexeso::SearchOnePart(
-    size_t part, const VectorStore& query, const SearchOptions& options,
-    SearchStats* stats, double* io_seconds, Engine engine,
-    const PexesoIndex* preloaded) const {
+    size_t part, const JoinQuery& query, SearchStats* stats,
+    double* io_seconds, Engine engine, const PexesoIndex* preloaded) const {
   PartHandle held;
   const PexesoIndex* index = preloaded;
   if (index == nullptr) {
@@ -97,12 +135,15 @@ Result<std::vector<JoinableColumn>> PartitionedPexeso::SearchOnePart(
     held = std::move(handle).ValueOrDie();
     index = static_cast<const PexesoIndex*>(held.get());
   }
-  std::vector<JoinableColumn> results;
+  CollectSink sink;
+  Status st;
   if (engine == Engine::kPexeso) {
-    results = PexesoSearcher(index).Search(query, options, stats);
+    st = PexesoSearcher(index).Execute(query, &sink, stats);
   } else {
-    results = PexesoHSearcher(index).Search(query, options, stats);
+    st = PexesoHSearcher(index).Execute(query, &sink, stats);
   }
+  if (!st.ok()) return st;  // incl. Cancelled/DeadlineExceeded mid-part
+  std::vector<JoinableColumn> results = std::move(sink).TakeColumns();
   for (auto& r : results) {
     r.column = index->catalog().column(r.column).source_id;
   }
@@ -113,9 +154,9 @@ Result<std::vector<JoinableColumn>> PartitionedPexeso::SearchOnePart(
 }
 
 Result<std::vector<JoinableColumn>> PartitionedPexeso::SearchPart(
-    size_t part, const VectorStore& query, const SearchOptions& options,
-    SearchStats* stats, double* io_seconds, const PartHandle& preloaded) const {
-  return SearchOnePart(part, query, options, stats, io_seconds, engine_,
+    size_t part, const JoinQuery& query, SearchStats* stats,
+    double* io_seconds, const PartHandle& preloaded) const {
+  return SearchOnePart(part, query, stats, io_seconds, engine_,
                        static_cast<const PexesoIndex*>(preloaded.get()));
 }
 
@@ -127,13 +168,12 @@ bool PartitionedPexeso::PartsStayResident() const {
 }
 
 Result<std::vector<JoinableColumn>> PartitionedPexeso::SearchPartitions(
-    const VectorStore& query, const SearchOptions& options, SearchStats* stats,
-    double* io_seconds, Engine engine) const {
+    const JoinQuery& query, SearchStats* stats, double* io_seconds,
+    Engine engine) const {
   std::vector<JoinableColumn> merged;
   double io = 0.0;
   for (size_t part = 0; part < num_parts_; ++part) {
-    auto results =
-        SearchOnePart(part, query, options, stats, &io, engine, nullptr);
+    auto results = SearchOnePart(part, query, stats, &io, engine, nullptr);
     if (!results.ok()) {
       // Keep the IO accounting on the error path: the caller still learns
       // how long the failed load (and the successful ones before it) took.
@@ -144,7 +184,7 @@ Result<std::vector<JoinableColumn>> PartitionedPexeso::SearchPartitions(
     merged.insert(merged.end(), std::make_move_iterator(chunk.begin()),
                   std::make_move_iterator(chunk.end()));
   }
-  FinishPartMerge(&merged);
+  FinishQueryMerge(query, &merged);
   if (io_seconds != nullptr) *io_seconds = io;
   return merged;
 }

@@ -53,34 +53,44 @@ class PartitionedPexeso : public JoinSearchEngine,
   /// partitions; `io_seconds` (optional) reports the disk-loading share —
   /// including on the error path, so a failed partition load still accounts
   /// the IO it burned before failing.
-  /// This is the status-returning workhorse; the JoinSearchEngine override
-  /// below forwards to it.
+  /// This is the status-returning workhorse behind Execute; the legacy
+  /// SearchOptions overload is the deprecated shim.
+  Result<std::vector<JoinableColumn>> SearchPartitions(
+      const JoinQuery& query, SearchStats* stats,
+      double* io_seconds = nullptr, Engine engine = Engine::kPexeso) const;
   Result<std::vector<JoinableColumn>> SearchPartitions(
       const VectorStore& query, const SearchOptions& options,
       SearchStats* stats, double* io_seconds = nullptr,
-      Engine engine = Engine::kPexeso) const;
+      Engine engine = Engine::kPexeso) const {
+    return SearchPartitions(JoinQuery::FromLegacy(&query, options), stats,
+                            io_seconds, engine);
+  }
 
   const char* name() const override {
     return engine_ == Engine::kPexeso ? "pexeso-part" : "pexeso-h-part";
   }
 
-  /// Engine-interface entry point: searches with the per-partition engine
-  /// selected by set_engine() (PEXESO by default). Partition files were
-  /// validated at Build/Open time, so an I/O failure here is an environment
-  /// fault (file deleted mid-run) and aborts via PEXESO_CHECK; callers who
-  /// need to recover use SearchPartitions directly.
-  std::vector<JoinableColumn> Search(const VectorStore& query,
-                                     const SearchOptions& options,
-                                     SearchStats* stats) const override;
+  /// Engine-interface entry point: searches every partition with the
+  /// per-partition engine selected by set_engine() (PEXESO by default),
+  /// serially in part order. kTopK requests carry the running k-th-best
+  /// bound ACROSS partitions: each part searches with the bound the
+  /// previous parts established (JoinQuery::topk_floor), so later parts
+  /// prune against everything already found. A deadline/cancel trip
+  /// between parts emits the completed parts' columns as partial results
+  /// with the interruption status; an I/O failure (an environment fault —
+  /// partition files were validated at Build/Open time) is returned as its
+  /// status with no columns.
+  Status Execute(const JoinQuery& query, ResultSink* sink,
+                 SearchStats* stats) const override;
 
   // ------------------------------------------- PartitionedJoinEngine side
+  using PartitionedJoinEngine::SearchPart;  // keep the deprecated shim
   size_t NumParts() const override { return num_parts_; }
   Result<PartHandle> AcquirePart(size_t part,
                                  double* io_seconds) const override;
   Result<std::vector<JoinableColumn>> SearchPart(
-      size_t part, const VectorStore& query, const SearchOptions& options,
-      SearchStats* stats, double* io_seconds,
-      const PartHandle& preloaded) const override;
+      size_t part, const JoinQuery& query, SearchStats* stats,
+      double* io_seconds, const PartHandle& preloaded) const override;
   bool PartsStayResident() const override;
 
   /// Routes partition loads through `cache` (borrowed; must outlive this
@@ -109,11 +119,13 @@ class PartitionedPexeso : public JoinSearchEngine,
   /// Searches one partition with an explicit per-partition engine: acquires
   /// the index (preloaded handle > cache > direct load), remaps results to
   /// global column ids. `io_seconds` is incremented even when the load
-  /// fails.
+  /// fails. For kTopK the inner engine ranks by part-LOCAL column ids, but
+  /// the partitioner appends columns to each part in ascending global id,
+  /// so local order == global order and the remap preserves the ranking's
+  /// tie-breaks.
   Result<std::vector<JoinableColumn>> SearchOnePart(
-      size_t part, const VectorStore& query, const SearchOptions& options,
-      SearchStats* stats, double* io_seconds, Engine engine,
-      const PexesoIndex* preloaded) const;
+      size_t part, const JoinQuery& query, SearchStats* stats,
+      double* io_seconds, Engine engine, const PexesoIndex* preloaded) const;
 
   std::string dir_;
   const Metric* metric_;

@@ -11,11 +11,14 @@ namespace pexeso::serve {
 
 struct ServeSession::QueryState {
   uint64_t ticket = 0;
-  const VectorStore* query = nullptr;
-  SearchOptions options;
+  JoinQuery query;
   ChunkCallback on_chunk;  ///< null for non-streaming submits
   bool want_future = false;
   std::promise<QueryOutcome> promise;
+  /// kTopK: the running cross-part floor. A part that returns a full local
+  /// top-k raises it (its k-th local count lower-bounds the global k-th
+  /// best), so parts starting later prune harder. Monotone via CAS-max.
+  std::atomic<uint32_t> topk_floor{0};
 
   size_t parts_total = 1;
   /// True for partitioned engines: results need the canonical global-column
@@ -70,37 +73,36 @@ ServeSession::ServeSession(const JoinSearchEngine* engine,
 
 ServeSession::~ServeSession() { group_.Wait(); }
 
-std::future<QueryOutcome> ServeSession::Submit(const VectorStore* query,
-                                               SearchOptions options) {
+std::future<QueryOutcome> ServeSession::Submit(JoinQuery query) {
   std::future<QueryOutcome> future;
-  Enqueue(query, std::move(options), nullptr, /*want_future=*/true, &future);
+  Enqueue(std::move(query), nullptr, /*want_future=*/true, &future);
   return future;
 }
 
-uint64_t ServeSession::SubmitStreaming(const VectorStore* query,
-                                       SearchOptions options,
+uint64_t ServeSession::SubmitStreaming(JoinQuery query,
                                        ChunkCallback on_chunk) {
-  return Enqueue(query, std::move(options), std::move(on_chunk),
+  return Enqueue(std::move(query), std::move(on_chunk),
                  /*want_future=*/false, nullptr);
 }
 
-uint64_t ServeSession::Enqueue(const VectorStore* query, SearchOptions options,
-                               ChunkCallback on_chunk, bool want_future,
+uint64_t ServeSession::Enqueue(JoinQuery query, ChunkCallback on_chunk,
+                               bool want_future,
                                std::future<QueryOutcome>* future_out) {
-  PEXESO_CHECK(query != nullptr);
+  PEXESO_CHECK(query.vectors != nullptr);
   auto state = std::make_unique<QueryState>();
-  state->query = query;
-  state->options = std::move(options);
+  state->query = std::move(query);
+  state->topk_floor.store(state->query.topk_floor,
+                          std::memory_order_relaxed);
   // Intra-query default: queries that carry no setting of their own inherit
   // the session's, and any intra-parallel query without a pool runs its
   // shards on the session's dedicated intra pool (when one exists) so part
   // tasks never spawn transient pools per search.
-  if (state->options.intra_query_pool == nullptr) {
-    if (state->options.intra_query_threads == 0) {
-      state->options.intra_query_threads = default_intra_threads_;
+  if (state->query.intra_query_pool == nullptr) {
+    if (state->query.intra_query_threads == 0) {
+      state->query.intra_query_threads = default_intra_threads_;
     }
-    if (state->options.intra_query_threads > 1 && intra_pool_ != nullptr) {
-      state->options.intra_query_pool = intra_pool_.get();
+    if (state->query.intra_query_threads > 1 && intra_pool_ != nullptr) {
+      state->query.intra_query_pool = intra_pool_.get();
     }
   }
   state->on_chunk = std::move(on_chunk);
@@ -127,26 +129,57 @@ uint64_t ServeSession::Enqueue(const VectorStore* query, SearchOptions options,
 }
 
 void ServeSession::RunPart(QueryState* state, size_t part) const {
-  Status status;
-  try {
-    if (parts_ != nullptr) {
-      auto chunk = parts_->SearchPart(part, *state->query, state->options,
-                                      &state->part_stats[part],
-                                      &state->part_io[part],
-                                      /*preloaded=*/nullptr);
-      if (chunk.ok()) {
-        state->part_results[part] = std::move(chunk).ValueOrDie();
+  Status status = state->query.CheckLive();
+  if (!status.ok()) {
+    // The query tripped before this part started: skip the search outright
+    // instead of burning the pool on a result nobody wants.
+    ++state->part_stats[part].deadline_expired;
+  } else {
+    try {
+      if (parts_ != nullptr) {
+        JoinQuery part_query = state->query;
+        if (part_query.mode == QueryMode::kTopK) {
+          part_query.topk_floor =
+              state->topk_floor.load(std::memory_order_relaxed);
+        }
+        auto chunk = parts_->SearchPart(part, part_query,
+                                        &state->part_stats[part],
+                                        &state->part_io[part],
+                                        /*preloaded=*/nullptr);
+        if (chunk.ok()) {
+          state->part_results[part] = std::move(chunk).ValueOrDie();
+          if (part_query.mode == QueryMode::kTopK &&
+              state->part_results[part].size() == part_query.k) {
+            // A full local top-k lower-bounds the global k-th best with its
+            // weakest member; publish it for parts that start later.
+            uint32_t floor = UINT32_MAX;
+            for (const auto& jc : state->part_results[part]) {
+              floor = std::min(floor, jc.match_count);
+            }
+            uint32_t seen =
+                state->topk_floor.load(std::memory_order_relaxed);
+            while (floor > seen &&
+                   !state->topk_floor.compare_exchange_weak(
+                       seen, floor, std::memory_order_relaxed)) {
+            }
+          }
+        } else {
+          status = chunk.status();
+        }
       } else {
-        status = chunk.status();
+        CollectSink sink;
+        status = engine_->Execute(state->query, &sink,
+                                  &state->part_stats[part]);
+        // Interruptions keep the engine's partial columns; real failures
+        // drop them (FinalizeLocked applies the same doctrine).
+        state->part_results[part] = std::move(sink).TakeColumns();
       }
-    } else {
-      state->part_results[part] = engine_->Search(
-          *state->query, state->options, &state->part_stats[part]);
+    } catch (const std::exception& e) {
+      status =
+          Status::Internal(std::string("search task threw: ") + e.what());
+    } catch (...) {
+      status = Status::Internal("search task threw");
     }
-  } catch (const std::exception& e) {
-    status = Status::Internal(std::string("search task threw: ") + e.what());
-  } catch (...) {
-    status = Status::Internal("search task threw");
   }
   state->part_status[part] = status;
 
@@ -190,22 +223,36 @@ void ServeSession::RunPart(QueryState* state, size_t part) const {
 
 void ServeSession::FinalizeLocked(QueryState* state) {
   QueryOutcome& out = state->outcome;
+  // Status precedence: a real failure (environment fault) must not be
+  // masked by another part's cooperative interruption — the caller would
+  // otherwise retry with a bigger deadline instead of learning the index
+  // is broken. Among statuses of the same class, the first part wins.
+  Status first_interruption;
   for (size_t part = 0; part < state->parts_total; ++part) {
     out.stats += state->part_stats[part];
     out.io_seconds += state->part_io[part];
-    if (!state->part_status[part].ok() && out.status.ok()) {
-      out.status = state->part_status[part];  // first failing part wins
+    const Status& ps = state->part_status[part];
+    if (ps.ok()) continue;
+    if (ps.interrupted()) {
+      if (first_interruption.ok()) first_interruption = ps;
+    } else if (out.status.ok()) {
+      out.status = ps;
     }
   }
-  if (out.status.ok()) {
+  if (out.status.ok()) out.status = first_interruption;
+  // Interruptions (cancel/deadline) are partial-result statuses: the parts
+  // that completed are merged and delivered alongside the status. Any
+  // other failure keeps the old empty-results contract.
+  if (out.status.ok() || out.status.interrupted()) {
     for (auto& chunk : state->part_results) {
       out.results.insert(out.results.end(),
                          std::make_move_iterator(chunk.begin()),
                          std::make_move_iterator(chunk.end()));
     }
     // In-memory engines return their own (already deterministic) order;
-    // per-part merges need the canonical global-column ordering.
-    if (state->merge_parts) FinishPartMerge(&out.results);
+    // per-part merges need the canonical mode-aware ordering (kTopK chunks
+    // are per-part local top-ks, re-ranked and truncated here).
+    if (state->merge_parts) FinishQueryMerge(state->query, &out.results);
   }
   if (state->want_future) state->promise.set_value(out);
 }

@@ -1,11 +1,13 @@
 #ifndef PEXESO_SERVE_SERVE_SESSION_H_
 #define PEXESO_SERVE_SERVE_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -44,8 +46,11 @@ struct StreamChunk {
 struct QueryOutcome {
   Status status;
   /// Merged results. For a partitioned engine these are byte-identical to a
-  /// serial SearchPartitions call (concatenated in part order, then ordered
-  /// by global column id); empty when status is non-OK.
+  /// serial SearchPartitions call (concatenated in part order, then the
+  /// canonical mode-aware merge: global-column order for the threshold
+  /// modes, rank order for kTopK). When status is an interruption
+  /// (Cancelled / DeadlineExceeded) this holds the completed parts'
+  /// columns — valid partial results; on any other failure it is empty.
   std::vector<JoinableColumn> results;
   /// Counters accumulated in part order — deterministic at any thread count.
   SearchStats stats;
@@ -93,15 +98,33 @@ class ServeSession {
   ServeSession(const ServeSession&) = delete;
   ServeSession& operator=(const ServeSession&) = delete;
 
-  /// Submits a query; the future resolves when every part has completed.
-  /// `query` is borrowed and must stay alive until the query finishes.
-  std::future<QueryOutcome> Submit(const VectorStore* query,
-                                   SearchOptions options);
+  /// Submits a request; the future resolves when every part has completed.
+  /// `query.vectors` is borrowed and must stay alive until the query
+  /// finishes. Deadline/cancel controls are honored per part task: a part
+  /// whose query tripped before it started is skipped outright (the pool
+  /// never burns time on a dead query) and the outcome carries the
+  /// interruption status with the completed parts as partial results.
+  /// kTopK requests share the running k-th-best bound across the query's
+  /// part tasks: each completed part raises the floor later-starting parts
+  /// prune against.
+  std::future<QueryOutcome> Submit(JoinQuery query);
 
-  /// Streaming submit: per-part chunks via `on_chunk`, merged outcome via
-  /// Drain(). Returns the query's ticket (its index in Drain()'s output).
+  /// Streaming submit: per-part chunks via `on_chunk` (local top-k
+  /// candidates per part for kTopK), merged outcome via Drain(). Returns
+  /// the query's ticket (its index in Drain()'s output).
+  uint64_t SubmitStreaming(JoinQuery query, ChunkCallback on_chunk);
+
+  /// \deprecated Legacy-options shims over the JoinQuery submits, kept for
+  /// one release.
+  std::future<QueryOutcome> Submit(const VectorStore* query,
+                                   SearchOptions options) {
+    return Submit(JoinQuery::FromLegacy(query, options));
+  }
   uint64_t SubmitStreaming(const VectorStore* query, SearchOptions options,
-                           ChunkCallback on_chunk);
+                           ChunkCallback on_chunk) {
+    return SubmitStreaming(JoinQuery::FromLegacy(query, options),
+                           std::move(on_chunk));
+  }
 
   /// Blocks until every submitted query has finished and returns all
   /// outcomes so far in submission order (ticket order).
@@ -112,8 +135,7 @@ class ServeSession {
  private:
   struct QueryState;
 
-  uint64_t Enqueue(const VectorStore* query, SearchOptions options,
-                   ChunkCallback on_chunk, bool want_future,
+  uint64_t Enqueue(JoinQuery query, ChunkCallback on_chunk, bool want_future,
                    std::future<QueryOutcome>* future_out);
 
   /// Pool task: search one part of one query, emit its chunk, and finalize

@@ -49,6 +49,17 @@ struct SearchStats {
   /// by MAX (a sum would be meaningless across shards/queries) and it
   /// naturally varies with intra_query_threads.
   uint64_t shard_max_blocks = 0;
+  /// Columns abandoned by the kTopK pushdown because they provably could
+  /// not beat the running k-th-best joinability bound. The bound evolves
+  /// with execution order, so unlike the pipeline counters above this one
+  /// legitimately varies with the intra-query thread count (results never
+  /// do — a pruned column is outside the top-k under any schedule).
+  uint64_t columns_pruned_topk = 0;
+  /// Checkpoints at which a search stage stopped because the query's
+  /// deadline had passed or its CancelToken fired (engine entry, shard
+  /// column loops, per-partition and per-part-task checks all count one
+  /// each when they trip).
+  uint64_t deadline_expired = 0;
   /// Wall-clock split (seconds) of the two search phases.
   double block_seconds = 0.0;
   double verify_seconds = 0.0;
@@ -69,6 +80,8 @@ struct SearchStats {
     candidate_blocks += o.candidate_blocks;
     tiles_evaluated += o.tiles_evaluated;
     shard_max_blocks = std::max(shard_max_blocks, o.shard_max_blocks);
+    columns_pruned_topk += o.columns_pruned_topk;
+    deadline_expired += o.deadline_expired;
     block_seconds += o.block_seconds;
     verify_seconds += o.verify_seconds;
     return *this;

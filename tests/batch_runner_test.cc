@@ -175,9 +175,8 @@ TEST_F(BatchRunnerTest, EngineExceptionPropagatesToCaller) {
   class ThrowingEngine : public JoinSearchEngine {
    public:
     const char* name() const override { return "throwing"; }
-    std::vector<JoinableColumn> Search(const VectorStore&,
-                                       const SearchOptions&,
-                                       SearchStats*) const override {
+    Status Execute(const JoinQuery&, ResultSink*,
+                   SearchStats*) const override {
       throw std::runtime_error("engine exploded");
     }
   };

@@ -47,6 +47,13 @@ if [[ -x "$BUILD_DIR/bench/bench_pipeline" ]]; then
   "$BUILD_DIR/bench/bench_pipeline"
 fi
 
+if [[ -x "$BUILD_DIR/bench/bench_topk" ]]; then
+  # Writes BENCH_topk.json (kTopK pushdown vs the legacy verify-everything
+  # wrapper: distance-computation reduction, prune counts, parity check —
+  # counter-based, so meaningful on the 1-core CI box too).
+  "$BUILD_DIR/bench/bench_topk"
+fi
+
 if [[ "${PEXESO_CI_SANITIZE:-1}" == "1" ]]; then
   SAN_DIR="${SAN_BUILD_DIR:-build-asan}"
   SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
@@ -57,11 +64,13 @@ if [[ "${PEXESO_CI_SANITIZE:-1}" == "1" ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
   # serve_test and the TaskGroup half of common_test join the kernel/vector
   # suites here: cache eviction and concurrent streaming sessions are
-  # exactly where object-lifetime and data-race bugs hide.
+  # exactly where object-lifetime and data-race bugs hide. topk_test joins
+  # for the query-API controls (shared TopKBound, cancellation paths).
   cmake --build "$SAN_DIR" -j "$JOBS" \
-    --target kernel_test vec_test serve_test common_test pipeline_test
+    --target kernel_test vec_test serve_test common_test pipeline_test \
+    topk_test
   ctest --test-dir "$SAN_DIR" --output-on-failure \
-    -R '^(kernel_test|vec_test|serve_test|common_test|pipeline_test)$'
+    -R '^(kernel_test|vec_test|serve_test|common_test|pipeline_test|topk_test)$'
 fi
 
 if [[ "${PEXESO_CI_TSAN:-1}" == "1" ]]; then
@@ -74,10 +83,12 @@ if [[ "${PEXESO_CI_TSAN:-1}" == "1" ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
   # The suites where a pipeline/runner/session data race would live: shard
   # fan-out over shared match_map slices, TaskGroup completion tracking,
-  # intra-pool sharing across concurrent searches, streaming sessions. The
-  # explicit --timeout turns a TSan-slowed deadlock into a fast failure.
+  # intra-pool sharing across concurrent searches, streaming sessions, and
+  # the kTopK shared bound + cancellation tokens (topk_test). The explicit
+  # --timeout turns a TSan-slowed deadlock into a fast failure.
   cmake --build "$TSAN_DIR" -j "$JOBS" \
-    --target pipeline_test batch_runner_test serve_test common_test
+    --target pipeline_test batch_runner_test serve_test common_test \
+    topk_test
   ctest --test-dir "$TSAN_DIR" --output-on-failure --timeout 600 \
-    -R '^(pipeline_test|batch_runner_test|serve_test|common_test)$'
+    -R '^(pipeline_test|batch_runner_test|serve_test|common_test|topk_test)$'
 fi

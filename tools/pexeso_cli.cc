@@ -6,13 +6,13 @@
 //                     [--dim D] [--metric l2|cosine|l1]
 //   pexeso_cli search --index <index-file|partition-dir> --query <csv>
 //                     [--column <name>] [--tau F] [--t F] [--topk K]
-//                     [--mappings] [--stats] [--stream] [--threads N]
-//                     [--intra-threads N]
+//                     [--deadline-ms MS] [--mappings] [--stats] [--stream]
+//                     [--threads N] [--intra-threads N]
 //                     [--engine pexeso|pexeso-h|naive] [--cache-mb MB]
 //                     [--model chargram|wordavg] [--dim D]
 //   pexeso_cli batch  --index <index-file|partition-dir> --queries <csv-dir>
 //                     [--threads N] [--intra-threads N] [--tau F] [--t F]
-//                     [--stats] [--stream]
+//                     [--topk K] [--deadline-ms MS] [--stats] [--stream]
 //                     [--engine pexeso|pexeso-h|naive] [--cache-mb MB]
 //                     [--model ...] [--dim D]
 //   pexeso_cli info   --index <index-file|partition-dir>
@@ -33,8 +33,13 @@
 // ServeSession async path and prints per-partition result chunks as they
 // complete; --stats additionally reports cache hit/miss/eviction counters.
 //
-// Every online command goes through the JoinSearchEngine interface, so
-// --engine swaps the search method without touching the driver logic.
+// Every online command builds a JoinQuery and goes through
+// JoinSearchEngine::Execute, so --engine swaps the search method without
+// touching the driver logic. --topk selects QueryMode::kTopK (the ranking
+// is pushed into the verifier, and --stats now reports through it);
+// --deadline-ms budgets the query — an expired/cancelled query returns its
+// partial results plus a DeadlineExceeded/Cancelled note instead of
+// burning the worker pool.
 
 #include <algorithm>
 #include <cstdio>
@@ -53,7 +58,6 @@
 #include "core/batch_runner.h"
 #include "core/pexeso_index.h"
 #include "core/searcher.h"
-#include "core/topk.h"
 #include "embed/char_gram_model.h"
 #include "embed/word_avg_model.h"
 #include "partition/partitioned_pexeso.h"
@@ -166,6 +170,10 @@ void PrintStats(const SearchStats& stats) {
               static_cast<unsigned long long>(stats.tiles_evaluated));
   std::printf("  max shard blocks:        %llu\n",
               static_cast<unsigned long long>(stats.shard_max_blocks));
+  std::printf("  topk-pruned columns:     %llu\n",
+              static_cast<unsigned long long>(stats.columns_pruned_topk));
+  std::printf("  deadline expirations:    %llu\n",
+              static_cast<unsigned long long>(stats.deadline_expired));
   std::printf("  block/verify seconds:    %.4f / %.4f\n", stats.block_seconds,
               stats.verify_seconds);
 }
@@ -223,11 +231,12 @@ int Usage() {
                "--partitions K --model chargram|wordavg --dim D "
                "--metric l2|cosine|l1]\n"
                "  search --index FILE|PARTDIR --query CSV [--column NAME "
-               "--tau F --t F --topk K --mappings --stats --stream "
-               "--threads N --intra-threads N --cache-mb MB "
+               "--tau F --t F --topk K --deadline-ms MS --mappings --stats "
+               "--stream --threads N --intra-threads N --cache-mb MB "
                "--engine pexeso|pexeso-h|naive --model ... --dim D]\n"
                "  batch  --index FILE|PARTDIR --queries DIR [--threads N "
-               "--intra-threads N --tau F --t F --stats --stream "
+               "--intra-threads N --tau F --t F --topk K --deadline-ms MS "
+               "--stats --stream "
                "--cache-mb MB --engine ... --model ... --dim D]\n"
                "  info   --index FILE|PARTDIR\n"
                "PARTDIR is a PartitionedPexeso directory (part-<i>.pxso): "
@@ -235,7 +244,10 @@ int Usage() {
                "budgeted index cache; --stream emits per-partition chunks "
                "as they complete. --intra-threads shards the verification "
                "of EACH query column (use for huge query columns); "
-               "--threads fans out across queries/partitions.\n");
+               "--threads fans out across queries/partitions. --topk K "
+               "returns the K best columns by joinability (pruned search); "
+               "--deadline-ms caps a query's wall clock — on expiry you get "
+               "the partial results plus a DeadlineExceeded note.\n");
   return 2;
 }
 
@@ -481,19 +493,34 @@ int CmdIndex(const Flags& flags) {
   return 0;
 }
 
+/// Applies the flags every online command shares to a JoinQuery whose
+/// vectors/thresholds are already set: --topk, --deadline-ms,
+/// --intra-threads.
+void ApplyQueryFlags(const Flags& flags, JoinQuery* jq) {
+  jq->intra_query_threads = IntraThreadsFlag(flags);
+  const long topk = flags.GetInt("topk", 0);
+  if (topk > 0) {
+    jq->mode = QueryMode::kTopK;
+    jq->k = static_cast<size_t>(topk);
+  }
+  const double deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  if (deadline_ms > 0.0) jq->deadline = Deadline::AfterMillis(deadline_ms);
+}
+
 /// The --stream search path: one ServeSession query, chunks printed as the
 /// partitions complete, then the deterministic merged result.
-int StreamSearch(const OnlineContext& ctx, const VectorStore& query,
-                 const SearchOptions& sopts, size_t threads,
-                 size_t intra_threads, bool want_stats) {
+int StreamSearch(const OnlineContext& ctx, const JoinQuery& jq,
+                 size_t threads, size_t intra_threads, bool want_stats) {
   serve::ServeSession session(
       ctx.engine.get(),
       {.num_threads = threads, .intra_query_threads = intra_threads});
   std::mutex print_mu;
-  session.SubmitStreaming(&query, sopts, [&](const serve::StreamChunk& c) {
+  session.SubmitStreaming(jq, [&](const serve::StreamChunk& c) {
     std::lock_guard<std::mutex> lock(print_mu);
     if (!c.status.ok()) {
-      std::printf("[part %zu/%zu] FAILED: %s\n", c.part + 1, c.parts_total,
+      // An interrupted part is expected under --deadline-ms, not a failure.
+      std::printf("[part %zu/%zu] %s: %s\n", c.part + 1, c.parts_total,
+                  c.status.interrupted() ? "stopped early" : "FAILED",
                   c.status.ToString().c_str());
       return;
     }
@@ -504,10 +531,14 @@ int StreamSearch(const OnlineContext& ctx, const VectorStore& query,
   });
   auto outcomes = session.Drain();
   const serve::QueryOutcome& out = outcomes.front();
-  if (!out.status.ok()) {
+  if (!out.status.ok() && !out.status.interrupted()) {
     std::fprintf(stderr, "streamed search failed: %s\n",
                  out.status.ToString().c_str());
     return 1;
+  }
+  if (out.status.interrupted()) {
+    std::printf("\nquery stopped early (%s); merged partial results:\n",
+                out.status.ToString().c_str());
   }
   std::printf("\nmerged: %zu joinable column(s) via %s (%.3fs partition "
               "IO)\n",
@@ -536,11 +567,12 @@ int CmdSearch(const Flags& flags) {
     std::printf("query column auto-selected: '%s'\n", column.c_str());
   }
 
-  SearchOptions sopts;
-  sopts.thresholds =
+  JoinQuery jq;
+  jq.vectors = &query;
+  jq.thresholds =
       ctx.thresholds.Resolve(*ctx.metric, ctx.model->dim(), query.size());
-  sopts.collect_mappings = flags.Has("mappings");
-  sopts.intra_query_threads = IntraThreadsFlag(flags);
+  jq.collect_mappings = flags.Has("mappings");
+  ApplyQueryFlags(flags, &jq);
   const bool want_stats = flags.Has("stats");
 
   if (flags.Has("stream")) {
@@ -550,34 +582,33 @@ int CmdSearch(const Flags& flags) {
                    "results are per-partition chunks)\n");
       return 2;
     }
-    if (flags.GetInt("topk", 0) > 0) {
-      std::fprintf(stderr,
-                   "--topk is not supported with --stream (ranking needs "
-                   "the complete result set)\n");
-      return 2;
-    }
-    return StreamSearch(ctx, query, sopts, ThreadsFlag(flags),
-                        IntraThreadsFlag(flags), want_stats);
+    return StreamSearch(ctx, jq, ThreadsFlag(flags), IntraThreadsFlag(flags),
+                        want_stats);
   }
 
-  std::vector<JoinableColumn> results;
   SearchStats stats;
-  const long topk = flags.GetInt("topk", 0);
-  if (topk > 0) {
-    results = SearchTopK(*ctx.engine, query, sopts.thresholds.tau,
-                         static_cast<size_t>(topk));
-    if (want_stats) {
-      std::fprintf(stderr, "--stats is not tracked through --topk ranking\n");
-    }
-  } else {
-    results = ctx.engine->Search(query, sopts, want_stats ? &stats : nullptr);
+  CollectSink sink;
+  const Status st = ctx.engine->Execute(jq, &sink, want_stats ? &stats
+                                                              : nullptr);
+  const std::vector<JoinableColumn>& results = sink.columns();
+  if (!st.ok() && !st.interrupted()) {
+    std::fprintf(stderr, "search failed: %s\n", st.ToString().c_str());
+    return 1;
   }
-
-  std::printf("%zu joinable column(s) via %s (tau=%.3f, T=%u/%zu):\n",
-              results.size(), ctx.engine->name(), sopts.thresholds.tau,
-              sopts.thresholds.t_abs, query.size());
+  if (st.interrupted()) {
+    std::printf("query stopped early (%s); partial results:\n",
+                st.ToString().c_str());
+  }
+  if (jq.mode == QueryMode::kTopK) {
+    std::printf("top-%zu joinable column(s) via %s (tau=%.3f):\n",
+                jq.k, ctx.engine->name(), jq.thresholds.tau);
+  } else {
+    std::printf("%zu joinable column(s) via %s (tau=%.3f, T=%u/%zu):\n",
+                results.size(), ctx.engine->name(), jq.thresholds.tau,
+                jq.thresholds.t_abs, query.size());
+  }
   for (const auto& r : results) PrintResult(ctx, r, "  ");
-  if (want_stats && topk <= 0) {
+  if (want_stats) {
     PrintStats(stats);
     if (ctx.cache) PrintCacheStats(*ctx.cache);
   }
@@ -589,8 +620,7 @@ int CmdSearch(const Flags& flags) {
 /// the deterministic per-query summaries print after the drain.
 int StreamBatch(const OnlineContext& ctx,
                 const std::vector<std::string>& names,
-                const std::vector<VectorStore>& queries,
-                const std::vector<SearchOptions>& sopts, size_t threads,
+                const std::vector<JoinQuery>& queries, size_t threads,
                 size_t intra_threads, bool want_stats) {
   serve::ServeSession session(
       ctx.engine.get(),
@@ -599,7 +629,7 @@ int StreamBatch(const OnlineContext& ctx,
   Stopwatch watch;
   for (size_t i = 0; i < queries.size(); ++i) {
     session.SubmitStreaming(
-        &queries[i], sopts[i], [&, i](const serve::StreamChunk& c) {
+        queries[i], [&, i](const serve::StreamChunk& c) {
           std::lock_guard<std::mutex> lock(print_mu);
           std::printf("  %-40s part %zu/%zu: %zu joinable%s\n",
                       names[i].c_str(), c.part + 1, c.parts_total,
@@ -616,14 +646,16 @@ int StreamBatch(const OnlineContext& ctx,
   SearchStats stats;
   int rc = 0;
   for (size_t i = 0; i < outcomes.size(); ++i) {
-    if (!outcomes[i].status.ok()) {
+    if (!outcomes[i].status.ok() && !outcomes[i].status.interrupted()) {
       std::printf("  %-40s FAILED: %s\n", names[i].c_str(),
                   outcomes[i].status.ToString().c_str());
       rc = 1;
       continue;
     }
-    std::printf("  %-40s %zu joinable column(s)\n", names[i].c_str(),
-                outcomes[i].results.size());
+    std::printf("  %-40s %zu joinable column(s)%s\n", names[i].c_str(),
+                outcomes[i].results.size(),
+                outcomes[i].status.interrupted() ? " (partial: stopped early)"
+                                                 : "");
     for (const auto& r : outcomes[i].results) PrintResult(ctx, r, "    ");
     stats += outcomes[i].stats;
   }
@@ -677,12 +709,16 @@ int CmdBatch(const Flags& flags) {
     return 1;
   }
 
-  std::vector<SearchOptions> sopts(queries.size());
+  // The whole batch shares one absolute deadline (resolved once here), so
+  // --deadline-ms budgets the batch as a unit: queries past the budget
+  // return partial results instead of queuing indefinitely.
+  std::vector<JoinQuery> jqs(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    sopts[i].thresholds =
+    jqs[i].vectors = &queries[i];
+    jqs[i].thresholds =
         ctx.thresholds.Resolve(*ctx.metric, ctx.model->dim(),
                                queries[i].size());
-    sopts[i].intra_query_threads = IntraThreadsFlag(flags);
+    ApplyQueryFlags(flags, &jqs[i]);
   }
 
   if (flags.Has("stream")) {
@@ -692,14 +728,14 @@ int CmdBatch(const Flags& flags) {
                    "results are per-partition chunks)\n");
       return 2;
     }
-    return StreamBatch(ctx, names, queries, sopts, ThreadsFlag(flags),
+    return StreamBatch(ctx, names, jqs, ThreadsFlag(flags),
                        IntraThreadsFlag(flags), flags.Has("stats"));
   }
 
   BatchRunnerOptions bopts;
   bopts.num_threads = ThreadsFlag(flags);
   BatchQueryRunner runner(ctx.engine.get(), bopts);
-  BatchResult batch = runner.Run(queries, sopts);
+  BatchResult batch = runner.Run(jqs);
 
   std::printf("batch of %zu query columns via %s on %zu thread(s): %.3fs "
               "(%.1f columns/s)\n",
@@ -712,16 +748,25 @@ int CmdBatch(const Flags& flags) {
                 "the whole batch)\n",
                 batch.io_seconds);
   }
+  int rc = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
-    std::printf("  %-40s %zu joinable column(s)\n", names[i].c_str(),
-                batch.results[i].size());
+    const Status& st = batch.statuses[i];
+    if (!st.ok() && !st.interrupted()) {
+      std::printf("  %-40s FAILED: %s\n", names[i].c_str(),
+                  st.ToString().c_str());
+      rc = 1;
+      continue;
+    }
+    std::printf("  %-40s %zu joinable column(s)%s\n", names[i].c_str(),
+                batch.results[i].size(),
+                st.interrupted() ? " (partial: stopped early)" : "");
     for (const auto& r : batch.results[i]) PrintResult(ctx, r, "    ");
   }
   if (flags.Has("stats")) {
     PrintStats(batch.stats);
     if (ctx.cache) PrintCacheStats(*ctx.cache);
   }
-  return 0;
+  return rc;
 }
 
 int CmdInfo(const Flags& flags) {
