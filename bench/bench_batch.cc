@@ -41,7 +41,7 @@ void BatchThroughputExperiment(const VectorLakeOptions& profile) {
   const size_t batch_size = std::max<size_t>(64, NumQueries(64));
   std::vector<VectorStore> queries = MakeQueries(profile, batch_size, 20);
   FractionalThresholds ft{0.06, 0.6};
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = ft.Resolve(metric, profile.dim, 20);
 
   std::printf("\nbatch: %zu query columns of 20 vectors\n", batch_size);
@@ -52,7 +52,7 @@ void BatchThroughputExperiment(const VectorLakeOptions& profile) {
   double t1 = 0.0;
   for (size_t threads = 1; threads <= MaxThreads(); threads *= 2) {
     BatchQueryRunner runner(&searcher, {.num_threads = threads});
-    BatchResult r = runner.Run(queries, sopts);
+    BatchResult r = runner.Run(BindQueries(queries, sopts));
     if (threads == 1) {
       serial = r;
       t1 = r.wall_seconds;

@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/stopwatch.h"
+#include "core/engine.h"
 #include "core/pexeso_index.h"
 #include "core/searcher.h"
 #include "datagen/vector_lake.h"
@@ -14,11 +16,59 @@
 
 namespace pexeso::bench {
 
+/// Executes `jq` (with its vectors field pointed at `query`) against
+/// `engine` and returns the collected results, aborting on a non-OK status.
+inline std::vector<JoinableColumn> MustSearch(const JoinSearchEngine& engine,
+                                              const VectorStore& query,
+                                              JoinQuery jq,
+                                              SearchStats* stats = nullptr) {
+  jq.vectors = &query;
+  auto results = ExecuteCollect(engine, jq, stats);
+  PEXESO_CHECK_MSG(results.ok(), results.status().ToString().c_str());
+  return std::move(results).ValueOrDie();
+}
+
+/// MustSearch with a default-mode (kThreshold) query at `thresholds`.
+inline std::vector<JoinableColumn> MustSearch(const JoinSearchEngine& engine,
+                                              const VectorStore& query,
+                                              const SearchThresholds& thresholds,
+                                              SearchStats* stats = nullptr) {
+  JoinQuery jq;
+  jq.thresholds = thresholds;
+  return MustSearch(engine, query, std::move(jq), stats);
+}
+
 /// Wall-clock of one callable, in seconds.
 inline double TimeIt(const std::function<void()>& fn) {
   Stopwatch w;
   fn();
   return w.ElapsedSeconds();
+}
+
+/// Returns `jq` with its vectors field pointed at `query` — the one-liner
+/// for APIs that take a fully-bound JoinQuery. `query` must outlive the
+/// returned request.
+inline JoinQuery BindQuery(const VectorStore& query, JoinQuery jq) {
+  jq.vectors = &query;
+  return jq;
+}
+
+/// Expands (queries, shared prototype) into the per-query JoinQuery vector
+/// BatchQueryRunner::Run takes. `queries` must outlive the result.
+inline std::vector<JoinQuery> BindQueries(
+    const std::vector<VectorStore>& queries, const JoinQuery& prototype) {
+  std::vector<JoinQuery> jqs(queries.size(), prototype);
+  for (size_t i = 0; i < queries.size(); ++i) jqs[i].vectors = &queries[i];
+  return jqs;
+}
+
+/// BindQueries with per-query options (positionally aligned).
+inline std::vector<JoinQuery> BindQueries(
+    const std::vector<VectorStore>& queries,
+    const std::vector<JoinQuery>& options) {
+  std::vector<JoinQuery> jqs = options;
+  for (size_t i = 0; i < queries.size(); ++i) jqs[i].vectors = &queries[i];
+  return jqs;
 }
 
 /// Prints a banner naming the experiment and the dataset substitution note.

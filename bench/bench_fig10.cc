@@ -32,10 +32,10 @@ Cell Measure(const ColumnCatalog& catalog, const VectorLakeOptions& profile) {
   PexesoSearcher searcher(&index);
   PexesoHSearcher hsearcher(&index);
   for (const auto& q : queries) {
-    SearchOptions sopts;
+    JoinQuery sopts;
     sopts.thresholds = ft.Resolve(metric, profile.dim, q.size());
-    cell.t_pexeso += TimeIt([&] { searcher.Search(q, sopts, nullptr); });
-    cell.t_h += TimeIt([&] { hsearcher.Search(q, sopts, nullptr); });
+    cell.t_pexeso += TimeIt([&] { MustSearch(searcher, q, sopts, nullptr); });
+    cell.t_h += TimeIt([&] { MustSearch(hsearcher, q, sopts, nullptr); });
   }
   cell.t_pexeso /= static_cast<double>(nq);
   cell.t_h /= static_cast<double>(nq);

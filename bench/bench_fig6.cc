@@ -34,12 +34,12 @@ void RunProfile(const char* name, const VectorLakeOptions& profile) {
 
   SearchStats s_ctree, s_ept, s_h, s_px;
   for (const auto& q : queries) {
-    JoinableRangeSearcher(&catalog, &ctree).Search(q, th, &s_ctree);
-    JoinableRangeSearcher(&catalog, &ept).Search(q, th, &s_ept);
-    SearchOptions sopts;
+    MustSearch(JoinableRangeSearcher(&catalog, &ctree), q, th, &s_ctree);
+    MustSearch(JoinableRangeSearcher(&catalog, &ept), q, th, &s_ept);
+    JoinQuery sopts;
     sopts.thresholds = th;
-    PexesoHSearcher(&index).Search(q, sopts, &s_h);
-    PexesoSearcher(&index).Search(q, sopts, &s_px);
+    MustSearch(PexesoHSearcher(&index), q, sopts, &s_h);
+    MustSearch(PexesoSearcher(&index), q, sopts, &s_px);
   }
 
   std::printf("\n%s: %zu vectors, dim %u (%zu queries)\n", name,

@@ -39,9 +39,9 @@ void PivotSelectionExperiment(const VectorLakeOptions& base) {
       PexesoIndex index = PexesoIndex::Build(std::move(copy), &metric, opts);
       PexesoSearcher searcher(&index);
       for (const auto& q : queries) {
-        SearchOptions sopts;
+        JoinQuery sopts;
         sopts.thresholds = ft.Resolve(metric, profile.dim, q.size());
-        times[strategy] += TimeIt([&] { searcher.Search(q, sopts, nullptr); });
+        times[strategy] += TimeIt([&] { MustSearch(searcher, q, sopts, nullptr); });
       }
     }
     std::printf("%10zu %12.4f %12.4f\n", num_vectors, times[0], times[1]);
@@ -80,11 +80,11 @@ void PartitioningExperiment(const VectorLakeOptions& profile) {
           PartitionedPexeso::Build(catalog, assign, dir, &metric, opts);
       if (!parts.ok()) continue;
       for (const auto& q : queries) {
-        SearchOptions sopts;
+        JoinQuery sopts;
         sopts.thresholds = ft.Resolve(metric, profile.dim, q.size());
         double io = 0.0;
         Stopwatch w;
-        auto r = parts.value().SearchPartitions(q, sopts, nullptr, &io);
+        auto r = parts.value().SearchPartitions(BindQuery(q, sopts), nullptr, &io);
         // Exclude disk I/O: the figure compares partition *quality* (how
         // well each part's pivots filter), not disk throughput.
         times[strategy] += w.ElapsedSeconds() - io;

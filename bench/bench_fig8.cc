@@ -66,13 +66,13 @@ void Sweep(Fig8State* st, const VectorLakeOptions& profile, bool vary_tau) {
     double t85 = 0, t75 = 0, tpx = 0;
     for (const auto& q : queries) {
       JoinableRangeSearcher s85(&st->catalog, &st->pq85);
-      t85 += TimeIt([&] { s85.Search(q, th, nullptr); });
+      t85 += TimeIt([&] { MustSearch(s85, q, th, nullptr); });
       JoinableRangeSearcher s75(&st->catalog, &st->pq75);
-      t75 += TimeIt([&] { s75.Search(q, th, nullptr); });
+      t75 += TimeIt([&] { MustSearch(s75, q, th, nullptr); });
       PexesoSearcher searcher(&st->index);
-      SearchOptions sopts;
+      JoinQuery sopts;
       sopts.thresholds = th;
-      tpx += TimeIt([&] { searcher.Search(q, sopts, nullptr); });
+      tpx += TimeIt([&] { MustSearch(searcher, q, sopts, nullptr); });
     }
     const double dn = static_cast<double>(nq);
     std::printf("%6d %10.4f %10.4f %10.4f\n", label, t85 / dn, t75 / dn,

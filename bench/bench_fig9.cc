@@ -49,10 +49,10 @@ void RunProfile(const char* name, const VectorLakeOptions& profile) {
   for (const auto& v : variants) {
     double total = 0.0;
     for (const auto& q : queries) {
-      SearchOptions sopts;
+      JoinQuery sopts;
       sopts.thresholds = ft.Resolve(metric, profile.dim, q.size());
       sopts.ablation = v.config;
-      total += TimeIt([&] { searcher.Search(q, sopts, nullptr); });
+      total += TimeIt([&] { MustSearch(searcher, q, sopts, nullptr); });
     }
     std::printf("  %-14s %10.4f s\n", v.label,
                 total / static_cast<double>(nq));

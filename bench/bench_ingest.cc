@@ -1,0 +1,239 @@
+// bench_ingest: query throughput of a LIVE lake — one that keeps absorbing
+// appends and drops through LakeManager's delta/tombstone/merge lifecycle —
+// against the static index over the same final content.
+//
+// Three phases over one synthetic lake profile:
+//
+//   static_initial  queries against the freshly-created lake (no churn) —
+//                   the pre-ingest baseline.
+//   live_ingest     the ingest stream lands batch by batch (background
+//                   merges enabled, a few drops mid-stream) with a query
+//                   round after every batch — queries/sec while ingesting.
+//   static_final    after MergeAll folds everything, queries against the
+//                   fully-compacted lake — the static baseline the live
+//                   phase is judged against (target: within ~20%).
+//
+// The CI box has one hardware thread, so the headline numbers are work
+// counts (distance computations, delta columns searched, tombstones
+// masked, columns merged), with wall-clock throughput recorded alongside.
+// Results go to stdout and BENCH_ingest.json ("BENCH_ingest/v1").
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/thread_pool.h"
+#include "lake/lake_manager.h"
+
+namespace pexeso::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct PhaseRow {
+  std::string name;
+  size_t queries = 0;
+  size_t live_columns = 0;  // columns visible by the end of the phase
+  double seconds = 0.0;
+  uint64_t distance_computations = 0;
+  uint64_t delta_columns_searched = 0;
+  uint64_t tombstones_masked = 0;
+
+  double Qps() const {
+    return static_cast<double>(queries) / std::max(seconds, 1e-9);
+  }
+};
+
+/// Columns [first, first+count) of `from` as their own catalog (metadata
+/// preserved; the lake re-keys source ids on append anyway).
+ColumnCatalog Slice(const ColumnCatalog& from, uint32_t first,
+                    uint32_t count) {
+  ColumnCatalog out(from.dim());
+  for (uint32_t c = first; c < first + count; ++c) {
+    const ColumnMeta& meta = from.column(c);
+    out.AddColumn(meta, from.store().View(meta.first), meta.count);
+  }
+  return out;
+}
+
+/// One timed query round: every query in `queries` once, serially.
+void QueryRound(const lake::LakeManager& lake,
+                const std::vector<VectorStore>& queries,
+                const SearchThresholds& thresholds, PhaseRow* row) {
+  for (const VectorStore& q : queries) {
+    SearchStats stats;
+    row->seconds += TimeIt([&] { MustSearch(lake, q, thresholds, &stats); });
+    row->queries += 1;
+    row->distance_computations += stats.distance_computations;
+    row->delta_columns_searched += stats.delta_columns_searched;
+    row->tombstones_masked += stats.tombstones_masked;
+  }
+}
+
+void WriteIngestBenchJson(const std::vector<PhaseRow>& rows,
+                          size_t columns_merged, double merge_seconds,
+                          double live_vs_static) {
+  const char* path_env = std::getenv("PEXESO_BENCH_INGEST_JSON");
+  const std::string path =
+      path_env != nullptr ? path_env : "BENCH_ingest.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"BENCH_ingest/v1\",\n");
+  std::fprintf(f, "  \"hw_threads\": %u,\n",
+               std::max(1u, std::thread::hardware_concurrency()));
+  std::fprintf(f, "  \"columns_merged\": %zu,\n", columns_merged);
+  std::fprintf(f, "  \"merge_seconds\": %.4f,\n", merge_seconds);
+  std::fprintf(f, "  \"merge_columns_per_sec\": %.0f,\n",
+               static_cast<double>(columns_merged) /
+                   std::max(merge_seconds, 1e-9));
+  std::fprintf(f, "  \"live_vs_static_final_qps\": %.3f,\n", live_vs_static);
+  std::fprintf(f, "  \"phases\": [");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PhaseRow& r = rows[i];
+    std::fprintf(f,
+                 "%s\n    {\"phase\": \"%s\", \"queries\": %zu, "
+                 "\"live_columns\": %zu, "
+                 "\"distance_computations\": %llu, "
+                 "\"delta_columns_searched\": %llu, "
+                 "\"tombstones_masked\": %llu, "
+                 "\"queries_per_sec\": %.1f, \"seconds\": %.4f}",
+                 i == 0 ? "" : ",", r.name.c_str(), r.queries, r.live_columns,
+                 static_cast<unsigned long long>(r.distance_computations),
+                 static_cast<unsigned long long>(r.delta_columns_searched),
+                 static_cast<unsigned long long>(r.tombstones_masked),
+                 r.Qps(), r.seconds);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+void IngestExperiment() {
+  const double scale = BenchProfiles::EnvScale();
+  VectorLakeOptions profile;
+  profile.dim = 32;
+  profile.num_columns = static_cast<uint32_t>(360 * scale);
+  profile.avg_col_size = 32.0;
+  profile.num_clusters = 24;
+
+  ColumnCatalog all = GenerateVectorLake(profile);
+  const uint32_t total = static_cast<uint32_t>(all.num_columns());
+  const uint32_t initial = total * 2 / 3;
+  const uint32_t stream = total - initial;
+  const uint32_t batch_size = std::max<uint32_t>(4, stream / 10);
+  std::printf("lake: %u initial + %u streamed columns (batches of %u), "
+              "dim %u\n",
+              initial, stream, batch_size, all.dim());
+
+  L2Metric metric;
+  const std::string dir = "/tmp/pexeso_bench_ingest";
+  fs::remove_all(dir);
+
+  ThreadPool merge_pool(2);
+  lake::LakeOptions lopts;
+  lopts.index_options.num_pivots = 5;
+  lopts.index_options.levels = 5;
+  lopts.delta_freeze_columns = batch_size * 2;  // merge every ~2 batches
+  lopts.merge_pool = &merge_pool;
+
+  constexpr uint32_t kLakeParts = 4;
+  PartitionAssignment assignment(initial);
+  for (uint32_t c = 0; c < initial; ++c) assignment[c] = c % kLakeParts;
+  auto created = lake::LakeManager::Create(Slice(all, 0, initial), assignment,
+                                           dir, &metric, lopts);
+  if (!created.ok()) {
+    std::fprintf(stderr, "create: %s\n", created.status().ToString().c_str());
+    std::abort();
+  }
+  auto lake = std::move(created).ValueOrDie();
+
+  const size_t nq = NumQueries(5);
+  const std::vector<VectorStore> queries = MakeQueries(profile, nq, 24);
+  FractionalThresholds ft{0.06, 0.5};
+  const SearchThresholds thresholds =
+      ft.Resolve(metric, profile.dim, queries.front().size());
+
+  std::vector<PhaseRow> rows;
+
+  // ---- phase 1: the untouched initial lake.
+  PhaseRow static_initial{.name = "static_initial"};
+  QueryRound(*lake, queries, thresholds, &static_initial);
+  static_initial.live_columns = initial;
+  rows.push_back(static_initial);
+
+  // ---- phase 2: the ingest stream, one query round per landed batch.
+  PhaseRow live{.name = "live_ingest"};
+  std::vector<uint32_t> appended_ids;
+  Stopwatch ingest_watch;
+  uint32_t sent = 0;
+  size_t batches = 0;
+  while (sent < stream) {
+    const uint32_t n = std::min(batch_size, stream - sent);
+    auto ids = lake->AppendColumns(Slice(all, initial + sent, n));
+    appended_ids.insert(appended_ids.end(), ids.begin(), ids.end());
+    sent += n;
+    ++batches;
+    // Mid-stream churn: drop a handful of earlier appends, so the query
+    // rounds below run against deltas AND a live tombstone mask.
+    if (batches == 5 && appended_ids.size() >= 4) {
+      lake->DropColumns({appended_ids[0], appended_ids[1], appended_ids[2],
+                         appended_ids[3]});
+    }
+    QueryRound(*lake, queries, thresholds, &live);
+  }
+  const double ingest_wall = ingest_watch.ElapsedSeconds();
+  live.live_columns = initial + sent - (batches >= 5 ? 4 : 0);
+  rows.push_back(live);
+
+  // ---- merge accounting: drain the background passes, then compact fully.
+  Stopwatch merge_watch;
+  if (!lake->WaitForMerges().ok() || !lake->MergeAll().ok()) {
+    std::fprintf(stderr, "merge failed\n");
+    std::abort();
+  }
+  const double merge_seconds = merge_watch.ElapsedSeconds();
+
+  // ---- phase 3: the compacted lake over the same final content.
+  PhaseRow static_final{.name = "static_final"};
+  QueryRound(*lake, queries, thresholds, &static_final);
+  static_final.live_columns = rows.back().live_columns;
+  rows.push_back(static_final);
+
+  const double live_vs_static = live.Qps() / std::max(static_final.Qps(), 1e-9);
+  std::printf("\n%-16s %9s %12s %18s %14s %12s\n", "phase", "queries",
+              "live cols", "distance comps", "delta cols", "qps");
+  for (const PhaseRow& r : rows) {
+    std::printf("%-16s %9zu %12zu %18llu %14llu %12.1f\n", r.name.c_str(),
+                r.queries, r.live_columns,
+                static_cast<unsigned long long>(r.distance_computations),
+                static_cast<unsigned long long>(r.delta_columns_searched),
+                r.Qps());
+  }
+  std::printf("\ningest wall: %.3fs for %u columns (%zu batches); "
+              "final compaction: %.3fs\n",
+              ingest_wall, sent, batches, merge_seconds);
+  std::printf("live-ingest throughput is %.0f%% of the compacted lake's "
+              "(target: >= 80%%)\n",
+              live_vs_static * 100.0);
+
+  WriteIngestBenchJson(rows, initial + sent, merge_seconds, live_vs_static);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pexeso::bench
+
+int main() {
+  using namespace pexeso::bench;
+  Banner("bench_ingest: live-lake ingest vs static query throughput",
+         "the data-lake setting of Section 1 (tables arrive continuously)");
+  IngestExperiment();
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/pexeso_index.h"
@@ -281,10 +282,10 @@ void BM_PexesoSearch(benchmark::State& state) {
   PexesoSearcher searcher(&index);
   VectorStore query = GenerateVectorQuery(opts, 40, 99);
   FractionalThresholds ft{0.06, 0.6};
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = ft.Resolve(metric, opts.dim, query.size());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(searcher.Search(query, sopts, nullptr));
+    benchmark::DoNotOptimize(bench::MustSearch(searcher, query, sopts, nullptr));
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -12,7 +12,7 @@
 //               and re-pushed every cursor (O(k log k)) — this cell guards
 //               against that regressing.
 //   scaling     intra-query thread scaling of one large query column
-//               (SearchOptions::intra_query_threads 1/2/4/8), with a
+//               (JoinQuery::intra_query_threads 1/2/4/8), with a
 //               byte-identical check against the serial search. Wall-clock
 //               speedup needs physical cores; hw_threads is recorded so a
 //               1-core CI box's ~1.0x reads as what it is.
@@ -227,7 +227,7 @@ void PipelineExperiment() {
   // help with.
   VectorStore query = GenerateVectorQuery(profile, 1024, 99);
   FractionalThresholds ft{0.06, 0.5};
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = ft.Resolve(metric, profile.dim, query.size());
 
   // -------------------------------------------- stage-1 regression guard
@@ -273,7 +273,7 @@ void PipelineExperiment() {
   std::printf("%8s %12s %9s %10s\n", "threads", "wall (s)", "speedup",
               "identical");
   for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
-    SearchOptions topts = sopts;
+    JoinQuery topts = sopts;
     topts.intra_query_threads = threads;
     std::vector<JoinableColumn> results;
     // Best of three: thread-pool spin-up and scheduling noise dominate the
@@ -281,7 +281,7 @@ void PipelineExperiment() {
     double best = 1e30;
     for (int rep = 0; rep < 3; ++rep) {
       const double t = TimeIt([&] {
-        results = searcher.Search(query, topts,
+        results = MustSearch(searcher, query, topts,
                                   threads == 1 ? &serial_stats : nullptr);
       });
       best = std::min(best, t);

@@ -123,7 +123,7 @@ void ServeExperiment(const VectorLakeOptions& profile) {
   const size_t num_queries = std::max<size_t>(16, NumQueries(24));
   std::vector<VectorStore> queries = MakeQueries(profile, num_queries, 20);
   FractionalThresholds ft{0.05, 0.6};
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = ft.Resolve(metric, profile.dim, 20);
   const size_t threads = std::min<size_t>(
       4, std::max(1u, std::thread::hardware_concurrency()));
@@ -131,7 +131,7 @@ void ServeExperiment(const VectorLakeOptions& profile) {
   // The determinism oracle: serial SearchPartitions per query.
   std::vector<std::vector<JoinableColumn>> oracle;
   for (const auto& q : queries) {
-    auto r = parts.SearchPartitions(q, sopts, nullptr);
+    auto r = parts.SearchPartitions(BindQuery(q, sopts), nullptr);
     if (!r.ok()) {
       std::fprintf(stderr, "oracle search failed: %s\n",
                    r.status().ToString().c_str());
@@ -161,7 +161,7 @@ void ServeExperiment(const VectorLakeOptions& profile) {
     }
     BatchQueryRunner runner(
         &parts, {.num_threads = threads, .partition_mode = mode});
-    BatchResult batch = runner.Run(queries, sopts);
+    BatchResult batch = runner.Run(BindQueries(queries, sopts));
     Row row;
     row.name = name;
     row.wall_seconds = batch.wall_seconds;

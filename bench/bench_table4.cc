@@ -242,9 +242,9 @@ class Table4Runner {
       for (double tau_frac : {0.2, 0.3, 0.4}) {
         for (double t : {0.3, 0.5, 0.7}) {
           FractionalThresholds ft{tau_frac, t};
-          SearchOptions sopts;
+          JoinQuery sopts;
           sopts.thresholds = ft.Resolve(metric_, model_->dim(), qv.size());
-          auto tables = TablesOf(searcher.Search(qv, sopts, nullptr));
+          auto tables = TablesOf(MustSearch(searcher, qv, sopts, nullptr));
           const double f1 = F1(tables, truth);
           if (f1 > best_f1) {
             best_f1 = f1;
@@ -265,7 +265,7 @@ class Table4Runner {
       pq.CalibrateRadiusScale(qv, pexeso_best_th.tau, 0.85, &metric_);
       JoinableRangeSearcher searcher(&repo_->catalog(), &pq);
       out.by_method["join w/ PQ-85"] =
-          TablesOf(searcher.Search(qv, pexeso_best_th, nullptr));
+          TablesOf(MustSearch(searcher, qv, pexeso_best_th, nullptr));
     }
     return out;
   }

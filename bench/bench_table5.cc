@@ -67,11 +67,11 @@ JoinMap JoinWithPexeso(const MlTask& task, const EmbeddingModel& model,
     query.Add(v);
   }
   FractionalThresholds ft{tau_fraction, t_fraction};
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = ft.Resolve(metric, model.dim(), query.size());
   sopts.collect_mappings = true;
   PexesoSearcher searcher(&index);
-  auto results = searcher.Search(query, sopts, nullptr);
+  auto results = MustSearch(searcher, query, sopts, nullptr);
 
   JoinMap out(task.tables.size());
   for (auto& per_table : out) per_table.assign(task.query_keys.size(), -1);

@@ -42,9 +42,9 @@ void RunProfile(const char* name, const VectorLakeOptions& profile,
       FractionalThresholds ft{tau_frac, t_frac};
       double total = 0.0;
       for (const auto& q : queries) {
-        SearchOptions sopts;
+        JoinQuery sopts;
         sopts.thresholds = ft.Resolve(metric, profile.dim, q.size());
-        total += TimeIt([&] { searcher.Search(q, sopts, &stats); });
+        total += TimeIt([&] { MustSearch(searcher, q, sopts, &stats); });
       }
       std::printf("%3u %3u %12.3f %12.4f %16.4f\n", p, m, index_time,
                   stats.block_seconds / static_cast<double>(nq),

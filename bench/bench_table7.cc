@@ -86,30 +86,30 @@ void RunInMemory(const char* name, const VectorLakeOptions& profile) {
       if (!ctree_dead) {
         JoinableRangeSearcher s(&ds.catalog, ds.ctree.get());
         t_ctree = TimedOrBudget(queries, budget, [&](const VectorStore& q) {
-          s.Search(q, th, nullptr);
+          MustSearch(s, q, th, nullptr);
         });
         ctree_dead = t_ctree < 0;
       }
       if (!ept_dead) {
         JoinableRangeSearcher s(&ds.catalog, ds.ept.get());
         t_ept = TimedOrBudget(queries, budget, [&](const VectorStore& q) {
-          s.Search(q, th, nullptr);
+          MustSearch(s, q, th, nullptr);
         });
         ept_dead = t_ept < 0;
       }
       PexesoHSearcher hsearcher(ds.index.get());
       const double t_h =
           TimedOrBudget(queries, budget, [&](const VectorStore& q) {
-            SearchOptions sopts;
+            JoinQuery sopts;
             sopts.thresholds = th;
-            hsearcher.Search(q, sopts, nullptr);
+            MustSearch(hsearcher, q, sopts, nullptr);
           });
       PexesoSearcher searcher(ds.index.get());
       const double t_px =
           TimedOrBudget(queries, budget, [&](const VectorStore& q) {
-            SearchOptions sopts;
+            JoinQuery sopts;
             sopts.thresholds = th;
-            searcher.Search(q, sopts, nullptr);
+            MustSearch(searcher, q, sopts, nullptr);
           });
       std::printf("%4d %4d", T, tau);
       PrintCell(t_ctree);
@@ -174,31 +174,30 @@ void RunOutOfCore(const char* name, const VectorLakeOptions& profile,
       if (!ctree_dead) {
         JoinableRangeSearcher s(&catalog, &ctree);
         t_ctree = TimedOrBudget(queries, budget, [&](const VectorStore& q) {
-          s.Search(q, th, nullptr);
+          MustSearch(s, q, th, nullptr);
         });
         ctree_dead = t_ctree < 0;
       }
       if (!ept_dead) {
         JoinableRangeSearcher s(&catalog, &ept);
         t_ept = TimedOrBudget(queries, budget, [&](const VectorStore& q) {
-          s.Search(q, th, nullptr);
+          MustSearch(s, q, th, nullptr);
         });
         ept_dead = t_ept < 0;
       }
       if (!h_dead) {
         t_h = TimedOrBudget(queries, budget * 4, [&](const VectorStore& q) {
-          SearchOptions sopts;
+          JoinQuery sopts;
           sopts.thresholds = th;
-          parts.value().SearchPartitions(q, sopts, nullptr, nullptr,
-                                         PartitionedPexeso::Engine::kPexesoH);
+          parts.value().SearchPartitions(BindQuery(q, sopts), nullptr, nullptr, PartitionedPexeso::Engine::kPexesoH);
         });
         h_dead = t_h < 0;
       }
       const double t_px =
           TimedOrBudget(queries, budget * 4, [&](const VectorStore& q) {
-            SearchOptions sopts;
+            JoinQuery sopts;
             sopts.thresholds = th;
-            parts.value().SearchPartitions(q, sopts, nullptr);
+            parts.value().SearchPartitions(BindQuery(q, sopts), nullptr);
           });
       std::printf("%4d %4d", T, tau);
       PrintCell(t_ctree);

@@ -40,11 +40,11 @@ struct TopKRow {
 std::vector<JoinableColumn> WrapperTopK(const JoinSearchEngine& engine,
                                         const VectorStore& query, double tau,
                                         size_t k, SearchStats* stats) {
-  SearchOptions options;
+  JoinQuery options;
   options.thresholds.tau = tau;
   options.thresholds.t_abs = 1;
-  options.exact_joinability = true;
-  std::vector<JoinableColumn> all = engine.Search(query, options, stats);
+  options.mode = QueryMode::kExactJoinability;
+  std::vector<JoinableColumn> all = MustSearch(engine, query, options, stats);
   RankTopK(&all, k);
   return all;
 }

@@ -84,11 +84,12 @@ int main() {
   opts.levels = 3;
   PexesoIndex index = PexesoIndex::Build(repo.TakeCatalog(), &metric, opts);
   FractionalThresholds ft{0.3, 0.75};
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = ft.Resolve(metric, model.dim(), query.size());
   sopts.collect_mappings = true;
   PexesoSearcher searcher(&index);
-  auto results = searcher.Search(query, sopts, nullptr);
+  sopts.vectors = &query;
+  auto results = ExecuteCollect(searcher, sopts).ValueOrDie();
 
   std::printf("\nPEXESO, tau = 30%% max distance, T = 75%%:\n");
   for (const auto& r : results) {

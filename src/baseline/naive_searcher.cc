@@ -12,9 +12,12 @@ namespace pexeso {
 std::vector<JoinableColumn> NaiveSearcher::Search(
     const VectorStore& query, const SearchThresholds& thresholds,
     SearchStats* stats) const {
-  SearchOptions options;
-  options.thresholds = thresholds;
-  return Search(query, options, stats);
+  JoinQuery jq;
+  jq.vectors = &query;
+  jq.thresholds = thresholds;
+  auto results = ExecuteCollect(*this, jq, stats);
+  PEXESO_CHECK_MSG(results.ok(), results.status().ToString().c_str());
+  return std::move(results).ValueOrDie();
 }
 
 Status NaiveSearcher::Execute(const JoinQuery& jq, ResultSink* sink,

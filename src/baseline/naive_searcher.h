@@ -26,10 +26,9 @@ class NaiveSearcher : public JoinSearchEngine {
 
   const char* name() const override { return "naive"; }
 
-  /// The deprecated base-class Search shim stays visible next to the
-  /// thresholds-only convenience overload below.
-  using JoinSearchEngine::Search;
-
+  /// Thresholds-only convenience for the oracle call sites: a plain
+  /// kThreshold execution, aborting on the (impossible for an in-memory
+  /// scan) non-OK status.
   std::vector<JoinableColumn> Search(const VectorStore& query,
                                      const SearchThresholds& thresholds,
                                      SearchStats* stats) const;

@@ -40,10 +40,9 @@ class JoinableRangeSearcher : public JoinSearchEngine {
 
   const char* name() const override { return name_; }
 
-  /// The deprecated base-class Search shim stays visible next to the
-  /// thresholds-only convenience overload below.
-  using JoinSearchEngine::Search;
-
+  /// Thresholds-only convenience for the oracle call sites: a plain
+  /// kThreshold execution, aborting on the (impossible for an in-memory
+  /// workflow) non-OK status.
   std::vector<JoinableColumn> Search(const VectorStore& query,
                                      const SearchThresholds& thresholds,
                                      SearchStats* stats) const;

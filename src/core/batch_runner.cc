@@ -21,36 +21,6 @@ BatchQueryRunner::BatchQueryRunner(const JoinSearchEngine* engine,
   }
 }
 
-BatchResult BatchQueryRunner::Run(const std::vector<VectorStore>& queries,
-                                  const SearchOptions& options) const {
-  std::vector<JoinQuery> jqs(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) {
-    jqs[i] = JoinQuery::FromLegacy(&queries[i], options);
-  }
-  BatchResult out = Run(jqs);
-  // Legacy queries carry no deadline/cancel controls, so any non-OK status
-  // is an environment fault — the old contract aborted on those.
-  for (const Status& st : out.statuses) {
-    PEXESO_CHECK_MSG(st.ok(), st.ToString().c_str());
-  }
-  return out;
-}
-
-BatchResult BatchQueryRunner::Run(
-    const std::vector<VectorStore>& queries,
-    const std::vector<SearchOptions>& options) const {
-  PEXESO_CHECK(options.size() == queries.size());
-  std::vector<JoinQuery> jqs(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) {
-    jqs[i] = JoinQuery::FromLegacy(&queries[i], options[i]);
-  }
-  BatchResult out = Run(jqs);
-  for (const Status& st : out.statuses) {
-    PEXESO_CHECK_MSG(st.ok(), st.ToString().c_str());
-  }
-  return out;
-}
-
 BatchResult BatchQueryRunner::Run(const std::vector<JoinQuery>& queries) const {
   BatchResult out;
   out.results.resize(queries.size());

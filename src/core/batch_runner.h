@@ -39,9 +39,7 @@ struct BatchResult {
   /// statuses[i] is queries[i]'s execution status: OK for a complete
   /// search, Cancelled/DeadlineExceeded when that query's controls tripped
   /// (results[i] then holds whatever completed — valid partial results),
-  /// or the failure of the part that broke it. The legacy SearchOptions
-  /// Run overloads carry no controls, so they abort on any non-OK status
-  /// (the old contract) and their statuses are always all-OK.
+  /// or the failure of the part that broke it.
   std::vector<Status> statuses;
   /// Counters of every search, merged in input order: the counter fields
   /// are identical at any thread count (the *_seconds fields are wall-clock
@@ -104,15 +102,6 @@ class BatchQueryRunner {
   /// Executes every request and returns all results in input order. Each
   /// JoinQuery carries its own vectors/mode/thresholds/controls.
   BatchResult Run(const std::vector<JoinQuery>& queries) const;
-
-  /// \deprecated Legacy-options entry points, kept for one release: every
-  /// query column gets the same options (or options[i] for the per-query
-  /// variant; fractional thresholds resolve to a different absolute T per
-  /// query size). Aborts on environment faults like the old Search.
-  BatchResult Run(const std::vector<VectorStore>& queries,
-                  const SearchOptions& options) const;
-  BatchResult Run(const std::vector<VectorStore>& queries,
-                  const std::vector<SearchOptions>& options) const;
 
   size_t num_threads() const { return num_threads_; }
   const JoinSearchEngine* engine() const { return engine_; }

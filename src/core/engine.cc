@@ -2,20 +2,14 @@
 
 #include <utility>
 
-#include "common/check.h"
-
 namespace pexeso {
 
-std::vector<JoinableColumn> JoinSearchEngine::Search(
-    const VectorStore& query, const SearchOptions& options,
-    SearchStats* stats) const {
+Result<std::vector<JoinableColumn>> ExecuteCollect(
+    const JoinSearchEngine& engine, const JoinQuery& query,
+    SearchStats* stats) {
   CollectSink sink;
-  const Status st = Execute(JoinQuery::FromLegacy(&query, options), &sink,
-                            stats);
-  // FromLegacy never sets a deadline or token, so a non-OK status here is
-  // an environment fault (e.g. a partition file deleted mid-run) — the old
-  // Search contract aborted on those.
-  PEXESO_CHECK_MSG(st.ok(), st.ToString().c_str());
+  const Status st = engine.Execute(query, &sink, stats);
+  PEXESO_RETURN_NOT_OK(st);
   return std::move(sink).TakeColumns();
 }
 

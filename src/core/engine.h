@@ -49,15 +49,16 @@ class JoinSearchEngine {
   /// Executes one request against the whole repository.
   virtual Status Execute(const JoinQuery& query, ResultSink* sink,
                          SearchStats* stats) const = 0;
-
-  /// \deprecated Eager convenience wrapper over Execute with a CollectSink,
-  /// kept for one release. Legacy options carry no deadline/cancellation,
-  /// so a non-OK execution here is an environment fault and aborts via
-  /// PEXESO_CHECK (the old Search contract); use Execute to handle it.
-  std::vector<JoinableColumn> Search(const VectorStore& query,
-                                     const SearchOptions& options,
-                                     SearchStats* stats) const;
 };
+
+/// Eager convenience over Execute: runs the query through a CollectSink and
+/// returns the collected columns together with the execution status. An
+/// interrupted query (Cancelled / DeadlineExceeded) returns its status — the
+/// partial columns are dropped; callers that want them stream through their
+/// own sink.
+Result<std::vector<JoinableColumn>> ExecuteCollect(
+    const JoinSearchEngine& engine, const JoinQuery& query,
+    SearchStats* stats = nullptr);
 
 /// \brief Opaque token that keeps one part of a partitioned engine loaded in
 /// memory for as long as the token lives (a cache-held or directly-loaded
@@ -102,16 +103,6 @@ class PartitionedJoinEngine {
   virtual Result<std::vector<JoinableColumn>> SearchPart(
       size_t part, const JoinQuery& query, SearchStats* stats,
       double* io_seconds, const PartHandle& preloaded) const = 0;
-
-  /// \deprecated Legacy-options shim over the JoinQuery SearchPart, kept
-  /// for one release.
-  Result<std::vector<JoinableColumn>> SearchPart(
-      size_t part, const VectorStore& query, const SearchOptions& options,
-      SearchStats* stats, double* io_seconds,
-      const PartHandle& preloaded) const {
-    return SearchPart(part, JoinQuery::FromLegacy(&query, options), stats,
-                      io_seconds, preloaded);
-  }
 
   /// True when per-part working sets are expected to stay resident across
   /// queries (an attached cache whose budget holds every part), making the

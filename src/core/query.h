@@ -99,18 +99,24 @@ class Deadline {
       std::chrono::steady_clock::time_point::max();
 };
 
-/// \brief Per-search tuning knobs (the legacy options bag, kept for the
-/// deprecated `Search(query, options, stats)` shim — new callers set the
-/// same fields directly on JoinQuery).
-struct SearchOptions {
+/// \brief One joinable-column search request: what to search with, which
+/// consumption mode, the thresholds, and the execution controls (deadline,
+/// cancellation, intra-query parallelism). Every JoinSearchEngine executes
+/// this one shape.
+struct JoinQuery {
+  /// The query column: |Q| unit-normalized vectors of the repository
+  /// dimensionality. Borrowed; must stay alive for the whole execution.
+  const VectorStore* vectors = nullptr;
+
+  QueryMode mode = QueryMode::kThreshold;
+  /// Result size for kTopK (ignored otherwise).
+  size_t k = 0;
   SearchThresholds thresholds;
   AblationConfig ablation;
   /// When true, each returned column carries the record-level mapping
-  /// (query index -> one matching target vector). Costs a post-pass.
+  /// (query index -> one matching target vector). Costs a post-pass; in
+  /// kTopK mode it runs only over the final k columns.
   bool collect_mappings = false;
-  /// When true, joinable columns keep verifying to report the exact
-  /// joinability instead of stopping at T (disables the joinable-skip).
-  bool exact_joinability = false;
   /// Intra-query parallelism: verification work of ONE search is sharded by
   /// column range across this many workers (core/verify_pipeline.h). 0 or 1
   /// keeps the search single-threaded — the right default for batch
@@ -124,29 +130,6 @@ struct SearchOptions {
   /// pool. Must NOT be a pool whose worker is executing this very search —
   /// the shard wait would consume the worker the shards need
   /// (PEXESO_CHECK-enforced, like nested ThreadPool::ParallelFor).
-  ThreadPool* intra_query_pool = nullptr;
-};
-
-/// \brief One joinable-column search request: what to search with, which
-/// consumption mode, the thresholds, and the execution controls (deadline,
-/// cancellation, intra-query parallelism). Every JoinSearchEngine executes
-/// this one shape; the legacy Search(query, options, stats) call is a shim
-/// over it.
-struct JoinQuery {
-  /// The query column: |Q| unit-normalized vectors of the repository
-  /// dimensionality. Borrowed; must stay alive for the whole execution.
-  const VectorStore* vectors = nullptr;
-
-  QueryMode mode = QueryMode::kThreshold;
-  /// Result size for kTopK (ignored otherwise).
-  size_t k = 0;
-  SearchThresholds thresholds;
-  AblationConfig ablation;
-  /// See SearchOptions::collect_mappings. In kTopK mode the mapping
-  /// post-pass runs only over the final k columns.
-  bool collect_mappings = false;
-  /// See SearchOptions::intra_query_threads / intra_query_pool.
-  size_t intra_query_threads = 0;
   ThreadPool* intra_query_pool = nullptr;
 
   /// Execution controls: a query whose deadline has passed or whose token
@@ -176,21 +159,6 @@ struct JoinQuery {
     if (cancel.cancelled()) return Status::Cancelled("query cancelled");
     if (deadline.expired()) return Status::DeadlineExceeded("query deadline");
     return Status::OK();
-  }
-
-  /// The deprecated-options translation used by the Search shims.
-  static JoinQuery FromLegacy(const VectorStore* query,
-                              const SearchOptions& options) {
-    JoinQuery jq;
-    jq.vectors = query;
-    jq.mode = options.exact_joinability ? QueryMode::kExactJoinability
-                                        : QueryMode::kThreshold;
-    jq.thresholds = options.thresholds;
-    jq.ablation = options.ablation;
-    jq.collect_mappings = options.collect_mappings;
-    jq.intra_query_threads = options.intra_query_threads;
-    jq.intra_query_pool = options.intra_query_pool;
-    return jq;
   }
 };
 
@@ -270,8 +238,7 @@ class TopKBound {
 };
 
 /// Orders a candidate set the way kTopK reports it — decreasing
-/// joinability, ties by ascending column id (the legacy SearchTopK order) —
-/// and truncates to k.
+/// joinability, ties by ascending column id — and truncates to k.
 inline void RankTopK(std::vector<JoinableColumn>* columns, size_t k) {
   std::sort(columns->begin(), columns->end(),
             [](const JoinableColumn& a, const JoinableColumn& b) {

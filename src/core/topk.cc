@@ -1,40 +1,19 @@
 #include "core/topk.h"
 
-#include <cstdio>
-#include <mutex>
 #include <utility>
 
-#include "common/check.h"
 #include "core/batch_runner.h"
 
 namespace pexeso {
 
-std::vector<JoinableColumn> SearchTopK(const JoinSearchEngine& engine,
-                                       const VectorStore& query, double tau,
-                                       size_t k, SearchStats* stats) {
-  static std::once_flag deprecation_note;
-  std::call_once(deprecation_note, [] {
-    std::fprintf(stderr,
-                 "note: SearchTopK() is deprecated; build a JoinQuery with "
-                 "QueryMode::kTopK and call JoinSearchEngine::Execute\n");
-  });
-  JoinQuery jq;
-  jq.vectors = &query;
-  jq.mode = QueryMode::kTopK;
-  jq.k = k;
-  jq.thresholds.tau = tau;
-  CollectSink sink;
-  const Status st = engine.Execute(jq, &sink, stats);
-  PEXESO_CHECK_MSG(st.ok(), st.ToString().c_str());
-  return std::move(sink).TakeColumns();
-}
-
 std::vector<std::vector<JoinableColumn>> SearchBatch(
     const PexesoIndex& index, const std::vector<VectorStore>& queries,
-    const SearchOptions& options, size_t num_threads, SearchStats* stats) {
+    const JoinQuery& prototype, size_t num_threads, SearchStats* stats) {
   PexesoSearcher searcher(&index);
   BatchQueryRunner runner(&searcher, {.num_threads = num_threads});
-  BatchResult batch = runner.Run(queries, options);
+  std::vector<JoinQuery> jqs(queries.size(), prototype);
+  for (size_t i = 0; i < queries.size(); ++i) jqs[i].vectors = &queries[i];
+  BatchResult batch = runner.Run(jqs);
   if (stats != nullptr) *stats += batch.stats;
   return std::move(batch.results);
 }

@@ -8,36 +8,16 @@
 
 namespace pexeso {
 
-/// \deprecated Top-k joinable column search, kept one release as a shim
-/// over the first-class QueryMode::kTopK (it logs a deprecation note once).
-/// New code builds a JoinQuery:
-///
-///   JoinQuery jq;
-///   jq.vectors = &query;
-///   jq.mode = QueryMode::kTopK;
-///   jq.k = k;
-///   jq.thresholds.tau = tau;
-///   CollectSink sink;
-///   engine.Execute(jq, &sink, stats);
-///
-/// Unlike the old wrapper — which relaxed T to 1 and exact-verified EVERY
-/// column before ranking — kTopK pushes the running k-th-best bound into
-/// the engines' verification loops, so non-contending columns are abandoned
-/// early (SearchStats::columns_pruned_topk) while the returned top-k stays
-/// bit-identical.
-std::vector<JoinableColumn> SearchTopK(const JoinSearchEngine& engine,
-                                       const VectorStore& query, double tau,
-                                       size_t k,
-                                       SearchStats* stats = nullptr);
-
 /// \brief Batch search: runs one query column per thread across a pool.
-/// Results are positionally aligned with `queries`. The index is shared
-/// read-only; each worker keeps its own SearchStats, summed into `stats`.
-/// Convenience wrapper over BatchQueryRunner for the common PEXESO case;
+/// `prototype` carries the mode/thresholds/ablation shared by the batch;
+/// its `vectors` field is ignored and replaced per query. Results are
+/// positionally aligned with `queries`. The index is shared read-only; each
+/// worker keeps its own SearchStats, summed into `stats`. Convenience
+/// wrapper over BatchQueryRunner for the common PEXESO case;
 /// `num_threads == 0` means one thread per hardware thread.
 std::vector<std::vector<JoinableColumn>> SearchBatch(
     const PexesoIndex& index, const std::vector<VectorStore>& queries,
-    const SearchOptions& options, size_t num_threads,
+    const JoinQuery& prototype, size_t num_threads,
     SearchStats* stats = nullptr);
 
 }  // namespace pexeso

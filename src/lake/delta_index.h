@@ -1,0 +1,44 @@
+#ifndef PEXESO_LAKE_DELTA_INDEX_H_
+#define PEXESO_LAKE_DELTA_INDEX_H_
+
+#include <memory>
+#include <utility>
+
+#include "core/pexeso_index.h"
+
+namespace pexeso::lake {
+
+/// \brief A small, immutable, in-memory PEXESO index over appended-but-
+/// unmerged columns — the live lake's memtable equivalent.
+///
+/// A delta is structurally just another partition: it selects its own
+/// pivots over its own (small) catalog, and its results are remapped to the
+/// global id space through ColumnMeta::source_id exactly like a base
+/// snapshot's. PEXESO is an exact method, so pivot choice never changes
+/// WHAT a search returns — only how much filtering work it costs — which is
+/// what makes searching base + delta byte-equivalent to one merged index.
+///
+/// Instances are built whole (one Build per published append batch) and
+/// shared by shared_ptr; they are never mutated after construction, so
+/// concurrent searches need no synchronization.
+class DeltaIndex {
+ public:
+  /// Builds the delta over `catalog`, whose ColumnMeta::source_id fields
+  /// must already carry the columns' GLOBAL ids.
+  DeltaIndex(ColumnCatalog catalog, const Metric* metric,
+             const PexesoOptions& options)
+      : index_(PexesoIndex::Build(std::move(catalog), metric, options)) {}
+
+  const PexesoIndex& index() const { return index_; }
+  size_t num_columns() const { return index_.catalog().num_columns(); }
+  size_t num_vectors() const { return index_.catalog().num_vectors(); }
+
+ private:
+  PexesoIndex index_;
+};
+
+using DeltaPtr = std::shared_ptr<const DeltaIndex>;
+
+}  // namespace pexeso::lake
+
+#endif  // PEXESO_LAKE_DELTA_INDEX_H_

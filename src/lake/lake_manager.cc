@@ -1,0 +1,517 @@
+#include "lake/lake_manager.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace pexeso::lake {
+
+namespace {
+
+/// Appends every non-tombstoned column of `from` to `to` (vectors copied,
+/// global source_id preserved) and records the ids it dropped.
+void FoldSurvivors(const ColumnCatalog& from, const TombstoneSet& tombstones,
+                   ColumnCatalog* to, std::vector<uint32_t>* removed) {
+  for (ColumnId c = 0; c < from.num_columns(); ++c) {
+    const ColumnMeta& meta = from.column(c);
+    if (tombstones.Contains(meta.source_id)) {
+      removed->push_back(meta.source_id);
+      continue;
+    }
+    to->AddColumn(meta, from.store().View(meta.first), meta.count);
+  }
+}
+
+}  // namespace
+
+LakeManager::LakeManager(std::string dir, const Metric* metric,
+                         LakeOptions options, uint32_t dim)
+    : dir_(std::move(dir)),
+      metric_(metric),
+      options_(options),
+      dim_(dim),
+      tombstones_(std::make_shared<const TombstoneSet>()) {
+  if (options_.merge_pool != nullptr) {
+    merges_ = std::make_unique<TaskGroup>(options_.merge_pool);
+  }
+}
+
+LakeManager::~LakeManager() {
+  // merges_ is the last-declared member, so its destructor (which waits for
+  // outstanding merge tasks) runs before anything those tasks touch dies;
+  // this explicit wait just surfaces the drain before member teardown
+  // begins at all.
+  if (merges_ != nullptr) merges_->Wait();
+}
+
+std::string LakeManager::PartPath(size_t part, uint64_t generation) const {
+  return dir_ + "/part-" + std::to_string(part) + ".g" +
+         std::to_string(generation) + ".pxso";
+}
+
+Result<std::unique_ptr<LakeManager>> LakeManager::Create(
+    const ColumnCatalog& catalog, const PartitionAssignment& assignment,
+    const std::string& dir, const Metric* metric, const LakeOptions& options) {
+  PEXESO_CHECK(assignment.size() == catalog.num_columns());
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create dir: " + dir);
+
+  uint32_t k = 1;
+  for (uint32_t a : assignment) k = std::max(k, a + 1);
+
+  auto lake = std::unique_ptr<LakeManager>(
+      new LakeManager(dir, metric, options, catalog.dim()));
+  lake->parts_.resize(k);
+  lake->next_id_ = static_cast<uint32_t>(catalog.num_columns());
+
+  for (uint32_t part = 0; part < k; ++part) {
+    ColumnCatalog part_catalog(catalog.dim());
+    for (ColumnId c = 0; c < catalog.num_columns(); ++c) {
+      if (assignment[c] != part) continue;
+      ColumnMeta meta = catalog.column(c);
+      meta.source_id = c;  // global id for cross-part result merging
+      part_catalog.AddColumn(meta, catalog.store().View(meta.first),
+                             meta.count);
+    }
+    PartState& state = lake->parts_[part];
+    state.active = ColumnCatalog(catalog.dim());
+    if (part_catalog.num_columns() > 0) {
+      PexesoIndex index = PexesoIndex::Build(std::move(part_catalog), metric,
+                                             options.index_options);
+      state.base_path = lake->PartPath(part, state.generation);
+      PEXESO_RETURN_NOT_OK(index.Save(state.base_path));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(lake->mu_);
+    for (size_t part = 0; part < lake->parts_.size(); ++part) {
+      lake->PublishLocked(part);
+    }
+    PEXESO_RETURN_NOT_OK(lake->WriteManifestLocked());
+  }
+  return lake;
+}
+
+Result<std::unique_ptr<LakeManager>> LakeManager::Open(
+    const std::string& dir, const Metric* metric, const LakeOptions& options) {
+  std::ifstream in(dir + "/MANIFEST");
+  if (!in) return Status::NotFound("no MANIFEST under " + dir);
+  std::string magic, version;
+  uint32_t dim = 0;
+  size_t num_parts = 0;
+  uint32_t next_id = 0;
+  std::string token;
+  if (!(in >> magic >> version) || magic != "pexeso-lake" || version != "v1") {
+    return Status::Corruption("bad lake MANIFEST header");
+  }
+  if (!(in >> token >> dim) || token != "dim" || dim == 0 ||
+      !(in >> token >> num_parts) || token != "parts" || num_parts == 0 ||
+      !(in >> token >> next_id) || token != "next_id") {
+    return Status::Corruption("bad lake MANIFEST body");
+  }
+  auto lake = std::unique_ptr<LakeManager>(
+      new LakeManager(dir, metric, options, dim));
+  lake->parts_.resize(num_parts);
+  lake->next_id_ = next_id;
+  for (size_t i = 0; i < num_parts; ++i) {
+    size_t part = 0;
+    uint64_t gen = 0;
+    int has_base = 0;
+    if (!(in >> token >> part >> gen >> has_base) || token != "part" ||
+        part != i || gen == 0) {
+      return Status::Corruption("bad lake MANIFEST part record");
+    }
+    PartState& state = lake->parts_[part];
+    state.generation = gen;
+    state.active = ColumnCatalog(dim);
+    if (has_base != 0) {
+      state.base_path = lake->PartPath(part, gen);
+      if (!std::filesystem::exists(state.base_path)) {
+        return Status::NotFound("missing snapshot " + state.base_path);
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(lake->mu_);
+  for (size_t part = 0; part < num_parts; ++part) lake->PublishLocked(part);
+  return lake;
+}
+
+Status LakeManager::WriteManifestLocked() const {
+  std::ostringstream out;
+  out << "pexeso-lake v1\n";
+  out << "dim " << dim_ << "\n";
+  out << "parts " << parts_.size() << "\n";
+  out << "next_id " << next_id_ << "\n";
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    out << "part " << i << " " << parts_[i].generation << " "
+        << (parts_[i].base_path.empty() ? 0 : 1) << "\n";
+  }
+  const std::string tmp = dir_ + "/MANIFEST.tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f) return Status::IoError("cannot write " + tmp);
+    f << out.str();
+    if (!f.good()) return Status::IoError("short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, dir_ + "/MANIFEST", ec);
+  if (ec) return Status::IoError("cannot publish MANIFEST under " + dir_);
+  return Status::OK();
+}
+
+void LakeManager::PublishLocked(size_t part) {
+  PartState& state = parts_[part];
+  auto snap = std::make_shared<PartSnapshot>();
+  snap->generation = state.generation;
+  snap->base_path = state.base_path;
+  snap->deltas = state.frozen;
+  if (state.active_built != nullptr) snap->deltas.push_back(state.active_built);
+  snap->tombstones = tombstones_;
+  state.snapshot = std::move(snap);
+}
+
+std::vector<uint32_t> LakeManager::AppendColumns(const ColumnCatalog& batch) {
+  PEXESO_CHECK(batch.dim() == dim_);
+  std::vector<uint32_t> ids;
+  ids.reserve(batch.num_columns());
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint8_t> touched(parts_.size(), 0);
+  for (ColumnId c = 0; c < batch.num_columns(); ++c) {
+    const uint32_t id = next_id_++;
+    const size_t part = id % parts_.size();
+    ColumnMeta meta = batch.column(c);
+    meta.source_id = id;
+    parts_[part].active.AddColumn(meta, batch.store().View(meta.first),
+                                  meta.count);
+    touched[part] = 1;
+    ids.push_back(id);
+  }
+  for (size_t part = 0; part < parts_.size(); ++part) {
+    if (!touched[part]) continue;
+    PartState& state = parts_[part];
+    // The delta is rebuilt whole per batch: it stays small by construction
+    // (the freeze knob), and an immutable rebuilt index needs no
+    // synchronization with the searches holding the previous one.
+    ColumnCatalog copy = state.active;
+    state.active_built = std::make_shared<const DeltaIndex>(
+        std::move(copy), metric_, options_.index_options);
+    if (state.active.num_columns() >= options_.delta_freeze_columns) {
+      FreezeLocked(part);
+      ScheduleMergeLocked(part);
+    }
+    PublishLocked(part);
+  }
+  return ids;
+}
+
+void LakeManager::DropColumns(const std::vector<uint32_t>& global_ids) {
+  if (global_ids.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  tombstones_ =
+      std::make_shared<const TombstoneSet>(tombstones_->WithAdded(global_ids));
+  // Every part's snapshot must see the new mask immediately.
+  for (size_t part = 0; part < parts_.size(); ++part) PublishLocked(part);
+}
+
+void LakeManager::FreezeLocked(size_t part) {
+  PartState& state = parts_[part];
+  if (state.active_built == nullptr) return;
+  state.frozen.push_back(std::move(state.active_built));
+  state.active_built = nullptr;
+  state.active = ColumnCatalog(dim_);
+}
+
+void LakeManager::Freeze() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t part = 0; part < parts_.size(); ++part) {
+    FreezeLocked(part);
+    ScheduleMergeLocked(part);
+    PublishLocked(part);
+  }
+}
+
+void LakeManager::ScheduleMergeLocked(size_t part) {
+  PartState& state = parts_[part];
+  if (merges_ == nullptr || state.merge_scheduled || state.frozen.empty()) {
+    return;
+  }
+  state.merge_scheduled = true;
+  merges_->Submit([this, part] {
+    const Status st = MergePart(part);
+    std::lock_guard<std::mutex> lock(mu_);
+    parts_[part].merge_scheduled = false;
+    if (!st.ok() && merge_error_.ok()) merge_error_ = st;
+    // Freezes that landed while this merge ran left new frozen deltas
+    // behind; chain the next merge rather than leaving them stranded.
+    ScheduleMergeLocked(part);
+  });
+}
+
+Status LakeManager::WaitForMerges() {
+  if (merges_ != nullptr) merges_->Wait();
+  std::lock_guard<std::mutex> lock(mu_);
+  return merge_error_;
+}
+
+Status LakeManager::MergeAll() {
+  Freeze();
+  // Drain scheduled background merges first so the inline pass below never
+  // double-folds a part a pool task is mid-way through.
+  PEXESO_RETURN_NOT_OK(WaitForMerges());
+  for (size_t part = 0; part < parts_.size(); ++part) {
+    bool pending;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Frozen deltas always need folding; a non-empty tombstone set may
+      // mask columns of this part's base, which only a merge reclaims (and
+      // proves gone, shrinking the set).
+      pending = !parts_[part].frozen.empty() ||
+                (!tombstones_->empty() && !parts_[part].base_path.empty());
+    }
+    if (pending) PEXESO_RETURN_NOT_OK(MergePart(part));
+  }
+  return Status::OK();
+}
+
+Status LakeManager::MergePart(size_t part) {
+  // Capture the state to fold. Appends/drops/freezes landing after this
+  // point are untouched: they survive into the post-merge snapshot.
+  uint64_t old_gen;
+  std::string old_base;
+  std::vector<DeltaPtr> frozen;
+  std::shared_ptr<const TombstoneSet> tombstones;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PartState& state = parts_[part];
+    old_gen = state.generation;
+    old_base = state.base_path;
+    frozen = state.frozen;
+    tombstones = tombstones_;
+  }
+
+  // Fold: survivors of the base, then of each frozen delta, in global-id
+  // arrival order. The result catalog — and therefore the Build over it —
+  // is exactly what a from-scratch build over the same logical content
+  // produces, which is what makes post-merge search counters comparable to
+  // a static index.
+  ColumnCatalog survivors(dim_);
+  std::vector<uint32_t> removed;
+  if (!old_base.empty()) {
+    PartSnapshot captured;
+    captured.generation = old_gen;
+    captured.base_path = old_base;
+    auto base = LoadBase(captured, nullptr);
+    if (!base.ok()) return base.status();
+    FoldSurvivors(base.value()->catalog(), *tombstones, &survivors, &removed);
+  }
+  for (const DeltaPtr& delta : frozen) {
+    FoldSurvivors(delta->index().catalog(), *tombstones, &survivors, &removed);
+  }
+
+  const uint64_t new_gen = old_gen + 1;
+  std::string new_base;
+  if (survivors.num_columns() > 0) {
+    PexesoIndex merged = PexesoIndex::Build(std::move(survivors), metric_,
+                                            options_.index_options);
+    new_base = PartPath(part, new_gen);
+    PEXESO_RETURN_NOT_OK(merged.Save(new_base));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  PartState& state = parts_[part];
+  state.generation = new_gen;
+  state.base_path = new_base;
+  // Only the captured prefix was folded; later freezes stay pending.
+  state.frozen.erase(state.frozen.begin(), state.frozen.begin() + frozen.size());
+  // Subtract the tombstones this merge physically removed. Ids dropped from
+  // OTHER locations stay masked until their own part merges; snapshots
+  // still holding the bigger set just mask ids that no longer exist — a
+  // no-op.
+  tombstones_ =
+      std::make_shared<const TombstoneSet>(tombstones_->WithRemoved(removed));
+  for (size_t p = 0; p < parts_.size(); ++p) PublishLocked(p);
+  return WriteManifestLocked();
+}
+
+Status LakeManager::Vacuum() {
+  std::vector<std::pair<size_t, uint64_t>> current;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t part = 0; part < parts_.size(); ++part) {
+      current.emplace_back(part, parts_[part].generation);
+    }
+  }
+  for (const auto& [part, gen] : current) {
+    for (uint64_t g = 1; g < gen; ++g) {
+      const std::string stale = PartPath(part, g);
+      std::error_code ec;
+      if (std::filesystem::exists(stale, ec) &&
+          !std::filesystem::remove(stale, ec)) {
+        return Status::IoError("cannot vacuum " + stale);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<const PartSnapshot> LakeManager::Snapshot(size_t part) const {
+  PEXESO_CHECK(part < parts_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return parts_[part].snapshot;
+}
+
+uint64_t LakeManager::generation(size_t part) const {
+  PEXESO_CHECK(part < parts_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return parts_[part].generation;
+}
+
+size_t LakeManager::DiskBytes() const {
+  size_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const PartState& state : parts_) {
+    if (state.base_path.empty()) continue;
+    std::error_code ec;
+    const auto sz = std::filesystem::file_size(state.base_path, ec);
+    if (!ec) total += sz;
+  }
+  return total;
+}
+
+size_t LakeManager::NumParts() const { return parts_.size(); }
+
+Result<serve::IndexCache::IndexPtr> LakeManager::LoadBase(
+    const PartSnapshot& snap, double* io_seconds) const {
+  PEXESO_CHECK(!snap.base_path.empty());
+  Stopwatch watch;
+  if (cache_ != nullptr) {
+    auto got = cache_->Get(snap.base_path, metric_, snap.generation);
+    if (io_seconds != nullptr) *io_seconds += watch.ElapsedSeconds();
+    return got;
+  }
+  auto loaded = PexesoIndex::Load(snap.base_path, metric_);
+  if (io_seconds != nullptr) *io_seconds += watch.ElapsedSeconds();
+  if (!loaded.ok()) return loaded.status();
+  return std::make_shared<const PexesoIndex>(std::move(loaded).ValueOrDie());
+}
+
+Result<PartHandle> LakeManager::AcquirePart(size_t part,
+                                            double* io_seconds) const {
+  auto handle = std::make_shared<LoadedPart>();
+  handle->snapshot = Snapshot(part);
+  if (!handle->snapshot->base_path.empty()) {
+    auto base = LoadBase(*handle->snapshot, io_seconds);
+    if (!base.ok()) return base.status();
+    handle->base = std::move(base).ValueOrDie();
+  }
+  return std::static_pointer_cast<const void>(
+      std::shared_ptr<const LoadedPart>(std::move(handle)));
+}
+
+Result<std::vector<JoinableColumn>> LakeManager::SearchSnapshot(
+    const PartSnapshot& snap, const serve::IndexCache::IndexPtr& base,
+    const JoinQuery& query, SearchStats* stats, double* io_seconds) const {
+  // kTopK widening: a part's local top-k list could otherwise be crowded
+  // out by columns the mask removes afterwards. With k' = k + |tombstones|
+  // the (k'+1)-th local column provably has >= k surviving columns above
+  // it, so masking then truncating to k loses nothing.
+  JoinQuery jq = query;
+  if (jq.mode == QueryMode::kTopK) jq.k += snap.tombstones->size();
+
+  std::vector<JoinableColumn> merged;
+  if (!snap.base_path.empty()) {
+    serve::IndexCache::IndexPtr held = base;
+    if (held == nullptr) {
+      auto loaded = LoadBase(snap, io_seconds);
+      if (!loaded.ok()) return loaded.status();
+      held = std::move(loaded).ValueOrDie();
+    }
+    auto chunk = SearchIndexSnapshot(*held, jq, engine_, stats);
+    if (!chunk.ok()) return chunk.status();
+    merged = std::move(chunk).ValueOrDie();
+  }
+  for (const DeltaPtr& delta : snap.deltas) {
+    auto chunk = SearchIndexSnapshot(
+        delta->index(), jq, PartitionedPexeso::Engine::kPexeso, stats);
+    if (!chunk.ok()) return chunk.status();
+    if (stats != nullptr) stats->delta_columns_searched += delta->num_columns();
+    auto results = std::move(chunk).ValueOrDie();
+    merged.insert(merged.end(), std::make_move_iterator(results.begin()),
+                  std::make_move_iterator(results.end()));
+  }
+  MaskTombstones(*snap.tombstones, &merged, stats);
+  return merged;
+}
+
+Result<std::vector<JoinableColumn>> LakeManager::SearchPart(
+    size_t part, const JoinQuery& query, SearchStats* stats,
+    double* io_seconds, const PartHandle& preloaded) const {
+  if (preloaded != nullptr) {
+    const auto* held = static_cast<const LoadedPart*>(preloaded.get());
+    return SearchSnapshot(*held->snapshot, held->base, query, stats,
+                          io_seconds);
+  }
+  auto snap = Snapshot(part);
+  return SearchSnapshot(*snap, nullptr, query, stats, io_seconds);
+}
+
+Status LakeManager::Execute(const JoinQuery& jq, ResultSink* sink,
+                            SearchStats* stats) const {
+  PEXESO_CHECK(jq.vectors != nullptr);
+  PEXESO_CHECK(sink != nullptr);
+  SearchStats local;
+  if (stats == nullptr) stats = &local;
+  const bool topk_mode = jq.mode == QueryMode::kTopK;
+
+  std::vector<JoinableColumn> merged;
+  // Cross-part kTopK pushdown over SURVIVING counts only: the floor a part
+  // establishes is what the next part's columns must beat to enter the
+  // final (post-mask) top-k.
+  TopKBound bound(jq.k, jq.topk_floor);
+  Status final_st;
+  for (size_t part = 0; part < parts_.size(); ++part) {
+    Status live = jq.CheckLive();
+    if (!live.ok()) {
+      ++stats->deadline_expired;
+      final_st = live;
+      break;
+    }
+    JoinQuery part_jq = jq;
+    if (topk_mode) part_jq.topk_floor = bound.bound();
+    auto snap = Snapshot(part);
+    auto chunk = SearchSnapshot(*snap, nullptr, part_jq, stats, nullptr);
+    if (!chunk.ok()) {
+      final_st = chunk.status();
+      // Interruption keeps completed parts' columns as partial results; an
+      // environment fault returns bare, like PartitionedPexeso.
+      if (!final_st.interrupted()) {
+        sink->OnDone(final_st);
+        return final_st;
+      }
+      break;
+    }
+    auto results = std::move(chunk).ValueOrDie();
+    if (topk_mode) {
+      for (const auto& jc : results) bound.Offer(jc.match_count);
+    }
+    merged.insert(merged.end(), std::make_move_iterator(results.begin()),
+                  std::make_move_iterator(results.end()));
+  }
+  FinishQueryMerge(jq, &merged);
+  for (auto& jc : merged) sink->OnColumn(std::move(jc));
+  sink->OnDone(final_st);
+  return final_st;
+}
+
+bool LakeManager::PartsStayResident() const {
+  return cache_ != nullptr && cache_->budget_bytes() >= DiskBytes() * 2;
+}
+
+}  // namespace pexeso::lake

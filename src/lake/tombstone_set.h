@@ -1,0 +1,86 @@
+#ifndef PEXESO_LAKE_TOMBSTONE_SET_H_
+#define PEXESO_LAKE_TOMBSTONE_SET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/join_result.h"
+#include "vec/search_stats.h"
+
+namespace pexeso::lake {
+
+/// \brief Immutable sorted set of dropped GLOBAL column ids
+/// (ColumnMeta::source_id space). A drop does not touch any index: the id
+/// is added here and masked out of every result chunk until a background
+/// merge physically removes the column from its snapshot — at which point
+/// the merge publishes a set with that id subtracted. Snapshots taken
+/// before the merge may keep masking the id; masking an id that no longer
+/// exists anywhere is a harmless no-op, so stale supersets are safe.
+///
+/// Copy-on-write: instances are shared by shared_ptr and never mutated;
+/// WithAdded/WithRemoved build the successor set.
+class TombstoneSet {
+ public:
+  TombstoneSet() = default;
+
+  /// Successor set with `ids` added (duplicates and already-present ids
+  /// are fine).
+  TombstoneSet WithAdded(const std::vector<uint32_t>& ids) const {
+    TombstoneSet out;
+    out.ids_ = ids_;
+    out.ids_.insert(out.ids_.end(), ids.begin(), ids.end());
+    std::sort(out.ids_.begin(), out.ids_.end());
+    out.ids_.erase(std::unique(out.ids_.begin(), out.ids_.end()),
+                   out.ids_.end());
+    return out;
+  }
+
+  /// Successor set with `ids` subtracted (the merge's "physically removed"
+  /// report; absent ids are fine).
+  TombstoneSet WithRemoved(const std::vector<uint32_t>& ids) const {
+    std::vector<uint32_t> sorted = ids;
+    std::sort(sorted.begin(), sorted.end());
+    TombstoneSet out;
+    out.ids_.reserve(ids_.size());
+    for (uint32_t id : ids_) {
+      if (!std::binary_search(sorted.begin(), sorted.end(), id)) {
+        out.ids_.push_back(id);
+      }
+    }
+    return out;
+  }
+
+  bool Contains(uint32_t id) const {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+
+  bool empty() const { return ids_.empty(); }
+  size_t size() const { return ids_.size(); }
+  const std::vector<uint32_t>& ids() const { return ids_; }
+
+ private:
+  std::vector<uint32_t> ids_;  ///< sorted, unique
+};
+
+/// Removes tombstoned columns from one result chunk (global-id keyed) and
+/// counts the removals into SearchStats::tombstones_masked. Returns the
+/// number masked.
+inline size_t MaskTombstones(const TombstoneSet& tombstones,
+                             std::vector<JoinableColumn>* chunk,
+                             SearchStats* stats) {
+  if (tombstones.empty()) return 0;
+  const size_t before = chunk->size();
+  chunk->erase(std::remove_if(chunk->begin(), chunk->end(),
+                              [&](const JoinableColumn& jc) {
+                                return tombstones.Contains(jc.column);
+                              }),
+               chunk->end());
+  const size_t masked = before - chunk->size();
+  if (stats != nullptr) stats->tombstones_masked += masked;
+  return masked;
+}
+
+}  // namespace pexeso::lake
+
+#endif  // PEXESO_LAKE_TOMBSTONE_SET_H_

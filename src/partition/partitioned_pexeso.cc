@@ -124,6 +124,24 @@ Result<PartHandle> PartitionedPexeso::AcquirePart(size_t part,
       std::make_shared<const PexesoIndex>(std::move(loaded).ValueOrDie()));
 }
 
+Result<std::vector<JoinableColumn>> SearchIndexSnapshot(
+    const PexesoIndex& index, const JoinQuery& query,
+    PartitionedPexeso::Engine engine, SearchStats* stats) {
+  CollectSink sink;
+  Status st;
+  if (engine == PartitionedPexeso::Engine::kPexeso) {
+    st = PexesoSearcher(&index).Execute(query, &sink, stats);
+  } else {
+    st = PexesoHSearcher(&index).Execute(query, &sink, stats);
+  }
+  if (!st.ok()) return st;  // incl. Cancelled/DeadlineExceeded mid-part
+  std::vector<JoinableColumn> results = std::move(sink).TakeColumns();
+  for (auto& r : results) {
+    r.column = index.catalog().column(r.column).source_id;
+  }
+  return results;
+}
+
 Result<std::vector<JoinableColumn>> PartitionedPexeso::SearchOnePart(
     size_t part, const JoinQuery& query, SearchStats* stats,
     double* io_seconds, Engine engine, const PexesoIndex* preloaded) const {
@@ -135,22 +153,10 @@ Result<std::vector<JoinableColumn>> PartitionedPexeso::SearchOnePart(
     held = std::move(handle).ValueOrDie();
     index = static_cast<const PexesoIndex*>(held.get());
   }
-  CollectSink sink;
-  Status st;
-  if (engine == Engine::kPexeso) {
-    st = PexesoSearcher(index).Execute(query, &sink, stats);
-  } else {
-    st = PexesoHSearcher(index).Execute(query, &sink, stats);
-  }
-  if (!st.ok()) return st;  // incl. Cancelled/DeadlineExceeded mid-part
-  std::vector<JoinableColumn> results = std::move(sink).TakeColumns();
-  for (auto& r : results) {
-    r.column = index->catalog().column(r.column).source_id;
-  }
-  // When uncached, the partition index dies with `held` here: only one
+  // When uncached, the partition index dies with `held` at return: only one
   // partition is ever resident, which is the Section IV memory contract.
   // With a cache attached, residency is the cache's budgeted decision.
-  return results;
+  return SearchIndexSnapshot(*index, query, engine, stats);
 }
 
 Result<std::vector<JoinableColumn>> PartitionedPexeso::SearchPart(

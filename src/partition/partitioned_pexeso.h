@@ -53,18 +53,10 @@ class PartitionedPexeso : public JoinSearchEngine,
   /// partitions; `io_seconds` (optional) reports the disk-loading share —
   /// including on the error path, so a failed partition load still accounts
   /// the IO it burned before failing.
-  /// This is the status-returning workhorse behind Execute; the legacy
-  /// SearchOptions overload is the deprecated shim.
+  /// This is the status-returning workhorse behind Execute.
   Result<std::vector<JoinableColumn>> SearchPartitions(
       const JoinQuery& query, SearchStats* stats,
       double* io_seconds = nullptr, Engine engine = Engine::kPexeso) const;
-  Result<std::vector<JoinableColumn>> SearchPartitions(
-      const VectorStore& query, const SearchOptions& options,
-      SearchStats* stats, double* io_seconds = nullptr,
-      Engine engine = Engine::kPexeso) const {
-    return SearchPartitions(JoinQuery::FromLegacy(&query, options), stats,
-                            io_seconds, engine);
-  }
 
   const char* name() const override {
     return engine_ == Engine::kPexeso ? "pexeso-part" : "pexeso-h-part";
@@ -84,7 +76,6 @@ class PartitionedPexeso : public JoinSearchEngine,
                  SearchStats* stats) const override;
 
   // ------------------------------------------- PartitionedJoinEngine side
-  using PartitionedJoinEngine::SearchPart;  // keep the deprecated shim
   size_t NumParts() const override { return num_parts_; }
   Result<PartHandle> AcquirePart(size_t part,
                                  double* io_seconds) const override;
@@ -133,6 +124,14 @@ class PartitionedPexeso : public JoinSearchEngine,
   Engine engine_ = Engine::kPexeso;
   serve::IndexCache* cache_ = nullptr;
 };
+
+/// Searches one in-memory index snapshot with the selected per-part searcher
+/// (PEXESO or PEXESO-H) and remaps result ids to the global column-id space
+/// (ColumnMeta::source_id). The shared primitive under PartitionedPexeso's
+/// per-part search and the lake layer's base/delta snapshot searches.
+Result<std::vector<JoinableColumn>> SearchIndexSnapshot(
+    const PexesoIndex& index, const JoinQuery& query,
+    PartitionedPexeso::Engine engine, SearchStats* stats);
 
 }  // namespace pexeso
 

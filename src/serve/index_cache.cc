@@ -13,8 +13,14 @@ IndexCache::IndexCache(IndexCacheOptions options)
   PEXESO_CHECK(options.shard_bits <= 8);
 }
 
-IndexCache::Shard& IndexCache::ShardFor(const std::string& path) {
-  return shards_[std::hash<std::string>{}(path) & (shards_.size() - 1)];
+IndexCache::Shard& IndexCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) & (shards_.size() - 1)];
+}
+
+std::string IndexCache::MakeKey(const std::string& path,
+                                uint64_t generation) {
+  if (generation == 0) return path;
+  return path + "@g" + std::to_string(generation);
 }
 
 size_t IndexCache::ResidentBytes(const PexesoIndex& index) {
@@ -22,21 +28,25 @@ size_t IndexCache::ResidentBytes(const PexesoIndex& index) {
 }
 
 Result<IndexCache::IndexPtr> IndexCache::Get(const std::string& path,
-                                             const Metric* metric) {
-  return GetOrPin(path, metric, /*pin=*/false);
+                                             const Metric* metric,
+                                             uint64_t generation) {
+  return GetOrPin(MakeKey(path, generation), path, metric, /*pin=*/false);
 }
 
-Status IndexCache::Pin(const std::string& path, const Metric* metric) {
-  return GetOrPin(path, metric, /*pin=*/true).status();
+Status IndexCache::Pin(const std::string& path, const Metric* metric,
+                       uint64_t generation) {
+  return GetOrPin(MakeKey(path, generation), path, metric, /*pin=*/true)
+      .status();
 }
 
-Result<IndexCache::IndexPtr> IndexCache::GetOrPin(const std::string& path,
+Result<IndexCache::IndexPtr> IndexCache::GetOrPin(const std::string& key,
+                                                  const std::string& path,
                                                   const Metric* metric,
                                                   bool pin) {
-  Shard& shard = ShardFor(path);
+  Shard& shard = ShardFor(key);
   std::unique_lock<std::mutex> lock(shard.mu);
   for (;;) {
-    auto it = shard.map.find(path);
+    auto it = shard.map.find(key);
     if (it == shard.map.end()) break;  // cold: this thread loads
     Entry& entry = it->second;
     if (entry.loading()) {
@@ -71,11 +81,11 @@ Result<IndexCache::IndexPtr> IndexCache::GetOrPin(const std::string& path,
 
   ++shard.misses;
   auto flight = std::make_shared<Flight>();
-  shard.map[path].flight = flight;
+  shard.map[key].flight = flight;
   lock.unlock();
   auto loaded = PexesoIndex::Load(path, metric);
   lock.lock();
-  auto it = shard.map.find(path);
+  auto it = shard.map.find(key);
   PEXESO_CHECK(it != shard.map.end());  // only the loader removes its marker
   if (!loaded.ok()) {
     flight->done = true;
@@ -96,13 +106,13 @@ Result<IndexCache::IndexPtr> IndexCache::GetOrPin(const std::string& path,
   if (pin) {
     entry.pins = 1;
   } else {
-    shard.lru.push_front(path);
+    shard.lru.push_front(key);
     entry.lru_it = shard.lru.begin();
     entry.in_lru = true;
   }
   shard.load_done.notify_all();
   lock.unlock();
-  EnforceBudget(&shard, &path);
+  EnforceBudget(&shard, &key);
   return ptr;
 }
 
@@ -155,16 +165,17 @@ void IndexCache::EnforceBudget(Shard* home, const std::string* fresh) {
   ++home->evictions;
 }
 
-void IndexCache::Unpin(const std::string& path) {
-  Shard& shard = ShardFor(path);
+void IndexCache::Unpin(const std::string& path, uint64_t generation) {
+  const std::string key = MakeKey(path, generation);
+  Shard& shard = ShardFor(key);
   bool relinked = false;
   {
     std::unique_lock<std::mutex> lock(shard.mu);
-    auto it = shard.map.find(path);
+    auto it = shard.map.find(key);
     if (it == shard.map.end() || it->second.pins == 0) return;
     Entry& entry = it->second;
     if (--entry.pins == 0) {
-      shard.lru.push_front(path);
+      shard.lru.push_front(key);
       entry.lru_it = shard.lru.begin();
       entry.in_lru = true;
       relinked = true;
@@ -175,10 +186,11 @@ void IndexCache::Unpin(const std::string& path) {
   if (relinked) EnforceBudget(&shard, nullptr);
 }
 
-void IndexCache::Erase(const std::string& path) {
-  Shard& shard = ShardFor(path);
+void IndexCache::Erase(const std::string& path, uint64_t generation) {
+  const std::string key = MakeKey(path, generation);
+  Shard& shard = ShardFor(key);
   std::unique_lock<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(path);
+  auto it = shard.map.find(key);
   if (it == shard.map.end() || it->second.loading() || it->second.pins > 0) {
     return;
   }

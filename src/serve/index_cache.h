@@ -50,7 +50,14 @@ struct IndexCacheStats {
 };
 
 /// \brief Thread-safe, memory-budgeted LRU cache of deserialized
-/// PexesoIndex partition snapshots, keyed by file path.
+/// PexesoIndex partition snapshots, keyed by (file path, generation).
+///
+/// The generation is the live-lake snapshot version: a background merge
+/// writes a NEW snapshot file and publishes it under a bumped generation, so
+/// the stale generation's entry simply stops being requested and ages out of
+/// the LRU — no explicit invalidation, and in-flight searches keep their
+/// shared_ptr until they finish. Static deployments pass generation 0
+/// everywhere and get the plain path-keyed cache.
 ///
 /// This is the amortization layer of the serving stack: one lake index
 /// answers many query columns, so partition files must be deserialized once
@@ -86,19 +93,22 @@ class IndexCache {
 
   /// Returns the index stored at `path`, loading and caching it on miss.
   /// `metric` is borrowed by the loaded index (must outlive it) and must be
-  /// the metric the index was built with.
-  Result<IndexPtr> Get(const std::string& path, const Metric* metric);
+  /// the metric the index was built with. `generation` distinguishes
+  /// successive snapshot versions of the same path (see class comment).
+  Result<IndexPtr> Get(const std::string& path, const Metric* metric,
+                       uint64_t generation = 0);
 
   /// Loads (if needed) and pins: a pinned entry is never evicted until the
   /// matching Unpin. Pins nest (N pins need N unpins).
-  Status Pin(const std::string& path, const Metric* metric);
+  Status Pin(const std::string& path, const Metric* metric,
+             uint64_t generation = 0);
 
   /// Drops one pin; at zero pins the entry becomes evictable again (and the
   /// budget is re-enforced immediately). No-op for unknown keys.
-  void Unpin(const std::string& path);
+  void Unpin(const std::string& path, uint64_t generation = 0);
 
   /// Drops an unpinned resident entry, if present.
-  void Erase(const std::string& path);
+  void Erase(const std::string& path, uint64_t generation = 0);
 
   /// Drops every unpinned resident entry.
   void Clear();
@@ -146,11 +156,16 @@ class IndexCache {
     uint64_t single_flight_waits = 0;
   };
 
-  Shard& ShardFor(const std::string& path);
+  /// Composed map key: the path for generation 0 (the static-deployment
+  /// fast path and the pre-lake key format), "path@g<N>" otherwise.
+  static std::string MakeKey(const std::string& path, uint64_t generation);
+
+  Shard& ShardFor(const std::string& key);
 
   /// The shared hit/miss/single-flight state machine behind Get and Pin.
-  Result<IndexPtr> GetOrPin(const std::string& path, const Metric* metric,
-                            bool pin);
+  /// `key` is the composed cache key; `path` is the file to load on miss.
+  Result<IndexPtr> GetOrPin(const std::string& key, const std::string& path,
+                            const Metric* metric, bool pin);
 
   /// Drops `shard`'s LRU-tail entries while the global byte total exceeds
   /// the budget, stopping at `spare` (the freshly inserted key, evicted

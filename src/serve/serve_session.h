@@ -22,7 +22,7 @@ struct ServeSessionOptions {
   /// Ignored when an external pool is passed to the constructor.
   size_t num_threads = 0;
   /// Default intra-query parallelism applied to every submitted query that
-  /// does not carry its own SearchOptions::intra_query_threads: a huge query
+  /// does not carry its own JoinQuery::intra_query_threads: a huge query
   /// column then parallelizes *within* one partition's verification, not
   /// just across partitions. Shards run on a dedicated session-owned intra
   /// pool (separate from the part-task pool, so a part task waiting on its
@@ -113,18 +113,6 @@ class ServeSession {
   /// candidates per part for kTopK), merged outcome via Drain(). Returns
   /// the query's ticket (its index in Drain()'s output).
   uint64_t SubmitStreaming(JoinQuery query, ChunkCallback on_chunk);
-
-  /// \deprecated Legacy-options shims over the JoinQuery submits, kept for
-  /// one release.
-  std::future<QueryOutcome> Submit(const VectorStore* query,
-                                   SearchOptions options) {
-    return Submit(JoinQuery::FromLegacy(query, options));
-  }
-  uint64_t SubmitStreaming(const VectorStore* query, SearchOptions options,
-                           ChunkCallback on_chunk) {
-    return SubmitStreaming(JoinQuery::FromLegacy(query, options),
-                           std::move(on_chunk));
-  }
 
   /// Blocks until every submitted query has finished and returns all
   /// outcomes so far in submission order (ticket order).

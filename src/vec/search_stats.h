@@ -60,6 +60,13 @@ struct SearchStats {
   /// column loops, per-partition and per-part-task checks all count one
   /// each when they trip).
   uint64_t deadline_expired = 0;
+  /// Columns searched in live-lake delta indexes (appended-but-unmerged
+  /// data) rather than base snapshots — how much of the answer came from
+  /// fresh ingest.
+  uint64_t delta_columns_searched = 0;
+  /// Result columns removed by tombstone masking (dropped columns still
+  /// present in a base/delta snapshot awaiting merge).
+  uint64_t tombstones_masked = 0;
   /// Wall-clock split (seconds) of the two search phases.
   double block_seconds = 0.0;
   double verify_seconds = 0.0;
@@ -82,6 +89,8 @@ struct SearchStats {
     shard_max_blocks = std::max(shard_max_blocks, o.shard_max_blocks);
     columns_pruned_topk += o.columns_pruned_topk;
     deadline_expired += o.deadline_expired;
+    delta_columns_searched += o.delta_columns_searched;
+    tombstones_masked += o.tombstones_masked;
     block_seconds += o.block_seconds;
     verify_seconds += o.verify_seconds;
     return *this;

@@ -15,6 +15,7 @@
 namespace pexeso {
 namespace {
 
+using testing::MustSearch;
 using testing::MakeClusteredCatalog;
 using testing::MakeClusteredQuery;
 using testing::ResultColumns;
@@ -189,16 +190,16 @@ TEST(PexesoHTest, MatchesNaiveSearcher) {
   FractionalThresholds ft{0.06, 0.5};
   const SearchThresholds th = ft.Resolve(metric, 10, query.size());
   NaiveSearcher naive(&catalog, &metric);
-  auto expected = ResultColumns(naive.Search(query, th, nullptr));
+  auto expected = ResultColumns(MustSearch(naive, query, th, nullptr));
 
   PexesoOptions opts;
   opts.num_pivots = 3;
   opts.levels = 4;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
   PexesoHSearcher searcher(&index);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = th;
-  auto got = ResultColumns(searcher.Search(query, sopts, nullptr));
+  auto got = ResultColumns(MustSearch(searcher, query, sopts, nullptr));
   EXPECT_EQ(got, expected);
 }
 
@@ -212,13 +213,13 @@ TEST(PexesoHTest, ComputesMoreDistancesThanPexeso) {
   opts.num_pivots = 4;
   opts.levels = 4;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = th;
   SearchStats full_stats, h_stats;
   PexesoSearcher full(&index);
   PexesoHSearcher hsearch(&index);
-  full.Search(query, sopts, &full_stats);
-  hsearch.Search(query, sopts, &h_stats);
+  MustSearch(full, query, sopts, &full_stats);
+  MustSearch(hsearch, query, sopts, &h_stats);
   EXPECT_LE(full_stats.distance_computations, h_stats.distance_computations);
 }
 
@@ -229,12 +230,12 @@ TEST(JoinableRangeSearcherTest, CoverTreeWorkflowMatchesNaive) {
   FractionalThresholds ft{0.07, 0.4};
   const SearchThresholds th = ft.Resolve(metric, 8, query.size());
   NaiveSearcher naive(&catalog, &metric);
-  auto expected = ResultColumns(naive.Search(query, th, nullptr));
+  auto expected = ResultColumns(MustSearch(naive, query, th, nullptr));
 
   CoverTree tree(&catalog.store(), &metric);
   tree.BuildAll();
   JoinableRangeSearcher searcher(&catalog, &tree);
-  auto got = ResultColumns(searcher.Search(query, th, nullptr));
+  auto got = ResultColumns(MustSearch(searcher, query, th, nullptr));
   EXPECT_EQ(got, expected);
 }
 
@@ -245,12 +246,12 @@ TEST(JoinableRangeSearcherTest, EptWorkflowMatchesNaive) {
   FractionalThresholds ft{0.07, 0.4};
   const SearchThresholds th = ft.Resolve(metric, 8, query.size());
   NaiveSearcher naive(&catalog, &metric);
-  auto expected = ResultColumns(naive.Search(query, th, nullptr));
+  auto expected = ResultColumns(MustSearch(naive, query, th, nullptr));
 
   ExtremePivotTable ept(&catalog.store(), &metric);
   ept.Build({});
   JoinableRangeSearcher searcher(&catalog, &ept);
-  auto got = ResultColumns(searcher.Search(query, th, nullptr));
+  auto got = ResultColumns(MustSearch(searcher, query, th, nullptr));
   EXPECT_EQ(got, expected);
 }
 
@@ -268,7 +269,7 @@ TEST(JoinableRangeSearcherTest, PqIsApproximateButPlausible) {
   pq.Build(opts);
   pq.set_radius_scale(1.5);
   JoinableRangeSearcher searcher(&catalog, &pq);
-  auto got = searcher.Search(query, th, nullptr);
+  auto got = MustSearch(searcher, query, th, nullptr);
   // Approximate: just sanity-check the workflow produces results with
   // joinability above the threshold.
   for (const auto& r : got) {

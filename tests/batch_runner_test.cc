@@ -16,6 +16,8 @@
 namespace pexeso {
 namespace {
 
+using testing::BindQueries;
+using testing::MustSearch;
 using testing::MakeClusteredCatalog;
 using testing::MakeClusteredQuery;
 
@@ -67,7 +69,7 @@ class BatchRunnerTest : public ::testing::Test {
   ColumnCatalog catalog_;
   std::unique_ptr<PexesoIndex> index_;
   std::vector<VectorStore> queries_;
-  SearchOptions options_;
+  JoinQuery options_;
 };
 
 TEST_F(BatchRunnerTest, OneAndEightThreadsAreIdenticalToSerialLoop) {
@@ -77,13 +79,13 @@ TEST_F(BatchRunnerTest, OneAndEightThreadsAreIdenticalToSerialLoop) {
   std::vector<std::vector<JoinableColumn>> serial;
   SearchStats serial_stats;
   for (const auto& q : queries_) {
-    serial.push_back(searcher.Search(q, options_, &serial_stats));
+    serial.push_back(MustSearch(searcher, q, options_, &serial_stats));
   }
 
   BatchQueryRunner one(&searcher, {.num_threads = 1});
   BatchQueryRunner eight(&searcher, {.num_threads = 8});
-  BatchResult r1 = one.Run(queries_, options_);
-  BatchResult r8 = eight.Run(queries_, options_);
+  BatchResult r1 = one.Run(BindQueries(queries_, options_));
+  BatchResult r8 = eight.Run(BindQueries(queries_, options_));
 
   ExpectIdentical(r1.results, serial);
   ExpectIdentical(r8.results, serial);
@@ -102,22 +104,22 @@ TEST_F(BatchRunnerTest, WorksOverTheNaiveEngineToo) {
   NaiveSearcher naive(&catalog_, &metric_);
   BatchQueryRunner one(&naive, {.num_threads = 1});
   BatchQueryRunner four(&naive, {.num_threads = 4});
-  ExpectIdentical(four.Run(queries_, options_).results,
-                  one.Run(queries_, options_).results);
+  ExpectIdentical(four.Run(BindQueries(queries_, options_)).results,
+                  one.Run(BindQueries(queries_, options_)).results);
 }
 
 TEST_F(BatchRunnerTest, PerQueryOptionsResolveIndividually) {
   PexesoSearcher searcher(index_.get());
   FractionalThresholds ft{0.07, 0.4};
-  std::vector<SearchOptions> per_query(queries_.size());
+  std::vector<JoinQuery> per_query(queries_.size());
   for (size_t i = 0; i < queries_.size(); ++i) {
     per_query[i].thresholds = ft.Resolve(metric_, kDim, queries_[i].size());
   }
   BatchQueryRunner runner(&searcher, {.num_threads = 4});
-  BatchResult batched = runner.Run(queries_, per_query);
+  BatchResult batched = runner.Run(BindQueries(queries_, per_query));
   ASSERT_EQ(batched.results.size(), queries_.size());
   for (size_t i = 0; i < queries_.size(); ++i) {
-    auto serial = searcher.Search(queries_[i], per_query[i], nullptr);
+    auto serial = MustSearch(searcher, queries_[i], per_query[i], nullptr);
     ASSERT_EQ(batched.results[i].size(), serial.size()) << "query " << i;
     for (size_t j = 0; j < serial.size(); ++j) {
       EXPECT_EQ(batched.results[i][j].column, serial[j].column);
@@ -128,7 +130,7 @@ TEST_F(BatchRunnerTest, PerQueryOptionsResolveIndividually) {
 TEST_F(BatchRunnerTest, EmptyBatchIsFine) {
   PexesoSearcher searcher(index_.get());
   BatchQueryRunner runner(&searcher, {.num_threads = 4});
-  BatchResult r = runner.Run({}, options_);
+  BatchResult r = runner.Run({});
   EXPECT_TRUE(r.results.empty());
   EXPECT_EQ(r.stats.distance_computations, 0u);
 }
@@ -137,9 +139,9 @@ TEST_F(BatchRunnerTest, ZeroThreadsMeansHardwareConcurrency) {
   PexesoSearcher searcher(index_.get());
   BatchQueryRunner runner(&searcher, {.num_threads = 0});
   EXPECT_GE(runner.num_threads(), 1u);
-  ExpectIdentical(runner.Run(queries_, options_).results,
+  ExpectIdentical(runner.Run(BindQueries(queries_, options_)).results,
                   BatchQueryRunner(&searcher, {.num_threads = 1})
-                      .Run(queries_, options_)
+                      .Run(BindQueries(queries_, options_))
                       .results);
 }
 
@@ -150,14 +152,14 @@ TEST_F(BatchRunnerTest, IntraQueryShardsComposeWithBatchFanout) {
   // per-query stats counters).
   PexesoSearcher searcher(index_.get());
   BatchQueryRunner serial(&searcher, {.num_threads = 1});
-  const BatchResult expect = serial.Run(queries_, options_);
+  const BatchResult expect = serial.Run(BindQueries(queries_, options_));
 
-  SearchOptions intra = options_;
+  JoinQuery intra = options_;
   intra.intra_query_threads = 2;
-  std::vector<SearchOptions> per_query(queries_.size(), intra);
+  std::vector<JoinQuery> per_query(queries_.size(), intra);
   for (size_t outer : {1, 4}) {
     BatchQueryRunner runner(&searcher, {.num_threads = outer});
-    const BatchResult got = runner.Run(queries_, per_query);
+    const BatchResult got = runner.Run(BindQueries(queries_, per_query));
     ExpectIdentical(got.results, expect.results);
     EXPECT_EQ(got.stats.distance_computations,
               expect.stats.distance_computations)
@@ -182,7 +184,7 @@ TEST_F(BatchRunnerTest, EngineExceptionPropagatesToCaller) {
   };
   ThrowingEngine bad;
   BatchQueryRunner runner(&bad, {.num_threads = 4});
-  EXPECT_THROW(runner.Run(queries_, options_), std::runtime_error);
+  EXPECT_THROW(runner.Run(BindQueries(queries_, options_)), std::runtime_error);
 }
 
 }  // namespace

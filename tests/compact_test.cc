@@ -9,6 +9,7 @@
 namespace pexeso {
 namespace {
 
+using testing::MustSearch;
 using testing::MakeClusteredCatalog;
 using testing::MakeClusteredQuery;
 using testing::ResultColumns;
@@ -24,9 +25,9 @@ TEST(CompactTest, CompactPreservesSurvivingResults) {
   opts.levels = 3;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
 
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = th;
-  auto before = PexesoSearcher(&index).Search(query, sopts, nullptr);
+  auto before = MustSearch(PexesoSearcher(&index), query, sopts, nullptr);
   ASSERT_GE(before.size(), 2u);
 
   // Delete the first found column, compact, and map survivors by source_id.
@@ -40,7 +41,7 @@ TEST(CompactTest, CompactPreservesSurvivingResults) {
   EXPECT_EQ(index.Compact(), 1u);
   EXPECT_EQ(index.catalog().num_columns(), 19u);
 
-  auto after = PexesoSearcher(&index).Search(query, sopts, nullptr);
+  auto after = MustSearch(PexesoSearcher(&index), query, sopts, nullptr);
   std::set<uint32_t> got_sources;
   for (const auto& r : after) {
     got_sources.insert(index.catalog().column(r.column).source_id);

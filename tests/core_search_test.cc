@@ -12,6 +12,7 @@
 namespace pexeso {
 namespace {
 
+using testing::MustSearch;
 using testing::MakeClusteredCatalog;
 using testing::MakeClusteredQuery;
 using testing::ResultColumns;
@@ -47,17 +48,17 @@ TEST_P(ExactnessTest, MatchesNaiveSearcher) {
   NaiveSearcher naive(&catalog, &metric);
   FractionalThresholds ft{c.tau_fraction, c.t_fraction};
   const SearchThresholds th = ft.Resolve(metric, c.dim, query.size());
-  auto expected = ResultColumns(naive.Search(query, th, nullptr));
+  auto expected = ResultColumns(MustSearch(naive, query, th, nullptr));
 
   PexesoOptions opts;
   opts.num_pivots = c.num_pivots;
   opts.levels = c.levels;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
   PexesoSearcher searcher(&index);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = th;
   SearchStats stats;
-  auto got = ResultColumns(searcher.Search(query, sopts, &stats));
+  auto got = ResultColumns(MustSearch(searcher, query, sopts, &stats));
 
   EXPECT_EQ(got, expected);
 }
@@ -88,14 +89,14 @@ TEST_P(AblationExactnessTest, AblatedSearchStaysExact) {
   const SearchThresholds th = ft.Resolve(metric, 10, query.size());
 
   NaiveSearcher naive(&catalog, &metric);
-  auto expected = ResultColumns(naive.Search(query, th, nullptr));
+  auto expected = ResultColumns(MustSearch(naive, query, th, nullptr));
 
   PexesoOptions opts;
   opts.num_pivots = 3;
   opts.levels = 4;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
   PexesoSearcher searcher(&index);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = th;
   switch (variant) {
     case 0: sopts.ablation.use_lemma1 = false; break;
@@ -114,7 +115,7 @@ TEST_P(AblationExactnessTest, AblatedSearchStaysExact) {
       break;
     default: break;
   }
-  auto got = ResultColumns(searcher.Search(query, sopts, nullptr));
+  auto got = ResultColumns(MustSearch(searcher, query, sopts, nullptr));
   EXPECT_EQ(got, expected);
 }
 
@@ -130,9 +131,9 @@ TEST(PexesoSearchTest, EmptyQueryReturnsNothing) {
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
   PexesoSearcher searcher(&index);
   VectorStore empty(6);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = {0.1, 1};
-  EXPECT_TRUE(searcher.Search(empty, sopts, nullptr).empty());
+  EXPECT_TRUE(MustSearch(searcher, empty, sopts, nullptr).empty());
 }
 
 TEST(PexesoSearchTest, IdenticalColumnIsJoinableAtFullT) {
@@ -154,10 +155,10 @@ TEST(PexesoSearchTest, IdenticalColumnIsJoinableAtFullT) {
   opts.levels = 3;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
   PexesoSearcher searcher(&index);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds.tau = 1e-6;
   sopts.thresholds.t_abs = static_cast<uint32_t>(query.size());
-  auto results = searcher.Search(query, sopts, nullptr);
+  auto results = MustSearch(searcher, query, sopts, nullptr);
   ASSERT_EQ(results.size(), 1u);
   EXPECT_EQ(results[0].column, 0u);
   EXPECT_DOUBLE_EQ(results[0].joinability, 1.0);
@@ -188,10 +189,10 @@ TEST(PexesoSearchTest, ExactJoinabilityReportsTrueCounts) {
   opts.levels = 4;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
   PexesoSearcher searcher(&index);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = th;
-  sopts.exact_joinability = true;
-  auto results = searcher.Search(query, sopts, nullptr);
+  sopts.mode = QueryMode::kExactJoinability;
+  auto results = MustSearch(searcher, query, sopts, nullptr);
   EXPECT_FALSE(results.empty());
   for (const auto& r : results) {
     EXPECT_EQ(r.match_count, truth[r.column]);
@@ -209,10 +210,10 @@ TEST(PexesoSearchTest, MappingsPointToRealMatches) {
   opts.levels = 3;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
   PexesoSearcher searcher(&index);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = th;
   sopts.collect_mappings = true;
-  auto results = searcher.Search(query, sopts, nullptr);
+  auto results = MustSearch(searcher, query, sopts, nullptr);
   ASSERT_FALSE(results.empty());
   for (const auto& r : results) {
     EXPECT_GE(r.mapping.size(), r.match_count);
@@ -238,10 +239,10 @@ TEST(PexesoSearchTest, StatsArepopulated) {
   opts.levels = 4;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
   PexesoSearcher searcher(&index);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = th;
   SearchStats stats;
-  searcher.Search(query, sopts, &stats);
+  MustSearch(searcher, query, sopts, &stats);
   EXPECT_GT(stats.candidate_pairs + stats.matching_pairs, 0u);
   EXPECT_GE(stats.block_seconds, 0.0);
   EXPECT_GE(stats.verify_seconds, 0.0);
@@ -258,17 +259,17 @@ TEST(PexesoSearchTest, BlockingReducesDistanceComputations) {
   {
     ColumnCatalog copy = MakeClusteredCatalog(305, 16, 40, 20);
     NaiveSearcher naive(&copy, &metric);
-    naive.Search(query, th, &naive_stats);
+    MustSearch(naive, query, th, &naive_stats);
   }
   PexesoOptions opts;
   opts.num_pivots = 4;
   opts.levels = 5;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
   PexesoSearcher searcher(&index);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = th;
   SearchStats stats;
-  searcher.Search(query, sopts, &stats);
+  MustSearch(searcher, query, sopts, &stats);
   EXPECT_LT(stats.distance_computations, naive_stats.distance_computations);
 }
 
@@ -287,10 +288,10 @@ TEST(PexesoIndexTest, AppendColumnIsSearchable) {
   const ColumnId col =
       index.AppendColumn(meta, query.raw().data(), query.size());
   PexesoSearcher searcher(&index);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds.tau = 1e-6;
   sopts.thresholds.t_abs = static_cast<uint32_t>(query.size());
-  auto results = searcher.Search(query, sopts, nullptr);
+  auto results = MustSearch(searcher, query, sopts, nullptr);
   ASSERT_EQ(results.size(), 1u);
   EXPECT_EQ(results[0].column, col);
 }
@@ -325,11 +326,11 @@ TEST(PexesoIndexTest, AppendMatchesFreshBuild) {
     incr.AppendColumn(m, full.store().View(m.first), m.count);
   }
 
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = th;
   PexesoSearcher s1(&batch), s2(&incr);
-  auto r1 = ResultColumns(s1.Search(query, sopts, nullptr));
-  auto r2 = ResultColumns(s2.Search(query, sopts, nullptr));
+  auto r1 = ResultColumns(MustSearch(s1, query, sopts, nullptr));
+  auto r2 = ResultColumns(MustSearch(s2, query, sopts, nullptr));
   EXPECT_EQ(r1, r2);  // column ids coincide by construction order
 }
 
@@ -344,13 +345,13 @@ TEST(PexesoIndexTest, DeletedColumnDisappearsFromResults) {
   opts.levels = 3;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
   PexesoSearcher searcher(&index);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = th;
-  auto before = searcher.Search(query, sopts, nullptr);
+  auto before = MustSearch(searcher, query, sopts, nullptr);
   ASSERT_FALSE(before.empty());
   const ColumnId victim = before[0].column;
   index.DeleteColumn(victim);
-  auto after = searcher.Search(query, sopts, nullptr);
+  auto after = MustSearch(searcher, query, sopts, nullptr);
   for (const auto& r : after) EXPECT_NE(r.column, victim);
   EXPECT_EQ(after.size(), before.size() - 1);
 }
@@ -365,17 +366,17 @@ TEST(PexesoIndexTest, SaveLoadRoundTripPreservesResults) {
   opts.num_pivots = 3;
   opts.levels = 3;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = th;
   PexesoSearcher s1(&index);
-  auto expected = ResultColumns(s1.Search(query, sopts, nullptr));
+  auto expected = ResultColumns(MustSearch(s1, query, sopts, nullptr));
 
   const std::string path = ::testing::TempDir() + "/pexeso_index.bin";
   ASSERT_TRUE(index.Save(path).ok());
   auto loaded = PexesoIndex::Load(path, &metric);
   ASSERT_TRUE(loaded.ok());
   PexesoSearcher s2(&loaded.value());
-  auto got = ResultColumns(s2.Search(query, sopts, nullptr));
+  auto got = ResultColumns(MustSearch(s2, query, sopts, nullptr));
   EXPECT_EQ(got, expected);
   std::remove(path.c_str());
 }

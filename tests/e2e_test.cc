@@ -10,9 +10,12 @@
 #include "table/repository.h"
 #include "textjoin/matchers.h"
 #include "textjoin/text_search.h"
+#include "test_util.h"
 
 namespace pexeso {
 namespace {
+
+using testing::MustSearch;
 
 /// End-to-end pipeline: synthetic lake -> CSV-level tables -> repository
 /// (type detection + embedding) -> PEXESO index -> search; evaluated against
@@ -79,9 +82,9 @@ TEST_F(EndToEndTest, PexesoBeatsEquiJoinOnRecall) {
   opts.levels = 4;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
   PexesoSearcher searcher(&index);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = th;
-  auto results = searcher.Search(query_vecs, sopts, nullptr);
+  auto results = MustSearch(searcher, query_vecs, sopts, nullptr);
 
   std::unordered_set<std::string> pexeso_found;
   for (const auto& r : results) {
@@ -134,10 +137,10 @@ TEST_F(EndToEndTest, MappingsExplainJoins) {
   opts.levels = 4;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
   PexesoSearcher searcher(&index);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = ft.Resolve(metric, model_->dim(), query_vecs.size());
   sopts.collect_mappings = true;
-  auto results = searcher.Search(query_vecs, sopts, nullptr);
+  auto results = MustSearch(searcher, query_vecs, sopts, nullptr);
   ASSERT_FALSE(results.empty());
   // Every joinable result carries the record-level mapping users see.
   for (const auto& r : results) {

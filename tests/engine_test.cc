@@ -26,6 +26,7 @@
 namespace pexeso {
 namespace {
 
+using testing::MustSearch;
 using testing::MakeClusteredCatalog;
 using testing::MakeClusteredQuery;
 using testing::ResultColumns;
@@ -134,24 +135,24 @@ TEST_F(EngineConformanceTest, NamesAreStable) {
 }
 
 TEST_F(EngineConformanceTest, ExactEnginesMatchOracleThroughInterface) {
-  SearchOptions options;
+  JoinQuery options;
   options.thresholds = thresholds_;
   const auto expected =
-      ResultColumns(naive_->Search(query_, options, nullptr));
+      ResultColumns(MustSearch(*naive_, query_, options, nullptr));
   ASSERT_FALSE(expected.empty()) << "conformance query must hit something";
   for (const Entry& e : AllEngines()) {
     if (!e.exact) continue;
     SearchStats stats;
-    auto results = e.engine->Search(query_, options, &stats);
+    auto results = MustSearch(*e.engine, query_, options, &stats);
     EXPECT_EQ(ResultColumns(results), expected) << e.expected_name;
   }
 }
 
 TEST_F(EngineConformanceTest, EveryResultIsWellFormed) {
-  SearchOptions options;
+  JoinQuery options;
   options.thresholds = thresholds_;
   for (const Entry& e : AllEngines()) {
-    for (const auto& r : e.engine->Search(query_, options, nullptr)) {
+    for (const auto& r : MustSearch(*e.engine, query_, options, nullptr)) {
       EXPECT_LT(r.column, catalog_.num_columns()) << e.expected_name;
       EXPECT_GE(r.match_count, thresholds_.t_abs) << e.expected_name;
       EXPECT_GT(r.joinability, 0.0) << e.expected_name;
@@ -162,9 +163,9 @@ TEST_F(EngineConformanceTest, EveryResultIsWellFormed) {
 
 TEST_F(EngineConformanceTest, ExactJoinabilityReportsFullCounts) {
   // With exact_joinability the reported count must not clamp at T.
-  SearchOptions exact;
+  JoinQuery exact;
   exact.thresholds = thresholds_;
-  exact.exact_joinability = true;
+  exact.mode = QueryMode::kExactJoinability;
   const auto by_column = [](std::vector<JoinableColumn> v) {
     std::sort(v.begin(), v.end(),
               [](const JoinableColumn& a, const JoinableColumn& b) {
@@ -172,10 +173,10 @@ TEST_F(EngineConformanceTest, ExactJoinabilityReportsFullCounts) {
               });
     return v;
   };
-  const auto expected = by_column(naive_->Search(query_, exact, nullptr));
+  const auto expected = by_column(MustSearch(*naive_, query_, exact, nullptr));
   for (const Entry& e : AllEngines()) {
     if (!e.exact) continue;
-    auto results = by_column(e.engine->Search(query_, exact, nullptr));
+    auto results = by_column(MustSearch(*e.engine, query_, exact, nullptr));
     ASSERT_EQ(results.size(), expected.size()) << e.expected_name;
     for (size_t i = 0; i < results.size(); ++i) {
       EXPECT_EQ(results[i].column, expected[i].column) << e.expected_name;
@@ -189,15 +190,15 @@ TEST_F(EngineConformanceTest, MappingsAgreeAcrossIndexEngines) {
   // The engines that honor collect_mappings (pexeso, pexeso-h, naive) must
   // produce identical record-level mappings: one entry per matching query
   // record, first matching target vector in store order.
-  SearchOptions options;
+  JoinQuery options;
   options.thresholds = thresholds_;
   options.collect_mappings = true;
-  const auto expected = naive_->Search(query_, options, nullptr);
+  const auto expected = MustSearch(*naive_, query_, options, nullptr);
   ASSERT_FALSE(expected.empty());
   for (const JoinSearchEngine* e :
        {static_cast<const JoinSearchEngine*>(pexeso_.get()),
         static_cast<const JoinSearchEngine*>(pexeso_h_.get())}) {
-    auto results = e->Search(query_, options, nullptr);
+    auto results = MustSearch(*e, query_, options, nullptr);
     ASSERT_EQ(results.size(), expected.size()) << e->name();
     for (size_t i = 0; i < results.size(); ++i) {
       EXPECT_EQ(results[i].column, expected[i].column) << e->name();
@@ -214,10 +215,14 @@ TEST_F(EngineConformanceTest, MappingsAgreeAcrossIndexEngines) {
   }
 }
 
-TEST_F(EngineConformanceTest, SearchTopKWorksOverAnyEngine) {
+TEST_F(EngineConformanceTest, TopKModeWorksOverAnyEngine) {
+  JoinQuery topk_query;
+  topk_query.mode = QueryMode::kTopK;
+  topk_query.thresholds.tau = thresholds_.tau;
+  topk_query.k = 3;
   for (const Entry& e : AllEngines()) {
     if (!e.exact) continue;
-    auto topk = SearchTopK(*e.engine, query_, thresholds_.tau, 3);
+    auto topk = MustSearch(*e.engine, query_, topk_query);
     ASSERT_LE(topk.size(), 3u) << e.expected_name;
     for (size_t i = 1; i < topk.size(); ++i) {
       EXPECT_GE(topk[i - 1].joinability, topk[i].joinability)

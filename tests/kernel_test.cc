@@ -22,6 +22,9 @@
 namespace pexeso {
 namespace {
 
+using testing::BindQueries;
+using testing::MustSearch;
+
 // Dims chosen to hit every SIMD remainder case: below one lane, odd tails,
 // exact 8/16 multiples (AVX2 main loops), 4-lane NEON boundaries, and the
 // realistic embedding sizes.
@@ -352,9 +355,9 @@ TEST_P(KernelSearchDeterminismTest, PexesoMatchesScalarOracleAtAnyThreadCount) {
   VectorStore query = testing::MakeClusteredQuery(31, dim, 16);
 
   FractionalThresholds ft{0.08, 0.5};
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = ft.Resolve(*metric, dim, query.size());
-  sopts.exact_joinability = true;  // oracle reports exact counts
+  sopts.mode = QueryMode::kExactJoinability;  // oracle reports exact counts
 
   const auto oracle =
       OracleJoin(catalog, *metric, query, sopts.thresholds);
@@ -366,7 +369,7 @@ TEST_P(KernelSearchDeterminismTest, PexesoMatchesScalarOracleAtAnyThreadCount) {
       PexesoIndex::Build(std::move(catalog), metric.get(), popts);
   PexesoSearcher searcher(&index);
 
-  const auto serial = searcher.Search(query, sopts, nullptr);
+  const auto serial = MustSearch(searcher, query, sopts, nullptr);
   ExpectSameResults(serial, oracle, "kernel path vs scalar oracle");
 
   // The kernels keep per-call state on the stack and the norm cache is
@@ -375,7 +378,7 @@ TEST_P(KernelSearchDeterminismTest, PexesoMatchesScalarOracleAtAnyThreadCount) {
   std::vector<VectorStore> queries(copies, query);
   for (size_t threads : {1, 4}) {
     BatchQueryRunner runner(&searcher, {.num_threads = threads});
-    BatchResult batch = runner.Run(queries, sopts);
+    BatchResult batch = runner.Run(BindQueries(queries, sopts));
     for (size_t i = 0; i < copies; ++i) {
       ExpectSameResults(batch.results[i], oracle,
                         "threads=" + std::to_string(threads));

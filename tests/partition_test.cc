@@ -12,6 +12,8 @@
 namespace pexeso {
 namespace {
 
+using testing::BindQuery;
+using testing::MustSearch;
 using testing::MakeClusteredCatalog;
 using testing::MakeClusteredQuery;
 using testing::ResultColumns;
@@ -137,7 +139,7 @@ TEST(PartitionedPexesoTest, SearchEqualsInMemorySearch) {
   const SearchThresholds th = ft.Resolve(metric, 8, query.size());
 
   NaiveSearcher naive(&catalog, &metric);
-  auto expected = ResultColumns(naive.Search(query, th, nullptr));
+  auto expected = ResultColumns(MustSearch(naive, query, th, nullptr));
 
   const std::string dir = ::testing::TempDir() + "/parts_eq";
   fs::remove_all(dir);
@@ -152,11 +154,11 @@ TEST(PartitionedPexesoTest, SearchEqualsInMemorySearch) {
   EXPECT_GE(built.value().num_partitions(), 2u);
   EXPECT_GT(built.value().DiskBytes(), 0u);
 
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = th;
   double io = 0.0;
   SearchStats stats;
-  auto merged = built.value().SearchPartitions(query, sopts, &stats, &io);
+  auto merged = built.value().SearchPartitions(BindQuery(query, sopts), &stats, &io);
   ASSERT_TRUE(merged.ok());
   EXPECT_EQ(ResultColumns(merged.value()), expected);
   EXPECT_GT(io, 0.0);

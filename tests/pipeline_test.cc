@@ -2,7 +2,7 @@
 // (src/core/verify_pipeline.{h,cc}): the column-sharded tiled search must
 // return byte-identical results to its own serial execution at every
 // intra-query thread count, across every lemma-ablation combination, with
-// exact_joinability on and off, and with record-mapping collection — and
+// exact-joinability mode on and off, and with record-mapping collection — and
 // the whole thing must agree with a brute-force scalar oracle.
 
 #include <gtest/gtest.h>
@@ -21,6 +21,7 @@
 namespace pexeso {
 namespace {
 
+using testing::MustSearch;
 using testing::MakeClusteredCatalog;
 using testing::MakeClusteredQuery;
 
@@ -126,12 +127,13 @@ TEST_P(PipelineDeterminismTest, ShardedEqualsSerialAcrossAblations) {
       for (bool use_l7 : {true, false}) {
         for (bool exact : {false, true}) {
           for (bool mappings : {false, true}) {
-            SearchOptions sopts;
+            JoinQuery sopts;
             sopts.thresholds = ft.Resolve(*metric, dim, query.size());
             sopts.ablation.use_lemma1 = use_l1;
             sopts.ablation.use_lemma2 = use_l2;
             sopts.ablation.use_lemma7 = use_l7;
-            sopts.exact_joinability = exact;
+            sopts.mode = exact ? QueryMode::kExactJoinability
+                               : QueryMode::kThreshold;
             sopts.collect_mappings = mappings;
             const std::string label =
                 std::string(GetParam()) + " l1=" + std::to_string(use_l1) +
@@ -141,7 +143,7 @@ TEST_P(PipelineDeterminismTest, ShardedEqualsSerialAcrossAblations) {
                 " map=" + std::to_string(mappings);
 
             SearchStats serial_stats;
-            const auto serial = searcher.Search(query, sopts, &serial_stats);
+            const auto serial = MustSearch(searcher, query, sopts, &serial_stats);
 
             // Oracle agreement: the joinable set is always identical; the
             // counts are exact whenever the search reports exact counts
@@ -160,10 +162,10 @@ TEST_P(PipelineDeterminismTest, ShardedEqualsSerialAcrossAblations) {
             }
 
             for (size_t threads : {1, 2, 8}) {
-              SearchOptions topts = sopts;
+              JoinQuery topts = sopts;
               topts.intra_query_threads = threads;
               SearchStats tstats;
-              const auto threaded = searcher.Search(query, topts, &tstats);
+              const auto threaded = MustSearch(searcher, query, topts, &tstats);
               ExpectByteIdentical(
                   threaded, serial,
                   label + " threads=" + std::to_string(threads));
@@ -192,18 +194,18 @@ TEST(PipelineTest, SharedIntraPoolMatchesTransientPool) {
   PexesoSearcher searcher(&index);
 
   FractionalThresholds ft{0.08, 0.4};
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = ft.Resolve(metric, 12, query.size());
   sopts.collect_mappings = true;
-  const auto serial = searcher.Search(query, sopts, nullptr);
+  const auto serial = MustSearch(searcher, query, sopts, nullptr);
 
   // Transient pool (no intra_query_pool) vs a caller-provided shared pool
   // driven through a TaskGroup: same results either way.
   sopts.intra_query_threads = 4;
-  const auto transient = searcher.Search(query, sopts, nullptr);
+  const auto transient = MustSearch(searcher, query, sopts, nullptr);
   ThreadPool shared(4);
   sopts.intra_query_pool = &shared;
-  const auto pooled = searcher.Search(query, sopts, nullptr);
+  const auto pooled = MustSearch(searcher, query, sopts, nullptr);
   ExpectByteIdentical(transient, serial, "transient pool");
   ExpectByteIdentical(pooled, serial, "shared pool");
 }
@@ -221,15 +223,15 @@ TEST(PipelineTest, CollectMappingsRoutesStatsThroughSearchCounters) {
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, popts);
   PexesoSearcher searcher(&index);
   FractionalThresholds ft{0.08, 0.3};
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = ft.Resolve(metric, 10, query.size());
 
   SearchStats without;
-  const auto r0 = searcher.Search(query, sopts, &without);
+  const auto r0 = MustSearch(searcher, query, sopts, &without);
   ASSERT_FALSE(r0.empty());
   sopts.collect_mappings = true;
   SearchStats with;
-  const auto r1 = searcher.Search(query, sopts, &with);
+  const auto r1 = MustSearch(searcher, query, sopts, &with);
   ASSERT_FALSE(r1.empty());
   // The mapping sweep re-verifies every (query record, column row) pair of
   // each joinable column, so both counters must strictly grow.
@@ -249,14 +251,14 @@ TEST(PipelineTest, UnreachableThresholdIsSafeAtAnyThreadCount) {
   popts.levels = 3;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, popts);
   PexesoSearcher searcher(&index);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds.tau = 0.08;
   sopts.thresholds.t_abs = static_cast<uint32_t>(query.size()) + 5;
   SearchStats s1, s8;
-  const auto serial = searcher.Search(query, sopts, &s1);
+  const auto serial = MustSearch(searcher, query, sopts, &s1);
   EXPECT_TRUE(serial.empty());
   sopts.intra_query_threads = 8;
-  const auto threaded = searcher.Search(query, sopts, &s8);
+  const auto threaded = MustSearch(searcher, query, sopts, &s8);
   EXPECT_TRUE(threaded.empty());
   ExpectSameCounters(s8, s1, "unreachable T");
 }
@@ -342,13 +344,13 @@ TEST(PipelineTest, DeletedColumnStaysDeletedUnderSharding) {
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, popts);
   PexesoSearcher searcher(&index);
   FractionalThresholds ft{0.08, 0.3};
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = ft.Resolve(metric, 8, query.size());
-  auto before = searcher.Search(query, sopts, nullptr);
+  auto before = MustSearch(searcher, query, sopts, nullptr);
   ASSERT_FALSE(before.empty());
   index.DeleteColumn(before[0].column);
   sopts.intra_query_threads = 4;
-  auto after = searcher.Search(query, sopts, nullptr);
+  auto after = MustSearch(searcher, query, sopts, nullptr);
   for (const auto& r : after) EXPECT_NE(r.column, before[0].column);
   EXPECT_EQ(after.size(), before.size() - 1);
 }

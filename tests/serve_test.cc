@@ -29,6 +29,9 @@ using serve::IndexCacheOptions;
 using serve::QueryOutcome;
 using serve::ServeSession;
 using serve::StreamChunk;
+using testing::BindQueries;
+using testing::BindQuery;
+using testing::MustSearch;
 using testing::MakeClusteredCatalog;
 using testing::MakeClusteredQuery;
 
@@ -88,9 +91,9 @@ class ServeTest : public ::testing::Test {
     return std::move(opened).ValueOrDie();
   }
 
-  static SearchOptions MakeSearchOptions(size_t query_size) {
+  static JoinQuery MakeJoinQuery(size_t query_size) {
     FractionalThresholds ft{0.07, 0.4};
-    SearchOptions sopts;
+    JoinQuery sopts;
     sopts.thresholds = ft.Resolve(*metric_, kDim, query_size);
     sopts.collect_mappings = true;  // exercise the full result payload
     return sopts;
@@ -370,8 +373,7 @@ TEST_F(ServeTest, FailedPartitionLoadStillReportsIoSeconds) {
   VectorStore query = MakeClusteredQuery(9200, kDim, 12);
   double io = -1.0;
   SearchStats stats;
-  auto result = opened.value().SearchPartitions(
-      query, MakeSearchOptions(query.size()), &stats, &io);
+  auto result = opened.value().SearchPartitions(BindQuery(query, MakeJoinQuery(query.size())), &stats, &io);
   EXPECT_FALSE(result.ok());
   EXPECT_GT(io, 0.0);  // part-0's load plus the failed part-1 attempt
   fs::remove_all(dir);
@@ -384,12 +386,12 @@ TEST_F(ServeTest, StreamingChunksEqualBatchCollectedResults) {
   IndexCache cache({.budget_bytes = size_t{1} << 30});
   parts.AttachCache(&cache);
   VectorStore query = MakeClusteredQuery(9300, kDim, 14);
-  const SearchOptions sopts = MakeSearchOptions(query.size());
+  const JoinQuery sopts = MakeJoinQuery(query.size());
 
   double io = 0.0;
   SearchStats serial_stats;
   auto serial =
-      parts.SearchPartitions(query, sopts, &serial_stats, &io);
+      parts.SearchPartitions(BindQuery(query, sopts), &serial_stats, &io);
   ASSERT_TRUE(serial.ok());
 
   for (size_t threads : {size_t{1}, size_t{8}}) {
@@ -397,7 +399,7 @@ TEST_F(ServeTest, StreamingChunksEqualBatchCollectedResults) {
     std::mutex mu;
     std::vector<StreamChunk> chunks;
     size_t last_count = 0;
-    session.SubmitStreaming(&query, sopts, [&](const StreamChunk& chunk) {
+    session.SubmitStreaming(BindQuery(query, sopts), [&](const StreamChunk& chunk) {
       std::lock_guard<std::mutex> lock(mu);
       chunks.push_back(chunk);
       if (chunk.last) ++last_count;
@@ -436,12 +438,12 @@ TEST_F(ServeTest, DeterministicAtAnyThreadCountAndBudget) {
   for (size_t i = 0; i < 6; ++i) {
     queries.push_back(MakeClusteredQuery(9400 + i, kDim, 10 + i));
   }
-  std::vector<SearchOptions> sopts;
+  std::vector<JoinQuery> sopts;
   std::vector<std::vector<JoinableColumn>> expected;
   std::vector<SearchStats> expected_stats(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    sopts.push_back(MakeSearchOptions(queries[i].size()));
-    auto serial = oracle.SearchPartitions(queries[i], sopts[i],
+    sopts.push_back(MakeJoinQuery(queries[i].size()));
+    auto serial = oracle.SearchPartitions(BindQuery(queries[i], sopts[i]),
                                           &expected_stats[i], nullptr);
     ASSERT_TRUE(serial.ok());
     expected.push_back(std::move(serial).ValueOrDie());
@@ -463,7 +465,7 @@ TEST_F(ServeTest, DeterministicAtAnyThreadCountAndBudget) {
       ServeSession session(&parts, {.num_threads = threads});
       std::vector<std::future<QueryOutcome>> futures;
       for (size_t i = 0; i < queries.size(); ++i) {
-        futures.push_back(session.Submit(&queries[i], sopts[i]));
+        futures.push_back(session.Submit(BindQuery(queries[i], sopts[i])));
       }
       auto outcomes = session.Drain();
       ASSERT_EQ(outcomes.size(), queries.size());
@@ -491,9 +493,9 @@ TEST_F(ServeTest, IntraQueryShardsStayByteIdenticalInSessions) {
   // serial SearchPartitions oracle.
   PartitionedPexeso oracle = OpenParts();
   VectorStore query = MakeClusteredQuery(9700, kDim, 48);
-  const SearchOptions sopts = MakeSearchOptions(query.size());
+  const JoinQuery sopts = MakeJoinQuery(query.size());
   SearchStats serial_stats;
-  auto serial = oracle.SearchPartitions(query, sopts, &serial_stats, nullptr);
+  auto serial = oracle.SearchPartitions(BindQuery(query, sopts), &serial_stats, nullptr);
   ASSERT_TRUE(serial.ok());
 
   for (size_t intra : {size_t{2}, size_t{4}}) {
@@ -502,7 +504,7 @@ TEST_F(ServeTest, IntraQueryShardsStayByteIdenticalInSessions) {
     parts.AttachCache(&cache);
     ServeSession session(&parts, {.num_threads = 2,
                                   .intra_query_threads = intra});
-    auto future = session.Submit(&query, sopts);
+    auto future = session.Submit(BindQuery(query, sopts));
     auto outcome = future.get();
     SCOPED_TRACE("intra=" + std::to_string(intra));
     ASSERT_TRUE(outcome.status.ok());
@@ -523,11 +525,11 @@ TEST_F(ServeTest, SessionOverInMemoryEngineMatchesDirectSearch) {
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), metric_, opts);
   PexesoSearcher searcher(&index);
   VectorStore query = MakeClusteredQuery(9500, kDim, 12);
-  const SearchOptions sopts = MakeSearchOptions(query.size());
-  auto direct = searcher.Search(query, sopts, nullptr);
+  const JoinQuery sopts = MakeJoinQuery(query.size());
+  auto direct = MustSearch(searcher, query, sopts, nullptr);
 
   ServeSession session(&searcher, {.num_threads = 4});
-  auto future = session.Submit(&query, sopts);
+  auto future = session.Submit(BindQuery(query, sopts));
   QueryOutcome outcome = future.get();
   ASSERT_TRUE(outcome.status.ok());
   ExpectIdenticalResults(outcome.results, direct);
@@ -539,15 +541,15 @@ TEST_F(ServeTest, SessionsShareOnePoolViaTaskGroups) {
   IndexCache cache({.budget_bytes = size_t{1} << 30});
   parts.AttachCache(&cache);
   VectorStore query = MakeClusteredQuery(9600, kDim, 12);
-  const SearchOptions sopts = MakeSearchOptions(query.size());
-  auto serial = parts.SearchPartitions(query, sopts, nullptr, nullptr);
+  const JoinQuery sopts = MakeJoinQuery(query.size());
+  auto serial = parts.SearchPartitions(BindQuery(query, sopts), nullptr, nullptr);
   ASSERT_TRUE(serial.ok());
 
   ThreadPool pool(4);
   ServeSession a(&parts, {}, &pool);
   ServeSession b(&parts, {}, &pool);
-  auto fa = a.Submit(&query, sopts);
-  auto fb = b.Submit(&query, sopts);
+  auto fa = a.Submit(BindQuery(query, sopts));
+  auto fb = b.Submit(BindQuery(query, sopts));
   ExpectIdenticalResults(fa.get().results, serial.value());
   ExpectIdenticalResults(fb.get().results, serial.value());
 }
@@ -564,11 +566,11 @@ TEST_F(ServeTest, SessionReportsPartFailuresAsStatus) {
   auto opened = PartitionedPexeso::Open(dir, metric_);
   ASSERT_TRUE(opened.ok());
   VectorStore query = MakeClusteredQuery(9700, kDim, 12);
-  const SearchOptions sopts = MakeSearchOptions(query.size());
+  const JoinQuery sopts = MakeJoinQuery(query.size());
   ServeSession session(&opened.value(), {.num_threads = 2});
   std::mutex mu;
   size_t failed_chunks = 0;
-  session.SubmitStreaming(&query, sopts, [&](const StreamChunk& chunk) {
+  session.SubmitStreaming(BindQuery(query, sopts), [&](const StreamChunk& chunk) {
     std::lock_guard<std::mutex> lock(mu);
     if (!chunk.status.ok()) ++failed_chunks;
   });
@@ -587,8 +589,7 @@ TEST_F(ServeTest, ThrowingStreamCallbackFailsTheQuery) {
   PartitionedPexeso parts = OpenParts();
   VectorStore query = MakeClusteredQuery(9750, kDim, 12);
   ServeSession session(&parts, {.num_threads = 2});
-  session.SubmitStreaming(&query, MakeSearchOptions(query.size()),
-                          [](const StreamChunk& chunk) {
+  session.SubmitStreaming(BindQuery(query, MakeJoinQuery(query.size())), [](const StreamChunk& chunk) {
                             if (chunk.part == 1) {
                               throw std::runtime_error("consumer exploded");
                             }
@@ -612,15 +613,16 @@ TEST_F(ServeTest, PeekDimReadsHeaderOnly) {
 TEST_F(ServeTest, PartitionMajorBatchMatchesQueryMajorAndSerial) {
   PartitionedPexeso parts = OpenParts();
   std::vector<VectorStore> queries;
-  std::vector<SearchOptions> sopts;
+  std::vector<JoinQuery> sopts;
   for (size_t i = 0; i < 12; ++i) {
     queries.push_back(MakeClusteredQuery(9800 + i, kDim, 9 + i % 5));
-    sopts.push_back(MakeSearchOptions(queries.back().size()));
+    sopts.push_back(MakeJoinQuery(queries.back().size()));
   }
   std::vector<std::vector<JoinableColumn>> serial;
   SearchStats serial_stats;
   for (size_t i = 0; i < queries.size(); ++i) {
-    auto r = parts.SearchPartitions(queries[i], sopts[i], &serial_stats);
+    auto r = parts.SearchPartitions(BindQuery(queries[i], sopts[i]),
+                                    &serial_stats);
     ASSERT_TRUE(r.ok());
     serial.push_back(std::move(r).ValueOrDie());
   }
@@ -633,7 +635,7 @@ TEST_F(ServeTest, PartitionMajorBatchMatchesQueryMajorAndSerial) {
                    " mode=" + std::to_string(static_cast<int>(mode)));
       BatchQueryRunner runner(
           &parts, {.num_threads = threads, .partition_mode = mode});
-      BatchResult batch = runner.Run(queries, sopts);
+      BatchResult batch = runner.Run(BindQueries(queries, sopts));
       ASSERT_EQ(batch.results.size(), queries.size());
       for (size_t i = 0; i < queries.size(); ++i) {
         ExpectIdenticalResults(batch.results[i], serial[i]);
@@ -660,7 +662,7 @@ TEST_F(ServeTest, PartitionMajorWithCacheLoadsEachPartitionOncePerBatch) {
   // the batch performs exactly one load per partition — not one per
   // (query, partition) pair.
   BatchQueryRunner runner(&parts, {.num_threads = 4});
-  BatchResult batch = runner.Run(queries, MakeSearchOptions(10));
+  BatchResult batch = runner.Run(BindQueries(queries, MakeJoinQuery(10)));
   ASSERT_EQ(batch.results.size(), queries.size());
   EXPECT_EQ(cache.stats().misses, kParts);
 }

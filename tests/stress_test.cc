@@ -21,6 +21,8 @@
 namespace pexeso {
 namespace {
 
+using testing::BindQuery;
+using testing::MustSearch;
 using testing::MakeClusteredCatalog;
 using testing::MakeClusteredQuery;
 using testing::ResultColumns;
@@ -50,7 +52,7 @@ TEST_P(AllSearchersAgree, OnClusteredData) {
   const SearchThresholds th = ft.Resolve(*metric, dim, query.size());
 
   NaiveSearcher naive(&catalog, metric.get());
-  const auto expected = ResultColumns(naive.Search(query, th, nullptr));
+  const auto expected = ResultColumns(MustSearch(naive, query, th, nullptr));
 
   // PEXESO + PEXESO-H share an index.
   {
@@ -59,13 +61,13 @@ TEST_P(AllSearchersAgree, OnClusteredData) {
     opts.num_pivots = 3;
     opts.levels = 4;
     PexesoIndex index = PexesoIndex::Build(std::move(copy), metric.get(), opts);
-    SearchOptions sopts;
+    JoinQuery sopts;
     sopts.thresholds = th;
-    EXPECT_EQ(ResultColumns(PexesoSearcher(&index).Search(query, sopts,
+    EXPECT_EQ(ResultColumns(MustSearch(PexesoSearcher(&index), query, sopts,
                                                           nullptr)),
               expected)
         << "PEXESO disagrees";
-    EXPECT_EQ(ResultColumns(PexesoHSearcher(&index).Search(query, sopts,
+    EXPECT_EQ(ResultColumns(MustSearch(PexesoHSearcher(&index), query, sopts,
                                                            nullptr)),
               expected)
         << "PEXESO-H disagrees";
@@ -74,14 +76,14 @@ TEST_P(AllSearchersAgree, OnClusteredData) {
     CoverTree tree(&catalog.store(), metric.get());
     tree.BuildAll();
     JoinableRangeSearcher searcher(&catalog, &tree);
-    EXPECT_EQ(ResultColumns(searcher.Search(query, th, nullptr)), expected)
+    EXPECT_EQ(ResultColumns(MustSearch(searcher, query, th, nullptr)), expected)
         << "CTREE workflow disagrees";
   }
   {
     ExtremePivotTable ept(&catalog.store(), metric.get());
     ept.Build({});
     JoinableRangeSearcher searcher(&catalog, &ept);
-    EXPECT_EQ(ResultColumns(searcher.Search(query, th, nullptr)), expected)
+    EXPECT_EQ(ResultColumns(MustSearch(searcher, query, th, nullptr)), expected)
         << "EPT workflow disagrees";
   }
 }
@@ -115,7 +117,7 @@ TEST(PartitionedEngineTest, PexesoHEngineMatchesNaive) {
   FractionalThresholds ft{0.07, 0.4};
   const SearchThresholds th = ft.Resolve(metric, 8, query.size());
   NaiveSearcher naive(&catalog, &metric);
-  auto expected = ResultColumns(naive.Search(query, th, nullptr));
+  auto expected = ResultColumns(MustSearch(naive, query, th, nullptr));
 
   const std::string dir = ::testing::TempDir() + "/parts_engine";
   fs::remove_all(dir);
@@ -127,17 +129,16 @@ TEST(PartitionedEngineTest, PexesoHEngineMatchesNaive) {
   opts.levels = 3;
   auto parts = PartitionedPexeso::Build(catalog, assign, dir, &metric, opts);
   ASSERT_TRUE(parts.ok());
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = th;
-  auto via_h = parts.value().SearchPartitions(
-      query, sopts, nullptr, nullptr, PartitionedPexeso::Engine::kPexesoH);
+  auto via_h = parts.value().SearchPartitions(BindQuery(query, sopts), nullptr, nullptr, PartitionedPexeso::Engine::kPexesoH);
   ASSERT_TRUE(via_h.ok());
   EXPECT_EQ(ResultColumns(via_h.value()), expected);
 
   // The same variant through the unified engine interface.
   parts.value().set_engine(PartitionedPexeso::Engine::kPexesoH);
   const JoinSearchEngine& engine = parts.value();
-  EXPECT_EQ(ResultColumns(engine.Search(query, sopts, nullptr)), expected);
+  EXPECT_EQ(ResultColumns(MustSearch(engine, query, sopts, nullptr)), expected);
   fs::remove_all(dir);
 }
 
@@ -188,15 +189,15 @@ TEST(RobustnessTest, SingleVectorColumnsAndQueries) {
 
   NaiveSearcher naive(&catalog, &metric);
   SearchThresholds th{0.8, 1};
-  auto expected = ResultColumns(naive.Search(query, th, nullptr));
+  auto expected = ResultColumns(MustSearch(naive, query, th, nullptr));
 
   PexesoOptions opts;
   opts.num_pivots = 2;
   opts.levels = 2;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = th;
-  EXPECT_EQ(ResultColumns(PexesoSearcher(&index).Search(query, sopts, nullptr)),
+  EXPECT_EQ(ResultColumns(MustSearch(PexesoSearcher(&index), query, sopts, nullptr)),
             expected);
 }
 
@@ -219,9 +220,9 @@ TEST(RobustnessTest, AllVectorsIdentical) {
   opts.num_pivots = 2;
   opts.levels = 3;
   PexesoIndex index = PexesoIndex::Build(std::move(catalog), &metric, opts);
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = {1e-9, 1};
-  auto results = PexesoSearcher(&index).Search(query, sopts, nullptr);
+  auto results = MustSearch(PexesoSearcher(&index), query, sopts, nullptr);
   EXPECT_EQ(results.size(), 6u);
 }
 

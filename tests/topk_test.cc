@@ -29,6 +29,7 @@
 namespace pexeso {
 namespace {
 
+using testing::MustSearch;
 using testing::MakeClusteredCatalog;
 using testing::MakeClusteredQuery;
 using testing::ResultColumns;
@@ -40,11 +41,11 @@ std::vector<JoinableColumn> LegacyWrapperTopK(const JoinSearchEngine& engine,
                                               const VectorStore& query,
                                               double tau, size_t k,
                                               SearchStats* stats = nullptr) {
-  SearchOptions options;
+  JoinQuery options;
   options.thresholds.tau = tau;
   options.thresholds.t_abs = 1;
-  options.exact_joinability = true;
-  std::vector<JoinableColumn> all = engine.Search(query, options, stats);
+  options.mode = QueryMode::kExactJoinability;
+  std::vector<JoinableColumn> all = MustSearch(engine, query, options, stats);
   std::sort(all.begin(), all.end(),
             [](const JoinableColumn& a, const JoinableColumn& b) {
               if (a.joinability != b.joinability) {
@@ -164,14 +165,6 @@ TEST_F(TopKFixture, TopKHonorsKSmallerThanMatches) {
   }
 }
 
-TEST_F(TopKFixture, DeprecatedSearchTopKForwardsToPushdown) {
-  PexesoSearcher searcher(index_.get());
-  const double tau = 0.12;
-  auto via_shim = SearchTopK(searcher, query_, tau, 5);
-  auto via_mode = RunTopK(searcher, tau, 5);
-  ExpectByteIdentical(via_shim, via_mode, "shim vs kTopK");
-}
-
 /// The pushdown's reason to exist: fewer exact distance computations than
 /// the verify-everything wrapper, with columns abandoned against the bound.
 TEST_F(TopKFixture, PushdownPrunesDistanceWork) {
@@ -193,14 +186,14 @@ TEST_F(TopKFixture, BatchSearchMatchesSequential) {
     queries.push_back(MakeClusteredQuery(600 + i, 8, 15));
   }
   FractionalThresholds ft{0.07, 0.4};
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = ft.Resolve(metric_, 8, 15);
 
   auto batched = SearchBatch(*index_, queries, sopts, 4);
   ASSERT_EQ(batched.size(), queries.size());
   PexesoSearcher searcher(index_.get());
   for (size_t i = 0; i < queries.size(); ++i) {
-    auto sequential = searcher.Search(queries[i], sopts, nullptr);
+    auto sequential = MustSearch(searcher, queries[i], sopts, nullptr);
     EXPECT_EQ(ResultColumns(batched[i]), ResultColumns(sequential));
   }
 }
@@ -211,7 +204,7 @@ TEST_F(TopKFixture, BatchSearchAccumulatesStats) {
     queries.push_back(MakeClusteredQuery(700 + i, 8, 12));
   }
   FractionalThresholds ft{0.07, 0.4};
-  SearchOptions sopts;
+  JoinQuery sopts;
   sopts.thresholds = ft.Resolve(metric_, 8, 12);
   SearchStats stats;
   SearchBatch(*index_, queries, sopts, 2, &stats);
@@ -392,8 +385,7 @@ TEST_F(QueryApiEngineMatrixTest, CancelledQueryLeavesSharedIntraPoolUsable) {
   // shard pool: the same pool must then serve a normal sharded search whose
   // results are byte-identical to the serial ones.
   ThreadPool pool(4);
-  const auto serial = pexeso_->Search(query_, SearchOptions{thresholds_},
-                                      nullptr);
+  const auto serial = MustSearch(*pexeso_, query_, thresholds_, nullptr);
   ASSERT_FALSE(serial.empty());
 
   CancelToken token = CancelToken::Create();
@@ -444,8 +436,7 @@ TEST_F(QueryApiEngineMatrixTest, BatchRunnerSkipsCancelledQueriesOnly) {
       continue;
     }
     EXPECT_TRUE(batch.statuses[i].ok()) << i;
-    const auto serial =
-        pexeso_->Search(queries[i], SearchOptions{thresholds_}, nullptr);
+    const auto serial = MustSearch(*pexeso_, queries[i], thresholds_, nullptr);
     ExpectByteIdentical(batch.results[i], serial,
                         "batch query " + std::to_string(i));
   }
@@ -476,8 +467,10 @@ TEST_F(QueryApiEngineMatrixTest, ServeSessionReportsInterruptionAndRecovers) {
 
   const auto alive_outcome = alive_future.get();
   ASSERT_TRUE(alive_outcome.status.ok());
+  JoinQuery serial_jq;
+  serial_jq.thresholds = thresholds_;
   auto serial = partitioned_->SearchPartitions(
-      query_, SearchOptions{thresholds_}, nullptr);
+      testing::BindQuery(query_, serial_jq), nullptr);
   ASSERT_TRUE(serial.ok());
   ExpectByteIdentical(alive_outcome.results, serial.value(),
                       "serve after cancel");

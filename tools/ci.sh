@@ -54,6 +54,12 @@ if [[ -x "$BUILD_DIR/bench/bench_topk" ]]; then
   "$BUILD_DIR/bench/bench_topk"
 fi
 
+if [[ -x "$BUILD_DIR/bench/bench_ingest" ]]; then
+  # Writes BENCH_ingest.json (live-lake query throughput while appends,
+  # drops and background merges churn, vs the compacted static lake).
+  "$BUILD_DIR/bench/bench_ingest"
+fi
+
 if [[ "${PEXESO_CI_SANITIZE:-1}" == "1" ]]; then
   SAN_DIR="${SAN_BUILD_DIR:-build-asan}"
   SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
@@ -65,12 +71,14 @@ if [[ "${PEXESO_CI_SANITIZE:-1}" == "1" ]]; then
   # serve_test and the TaskGroup half of common_test join the kernel/vector
   # suites here: cache eviction and concurrent streaming sessions are
   # exactly where object-lifetime and data-race bugs hide. topk_test joins
-  # for the query-API controls (shared TopKBound, cancellation paths).
+  # for the query-API controls (shared TopKBound, cancellation paths), and
+  # lake_test for snapshot/merge lifetimes (shared_ptr-published snapshots,
+  # generation-keyed cache entries outliving merges).
   cmake --build "$SAN_DIR" -j "$JOBS" \
     --target kernel_test vec_test serve_test common_test pipeline_test \
-    topk_test
+    topk_test lake_test
   ctest --test-dir "$SAN_DIR" --output-on-failure \
-    -R '^(kernel_test|vec_test|serve_test|common_test|pipeline_test|topk_test)$'
+    -R '^(kernel_test|vec_test|serve_test|common_test|pipeline_test|topk_test|lake_test)$'
 fi
 
 if [[ "${PEXESO_CI_TSAN:-1}" == "1" ]]; then
@@ -84,11 +92,13 @@ if [[ "${PEXESO_CI_TSAN:-1}" == "1" ]]; then
   # The suites where a pipeline/runner/session data race would live: shard
   # fan-out over shared match_map slices, TaskGroup completion tracking,
   # intra-pool sharing across concurrent searches, streaming sessions, and
-  # the kTopK shared bound + cancellation tokens (topk_test). The explicit
-  # --timeout turns a TSan-slowed deadlock into a fast failure.
+  # the kTopK shared bound + cancellation tokens (topk_test), and the live
+  # lake's merge-vs-search races (lake_test: background merges republish
+  # snapshots while a searcher thread reads them). The explicit --timeout
+  # turns a TSan-slowed deadlock into a fast failure.
   cmake --build "$TSAN_DIR" -j "$JOBS" \
     --target pipeline_test batch_runner_test serve_test common_test \
-    topk_test
+    topk_test lake_test
   ctest --test-dir "$TSAN_DIR" --output-on-failure --timeout 600 \
-    -R '^(pipeline_test|batch_runner_test|serve_test|common_test|topk_test)$'
+    -R '^(pipeline_test|batch_runner_test|serve_test|common_test|topk_test|lake_test)$'
 fi

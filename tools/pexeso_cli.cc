@@ -174,6 +174,10 @@ void PrintStats(const SearchStats& stats) {
               static_cast<unsigned long long>(stats.columns_pruned_topk));
   std::printf("  deadline expirations:    %llu\n",
               static_cast<unsigned long long>(stats.deadline_expired));
+  std::printf("  delta columns searched:  %llu\n",
+              static_cast<unsigned long long>(stats.delta_columns_searched));
+  std::printf("  tombstones masked:       %llu\n",
+              static_cast<unsigned long long>(stats.tombstones_masked));
   std::printf("  block/verify seconds:    %.4f / %.4f\n", stats.block_seconds,
               stats.verify_seconds);
 }
