@@ -1,0 +1,173 @@
+#include "common/failpoint.h"
+
+#ifndef PEXESO_NO_FAILPOINTS
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace pexeso {
+
+namespace failpoint_internal {
+std::atomic<uint32_t> g_armed{0};
+}  // namespace failpoint_internal
+
+namespace {
+
+bool ParseAction(const std::string& token, FailAction* action) {
+  if (token == "ioerror") {
+    *action = FailAction::kIoError;
+  } else if (token == "corrupt") {
+    *action = FailAction::kCorruption;
+  } else if (token == "delay") {
+    *action = FailAction::kDelay;
+  } else if (token == "crash") {
+    *action = FailAction::kCrash;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+namespace {
+// Force registry construction at load time. The armed-check fast path
+// deliberately never touches Instance() (it is one relaxed load of
+// g_armed), so without this the PEXESO_FAILPOINTS environment variable
+// would only be parsed after something else armed a failpoint — i.e.
+// never, in the operator use case.
+const FailpointRegistry& g_bootstrap = FailpointRegistry::Instance();
+}  // namespace
+
+FailpointRegistry::FailpointRegistry() {
+  const char* env = std::getenv("PEXESO_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    // Env arming is operator input; a malformed spec must not take down the
+    // process that was asked to inject faults. It is simply ignored.
+    (void)ArmFromString(env);
+  }
+}
+
+void FailpointRegistry::Arm(const std::string& site, FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = map_.insert_or_assign(site, Armed{spec, 0, 0});
+  (void)it;
+  if (inserted) {
+    failpoint_internal::g_armed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.erase(site) > 0) {
+    failpoint_internal::g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  failpoint_internal::g_armed.fetch_sub(
+      static_cast<uint32_t>(map_.size()), std::memory_order_relaxed);
+  map_.clear();
+}
+
+Status FailpointRegistry::ArmFromString(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find_first_of(";,", pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint spec needs site=action: " +
+                                     entry);
+    }
+    const std::string site = entry.substr(0, eq);
+    std::string rest = entry.substr(eq + 1);
+    // action[:skip[:limit[:delay_ms]]]
+    FailpointSpec fp;
+    int* fields[] = {&fp.skip, &fp.limit, &fp.delay_ms};
+    size_t field = 0;
+    size_t colon = rest.find(':');
+    const std::string action_token = rest.substr(0, colon);
+    if (!ParseAction(action_token, &fp.action)) {
+      return Status::InvalidArgument("unknown failpoint action: " +
+                                     action_token);
+    }
+    while (colon != std::string::npos && field < 3) {
+      const size_t next = rest.find(':', colon + 1);
+      const std::string num = rest.substr(
+          colon + 1,
+          next == std::string::npos ? std::string::npos : next - colon - 1);
+      char* parse_end = nullptr;
+      const long v = std::strtol(num.c_str(), &parse_end, 10);
+      if (num.empty() || parse_end == nullptr || *parse_end != '\0') {
+        return Status::InvalidArgument("bad failpoint parameter: " + num);
+      }
+      *fields[field++] = static_cast<int>(v);
+      colon = next;
+    }
+    Arm(site, fp);
+  }
+  return Status::OK();
+}
+
+bool FailpointRegistry::Fire(const char* site, FailAction* action,
+                             int* delay_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(site);
+  if (it == map_.end()) return false;
+  Armed& armed = it->second;
+  if (armed.hits++ < armed.spec.skip) return false;
+  if (armed.spec.limit >= 0 && armed.fired >= armed.spec.limit) return false;
+  ++armed.fired;
+  *action = armed.spec.action;
+  *delay_ms = armed.spec.delay_ms;
+  return true;
+}
+
+Status FailpointRegistry::Hit(const char* site) {
+  FailAction action;
+  int delay_ms = 0;
+  if (!Fire(site, &action, &delay_ms)) return Status::OK();
+  switch (action) {
+    case FailAction::kIoError:
+      return Status::IoError(std::string("failpoint ") + site);
+    case FailAction::kCorruption:
+      return Status::Corruption(std::string("failpoint ") + site);
+    case FailAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return Status::OK();
+    case FailAction::kCrash:
+      // No flush, no destructors: buffered-but-unwritten data dies with the
+      // process, exactly like a power cut. What fsync made durable stays.
+      std::_Exit(kFailpointCrashExitCode);
+  }
+  return Status::OK();
+}
+
+bool FailpointRegistry::CorruptFires(const char* site) {
+  FailAction action;
+  int delay_ms = 0;
+  if (!Fire(site, &action, &delay_ms)) return false;
+  if (action == FailAction::kCrash) std::_Exit(kFailpointCrashExitCode);
+  return action == FailAction::kCorruption;
+}
+
+uint64_t FailpointRegistry::fire_count(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(site);
+  return it == map_.end() ? 0 : static_cast<uint64_t>(it->second.fired);
+}
+
+}  // namespace pexeso
+
+#endif  // PEXESO_NO_FAILPOINTS

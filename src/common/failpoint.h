@@ -1,0 +1,133 @@
+#ifndef PEXESO_COMMON_FAILPOINT_H_
+#define PEXESO_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace pexeso {
+
+/// \brief Named fault-injection points ("failpoints"), RocksDB-style.
+///
+/// Production code marks the places where the environment can fail — file
+/// opens, reads, renames, merge publication — with a cheap call:
+///
+///   PEXESO_RETURN_NOT_OK(FailpointHit("lake:merge:before-publish"));
+///
+/// Disarmed (the production state) the call is one relaxed atomic load.
+/// Tests — or an operator via the PEXESO_FAILPOINTS environment variable —
+/// arm a failpoint with an action: return an IoError or Corruption status,
+/// delay, or hard-crash the process (`std::_Exit`, no flush: exactly what a
+/// power cut does to unsynced buffers). The crash action is what drives the
+/// kill-point matrix in tests/fault_test.cc.
+///
+/// Building with -DPEXESO_FAILPOINTS=OFF (CMake) defines
+/// PEXESO_NO_FAILPOINTS and compiles every check down to Status::OK().
+
+/// What an armed failpoint does when execution reaches it.
+enum class FailAction : uint8_t {
+  kIoError,     ///< the site returns Status::IoError
+  kCorruption,  ///< reader sites return Status::Corruption; writer sites
+                ///< flip a byte of the written stream (CRC keeps the
+                ///< original, so the reader's checksum catches it)
+  kDelay,       ///< sleep delay_ms, then continue normally
+  kCrash,       ///< std::_Exit(kFailpointCrashExitCode) — kill-point testing
+};
+
+/// Exit code a kCrash failpoint terminates with; the fault-test parent
+/// waits for exactly this code to know the crash fired (and not, say, an
+/// assertion).
+inline constexpr int kFailpointCrashExitCode = 0x5A;
+
+struct FailpointSpec {
+  FailAction action = FailAction::kIoError;
+  int skip = 0;      ///< pass through this many hits before firing
+  int limit = -1;    ///< fire at most this many times (-1 = unlimited)
+  int delay_ms = 0;  ///< kDelay only
+};
+
+#ifndef PEXESO_NO_FAILPOINTS
+
+namespace failpoint_internal {
+/// Number of currently-armed failpoints; the disarmed fast path is one
+/// relaxed load of this counter.
+extern std::atomic<uint32_t> g_armed;
+}  // namespace failpoint_internal
+
+/// True when at least one failpoint is armed anywhere in the process.
+inline bool FailpointsArmed() {
+  return failpoint_internal::g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+class FailpointRegistry {
+ public:
+  /// Process-wide registry. The first call parses PEXESO_FAILPOINTS from
+  /// the environment (same grammar as ArmFromString).
+  static FailpointRegistry& Instance();
+
+  void Arm(const std::string& site, FailpointSpec spec);
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Arms from a spec string: `site=action[:skip[:limit[:delay_ms]]]`
+  /// entries separated by ';' or ','. Actions: ioerror, corrupt, crash,
+  /// delay. Example:
+  ///   "lake:merge:before-publish=crash;serde:reader:open=ioerror:0:2"
+  Status ArmFromString(const std::string& spec);
+
+  /// Executes the site's armed action (if any): returns the injected
+  /// status, sleeps, or terminates the process. OK when disarmed, skipped,
+  /// or past its limit.
+  Status Hit(const char* site);
+
+  /// Writer-side byte corruption: true when `site` is armed with kCorruption
+  /// and its skip/limit window says this hit fires.
+  bool CorruptFires(const char* site);
+
+  /// How many times `site` has fired (for test assertions).
+  uint64_t fire_count(const std::string& site) const;
+
+ private:
+  FailpointRegistry();
+
+  struct Armed {
+    FailpointSpec spec;
+    int64_t hits = 0;
+    int64_t fired = 0;
+  };
+
+  /// Shared skip/limit bookkeeping; returns the action to take, or nullopt
+  /// semantics via the bool.
+  bool Fire(const char* site, FailAction* action, int* delay_ms);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Armed> map_;
+};
+
+/// Convenience wrappers over FailpointRegistry::Instance(). Both are a
+/// single relaxed atomic load when nothing is armed.
+inline Status FailpointHit(const char* site) {
+  if (!FailpointsArmed()) return Status::OK();
+  return FailpointRegistry::Instance().Hit(site);
+}
+
+inline bool FailpointCorruptFires(const char* site) {
+  if (!FailpointsArmed()) return false;
+  return FailpointRegistry::Instance().CorruptFires(site);
+}
+
+#else  // PEXESO_NO_FAILPOINTS
+
+inline bool FailpointsArmed() { return false; }
+inline Status FailpointHit(const char*) { return Status::OK(); }
+inline bool FailpointCorruptFires(const char*) { return false; }
+
+#endif  // PEXESO_NO_FAILPOINTS
+
+}  // namespace pexeso
+
+#endif  // PEXESO_COMMON_FAILPOINT_H_

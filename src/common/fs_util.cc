@@ -1,0 +1,77 @@
+#include "common/fs_util.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/failpoint.h"
+
+#if defined(_WIN32)
+// The lake targets POSIX hosts; on other platforms the sync calls degrade
+// to no-ops (publication is still atomic via rename, just not power-safe).
+namespace pexeso {
+Status SyncFile(const std::string&) { return Status::OK(); }
+Status SyncDir(const std::string&) { return Status::OK(); }
+}  // namespace pexeso
+#else
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace pexeso {
+
+namespace {
+
+Status SyncFd(const std::string& path, int flags) {
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    return Status::IoError("open for fsync failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("fsync failed: " + path + ": " +
+                           std::strerror(saved_errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SyncFile(const std::string& path) {
+  PEXESO_RETURN_NOT_OK(FailpointHit("fs:sync-file"));
+  return SyncFd(path, O_RDONLY);
+}
+
+Status SyncDir(const std::string& dir) {
+  PEXESO_RETURN_NOT_OK(FailpointHit("fs:sync-dir"));
+#if defined(O_DIRECTORY)
+  return SyncFd(dir, O_RDONLY | O_DIRECTORY);
+#else
+  return SyncFd(dir, O_RDONLY);
+#endif
+}
+
+}  // namespace pexeso
+
+#endif  // _WIN32
+
+namespace pexeso {
+
+Status PublishFileDurable(const std::string& tmp,
+                          const std::string& final_path) {
+  PEXESO_RETURN_NOT_OK(SyncFile(tmp));
+  std::error_code ec;
+  std::filesystem::rename(tmp, final_path, ec);
+  if (ec) {
+    return Status::IoError("cannot publish " + final_path + ": " +
+                           ec.message());
+  }
+  const std::string parent =
+      std::filesystem::path(final_path).parent_path().string();
+  return SyncDir(parent.empty() ? "." : parent);
+}
+
+}  // namespace pexeso

@@ -1,0 +1,31 @@
+#ifndef PEXESO_COMMON_FS_UTIL_H_
+#define PEXESO_COMMON_FS_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace pexeso {
+
+/// Durability primitives for the crash-safe publication protocol
+/// (write tmp -> fsync tmp -> rename -> fsync parent dir). fsync of the
+/// file makes its BYTES durable; fsync of the directory makes the rename
+/// (the file's NAME) durable — both are needed before a publication may be
+/// considered committed.
+
+/// fsyncs the file at `path`.
+Status SyncFile(const std::string& path);
+
+/// fsyncs the directory `dir` (persists entry create/rename/unlink).
+Status SyncDir(const std::string& dir);
+
+/// Durable atomic publication: fsync(`tmp`), rename `tmp` -> `final_path`
+/// (atomic within a filesystem), fsync the parent directory. After OK the
+/// file survives a crash under its final name; before the rename a crash
+/// leaves only the `tmp` orphan, which recovery discards.
+Status PublishFileDurable(const std::string& tmp,
+                          const std::string& final_path);
+
+}  // namespace pexeso
+
+#endif  // PEXESO_COMMON_FS_UTIL_H_

@@ -1,0 +1,60 @@
+#ifndef PEXESO_COMMON_RETRY_H_
+#define PEXESO_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pexeso {
+
+/// Bounded exponential backoff for TRANSIENT environment faults. Only
+/// IoError retries: Corruption is a property of the bytes (retrying rereads
+/// the same bad bytes), NotFound/NotSupported are facts about the world,
+/// and Cancelled/DeadlineExceeded are the caller's own controls.
+struct RetryPolicy {
+  uint32_t max_attempts = 3;       ///< total attempts, including the first
+  double initial_backoff_ms = 1.0; ///< sleep before attempt 2
+  double max_backoff_ms = 100.0;   ///< backoff growth cap (doubles per try)
+};
+
+inline bool IsTransientStatus(const Status& s) {
+  return s.code() == Status::Code::kIoError;
+}
+
+namespace retry_internal {
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+inline const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace retry_internal
+
+/// Runs `op` (returning Status or Result<T>) up to `policy.max_attempts`
+/// times, sleeping with doubling backoff between attempts, as long as the
+/// failure is transient. `retries` (optional) is incremented once per
+/// retry actually taken — it feeds SearchStats::io_retries.
+template <typename Op>
+auto RetryTransient(const RetryPolicy& policy, uint64_t* retries, Op&& op)
+    -> decltype(op()) {
+  auto result = op();
+  double backoff_ms = policy.initial_backoff_ms;
+  for (uint32_t attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    if (result.ok() || !IsTransientStatus(retry_internal::StatusOf(result))) {
+      break;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2.0, policy.max_backoff_ms);
+    if (retries != nullptr) ++*retries;
+    result = op();
+  }
+  return result;
+}
+
+}  // namespace pexeso
+
+#endif  // PEXESO_COMMON_RETRY_H_

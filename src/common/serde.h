@@ -8,6 +8,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/status.h"
 
 namespace pexeso {
@@ -21,6 +22,13 @@ uint32_t Crc32Update(uint32_t crc, const void* data, size_t n);
 /// end at the payload, which VerifyChecksum accepts as legacy.
 inline constexpr uint32_t kChecksumFooterMagic = 0x43524331u;
 
+/// Streams the file at `path` and validates its trailing checksum footer
+/// against every payload byte, WITHOUT deserializing anything — the cheap
+/// integrity pass recovery and fsck run over each referenced snapshot.
+/// `require_footer` follows the same legacy rule as
+/// BinaryReader::VerifyChecksum.
+Status VerifyFileChecksum(const std::string& path, bool require_footer);
+
 /// \brief Little binary writer for the partition files used by the
 /// out-of-core search path. The format is a private on-disk format (magic +
 /// version header written by the owning serializer), not an interchange one.
@@ -28,6 +36,11 @@ inline constexpr uint32_t kChecksumFooterMagic = 0x43524331u;
 /// Every byte written feeds a running CRC-32; serializers that want
 /// end-to-end corruption detection call WriteChecksumFooter() last, and
 /// their readers call BinaryReader::VerifyChecksum() after the payload.
+///
+/// Failpoints: "serde:writer:open" (IoError on Open), "serde:writer:close"
+/// (IoError on Close — a disk filling up at flush), "serde:writer:corrupt"
+/// (flips one byte of a write while the CRC keeps the original — bit rot
+/// the reader's checksum must catch).
 class BinaryWriter {
  public:
   /// Opens `path` for truncating binary write.
@@ -70,6 +83,14 @@ class BinaryWriter {
 
   void WriteRaw(const void* p, size_t n) {
     crc_ = Crc32Update(crc_, p, n);
+    if (n > 0 && FailpointCorruptFires("serde:writer:corrupt")) {
+      // Bit rot between write and read-back: the CRC above covers the
+      // intended bytes, the disk gets one flipped bit.
+      std::string copy(static_cast<const char*>(p), n);
+      copy[0] = static_cast<char>(copy[0] ^ 0x01);
+      out_.write(copy.data(), static_cast<std::streamsize>(n));
+      return;
+    }
     out_.write(static_cast<const char*>(p),
                static_cast<std::streamsize>(n));
   }
@@ -78,8 +99,13 @@ class BinaryWriter {
   uint32_t crc_ = 0;
 };
 
-/// \brief Reader counterpart of BinaryWriter. All reads report corruption via
-/// Status rather than crashing on truncated files.
+/// \brief Reader counterpart of BinaryWriter. All reads report corruption
+/// via Status rather than crashing on truncated files: every length prefix
+/// is bounded by the bytes actually remaining in the file, so a bit-flipped
+/// length can never drive a multi-gigabyte allocation.
+///
+/// Failpoints: "serde:reader:open" (IoError on Open), "serde:reader:read"
+/// (injected status on any read).
 class BinaryReader {
  public:
   /// Opens `path` for binary read.
@@ -94,7 +120,7 @@ class BinaryReader {
   Status ReadString(std::string* s) {
     uint64_t n = 0;
     PEXESO_RETURN_NOT_OK(Read(&n));
-    if (n > (1ULL << 32)) return Status::Corruption("string length implausible");
+    if (n > remaining_) return Status::Corruption("string length implausible");
     s->resize(n);
     return ReadRaw(s->data(), n, "truncated string");
   }
@@ -104,7 +130,7 @@ class BinaryReader {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t n = 0;
     PEXESO_RETURN_NOT_OK(Read(&n));
-    if (n > (1ULL << 40) / sizeof(T)) {
+    if (n > remaining_ / sizeof(T)) {
       return Status::Corruption("vector length implausible");
     }
     v->resize(n);
@@ -121,16 +147,23 @@ class BinaryReader {
   Status VerifyChecksum(bool require_footer = false);
 
  private:
-  explicit BinaryReader(std::ifstream in) : in_(std::move(in)) {}
+  BinaryReader(std::ifstream in, uint64_t size)
+      : in_(std::move(in)), remaining_(size) {}
 
   Status ReadRaw(void* p, size_t n, const char* what) {
+    if (FailpointsArmed()) {
+      PEXESO_RETURN_NOT_OK(FailpointHit("serde:reader:read"));
+    }
+    if (n > remaining_) return Status::Corruption(what);
     in_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
     if (!in_) return Status::Corruption(what);
+    remaining_ -= n;
     crc_ = Crc32Update(crc_, p, n);
     return Status::OK();
   }
 
   std::ifstream in_;
+  uint64_t remaining_ = 0;  ///< bytes of file not yet consumed
   uint32_t crc_ = 0;
 };
 

@@ -169,6 +169,20 @@ Result<uint32_t> PexesoIndex::PeekDim(const std::string& path) {
   return dim;
 }
 
+Status PexesoIndex::VerifySnapshot(const std::string& path) {
+  auto rd = BinaryReader::Open(path);
+  if (!rd.ok()) return rd.status();
+  BinaryReader r = std::move(rd).ValueOrDie();
+  uint32_t magic = 0, version = 0;
+  PEXESO_RETURN_NOT_OK(r.Read(&magic));
+  if (magic != kMagic) return Status::Corruption("bad index magic");
+  PEXESO_RETURN_NOT_OK(r.Read(&version));
+  if (version < kMinVersion || version > kVersion) {
+    return Status::NotSupported("index version");
+  }
+  return VerifyFileChecksum(path, /*require_footer=*/version >= 2);
+}
+
 Result<PexesoIndex> PexesoIndex::Load(const std::string& path,
                                       const Metric* metric) {
   auto rd = BinaryReader::Open(path);

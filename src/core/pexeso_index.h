@@ -89,6 +89,13 @@ class PexesoIndex {
   /// avoids deserializing (and then discarding) a whole partition.
   static Result<uint32_t> PeekDim(const std::string& path);
 
+  /// Validates a snapshot file without deserializing it: header magic +
+  /// version, then a streamed CRC-32 pass over the payload against the
+  /// footer. Corruption/NotSupported mean the BYTES are bad (quarantine
+  /// material); IoError means the environment failed (retry material).
+  /// This is the integrity pass lake recovery and fsck run per snapshot.
+  static Status VerifySnapshot(const std::string& path);
+
  private:
   ColumnCatalog catalog_;
   PivotSpace pivots_;

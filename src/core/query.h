@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -174,6 +175,16 @@ class ResultSink {
 
   virtual void OnColumn(JoinableColumn&& column) = 0;
   virtual void OnDone(const Status& status) = 0;
+
+  /// Degraded-mode serving: called (before OnDone) once per part whose
+  /// contribution is missing or incomplete — its base failed to load, or it
+  /// was quarantined by recovery — while the rest of the answer is still
+  /// delivered. An OK OnDone after OnPartStatus calls means "partial
+  /// results, and here is exactly what is missing". Default: ignore.
+  virtual void OnPartStatus(size_t part, const Status& status) {
+    (void)part;
+    (void)status;
+  }
 };
 
 /// \brief The eager sink: collects every column into a vector. Preserves
@@ -185,13 +196,21 @@ class CollectSink final : public ResultSink {
     columns_.push_back(std::move(column));
   }
   void OnDone(const Status& status) override { status_ = status; }
+  void OnPartStatus(size_t part, const Status& status) override {
+    part_statuses_.emplace_back(part, status);
+  }
 
   const std::vector<JoinableColumn>& columns() const { return columns_; }
   std::vector<JoinableColumn> TakeColumns() { return std::move(columns_); }
   const Status& status() const { return status_; }
+  /// Parts whose contribution is missing from columns() (degraded serving).
+  const std::vector<std::pair<size_t, Status>>& part_statuses() const {
+    return part_statuses_;
+  }
 
  private:
   std::vector<JoinableColumn> columns_;
+  std::vector<std::pair<size_t, Status>> part_statuses_;
   Status status_;
 };
 

@@ -1,0 +1,116 @@
+#include "lake/fsck.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "core/pexeso_index.h"
+
+namespace pexeso::lake {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsTmpName(const std::string& name) {
+  const size_t n = sizeof(kTmpSuffix) - 1;
+  return name.size() > n &&
+         name.compare(name.size() - n, n, kTmpSuffix) == 0;
+}
+
+/// Moves `path` into dir/quarantine/, creating the directory on first use.
+Status Quarantine(const std::string& dir, const std::string& path) {
+  const std::string qdir = dir + "/" + kQuarantineDir;
+  std::error_code ec;
+  fs::create_directories(qdir, ec);
+  if (ec) return Status::IoError("cannot create " + qdir);
+  const std::string dest =
+      qdir + "/" + fs::path(path).filename().string();
+  fs::rename(path, dest, ec);
+  if (ec) return Status::IoError("cannot quarantine " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FsckReport> FsckLake(const std::string& dir,
+                            const FsckOptions& options) {
+  auto manifest = ReadManifest(dir);
+  if (!manifest.ok()) return manifest.status();
+  FsckReport report;
+  report.manifest = std::move(manifest).ValueOrDie();
+  std::vector<ManifestPart>& parts = report.manifest.parts;
+
+  // Sweep: anything the manifest does not account for is an orphan — tmp
+  // files from torn publications, and part files whose generation was
+  // superseded (vacuum debt) or never committed (crash after the snapshot
+  // rename but before the manifest rename).
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_directory()) continue;  // quarantine/ and foreign dirs
+    const std::string name = entry.path().filename().string();
+    if (name == kManifestFile) continue;
+    bool orphan = false;
+    size_t part = 0;
+    uint64_t gen = 0;
+    if (IsTmpName(name)) {
+      orphan = true;
+    } else if (ParsePartFileName(name, &part, &gen)) {
+      orphan = part >= parts.size() || gen != parts[part].generation ||
+               !parts[part].has_base;
+    }
+    if (orphan) report.orphans.push_back(entry.path().string());
+  }
+  if (ec) return Status::IoError("cannot scan " + dir + ": " + ec.message());
+
+  // Validate every referenced snapshot. A bad one is a FINDING (the part
+  // can keep serving without its base); only environment faults abort.
+  bool manifest_dirty = false;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (!parts[i].has_base || parts[i].quarantined) continue;
+    const std::string path = dir + "/" + PartFileName(i, parts[i].generation);
+    std::error_code exists_ec;
+    if (!fs::exists(path, exists_ec)) {
+      report.missing.push_back(path);
+      if (options.repair) {
+        parts[i].has_base = false;
+        parts[i].quarantined = true;
+        manifest_dirty = true;
+      }
+      continue;
+    }
+    ++report.parts_checked;
+    if (!options.verify_crc) continue;
+    const Status v = PexesoIndex::VerifySnapshot(path);
+    if (v.ok()) continue;
+    if (v.code() != Status::Code::kCorruption &&
+        v.code() != Status::Code::kNotSupported) {
+      return v;  // transient environment fault: caller retries the pass
+    }
+    report.corrupt.push_back(path);
+    if (options.repair) {
+      PEXESO_RETURN_NOT_OK(Quarantine(dir, path));
+      parts[i].has_base = false;
+      parts[i].quarantined = true;
+      manifest_dirty = true;
+    }
+  }
+
+  if (options.repair) {
+    for (const std::string& orphan : report.orphans) {
+      std::error_code rm_ec;
+      if (!fs::remove(orphan, rm_ec)) {
+        return Status::IoError("cannot remove orphan " + orphan);
+      }
+    }
+    if (manifest_dirty) {
+      PEXESO_RETURN_NOT_OK(WriteManifest(dir, report.manifest));
+    }
+    report.repaired = !report.clean();
+  }
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].quarantined) report.quarantined_parts.push_back(i);
+  }
+  return report;
+}
+
+}  // namespace pexeso::lake

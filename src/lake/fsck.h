@@ -1,0 +1,63 @@
+#ifndef PEXESO_LAKE_FSCK_H_
+#define PEXESO_LAKE_FSCK_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lake/manifest.h"
+
+namespace pexeso::lake {
+
+struct FsckOptions {
+  /// Act on what was found: delete orphans, move corrupt/missing parts'
+  /// snapshots to quarantine/ and flag them in a rewritten MANIFEST. False
+  /// = report only, touch nothing.
+  bool repair = false;
+  /// Run the streamed CRC pass over every referenced snapshot. Off skips
+  /// the payload scan (manifest + file-existence checks only).
+  bool verify_crc = true;
+};
+
+/// What one consistency pass over a lake directory found (and, with
+/// repair, did).
+struct FsckReport {
+  /// Post-repair truth: quarantine flags reflect what was done.
+  LakeManifest manifest;
+  /// Files the manifest does not account for: *.tmp from torn publications
+  /// and part files of superseded or never-committed generations. Deleted
+  /// by repair.
+  std::vector<std::string> orphans;
+  /// Referenced snapshots that are absent. Their part is flagged
+  /// quarantined by repair (nothing to move).
+  std::vector<std::string> missing;
+  /// Referenced snapshots whose bytes fail validation. Moved to
+  /// quarantine/ and flagged by repair.
+  std::vector<std::string> corrupt;
+  /// Parts flagged quarantined in the (post-repair) manifest.
+  std::vector<size_t> quarantined_parts;
+  /// Referenced snapshots that existed and were checked.
+  size_t parts_checked = 0;
+  /// True when a repair pass ran and acted.
+  bool repaired = false;
+
+  /// Nothing found to act on (quarantined parts already on record are not
+  /// new findings).
+  bool clean() const {
+    return orphans.empty() && missing.empty() && corrupt.empty();
+  }
+};
+
+/// One consistency pass over lake directory `dir`: reads the MANIFEST,
+/// sweeps the directory for orphans, validates every referenced snapshot
+/// (CRC streamed, nothing deserialized), optionally repairs. Errors out
+/// only on environment faults (unreadable manifest/dir, failed repair IO) —
+/// corrupt SNAPSHOTS are findings, not errors. LakeManager::Open runs
+/// exactly this with repair=true before serving.
+Result<FsckReport> FsckLake(const std::string& dir,
+                            const FsckOptions& options = {});
+
+}  // namespace pexeso::lake
+
+#endif  // PEXESO_LAKE_FSCK_H_

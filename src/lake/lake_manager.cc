@@ -1,14 +1,18 @@
 #include "lake/lake_manager.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
+#include "common/fs_util.h"
 #include "common/stopwatch.h"
+#include "lake/fsck.h"
+#include "lake/manifest.h"
 
 namespace pexeso::lake {
 
@@ -51,8 +55,7 @@ LakeManager::~LakeManager() {
 }
 
 std::string LakeManager::PartPath(size_t part, uint64_t generation) const {
-  return dir_ + "/part-" + std::to_string(part) + ".g" +
-         std::to_string(generation) + ".pxso";
+  return dir_ + "/" + PartFileName(part, generation);
 }
 
 Result<std::unique_ptr<LakeManager>> LakeManager::Create(
@@ -86,7 +89,9 @@ Result<std::unique_ptr<LakeManager>> LakeManager::Create(
       PexesoIndex index = PexesoIndex::Build(std::move(part_catalog), metric,
                                              options.index_options);
       state.base_path = lake->PartPath(part, state.generation);
-      PEXESO_RETURN_NOT_OK(index.Save(state.base_path));
+      const std::string tmp = state.base_path + kTmpSuffix;
+      PEXESO_RETURN_NOT_OK(index.Save(tmp));
+      PEXESO_RETURN_NOT_OK(PublishFileDurable(tmp, state.base_path));
     }
   }
   {
@@ -101,69 +106,54 @@ Result<std::unique_ptr<LakeManager>> LakeManager::Create(
 
 Result<std::unique_ptr<LakeManager>> LakeManager::Open(
     const std::string& dir, const Metric* metric, const LakeOptions& options) {
-  std::ifstream in(dir + "/MANIFEST");
-  if (!in) return Status::NotFound("no MANIFEST under " + dir);
-  std::string magic, version;
-  uint32_t dim = 0;
-  size_t num_parts = 0;
-  uint32_t next_id = 0;
-  std::string token;
-  if (!(in >> magic >> version) || magic != "pexeso-lake" || version != "v1") {
-    return Status::Corruption("bad lake MANIFEST header");
-  }
-  if (!(in >> token >> dim) || token != "dim" || dim == 0 ||
-      !(in >> token >> num_parts) || token != "parts" || num_parts == 0 ||
-      !(in >> token >> next_id) || token != "next_id") {
-    return Status::Corruption("bad lake MANIFEST body");
-  }
+  // Recovery IS an fsck-with-repair pass: discard *.tmp orphans and
+  // uncommitted/superseded generations, CRC-validate every referenced
+  // snapshot, quarantine corrupt or missing ones (flagged in a rewritten
+  // MANIFEST) instead of refusing to open.
+  FsckOptions fsck_options;
+  fsck_options.repair = true;
+  fsck_options.verify_crc = options.verify_on_open;
+  auto checked = FsckLake(dir, fsck_options);
+  if (!checked.ok()) return checked.status();
+  const FsckReport& report = checked.value();
+  const LakeManifest& m = report.manifest;
+
   auto lake = std::unique_ptr<LakeManager>(
-      new LakeManager(dir, metric, options, dim));
-  lake->parts_.resize(num_parts);
-  lake->next_id_ = next_id;
-  for (size_t i = 0; i < num_parts; ++i) {
-    size_t part = 0;
-    uint64_t gen = 0;
-    int has_base = 0;
-    if (!(in >> token >> part >> gen >> has_base) || token != "part" ||
-        part != i || gen == 0) {
-      return Status::Corruption("bad lake MANIFEST part record");
-    }
-    PartState& state = lake->parts_[part];
-    state.generation = gen;
-    state.active = ColumnCatalog(dim);
-    if (has_base != 0) {
-      state.base_path = lake->PartPath(part, gen);
-      if (!std::filesystem::exists(state.base_path)) {
-        return Status::NotFound("missing snapshot " + state.base_path);
-      }
+      new LakeManager(dir, metric, options, m.dim));
+  lake->parts_.resize(m.parts.size());
+  lake->next_id_ = m.next_id;
+  lake->recovered_orphans_ = report.orphans.size();
+  for (size_t i = 0; i < m.parts.size(); ++i) {
+    PartState& state = lake->parts_[i];
+    state.generation = m.parts[i].generation;
+    state.active = ColumnCatalog(m.dim);
+    if (m.parts[i].quarantined) {
+      state.quarantined = true;
+      state.health = Status::Corruption(
+          "part " + std::to_string(i) + " base quarantined (see " + dir +
+          "/" + kQuarantineDir + ")");
+    } else if (m.parts[i].has_base) {
+      state.base_path = lake->PartPath(i, state.generation);
     }
   }
   std::lock_guard<std::mutex> lock(lake->mu_);
-  for (size_t part = 0; part < num_parts; ++part) lake->PublishLocked(part);
+  for (size_t part = 0; part < m.parts.size(); ++part) {
+    lake->PublishLocked(part);
+  }
   return lake;
 }
 
 Status LakeManager::WriteManifestLocked() const {
-  std::ostringstream out;
-  out << "pexeso-lake v1\n";
-  out << "dim " << dim_ << "\n";
-  out << "parts " << parts_.size() << "\n";
-  out << "next_id " << next_id_ << "\n";
+  LakeManifest m;
+  m.dim = dim_;
+  m.next_id = next_id_;
+  m.parts.resize(parts_.size());
   for (size_t i = 0; i < parts_.size(); ++i) {
-    out << "part " << i << " " << parts_[i].generation << " "
-        << (parts_[i].base_path.empty() ? 0 : 1) << "\n";
+    m.parts[i].generation = parts_[i].generation;
+    m.parts[i].has_base = !parts_[i].base_path.empty();
+    m.parts[i].quarantined = parts_[i].quarantined;
   }
-  const std::string tmp = dir_ + "/MANIFEST.tmp";
-  {
-    std::ofstream f(tmp, std::ios::trunc);
-    if (!f) return Status::IoError("cannot write " + tmp);
-    f << out.str();
-    if (!f.good()) return Status::IoError("short write to " + tmp);
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, dir_ + "/MANIFEST", ec);
-  if (ec) return Status::IoError("cannot publish MANIFEST under " + dir_);
-  return Status::OK();
+  return WriteManifest(dir_, m);
 }
 
 void LakeManager::PublishLocked(size_t part) {
@@ -174,6 +164,9 @@ void LakeManager::PublishLocked(size_t part) {
   snap->deltas = state.frozen;
   if (state.active_built != nullptr) snap->deltas.push_back(state.active_built);
   snap->tombstones = tombstones_;
+  snap->quarantined = state.quarantined;
+  snap->degraded = state.degraded;
+  snap->health = state.health;
   state.snapshot = std::move(snap);
 }
 
@@ -239,41 +232,84 @@ void LakeManager::Freeze() {
 
 void LakeManager::ScheduleMergeLocked(size_t part) {
   PartState& state = parts_[part];
-  if (merges_ == nullptr || state.merge_scheduled || state.frozen.empty()) {
+  if (merges_ == nullptr || state.merge_scheduled || state.frozen.empty() ||
+      state.degraded) {
+    // A parked (degraded) part never self-reschedules — that is the whole
+    // fix for the hot retry loop. MergeAll un-parks it explicitly.
     return;
   }
   state.merge_scheduled = true;
-  merges_->Submit([this, part] {
-    const Status st = MergePart(part);
+  merges_->Submit([this, part] { RunScheduledMerge(part); });
+}
+
+void LakeManager::RunScheduledMerge(size_t part) {
+  uint32_t failures;
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    parts_[part].merge_scheduled = false;
-    if (!st.ok() && merge_error_.ok()) merge_error_ = st;
+    failures = parts_[part].merge_failures;
+  }
+  if (failures > 0) {
+    // Doubling backoff before each retry attempt (this blocks one pool
+    // worker; merge pools are sized for that, and the cap keeps it short).
+    const double backoff = std::min(
+        options_.merge_backoff_initial_ms *
+            static_cast<double>(1u << std::min(failures - 1, 20u)),
+        options_.merge_backoff_max_ms);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff));
+  }
+  const Status st = MergePart(part);
+  std::lock_guard<std::mutex> lock(mu_);
+  PartState& state = parts_[part];
+  state.merge_scheduled = false;
+  if (st.ok()) {
     // Freezes that landed while this merge ran left new frozen deltas
     // behind; chain the next merge rather than leaving them stranded.
     ScheduleMergeLocked(part);
-  });
+    return;
+  }
+  ++state.merge_failures;
+  ++merge_retries_;
+  state.health = st;
+  if (state.merge_failures >= options_.merge_max_attempts) {
+    // Park: the part keeps serving base + deltas (results stay correct,
+    // just unmerged) and stops burning the pool. PartHealth reports why;
+    // MergeAll or an operator retries later.
+    state.degraded = true;
+    PublishLocked(part);
+    return;
+  }
+  ScheduleMergeLocked(part);
 }
 
 Status LakeManager::WaitForMerges() {
   if (merges_ != nullptr) merges_->Wait();
   std::lock_guard<std::mutex> lock(mu_);
-  return merge_error_;
+  for (const PartState& state : parts_) {
+    if (state.degraded && !state.health.ok()) return state.health;
+  }
+  return Status::OK();
 }
 
 Status LakeManager::MergeAll() {
   Freeze();
   // Drain scheduled background merges first so the inline pass below never
-  // double-folds a part a pool task is mid-way through.
-  PEXESO_RETURN_NOT_OK(WaitForMerges());
+  // double-folds a part a pool task is mid-way through. Failures are not
+  // returned here — the inline pass retries every part with work left,
+  // parked ones included.
+  if (merges_ != nullptr) merges_->Wait();
   for (size_t part = 0; part < parts_.size(); ++part) {
     bool pending;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      PartState& state = parts_[part];
       // Frozen deltas always need folding; a non-empty tombstone set may
       // mask columns of this part's base, which only a merge reclaims (and
-      // proves gone, shrinking the set).
-      pending = !parts_[part].frozen.empty() ||
-                (!tombstones_->empty() && !parts_[part].base_path.empty());
+      // proves gone, shrinking the set). A parked or quarantined part is
+      // always retried: a successful merge is what heals it.
+      pending = !state.frozen.empty() ||
+                (!tombstones_->empty() && !state.base_path.empty()) ||
+                state.degraded || state.quarantined;
     }
     if (pending) PEXESO_RETURN_NOT_OK(MergePart(part));
   }
@@ -281,6 +317,7 @@ Status LakeManager::MergeAll() {
 }
 
 Status LakeManager::MergePart(size_t part) {
+  PEXESO_RETURN_NOT_OK(FailpointHit("lake:merge:before-save"));
   // Capture the state to fold. Appends/drops/freezes landing after this
   // point are untouched: they survive into the post-merge snapshot.
   uint64_t old_gen;
@@ -307,7 +344,14 @@ Status LakeManager::MergePart(size_t part) {
     PartSnapshot captured;
     captured.generation = old_gen;
     captured.base_path = old_base;
-    auto base = LoadBase(captured, nullptr);
+    uint64_t retries = 0;
+    auto base = RetryTransient(options_.io_retry, &retries, [&] {
+      return LoadBase(captured, nullptr, nullptr);
+    });
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      merge_io_retries_ += retries;
+    }
     if (!base.ok()) return base.status();
     FoldSurvivors(base.value()->catalog(), *tombstones, &survivors, &removed);
   }
@@ -321,7 +365,21 @@ Status LakeManager::MergePart(size_t part) {
     PexesoIndex merged = PexesoIndex::Build(std::move(survivors), metric_,
                                             options_.index_options);
     new_base = PartPath(part, new_gen);
-    PEXESO_RETURN_NOT_OK(merged.Save(new_base));
+    const std::string tmp = new_base + kTmpSuffix;
+    uint64_t retries = 0;
+    const Status saved = RetryTransient(options_.io_retry, &retries,
+                                        [&] { return merged.Save(tmp); });
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      merge_io_retries_ += retries;
+    }
+    PEXESO_RETURN_NOT_OK(saved);
+    PEXESO_RETURN_NOT_OK(FailpointHit("lake:merge:before-publish"));
+    // Snapshot becomes durable under its committed name BEFORE the manifest
+    // that references it; a crash in between leaves an orphan that recovery
+    // deletes, never a manifest pointing at nothing.
+    PEXESO_RETURN_NOT_OK(PublishFileDurable(tmp, new_base));
+    PEXESO_RETURN_NOT_OK(FailpointHit("lake:merge:after-publish"));
   }
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -330,6 +388,14 @@ Status LakeManager::MergePart(size_t part) {
   state.base_path = new_base;
   // Only the captured prefix was folded; later freezes stay pending.
   state.frozen.erase(state.frozen.begin(), state.frozen.begin() + frozen.size());
+  // A fresh base IS the recovery: the part is healthy again, whatever got
+  // it parked or quarantined before (a quarantined base's columns stay in
+  // quarantine/ for offline salvage — the merge preserved everything that
+  // was still reachable).
+  state.merge_failures = 0;
+  state.degraded = false;
+  state.quarantined = false;
+  state.health = Status::OK();
   // Subtract the tombstones this merge physically removed. Ids dropped from
   // OTHER locations stay masked until their own part merges; snapshots
   // still holding the bigger set just mask ids that no longer exist — a
@@ -348,6 +414,7 @@ Status LakeManager::Vacuum() {
       current.emplace_back(part, parts_[part].generation);
     }
   }
+  bool first = true;
   for (const auto& [part, gen] : current) {
     for (uint64_t g = 1; g < gen; ++g) {
       const std::string stale = PartPath(part, g);
@@ -355,6 +422,12 @@ Status LakeManager::Vacuum() {
       if (std::filesystem::exists(stale, ec) &&
           !std::filesystem::remove(stale, ec)) {
         return Status::IoError("cannot vacuum " + stale);
+      }
+      if (first) {
+        // Kill point with the deletion half-done: recovery must finish the
+        // sweep (the remaining stale generations are orphans).
+        PEXESO_RETURN_NOT_OK(FailpointHit("lake:vacuum:mid"));
+        first = false;
       }
     }
   }
@@ -373,6 +446,25 @@ uint64_t LakeManager::generation(size_t part) const {
   return parts_[part].generation;
 }
 
+Status LakeManager::PartHealth(size_t part) const {
+  PEXESO_CHECK(part < parts_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return parts_[part].health;
+}
+
+LakeHealth LakeManager::Health() const {
+  LakeHealth out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const PartState& state : parts_) {
+    if (state.degraded) ++out.degraded_parts;
+    if (state.quarantined) ++out.quarantined_parts;
+  }
+  out.merge_retries = merge_retries_;
+  out.io_retries = merge_io_retries_;
+  out.recovered_orphans = recovered_orphans_;
+  return out;
+}
+
 size_t LakeManager::DiskBytes() const {
   size_t total = 0;
   std::lock_guard<std::mutex> lock(mu_);
@@ -388,18 +480,31 @@ size_t LakeManager::DiskBytes() const {
 size_t LakeManager::NumParts() const { return parts_.size(); }
 
 Result<serve::IndexCache::IndexPtr> LakeManager::LoadBase(
-    const PartSnapshot& snap, double* io_seconds) const {
+    const PartSnapshot& snap, SearchStats* stats, double* io_seconds) const {
   PEXESO_CHECK(!snap.base_path.empty());
   Stopwatch watch;
-  if (cache_ != nullptr) {
-    auto got = cache_->Get(snap.base_path, metric_, snap.generation);
-    if (io_seconds != nullptr) *io_seconds += watch.ElapsedSeconds();
-    return got;
-  }
-  auto loaded = PexesoIndex::Load(snap.base_path, metric_);
+  uint64_t retries = 0;
+  // The cache never caches failures, so a retried Get is a fresh load; the
+  // single-flight lets concurrent retries share one disk read.
+  auto got = RetryTransient(
+      options_.io_retry, &retries,
+      [&]() -> Result<serve::IndexCache::IndexPtr> {
+        if (cache_ != nullptr) {
+          return cache_->Get(snap.base_path, metric_, snap.generation);
+        }
+        auto loaded = PexesoIndex::Load(snap.base_path, metric_);
+        if (!loaded.ok()) return loaded.status();
+        return std::make_shared<const PexesoIndex>(
+            std::move(loaded).ValueOrDie());
+      });
   if (io_seconds != nullptr) *io_seconds += watch.ElapsedSeconds();
-  if (!loaded.ok()) return loaded.status();
-  return std::make_shared<const PexesoIndex>(std::move(loaded).ValueOrDie());
+  if (stats != nullptr) {
+    stats->io_retries += retries;
+    if (!got.ok() && got.status().code() == Status::Code::kCorruption) {
+      ++stats->corruption_detected;
+    }
+  }
+  return got;
 }
 
 Result<PartHandle> LakeManager::AcquirePart(size_t part,
@@ -407,7 +512,7 @@ Result<PartHandle> LakeManager::AcquirePart(size_t part,
   auto handle = std::make_shared<LoadedPart>();
   handle->snapshot = Snapshot(part);
   if (!handle->snapshot->base_path.empty()) {
-    auto base = LoadBase(*handle->snapshot, io_seconds);
+    auto base = LoadBase(*handle->snapshot, nullptr, io_seconds);
     if (!base.ok()) return base.status();
     handle->base = std::move(base).ValueOrDie();
   }
@@ -418,6 +523,10 @@ Result<PartHandle> LakeManager::AcquirePart(size_t part,
 Result<std::vector<JoinableColumn>> LakeManager::SearchSnapshot(
     const PartSnapshot& snap, const serve::IndexCache::IndexPtr& base,
     const JoinQuery& query, SearchStats* stats, double* io_seconds) const {
+  if (stats != nullptr) {
+    if (snap.quarantined) ++stats->parts_quarantined;
+    if (snap.degraded) ++stats->degraded_merges;
+  }
   // kTopK widening: a part's local top-k list could otherwise be crowded
   // out by columns the mask removes afterwards. With k' = k + |tombstones|
   // the (k'+1)-th local column provably has >= k surviving columns above
@@ -429,7 +538,7 @@ Result<std::vector<JoinableColumn>> LakeManager::SearchSnapshot(
   if (!snap.base_path.empty()) {
     serve::IndexCache::IndexPtr held = base;
     if (held == nullptr) {
-      auto loaded = LoadBase(snap, io_seconds);
+      auto loaded = LoadBase(snap, stats, io_seconds);
       if (!loaded.ok()) return loaded.status();
       held = std::move(loaded).ValueOrDie();
     }
@@ -476,6 +585,9 @@ Status LakeManager::Execute(const JoinQuery& jq, ResultSink* sink,
   // final (post-mask) top-k.
   TopKBound bound(jq.k, jq.topk_floor);
   Status final_st;
+  size_t failed_parts = 0;
+  Status first_failure;
+  bool partial = false;
   for (size_t part = 0; part < parts_.size(); ++part) {
     Status live = jq.CheckLive();
     if (!live.ok()) {
@@ -488,14 +600,27 @@ Status LakeManager::Execute(const JoinQuery& jq, ResultSink* sink,
     auto snap = Snapshot(part);
     auto chunk = SearchSnapshot(*snap, nullptr, part_jq, stats, nullptr);
     if (!chunk.ok()) {
-      final_st = chunk.status();
-      // Interruption keeps completed parts' columns as partial results; an
-      // environment fault returns bare, like PartitionedPexeso.
-      if (!final_st.interrupted()) {
-        sink->OnDone(final_st);
-        return final_st;
+      if (chunk.status().interrupted()) {
+        // Interruption keeps completed parts' columns as partial results.
+        final_st = chunk.status();
+        break;
       }
-      break;
+      // Environment fault on THIS part (unloadable base): degraded-mode
+      // serving reports the gap per-part and keeps going — the other parts'
+      // answers are still worth returning.
+      ++failed_parts;
+      if (first_failure.ok()) first_failure = chunk.status();
+      sink->OnPartStatus(part, chunk.status());
+      partial = true;
+      continue;
+    }
+    if (snap->quarantined) {
+      // The part answered, but only from its deltas: its base was moved
+      // aside by recovery, so the answer is knowingly incomplete.
+      sink->OnPartStatus(part, snap->health.ok()
+                                   ? Status::Corruption("part base quarantined")
+                                   : snap->health);
+      partial = true;
     }
     auto results = std::move(chunk).ValueOrDie();
     if (topk_mode) {
@@ -503,6 +628,13 @@ Status LakeManager::Execute(const JoinQuery& jq, ResultSink* sink,
     }
     merged.insert(merged.end(), std::make_move_iterator(results.begin()),
                   std::make_move_iterator(results.end()));
+  }
+  if (partial) ++stats->partial_responses;
+  if (!parts_.empty() && failed_parts == parts_.size()) {
+    // Nothing answered: that is a failed query, not a partial one.
+    final_st = first_failure;
+    sink->OnDone(final_st);
+    return final_st;
   }
   FinishQueryMerge(jq, &merged);
   for (auto& jc : merged) sink->OnColumn(std::move(jc));

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "lake/delta_index.h"
@@ -31,6 +32,20 @@ struct LakeOptions {
   /// manager). Null = no background merging: frozen deltas accumulate until
   /// an explicit MergeAll().
   ThreadPool* merge_pool = nullptr;
+  /// Background-merge failure budget: after this many consecutive failed
+  /// MergePart attempts (each preceded by doubling backoff, below) the part
+  /// PARKS in degraded base+delta mode — it keeps answering queries, stops
+  /// burning the pool, and records its error (PartHealth). MergeAll and the
+  /// next successful merge un-park it.
+  uint32_t merge_max_attempts = 4;
+  double merge_backoff_initial_ms = 5.0;
+  double merge_backoff_max_ms = 250.0;
+  /// Transient-IO retry budget for base loads and merge snapshot writes
+  /// (bounded exponential backoff; only IoError retries — see retry.h).
+  RetryPolicy io_retry;
+  /// Open(): CRC-validate every referenced snapshot before serving it, and
+  /// quarantine the ones that fail. Costs one streamed read per part file.
+  bool verify_on_open = true;
 };
 
 /// \brief One part's immutable published state: everything a search needs,
@@ -45,12 +60,33 @@ struct PartSnapshot {
   /// of the LRU.
   uint64_t generation = 1;
   /// Serialized base index (part-<i>.g<generation>.pxso); empty when the
-  /// part has no base (never built, or everything merged away).
+  /// part has no base (never built, everything merged away, or the base
+  /// was quarantined).
   std::string base_path;
   /// Unmerged appends, oldest first: frozen deltas then the active one.
   std::vector<DeltaPtr> deltas;
   /// Global drop mask applied to base and delta results (see TombstoneSet).
   std::shared_ptr<const TombstoneSet> tombstones;
+  /// Recovery/fsck moved this part's base aside (bad bytes): searches see
+  /// deltas only and the part's results are knowingly partial until a merge
+  /// writes a fresh base.
+  bool quarantined = false;
+  /// Background merges for this part exhausted their failure budget and
+  /// parked; base+deltas keep serving, `health` says why.
+  bool degraded = false;
+  /// OK for a healthy part; the quarantine reason or last merge error
+  /// otherwise.
+  Status health;
+};
+
+/// \brief Lake-level robustness counters (complement SearchStats, which
+/// counts per-query encounters).
+struct LakeHealth {
+  size_t degraded_parts = 0;     ///< parts parked after merge failures
+  size_t quarantined_parts = 0;  ///< parts serving without their base
+  uint64_t merge_retries = 0;    ///< failed background merge attempts retried
+  uint64_t io_retries = 0;       ///< transient-IO retries in merge writes
+  uint64_t recovered_orphans = 0;  ///< files discarded by Open's recovery
 };
 
 /// \brief The live lake: a generation-versioned partitioned PEXESO
@@ -65,6 +101,21 @@ struct PartSnapshot {
 /// generation. Durability is the merge: deltas and tombstones live in
 /// memory only (no WAL), so unmerged state is lost on restart — the
 /// MANIFEST records just {dim, parts, next_id, per-part generation}.
+///
+/// Crash safety: snapshots and the MANIFEST are published via write-tmp →
+/// fsync(file) → rename → fsync(dir), in that order (snapshot first, then
+/// the MANIFEST that references it), so at every kill point the on-disk
+/// state is one of the two adjacent committed states — never a torn mix.
+/// Open() runs an fsck-with-repair recovery pass: orphaned *.tmp and
+/// uncommitted/superseded generations are discarded, every referenced
+/// snapshot is CRC-validated, and corrupt ones are QUARANTINED (moved to
+/// quarantine/, part flagged) instead of failing the whole open.
+///
+/// Degraded serving: a part whose background merges keep failing parks in
+/// base+delta mode (no hot retry loop) and keeps answering; a part whose
+/// base cannot be loaded at query time contributes nothing but the query
+/// still succeeds with the other parts' results, the gap reported through
+/// ResultSink::OnPartStatus and SearchStats::partial_responses.
 ///
 /// Query equivalence contract: a column lives in exactly one physical place
 /// (one part's base or one delta), PEXESO is exact (results depend on the
@@ -90,8 +141,9 @@ class LakeManager : public JoinSearchEngine, public PartitionedJoinEngine {
       const std::string& dir, const Metric* metric,
       const LakeOptions& options);
 
-  /// Opens an existing lake directory from its MANIFEST. Unmerged state
-  /// (deltas, tombstones) does not survive restarts — only merged bases.
+  /// Opens an existing lake directory from its MANIFEST, running the
+  /// recovery pass described above first. Unmerged state (deltas,
+  /// tombstones) does not survive restarts — only merged bases.
   static Result<std::unique_ptr<LakeManager>> Open(const std::string& dir,
                                                    const Metric* metric,
                                                    const LakeOptions& options);
@@ -122,14 +174,16 @@ class LakeManager : public JoinSearchEngine, public PartitionedJoinEngine {
   /// when a merge pool is attached, schedules the merges.
   void Freeze();
 
-  /// Blocks until scheduled background merges finish; returns the first
-  /// merge failure, if any.
+  /// Blocks until scheduled background merges finish (a part that keeps
+  /// failing stops after its failure budget — the wait always returns);
+  /// returns the first parked part's error, if any.
   Status WaitForMerges();
 
   /// Freeze + merge EVERYTHING, synchronously: on return every part is a
   /// single base at its newest generation with no deltas, and fully-merged
-  /// tombstones have been subtracted. The post-merge state a from-scratch
-  /// rebuild is compared against.
+  /// tombstones have been subtracted. Parts parked in degraded mode are
+  /// retried here (and un-parked on success). The post-merge state a
+  /// from-scratch rebuild is compared against.
   Status MergeAll();
 
   /// Deletes snapshot files of superseded generations. Only safe when no
@@ -144,6 +198,14 @@ class LakeManager : public JoinSearchEngine, public PartitionedJoinEngine {
   std::shared_ptr<const PartSnapshot> Snapshot(size_t part) const;
 
   uint64_t generation(size_t part) const;
+
+  /// OK for a healthy part; the quarantine reason or the part's last merge
+  /// error otherwise.
+  Status PartHealth(size_t part) const;
+
+  /// Lake-level robustness counters (degraded/quarantined part counts,
+  /// retry totals, recovery actions).
+  LakeHealth Health() const;
 
   /// Path of part `part`'s serialized base at `generation`.
   std::string PartPath(size_t part, uint64_t generation) const;
@@ -168,6 +230,10 @@ class LakeManager : public JoinSearchEngine, public PartitionedJoinEngine {
   /// Searches every part's base + deltas serially in part order with
   /// tombstone masking, then the canonical mode-aware merge. Deadline /
   /// cancel / kTopK cross-part floor semantics match PartitionedPexeso.
+  /// A part whose base cannot be loaded (or was quarantined) does not fail
+  /// the query: its Status goes to sink->OnPartStatus, the other parts'
+  /// results are delivered, and stats->partial_responses is bumped. The
+  /// query fails outright only when EVERY part failed.
   Status Execute(const JoinQuery& query, ResultSink* sink,
                  SearchStats* stats) const override;
 
@@ -201,6 +267,10 @@ class LakeManager : public JoinSearchEngine, public PartitionedJoinEngine {
     DeltaPtr active_built;         ///< index over `active`; null when empty
     std::vector<DeltaPtr> frozen;  ///< sealed deltas awaiting merge
     bool merge_scheduled = false;
+    uint32_t merge_failures = 0;   ///< consecutive failed merge attempts
+    bool degraded = false;         ///< parked: failure budget exhausted
+    bool quarantined = false;      ///< base moved aside by recovery/fsck
+    Status health;                 ///< quarantine reason / last merge error
   };
 
   LakeManager(std::string dir, const Metric* metric, LakeOptions options,
@@ -214,22 +284,32 @@ class LakeManager : public JoinSearchEngine, public PartitionedJoinEngine {
   void FreezeLocked(size_t part);
 
   /// Schedules a background merge of `part` if a pool is attached, one is
-  /// not already scheduled, and there is frozen work. Caller holds mu_.
+  /// not already scheduled, there is frozen work, and the part is not
+  /// parked. Caller holds mu_.
   void ScheduleMergeLocked(size_t part);
+
+  /// The background-merge task body: backoff for retries, one MergePart
+  /// attempt, then re-chain (more work / bounded retry) or park.
+  void RunScheduledMerge(size_t part);
 
   /// Folds `part`'s currently-frozen deltas + tombstones into a new base
   /// generation and publishes it. Runs on the merge pool or inline
   /// (MergeAll); safe against concurrent appends/drops/freezes of the same
   /// part (it folds the state captured at entry; later arrivals survive).
+  /// Success clears the part's degraded/quarantined flags (the fresh base
+  /// IS the recovery).
   Status MergePart(size_t part);
 
-  /// Loads `snap`'s base through the cache (keyed by generation) or disk.
+  /// Loads `snap`'s base through the cache (keyed by generation) or disk,
+  /// with bounded transient-IO retries counted into `stats`.
   Result<serve::IndexCache::IndexPtr> LoadBase(const PartSnapshot& snap,
+                                               SearchStats* stats,
                                                double* io_seconds) const;
 
   /// Searches base + deltas of one snapshot (base preloaded or loaded
   /// here), masks tombstones, returns the unsorted chunk. Applies the
-  /// kTopK k' = k + |tombstones| widening internally.
+  /// kTopK k' = k + |tombstones| widening internally and counts
+  /// quarantined/degraded encounters into `stats`.
   Result<std::vector<JoinableColumn>> SearchSnapshot(
       const PartSnapshot& snap, const serve::IndexCache::IndexPtr& base,
       const JoinQuery& query, SearchStats* stats, double* io_seconds) const;
@@ -243,11 +323,13 @@ class LakeManager : public JoinSearchEngine, public PartitionedJoinEngine {
   PartitionedPexeso::Engine engine_ = PartitionedPexeso::Engine::kPexeso;
   serve::IndexCache* cache_ = nullptr;
 
-  mutable std::mutex mu_;  ///< guards parts_, tombstones_, next_id_, errors
+  mutable std::mutex mu_;  ///< guards parts_, tombstones_, next_id_, health
   std::vector<PartState> parts_;
   std::shared_ptr<const TombstoneSet> tombstones_;
   uint32_t next_id_ = 0;
-  Status merge_error_;  ///< first background-merge failure
+  uint64_t merge_retries_ = 0;     ///< failed merge attempts retried
+  uint64_t merge_io_retries_ = 0;  ///< transient-IO retries in merge writes
+  uint64_t recovered_orphans_ = 0;
 
   /// Declared last: destroyed first, so the destructor's implicit wait
   /// drains merge tasks while every member they touch is still alive.

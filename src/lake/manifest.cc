@@ -1,0 +1,107 @@
+#include "lake/manifest.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/failpoint.h"
+#include "common/fs_util.h"
+
+namespace pexeso::lake {
+
+std::string PartFileName(size_t part, uint64_t generation) {
+  return "part-" + std::to_string(part) + ".g" + std::to_string(generation) +
+         ".pxso";
+}
+
+bool ParsePartFileName(const std::string& name, size_t* part, uint64_t* gen) {
+  // part-<digits>.g<digits>.pxso
+  constexpr char kPrefix[] = "part-";
+  constexpr char kSuffix[] = ".pxso";
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  if (name.size() < sizeof(kPrefix) + sizeof(kSuffix)) return false;
+  if (name.compare(name.size() - 5, 5, kSuffix) != 0) return false;
+  const size_t dot_g = name.find(".g", sizeof(kPrefix) - 1);
+  if (dot_g == std::string::npos) return false;
+  const std::string part_str =
+      name.substr(sizeof(kPrefix) - 1, dot_g - (sizeof(kPrefix) - 1));
+  const std::string gen_str =
+      name.substr(dot_g + 2, name.size() - 5 - (dot_g + 2));
+  if (part_str.empty() || gen_str.empty()) return false;
+  for (char c : part_str) {
+    if (c < '0' || c > '9') return false;
+  }
+  for (char c : gen_str) {
+    if (c < '0' || c > '9') return false;
+  }
+  *part = static_cast<size_t>(std::strtoull(part_str.c_str(), nullptr, 10));
+  *gen = std::strtoull(gen_str.c_str(), nullptr, 10);
+  return true;
+}
+
+Result<LakeManifest> ReadManifest(const std::string& dir) {
+  std::ifstream in(dir + "/" + kManifestFile);
+  if (!in) return Status::NotFound("no MANIFEST under " + dir);
+  std::string magic, version;
+  if (!(in >> magic >> version) || magic != "pexeso-lake" ||
+      (version != "v1" && version != "v2")) {
+    return Status::Corruption("bad lake MANIFEST header");
+  }
+  const bool v2 = version == "v2";
+  LakeManifest m;
+  std::string token;
+  size_t num_parts = 0;
+  if (!(in >> token >> m.dim) || token != "dim" || m.dim == 0 ||
+      !(in >> token >> num_parts) || token != "parts" || num_parts == 0 ||
+      num_parts > (1u << 20) ||
+      !(in >> token >> m.next_id) || token != "next_id") {
+    return Status::Corruption("bad lake MANIFEST body");
+  }
+  m.parts.resize(num_parts);
+  for (size_t i = 0; i < num_parts; ++i) {
+    size_t part = 0;
+    uint64_t gen = 0;
+    int has_base = 0;
+    int quarantined = 0;
+    if (!(in >> token >> part >> gen >> has_base) || token != "part" ||
+        part != i || gen == 0) {
+      return Status::Corruption("bad lake MANIFEST part record");
+    }
+    if (v2 && !(in >> quarantined)) {
+      return Status::Corruption("bad lake MANIFEST part record");
+    }
+    m.parts[i].generation = gen;
+    m.parts[i].has_base = has_base != 0;
+    m.parts[i].quarantined = quarantined != 0;
+  }
+  return m;
+}
+
+Status WriteManifest(const std::string& dir, const LakeManifest& manifest) {
+  PEXESO_RETURN_NOT_OK(FailpointHit("lake:manifest:open"));
+  std::ostringstream out;
+  out << "pexeso-lake v2\n";
+  out << "dim " << manifest.dim << "\n";
+  out << "parts " << manifest.parts.size() << "\n";
+  out << "next_id " << manifest.next_id << "\n";
+  for (size_t i = 0; i < manifest.parts.size(); ++i) {
+    const ManifestPart& p = manifest.parts[i];
+    out << "part " << i << " " << p.generation << " " << (p.has_base ? 1 : 0)
+        << " " << (p.quarantined ? 1 : 0) << "\n";
+  }
+  const std::string tmp = dir + "/" + kManifestFile + kTmpSuffix;
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f) return Status::IoError("cannot write " + tmp);
+    f << out.str();
+    f.flush();
+    if (!f.good()) return Status::IoError("short write to " + tmp);
+  }
+  PEXESO_RETURN_NOT_OK(FailpointHit("lake:manifest:before-publish"));
+  PEXESO_RETURN_NOT_OK(
+      PublishFileDurable(tmp, dir + "/" + kManifestFile));
+  PEXESO_RETURN_NOT_OK(FailpointHit("lake:manifest:after-publish"));
+  return Status::OK();
+}
+
+}  // namespace pexeso::lake

@@ -1,0 +1,62 @@
+#ifndef PEXESO_LAKE_MANIFEST_H_
+#define PEXESO_LAKE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pexeso::lake {
+
+/// On-disk layout names, shared by LakeManager, recovery and fsck.
+inline constexpr char kManifestFile[] = "MANIFEST";
+inline constexpr char kQuarantineDir[] = "quarantine";
+inline constexpr char kTmpSuffix[] = ".tmp";
+
+/// "part-<i>.g<gen>.pxso"
+std::string PartFileName(size_t part, uint64_t generation);
+
+/// Parses PartFileName output; false for anything else (including tmp and
+/// foreign files).
+bool ParsePartFileName(const std::string& name, size_t* part, uint64_t* gen);
+
+struct ManifestPart {
+  uint64_t generation = 1;
+  bool has_base = false;
+  /// The part's base snapshot failed integrity validation (or vanished) and
+  /// was moved to quarantine/ — the part serves without a base until a
+  /// merge writes it a fresh one.
+  bool quarantined = false;
+};
+
+/// \brief The lake's root metadata record, one text file. Format v2:
+///
+///   pexeso-lake v2
+///   dim <D>
+///   parts <N>
+///   next_id <I>
+///   part <i> <generation> <has_base> <quarantined>     (N lines)
+///
+/// v1 (pre-quarantine) part lines lack the trailing flag; ReadManifest
+/// accepts both, WriteManifest always writes v2.
+struct LakeManifest {
+  uint32_t dim = 0;
+  uint32_t next_id = 0;
+  std::vector<ManifestPart> parts;
+};
+
+/// Reads and validates dir/MANIFEST. NotFound when absent, Corruption for
+/// any malformed content — never a crash, whatever the bytes are.
+Result<LakeManifest> ReadManifest(const std::string& dir);
+
+/// Durably publishes dir/MANIFEST: writes MANIFEST.tmp, fsyncs it, renames
+/// over MANIFEST, fsyncs the directory. Failpoints: "lake:manifest:open"
+/// (IoError writing the tmp), "lake:manifest:before-publish" (crash window
+/// with the tmp on disk but the old MANIFEST still current),
+/// "lake:manifest:after-publish" (the new MANIFEST is durable).
+Status WriteManifest(const std::string& dir, const LakeManifest& manifest);
+
+}  // namespace pexeso::lake
+
+#endif  // PEXESO_LAKE_MANIFEST_H_

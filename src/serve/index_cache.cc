@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace pexeso::serve {
 
@@ -83,7 +84,11 @@ Result<IndexCache::IndexPtr> IndexCache::GetOrPin(const std::string& key,
   auto flight = std::make_shared<Flight>();
   shard.map[key].flight = flight;
   lock.unlock();
-  auto loaded = PexesoIndex::Load(path, metric);
+  // Failure injection for the serve path ("cache:load"): a fault here takes
+  // the same miss-cleanup route as a real unreadable file, and because
+  // failures are never cached the caller's retry is a genuine fresh load.
+  Result<PexesoIndex> loaded = FailpointHit("cache:load");
+  if (loaded.ok()) loaded = PexesoIndex::Load(path, metric);
   lock.lock();
   auto it = shard.map.find(key);
   PEXESO_CHECK(it != shard.map.end());  // only the loader removes its marker

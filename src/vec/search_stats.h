@@ -67,6 +67,23 @@ struct SearchStats {
   /// Result columns removed by tombstone masking (dropped columns still
   /// present in a base/delta snapshot awaiting merge).
   uint64_t tombstones_masked = 0;
+  /// Transient-IO retries taken while loading base snapshots for this
+  /// search (each backoff-then-retry counts one; a search that needed none
+  /// reads 0).
+  uint64_t io_retries = 0;
+  /// Snapshot loads that failed with Corruption during this search — bad
+  /// bytes detected by the CRC/bounds checks, not environment flakiness.
+  uint64_t corruption_detected = 0;
+  /// Quarantined parts this search encountered (served from deltas only;
+  /// their base was moved aside by recovery or fsck).
+  uint64_t parts_quarantined = 0;
+  /// Degraded parts this search encountered (merge retries exhausted; the
+  /// part keeps serving its base+deltas while parked).
+  uint64_t degraded_merges = 0;
+  /// Queries answered with results known to be partial: some part failed
+  /// to load or was quarantined, its error was surfaced per-part, and the
+  /// rest of the answer was returned anyway.
+  uint64_t partial_responses = 0;
   /// Wall-clock split (seconds) of the two search phases.
   double block_seconds = 0.0;
   double verify_seconds = 0.0;
@@ -91,6 +108,11 @@ struct SearchStats {
     deadline_expired += o.deadline_expired;
     delta_columns_searched += o.delta_columns_searched;
     tombstones_masked += o.tombstones_masked;
+    io_retries += o.io_retries;
+    corruption_detected += o.corruption_detected;
+    parts_quarantined += o.parts_quarantined;
+    degraded_merges += o.degraded_merges;
+    partial_responses += o.partial_responses;
     block_seconds += o.block_seconds;
     verify_seconds += o.verify_seconds;
     return *this;

@@ -73,12 +73,16 @@ if [[ "${PEXESO_CI_SANITIZE:-1}" == "1" ]]; then
   # exactly where object-lifetime and data-race bugs hide. topk_test joins
   # for the query-API controls (shared TopKBound, cancellation paths), and
   # lake_test for snapshot/merge lifetimes (shared_ptr-published snapshots,
-  # generation-keyed cache entries outliving merges).
+  # generation-keyed cache entries outliving merges). fault_test joins
+  # with failpoints compiled in: the corrupted-bytes corpus and the
+  # injected-fault serving paths are where an over-read of mangled input
+  # would hide, and ASan is what turns "read past a truncated buffer" from
+  # silent garbage into a hard failure.
   cmake --build "$SAN_DIR" -j "$JOBS" \
     --target kernel_test vec_test serve_test common_test pipeline_test \
-    topk_test lake_test
-  ctest --test-dir "$SAN_DIR" --output-on-failure \
-    -R '^(kernel_test|vec_test|serve_test|common_test|pipeline_test|topk_test|lake_test)$'
+    topk_test lake_test fault_test
+  ctest --test-dir "$SAN_DIR" --output-on-failure --timeout 600 \
+    -R '^(kernel_test|vec_test|serve_test|common_test|pipeline_test|topk_test|lake_test|fault_test)$'
 fi
 
 if [[ "${PEXESO_CI_TSAN:-1}" == "1" ]]; then

@@ -60,6 +60,7 @@
 #include "core/searcher.h"
 #include "embed/char_gram_model.h"
 #include "embed/word_avg_model.h"
+#include "lake/fsck.h"
 #include "partition/partitioned_pexeso.h"
 #include "serve/index_cache.h"
 #include "serve/serve_session.h"
@@ -178,6 +179,16 @@ void PrintStats(const SearchStats& stats) {
               static_cast<unsigned long long>(stats.delta_columns_searched));
   std::printf("  tombstones masked:       %llu\n",
               static_cast<unsigned long long>(stats.tombstones_masked));
+  std::printf("  io retries:              %llu\n",
+              static_cast<unsigned long long>(stats.io_retries));
+  std::printf("  corruption detected:     %llu\n",
+              static_cast<unsigned long long>(stats.corruption_detected));
+  std::printf("  quarantined parts hit:   %llu\n",
+              static_cast<unsigned long long>(stats.parts_quarantined));
+  std::printf("  degraded parts hit:      %llu\n",
+              static_cast<unsigned long long>(stats.degraded_merges));
+  std::printf("  partial responses:       %llu\n",
+              static_cast<unsigned long long>(stats.partial_responses));
   std::printf("  block/verify seconds:    %.4f / %.4f\n", stats.block_seconds,
               stats.verify_seconds);
 }
@@ -230,7 +241,7 @@ std::unique_ptr<JoinSearchEngine> MakeEngine(const std::string& name,
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: pexeso_cli <index|search|batch|info> [--flags]\n"
+               "usage: pexeso_cli <index|search|batch|info|fsck> [--flags]\n"
                "  index  --input DIR --output FILE [--pivots N --levels M "
                "--partitions K --model chargram|wordavg --dim D "
                "--metric l2|cosine|l1]\n"
@@ -243,6 +254,7 @@ int Usage() {
                "--stats --stream "
                "--cache-mb MB --engine ... --model ... --dim D]\n"
                "  info   --index FILE|PARTDIR\n"
+               "  fsck   LAKEDIR [--repair] [--no-crc]\n"
                "PARTDIR is a PartitionedPexeso directory (part-<i>.pxso): "
                "online commands then serve out-of-core through a --cache-mb "
                "budgeted index cache; --stream emits per-partition chunks "
@@ -814,6 +826,66 @@ int CmdInfo(const Flags& flags) {
   return 0;
 }
 
+/// `pexeso_cli fsck <lake-dir> [--repair] [--no-crc]`: one consistency pass
+/// over a LakeManager directory — manifest validation, orphan sweep,
+/// streamed CRC check of every referenced snapshot. --repair deletes
+/// orphans and quarantines bad parts (what LakeManager::Open does on its
+/// own at startup); without it the pass only reports. Exit 0 = clean (or
+/// fully repaired), 1 = findings remain, 2 = could not run.
+int CmdFsck(int argc, char** argv, const Flags& flags) {
+  std::string dir = flags.Get("lake");
+  for (int i = 2; i < argc && dir.empty(); ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) dir = argv[i];
+  }
+  if (dir.empty()) return Usage();
+  lake::FsckOptions options;
+  options.repair = flags.Has("repair");
+  options.verify_crc = !flags.Has("no-crc");
+  auto checked = lake::FsckLake(dir, options);
+  if (!checked.ok()) {
+    std::fprintf(stderr, "fsck failed: %s\n",
+                 checked.status().ToString().c_str());
+    return 2;
+  }
+  const lake::FsckReport& report = std::move(checked).ValueOrDie();
+  std::printf("lake: %s\n", dir.c_str());
+  std::printf("  dim:               %u\n", report.manifest.dim);
+  std::printf("  parts:             %zu (%zu snapshots checked)\n",
+              report.manifest.parts.size(), report.parts_checked);
+  for (size_t i = 0; i < report.manifest.parts.size(); ++i) {
+    const lake::ManifestPart& p = report.manifest.parts[i];
+    std::printf("  part %zu: gen %llu %s%s\n", i,
+                static_cast<unsigned long long>(p.generation),
+                p.has_base ? "base" : "no-base",
+                p.quarantined ? " QUARANTINED" : "");
+  }
+  for (const std::string& f : report.orphans) {
+    std::printf("  orphan: %s%s\n", f.c_str(),
+                report.repaired ? " (removed)" : "");
+  }
+  for (const std::string& f : report.corrupt) {
+    std::printf("  corrupt: %s%s\n", f.c_str(),
+                report.repaired ? " (quarantined)" : "");
+  }
+  for (const std::string& f : report.missing) {
+    std::printf("  missing: %s%s\n", f.c_str(),
+                report.repaired ? " (part flagged)" : "");
+  }
+  if (report.clean()) {
+    std::printf("clean\n");
+    return 0;
+  }
+  if (report.repaired) {
+    std::printf("repaired: %zu orphans removed, %zu corrupt + %zu missing "
+                "quarantined\n",
+                report.orphans.size(), report.corrupt.size(),
+                report.missing.size());
+    return 0;
+  }
+  std::printf("issues found (run with --repair to fix)\n");
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -824,5 +896,6 @@ int main(int argc, char** argv) {
   if (cmd == "search") return CmdSearch(flags);
   if (cmd == "batch") return CmdBatch(flags);
   if (cmd == "info") return CmdInfo(flags);
+  if (cmd == "fsck") return CmdFsck(argc, argv, flags);
   return Usage();
 }
