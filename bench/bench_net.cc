@@ -1,0 +1,202 @@
+// bench_net: wire-protocol serving overhead on a loopback socket.
+//
+// PR 8 adds pexeso_server — the networked front-end whose protocol streams
+// each partition's result chunk as ServeSession finishes it. This bench
+// prices that path: an in-process PexesoServer over a partitioned lake, a
+// blocking loopback client, and two workloads (threshold with full match
+// mappings, and top-k). Reported per workload:
+//
+//   queries/sec through the socket, protocol bytes per query (sent +
+//   received, framing included), and a byte-parity check against the
+//   in-process Execute of the same queries — the socket must be a
+//   transport, never a semantic layer.
+//
+// Results go to stdout and BENCH_net.json ("BENCH_net/v1") so successive
+// PRs can track the trajectory. `hw_threads` is recorded because the
+// serving pool and the single-reactor loop share whatever cores CI has.
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "partition/partitioned_pexeso.h"
+#include "partition/partitioner.h"
+#include "serve/index_cache.h"
+
+namespace pexeso::bench {
+namespace {
+
+struct Row {
+  const char* name;
+  size_t queries = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double bytes_per_query = 0.0;
+  bool identical = true;
+};
+
+bool SameResults(const std::vector<JoinableColumn>& a,
+                 const std::vector<JoinableColumn>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].column != b[i].column || a[i].match_count != b[i].match_count ||
+        a[i].joinability != b[i].joinability ||
+        a[i].mapping.size() != b[i].mapping.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void WriteNetBenchJson(size_t partitions, const std::vector<Row>& rows) {
+  const char* path_env = std::getenv("PEXESO_BENCH_NET_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_net.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"BENCH_net/v1\",\n");
+  std::fprintf(f, "  \"hw_threads\": %u,\n",
+               std::max(1u, std::thread::hardware_concurrency()));
+  std::fprintf(f, "  \"partitions\": %zu,\n", partitions);
+  std::fprintf(f, "  \"results\": [");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "%s\n    {\"mode\": \"%s\", \"queries\": %zu, "
+                 "\"wall_seconds\": %.6f, \"queries_per_sec\": %.1f, "
+                 "\"protocol_bytes_per_query\": %.0f, \"identical\": %s}",
+                 i == 0 ? "" : ",", r.name, r.queries, r.wall_seconds, r.qps,
+                 r.bytes_per_query, r.identical ? "true" : "false");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+void NetExperiment() {
+  namespace fs = std::filesystem;
+  const double scale = BenchProfiles::EnvScale();
+  VectorLakeOptions profile;
+  profile.dim = 50;
+  profile.num_columns = static_cast<uint32_t>(300 * scale);
+  profile.avg_col_size = 40.0;
+  profile.num_clusters = 24;
+  ColumnCatalog catalog = GenerateVectorLake(profile);
+  std::printf("lake: %zu columns, %zu vectors, dim %u\n",
+              catalog.num_columns(), catalog.num_vectors(), catalog.dim());
+
+  const std::string dir =
+      (fs::temp_directory_path() / "pexeso_bench_net").string();
+  fs::remove_all(dir);
+  L2Metric metric;
+  Partitioner::Options popts;
+  popts.k = 4;
+  auto assignment = Partitioner::JsdClustering(catalog, popts);
+  PexesoOptions opts;
+  opts.num_pivots = 5;
+  opts.levels = 5;
+  auto built =
+      PartitionedPexeso::Build(catalog, assignment, dir, &metric, opts);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return;
+  }
+  PartitionedPexeso& parts = built.value();
+  // Warm serving configuration: every part stays cache-resident, so the
+  // numbers isolate protocol + session overhead rather than disk IO.
+  serve::IndexCache cache(
+      serve::IndexCacheOptions{.budget_bytes = 512u << 20});
+  parts.AttachCache(&cache);
+
+  const size_t num_queries = std::max<size_t>(8, NumQueries(16));
+  std::vector<VectorStore> queries = MakeQueries(profile, num_queries, 20);
+  FractionalThresholds ft{0.05, 0.6};
+
+  JoinQuery threshold;
+  threshold.thresholds = ft.Resolve(metric, profile.dim, 20);
+  threshold.collect_mappings = true;  // the heaviest wire payload
+
+  JoinQuery topk;
+  topk.thresholds.tau = threshold.thresholds.tau;
+  topk.mode = QueryMode::kTopK;
+  topk.k = 10;
+
+  net::ServerOptions server_opts;
+  server_opts.expected_dim = profile.dim;
+  server_opts.cache = &cache;
+  net::PexesoServer server(&parts, server_opts);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return;
+  }
+  std::printf("serving %zu partitions on 127.0.0.1:%u\n",
+              parts.num_partitions(), server.port());
+  std::printf("\n%12s %10s %12s %12s %16s %10s\n", "mode", "queries",
+              "wall (s)", "queries/s", "bytes/query", "identical");
+
+  std::vector<Row> rows;
+  auto run = [&](const char* name, const JoinQuery& prototype) {
+    // The in-process oracle for the parity column.
+    std::vector<std::vector<JoinableColumn>> oracle;
+    for (const VectorStore& q : queries) {
+      oracle.push_back(MustSearch(parts, q, prototype));
+    }
+    net::PexesoClient client;
+    const Status st = client.Connect("127.0.0.1", server.port(), "bench");
+    if (!st.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n", st.ToString().c_str());
+      return;
+    }
+    Row row;
+    row.name = name;
+    row.queries = num_queries;
+    std::vector<net::ClientQueryResult> results(num_queries);
+    row.wall_seconds = TimeIt([&] {
+      for (size_t i = 0; i < num_queries; ++i) {
+        results[i] = client.Query(BindQuery(queries[i], prototype));
+      }
+    });
+    for (size_t i = 0; i < num_queries; ++i) {
+      row.identical = row.identical && results[i].status.ok() &&
+                      SameResults(results[i].columns, oracle[i]);
+    }
+    row.qps =
+        static_cast<double>(num_queries) / std::max(row.wall_seconds, 1e-9);
+    row.bytes_per_query =
+        static_cast<double>(client.bytes_sent() + client.bytes_received()) /
+        static_cast<double>(num_queries);
+    rows.push_back(row);
+    std::printf("%12s %10zu %12.4f %12.1f %16.0f %10s\n", name, num_queries,
+                row.wall_seconds, row.qps, row.bytes_per_query,
+                row.identical ? "yes" : "NO");
+  };
+
+  run("threshold", threshold);
+  run("topk", topk);
+
+  server.Shutdown();
+  WriteNetBenchJson(parts.num_partitions(), rows);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pexeso::bench
+
+int main() {
+  using namespace pexeso::bench;
+  Banner("bench_net: loopback wire-protocol serving overhead",
+         "the serving-layer path of the paper's online phase");
+  NetExperiment();
+  return 0;
+}

@@ -7,12 +7,35 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 
 #include "datagen/vector_lake.h"
+#include "lake/lake_manager.h"
 #include "partition/partitioned_pexeso.h"
 #include "serve/index_cache.h"
 #include "serve/serve_session.h"
+
+namespace {
+
+/// A streaming consumer that surfaces degraded-mode serving: OnPartStatus
+/// names each part whose contribution is missing while the healthy parts'
+/// answer still arrives through OnColumn.
+struct DegradationPrintingSink final : pexeso::ResultSink {
+  size_t columns = 0;
+  void OnColumn(pexeso::JoinableColumn&&) override { ++columns; }
+  void OnPartStatus(size_t part, const pexeso::Status& status) override {
+    std::printf("  [part %zu] missing from this answer: %s\n", part,
+                status.ToString().c_str());
+  }
+  void OnDone(const pexeso::Status& status) override {
+    std::printf("  done: %s — %zu joinable column(s) from the healthy "
+                "parts\n",
+                status.ok() ? "OK" : status.ToString().c_str(), columns);
+  }
+};
+
+}  // namespace
 
 int main() {
   using namespace pexeso;
@@ -130,5 +153,64 @@ int main() {
               kQueries * parts.num_partitions(),
               static_cast<unsigned long long>(cs.misses));
   fs::remove_all(dir);
+
+  // 6. Degraded-mode serving: a live lake whose part base goes bad on disk
+  // keeps answering from the healthy parts, reporting exactly what is
+  // missing through ResultSink::OnPartStatus instead of failing the query.
+  std::printf("\ndegraded-mode serving (one part base corrupted on disk):\n");
+  const std::string lake_dir =
+      (fs::temp_directory_path() / "pexeso_example_lake").string();
+  fs::remove_all(lake_dir);
+  VectorLakeOptions small_opts = lake_opts;
+  small_opts.num_columns = 90;
+  ColumnCatalog lake_catalog = GenerateVectorLake(small_opts);
+  PartitionAssignment lake_assignment(lake_catalog.num_columns());
+  for (uint32_t c = 0; c < lake_catalog.num_columns(); ++c) {
+    lake_assignment[c] = c % 3;
+  }
+  lake::LakeOptions lopts;
+  lopts.index_options = opts;
+  std::string victim_base;
+  {
+    auto created = lake::LakeManager::Create(lake_catalog, lake_assignment,
+                                             lake_dir, &metric, lopts);
+    if (!created.ok()) {
+      std::fprintf(stderr, "lake create failed: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    auto manager = std::move(created).ValueOrDie();
+    victim_base = manager->PartPath(0, manager->generation(0));
+  }
+  {
+    // Scribble over the middle of part 0's base: the CRC-checked loader
+    // will reject it on the next open.
+    std::fstream f(victim_base,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(512);
+    f.write("\xde\xad\xbe\xef", 4);
+  }
+  auto reopened = lake::LakeManager::Open(lake_dir, &metric, lopts);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "lake reopen failed: %s\n",
+                 reopened.status().ToString().c_str());
+    return 1;
+  }
+  auto lake = std::move(reopened).ValueOrDie();
+  std::printf("  recovery quarantined %zu part(s)\n",
+              lake->Health().quarantined_parts);
+  JoinQuery degraded_jq;
+  degraded_jq.vectors = &queries[0];
+  degraded_jq.thresholds = thresholds;
+  SearchStats degraded_stats;
+  DegradationPrintingSink degradation_sink;
+  lake->Execute(degraded_jq, &degradation_sink, &degraded_stats);
+  std::printf("  (stats: %llu partial response(s), %llu quarantined "
+              "part(s) encountered)\n",
+              static_cast<unsigned long long>(
+                  degraded_stats.partial_responses),
+              static_cast<unsigned long long>(
+                  degraded_stats.parts_quarantined));
+  fs::remove_all(lake_dir);
   return 0;
 }

@@ -15,6 +15,7 @@ const char* CodeName(Status::Code code) {
     case Status::Code::kInternal: return "Internal";
     case Status::Code::kCancelled: return "Cancelled";
     case Status::Code::kDeadlineExceeded: return "DeadlineExceeded";
+    case Status::Code::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -24,6 +24,10 @@ class Status {
     kInternal,
     kCancelled,
     kDeadlineExceeded,
+    /// A budget, not a fault: the callee is over its admission/queue limits
+    /// right now and rejected the work without starting it. The canonical
+    /// client reaction is back off and retry, not bug-report.
+    kResourceExhausted,
   };
 
   /// Constructs an OK status.
@@ -56,6 +60,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

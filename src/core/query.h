@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -93,6 +94,17 @@ class Deadline {
 
   bool expired() const {
     return has_deadline() && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// Seconds until expiry (<= 0 once expired); +infinity without a
+  /// deadline. Absolute steady_clock points do not cross process
+  /// boundaries, so the wire protocol serializes a deadline as its
+  /// remaining budget and the receiver re-anchors it with After().
+  double remaining_seconds() const {
+    if (!has_deadline()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(at_ -
+                                         std::chrono::steady_clock::now())
+        .count();
   }
 
  private:

@@ -1,0 +1,124 @@
+#include "net/admission.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pexeso::net {
+
+const TenantBudget& AdmissionController::BudgetFor(
+    const std::string& tenant) const {
+  auto it = options_.tenants.find(tenant);
+  return it != options_.tenants.end() ? it->second : options_.default_budget;
+}
+
+bool AdmissionController::HasRunHeadroomLocked(
+    const std::string& tenant) const {
+  if (options_.global_max_inflight != 0 &&
+      running_.size() >= options_.global_max_inflight) {
+    return false;
+  }
+  auto it = tenant_inflight_.find(tenant);
+  const size_t inflight = it != tenant_inflight_.end() ? it->second : 0;
+  return inflight < BudgetFor(tenant).max_inflight;
+}
+
+AdmitDecision AdmissionController::Admit(uint64_t id,
+                                         const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantCounters& tc = tenant_counters_[tenant];
+  // A freed slot always drains the queue before Admit can observe headroom
+  // (OnComplete promotes under the same mutex), so running past parked
+  // jobs here cannot happen — but keep arrival order honest anyway: a new
+  // job never jumps a non-empty queue.
+  if (queue_.empty() && HasRunHeadroomLocked(tenant)) {
+    running_.emplace(id, tenant);
+    ++tenant_inflight_[tenant];
+    ++admitted_;
+    ++tc.admitted;
+    return AdmitDecision::kRun;
+  }
+  const size_t queued = tenant_queued_[tenant];
+  const bool global_queue_full =
+      options_.global_max_queued != 0 &&
+      queue_.size() >= options_.global_max_queued;
+  if (global_queue_full || queued >= BudgetFor(tenant).max_queued) {
+    ++rejected_;
+    ++tc.rejected;
+    return AdmitDecision::kReject;
+  }
+  queue_.push_back(QueuedJob{id, tenant});
+  ++tenant_queued_[tenant];
+  ++admitted_;
+  ++queued_total_;
+  ++tc.admitted;
+  ++tc.queued;
+  return AdmitDecision::kQueue;
+}
+
+std::vector<uint64_t> AdmissionController::OnComplete(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = running_.find(id);
+  std::vector<uint64_t> promoted;
+  if (it == running_.end()) return promoted;
+  auto inflight_it = tenant_inflight_.find(it->second);
+  if (inflight_it != tenant_inflight_.end() && inflight_it->second > 0) {
+    --inflight_it->second;
+  }
+  ++completed_;
+  ++tenant_counters_[it->second].completed;
+  running_.erase(it);
+
+  // Front-first eligibility scan: the oldest queued job whose tenant has
+  // headroom wins each freed slot; ineligible jobs are skipped (not
+  // dropped) so one saturated tenant cannot dam the whole queue.
+  for (auto q = queue_.begin(); q != queue_.end();) {
+    if (!HasRunHeadroomLocked(q->tenant)) {
+      ++q;
+      continue;
+    }
+    running_.emplace(q->id, q->tenant);
+    ++tenant_inflight_[q->tenant];
+    auto queued_it = tenant_queued_.find(q->tenant);
+    if (queued_it != tenant_queued_.end() && queued_it->second > 0) {
+      --queued_it->second;
+    }
+    promoted.push_back(q->id);
+    q = queue_.erase(q);
+  }
+  return promoted;
+}
+
+bool AdmissionController::Abandon(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto q = queue_.begin(); q != queue_.end(); ++q) {
+    if (q->id != id) continue;
+    auto queued_it = tenant_queued_.find(q->tenant);
+    if (queued_it != tenant_queued_.end() && queued_it->second > 0) {
+      --queued_it->second;
+    }
+    queue_.erase(q);
+    return true;
+  }
+  return false;
+}
+
+AdmissionSnapshot AdmissionController::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionSnapshot s;
+  s.inflight = running_.size();
+  s.queue_depth = queue_.size();
+  s.admitted = admitted_;
+  s.queued = queued_total_;
+  s.rejected = rejected_;
+  s.completed = completed_;
+  s.tenants = tenant_counters_;
+  for (auto& [tenant, tc] : s.tenants) {
+    auto inflight_it = tenant_inflight_.find(tenant);
+    tc.inflight = inflight_it != tenant_inflight_.end() ? inflight_it->second : 0;
+    auto queued_it = tenant_queued_.find(tenant);
+    tc.queue_depth = queued_it != tenant_queued_.end() ? queued_it->second : 0;
+  }
+  return s;
+}
+
+}  // namespace pexeso::net

@@ -1,0 +1,121 @@
+#ifndef PEXESO_NET_ADMISSION_H_
+#define PEXESO_NET_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pexeso::net {
+
+/// Per-tenant execution budget. A tenant over its running budget queues; a
+/// tenant over both budgets is rejected with kResourceExhausted.
+struct TenantBudget {
+  size_t max_inflight = 4;
+  size_t max_queued = 16;
+};
+
+struct AdmissionOptions {
+  /// Budget for tenants without an explicit entry in `tenants`.
+  TenantBudget default_budget;
+  /// Named overrides (tenant id -> budget).
+  std::map<std::string, TenantBudget> tenants;
+  /// Server-wide ceilings across all tenants (0 = unlimited). A fair
+  /// per-tenant split can still oversubscribe the box; these cap the sum.
+  size_t global_max_inflight = 0;
+  size_t global_max_queued = 0;
+  /// Applied to arriving queries that carry no deadline of their own
+  /// (<= 0 disables). A serving box should never run unbounded work on
+  /// behalf of a client that forgot to set a budget.
+  double default_deadline_ms = 0.0;
+};
+
+/// What Admit decided for one arriving query.
+enum class AdmitDecision {
+  kRun,    ///< under budget: start it now
+  kQueue,  ///< running budget full, queue space left: parked FIFO
+  kReject, ///< both budgets full: kResourceExhausted back to the client
+};
+
+/// Point-in-time counters for the STATS verb.
+struct TenantCounters {
+  uint64_t admitted = 0;   ///< decisions that were kRun or kQueue
+  uint64_t queued = 0;     ///< decisions that were kQueue
+  uint64_t rejected = 0;   ///< decisions that were kReject
+  uint64_t completed = 0;  ///< OnComplete calls
+  size_t inflight = 0;     ///< currently running
+  size_t queue_depth = 0;  ///< currently parked
+};
+
+struct AdmissionSnapshot {
+  size_t inflight = 0;
+  size_t queue_depth = 0;
+  uint64_t admitted = 0;
+  uint64_t queued = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  std::map<std::string, TenantCounters> tenants;
+};
+
+/// \brief Passive (mutex-guarded, no threads of its own) admission ledger
+/// for the server. The caller owns execution: Admit() classifies one
+/// arriving query, OnComplete() retires a running one and returns the
+/// queued job ids that became eligible — in global FIFO order — for the
+/// caller to start. Job ids are caller-assigned and opaque.
+///
+/// Queueing is one global FIFO with eligibility promotion: a queued job is
+/// promoted when its tenant has running headroom AND the global cap has
+/// room. Promotion scans front-first, so among eligible jobs the oldest
+/// always wins (the deterministic FIFO-drain the tests pin down), while a
+/// blocked tenant's jobs cannot starve another tenant's behind them.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(std::move(options)) {}
+
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Classifies job `id` from `tenant`; on kRun the job counts as running
+  /// immediately, on kQueue it is parked until a promotion returns it.
+  AdmitDecision Admit(uint64_t id, const std::string& tenant);
+
+  /// Retires a running job. Returns the queued jobs promoted to running by
+  /// the freed slot (already accounted as running; the caller must start
+  /// them or hand each back via OnComplete).
+  std::vector<uint64_t> OnComplete(uint64_t id);
+
+  /// Drops a parked job (client went away before it ran). Returns true if
+  /// the job was found in the queue. Running jobs are not Abandon-able:
+  /// cancel them and let execution reach OnComplete.
+  bool Abandon(uint64_t id);
+
+  AdmissionSnapshot Snapshot() const;
+
+ private:
+  struct QueuedJob {
+    uint64_t id;
+    std::string tenant;
+  };
+
+  const TenantBudget& BudgetFor(const std::string& tenant) const;
+  bool HasRunHeadroomLocked(const std::string& tenant) const;
+
+  AdmissionOptions options_;
+
+  mutable std::mutex mu_;
+  std::deque<QueuedJob> queue_;
+  std::map<uint64_t, std::string> running_;  ///< job id -> tenant
+  std::map<std::string, size_t> tenant_inflight_;
+  std::map<std::string, size_t> tenant_queued_;
+  std::map<std::string, TenantCounters> tenant_counters_;
+  uint64_t admitted_ = 0;
+  uint64_t queued_total_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace pexeso::net
+
+#endif  // PEXESO_NET_ADMISSION_H_

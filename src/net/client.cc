@@ -1,0 +1,248 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pexeso::net {
+
+PexesoClient::~PexesoClient() { Close(); }
+
+void PexesoClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status PexesoClient::Connect(const std::string& host, uint16_t port,
+                             const std::string& tenant) {
+  if (fd_ >= 0) return Status::InvalidArgument("already connected");
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    Close();
+    return Status::IoError(std::string("connect failed: ") + strerror(err));
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::string hello;
+  EncodeHello(HelloMsg{kProtocolVersion, tenant}, &hello);
+  PEXESO_RETURN_NOT_OK(SendBytes(hello));
+  Frame frame;
+  PEXESO_RETURN_NOT_OK(ReadFrame(&frame));
+  if (frame.type == FrameType::kError) {
+    ErrorMsg err;
+    const Status st = DecodeError(frame.payload, &err);
+    Close();
+    return st.ok() ? err.status : st;
+  }
+  if (frame.type != FrameType::kHelloAck) {
+    Close();
+    return Status::Corruption("expected HELLO ack");
+  }
+  const Status st = DecodeHelloAck(frame.payload, &server_info_);
+  if (!st.ok()) Close();
+  return st;
+}
+
+Status PexesoClient::SendBytes(const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IoError("send failed (server gone?)");
+  }
+  bytes_sent_ += bytes.size();
+  return Status::OK();
+}
+
+Status PexesoClient::ReadFrame(Frame* frame) {
+  for (;;) {
+    bool has_frame = false;
+    PEXESO_RETURN_NOT_OK(decoder_.Next(frame, &has_frame));
+    if (has_frame) return Status::OK();
+    char buf[64 * 1024];
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      bytes_received_ += static_cast<uint64_t>(n);
+      decoder_.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IoError("connection closed by server");
+  }
+}
+
+Result<uint64_t> PexesoClient::SendQuery(const JoinQuery& query) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  const uint64_t id = next_query_id_++;
+  Pending& p = pending_[id];
+  p.mode = query.mode;
+  p.k = query.k;
+  std::string bytes;
+  EncodeJoinQuery(id, query, &bytes);
+  const Status st = SendBytes(bytes);
+  if (!st.ok()) {
+    pending_.erase(id);
+    return st;
+  }
+  return id;
+}
+
+Status PexesoClient::Cancel(uint64_t query_id) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  std::string bytes;
+  EncodeCancel(CancelMsg{query_id}, &bytes);
+  return SendBytes(bytes);
+}
+
+Status PexesoClient::DispatchFrame(Frame&& frame, std::string* stats_text,
+                                   bool* got_stats) {
+  switch (frame.type) {
+    case FrameType::kChunk: {
+      ChunkMsg msg;
+      PEXESO_RETURN_NOT_OK(DecodeChunk(frame.payload, &msg));
+      auto it = pending_.find(msg.query_id);
+      if (it == pending_.end()) return Status::OK();  // stale: ignore
+      Pending& p = it->second;
+      if (p.part_columns.size() < msg.parts_total) {
+        p.part_columns.resize(msg.parts_total);
+      }
+      if (msg.part < p.part_columns.size()) {
+        p.part_columns[msg.part] = std::move(msg.columns);
+      }
+      if (!msg.status.ok()) {
+        p.part_statuses.emplace_back(msg.part, msg.status);
+      }
+      return Status::OK();
+    }
+    case FrameType::kDone: {
+      DoneMsg msg;
+      PEXESO_RETURN_NOT_OK(DecodeDone(frame.payload, &msg));
+      auto it = pending_.find(msg.query_id);
+      if (it == pending_.end()) return Status::OK();
+      it->second.done = true;
+      it->second.status = msg.status;
+      it->second.merge_parts = msg.merge_parts;
+      it->second.stats = msg.stats;
+      return Status::OK();
+    }
+    case FrameType::kStatsText: {
+      if (stats_text != nullptr) {
+        PEXESO_RETURN_NOT_OK(DecodeStatsText(frame.payload, stats_text));
+        if (got_stats != nullptr) *got_stats = true;
+      }
+      return Status::OK();
+    }
+    case FrameType::kError: {
+      ErrorMsg err;
+      const Status st = DecodeError(frame.payload, &err);
+      // The server hangs up after an error frame; everything pending dies.
+      Close();
+      return st.ok() ? err.status : st;
+    }
+    default:
+      Close();
+      return Status::Corruption("unexpected frame type from server");
+  }
+}
+
+ClientQueryResult PexesoClient::TakeResult(uint64_t query_id) {
+  ClientQueryResult result;
+  auto it = pending_.find(query_id);
+  if (it == pending_.end()) {
+    result.status = Status::Internal("no such pending query");
+    return result;
+  }
+  Pending& p = it->second;
+  result.status = p.status;
+  result.stats = p.stats;
+  result.part_statuses = std::move(p.part_statuses);
+  // Part order is the deterministic reassembly order regardless of how the
+  // chunks raced on the wire; the merge then mirrors ServeSession's
+  // FinalizeLocked exactly.
+  if (result.status.ok() || result.status.interrupted()) {
+    for (auto& chunk : p.part_columns) {
+      result.columns.insert(result.columns.end(),
+                            std::make_move_iterator(chunk.begin()),
+                            std::make_move_iterator(chunk.end()));
+    }
+    if (p.merge_parts) {
+      JoinQuery merge_query;
+      merge_query.mode = p.mode;
+      merge_query.k = p.k;
+      FinishQueryMerge(merge_query, &result.columns);
+    }
+  }
+  pending_.erase(it);
+  return result;
+}
+
+ClientQueryResult PexesoClient::AwaitDone(uint64_t query_id) {
+  ClientQueryResult failed;
+  for (;;) {
+    {
+      auto it = pending_.find(query_id);
+      if (it == pending_.end()) {
+        failed.status = Status::Internal("no such pending query");
+        return failed;
+      }
+      if (it->second.done) return TakeResult(query_id);
+    }
+    Frame frame;
+    Status st = ReadFrame(&frame);
+    if (st.ok()) st = DispatchFrame(std::move(frame), nullptr, nullptr);
+    if (!st.ok()) {
+      pending_.erase(query_id);
+      failed.status = st;
+      return failed;
+    }
+  }
+}
+
+ClientQueryResult PexesoClient::Query(const JoinQuery& query) {
+  Result<uint64_t> id = SendQuery(query);
+  if (!id.ok()) {
+    ClientQueryResult failed;
+    failed.status = id.status();
+    return failed;
+  }
+  return AwaitDone(id.value());
+}
+
+Result<std::string> PexesoClient::Stats() {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  std::string request;
+  EncodeStatsRequest(&request);
+  PEXESO_RETURN_NOT_OK(SendBytes(request));
+  std::string text;
+  bool got = false;
+  while (!got) {
+    Frame frame;
+    PEXESO_RETURN_NOT_OK(ReadFrame(&frame));
+    PEXESO_RETURN_NOT_OK(DispatchFrame(std::move(frame), &text, &got));
+  }
+  return text;
+}
+
+}  // namespace pexeso::net

@@ -1,0 +1,140 @@
+#include "net/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace pexeso::net {
+
+Connection::Connection(EventLoop* loop, int fd, uint64_t id,
+                       size_t max_frame_payload, FrameHandler on_frame,
+                       CloseHandler on_close)
+    : loop_(loop),
+      fd_(fd),
+      id_(id),
+      on_frame_(std::move(on_frame)),
+      on_close_(std::move(on_close)),
+      decoder_(max_frame_payload) {}
+
+Connection::~Connection() {
+  if (!closed_ && fd_ >= 0) close(fd_);
+}
+
+void Connection::Register() {
+  loop_->Add(fd_, FdInterest{/*read=*/true, /*write=*/false},
+             [this](FdInterest ready) { OnReady(ready); });
+}
+
+void Connection::OnReady(FdInterest ready) {
+  if (closed_) return;
+  if (ready.write) HandleWritable();
+  if (closed_) return;
+  if (ready.read) HandleReadable();
+}
+
+void Connection::HandleReadable() {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      bytes_in_.fetch_add(static_cast<uint64_t>(n),
+                          std::memory_order_relaxed);
+      decoder_.Append(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {  // orderly peer shutdown
+      Close();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    Close();
+    return;
+  }
+
+  Frame frame;
+  bool has_frame = false;
+  for (;;) {
+    const Status st = decoder_.Next(&frame, &has_frame);
+    if (!st.ok()) {
+      SendErrorAndClose(st);
+      return;
+    }
+    if (!has_frame) return;
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    on_frame_(this, std::move(frame));
+    if (closed_) return;  // the handler may close (e.g. protocol violation)
+  }
+}
+
+void Connection::Send(std::string bytes) {
+  if (closed_ || close_after_flush_) return;
+  if (outbuf_.empty()) {
+    outbuf_ = std::move(bytes);
+    outbuf_sent_ = 0;
+  } else {
+    outbuf_.append(bytes);
+  }
+  HandleWritable();
+}
+
+void Connection::SendErrorAndClose(const Status& status) {
+  if (closed_) return;
+  std::string frame;
+  EncodeError(ErrorMsg{status}, &frame);
+  if (outbuf_.empty()) {
+    outbuf_ = std::move(frame);
+    outbuf_sent_ = 0;
+  } else {
+    outbuf_.append(frame);
+  }
+  close_after_flush_ = true;
+  HandleWritable();
+}
+
+void Connection::HandleWritable() {
+  while (outbuf_sent_ < outbuf_.size()) {
+    // MSG_NOSIGNAL: a peer that vanished mid-stream must surface as EPIPE,
+    // not kill the server process with SIGPIPE.
+    const ssize_t n = send(fd_, outbuf_.data() + outbuf_sent_,
+                           outbuf_.size() - outbuf_sent_, MSG_NOSIGNAL);
+    if (n > 0) {
+      outbuf_sent_ += static_cast<size_t>(n);
+      bytes_out_.fetch_add(static_cast<uint64_t>(n),
+                           std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      UpdateInterest();
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Close();
+    return;
+  }
+  outbuf_.clear();
+  outbuf_sent_ = 0;
+  if (close_after_flush_) {
+    Close();
+    return;
+  }
+  UpdateInterest();
+}
+
+void Connection::UpdateInterest() {
+  loop_->Update(fd_, FdInterest{/*read=*/!close_after_flush_,
+                                /*write=*/outbuf_sent_ < outbuf_.size()});
+}
+
+void Connection::Close() {
+  if (closed_) return;
+  closed_ = true;
+  loop_->Remove(fd_);
+  close(fd_);
+  fd_ = -1;
+  if (on_close_) on_close_(this);
+}
+
+}  // namespace pexeso::net

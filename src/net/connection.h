@@ -1,0 +1,98 @@
+#ifndef PEXESO_NET_CONNECTION_H_
+#define PEXESO_NET_CONNECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "net/event_loop.h"
+#include "net/wire.h"
+
+namespace pexeso::net {
+
+/// \brief One accepted TCP connection: the read side feeds a FrameDecoder
+/// and hands complete frames up; the write side owns an output buffer with
+/// partial-flush handling (POLLOUT interest appears only while bytes are
+/// pending, the classic level-triggered discipline).
+///
+/// Every member is loop-thread-only. Worker threads that want to send on a
+/// connection Post() a closure to the loop; the server enforces this.
+class Connection {
+ public:
+  using FrameHandler = std::function<void(Connection*, Frame&&)>;
+  /// Fires exactly once, after the fd is closed and removed from the loop.
+  /// The Connection object is still alive during the call and is deleted by
+  /// the owner afterwards.
+  using CloseHandler = std::function<void(Connection*)>;
+
+  Connection(EventLoop* loop, int fd, uint64_t id, size_t max_frame_payload,
+             FrameHandler on_frame, CloseHandler on_close);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Registers the fd with the loop (read interest). Call once.
+  void Register();
+
+  /// Queues raw bytes (already frame-encoded) and flushes what the socket
+  /// accepts now; the rest drains on POLLOUT.
+  void Send(std::string bytes);
+
+  /// Sends one kError frame and closes once it has drained. The protocol's
+  /// answer to a malformed stream: tell the peer why, then hang up.
+  void SendErrorAndClose(const Status& status);
+
+  /// Closes now, dropping any unsent bytes. Fires the close handler.
+  void Close();
+
+  uint64_t id() const { return id_; }
+  bool closed() const { return closed_; }
+  // Byte/frame counters are atomics (relaxed) solely so the metrics
+  // endpoint can read them off-loop without a data race; only the loop
+  // thread writes them.
+  uint64_t bytes_in() const {
+    return bytes_in_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_out() const {
+    return bytes_out_.load(std::memory_order_relaxed);
+  }
+  uint64_t frames_in() const {
+    return frames_in_.load(std::memory_order_relaxed);
+  }
+
+  /// Session state the server sets after the HELLO handshake.
+  const std::string& tenant() const { return tenant_; }
+  void set_tenant(std::string t) { tenant_ = std::move(t); }
+  bool hello_done() const { return hello_done_; }
+  void set_hello_done() { hello_done_ = true; }
+
+ private:
+  void OnReady(FdInterest ready);
+  void HandleReadable();
+  void HandleWritable();
+  void UpdateInterest();
+
+  EventLoop* loop_;
+  int fd_;
+  uint64_t id_;
+  FrameHandler on_frame_;
+  CloseHandler on_close_;
+  FrameDecoder decoder_;
+  std::string outbuf_;
+  size_t outbuf_sent_ = 0;
+  bool close_after_flush_ = false;
+  bool closed_ = false;
+  bool hello_done_ = false;
+  std::string tenant_;
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> frames_in_{0};
+};
+
+}  // namespace pexeso::net
+
+#endif  // PEXESO_NET_CONNECTION_H_

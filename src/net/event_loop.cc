@@ -1,0 +1,127 @@
+#include "net/event_loop.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pexeso::net {
+
+namespace {
+
+uint64_t ThisThreadId() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  PEXESO_CHECK(pipe(wake_pipe_) == 0);
+  SetNonBlocking(wake_pipe_[0]);
+  SetNonBlocking(wake_pipe_[1]);
+}
+
+EventLoop::~EventLoop() {
+  if (wake_pipe_[0] >= 0) close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) close(wake_pipe_[1]);
+}
+
+bool EventLoop::OnLoopThread() const {
+  return loop_thread_id_.load(std::memory_order_relaxed) == ThisThreadId();
+}
+
+void EventLoop::Add(int fd, FdInterest interest, FdCallback cb) {
+  watches_[fd] = Watch{interest, std::move(cb)};
+}
+
+void EventLoop::Update(int fd, FdInterest interest) {
+  auto it = watches_.find(fd);
+  if (it != watches_.end()) it->second.interest = interest;
+}
+
+void EventLoop::Remove(int fd) { watches_.erase(fd); }
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  Wake();
+}
+
+void EventLoop::Wake() {
+  const char byte = 1;
+  // A full pipe already guarantees a pending wake-up; EAGAIN is fine.
+  [[maybe_unused]] ssize_t n = write(wake_pipe_[1], &byte, 1);
+}
+
+void EventLoop::DrainWakePipe() {
+  char buf[256];
+  while (read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+  }
+}
+
+void EventLoop::RunPosted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  Wake();
+}
+
+void EventLoop::Run() {
+  loop_thread_id_.store(ThisThreadId(), std::memory_order_relaxed);
+  std::vector<pollfd> pfds;
+  std::vector<int> fds;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pfds.clear();
+    fds.clear();
+    pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    fds.push_back(wake_pipe_[0]);
+    for (const auto& [fd, watch] : watches_) {
+      short events = 0;
+      if (watch.interest.read) events |= POLLIN;
+      if (watch.interest.write) events |= POLLOUT;
+      if (events == 0) continue;
+      pfds.push_back(pollfd{fd, events, 0});
+      fds.push_back(fd);
+    }
+    const int rc = poll(pfds.data(), pfds.size(), /*timeout_ms=*/1000);
+    if (rc < 0) continue;  // EINTR: just re-poll
+
+    if (pfds[0].revents != 0) DrainWakePipe();
+    RunPosted();
+
+    for (size_t i = 1; i < pfds.size(); ++i) {
+      if (pfds[i].revents == 0) continue;
+      // A callback may Remove any fd (including its own); dispatch only to
+      // watches that still exist at fire time.
+      auto it = watches_.find(fds[i]);
+      if (it == watches_.end()) continue;
+      FdInterest ready;
+      ready.read = (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+      ready.write = (pfds[i].revents & (POLLOUT | POLLERR)) != 0;
+      // Copy the callback: it may Remove(fd) and invalidate `it`.
+      FdCallback cb = it->second.cb;
+      cb(ready);
+    }
+  }
+  loop_thread_id_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pexeso::net

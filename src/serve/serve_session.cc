@@ -12,7 +12,8 @@ namespace pexeso::serve {
 struct ServeSession::QueryState {
   uint64_t ticket = 0;
   JoinQuery query;
-  ChunkCallback on_chunk;  ///< null for non-streaming submits
+  ChunkCallback on_chunk;      ///< null for non-streaming submits
+  OutcomeCallback on_outcome;  ///< null unless push-notified streaming
   bool want_future = false;
   std::promise<QueryOutcome> promise;
   /// kTopK: the running cross-part floor. A part that returns a full local
@@ -75,18 +76,24 @@ ServeSession::~ServeSession() { group_.Wait(); }
 
 std::future<QueryOutcome> ServeSession::Submit(JoinQuery query) {
   std::future<QueryOutcome> future;
-  Enqueue(std::move(query), nullptr, /*want_future=*/true, &future);
+  Enqueue(std::move(query), nullptr, nullptr, /*want_future=*/true, &future);
   return future;
 }
 
 uint64_t ServeSession::SubmitStreaming(JoinQuery query,
                                        ChunkCallback on_chunk) {
-  return Enqueue(std::move(query), std::move(on_chunk),
+  return Enqueue(std::move(query), std::move(on_chunk), nullptr,
                  /*want_future=*/false, nullptr);
 }
 
+uint64_t ServeSession::SubmitStreaming(JoinQuery query, ChunkCallback on_chunk,
+                                       OutcomeCallback on_outcome) {
+  return Enqueue(std::move(query), std::move(on_chunk),
+                 std::move(on_outcome), /*want_future=*/false, nullptr);
+}
+
 uint64_t ServeSession::Enqueue(JoinQuery query, ChunkCallback on_chunk,
-                               bool want_future,
+                               OutcomeCallback on_outcome, bool want_future,
                                std::future<QueryOutcome>* future_out) {
   PEXESO_CHECK(query.vectors != nullptr);
   auto state = std::make_unique<QueryState>();
@@ -106,6 +113,7 @@ uint64_t ServeSession::Enqueue(JoinQuery query, ChunkCallback on_chunk,
     }
   }
   state->on_chunk = std::move(on_chunk);
+  state->on_outcome = std::move(on_outcome);
   state->want_future = want_future;
   if (want_future) *future_out = state->promise.get_future();
   state->parts_total =
@@ -122,6 +130,7 @@ uint64_t ServeSession::Enqueue(JoinQuery query, ChunkCallback on_chunk,
     raw->ticket = queries_.size();
     queries_.push_back(std::move(state));
   }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   for (size_t part = 0; part < raw->parts_total; ++part) {
     group_.Submit([this, raw, part] { RunPart(raw, part); });
   }
@@ -196,29 +205,45 @@ void ServeSession::RunPart(QueryState* state, size_t part) const {
     chunk.results = state->part_results[part];
   }
 
-  std::lock_guard<std::mutex> lock(state->mu);
-  const bool last = ++state->parts_done == state->parts_total;
-  if (state->on_chunk != nullptr) {
-    chunk.last = last;
-    // A throwing consumer must not escape into the pool's error slot (it
-    // would surface from an unrelated Wait, or never): it marks this part
-    // — and therefore the query outcome — failed instead. Running the
-    // callback before finalize means even a last-chunk throw is folded in.
-    try {
-      state->on_chunk(chunk);
-    } catch (const std::exception& e) {
-      if (state->part_status[part].ok()) {
-        state->part_status[part] =
-            Status::Internal(std::string("stream callback threw: ") +
-                             e.what());
-      }
-    } catch (...) {
-      if (state->part_status[part].ok()) {
-        state->part_status[part] = Status::Internal("stream callback threw");
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    last = ++state->parts_done == state->parts_total;
+    if (state->on_chunk != nullptr) {
+      chunk.last = last;
+      // A throwing consumer must not escape into the pool's error slot (it
+      // would surface from an unrelated Wait, or never): it marks this part
+      // — and therefore the query outcome — failed instead. Running the
+      // callback before finalize means even a last-chunk throw is folded in.
+      try {
+        state->on_chunk(chunk);
+      } catch (const std::exception& e) {
+        if (state->part_status[part].ok()) {
+          state->part_status[part] =
+              Status::Internal(std::string("stream callback threw: ") +
+                               e.what());
+        }
+      } catch (...) {
+        if (state->part_status[part].ok()) {
+          state->part_status[part] = Status::Internal("stream callback threw");
+        }
       }
     }
+    if (last) FinalizeLocked(state);
   }
-  if (last) FinalizeLocked(state);
+  if (!last) return;
+  finished_.fetch_add(1, std::memory_order_relaxed);
+  // Fired after every lock is dropped: the outcome is immutable once
+  // finalized, and the callback may re-enter the session (e.g. to submit a
+  // query an admission controller just promoted) without a lock cycle.
+  if (state->on_outcome != nullptr) {
+    try {
+      state->on_outcome(state->outcome);
+    } catch (...) {
+      // Nothing left to attach the failure to: the outcome is already
+      // final. Swallowing beats corrupting the pool's error slot.
+    }
+  }
 }
 
 void ServeSession::FinalizeLocked(QueryState* state) {

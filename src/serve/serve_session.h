@@ -60,6 +60,11 @@ struct QueryOutcome {
 
 using ChunkCallback = std::function<void(const StreamChunk&)>;
 
+/// Fired once per streaming query, after its last chunk callback, with the
+/// final merged outcome (what Drain() would report for this ticket). Runs
+/// on the pool thread that finished the last part.
+using OutcomeCallback = std::function<void(const QueryOutcome&)>;
+
 /// \brief Async query session over one shared read-only engine: the online
 /// half of the serving layer.
 ///
@@ -114,16 +119,36 @@ class ServeSession {
   /// the query's ticket (its index in Drain()'s output).
   uint64_t SubmitStreaming(JoinQuery query, ChunkCallback on_chunk);
 
+  /// Push-notified variant for callers that must react to completion
+  /// without blocking a thread per query (the network server): `on_outcome`
+  /// fires on a pool thread once the query's outcome is final — strictly
+  /// after the last chunk callback, never while any session or query lock
+  /// is held, so it may freely submit follow-up queries. Note a concurrent
+  /// Drain() may observe (and return) the outcome before the callback runs.
+  uint64_t SubmitStreaming(JoinQuery query, ChunkCallback on_chunk,
+                           OutcomeCallback on_outcome);
+
   /// Blocks until every submitted query has finished and returns all
   /// outcomes so far in submission order (ticket order).
   std::vector<QueryOutcome> Drain();
 
   size_t num_threads() const { return pool_->num_threads(); }
 
+  /// Queue-depth introspection for the serving layer's metrics endpoint.
+  /// inflight = accepted but not yet finalized.
+  uint64_t queries_submitted() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t queries_inflight() const {
+    return submitted_.load(std::memory_order_relaxed) -
+           finished_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct QueryState;
 
-  uint64_t Enqueue(JoinQuery query, ChunkCallback on_chunk, bool want_future,
+  uint64_t Enqueue(JoinQuery query, ChunkCallback on_chunk,
+                   OutcomeCallback on_outcome, bool want_future,
                    std::future<QueryOutcome>* future_out);
 
   /// Pool task: search one part of one query, emit its chunk, and finalize
@@ -146,6 +171,8 @@ class ServeSession {
   TaskGroup group_;
   mutable std::mutex mu_;  ///< guards queries_
   std::vector<std::unique_ptr<QueryState>> queries_;
+  std::atomic<uint64_t> submitted_{0};
+  mutable std::atomic<uint64_t> finished_{0};  ///< bumped from const RunPart
 };
 
 }  // namespace pexeso::serve

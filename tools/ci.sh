@@ -60,6 +60,110 @@ if [[ -x "$BUILD_DIR/bench/bench_ingest" ]]; then
   "$BUILD_DIR/bench/bench_ingest"
 fi
 
+if [[ -x "$BUILD_DIR/bench/bench_net" ]]; then
+  # Writes BENCH_net.json (loopback wire-protocol serving: queries/sec,
+  # protocol bytes per query, parity vs the in-process engine).
+  "$BUILD_DIR/bench/bench_net"
+fi
+
+# Loopback smoke: a real pexeso_server process on an ephemeral port, a real
+# pexeso_cli client, and byte-parity between the socket round-trip and the
+# in-process search of the same partitioned index. This is the one stage
+# that exercises the shipped binaries end-to-end rather than the library.
+SMOKE_DIR="$(mktemp -d)"
+smoke_cleanup() {
+  [[ -n "${SMOKE_SERVER_PID:-}" ]] && kill "$SMOKE_SERVER_PID" 2>/dev/null
+  rm -rf "$SMOKE_DIR"
+}
+trap smoke_cleanup EXIT
+mkdir -p "$SMOKE_DIR/tables"
+cat > "$SMOKE_DIR/tables/countries.csv" <<'EOF'
+country,code
+United States,US
+Germany,DE
+France,FR
+Japan,JP
+Brazil,BR
+Canada,CA
+Australia,AU
+Spain,ES
+Italy,IT
+Norway,NO
+EOF
+cat > "$SMOKE_DIR/tables/nations.csv" <<'EOF'
+nation,capital
+United States,Washington
+Germany,Berlin
+France,Paris
+Japan,Tokyo
+Brazil,Brasilia
+Mexico,Mexico City
+Chile,Santiago
+Peru,Lima
+EOF
+cat > "$SMOKE_DIR/tables/cities.csv" <<'EOF'
+city,pop
+Berlin,3
+Paris,2
+Tokyo,13
+Lima,9
+Quito,1
+Oslo,0
+Madrid,3
+Rome,2
+EOF
+cat > "$SMOKE_DIR/query.csv" <<'EOF'
+place
+United States
+Germany
+France
+Japan
+Brazil
+Norway
+EOF
+"$BUILD_DIR/pexeso_cli" index --input "$SMOKE_DIR/tables" \
+  --output "$SMOKE_DIR/parts" --partitions 2
+"$BUILD_DIR/pexeso_server" --index "$SMOKE_DIR/parts" --port 0 \
+  > "$SMOKE_DIR/server.log" 2>&1 &
+SMOKE_SERVER_PID=$!
+SMOKE_PORT=""
+for _ in $(seq 1 100); do
+  SMOKE_PORT="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+    "$SMOKE_DIR/server.log")"
+  [[ -n "$SMOKE_PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$SMOKE_PORT" ]]; then
+  echo "loopback smoke: server never came up" >&2
+  cat "$SMOKE_DIR/server.log" >&2
+  exit 1
+fi
+"$BUILD_DIR/pexeso_cli" search --index "$SMOKE_DIR/parts" \
+  --query "$SMOKE_DIR/query.csv" | grep "global column" \
+  > "$SMOKE_DIR/local.txt"
+"$BUILD_DIR/pexeso_cli" query --connect "127.0.0.1:$SMOKE_PORT" \
+  --query "$SMOKE_DIR/query.csv" | grep "global column" \
+  > "$SMOKE_DIR/remote.txt"
+if ! diff -u "$SMOKE_DIR/local.txt" "$SMOKE_DIR/remote.txt"; then
+  echo "loopback smoke: socket results differ from in-process search" >&2
+  exit 1
+fi
+if [[ ! -s "$SMOKE_DIR/local.txt" ]]; then
+  echo "loopback smoke: no results — a vacuous parity check" >&2
+  exit 1
+fi
+"$BUILD_DIR/pexeso_cli" stats --connect "127.0.0.1:$SMOKE_PORT" \
+  > "$SMOKE_DIR/stats.txt"
+for field in queries_completed admission_inflight search_distance_computations; do
+  if ! grep -q "$field" "$SMOKE_DIR/stats.txt"; then
+    echo "loopback smoke: STATS lacks $field" >&2
+    exit 1
+  fi
+done
+kill "$SMOKE_SERVER_PID" && wait "$SMOKE_SERVER_PID" 2>/dev/null || true
+SMOKE_SERVER_PID=""
+echo "loopback smoke: OK ($(wc -l < "$SMOKE_DIR/local.txt") result lines byte-identical over the wire)"
+
 if [[ "${PEXESO_CI_SANITIZE:-1}" == "1" ]]; then
   SAN_DIR="${SAN_BUILD_DIR:-build-asan}"
   SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
@@ -77,12 +181,14 @@ if [[ "${PEXESO_CI_SANITIZE:-1}" == "1" ]]; then
   # with failpoints compiled in: the corrupted-bytes corpus and the
   # injected-fault serving paths are where an over-read of mangled input
   # would hide, and ASan is what turns "read past a truncated buffer" from
-  # silent garbage into a hard failure.
+  # silent garbage into a hard failure. net_test joins for the wire
+  # protocol: the bit-flip/truncation corpus and the malformed-frame
+  # server paths are exactly where a length-prefix over-read would live.
   cmake --build "$SAN_DIR" -j "$JOBS" \
     --target kernel_test vec_test serve_test common_test pipeline_test \
-    topk_test lake_test fault_test
+    topk_test lake_test fault_test net_test
   ctest --test-dir "$SAN_DIR" --output-on-failure --timeout 600 \
-    -R '^(kernel_test|vec_test|serve_test|common_test|pipeline_test|topk_test|lake_test|fault_test)$'
+    -R '^(kernel_test|vec_test|serve_test|common_test|pipeline_test|topk_test|lake_test|fault_test|net_test)$'
 fi
 
 if [[ "${PEXESO_CI_TSAN:-1}" == "1" ]]; then
@@ -99,10 +205,12 @@ if [[ "${PEXESO_CI_TSAN:-1}" == "1" ]]; then
   # the kTopK shared bound + cancellation tokens (topk_test), and the live
   # lake's merge-vs-search races (lake_test: background merges republish
   # snapshots while a searcher thread reads them). The explicit --timeout
-  # turns a TSan-slowed deadlock into a fast failure.
+  # turns a TSan-slowed deadlock into a fast failure. net_test joins for
+  # the server's cross-thread choreography: loop-thread connection state
+  # vs pool-thread result callbacks vs metrics reads from client threads.
   cmake --build "$TSAN_DIR" -j "$JOBS" \
     --target pipeline_test batch_runner_test serve_test common_test \
-    topk_test lake_test
+    topk_test lake_test net_test
   ctest --test-dir "$TSAN_DIR" --output-on-failure --timeout 600 \
-    -R '^(pipeline_test|batch_runner_test|serve_test|common_test|topk_test|lake_test)$'
+    -R '^(pipeline_test|batch_runner_test|serve_test|common_test|topk_test|lake_test|net_test)$'
 fi

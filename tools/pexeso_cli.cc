@@ -61,6 +61,7 @@
 #include "embed/char_gram_model.h"
 #include "embed/word_avg_model.h"
 #include "lake/fsck.h"
+#include "net/client.h"
 #include "partition/partitioned_pexeso.h"
 #include "serve/index_cache.h"
 #include "serve/serve_session.h"
@@ -241,7 +242,8 @@ std::unique_ptr<JoinSearchEngine> MakeEngine(const std::string& name,
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: pexeso_cli <index|search|batch|info|fsck> [--flags]\n"
+               "usage: pexeso_cli <index|search|batch|info|fsck|query|stats> "
+               "[--flags]\n"
                "  index  --input DIR --output FILE [--pivots N --levels M "
                "--partitions K --model chargram|wordavg --dim D "
                "--metric l2|cosine|l1]\n"
@@ -255,6 +257,10 @@ int Usage() {
                "--cache-mb MB --engine ... --model ... --dim D]\n"
                "  info   --index FILE|PARTDIR\n"
                "  fsck   LAKEDIR [--repair] [--no-crc]\n"
+               "  query  --connect HOST:PORT --query CSV [--column NAME "
+               "--tau F --t F --topk K --deadline-ms MS --mappings --stats "
+               "--tenant NAME --model ... --dim D --metric ...]\n"
+               "  stats  --connect HOST:PORT\n"
                "PARTDIR is a PartitionedPexeso directory (part-<i>.pxso): "
                "online commands then serve out-of-core through a --cache-mb "
                "budgeted index cache; --stream emits per-partition chunks "
@@ -826,6 +832,134 @@ int CmdInfo(const Flags& flags) {
   return 0;
 }
 
+/// Splits a --connect HOST:PORT value. Returns false (after printing the
+/// reason) when the flag is missing or malformed.
+bool ParseConnect(const Flags& flags, std::string* host, uint16_t* port) {
+  const std::string connect = flags.Get("connect");
+  const size_t colon = connect.rfind(':');
+  if (connect.empty() || colon == std::string::npos ||
+      colon + 1 >= connect.size()) {
+    std::fprintf(stderr, "--connect expects HOST:PORT\n");
+    return false;
+  }
+  *host = connect.substr(0, colon);
+  const long p = std::atol(connect.c_str() + colon + 1);
+  if (p <= 0 || p > 65535) {
+    std::fprintf(stderr, "--connect port out of range\n");
+    return false;
+  }
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+/// `pexeso_cli query --connect host:port --query q.csv ...`: the remote
+/// twin of `search` — same query-column embedding and threshold flags, but
+/// the search runs on a pexeso_server and the result chunks stream back
+/// over the wire protocol. Output uses the same "global column" lines as a
+/// partition-dir `search`, so the two are diffable for parity checks.
+int CmdRemoteQuery(const Flags& flags) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseConnect(flags, &host, &port)) return 2;
+  const std::string query_path = flags.Get("query");
+  if (query_path.empty()) return Usage();
+  auto model = MakeModel(flags);
+  if (!model) return Usage();
+  auto metric = MakeMetricOrExplain(flags);
+  if (!metric) return 2;
+
+  net::PexesoClient client;
+  Status st = client.Connect(host, port, flags.Get("tenant", "cli"));
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (client.server_info().dim != 0 &&
+      client.server_info().dim != model->dim()) {
+    std::fprintf(stderr,
+                 "server repository dim %u != model dim %u (pass matching "
+                 "--dim)\n",
+                 client.server_info().dim, model->dim());
+    return 1;
+  }
+
+  TableRepository repo(model.get());
+  std::string column;
+  VectorStore query = LoadQueryColumn(repo, model->dim(), query_path,
+                                      flags.Get("column"), &column);
+  if (query.empty()) return 1;
+  if (!flags.Has("column")) {
+    std::printf("query column auto-selected: '%s'\n", column.c_str());
+  }
+
+  JoinQuery jq;
+  jq.vectors = &query;
+  const FractionalThresholds thresholds{flags.GetDouble("tau", 0.35),
+                                        flags.GetDouble("t", 0.5)};
+  jq.thresholds = thresholds.Resolve(*metric, model->dim(), query.size());
+  jq.collect_mappings = flags.Has("mappings");
+  ApplyQueryFlags(flags, &jq);
+
+  const net::ClientQueryResult result = client.Query(jq);
+  if (!result.status.ok() && !result.status.interrupted()) {
+    std::fprintf(stderr, "remote query failed: %s\n",
+                 result.status.ToString().c_str());
+    return 1;
+  }
+  if (result.status.interrupted()) {
+    std::printf("query stopped early (%s); partial results:\n",
+                result.status.ToString().c_str());
+  }
+  if (jq.mode == QueryMode::kTopK) {
+    std::printf("top-%zu joinable column(s) via %s@%s:%u (tau=%.3f):\n",
+                jq.k, client.server_info().engine.c_str(), host.c_str(),
+                port, jq.thresholds.tau);
+  } else {
+    std::printf("%zu joinable column(s) via %s@%s:%u (tau=%.3f, T=%u/%zu):\n",
+                result.columns.size(), client.server_info().engine.c_str(),
+                host.c_str(), port, jq.thresholds.tau, jq.thresholds.t_abs,
+                query.size());
+  }
+  // Remote results carry global column ids only (like partition-dir mode):
+  // a default OnlineContext routes PrintResult to the global-column lines.
+  const OnlineContext remote_ctx;
+  for (const auto& r : result.columns) PrintResult(remote_ctx, r, "  ");
+  for (const auto& [part, part_st] : result.part_statuses) {
+    std::printf("  [part %zu] %s: %s\n", part + 1,
+                part_st.interrupted() ? "stopped early" : "DEGRADED",
+                part_st.ToString().c_str());
+  }
+  if (flags.Has("stats")) {
+    PrintStats(result.stats);
+    std::printf("protocol bytes: %llu sent / %llu received\n",
+                static_cast<unsigned long long>(client.bytes_sent()),
+                static_cast<unsigned long long>(client.bytes_received()));
+  }
+  return 0;
+}
+
+/// `pexeso_cli stats --connect host:port`: dumps the server's STATS verb
+/// metrics snapshot verbatim.
+int CmdRemoteStats(const Flags& flags) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseConnect(flags, &host, &port)) return 2;
+  net::PexesoClient client;
+  Status st = client.Connect(host, port, flags.Get("tenant", "cli"));
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto text = client.Stats();
+  if (!text.ok()) {
+    std::fprintf(stderr, "stats failed: %s\n",
+                 text.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(text.value().c_str(), stdout);
+  return 0;
+}
+
 /// `pexeso_cli fsck <lake-dir> [--repair] [--no-crc]`: one consistency pass
 /// over a LakeManager directory — manifest validation, orphan sweep,
 /// streamed CRC check of every referenced snapshot. --repair deletes
@@ -897,5 +1031,7 @@ int main(int argc, char** argv) {
   if (cmd == "batch") return CmdBatch(flags);
   if (cmd == "info") return CmdInfo(flags);
   if (cmd == "fsck") return CmdFsck(argc, argv, flags);
+  if (cmd == "query") return CmdRemoteQuery(flags);
+  if (cmd == "stats") return CmdRemoteStats(flags);
   return Usage();
 }

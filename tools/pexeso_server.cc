@@ -1,0 +1,242 @@
+// pexeso_server: the networked serving front-end.
+//
+//   pexeso_server --index <index-file|partition-dir> | --lake <lake-dir>
+//                 [--port N] [--bind ADDR] [--threads N] [--intra-threads N]
+//                 [--cache-mb MB] [--metric l2|cosine|l1]
+//                 [--engine pexeso|pexeso-h]
+//                 [--max-inflight N] [--max-queue N]
+//                 [--global-max-inflight N] [--global-max-queue N]
+//                 [--default-deadline-ms MS]
+//
+// Loads one engine (a single-file PexesoIndex, an out-of-core
+// PartitionedPexeso directory, or a live LakeManager directory), binds a
+// TCP listener, and serves wire-protocol JoinQuery requests through
+// admission control until SIGINT/SIGTERM. --port 0 (the default) picks an
+// ephemeral port; the chosen one is printed as "listening on HOST:PORT" so
+// scripts can scrape it.
+//
+// Clients: `pexeso_cli query --connect host:port --query q.csv ...` for
+// searches, `pexeso_cli stats --connect host:port` for the metrics
+// snapshot.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/pexeso_index.h"
+#include "core/searcher.h"
+#include "baseline/pexeso_h.h"
+#include "lake/lake_manager.h"
+#include "lake/manifest.h"
+#include "net/server.h"
+#include "partition/partitioned_pexeso.h"
+#include "serve/index_cache.h"
+#include "vec/metric.h"
+
+namespace {
+
+using namespace pexeso;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+/// Same minimal --key value / --flag parser as pexeso_cli.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::atof(it->second.c_str());
+  }
+  long GetInt(const std::string& key, long def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::atol(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: pexeso_server --index FILE|PARTDIR | --lake LAKEDIR\n"
+      "  [--port N (0=ephemeral)] [--bind ADDR (127.0.0.1)]\n"
+      "  [--threads N] [--intra-threads N] [--cache-mb MB (256)]\n"
+      "  [--metric l2|cosine|l1] [--engine pexeso|pexeso-h]\n"
+      "  [--max-inflight N (4)] [--max-queue N (16)]  (per-tenant budgets)\n"
+      "  [--global-max-inflight N (0=off)] [--global-max-queue N (0=off)]\n"
+      "  [--default-deadline-ms MS (0=off)]\n"
+      "Serves wire-protocol JoinQuery requests; STATS verb returns metrics.\n"
+      "Query with: pexeso_cli query --connect host:port --query q.csv\n");
+  return 2;
+}
+
+/// Everything the server borrows must outlive it; this struct owns it all.
+struct Serving {
+  std::unique_ptr<Metric> metric;
+  std::unique_ptr<PexesoIndex> index;
+  std::unique_ptr<serve::IndexCache> cache;
+  std::unique_ptr<JoinSearchEngine> engine;
+  uint32_t dim = 0;
+};
+
+int LoadServing(const Flags& flags, Serving* s) {
+  s->metric = MakeMetric(flags.Get("metric", "l2"));
+  if (!s->metric) {
+    std::fprintf(stderr, "unknown metric '%s' (expected %s)\n",
+                 flags.Get("metric", "l2").c_str(), KnownMetricNames());
+    return 2;
+  }
+  const long cache_mb = flags.GetInt("cache-mb", 256);
+  if (cache_mb > 0) {
+    s->cache = std::make_unique<serve::IndexCache>(serve::IndexCacheOptions{
+        .budget_bytes = static_cast<size_t>(cache_mb) << 20});
+  }
+  const std::string engine_name = flags.Get("engine", "pexeso");
+  if (engine_name != "pexeso" && engine_name != "pexeso-h") {
+    std::fprintf(stderr, "--engine %s not supported (pexeso|pexeso-h)\n",
+                 engine_name.c_str());
+    return 2;
+  }
+
+  const std::string lake_dir = flags.Get("lake");
+  if (!lake_dir.empty()) {
+    auto manifest = lake::ReadManifest(lake_dir);
+    if (!manifest.ok()) {
+      std::fprintf(stderr, "lake manifest read failed: %s\n",
+                   manifest.status().ToString().c_str());
+      return 1;
+    }
+    s->dim = manifest.value().dim;
+    lake::LakeOptions lopts;  // no merge pool: serving-only, no ingest
+    auto opened = lake::LakeManager::Open(lake_dir, s->metric.get(), lopts);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "lake open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    auto manager = std::move(opened).ValueOrDie();
+    if (s->cache) manager->AttachCache(s->cache.get());
+    if (engine_name == "pexeso-h") {
+      manager->set_engine(PartitionedPexeso::Engine::kPexesoH);
+    }
+    s->engine = std::move(manager);
+    return 0;
+  }
+
+  const std::string index_path = flags.Get("index");
+  if (index_path.empty()) return Usage();
+  if (std::filesystem::is_directory(index_path)) {
+    auto opened = PartitionedPexeso::Open(index_path, s->metric.get());
+    if (!opened.ok()) {
+      std::fprintf(stderr, "partition dir open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    auto parts =
+        std::make_unique<PartitionedPexeso>(std::move(opened).ValueOrDie());
+    if (engine_name == "pexeso-h") {
+      parts->set_engine(PartitionedPexeso::Engine::kPexesoH);
+    }
+    if (s->cache) parts->AttachCache(s->cache.get());
+    auto dim = PexesoIndex::PeekDim(parts->PartPath(0));
+    if (!dim.ok()) {
+      std::fprintf(stderr, "partition read failed: %s\n",
+                   dim.status().ToString().c_str());
+      return 1;
+    }
+    s->dim = dim.value();
+    s->engine = std::move(parts);
+    return 0;
+  }
+  auto loaded = PexesoIndex::Load(index_path, s->metric.get());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "index load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  s->index = std::make_unique<PexesoIndex>(std::move(loaded).ValueOrDie());
+  s->dim = s->index->catalog().dim();
+  if (engine_name == "pexeso-h") {
+    s->engine = std::make_unique<PexesoHSearcher>(s->index.get());
+  } else {
+    s->engine = std::make_unique<PexesoSearcher>(s->index.get());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.Has("help") || (flags.Get("index").empty() &&
+                            flags.Get("lake").empty())) {
+    return Usage();
+  }
+
+  Serving serving;
+  if (int rc = LoadServing(flags, &serving); rc != 0) return rc;
+
+  net::ServerOptions options;
+  options.bind = flags.Get("bind", "127.0.0.1");
+  options.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  options.worker_threads = static_cast<size_t>(
+      std::max(0L, flags.GetInt("threads", 0)));
+  options.intra_query_threads = static_cast<size_t>(
+      std::max(0L, flags.GetInt("intra-threads", 0)));
+  options.expected_dim = serving.dim;
+  options.cache = serving.cache.get();
+  options.admission.default_budget.max_inflight =
+      static_cast<size_t>(std::max(1L, flags.GetInt("max-inflight", 4)));
+  options.admission.default_budget.max_queued =
+      static_cast<size_t>(std::max(0L, flags.GetInt("max-queue", 16)));
+  options.admission.global_max_inflight = static_cast<size_t>(
+      std::max(0L, flags.GetInt("global-max-inflight", 0)));
+  options.admission.global_max_queued = static_cast<size_t>(
+      std::max(0L, flags.GetInt("global-max-queue", 0)));
+  options.admission.default_deadline_ms =
+      flags.GetDouble("default-deadline-ms", 0.0);
+
+  net::PexesoServer server(serving.engine.get(), options);
+  const Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::printf("listening on %s:%u (engine %s, dim %u)\n",
+              options.bind.c_str(), server.port(), serving.engine->name(),
+              serving.dim);
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down\n");
+  server.Shutdown();
+  return 0;
+}
