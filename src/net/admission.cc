@@ -102,6 +102,21 @@ bool AdmissionController::Abandon(uint64_t id) {
   return false;
 }
 
+std::vector<uint64_t> AdmissionController::DrainQueued() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> drained;
+  drained.reserve(queue_.size());
+  for (const QueuedJob& q : queue_) {
+    drained.push_back(q.id);
+    auto queued_it = tenant_queued_.find(q.tenant);
+    if (queued_it != tenant_queued_.end() && queued_it->second > 0) {
+      --queued_it->second;
+    }
+  }
+  queue_.clear();
+  return drained;
+}
+
 AdmissionSnapshot AdmissionController::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   AdmissionSnapshot s;

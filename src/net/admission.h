@@ -91,6 +91,12 @@ class AdmissionController {
   /// cancel them and let execution reach OnComplete.
   bool Abandon(uint64_t id);
 
+  /// Shutdown path: empties the queue and returns every id that was parked
+  /// (none of them will ever run). With the queue empty, subsequent
+  /// OnComplete calls can promote nothing — the property the server's
+  /// teardown relies on before it drains the session.
+  std::vector<uint64_t> DrainQueued();
+
   AdmissionSnapshot Snapshot() const;
 
  private:

@@ -9,13 +9,14 @@ namespace pexeso::net {
 
 Connection::Connection(EventLoop* loop, int fd, uint64_t id,
                        size_t max_frame_payload, FrameHandler on_frame,
-                       CloseHandler on_close)
+                       CloseHandler on_close, size_t max_outbuf)
     : loop_(loop),
       fd_(fd),
       id_(id),
       on_frame_(std::move(on_frame)),
       on_close_(std::move(on_close)),
-      decoder_(max_frame_payload) {}
+      decoder_(max_frame_payload),
+      max_outbuf_(max_outbuf) {}
 
 Connection::~Connection() {
   if (!closed_ && fd_ >= 0) close(fd_);
@@ -71,27 +72,44 @@ void Connection::HandleReadable() {
 
 void Connection::Send(std::string bytes) {
   if (closed_ || close_after_flush_) return;
+  CompactOutbuf();
   if (outbuf_.empty()) {
     outbuf_ = std::move(bytes);
-    outbuf_sent_ = 0;
   } else {
     outbuf_.append(bytes);
   }
   HandleWritable();
+  if (closed_) return;
+  if (outbuf_.size() - outbuf_sent_ > max_outbuf_) {
+    // The peer generates replies faster than it reads them; past the cap
+    // the only bounded option left is to drop the connection (reads were
+    // already paused at the half-cap watermark).
+    Close();
+  }
 }
 
 void Connection::SendErrorAndClose(const Status& status) {
   if (closed_) return;
   std::string frame;
   EncodeError(ErrorMsg{status}, &frame);
+  CompactOutbuf();
   if (outbuf_.empty()) {
     outbuf_ = std::move(frame);
-    outbuf_sent_ = 0;
   } else {
     outbuf_.append(frame);
   }
   close_after_flush_ = true;
   HandleWritable();
+}
+
+void Connection::CompactOutbuf() {
+  // Drop the already-flushed prefix before appending: without this a
+  // long-lived connection pins every sent byte until the buffer fully
+  // drains once.
+  if (outbuf_sent_ > 0) {
+    outbuf_.erase(0, outbuf_sent_);
+    outbuf_sent_ = 0;
+  }
 }
 
 void Connection::HandleWritable() {
@@ -124,8 +142,14 @@ void Connection::HandleWritable() {
 }
 
 void Connection::UpdateInterest() {
-  loop_->Update(fd_, FdInterest{/*read=*/!close_after_flush_,
-                                /*write=*/outbuf_sent_ < outbuf_.size()});
+  const size_t pending = outbuf_.size() - outbuf_sent_;
+  // Reading pauses at the half-cap watermark: a peer that will not consume
+  // its replies gets no new pipelined queries accepted, and resumes
+  // automatically as POLLOUT drains the buffer below the mark.
+  loop_->Update(fd_,
+                FdInterest{/*read=*/!close_after_flush_ &&
+                               pending < max_outbuf_ / 2,
+                           /*write=*/pending > 0});
 }
 
 void Connection::Close() {

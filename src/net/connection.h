@@ -13,10 +13,22 @@
 
 namespace pexeso::net {
 
+/// Default cap on un-flushed output bytes per connection. Inbound frames
+/// are bounded by the decoder's payload limit; this bounds the outbound
+/// side, which the server itself generates — without it a client that
+/// pipelines many large queries but reads slowly makes server memory
+/// attacker-pace-controlled.
+inline constexpr size_t kDefaultMaxOutbuf = 256ull << 20;
+
 /// \brief One accepted TCP connection: the read side feeds a FrameDecoder
 /// and hands complete frames up; the write side owns an output buffer with
 /// partial-flush handling (POLLOUT interest appears only while bytes are
 /// pending, the classic level-triggered discipline).
+///
+/// Backpressure: past half the output cap the connection stops reading
+/// (no new pipelined queries from a peer that is not consuming replies);
+/// past the full cap — reachable only via replies to queries already in
+/// flight — it is dropped.
 ///
 /// Every member is loop-thread-only. Worker threads that want to send on a
 /// connection Post() a closure to the loop; the server enforces this.
@@ -29,7 +41,8 @@ class Connection {
   using CloseHandler = std::function<void(Connection*)>;
 
   Connection(EventLoop* loop, int fd, uint64_t id, size_t max_frame_payload,
-             FrameHandler on_frame, CloseHandler on_close);
+             FrameHandler on_frame, CloseHandler on_close,
+             size_t max_outbuf = kDefaultMaxOutbuf);
   ~Connection();
 
   Connection(const Connection&) = delete;
@@ -75,6 +88,7 @@ class Connection {
   void HandleReadable();
   void HandleWritable();
   void UpdateInterest();
+  void CompactOutbuf();
 
   EventLoop* loop_;
   int fd_;
@@ -82,6 +96,7 @@ class Connection {
   FrameHandler on_frame_;
   CloseHandler on_close_;
   FrameDecoder decoder_;
+  const size_t max_outbuf_;
   std::string outbuf_;
   size_t outbuf_sent_ = 0;
   bool close_after_flush_ = false;

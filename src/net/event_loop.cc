@@ -40,7 +40,7 @@ bool EventLoop::OnLoopThread() const {
 }
 
 void EventLoop::Add(int fd, FdInterest interest, FdCallback cb) {
-  watches_[fd] = Watch{interest, std::move(cb)};
+  watches_[fd] = Watch{interest, std::move(cb), ++next_watch_gen_};
 }
 
 void EventLoop::Update(int fd, FdInterest interest) {
@@ -88,11 +88,14 @@ void EventLoop::Run() {
   loop_thread_id_.store(ThisThreadId(), std::memory_order_relaxed);
   std::vector<pollfd> pfds;
   std::vector<int> fds;
+  std::vector<uint64_t> gens;
   while (!stop_.load(std::memory_order_relaxed)) {
     pfds.clear();
     fds.clear();
+    gens.clear();
     pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
     fds.push_back(wake_pipe_[0]);
+    gens.push_back(0);
     for (const auto& [fd, watch] : watches_) {
       short events = 0;
       if (watch.interest.read) events |= POLLIN;
@@ -100,6 +103,7 @@ void EventLoop::Run() {
       if (events == 0) continue;
       pfds.push_back(pollfd{fd, events, 0});
       fds.push_back(fd);
+      gens.push_back(watch.gen);
     }
     const int rc = poll(pfds.data(), pfds.size(), /*timeout_ms=*/1000);
     if (rc < 0) continue;  // EINTR: just re-poll
@@ -110,9 +114,12 @@ void EventLoop::Run() {
     for (size_t i = 1; i < pfds.size(); ++i) {
       if (pfds[i].revents == 0) continue;
       // A callback may Remove any fd (including its own); dispatch only to
-      // watches that still exist at fire time.
+      // watches that still exist at fire time. The generation check also
+      // rejects a watch that was removed and whose fd number was re-added
+      // (accept reuses closed fd numbers) during this same pass — the
+      // snapshot's revents belong to the old registration, not the new one.
       auto it = watches_.find(fds[i]);
-      if (it == watches_.end()) continue;
+      if (it == watches_.end() || it->second.gen != gens[i]) continue;
       FdInterest ready;
       ready.read = (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
       ready.write = (pfds[i].revents & (POLLOUT | POLLERR)) != 0;

@@ -66,6 +66,11 @@ class EventLoop {
   struct Watch {
     FdInterest interest;
     FdCallback cb;
+    /// Registration generation: fd numbers recycle (a callback may close
+    /// one fd and accept a new connection onto the same number within a
+    /// single dispatch pass), so revents snapshotted before poll() are
+    /// delivered only to the registration they were polled for.
+    uint64_t gen = 0;
   };
 
   void Wake();
@@ -73,6 +78,7 @@ class EventLoop {
   void RunPosted();
 
   std::map<int, Watch> watches_;
+  uint64_t next_watch_gen_ = 0;
   int wake_pipe_[2] = {-1, -1};
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> loop_thread_id_{0};

@@ -116,18 +116,31 @@ void PexesoServer::Shutdown() {
   if (!started_.load(std::memory_order_relaxed)) return;
   if (shut_down_.exchange(true)) return;
 
-  // Cancel everything in flight so the session drain below is bounded by a
-  // checkpoint interval, not by the slowest running query.
-  {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
-    for (auto& [id, job] : jobs_) job->cancel.Cancel();
-  }
-  // Drain: every outcome callback (which touches jobs_/admission_/loop_)
-  // completes before the loop stops.
-  session_.reset();
-
+  // Stop the loop thread FIRST: once joined it can decode no more frames,
+  // so no new query can be admitted and no STATS probe can read the
+  // session while it is being torn down below.
   loop_.Stop();
   if (loop_thread_.joinable()) loop_thread_.join();
+
+  // Empty the admission queue before draining, so a completing query's
+  // OnComplete finds nothing to promote into the dying session; then
+  // cancel everything still running so the drain is bounded by a
+  // checkpoint interval, not by the slowest query.
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (uint64_t id : admission_.DrainQueued()) jobs_.erase(id);
+    for (auto& [id, job] : jobs_) job->cancel.Cancel();
+  }
+
+  // Detach the session under session_mu_ (StartJob and MetricsText
+  // null-check under the same lock), then drain it OUTSIDE the lock:
+  // outcome callbacks re-enter StartJob, which takes session_mu_.
+  std::unique_ptr<serve::ServeSession> session;
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    session = std::move(session_);
+  }
+  session.reset();
 
   // Loop thread is gone; its exclusive state is now safely ours.
   {
@@ -159,7 +172,8 @@ void PexesoServer::OnAcceptable() {
     auto conn = std::make_unique<Connection>(
         &loop_, fd, id, options_.max_frame_payload,
         [this](Connection* c, Frame&& f) { OnFrame(c, std::move(f)); },
-        [this](Connection* c) { OnConnectionClosed(c); });
+        [this](Connection* c) { OnConnectionClosed(c); },
+        options_.max_conn_outbuf);
     conn->Register();
     {
       std::lock_guard<std::mutex> lock(registry_mu_);
@@ -359,21 +373,32 @@ void PexesoServer::StartJob(uint64_t job_id) {
   JoinQuery query;
   uint64_t conn_id = 0;
   uint64_t client_query_id = 0;
+  bool found = false;
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     auto it = jobs_.find(job_id);
-    if (it == jobs_.end()) {
-      // The job vanished between promotion and start (shouldn't happen, but
-      // a lost admission slot would wedge the queue forever).
-      for (uint64_t promoted : admission_.OnComplete(job_id)) {
-        StartJob(promoted);
-      }
-      return;
+    if (it != jobs_.end()) {
+      found = true;
+      query = it->second->query;  // vectors pointer + shared cancel token
+      conn_id = it->second->conn_id;
+      client_query_id = it->second->client_query_id;
     }
-    query = it->second->query;  // vectors pointer + shared cancel token
-    conn_id = it->second->conn_id;
-    client_query_id = it->second->client_query_id;
   }
+  if (!found) {
+    // The job vanished between promotion and start (shouldn't happen, but
+    // a lost admission slot would wedge the queue forever). Hand the slot
+    // back strictly OUTSIDE jobs_mu_: re-entering StartJob with the lock
+    // held would self-deadlock on the non-recursive mutex.
+    for (uint64_t promoted : admission_.OnComplete(job_id)) {
+      StartJob(promoted);
+    }
+    return;
+  }
+  // Submitting and tearing down exclude each other: once Shutdown has
+  // detached the pointer, a late promotion lands here and drops the job
+  // (jobs_/admission_ are cleared wholesale right after the drain).
+  std::lock_guard<std::mutex> session_lock(session_mu_);
+  if (session_ == nullptr) return;
   session_->SubmitStreaming(
       query,
       [this, job_id, conn_id, client_query_id](
@@ -511,8 +536,13 @@ std::string PexesoServer::MetricsText() const {
     AppendTenantCounter(&out, "tenant_completed", tenant, tc.completed);
   }
 
-  AppendCounter(&out, "session_inflight", session_->queries_inflight());
-  AppendCounter(&out, "session_submitted", session_->queries_submitted());
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    if (session_ != nullptr) {
+      AppendCounter(&out, "session_inflight", session_->queries_inflight());
+      AppendCounter(&out, "session_submitted", session_->queries_submitted());
+    }
+  }
 
   SearchStats stats;
   {

@@ -34,6 +34,9 @@ struct ServerOptions {
   /// and is also what the HELLO ack advertises.
   uint32_t expected_dim = 0;
   size_t max_frame_payload = kDefaultMaxFramePayload;
+  /// Per-connection cap on un-flushed reply bytes; reading pauses at half
+  /// of it and the connection is dropped past it (see Connection).
+  size_t max_conn_outbuf = kDefaultMaxOutbuf;
   /// Borrowed cache whose hit/miss counters feed the STATS snapshot; null
   /// when the engine runs uncached.
   serve::IndexCache* cache = nullptr;
@@ -151,6 +154,11 @@ class PexesoServer {
 
   /// Declared last: destroyed first, so in-flight query callbacks (which
   /// touch every member above) finish before anything they use goes away.
+  /// Guarded by session_mu_ for the pointer itself (Shutdown nulls it);
+  /// StartJob submits and MetricsText reads queue depths under the lock,
+  /// so neither can race the teardown. The drain (ServeSession destructor)
+  /// runs OUTSIDE the lock: outcome callbacks re-enter StartJob.
+  mutable std::mutex session_mu_;
   std::unique_ptr<serve::ServeSession> session_;
 };
 

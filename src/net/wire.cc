@@ -186,6 +186,13 @@ Status DecodeChunk(std::string_view payload, ChunkMsg* m) {
   PEXESO_RETURN_NOT_OK(r.Read(&m->query_id));
   PEXESO_RETURN_NOT_OK(r.Read(&m->part));
   PEXESO_RETURN_NOT_OK(r.Read(&m->parts_total));
+  // Both fields size receiver-side tables, so they get hard bounds rather
+  // than the remaining-bytes heuristic (they are counts of parts, not of
+  // payload bytes).
+  if (m->parts_total == 0 || m->parts_total > kMaxWireParts ||
+      m->part >= m->parts_total) {
+    return Status::Corruption("chunk part header implausible");
+  }
   uint8_t last = 0;
   PEXESO_RETURN_NOT_OK(r.Read(&last));
   m->last = last != 0;

@@ -52,6 +52,11 @@ inline constexpr size_t kFrameOverhead = kFrameHeaderBytes + 4;
 /// is treated as corruption, so a flipped length bit can never drive a
 /// multi-gigabyte allocation.
 inline constexpr size_t kDefaultMaxFramePayload = 64ull << 20;
+/// Ceiling on ChunkMsg::parts_total accepted off the wire. The client
+/// sizes its per-part reassembly table from this field, so an unvalidated
+/// value would let a corrupt or hostile server drive an arbitrarily large
+/// allocation; real lakes are orders of magnitude below this.
+inline constexpr uint64_t kMaxWireParts = 1u << 16;
 
 enum class FrameType : uint8_t {
   kHello = 1,      ///< client -> server: version + tenant

@@ -235,6 +235,42 @@ TEST(WireCodec, MessageRoundTrips) {
   EXPECT_EQ(text, "queries_completed 3\n");
 }
 
+TEST(WireCodec, ImplausibleChunkPartHeadersAreRejected) {
+  // parts_total sizes the client's reassembly table, so a flipped or
+  // hostile value must be Corruption, never a huge allocation.
+  net::ChunkMsg chunk;
+  chunk.query_id = 1;
+  chunk.part = 0;
+  chunk.last = true;
+  const uint64_t bad_totals[] = {0, net::kMaxWireParts + 1,
+                                 ~uint64_t{0} >> 1};
+  for (uint64_t total : bad_totals) {
+    chunk.parts_total = total;
+    std::string bytes;
+    net::EncodeChunk(chunk, &bytes);
+    FrameDecoder decoder;
+    decoder.Append(bytes.data(), bytes.size());
+    Frame frame;
+    bool has_frame = false;
+    ASSERT_TRUE(decoder.Next(&frame, &has_frame).ok() && has_frame);
+    net::ChunkMsg decoded;
+    const Status st = net::DecodeChunk(frame.payload, &decoded);
+    EXPECT_FALSE(st.ok()) << "parts_total=" << total << " decoded";
+  }
+  // A part index at or past parts_total is equally implausible.
+  chunk.parts_total = 4;
+  chunk.part = 4;
+  std::string bytes;
+  net::EncodeChunk(chunk, &bytes);
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  bool has_frame = false;
+  ASSERT_TRUE(decoder.Next(&frame, &has_frame).ok() && has_frame);
+  net::ChunkMsg decoded;
+  EXPECT_FALSE(net::DecodeChunk(frame.payload, &decoded).ok());
+}
+
 /// A sample frame for the corruption corpus: a real query frame with a
 /// non-trivial payload.
 std::string CorpusFrame() {
@@ -753,6 +789,38 @@ TEST(NetAdmission, CancelVerbAbortsRunningAndQueuedQueries) {
   EXPECT_EQ(r.status.code(), Status::Code::kCancelled) << r.status.ToString();
   EXPECT_EQ(engine.started(), 1);  // the queued query never ran
   server.Shutdown();
+}
+
+TEST(NetAdmission, ShutdownWithQueuedJobsDoesNotPromoteIntoDeadSession) {
+  // Regression: Shutdown drains the session while queued jobs sit in
+  // admission. The running query finishes (cancelled) during the drain and
+  // its completion used to promote a queued job into StartJob, which
+  // dereferenced the already-reset session. Now the queue is emptied
+  // before the drain, so nothing beyond the running query ever starts.
+  GatedEngine engine;
+  ServerOptions opts;
+  opts.worker_threads = 2;
+  opts.admission.default_budget.max_inflight = 1;
+  opts.admission.default_budget.max_queued = 4;
+  PexesoServer server(&engine, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  PexesoClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), "teardown").ok());
+  std::vector<VectorStore> stores;
+  for (uint32_t n = 1; n <= 3; ++n) stores.push_back(SmallQueryStore(4, n));
+  for (const VectorStore& store : stores) {
+    JoinQuery jq;
+    jq.vectors = &store;
+    jq.thresholds = SearchThresholds{0.1, 1};
+    ASSERT_TRUE(client.SendQuery(jq).ok());
+  }
+  // One executing (blocked on the gate), two parked in admission.
+  ASSERT_TRUE(WaitFor([&] { return engine.started() == 1; }));
+
+  server.Shutdown();  // gate still closed: the drain races the completion
+  EXPECT_EQ(engine.started(), 1);  // the queued queries never ran
+  EXPECT_EQ(engine.observed_cancel(), 1);
 }
 
 }  // namespace
