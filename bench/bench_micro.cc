@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -153,6 +154,8 @@ void WriteKernelBenchJson() {
     return;
   }
   std::fprintf(f, "{\n  \"schema\": \"BENCH_kernels/v1\",\n");
+  std::fprintf(f, "  \"hw_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"simd_level\": \"%s\",\n",
                SimdLevelName(ActiveSimdLevel()));
   std::fprintf(f, "  \"pairs_per_call\": %zu,\n  \"results\": [",

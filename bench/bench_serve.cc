@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -68,6 +69,8 @@ void WriteServeBenchJson(size_t queries, size_t partitions,
   }
   const double cold_qps = rows.front().qps;
   std::fprintf(f, "{\n  \"schema\": \"BENCH_serve/v1\",\n");
+  std::fprintf(f, "  \"hw_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"queries\": %zu,\n  \"partitions\": %zu,\n", queries,
                partitions);
   std::fprintf(f, "  \"cache_budget_mb\": %zu,\n", cache_budget_mb);

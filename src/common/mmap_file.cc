@@ -1,0 +1,52 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace pexeso {
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+  PEXESO_RETURN_NOT_OK(FailpointHit("serde:reader:open"));
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open for mmap: " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("cannot stat for mmap: " + path + ": " +
+                           std::strerror(err));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* addr = nullptr;
+  if (size > 0) {
+    addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError("mmap failed: " + path + ": " +
+                             std::strerror(err));
+    }
+  }
+  // The mapping keeps its own reference to the file; the descriptor is no
+  // longer needed.
+  ::close(fd);
+  return std::shared_ptr<MappedFile>(new MappedFile(addr, size, path));
+}
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr && size_ > 0) {
+    ::munmap(addr_, size_);
+  }
+}
+
+}  // namespace pexeso

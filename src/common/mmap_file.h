@@ -1,0 +1,47 @@
+#ifndef PEXESO_COMMON_MMAP_FILE_H_
+#define PEXESO_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace pexeso {
+
+/// \brief A read-only memory mapping of a whole file.
+///
+/// The mapping is shared and read-only (PROT_READ/MAP_SHARED): pages are
+/// faulted in on demand and evicted by the kernel under memory pressure, so
+/// "loading" a mapped snapshot costs no up-front copies and no heap. The
+/// object is handed around as shared_ptr so sections of a mapped snapshot
+/// (vector data, postings) can outlive the loader that created them.
+///
+/// Failpoints: "serde:reader:open" (IoError on Open) — the same point the
+/// BinaryReader path uses, so injected IO faults hit both load paths alike.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Empty files map successfully with size() == 0.
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(addr_); }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile(void* addr, size_t size, std::string path)
+      : addr_(addr), size_(size), path_(std::move(path)) {}
+
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_COMMON_MMAP_FILE_H_

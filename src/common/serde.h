@@ -33,18 +33,28 @@ Status VerifyFileChecksum(const std::string& path, bool require_footer);
 /// out-of-core search path. The format is a private on-disk format (magic +
 /// version header written by the owning serializer), not an interchange one.
 ///
+/// Two backends share the Write* surface: a file stream (Open) and an
+/// in-memory string (ToBuffer). The buffer backend lets section-oriented
+/// formats reuse a structure's Serialize(BinaryWriter*) to fill a memory
+/// section that the owning file writer then emits with WriteBytes.
+///
 /// Every byte written feeds a running CRC-32; serializers that want
 /// end-to-end corruption detection call WriteChecksumFooter() last, and
 /// their readers call BinaryReader::VerifyChecksum() after the payload.
 ///
 /// Failpoints: "serde:writer:open" (IoError on Open), "serde:writer:close"
 /// (IoError on Close — a disk filling up at flush), "serde:writer:corrupt"
-/// (flips one byte of a write while the CRC keeps the original — bit rot
-/// the reader's checksum must catch).
+/// (flips one byte of a file write while the CRC keeps the original — bit
+/// rot the reader's checksum must catch; buffer-backed writers model
+/// in-memory serialization, not the disk, so the failpoint only fires on
+/// the file backend).
 class BinaryWriter {
  public:
   /// Opens `path` for truncating binary write.
   static Result<BinaryWriter> Open(const std::string& path);
+
+  /// A writer appending to `*out` (not owned; must outlive the writer).
+  static BinaryWriter ToBuffer(std::string* out) { return BinaryWriter(out); }
 
   /// Writes a trivially-copyable value.
   template <typename T>
@@ -67,6 +77,14 @@ class BinaryWriter {
     WriteRaw(v.data(), v.size() * sizeof(T));
   }
 
+  /// Writes `n` raw bytes with no length prefix. The bytes feed the running
+  /// CRC like any other write; section-oriented formats use this to emit
+  /// pre-serialized section images and alignment padding.
+  void WriteBytes(const void* p, size_t n) { WriteRaw(p, n); }
+
+  /// Payload bytes written so far (the current file/buffer offset).
+  uint64_t bytes_written() const { return bytes_; }
+
   /// Appends the footer: kChecksumFooterMagic + the CRC-32 of every payload
   /// byte written so far. Must be the last write before Close().
   void WriteChecksumFooter() {
@@ -75,14 +93,21 @@ class BinaryWriter {
     Write<uint32_t>(payload_crc);
   }
 
-  /// Flushes and reports any stream error.
+  /// Flushes and reports any stream error. No-op for buffer writers.
   Status Close();
 
  private:
   explicit BinaryWriter(std::ofstream out) : out_(std::move(out)) {}
+  explicit BinaryWriter(std::string* buf) : buf_(buf) {}
 
   void WriteRaw(const void* p, size_t n) {
+    if (n == 0) return;  // empty write; source may be null
     crc_ = Crc32Update(crc_, p, n);
+    bytes_ += n;
+    if (buf_ != nullptr) {
+      buf_->append(static_cast<const char*>(p), n);
+      return;
+    }
     if (n > 0 && FailpointCorruptFires("serde:writer:corrupt")) {
       // Bit rot between write and read-back: the CRC above covers the
       // intended bytes, the disk gets one flipped bit.
@@ -96,6 +121,8 @@ class BinaryWriter {
   }
 
   std::ofstream out_;
+  std::string* buf_ = nullptr;  ///< non-null => buffer backend
+  uint64_t bytes_ = 0;
   uint32_t crc_ = 0;
 };
 
@@ -104,12 +131,21 @@ class BinaryWriter {
 /// is bounded by the bytes actually remaining in the file, so a bit-flipped
 /// length can never drive a multi-gigabyte allocation.
 ///
+/// Mirrors the writer's two backends: Open reads a file, FromBuffer reads a
+/// bounded memory span (e.g. one section of a mapped snapshot) — the same
+/// truncation bounds apply, with `remaining_` seeded from the span length.
+///
 /// Failpoints: "serde:reader:open" (IoError on Open), "serde:reader:read"
 /// (injected status on any read).
 class BinaryReader {
  public:
   /// Opens `path` for binary read.
   static Result<BinaryReader> Open(const std::string& path);
+
+  /// A reader over `[data, data + size)` (not owned; must outlive reads).
+  static BinaryReader FromBuffer(const void* data, size_t size) {
+    return BinaryReader(static_cast<const uint8_t*>(data), size);
+  }
 
   template <typename T>
   Status Read(T* v) {
@@ -137,6 +173,9 @@ class BinaryReader {
     return ReadRaw(v->data(), n * sizeof(T), "truncated vector");
   }
 
+  /// Bytes not yet consumed (buffer readers: span bytes left).
+  uint64_t remaining() const { return remaining_; }
+
   /// Call after consuming the whole payload. Checks the CRC-32 footer: a
   /// malformed footer, trailing bytes after it, or a CRC mismatch is
   /// Corruption. A clean EOF instead of a footer passes only when
@@ -149,21 +188,30 @@ class BinaryReader {
  private:
   BinaryReader(std::ifstream in, uint64_t size)
       : in_(std::move(in)), remaining_(size) {}
+  BinaryReader(const uint8_t* data, uint64_t size)
+      : bufp_(data), remaining_(size) {}
 
   Status ReadRaw(void* p, size_t n, const char* what) {
     if (FailpointsArmed()) {
       PEXESO_RETURN_NOT_OK(FailpointHit("serde:reader:read"));
     }
     if (n > remaining_) return Status::Corruption(what);
-    in_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
-    if (!in_) return Status::Corruption(what);
+    if (n == 0) return Status::OK();  // empty read; dest may be null
+    if (bufp_ != nullptr) {
+      std::memcpy(p, bufp_, n);
+      bufp_ += n;
+    } else {
+      in_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+      if (!in_) return Status::Corruption(what);
+    }
     remaining_ -= n;
     crc_ = Crc32Update(crc_, p, n);
     return Status::OK();
   }
 
   std::ifstream in_;
-  uint64_t remaining_ = 0;  ///< bytes of file not yet consumed
+  const uint8_t* bufp_ = nullptr;  ///< non-null => buffer backend
+  uint64_t remaining_ = 0;  ///< bytes of file/span not yet consumed
   uint32_t crc_ = 0;
 };
 

@@ -6,12 +6,14 @@
 #include <string>
 #include <vector>
 
+#include "common/mmap_file.h"
 #include "common/status.h"
 #include "grid/hierarchical_grid.h"
 #include "invindex/inverted_index.h"
 #include "pivot/pivot_space.h"
 #include "vec/column_catalog.h"
 #include "vec/metric.h"
+#include "vec/quant.h"
 
 namespace pexeso {
 
@@ -63,21 +65,55 @@ class PexesoIndex {
   const PivotSpace& pivots() const { return pivots_; }
   const HierarchicalGrid& grid() const { return grid_; }
   const InvertedIndex& inverted_index() const { return inv_; }
+  const QuantStore& quant() const { return quant_; }
   const Metric* metric() const { return metric_; }
   const PexesoOptions& options() const { return options_; }
 
   /// Mapped repository vector v (|P| doubles).
   const double* MappedVec(VecId v) const {
-    return mapped_.data() + static_cast<size_t>(v) * pivots_.num_pivots();
+    const double* base = mapped_ext_ != nullptr ? mapped_ext_ : mapped_.data();
+    return base + static_cast<size_t>(v) * pivots_.num_pivots();
   }
-  const std::vector<double>& mapped() const { return mapped_; }
+  /// Owned pivot-space coordinates; only meaningful for built indexes
+  /// (mapped snapshots serve MappedVec from the mapping instead).
+  const std::vector<double>& mapped() const {
+    PEXESO_DCHECK(mapped_ext_ == nullptr);
+    return mapped_;
+  }
+
+  /// True when this index serves reads zero-copy out of an mmapped
+  /// snapshot (format v2 / disk version 3).
+  bool is_mapped() const { return mapping_ != nullptr; }
+
+  /// Bytes of the backing snapshot mapping (0 for heap indexes). This is
+  /// the budget IndexCache charges for a mapped snapshot instead of heap
+  /// bytes it never allocated.
+  size_t MappedBytes() const {
+    return mapping_ != nullptr ? mapping_->size() : 0;
+  }
+
+  /// Snapshot disk version this index was loaded from (0 for built ones).
+  uint32_t loaded_version() const { return loaded_version_; }
+
+  /// Copies every mapped section onto the heap and releases the mapping;
+  /// no-op for heap indexes. Mutators call this, so a mapped snapshot is
+  /// copy-on-write as a whole.
+  void Materialize();
 
   /// Index footprint (pivots + mapped vectors + grid + inverted index),
   /// excluding the raw repository vectors; reproduces Figure 6b/10b sizing.
   size_t IndexSizeBytes() const;
 
-  /// Serializes index + catalog to `path` (used by partition files).
+  /// Serializes index + catalog to `path` in the flat, mmap-friendly v2
+  /// snapshot format (disk version 3): page-aligned sections behind a
+  /// section table, CRC-32 footer last. Used by partition files and the
+  /// lake merge path.
   Status Save(const std::string& path) const;
+
+  /// Serializes in the legacy streamed format (disk version 2) — the format
+  /// every release before the flat layout wrote. Kept for format-parity
+  /// tests and for `pexeso_cli snapshot --upgrade` fixtures.
+  Status SaveLegacy(const std::string& path) const;
 
   /// Loads an index previously written by Save. `metric` must match the one
   /// used at build time.
@@ -97,14 +133,35 @@ class PexesoIndex {
   static Status VerifySnapshot(const std::string& path);
 
  private:
+  /// Legacy streamed loader (disk versions 1 and 2); `r` is positioned
+  /// right after the magic/version words.
+  static Result<PexesoIndex> LoadStream(BinaryReader r, uint32_t version,
+                                        const Metric* metric);
+  /// Flat loader (disk version 3): CRC pass over the buffer, section-table
+  /// validation, then zero-copy view binding into `data`. The caller owns
+  /// keeping `data` alive (LoadMapped attaches the mapping; the stream path
+  /// materializes before its buffer dies).
+  static Result<PexesoIndex> LoadFlat(const uint8_t* data, uint64_t size,
+                                      const Metric* metric);
+  /// LoadFlat over an mmap'd file; the returned index keeps the mapping
+  /// alive and reports is_mapped().
+  static Result<PexesoIndex> LoadMapped(std::shared_ptr<MappedFile> file,
+                                        const Metric* metric);
+  /// (Re)builds the quantized pre-filter tier from the float vectors.
+  void RebuildQuant();
+
   ColumnCatalog catalog_;
   PivotSpace pivots_;
   std::vector<double> mapped_;  ///< |RV| x |P| pivot-space coordinates
+  const double* mapped_ext_ = nullptr;  ///< non-null => mapped-snapshot view
   HierarchicalGrid grid_;
   InvertedIndex inv_;
+  QuantStore quant_;
   std::vector<uint8_t> tombstones_;
   const Metric* metric_ = nullptr;
   PexesoOptions options_;
+  std::shared_ptr<MappedFile> mapping_;  ///< keeps viewed sections alive
+  uint32_t loaded_version_ = 0;
 };
 
 }  // namespace pexeso

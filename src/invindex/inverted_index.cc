@@ -38,8 +38,25 @@ void InvertedIndex::Build(const HierarchicalGrid& grid,
   }
 }
 
+void InvertedIndex::Materialize() {
+  if (!is_view()) return;
+  cells_.assign(view_num_cells_, {});
+  for (size_t cell = 0; cell < view_num_cells_; ++cell) {
+    const uint64_t begin = view_offsets_[cell];
+    const uint64_t end = view_offsets_[cell + 1];
+    cells_[cell].assign(view_postings_ + begin, view_postings_ + end);
+  }
+  vec_ids_.assign(view_vec_ids_, view_vec_ids_ + view_num_vec_ids_);
+  view_offsets_ = nullptr;
+  view_postings_ = nullptr;
+  view_vec_ids_ = nullptr;
+  view_num_cells_ = 0;
+  view_num_vec_ids_ = 0;
+}
+
 void InvertedIndex::Append(uint32_t cell, ColumnId column,
                            std::span<const VecId> vecs) {
+  Materialize();
   PEXESO_CHECK(cell < cells_.size());
   PEXESO_CHECK(!vecs.empty());
   auto& postings = cells_[cell];
@@ -64,14 +81,27 @@ size_t InvertedIndex::MemoryBytes() const {
 }
 
 void InvertedIndex::Serialize(BinaryWriter* w) const {
-  w->Write<uint64_t>(cells_.size());
-  for (const auto& c : cells_) w->WriteVector(c);
-  w->WriteVector(vec_ids_);
+  // Mode-agnostic and byte-identical to the historical per-cell WriteVector
+  // layout (u64 length + raw postings per cell, then the vec-id pool).
+  const size_t n = num_cells();
+  w->Write<uint64_t>(n);
+  for (size_t cell = 0; cell < n; ++cell) {
+    const auto postings = PostingsOf(static_cast<uint32_t>(cell));
+    w->Write<uint64_t>(postings.size());
+    w->WriteBytes(postings.data(), postings.size() * sizeof(Posting));
+  }
+  w->Write<uint64_t>(vec_ids_size());
+  w->WriteBytes(vec_ids_data(), vec_ids_size() * sizeof(VecId));
 }
 
 Status InvertedIndex::Deserialize(BinaryReader* r) {
   uint64_t n = 0;
   PEXESO_RETURN_NOT_OK(r->Read(&n));
+  view_offsets_ = nullptr;
+  view_postings_ = nullptr;
+  view_vec_ids_ = nullptr;
+  view_num_cells_ = 0;
+  view_num_vec_ids_ = 0;
   cells_.assign(n, {});
   for (auto& c : cells_) PEXESO_RETURN_NOT_OK(r->ReadVector(&c));
   PEXESO_RETURN_NOT_OK(r->ReadVector(&vec_ids_));

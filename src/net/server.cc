@@ -551,6 +551,7 @@ std::string PexesoServer::MetricsText() const {
   }
   AppendCounter(&out, "search_distance_computations",
                 stats.distance_computations);
+  AppendCounter(&out, "search_quant_tile_skips", stats.quant_tile_skips);
   AppendCounter(&out, "search_columns_pruned_topk",
                 stats.columns_pruned_topk);
   AppendCounter(&out, "search_deadline_expired", stats.deadline_expired);
@@ -567,7 +568,10 @@ std::string PexesoServer::MetricsText() const {
     AppendCounter(&out, "cache_misses", cs.misses);
     AppendGauge(&out, "cache_hit_rate", cs.HitRate());
     AppendCounter(&out, "cache_evictions", cs.evictions);
+    AppendCounter(&out, "cache_v1_loads", cs.v1_loads);
+    AppendCounter(&out, "cache_v2_loads", cs.v2_loads);
     AppendCounter(&out, "cache_bytes_resident", cs.bytes_resident);
+    AppendCounter(&out, "cache_bytes_mapped", cs.bytes_mapped);
     AppendCounter(&out, "cache_entries", cs.entries);
     AppendCounter(&out, "cache_pinned", cs.pinned);
   }

@@ -25,7 +25,12 @@ std::string IndexCache::MakeKey(const std::string& path,
 }
 
 size_t IndexCache::ResidentBytes(const PexesoIndex& index) {
-  return index.IndexSizeBytes() + index.catalog().MemoryBytes();
+  // Mapped snapshots are charged by bytes mapped (the file pages a search
+  // can touch) plus their small heap-side structures; legacy heap snapshots
+  // by their full in-memory footprint. Either way one number answers "how
+  // much does keeping this entry cost" against the global budget.
+  return index.IndexSizeBytes() + index.catalog().MemoryBytes() +
+         index.MappedBytes();
 }
 
 Result<IndexCache::IndexPtr> IndexCache::Get(const std::string& path,
@@ -106,7 +111,14 @@ Result<IndexCache::IndexPtr> IndexCache::GetOrPin(const std::string& key,
   entry.index = ptr;
   entry.flight = nullptr;
   entry.bytes = ResidentBytes(*ptr);
+  entry.mapped = ptr->MappedBytes();
   shard.bytes += entry.bytes;
+  shard.mapped_bytes += entry.mapped;
+  if (ptr->is_mapped()) {
+    ++shard.v2_loads;
+  } else {
+    ++shard.v1_loads;
+  }
   bytes_total_.fetch_add(entry.bytes, std::memory_order_relaxed);
   if (pin) {
     entry.pins = 1;
@@ -133,6 +145,7 @@ void IndexCache::EvictTailLocked(Shard* shard, const std::string* spare) {
     auto it = shard->map.find(victim);
     PEXESO_CHECK(it != shard->map.end());
     shard->bytes -= it->second.bytes;
+    shard->mapped_bytes -= it->second.mapped;
     bytes_total_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
     shard->map.erase(it);  // callers holding the shared_ptr keep it alive
     shard->lru.pop_back();
@@ -164,6 +177,7 @@ void IndexCache::EnforceBudget(Shard* home, const std::string* fresh) {
   if (it == home->map.end() || !it->second.in_lru) return;
   if (bytes_total_.load(std::memory_order_relaxed) <= budget_bytes_) return;
   home->bytes -= it->second.bytes;
+  home->mapped_bytes -= it->second.mapped;
   bytes_total_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
   home->lru.erase(it->second.lru_it);
   home->map.erase(it);
@@ -201,6 +215,7 @@ void IndexCache::Erase(const std::string& path, uint64_t generation) {
   }
   if (it->second.in_lru) shard.lru.erase(it->second.lru_it);
   shard.bytes -= it->second.bytes;
+  shard.mapped_bytes -= it->second.mapped;
   bytes_total_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
   shard.map.erase(it);
 }
@@ -211,6 +226,7 @@ void IndexCache::Clear() {
     for (const std::string& key : shard.lru) {
       auto it = shard.map.find(key);
       shard.bytes -= it->second.bytes;
+      shard.mapped_bytes -= it->second.mapped;
       bytes_total_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
       shard.map.erase(it);
     }
@@ -226,7 +242,10 @@ IndexCacheStats IndexCache::stats() const {
     out.misses += shard.misses;
     out.evictions += shard.evictions;
     out.single_flight_waits += shard.single_flight_waits;
+    out.v1_loads += shard.v1_loads;
+    out.v2_loads += shard.v2_loads;
     out.bytes_resident += shard.bytes;
+    out.bytes_mapped += shard.mapped_bytes;
     for (const auto& [key, entry] : shard.map) {
       if (entry.loading()) continue;
       ++out.entries;

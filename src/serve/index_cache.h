@@ -39,7 +39,15 @@ struct IndexCacheStats {
   /// Get/Pin calls that piggybacked on another thread's in-progress load of
   /// the same key instead of issuing their own disk read.
   uint64_t single_flight_waits = 0;
+  /// Cold loads that deserialized a legacy heap snapshot (formats v1/v2).
+  uint64_t v1_loads = 0;
+  /// Cold loads that memory-mapped a flat format-v2 (disk version 3)
+  /// snapshot instead of deserializing it.
+  uint64_t v2_loads = 0;
   size_t bytes_resident = 0;
+  /// Portion of bytes_resident that is mmapped file pages (reclaimable by
+  /// the kernel) rather than private heap.
+  size_t bytes_mapped = 0;
   size_t entries = 0;
   size_t pinned = 0;
 
@@ -135,6 +143,7 @@ class IndexCache {
     IndexPtr index;  ///< null while a load is in flight
     std::shared_ptr<Flight> flight;  ///< non-null only while loading
     size_t bytes = 0;
+    size_t mapped = 0;  ///< mmapped portion of `bytes`
     uint32_t pins = 0;
     bool in_lru = false;
     std::list<std::string>::iterator lru_it;  ///< valid iff in_lru
@@ -150,10 +159,13 @@ class IndexCache {
     std::unordered_map<std::string, Entry> map;
     std::list<std::string> lru;  ///< front = most recent; unpinned residents
     size_t bytes = 0;            ///< resident bytes charged to this shard
+    size_t mapped_bytes = 0;     ///< mmapped portion of `bytes`
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t single_flight_waits = 0;
+    uint64_t v1_loads = 0;  ///< successful legacy heap-snapshot loads
+    uint64_t v2_loads = 0;  ///< successful mmapped flat-snapshot loads
   };
 
   /// Composed map key: the path for generation 0 (the static-deployment

@@ -20,6 +20,11 @@ struct ServeSession::QueryState {
   /// top-k raises it (its k-th local count lower-bounds the global k-th
   /// best), so parts starting later prune harder. Monotone via CAS-max.
   std::atomic<uint32_t> topk_floor{0};
+  /// Deadline-aware part scheduling: set the moment any part observes the
+  /// query interrupted (deadline expired / cancelled), so still-queued part
+  /// tasks of this query are dropped instead of dispatched — no engine
+  /// call, no partition IO, just the deadline_expired counter.
+  std::atomic<bool> dead{false};
 
   size_t parts_total = 1;
   /// True for partitioned engines: results need the canonical global-column
@@ -140,8 +145,16 @@ uint64_t ServeSession::Enqueue(JoinQuery query, ChunkCallback on_chunk,
 void ServeSession::RunPart(QueryState* state, size_t part) const {
   Status status = state->query.CheckLive();
   if (!status.ok()) {
-    // The query tripped before this part started: skip the search outright
-    // instead of burning the pool on a result nobody wants.
+    // The query tripped before this part started (at submit, or mid-search
+    // of a sibling part, which flagged the query dead the moment it saw the
+    // interruption): drop the still-queued part instead of dispatching it —
+    // no engine call, no partition IO, just the counter.
+    ++state->part_stats[part].deadline_expired;
+  } else if (state->dead.load(std::memory_order_relaxed)) {
+    // Narrow race: a sibling observed an interruption the clock/flag no
+    // longer reports here. Drop rather than dispatch work whose result the
+    // finalizer will pair with an interrupted status anyway.
+    status = Status::Cancelled("query interrupted by sibling part");
     ++state->part_stats[part].deadline_expired;
   } else {
     try {
@@ -189,6 +202,11 @@ void ServeSession::RunPart(QueryState* state, size_t part) const {
     } catch (...) {
       status = Status::Internal("search task threw");
     }
+  }
+  if (status.interrupted()) {
+    // Publish the interruption so sibling parts still queued behind other
+    // work are dropped at dispatch instead of searching a dead query.
+    state->dead.store(true, std::memory_order_relaxed);
   }
   state->part_status[part] = status;
 

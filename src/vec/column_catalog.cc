@@ -26,6 +26,15 @@ size_t ColumnCatalog::MemoryBytes() const {
 
 void ColumnCatalog::Serialize(BinaryWriter* w) const {
   store_.Serialize(w);
+  SerializeMeta(w);
+}
+
+Status ColumnCatalog::Deserialize(BinaryReader* r) {
+  PEXESO_RETURN_NOT_OK(store_.Deserialize(r));
+  return DeserializeMeta(r);
+}
+
+void ColumnCatalog::SerializeMeta(BinaryWriter* w) const {
   w->Write<uint64_t>(columns_.size());
   for (const auto& c : columns_) {
     w->Write<uint32_t>(c.table_id);
@@ -37,8 +46,7 @@ void ColumnCatalog::Serialize(BinaryWriter* w) const {
   }
 }
 
-Status ColumnCatalog::Deserialize(BinaryReader* r) {
-  PEXESO_RETURN_NOT_OK(store_.Deserialize(r));
+Status ColumnCatalog::DeserializeMeta(BinaryReader* r) {
   uint64_t n = 0;
   PEXESO_RETURN_NOT_OK(r->Read(&n));
   columns_.clear();

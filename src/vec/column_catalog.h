@@ -66,6 +66,12 @@ class ColumnCatalog {
   void Serialize(BinaryWriter* w) const;
   Status Deserialize(BinaryReader* r);
 
+  /// Column metadata alone, without the vector store — the flat snapshot
+  /// format stores the raw floats as their own mmap-able section and keeps
+  /// only this variable-length part in a parsed section.
+  void SerializeMeta(BinaryWriter* w) const;
+  Status DeserializeMeta(BinaryReader* r);
+
  private:
   VectorStore store_;
   std::vector<ColumnMeta> columns_;

@@ -1,0 +1,181 @@
+#ifndef PEXESO_VEC_QUANT_H_
+#define PEXESO_VEC_QUANT_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "vec/column_catalog.h"
+#include "vec/metric.h"
+
+namespace pexeso {
+
+/// Affine int8 quantization parameters of one column: value ≈
+/// scale * code + offset, codes clamped to [-127, 127].
+struct QuantColumnParam {
+  float scale;
+  float offset;
+};
+
+/// Outcome of classifying one pair through the quantized tier.
+enum class QuantVerdict : uint8_t {
+  kMiss = 0,   ///< provably dist > tau — skip the exact tile
+  kMatch = 1,  ///< provably dist <= tau — skip the exact tile
+  kMaybe = 2,  ///< too close to call — exact float re-check required
+};
+
+/// \brief int8 quantized mirror of a repository's vectors, used by the
+/// verification pipeline as a conservative pre-filter tier.
+///
+/// Each column is quantized with its own scale/offset (value range mapped
+/// onto [-127, 127]); offsets cancel in code differences, so the integer
+/// code-difference sums produced by KernelSet::QuantTile convert to an
+/// estimate of the distance between the *dequantized* vectors with one
+/// multiply (+ sqrt for L2). The store also carries, per vector, the exact
+/// reconstruction error norm (L2 ε₂ or L1 ε₁ matching the metric), so the
+/// triangle inequality bounds the true distance:
+///
+///   |d(a, b) - d(â, b̂)| <= ε(a) + ε(b)
+///
+/// On top of that bound sits a calibrated slack for the float kernels'
+/// deviation from the double-accumulating oracle: a pair is decided by the
+/// quantized tier only when the bound clears/fails the threshold by more
+/// than the slack, so decisions provably agree with whatever float kernel
+/// variant would have evaluated the pair — results stay byte-identical with
+/// the pre-filter on or off (tests/snapshot_test.cc enforces it).
+///
+/// Storage modes mirror VectorStore: owned (built from the catalog) or view
+/// (codes/errors bound to sections of an mmapped snapshot; params are small
+/// and always heap-resident). Cosine has no quantized tier (its comparison
+/// space is not a code-difference sum); valid() is false there.
+class QuantStore {
+ public:
+  QuantStore() = default;
+
+  /// Builds codes, error norms, params, and the kernel slack from scratch.
+  /// Clears instead when the metric has no quantized tier (cosine, custom)
+  /// or the dimensionality is out of range.
+  void Build(const ColumnCatalog& catalog, MetricKind kind);
+
+  /// Quantizes the last column of `catalog` and appends its codes/errors
+  /// (columns are quantized independently, so appends never re-code
+  /// existing data). No-op when invalid.
+  void AppendLastColumn(const ColumnCatalog& catalog);
+
+  void Clear() {
+    valid_ = false;
+    params_.clear();
+    codes_.clear();
+    err_.clear();
+    view_codes_ = nullptr;
+    view_err_ = nullptr;
+    num_vectors_ = 0;
+    dim_ = 0;
+  }
+
+  /// Points codes/errors at externally-owned arrays (the caller keeps them
+  /// alive — typically the snapshot's MappedFile); params/slack come from
+  /// the parsed quant_meta section.
+  void BindView(std::vector<QuantColumnParam> params, const int8_t* codes,
+                const float* err, size_t num_vectors, uint32_t dim,
+                MetricKind kind, double slack_rel, double slack_abs) {
+    params_ = std::move(params);
+    codes_.clear();
+    err_.clear();
+    view_codes_ = codes;
+    view_err_ = err;
+    num_vectors_ = num_vectors;
+    dim_ = dim;
+    kind_ = kind;
+    slack_rel_ = slack_rel;
+    slack_abs_ = slack_abs;
+    valid_ = true;
+  }
+
+  /// Copies viewed codes/errors into owned storage; no-op when owned.
+  void Materialize();
+
+  bool valid() const { return valid_; }
+  bool is_view() const { return view_codes_ != nullptr; }
+
+  /// True when the pre-filter can serve searches of `kind`.
+  bool CompatibleWith(MetricKind kind) const {
+    return valid_ && kind == kind_;
+  }
+
+  MetricKind kind() const { return kind_; }
+  uint32_t dim() const { return dim_; }
+  size_t num_vectors() const { return num_vectors_; }
+  size_t num_columns() const { return params_.size(); }
+  double slack_rel() const { return slack_rel_; }
+  double slack_abs() const { return slack_abs_; }
+  const QuantColumnParam& param(ColumnId c) const { return params_[c]; }
+  const std::vector<QuantColumnParam>& params() const { return params_; }
+
+  /// Packed codes (num_vectors x dim) and per-vector error norms.
+  const int8_t* codes() const {
+    return view_codes_ != nullptr ? view_codes_ : codes_.data();
+  }
+  const float* err() const {
+    return view_err_ != nullptr ? view_err_ : err_.data();
+  }
+
+  /// Quantizes a query vector with column `c`'s params; returns the exact
+  /// reconstruction error norm of the query under that quantization (same
+  /// norm kind as the stored per-vector errors).
+  double QuantizeQuery(const float* q, ColumnId c, int8_t* out) const;
+
+  /// Converts an integer code-difference sum (squared for L2, absolute for
+  /// L1) into the distance between the dequantized vectors.
+  double CodeSumToDist(int32_t sum, ColumnId c) const {
+    const double s = static_cast<double>(params_[c].scale);
+    return kind_ == MetricKind::kL1
+               ? s * static_cast<double>(sum)
+               : s * std::sqrt(static_cast<double>(sum));
+  }
+
+  /// Classifies one pair against `tau`. The quantized distance plus/minus
+  /// the two reconstruction error norms brackets the true distance (triangle
+  /// inequality); the calibrated slack then brackets how far the float
+  /// kernel value can sit from it, so kMatch/kMiss verdicts provably agree
+  /// with the float comparison they replace.
+  QuantVerdict Classify(int32_t sum, ColumnId c, double query_eps,
+                        double base_eps, double tau) const {
+    const double d = CodeSumToDist(sum, c);
+    const double hi = d + query_eps + base_eps;
+    const double lo = d - query_eps - base_eps;
+    const double margin = slack_abs_ + slack_rel_ * std::max(hi, tau);
+    if (hi + margin <= tau) return QuantVerdict::kMatch;
+    if (lo - margin > tau) return QuantVerdict::kMiss;
+    return QuantVerdict::kMaybe;
+  }
+
+  /// Heap bytes (viewed code/error bytes are the mapping's).
+  size_t MemoryBytes() const {
+    return params_.capacity() * sizeof(QuantColumnParam) +
+           codes_.capacity() + err_.capacity() * sizeof(float);
+  }
+
+ private:
+  void QuantizeRange(const ColumnCatalog& catalog, ColumnId col);
+  void Calibrate(const ColumnCatalog& catalog);
+
+  bool valid_ = false;
+  MetricKind kind_ = MetricKind::kL2;
+  uint32_t dim_ = 0;
+  size_t num_vectors_ = 0;
+  std::vector<QuantColumnParam> params_;  ///< per column, always heap
+  std::vector<int8_t> codes_;             ///< owned mode
+  std::vector<float> err_;                ///< owned mode
+  const int8_t* view_codes_ = nullptr;    ///< non-null => view mode
+  const float* view_err_ = nullptr;
+  double slack_rel_ = 0.0;  ///< relative float-kernel deviation allowance
+  double slack_abs_ = 0.0;  ///< absolute floor of the same
+};
+
+}  // namespace pexeso
+
+#endif  // PEXESO_VEC_QUANT_H_

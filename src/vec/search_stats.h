@@ -44,6 +44,12 @@ struct SearchStats {
   /// never on the shard layout, so the count is identical at any
   /// intra-query thread count.
   uint64_t tiles_evaluated = 0;
+  /// Exact float tile slots skipped because the int8 quantized pre-filter
+  /// tier decided the pair conservatively (definite match or definite miss
+  /// with calibrated slack). Each skip is a distance computation the float
+  /// tier never ran; like tiles_evaluated it is independent of the shard
+  /// layout and thread count.
+  uint64_t quant_tile_skips = 0;
   /// Largest number of candidate blocks any one verification shard owned —
   /// a shard-imbalance diagnostic. Unlike every other counter this merges
   /// by MAX (a sum would be meaningless across shards/queries) and it
@@ -103,6 +109,7 @@ struct SearchStats {
     early_joinable += o.early_joinable;
     candidate_blocks += o.candidate_blocks;
     tiles_evaluated += o.tiles_evaluated;
+    quant_tile_skips += o.quant_tile_skips;
     shard_max_blocks = std::max(shard_max_blocks, o.shard_max_blocks);
     columns_pruned_topk += o.columns_pruned_topk;
     deadline_expired += o.deadline_expired;

@@ -19,6 +19,7 @@ void VectorStore::NormalizeInPlace(float* v, uint32_t dim) {
 }
 
 void VectorStore::NormalizeAll() {
+  Materialize();
   const size_t n = size();
   for (size_t i = 0; i < n; ++i) {
     NormalizeInPlace(data_.data() + i * dim_, dim_);
@@ -36,7 +37,7 @@ const float* VectorStore::EnsureNorms() const {
   size_t ready = norms_ready_.load(std::memory_order_relaxed);
   if (ready < n) {
     norms_.resize(n);
-    ComputeNorms(data_.data() + ready * dim_, n - ready, dim_,
+    ComputeNorms(base() + ready * dim_, n - ready, dim_,
                  norms_.data() + ready);
     norms_ready_.store(n, std::memory_order_release);
   }
@@ -45,12 +46,16 @@ const float* VectorStore::EnsureNorms() const {
 
 void VectorStore::Serialize(BinaryWriter* w) const {
   w->Write<uint32_t>(dim_);
-  w->WriteVector(data_);
+  const uint64_t n = size() * static_cast<uint64_t>(dim_);
+  w->Write<uint64_t>(n);
+  w->WriteBytes(base(), n * sizeof(float));
 }
 
 Status VectorStore::Deserialize(BinaryReader* r) {
   PEXESO_RETURN_NOT_OK(r->Read(&dim_));
   PEXESO_RETURN_NOT_OK(r->ReadVector(&data_));
+  ext_ = nullptr;
+  ext_count_ = 0;
   InvalidateNorms();
   if (dim_ != 0 && data_.size() % dim_ != 0) {
     return Status::Corruption("vector buffer not a multiple of dim");

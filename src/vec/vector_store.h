@@ -26,6 +26,14 @@ using ColumnId = uint32_t;
 /// vectors by VecId. This is the layout every index in the library is built
 /// over: cache-friendly scans, trivially serializable for the out-of-core
 /// partition files.
+///
+/// Two storage modes share one read surface: owned (the default; vectors
+/// live in a heap buffer) and view (BindView points the store at external
+/// packed floats — e.g. one section of an mmapped snapshot — with zero
+/// copies). Mutators materialize a view into owned storage first, so view
+/// stores stay read-only until someone actually writes. The norms cache is
+/// always heap-resident and lazily computed in both modes, which keeps
+/// cosine results bit-identical regardless of which mode served the search.
 class VectorStore {
  public:
   /// Creates an empty store of the given dimensionality (> 0).
@@ -35,12 +43,26 @@ class VectorStore {
 
   // The norms cache carries a mutex, so the special members are spelled
   // out: vector data travels, the cache is moved when possible and
-  // recomputed otherwise.
-  VectorStore(const VectorStore& o) : dim_(o.dim_), data_(o.data_) {}
+  // recomputed otherwise. Copying a view store deep-copies the viewed bytes
+  // (the copy owns its data; it must not silently alias a mapping it cannot
+  // keep alive).
+  VectorStore(const VectorStore& o) : dim_(o.dim_) {
+    if (o.ext_ != nullptr) {
+      data_.assign(o.ext_, o.ext_ + o.ext_count_ * dim_);
+    } else {
+      data_ = o.data_;
+    }
+  }
   VectorStore& operator=(const VectorStore& o) {
     if (this != &o) {
       dim_ = o.dim_;
-      data_ = o.data_;
+      if (o.ext_ != nullptr) {
+        data_.assign(o.ext_, o.ext_ + o.ext_count_ * dim_);
+      } else {
+        data_ = o.data_;
+      }
+      ext_ = nullptr;
+      ext_count_ = 0;
       InvalidateNorms();
     }
     return *this;
@@ -48,29 +70,65 @@ class VectorStore {
   VectorStore(VectorStore&& o) noexcept
       : dim_(o.dim_),
         data_(std::move(o.data_)),
+        ext_(o.ext_),
+        ext_count_(o.ext_count_),
         norms_(std::move(o.norms_)),
         norms_ready_(o.norms_ready_.load(std::memory_order_relaxed)) {
+    o.ext_ = nullptr;
+    o.ext_count_ = 0;
     o.InvalidateNorms();  // its norms_ buffer is gone
   }
   VectorStore& operator=(VectorStore&& o) noexcept {
     if (this != &o) {
       dim_ = o.dim_;
       data_ = std::move(o.data_);
+      ext_ = o.ext_;
+      ext_count_ = o.ext_count_;
       norms_ = std::move(o.norms_);
       norms_ready_.store(o.norms_ready_.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
+      o.ext_ = nullptr;
+      o.ext_count_ = 0;
       o.InvalidateNorms();
     }
     return *this;
   }
 
   uint32_t dim() const { return dim_; }
-  size_t size() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
-  bool empty() const { return data_.empty(); }
+  size_t size() const {
+    if (ext_ != nullptr) return ext_count_;
+    return dim_ == 0 ? 0 : data_.size() / dim_;
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Points the store at `count` externally-owned packed vectors (the caller
+  /// keeps the bytes alive — typically via the snapshot's MappedFile). Any
+  /// owned data is discarded.
+  void BindView(const float* packed, size_t count, uint32_t dim) {
+    PEXESO_CHECK(dim > 0);
+    dim_ = dim;
+    data_.clear();
+    ext_ = packed;
+    ext_count_ = count;
+    InvalidateNorms();
+  }
+
+  /// True when reads are served from externally-owned bytes.
+  bool is_view() const { return ext_ != nullptr; }
+
+  /// Copies viewed bytes into owned storage; no-op for owned stores. Called
+  /// by every mutator, so a mapped snapshot is copy-on-write as a whole.
+  void Materialize() {
+    if (ext_ == nullptr) return;
+    data_.assign(ext_, ext_ + ext_count_ * dim_);
+    ext_ = nullptr;
+    ext_count_ = 0;
+  }
 
   /// Appends a vector; returns its id. `v.size()` must equal dim().
   VecId Add(std::span<const float> v) {
     PEXESO_DCHECK(v.size() == dim_);
+    Materialize();
     const VecId id = static_cast<VecId>(size());
     data_.insert(data_.end(), v.begin(), v.end());
     return id;
@@ -78,6 +136,7 @@ class VectorStore {
 
   /// Appends `count` vectors from a packed buffer.
   VecId AddBatch(const float* packed, size_t count) {
+    Materialize();
     const VecId first = static_cast<VecId>(size());
     data_.insert(data_.end(), packed, packed + count * dim_);
     return first;
@@ -89,12 +148,13 @@ class VectorStore {
   /// Borrowed view of vector `id`.
   const float* View(VecId id) const {
     PEXESO_DCHECK(static_cast<size_t>(id) < size());
-    return data_.data() + static_cast<size_t>(id) * dim_;
+    return base() + static_cast<size_t>(id) * dim_;
   }
 
   /// Mutable view (used by normalization and tests). Invalidates the norm
   /// cache from `id` on, since the caller may rewrite the vector.
   float* MutableView(VecId id) {
+    Materialize();
     PEXESO_DCHECK(static_cast<size_t>(id) < size());
     TruncateNorms(id);
     return data_.data() + static_cast<size_t>(id) * dim_;
@@ -118,18 +178,26 @@ class VectorStore {
   /// Returns nullptr for an empty store.
   const float* EnsureNorms() const;
 
-  /// Approximate heap footprint in bytes.
+  /// Approximate heap footprint in bytes. Viewed bytes are not counted —
+  /// they are the mapping's, charged separately as bytes mapped.
   size_t MemoryBytes() const {
     return data_.capacity() * sizeof(float) + norms_.capacity() * sizeof(float);
   }
 
-  /// Serialization for partition files.
+  /// Serialization for partition files. Works in both modes and emits
+  /// identical bytes for identical contents.
   void Serialize(BinaryWriter* w) const;
   Status Deserialize(BinaryReader* r);
 
-  const std::vector<float>& raw() const { return data_; }
+  /// Owned backing buffer; only meaningful for owned stores.
+  const std::vector<float>& raw() const {
+    PEXESO_DCHECK(ext_ == nullptr);
+    return data_;
+  }
 
  private:
+  const float* base() const { return ext_ != nullptr ? ext_ : data_.data(); }
+
   void InvalidateNorms() { norms_ready_.store(0, std::memory_order_relaxed); }
   void TruncateNorms(VecId id) {
     size_t ready = norms_ready_.load(std::memory_order_relaxed);
@@ -138,6 +206,8 @@ class VectorStore {
 
   uint32_t dim_;
   std::vector<float> data_;
+  const float* ext_ = nullptr;  ///< non-null => view mode
+  size_t ext_count_ = 0;        ///< vectors behind ext_
 
   // Lazily computed ||v|| cache. norms_ready_ counts valid prefix entries;
   // readers publish with release stores under norms_mutex_ and check with an

@@ -221,6 +221,39 @@ TEST(SerdeTest, Crc32MatchesKnownVector) {
   EXPECT_EQ(crc, 0xCBF43926u);
 }
 
+TEST(SerdeTest, Crc32LargeBuffersMatchByteSerialReference) {
+  // Buffers >= 64 bytes take the carry-less-multiply fast path on x86;
+  // every size (including the awkward 16-byte-remainder and sub-64 tails)
+  // must equal the byte-serial definition of the same polynomial.
+  auto reference = [](const uint8_t* p, size_t n) {
+    uint32_t crc = ~0u;
+    for (size_t i = 0; i < n; ++i) {
+      crc ^= p[i];
+      for (int b = 0; b < 8; ++b) {
+        crc = (crc & 1u) ? 0xEDB88320u ^ (crc >> 1) : crc >> 1;
+      }
+    }
+    return ~crc;
+  };
+  Rng rng(4417);
+  std::vector<uint8_t> buf(4096 + 17);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.Uniform(256));
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{63},
+                         size_t{64}, size_t{65}, size_t{79}, size_t{80},
+                         size_t{127}, size_t{128}, size_t{1000},
+                         size_t{4096}, buf.size()}) {
+    EXPECT_EQ(Crc32Update(0, buf.data(), n), reference(buf.data(), n))
+        << "n=" << n;
+    // Split updates must also agree (the fast path only sees full chunks).
+    if (n >= 2) {
+      const uint32_t head = Crc32Update(0, buf.data(), n / 2);
+      EXPECT_EQ(Crc32Update(head, buf.data() + n / 2, n - n / 2),
+                reference(buf.data(), n))
+          << "split n=" << n;
+    }
+  }
+}
+
 TEST(SerdeTest, ChecksumFooterRoundTrip) {
   const std::string path = ::testing::TempDir() + "/serde_crc.bin";
   {

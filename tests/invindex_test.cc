@@ -37,7 +37,7 @@ TEST(InvertedIndexTest, CoversEveryVectorExactlyOnce) {
   for (uint32_t cell = 0; cell < b.inv.num_cells(); ++cell) {
     for (const auto& p : b.inv.PostingsOf(cell)) {
       for (uint32_t k = 0; k < p.vec_count; ++k) {
-        const VecId v = b.inv.vec_ids()[p.vec_begin + k];
+        const VecId v = b.inv.vec_ids_data()[p.vec_begin + k];
         EXPECT_TRUE(seen.insert(v).second) << "vector listed twice";
         EXPECT_EQ(b.catalog.ColumnOf(v), p.column);
         // The vector must actually live in this grid cell.

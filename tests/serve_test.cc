@@ -330,11 +330,15 @@ TEST_F(ServeTest, CorruptPartitionFileIsRejectedByChecksum) {
   auto loaded = PexesoIndex::Load(victim, &metric);
   EXPECT_FALSE(loaded.ok());
 
-  // A true legacy (v1) file — same payload, no footer, version byte 1 —
-  // still loads.
+  // A true legacy (v1) file — streamed payload, no footer, version byte 1 —
+  // still loads. Part files are flat (v3) now, so synthesize one from the
+  // legacy stream writer.
   const std::string legacy = ::testing::TempDir() + "/serve_legacy.pxso";
-  fs::copy_file(parts.PartPath(0), legacy,
-                fs::copy_options::overwrite_existing);
+  {
+    auto part = PexesoIndex::Load(parts.PartPath(0), &metric);
+    ASSERT_TRUE(part.ok());
+    ASSERT_TRUE(std::move(part).ValueOrDie().SaveLegacy(legacy).ok());
+  }
   fs::resize_file(legacy, fs::file_size(legacy) - 8);  // drop the footer
   {
     std::fstream f(legacy, std::ios::in | std::ios::out | std::ios::binary);
@@ -345,16 +349,28 @@ TEST_F(ServeTest, CorruptPartitionFileIsRejectedByChecksum) {
   auto legacy_loaded = PexesoIndex::Load(legacy, &metric);
   EXPECT_TRUE(legacy_loaded.ok());
 
-  // A CURRENT (v2) file truncated at the footer boundary must NOT pass as
+  // A v2 streamed file truncated at the footer boundary must NOT pass as
   // legacy: the version gate keeps checksum verification mandatory.
   const std::string clipped = ::testing::TempDir() + "/serve_clipped.pxso";
-  fs::copy_file(parts.PartPath(0), clipped,
-                fs::copy_options::overwrite_existing);
+  {
+    auto part = PexesoIndex::Load(parts.PartPath(0), &metric);
+    ASSERT_TRUE(part.ok());
+    ASSERT_TRUE(std::move(part).ValueOrDie().SaveLegacy(clipped).ok());
+  }
   fs::resize_file(clipped, fs::file_size(clipped) - 8);
   EXPECT_FALSE(PexesoIndex::Load(clipped, &metric).ok());
+
+  // Same for the flat (v3) format: dropping the footer must be fatal, not a
+  // downgrade to an unchecked read.
+  const std::string clipped3 = ::testing::TempDir() + "/serve_clipped3.pxso";
+  fs::copy_file(parts.PartPath(0), clipped3,
+                fs::copy_options::overwrite_existing);
+  fs::resize_file(clipped3, fs::file_size(clipped3) - 8);
+  EXPECT_FALSE(PexesoIndex::Load(clipped3, &metric).ok());
   fs::remove(victim);
   fs::remove(legacy);
   fs::remove(clipped);
+  fs::remove(clipped3);
 }
 
 TEST_F(ServeTest, FailedPartitionLoadStillReportsIoSeconds) {
@@ -514,6 +530,45 @@ TEST_F(ServeTest, IntraQueryShardsStayByteIdenticalInSessions) {
     EXPECT_EQ(outcome.stats.lemma1_filtered, serial_stats.lemma1_filtered);
     EXPECT_EQ(outcome.stats.tiles_evaluated, serial_stats.tiles_evaluated);
   }
+}
+
+TEST_F(ServeTest, ExpiredQueryDropsEveryQueuedPart) {
+  // Deadline-aware part scheduling: a query that is already expired at
+  // submit time must not burn pool time on any part — every part task is
+  // dropped at its pre-flight check, counted in deadline_expired, and no
+  // verification work (distance computations) ever runs.
+  PartitionedPexeso parts = OpenParts();
+  VectorStore query = MakeClusteredQuery(9600, kDim, 12);
+  JoinQuery sopts = MakeJoinQuery(query.size());
+  sopts.deadline = Deadline::After(-1.0);  // expired before submission
+
+  ServeSession session(&parts, {.num_threads = 2});
+  auto future = session.Submit(BindQuery(query, sopts));
+  QueryOutcome outcome = future.get();
+  EXPECT_EQ(outcome.status.code(), Status::Code::kDeadlineExceeded)
+      << outcome.status.ToString();
+  EXPECT_TRUE(outcome.results.empty());
+  EXPECT_EQ(outcome.stats.deadline_expired, kParts);
+  EXPECT_EQ(outcome.stats.distance_computations, 0u);
+  EXPECT_EQ(outcome.stats.tiles_evaluated, 0u);
+}
+
+TEST_F(ServeTest, CancelledQueryDropsStillQueuedParts) {
+  // Same pre-flight drop for cancellation: with the token tripped before
+  // the pool picks the tasks up, no part runs verification.
+  PartitionedPexeso parts = OpenParts();
+  VectorStore query = MakeClusteredQuery(9601, kDim, 12);
+  JoinQuery sopts = MakeJoinQuery(query.size());
+  sopts.cancel = CancelToken::Create();
+  sopts.cancel.Cancel();
+
+  ServeSession session(&parts, {.num_threads = 2});
+  auto future = session.Submit(BindQuery(query, sopts));
+  QueryOutcome outcome = future.get();
+  EXPECT_EQ(outcome.status.code(), Status::Code::kCancelled)
+      << outcome.status.ToString();
+  EXPECT_EQ(outcome.stats.deadline_expired, kParts);
+  EXPECT_EQ(outcome.stats.distance_computations, 0u);
 }
 
 TEST_F(ServeTest, SessionOverInMemoryEngineMatchesDirectSearch) {

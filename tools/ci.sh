@@ -60,6 +60,13 @@ if [[ -x "$BUILD_DIR/bench/bench_ingest" ]]; then
   "$BUILD_DIR/bench/bench_ingest"
 fi
 
+if [[ -x "$BUILD_DIR/bench/bench_snapshot" ]]; then
+  # Writes BENCH_snapshot.json (flat-vs-streamed cold-load wall time, heap
+  # vs mapped residency, and the quant pre-filter's float-distance
+  # reduction — the reduction is counter-based, so 1-core stable).
+  "$BUILD_DIR/bench/bench_snapshot"
+fi
+
 if [[ -x "$BUILD_DIR/bench/bench_net" ]]; then
   # Writes BENCH_net.json (loopback wire-protocol serving: queries/sec,
   # protocol bytes per query, parity vs the in-process engine).
@@ -154,7 +161,8 @@ if [[ ! -s "$SMOKE_DIR/local.txt" ]]; then
 fi
 "$BUILD_DIR/pexeso_cli" stats --connect "127.0.0.1:$SMOKE_PORT" \
   > "$SMOKE_DIR/stats.txt"
-for field in queries_completed admission_inflight search_distance_computations; do
+for field in queries_completed admission_inflight search_distance_computations \
+    search_quant_tile_skips cache_v1_loads cache_v2_loads cache_bytes_mapped; do
   if ! grep -q "$field" "$SMOKE_DIR/stats.txt"; then
     echo "loopback smoke: STATS lacks $field" >&2
     exit 1
@@ -184,11 +192,14 @@ if [[ "${PEXESO_CI_SANITIZE:-1}" == "1" ]]; then
   # silent garbage into a hard failure. net_test joins for the wire
   # protocol: the bit-flip/truncation corpus and the malformed-frame
   # server paths are exactly where a length-prefix over-read would live.
+  # snapshot_test joins for the mmap load path: section-table validation
+  # over the corruption corpus is where an out-of-bounds view binding
+  # would hide, and the quant tier's int8 kernels run under UBSan here.
   cmake --build "$SAN_DIR" -j "$JOBS" \
     --target kernel_test vec_test serve_test common_test pipeline_test \
-    topk_test lake_test fault_test net_test
+    topk_test lake_test fault_test net_test snapshot_test
   ctest --test-dir "$SAN_DIR" --output-on-failure --timeout 600 \
-    -R '^(kernel_test|vec_test|serve_test|common_test|pipeline_test|topk_test|lake_test|fault_test|net_test)$'
+    -R '^(kernel_test|vec_test|serve_test|common_test|pipeline_test|topk_test|lake_test|fault_test|net_test|snapshot_test)$'
 fi
 
 if [[ "${PEXESO_CI_TSAN:-1}" == "1" ]]; then
@@ -208,9 +219,12 @@ if [[ "${PEXESO_CI_TSAN:-1}" == "1" ]]; then
   # turns a TSan-slowed deadlock into a fast failure. net_test joins for
   # the server's cross-thread choreography: loop-thread connection state
   # vs pool-thread result callbacks vs metrics reads from client threads.
+  # snapshot_test joins for mapped-snapshot sharing: one mmapped index read
+  # by concurrent verification shards, and the cache's mapped-bytes gauges
+  # updated across shard locks.
   cmake --build "$TSAN_DIR" -j "$JOBS" \
     --target pipeline_test batch_runner_test serve_test common_test \
-    topk_test lake_test net_test
+    topk_test lake_test net_test snapshot_test
   ctest --test-dir "$TSAN_DIR" --output-on-failure --timeout 600 \
-    -R '^(pipeline_test|batch_runner_test|serve_test|common_test|topk_test|lake_test|net_test)$'
+    -R '^(pipeline_test|batch_runner_test|serve_test|common_test|topk_test|lake_test|net_test|snapshot_test)$'
 fi
