@@ -1,0 +1,279 @@
+// bench_shard: scatter-gather sharding and the global top-k floor.
+//
+// The coordinator's value proposition is that sharding must not change the
+// answer and floor sharing must shrink the work: each shard's local
+// k-th-best raises one shared CAS-max cell, so sibling shards prune
+// against the GLOBAL k-th best instead of only their own. This bench runs
+// the same kTopK workload three ways on one lake —
+//
+//   single  : the unsharded PartitionedPexeso (the oracle),
+//   virtual : 4 in-process shard nodes under the coordinator,
+//   remote  : 2 real pexeso_server shard executors over loopback TCP —
+//
+// each with floor sharing on and off, and reports total exact distance
+// computations (the counter-based win — meaningful on a 1-core CI box),
+// floor update counts, wire bytes moved (remote), and a byte-identical
+// results check. Results go to stdout and BENCH_shard.json
+// ("BENCH_shard/v1") so successive PRs track the trajectory.
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/server.h"
+#include "partition/partitioned_pexeso.h"
+#include "partition/partitioner.h"
+#include "serve/index_cache.h"
+#include "shard/coordinator.h"
+#include "shard/part_subset.h"
+#include "shard/remote.h"
+#include "shard/shard_map.h"
+#include "shard/virtual_node.h"
+
+namespace pexeso::bench {
+namespace {
+
+struct ShardRow {
+  std::string config;
+  bool share_floor = false;
+  uint64_t distance_computations = 0;
+  uint64_t pruned_columns = 0;
+  uint64_t floor_updates_sent = 0;
+  uint64_t floor_updates_received = 0;
+  uint64_t bytes_moved = 0;
+  double seconds = 0.0;
+  bool identical = true;
+};
+
+bool SameResults(const std::vector<JoinableColumn>& a,
+                 const std::vector<JoinableColumn>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].column != b[i].column || a[i].match_count != b[i].match_count ||
+        a[i].joinability != b[i].joinability) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Runs the whole kTopK workload through `engine`, accumulating into `row`
+/// and checking every query against `oracles`.
+void RunWorkload(const JoinSearchEngine& engine,
+                 const std::vector<VectorStore>& queries,
+                 const JoinQuery& prototype,
+                 const std::vector<std::vector<JoinableColumn>>& oracles,
+                 ShardRow* row) {
+  for (size_t i = 0; i < queries.size(); ++i) {
+    JoinQuery jq = prototype;
+    jq.vectors = &queries[i];
+    SearchStats stats;
+    CollectSink sink;
+    row->seconds += TimeIt([&] {
+      const Status st = engine.Execute(jq, &sink, &stats);
+      if (!st.ok()) std::abort();
+    });
+    row->distance_computations += stats.distance_computations;
+    row->pruned_columns += stats.columns_pruned_topk;
+    row->floor_updates_sent += stats.floor_updates_sent;
+    row->floor_updates_received += stats.floor_updates_received;
+    row->bytes_moved += stats.shard_bytes_moved;
+    row->identical = row->identical && SameResults(sink.columns(), oracles[i]);
+  }
+}
+
+void WriteShardBenchJson(const std::vector<ShardRow>& rows) {
+  const char* path_env = std::getenv("PEXESO_BENCH_SHARD_JSON");
+  const std::string path =
+      path_env != nullptr ? path_env : "BENCH_shard.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"BENCH_shard/v1\",\n");
+  std::fprintf(f, "  \"hw_threads\": %u,\n",
+               std::max(1u, std::thread::hardware_concurrency()));
+  std::fprintf(f, "  \"configs\": [");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ShardRow& r = rows[i];
+    std::fprintf(
+        f,
+        "%s\n    {\"config\": \"%s\", \"share_floor\": %s, "
+        "\"distance_computations\": %llu, "
+        "\"columns_pruned_topk\": %llu, "
+        "\"floor_updates_sent\": %llu, "
+        "\"floor_updates_received\": %llu, "
+        "\"shard_bytes_moved\": %llu, "
+        "\"seconds\": %.4f, \"identical\": %s}",
+        i == 0 ? "" : ",", r.config.c_str(),
+        r.share_floor ? "true" : "false",
+        static_cast<unsigned long long>(r.distance_computations),
+        static_cast<unsigned long long>(r.pruned_columns),
+        static_cast<unsigned long long>(r.floor_updates_sent),
+        static_cast<unsigned long long>(r.floor_updates_received),
+        static_cast<unsigned long long>(r.bytes_moved), r.seconds,
+        r.identical ? "true" : "false");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+void ShardExperiment() {
+  namespace fs = std::filesystem;
+  const double scale = BenchProfiles::EnvScale();
+  VectorLakeOptions profile;
+  profile.dim = 50;
+  profile.num_columns = static_cast<uint32_t>(300 * scale);
+  profile.avg_col_size = 40.0;
+  profile.num_clusters = 24;
+  ColumnCatalog catalog = GenerateVectorLake(profile);
+  std::printf("lake: %zu columns, %zu vectors, dim %u\n",
+              catalog.num_columns(), catalog.num_vectors(), catalog.dim());
+
+  const std::string dir =
+      (fs::temp_directory_path() / "pexeso_bench_shard").string();
+  fs::remove_all(dir);
+  L2Metric metric;
+  Partitioner::Options popts;
+  popts.k = 8;
+  auto assignment = Partitioner::JsdClustering(catalog, popts);
+  PexesoOptions opts;
+  opts.num_pivots = 5;
+  opts.levels = 5;
+  auto built =
+      PartitionedPexeso::Build(catalog, assignment, dir, &metric, opts);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return;
+  }
+  PartitionedPexeso& parts = built.value();
+  serve::IndexCache cache(
+      serve::IndexCacheOptions{.budget_bytes = 512u << 20});
+  parts.AttachCache(&cache);
+  const size_t num_parts = parts.NumParts();
+  std::printf("partitioned into %zu parts under %s\n", num_parts,
+              dir.c_str());
+
+  const size_t num_queries = std::max<size_t>(4, NumQueries(8));
+  std::vector<VectorStore> queries = MakeQueries(profile, num_queries, 20);
+  FractionalThresholds ft{0.05, 0.6};
+  JoinQuery topk;
+  topk.thresholds.tau = ft.Resolve(metric, profile.dim, 20).tau;
+  topk.mode = QueryMode::kTopK;
+  topk.k = 5;
+
+  // The oracle pass: single-node answers and its work counter.
+  std::vector<std::vector<JoinableColumn>> oracles(queries.size());
+  ShardRow single;
+  single.config = "single";
+  for (size_t i = 0; i < queries.size(); ++i) {
+    JoinQuery jq = topk;
+    jq.vectors = &queries[i];
+    SearchStats stats;
+    CollectSink sink;
+    single.seconds += TimeIt([&] {
+      const Status st = parts.Execute(jq, &sink, &stats);
+      if (!st.ok()) std::abort();
+    });
+    single.distance_computations += stats.distance_computations;
+    single.pruned_columns += stats.columns_pruned_topk;
+    oracles[i] = std::move(sink).TakeColumns();
+  }
+  std::vector<ShardRow> rows;
+  rows.push_back(single);
+
+  std::printf("\nkTopK k=%zu over %zu query columns; floor sharing on/off\n",
+              topk.k, queries.size());
+  std::printf("%-22s %6s %16s %10s %12s %12s %10s\n", "config", "floor",
+              "distance comps", "pruned", "floor sent", "floor rcvd",
+              "identical");
+  std::printf("%-22s %6s %16llu %10llu %12s %12s %10s\n", "single", "-",
+              static_cast<unsigned long long>(single.distance_computations),
+              static_cast<unsigned long long>(single.pruned_columns), "-",
+              "-", "yes");
+
+  // Virtual 4-shard coordinator, floor sharing on vs off.
+  shard::VirtualShardRouter vrouter(&parts, 4);
+  for (bool share : {true, false}) {
+    shard::ShardedOptions sopts;
+    sopts.share_floor = share;
+    shard::ShardedEngine sharded(&vrouter, sopts);
+    ShardRow row;
+    row.config = "virtual-4shard";
+    row.share_floor = share;
+    RunWorkload(sharded, queries, topk, oracles, &row);
+    rows.push_back(row);
+    std::printf("%-22s %6s %16llu %10llu %12llu %12llu %10s\n",
+                row.config.c_str(), share ? "on" : "off",
+                static_cast<unsigned long long>(row.distance_computations),
+                static_cast<unsigned long long>(row.pruned_columns),
+                static_cast<unsigned long long>(row.floor_updates_sent),
+                static_cast<unsigned long long>(row.floor_updates_received),
+                row.identical ? "yes" : "NO");
+  }
+
+  // Remote 2-shard loopback fleet, floor sharing on vs off.
+  const shard::ShardMap map = shard::ShardMap::RoundRobin(num_parts, 2);
+  shard::PartSubsetEngine shard0(&parts, map.OwnedParts(0));
+  shard::PartSubsetEngine shard1(&parts, map.OwnedParts(1));
+  net::ServerOptions sopts0;
+  sopts0.expected_dim = profile.dim;
+  sopts0.shards_total = 2;
+  sopts0.shard_of = 0;
+  net::ServerOptions sopts1 = sopts0;
+  sopts1.shard_of = 1;
+  net::PexesoServer server0(&shard0, sopts0);
+  net::PexesoServer server1(&shard1, sopts1);
+  if (!server0.Start().ok() || !server1.Start().ok()) {
+    std::fprintf(stderr, "loopback shard servers failed to start\n");
+    return;
+  }
+  auto probed = shard::RemoteShardRouter::Probe(
+      {{{"127.0.0.1", server0.port()}}, {{"127.0.0.1", server1.port()}}});
+  if (!probed.ok()) {
+    std::fprintf(stderr, "probe failed: %s\n",
+                 probed.status().ToString().c_str());
+    return;
+  }
+  auto router = std::move(probed).ValueOrDie();
+  for (bool share : {true, false}) {
+    shard::ShardedOptions sopts;
+    sopts.share_floor = share;
+    shard::ShardedEngine sharded(router.get(), sopts);
+    ShardRow row;
+    row.config = "remote-2shard";
+    row.share_floor = share;
+    RunWorkload(sharded, queries, topk, oracles, &row);
+    rows.push_back(row);
+    std::printf("%-22s %6s %16llu %10llu %12llu %12llu %10s\n",
+                row.config.c_str(), share ? "on" : "off",
+                static_cast<unsigned long long>(row.distance_computations),
+                static_cast<unsigned long long>(row.pruned_columns),
+                static_cast<unsigned long long>(row.floor_updates_sent),
+                static_cast<unsigned long long>(row.floor_updates_received),
+                row.identical ? "yes" : "NO");
+  }
+  server0.Shutdown();
+  server1.Shutdown();
+
+  WriteShardBenchJson(rows);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pexeso::bench
+
+int main() {
+  using namespace pexeso::bench;
+  Banner("bench_shard: scatter-gather sharding + global top-k floor",
+         "the distributed-discussion scale-out of Section VII");
+  ShardExperiment();
+  return 0;
+}

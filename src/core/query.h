@@ -112,6 +112,37 @@ class Deadline {
       std::chrono::steady_clock::time_point::max();
 };
 
+/// \brief A shared CAS-max cell carrying the best known global "k-th best
+/// match count" floor across executions that search disjoint slices of one
+/// lake (partitions on one node, shards across nodes). Executions seed
+/// their local TopKBound from it and publish their own full-k floors back;
+/// because kTopK pruning is strict-beat, a raised floor can only remove
+/// work, never change results. Relaxed ordering is sufficient: the cell is
+/// a monotone hint, and a lagging read just means one extra verified
+/// column.
+class TopKFloorCell {
+ public:
+  explicit TopKFloorCell(uint32_t initial = 0) : floor_(initial) {}
+
+  uint32_t load() const { return floor_.load(std::memory_order_relaxed); }
+
+  /// CAS-max: returns true iff `floor` raised the cell (callers use the
+  /// return to count/forward genuinely-new raises exactly once).
+  bool RaiseTo(uint32_t floor) {
+    uint32_t seen = floor_.load(std::memory_order_relaxed);
+    while (floor > seen) {
+      if (floor_.compare_exchange_weak(seen, floor,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::atomic<uint32_t> floor_;
+};
+
 /// \brief One joinable-column search request: what to search with, which
 /// consumption mode, the thresholds, and the execution controls (deadline,
 /// cancellation, intra-query parallelism). Every JoinSearchEngine executes
@@ -155,6 +186,13 @@ struct JoinQuery {
   /// already known (e.g. from partitions searched earlier). Columns that
   /// cannot strictly beat it are pruned; 0 means no prior knowledge.
   uint32_t topk_floor = 0;
+
+  /// kTopK only: optional live link to a floor shared across concurrent
+  /// executions over disjoint lake slices (scatter-gather shards, serving
+  /// sessions). Execution-local like cancel/pools — it does NOT travel on
+  /// the wire; each server re-creates a cell per job and the coordinator
+  /// bridges raises through floor-update frames. Null: no sharing.
+  std::shared_ptr<TopKFloorCell> floor_link;
 
   /// Modes that must report exact match counts (no joinable-skip).
   bool exact_counts() const { return mode != QueryMode::kThreshold; }

@@ -323,7 +323,34 @@ Status VerifyPipeline::VerifyShard(const CandidateSet& cands, ColumnId col_lo,
   uint64_t shard_blocks = 0;
   Status live = Status::OK();
 
-  for (ColumnId col = col_lo; col < col_hi; ++col) {
+  // kTopK: verify this shard's columns in descending upper-bound order
+  // (candidate-block count = the column's achievable match count), ties by
+  // ascending id, so likely winners fill the k-th-best bound first and the
+  // strict-beat prune below fires sooner for the rest. Pruning is
+  // order-insensitive (a pruned column is outside the top-k under any
+  // order), so results are identical to the ascending-id scan; only
+  // columns_pruned_topk / distance counters improve.
+  const bool by_ub = topk != nullptr && jq.ablation.topk_order_by_ub;
+  std::vector<ColumnId> order;
+  if (by_ub) {
+    order.reserve(col_hi - col_lo);
+    for (ColumnId col = col_lo; col < col_hi; ++col) {
+      if (cands.block_begin[col + 1] > cands.block_begin[col]) {
+        order.push_back(col);
+      }
+    }
+    std::sort(order.begin(), order.end(), [&](ColumnId a, ColumnId b) {
+      const size_t ua = cands.block_begin[a + 1] - cands.block_begin[a];
+      const size_t ub = cands.block_begin[b + 1] - cands.block_begin[b];
+      if (ua != ub) return ua > ub;
+      return a < b;
+    });
+  }
+  const size_t iterations = by_ub ? order.size() : (col_hi - col_lo);
+
+  for (size_t oi = 0; oi < iterations; ++oi) {
+    const ColumnId col =
+        by_ub ? order[oi] : static_cast<ColumnId>(col_lo + oi);
     // Deadline/cancellation checkpoint: a tripped shard abandons the rest
     // of its column range before dispatching any further tiles.
     live = jq.CheckLive();

@@ -1,8 +1,10 @@
 #include "net/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -20,28 +22,64 @@ void PexesoClient::Close() {
   }
 }
 
-Status PexesoClient::Connect(const std::string& host, uint16_t port,
-                             const std::string& tenant) {
-  if (fd_ >= 0) return Status::InvalidArgument("already connected");
+Status PexesoClient::ConnectOnce(const sockaddr_in& addr, int timeout_ms) {
   fd_ = socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return Status::IoError("socket() failed");
+  // Non-blocking connect bounded by poll: a dead shard (SYN blackhole)
+  // fails in `timeout_ms` instead of the kernel's minutes-long default.
+  const int flags = fcntl(fd_, F_GETFL, 0);
+  fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  if (connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      const int err = errno;
+      Close();
+      return Status::IoError(std::string("connect failed: ") + strerror(err));
+    }
+    pollfd pfd{fd_, POLLOUT, 0};
+    int rc;
+    do {
+      rc = poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      Close();
+      return Status::IoError("connect timed out");
+    }
+    if (rc < 0) {
+      Close();
+      return Status::IoError("poll failed during connect");
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (soerr != 0) {
+      Close();
+      return Status::IoError(std::string("connect failed: ") +
+                             strerror(soerr));
+    }
+  }
+  fcntl(fd_, F_SETFL, flags);
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+Status PexesoClient::Connect(const std::string& host, uint16_t port,
+                             const std::string& tenant,
+                             const ConnectOptions& opts) {
+  if (fd_ >= 0) return Status::InvalidArgument("already connected");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    Close();
     return Status::InvalidArgument("bad host address: " + host);
   }
-  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
-    Close();
-    return Status::IoError(std::string("connect failed: ") + strerror(err));
-  }
-  const int one = 1;
-  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  PEXESO_RETURN_NOT_OK(RetryTransient(opts.retry, nullptr, [&] {
+    return ConnectOnce(addr, opts.connect_timeout_ms);
+  }));
 
   std::string hello;
-  EncodeHello(HelloMsg{kProtocolVersion, tenant}, &hello);
+  EncodeHello(HelloMsg{kProtocolVersion, tenant, opts.role}, &hello);
   PEXESO_RETURN_NOT_OK(SendBytes(hello));
   Frame frame;
   PEXESO_RETURN_NOT_OK(ReadFrame(&frame));
@@ -116,6 +154,13 @@ Status PexesoClient::Cancel(uint64_t query_id) {
   return SendBytes(bytes);
 }
 
+Status PexesoClient::SendFloorUpdate(uint64_t query_id, uint32_t floor) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  std::string bytes;
+  EncodeFloorUpdate(FloorUpdateMsg{query_id, floor}, &bytes);
+  return SendBytes(bytes);
+}
+
 Status PexesoClient::DispatchFrame(Frame&& frame, std::string* stats_text,
                                    bool* got_stats) {
   switch (frame.type) {
@@ -152,6 +197,12 @@ Status PexesoClient::DispatchFrame(Frame&& frame, std::string* stats_text,
         PEXESO_RETURN_NOT_OK(DecodeStatsText(frame.payload, stats_text));
         if (got_stats != nullptr) *got_stats = true;
       }
+      return Status::OK();
+    }
+    case FrameType::kFloorUpdate: {
+      FloorUpdateMsg msg;
+      PEXESO_RETURN_NOT_OK(DecodeFloorUpdate(frame.payload, &msg));
+      if (floor_listener_) floor_listener_(msg.query_id, msg.floor);
       return Status::OK();
     }
     case FrameType::kError: {
@@ -212,6 +263,65 @@ ClientQueryResult PexesoClient::AwaitDone(uint64_t query_id) {
     Frame frame;
     Status st = ReadFrame(&frame);
     if (st.ok()) st = DispatchFrame(std::move(frame), nullptr, nullptr);
+    if (!st.ok()) {
+      pending_.erase(query_id);
+      failed.status = st;
+      return failed;
+    }
+  }
+}
+
+Status PexesoClient::ReadFrameFor(Frame* frame, int timeout_ms,
+                                  bool* has_frame) {
+  *has_frame = false;
+  PEXESO_RETURN_NOT_OK(decoder_.Next(frame, has_frame));
+  if (*has_frame) return Status::OK();
+  pollfd pfd{fd_, POLLIN, 0};
+  int rc;
+  do {
+    rc = poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Status::IoError("poll failed");
+  if (rc == 0) return Status::OK();  // tick: no frame yet
+  char buf[64 * 1024];
+  const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+  if (n > 0) {
+    bytes_received_ += static_cast<uint64_t>(n);
+    decoder_.Append(buf, static_cast<size_t>(n));
+    return decoder_.Next(frame, has_frame);
+  }
+  if (n < 0 && errno == EINTR) return Status::OK();
+  return Status::IoError("connection closed by server");
+}
+
+ClientQueryResult PexesoClient::AwaitDone(uint64_t query_id, int tick_ms,
+                                          const std::function<Status()>& tick) {
+  ClientQueryResult failed;
+  for (;;) {
+    {
+      auto it = pending_.find(query_id);
+      if (it == pending_.end()) {
+        failed.status = Status::Internal("no such pending query");
+        return failed;
+      }
+      if (it->second.done) return TakeResult(query_id);
+    }
+    if (tick) {
+      const Status ts = tick();
+      if (!ts.ok()) {
+        // The caller abandoned the wait (hedge loser / external cancel);
+        // the query stays server-side until the connection closes.
+        pending_.erase(query_id);
+        failed.status = ts;
+        return failed;
+      }
+    }
+    Frame frame;
+    bool has_frame = false;
+    Status st = ReadFrameFor(&frame, tick_ms, &has_frame);
+    if (st.ok() && has_frame) {
+      st = DispatchFrame(std::move(frame), nullptr, nullptr);
+    }
     if (!st.ok()) {
       pending_.erase(query_id);
       failed.status = st;

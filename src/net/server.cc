@@ -233,6 +233,9 @@ void PexesoServer::OnFrame(Connection* conn, Frame&& frame) {
     case FrameType::kCancel:
       HandleCancel(conn, frame);
       return;
+    case FrameType::kFloorUpdate:
+      HandleFloorUpdate(conn, frame);
+      return;
     case FrameType::kStats: {
       std::string reply;
       EncodeStatsText(MetricsText(), &reply);
@@ -269,6 +272,8 @@ void PexesoServer::HandleHello(Connection* conn, const Frame& frame) {
   ack.engine = engine_->name();
   ack.dim = options_.expected_dim;
   ack.parts = num_parts_;
+  ack.shards_total = options_.shards_total;
+  ack.shard_of = options_.shard_of;
   std::string reply;
   EncodeHelloAck(ack, &reply);
   conn->Send(std::move(reply));
@@ -303,6 +308,13 @@ void PexesoServer::HandleQuery(Connection* conn, Frame&& frame) {
   job->cancel = CancelToken::Create();
   job->query.cancel = job->cancel;
   job->query.vectors = &job->vectors;  // heap-stable: the map moves the ptr
+  if (job->query.mode == QueryMode::kTopK) {
+    // The job's floor cell: part completions raise it (the session counts
+    // those as sends), and a coordinator's kFloorUpdate frames raise it
+    // from outside so later parts prune against the global k-th best.
+    job->floor = std::make_shared<TopKFloorCell>(job->query.topk_floor);
+    job->query.floor_link = job->floor;
+  }
   if (!job->query.deadline.has_deadline() &&
       options_.admission.default_deadline_ms > 0) {
     // The default budget anchors at ARRIVAL: time spent parked in the
@@ -369,10 +381,30 @@ void PexesoServer::HandleCancel(Connection* conn, const Frame& frame) {
   // Running: the token is set; the outcome callback reports Cancelled.
 }
 
+void PexesoServer::HandleFloorUpdate(Connection* conn, const Frame& frame) {
+  FloorUpdateMsg msg;
+  const Status st = DecodeFloorUpdate(frame.payload, &msg);
+  if (!st.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    conn->SendErrorAndClose(st);
+    return;
+  }
+  // A raise for a finished (or never-existing) query is a harmless no-op:
+  // the coordinator races query completion by design.
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  for (auto& [id, job] : jobs_) {
+    if (job->conn_id == conn->id() && job->client_query_id == msg.query_id) {
+      if (job->floor != nullptr) job->floor->RaiseTo(msg.floor);
+      break;
+    }
+  }
+}
+
 void PexesoServer::StartJob(uint64_t job_id) {
   JoinQuery query;
   uint64_t conn_id = 0;
   uint64_t client_query_id = 0;
+  std::shared_ptr<TopKFloorCell> floor;
   bool found = false;
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
@@ -382,6 +414,7 @@ void PexesoServer::StartJob(uint64_t job_id) {
       query = it->second->query;  // vectors pointer + shared cancel token
       conn_id = it->second->conn_id;
       client_query_id = it->second->client_query_id;
+      floor = it->second->floor;
     }
   }
   if (!found) {
@@ -399,9 +432,15 @@ void PexesoServer::StartJob(uint64_t job_id) {
   // (jobs_/admission_ are cleared wholesale right after the drain).
   std::lock_guard<std::mutex> session_lock(session_mu_);
   if (session_ == nullptr) return;
+  // Pushed-floor tracker for this query's chunk stream. Chunk callbacks of
+  // one query are serialized by the session, so the load/store pair cannot
+  // race itself; atomic only so TSan sees the cross-part handoff.
+  auto pushed = floor == nullptr
+                    ? nullptr
+                    : std::make_shared<std::atomic<uint32_t>>(query.topk_floor);
   session_->SubmitStreaming(
       query,
-      [this, job_id, conn_id, client_query_id](
+      [this, job_id, conn_id, client_query_id, floor, pushed](
           const serve::StreamChunk& chunk) {
         ChunkMsg msg;
         msg.query_id = client_query_id;
@@ -413,6 +452,21 @@ void PexesoServer::StartJob(uint64_t job_id) {
         std::string bytes;
         EncodeChunk(msg, &bytes);
         SendToConnection(conn_id, std::move(bytes));
+        if (floor != nullptr) {
+          // Shard -> coordinator direction: piggyback any floor raise this
+          // part produced on the chunk boundary, so sibling shards can
+          // tighten their bounds while this query is still running.
+          const uint32_t now = floor->load();
+          if (now > pushed->load(std::memory_order_relaxed)) {
+            pushed->store(now, std::memory_order_relaxed);
+            FloorUpdateMsg fu;
+            fu.query_id = client_query_id;
+            fu.floor = now;
+            std::string fu_bytes;
+            EncodeFloorUpdate(fu, &fu_bytes);
+            SendToConnection(conn_id, std::move(fu_bytes));
+          }
+        }
       },
       [this, job_id](const serve::QueryOutcome& outcome) {
         FinishJob(job_id, outcome);
@@ -561,6 +615,14 @@ std::string PexesoServer::MetricsText() const {
   AppendCounter(&out, "search_parts_quarantined", stats.parts_quarantined);
   AppendCounter(&out, "search_degraded_merges", stats.degraded_merges);
   AppendCounter(&out, "search_partial_responses", stats.partial_responses);
+  AppendCounter(&out, "search_shard_scatters", stats.scatters);
+  AppendCounter(&out, "search_floor_updates_sent", stats.floor_updates_sent);
+  AppendCounter(&out, "search_floor_updates_received",
+                stats.floor_updates_received);
+  AppendCounter(&out, "search_hedged_requests", stats.hedged_requests);
+  AppendCounter(&out, "search_failovers", stats.failovers);
+  AppendCounter(&out, "search_shards_degraded", stats.shards_degraded);
+  AppendCounter(&out, "search_shard_bytes_moved", stats.shard_bytes_moved);
 
   if (options_.cache != nullptr) {
     const serve::IndexCacheStats cs = options_.cache->stats();

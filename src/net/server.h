@@ -40,6 +40,11 @@ struct ServerOptions {
   /// Borrowed cache whose hit/miss counters feed the STATS snapshot; null
   /// when the engine runs uncached.
   serve::IndexCache* cache = nullptr;
+  /// Shard-role metadata advertised in the HELLO ack. A standalone server
+  /// keeps the defaults (1 shard, index 0); a `--shards N --shard-of i`
+  /// shard executor sets both so a coordinator can validate its topology.
+  uint32_t shards_total = 1;
+  uint32_t shard_of = 0;
 };
 
 /// \brief The networked serving front-end: accepts TCP connections on one
@@ -95,6 +100,10 @@ class PexesoServer {
     VectorStore vectors;  ///< owned storage the query's vectors point at
     JoinQuery query;
     CancelToken cancel;
+    /// kTopK only: the job's floor cell, linked into query.floor_link so
+    /// part completions publish into it and kFloorUpdate frames from a
+    /// coordinator raise it mid-flight.
+    std::shared_ptr<TopKFloorCell> floor;
   };
 
   void OnAcceptable();
@@ -103,6 +112,7 @@ class PexesoServer {
   void HandleHello(Connection* conn, const Frame& frame);
   void HandleQuery(Connection* conn, Frame&& frame);
   void HandleCancel(Connection* conn, const Frame& frame);
+  void HandleFloorUpdate(Connection* conn, const Frame& frame);
   /// Submits job `job_id` to the session (admission already counts it as
   /// running). Safe from the loop thread and from pool threads.
   void StartJob(uint64_t job_id);

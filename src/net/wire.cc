@@ -53,7 +53,7 @@ Status ReadColumn(WireReader* r, JoinableColumn* c) {
 
 bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kError);
+         type <= static_cast<uint8_t>(FrameType::kFloorUpdate);
 }
 
 void WireWriter::WriteStatus(const Status& s) {
@@ -129,6 +129,7 @@ void EncodeHello(const HelloMsg& m, std::string* out) {
   WireWriter w;
   w.Write<uint32_t>(m.version);
   w.WriteString(m.tenant);
+  w.WriteString(m.role);
   EncodeFrame(FrameType::kHello, w.buffer(), out);
 }
 
@@ -136,6 +137,7 @@ Status DecodeHello(std::string_view payload, HelloMsg* m) {
   WireReader r(payload);
   PEXESO_RETURN_NOT_OK(r.Read(&m->version));
   PEXESO_RETURN_NOT_OK(r.ReadString(&m->tenant));
+  PEXESO_RETURN_NOT_OK(r.ReadString(&m->role));
   return r.ExpectEnd();
 }
 
@@ -145,6 +147,8 @@ void EncodeHelloAck(const HelloAckMsg& m, std::string* out) {
   w.WriteString(m.engine);
   w.Write<uint32_t>(m.dim);
   w.Write<uint64_t>(m.parts);
+  w.Write<uint32_t>(m.shards_total);
+  w.Write<uint32_t>(m.shard_of);
   EncodeFrame(FrameType::kHelloAck, w.buffer(), out);
 }
 
@@ -154,6 +158,11 @@ Status DecodeHelloAck(std::string_view payload, HelloAckMsg* m) {
   PEXESO_RETURN_NOT_OK(r.ReadString(&m->engine));
   PEXESO_RETURN_NOT_OK(r.Read(&m->dim));
   PEXESO_RETURN_NOT_OK(r.Read(&m->parts));
+  PEXESO_RETURN_NOT_OK(r.Read(&m->shards_total));
+  PEXESO_RETURN_NOT_OK(r.Read(&m->shard_of));
+  if (m->shards_total == 0 || m->shard_of >= m->shards_total) {
+    return Status::Corruption("shard metadata implausible");
+  }
   return r.ExpectEnd();
 }
 
@@ -253,6 +262,20 @@ void EncodeError(const ErrorMsg& m, std::string* out) {
 Status DecodeError(std::string_view payload, ErrorMsg* m) {
   WireReader r(payload);
   PEXESO_RETURN_NOT_OK(r.ReadStatus(&m->status));
+  return r.ExpectEnd();
+}
+
+void EncodeFloorUpdate(const FloorUpdateMsg& m, std::string* out) {
+  WireWriter w;
+  w.Write<uint64_t>(m.query_id);
+  w.Write<uint32_t>(m.floor);
+  EncodeFrame(FrameType::kFloorUpdate, w.buffer(), out);
+}
+
+Status DecodeFloorUpdate(std::string_view payload, FloorUpdateMsg* m) {
+  WireReader r(payload);
+  PEXESO_RETURN_NOT_OK(r.Read(&m->query_id));
+  PEXESO_RETURN_NOT_OK(r.Read(&m->floor));
   return r.ExpectEnd();
 }
 

@@ -68,6 +68,12 @@ enum class FrameType : uint8_t {
   kDone = 7,       ///< server -> client: query finished (status + stats)
   kStatsText = 8,  ///< server -> client: the metrics snapshot text
   kError = 9,      ///< server -> client: protocol-level failure, then close
+  /// Both directions, kTopK only: the global k-th-best floor for a running
+  /// query was raised. Coordinator -> shard: prune against this. Shard ->
+  /// coordinator: my local k-th best implies this global floor. Purely an
+  /// optimization hint — either side may drop or reorder it without
+  /// affecting results (strict-beat pruning), so it carries no reply.
+  kFloorUpdate = 10,
 };
 
 /// True for type bytes that name a known frame.
@@ -215,6 +221,10 @@ class FrameDecoder {
 struct HelloMsg {
   uint32_t version = kProtocolVersion;
   std::string tenant;
+  /// Who is connecting: "" = plain client, "coordinator" = a scatter-gather
+  /// coordinator using this server as a shard executor (counted separately
+  /// in the server metrics). Free-form so future roles need no frame bump.
+  std::string role;
 };
 
 struct HelloAckMsg {
@@ -222,6 +232,12 @@ struct HelloAckMsg {
   std::string engine;   ///< JoinSearchEngine::name() of the served engine
   uint32_t dim = 0;     ///< repository dimensionality (0 = unknown)
   uint64_t parts = 1;   ///< partition count (1 for in-memory engines)
+  /// Shard-role metadata: this server owns the parts of shard `shard_of`
+  /// out of `shards_total` round-robin shards of one lake. 1/0 = an
+  /// unsharded server (owns everything). `parts` stays the count this
+  /// server itself serves, i.e. the OWNED subset under sharding.
+  uint32_t shards_total = 1;
+  uint32_t shard_of = 0;
 };
 
 struct CancelMsg {
@@ -254,6 +270,14 @@ struct ErrorMsg {
   Status status;
 };
 
+/// A raised global floor for one running kTopK query (see
+/// FrameType::kFloorUpdate). Monotone hint; stale or duplicate frames are
+/// harmless because receivers fold it in with a CAS-max.
+struct FloorUpdateMsg {
+  uint64_t query_id = 0;
+  uint32_t floor = 0;
+};
+
 void EncodeHello(const HelloMsg& m, std::string* out);
 Status DecodeHello(std::string_view payload, HelloMsg* m);
 
@@ -271,6 +295,9 @@ Status DecodeDone(std::string_view payload, DoneMsg* m);
 
 void EncodeError(const ErrorMsg& m, std::string* out);
 Status DecodeError(std::string_view payload, ErrorMsg* m);
+
+void EncodeFloorUpdate(const FloorUpdateMsg& m, std::string* out);
+Status DecodeFloorUpdate(std::string_view payload, FloorUpdateMsg* m);
 
 void EncodeStatsRequest(std::string* out);
 void EncodeStatsText(std::string_view text, std::string* out);

@@ -158,11 +158,25 @@ void ServeSession::RunPart(QueryState* state, size_t part) const {
     ++state->part_stats[part].deadline_expired;
   } else {
     try {
-      if (parts_ != nullptr) {
+      // A partitioned engine with zero parts (a shard that owns nothing
+      // under a shard map with more shards than parts) has no part 0 to
+      // search; its Execute path returns the correct empty answer.
+      if (parts_ != nullptr && parts_->NumParts() > 0) {
         JoinQuery part_query = state->query;
         if (part_query.mode == QueryMode::kTopK) {
-          part_query.topk_floor =
-              state->topk_floor.load(std::memory_order_relaxed);
+          uint32_t seed = state->topk_floor.load(std::memory_order_relaxed);
+          if (part_query.floor_link != nullptr) {
+            // A linked global floor (raised by sibling shards of a
+            // scatter-gather) can be ahead of this session's own cross-part
+            // floor; adopting it prunes harder and never changes results
+            // (strict-beat pruning).
+            const uint32_t ext = part_query.floor_link->load();
+            if (ext > seed) {
+              seed = ext;
+              ++state->part_stats[part].floor_updates_received;
+            }
+          }
+          part_query.topk_floor = seed;
         }
         auto chunk = parts_->SearchPart(part, part_query,
                                         &state->part_stats[part],
@@ -183,6 +197,12 @@ void ServeSession::RunPart(QueryState* state, size_t part) const {
             while (floor > seen &&
                    !state->topk_floor.compare_exchange_weak(
                        seen, floor, std::memory_order_relaxed)) {
+            }
+            // And outward: a raise of the linked global floor lets sibling
+            // shards (and their still-queued parts) prune against it too.
+            if (state->query.floor_link != nullptr &&
+                state->query.floor_link->RaiseTo(floor)) {
+              ++state->part_stats[part].floor_updates_sent;
             }
           }
         } else {

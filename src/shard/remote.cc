@@ -1,0 +1,151 @@
+#include "shard/remote.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pexeso::shard {
+
+Result<std::unique_ptr<RemoteShardRouter>> RemoteShardRouter::Probe(
+    std::vector<std::vector<Endpoint>> replicas, Options options) {
+  if (replicas.empty()) {
+    return Status::InvalidArgument("no shard endpoints");
+  }
+  const size_t num_shards = replicas.size();
+  options.connect.role = "coordinator";
+
+  auto router = std::unique_ptr<RemoteShardRouter>(new RemoteShardRouter());
+  router->options_ = options;
+
+  size_t total_parts = 0;
+  std::vector<uint64_t> owned(num_shards, 0);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    if (replicas[shard].empty()) {
+      return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                     " has no endpoints");
+    }
+    for (size_t r = 0; r < replicas[shard].size(); ++r) {
+      const Endpoint& ep = replicas[shard][r];
+      net::PexesoClient probe;
+      PEXESO_RETURN_NOT_OK(
+          probe.Connect(ep.host, ep.port, options.tenant, options.connect));
+      const net::HelloAckMsg& info = probe.server_info();
+      if (info.shards_total != num_shards) {
+        return Status::InvalidArgument(
+            ep.host + ":" + std::to_string(ep.port) + " serves " +
+            std::to_string(info.shards_total) + " shards, coordinator has " +
+            std::to_string(num_shards));
+      }
+      if (info.shard_of != shard) {
+        return Status::InvalidArgument(
+            ep.host + ":" + std::to_string(ep.port) + " is shard " +
+            std::to_string(info.shard_of) + ", listed as shard " +
+            std::to_string(shard));
+      }
+      if (r == 0) {
+        owned[shard] = info.parts;
+        total_parts += info.parts;
+        if (shard == 0) {
+          router->shard_engine_ = info.engine;
+          router->dim_ = info.dim;
+        }
+      } else if (info.parts != owned[shard]) {
+        return Status::InvalidArgument(
+            "replicas of shard " + std::to_string(shard) +
+            " disagree on owned part count");
+      }
+    }
+  }
+  router->map_ = ShardMap::RoundRobin(total_parts, num_shards);
+  // The owned counts must be one consistent round-robin split of the total
+  // — a shard started with the wrong --shards would silently lose parts.
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    if (owned[shard] != router->map_.OwnedCount(shard)) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(shard) + " owns " +
+          std::to_string(owned[shard]) + " parts, round-robin expects " +
+          std::to_string(router->map_.OwnedCount(shard)));
+    }
+  }
+  router->replicas_ = std::move(replicas);
+  return router;
+}
+
+ShardAttemptOutcome RemoteShardRouter::RunAttempt(size_t shard,
+                                                  size_t replica,
+                                                  const JoinQuery& query,
+                                                  const AttemptContext& ctx) {
+  PEXESO_CHECK(shard < replicas_.size());
+  PEXESO_CHECK(replica < replicas_[shard].size());
+  ShardAttemptOutcome out;
+  const Endpoint& ep = replicas_[shard][replica];
+
+  // A fresh connection per attempt: closing it is the attempt's whole
+  // cleanup story (the server cancels the query of a disconnected client),
+  // so a hedge loser can never leave orphaned work on the shard.
+  net::PexesoClient client;
+  Status st = client.Connect(ep.host, ep.port, options_.tenant,
+                             options_.connect);
+  if (!st.ok()) {
+    out.status = st;
+    return out;
+  }
+
+  const std::shared_ptr<TopKFloorCell> cell = ctx.floor;
+  if (cell != nullptr) {
+    // Shard -> coordinator direction: the shard's session publishes its
+    // local k-th-best floors, the server pushes them as kFloorUpdate
+    // frames, and this listener folds them into the query's global cell.
+    client.set_floor_listener(
+        [cell, received = ctx.floor_received](uint64_t, uint32_t floor) {
+          if (cell->RaiseTo(floor) && received != nullptr) {
+            received->fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+  }
+
+  JoinQuery attempt = query;
+  if (query.mode == QueryMode::kTopK && cell != nullptr) {
+    attempt.topk_floor = std::max(attempt.topk_floor, cell->load());
+  }
+  Result<uint64_t> id = client.SendQuery(attempt);
+  if (!id.ok()) {
+    out.status = id.status();
+    return out;
+  }
+
+  // Coordinator -> shard direction: between frames, push any raise of the
+  // global cell the shard has not seen yet, and bail out the moment the
+  // coordinator cancels this attempt (hedge loser / query cancelled).
+  uint32_t pushed = attempt.topk_floor;
+  net::ClientQueryResult result = client.AwaitDone(
+      id.value(), options_.tick_ms, [&]() -> Status {
+        if (ctx.cancel.cancelled()) {
+          return Status::Cancelled("attempt cancelled by coordinator");
+        }
+        if (cell != nullptr) {
+          const uint32_t floor = cell->load();
+          if (floor > pushed) {
+            pushed = floor;
+            PEXESO_RETURN_NOT_OK(client.SendFloorUpdate(id.value(), floor));
+            if (ctx.floor_sent != nullptr) {
+              ctx.floor_sent->fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+        return Status::OK();
+      });
+
+  if (ctx.bytes_moved != nullptr) {
+    ctx.bytes_moved->fetch_add(client.bytes_sent() + client.bytes_received(),
+                               std::memory_order_relaxed);
+  }
+  out.status = result.status;
+  out.columns = std::move(result.columns);
+  out.part_statuses = std::move(result.part_statuses);
+  out.stats = result.stats;
+  return out;
+}
+
+}  // namespace pexeso::shard

@@ -1,0 +1,76 @@
+#ifndef PEXESO_SHARD_REMOTE_H_
+#define PEXESO_SHARD_REMOTE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/client.h"
+#include "shard/router.h"
+
+namespace pexeso::shard {
+
+/// \brief The networked shard backend: each shard is a pexeso_server
+/// started with `--shards N --shard-of i` (serving its PartSubsetEngine
+/// over the PR 8 wire protocol), and each attempt is one client connection
+/// to one replica endpoint. Floor updates ride the kFloorUpdate frame both
+/// ways; a hedge loser is abandoned by closing its connection (the server's
+/// disconnect-cancels-query semantics clean up the far side).
+class RemoteShardRouter : public ShardRouter {
+ public:
+  struct Endpoint {
+    std::string host;
+    uint16_t port = 0;
+  };
+
+  struct Options {
+    /// Per-attempt connection establishment (timeout + bounded retry); the
+    /// role is forced to "coordinator".
+    net::ConnectOptions connect;
+    /// How often the attempt wakes to push floor raises / notice its own
+    /// cancellation while waiting on the shard.
+    int tick_ms = 2;
+    std::string tenant = "coordinator";
+  };
+
+  /// Probes every endpoint (replicas[shard] = that shard's replica list,
+  /// outer index = shard id), validates the HELLO ack metadata — every
+  /// replica must report shards_total == replicas.size(), shard_of ==
+  /// its shard index, and an owned-part count consistent with one
+  /// round-robin map — and reconstructs the global ShardMap from the
+  /// owned-part sums. Every replica must be reachable at probe time (a
+  /// replica set that is already down offers no failover).
+  static Result<std::unique_ptr<RemoteShardRouter>> Probe(
+      std::vector<std::vector<Endpoint>> replicas, Options options);
+  static Result<std::unique_ptr<RemoteShardRouter>> Probe(
+      std::vector<std::vector<Endpoint>> replicas) {
+    return Probe(std::move(replicas), Options());
+  }
+
+  const ShardMap& map() const override { return map_; }
+  size_t replication(size_t shard) const override {
+    return replicas_[shard].size();
+  }
+  ShardAttemptOutcome RunAttempt(size_t shard, size_t replica,
+                                 const JoinQuery& query,
+                                 const AttemptContext& ctx) override;
+
+  /// The served engine name reported by shard 0 (for coordinator logs).
+  const std::string& shard_engine() const { return shard_engine_; }
+  uint32_t dim() const { return dim_; }
+
+ private:
+  RemoteShardRouter() = default;
+
+  ShardMap map_;
+  Options options_;
+  std::vector<std::vector<Endpoint>> replicas_;
+  std::string shard_engine_;
+  uint32_t dim_ = 0;
+};
+
+}  // namespace pexeso::shard
+
+#endif  // PEXESO_SHARD_REMOTE_H_

@@ -1,0 +1,71 @@
+#ifndef PEXESO_SHARD_SHARD_MAP_H_
+#define PEXESO_SHARD_SHARD_MAP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pexeso::shard {
+
+/// \brief Deterministic assignment of a lake's P global parts to S shards.
+///
+/// Round-robin by part index: part p belongs to shard p % S, so shard s
+/// owns {s, s+S, s+2S, ...} in ascending global order. Both directions are
+/// O(1) arithmetic — local index k on shard s is global part s + k*S — and
+/// every node (coordinator, shard servers, tests) derives the same map from
+/// just (P, S), so nothing needs to travel beyond those two numbers (the
+/// HELLO ack's shard metadata). Round-robin also balances part counts to
+/// within one part per shard regardless of how the partitioner numbered
+/// them.
+class ShardMap {
+ public:
+  ShardMap() = default;
+
+  static ShardMap RoundRobin(size_t num_parts, size_t num_shards) {
+    PEXESO_CHECK(num_shards >= 1);
+    ShardMap m;
+    m.num_parts_ = num_parts;
+    m.num_shards_ = num_shards;
+    return m;
+  }
+
+  size_t num_parts() const { return num_parts_; }
+  size_t num_shards() const { return num_shards_; }
+
+  /// Which shard owns global part `part`.
+  size_t PartShard(size_t part) const {
+    PEXESO_CHECK(part < num_parts_);
+    return part % num_shards_;
+  }
+
+  /// How many parts shard `shard` owns.
+  size_t OwnedCount(size_t shard) const {
+    PEXESO_CHECK(shard < num_shards_);
+    return num_parts_ / num_shards_ +
+           (shard < num_parts_ % num_shards_ ? 1 : 0);
+  }
+
+  /// Global part ids owned by `shard`, ascending.
+  std::vector<size_t> OwnedParts(size_t shard) const {
+    std::vector<size_t> owned;
+    owned.reserve(OwnedCount(shard));
+    for (size_t p = shard; p < num_parts_; p += num_shards_) owned.push_back(p);
+    return owned;
+  }
+
+  /// Global part id of shard `shard`'s `local`-th owned part.
+  size_t GlobalPart(size_t shard, size_t local) const {
+    const size_t part = shard + local * num_shards_;
+    PEXESO_CHECK(part < num_parts_);
+    return part;
+  }
+
+ private:
+  size_t num_parts_ = 0;
+  size_t num_shards_ = 1;
+};
+
+}  // namespace pexeso::shard
+
+#endif  // PEXESO_SHARD_SHARD_MAP_H_

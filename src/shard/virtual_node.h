@@ -1,0 +1,65 @@
+#ifndef PEXESO_SHARD_VIRTUAL_NODE_H_
+#define PEXESO_SHARD_VIRTUAL_NODE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "serve/serve_session.h"
+#include "shard/part_subset.h"
+#include "shard/router.h"
+
+namespace pexeso::shard {
+
+/// \brief The in-process shard backend: every (shard, replica) pair is an
+/// independent ServeSession over its own PartSubsetEngine — the same
+/// executor stack a remote pexeso_server shard runs, minus the wire. This
+/// makes the full coordinator matrix (shard counts, replication, kills,
+/// stragglers) testable on a single box; tests inject faults by arming the
+/// failpoint "shard:attempt:<shard>:<replica>" (kIoError = dead node,
+/// kDelay = straggler).
+class VirtualShardRouter : public ShardRouter {
+ public:
+  struct Options {
+    size_t replication = 1;
+    /// Worker threads per virtual node's session (part-task parallelism
+    /// within one shard attempt).
+    size_t threads_per_node = 1;
+  };
+
+  /// `base` is the whole-lake partitioned engine (borrowed, must outlive
+  /// the router); each virtual node serves its round-robin subset of the
+  /// base parts. Replicas of one shard share the base engine (and its
+  /// cache) but run independent sessions, like replicas sharing a blob
+  /// store.
+  VirtualShardRouter(const JoinSearchEngine* base, size_t num_shards,
+                     Options options);
+  VirtualShardRouter(const JoinSearchEngine* base, size_t num_shards)
+      : VirtualShardRouter(base, num_shards, Options()) {}
+  ~VirtualShardRouter() override;
+
+  const ShardMap& map() const override { return map_; }
+  size_t replication(size_t shard) const override {
+    (void)shard;
+    return options_.replication;
+  }
+  ShardAttemptOutcome RunAttempt(size_t shard, size_t replica,
+                                 const JoinQuery& query,
+                                 const AttemptContext& ctx) override;
+
+ private:
+  struct Node {
+    std::unique_ptr<PartSubsetEngine> engine;
+    std::unique_ptr<serve::ServeSession> session;
+  };
+
+  ShardMap map_;
+  Options options_;
+  /// nodes_[shard][replica]; sessions are created up front and reused
+  /// across queries (a node is a long-lived server, not a per-query actor).
+  std::vector<std::vector<Node>> nodes_;
+};
+
+}  // namespace pexeso::shard
+
+#endif  // PEXESO_SHARD_VIRTUAL_NODE_H_

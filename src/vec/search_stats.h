@@ -90,6 +90,34 @@ struct SearchStats {
   /// to load or was quarantined, its error was surfaced per-part, and the
   /// rest of the answer was returned anyway.
   uint64_t partial_responses = 0;
+  /// Shard attempts dispatched by a scatter-gather coordinator (initial
+  /// scatters plus failover retries plus hedged duplicates all count one
+  /// each) — total remote/virtual work fanned out, not queries.
+  uint64_t scatters = 0;
+  /// Cross-shard topk_floor raises published: a local k-th-best raised the
+  /// shared global floor cell (on a shard: publishes into its floor link;
+  /// on a coordinator's remote router: floor-update frames pushed to
+  /// still-running shards). Like columns_pruned_topk this legitimately
+  /// varies with scheduling; results never do.
+  uint64_t floor_updates_sent = 0;
+  /// Cross-shard topk_floor raises adopted: a part/attempt seeded its local
+  /// bound from a global floor value above what it knew locally (on the
+  /// coordinator's remote router: floor-update frames received from shards).
+  uint64_t floor_updates_received = 0;
+  /// Hedged (straggler re-dispatch) attempts: a replica was dispatched as a
+  /// duplicate because the primary attempt exceeded the hedge latency
+  /// threshold; first finisher wins and the loser is cancelled.
+  uint64_t hedged_requests = 0;
+  /// Failovers: a shard attempt failed with a transient/internal error and
+  /// the coordinator retried the shard on the next replica.
+  uint64_t failovers = 0;
+  /// Shards with no healthy replica left: their parts were surfaced as
+  /// per-part errors via OnPartStatus and the answer returned degraded.
+  uint64_t shards_degraded = 0;
+  /// Wire bytes the coordinator's remote attempts moved (sent + received
+  /// across all shard connections of the queries summed here; 0 for
+  /// virtual/in-process shards).
+  uint64_t shard_bytes_moved = 0;
   /// Wall-clock split (seconds) of the two search phases.
   double block_seconds = 0.0;
   double verify_seconds = 0.0;
@@ -120,6 +148,13 @@ struct SearchStats {
     parts_quarantined += o.parts_quarantined;
     degraded_merges += o.degraded_merges;
     partial_responses += o.partial_responses;
+    scatters += o.scatters;
+    floor_updates_sent += o.floor_updates_sent;
+    floor_updates_received += o.floor_updates_received;
+    hedged_requests += o.hedged_requests;
+    failovers += o.failovers;
+    shards_degraded += o.shards_degraded;
+    shard_bytes_moved += o.shard_bytes_moved;
     block_seconds += o.block_seconds;
     verify_seconds += o.verify_seconds;
     return *this;

@@ -73,6 +73,13 @@ if [[ -x "$BUILD_DIR/bench/bench_net" ]]; then
   "$BUILD_DIR/bench/bench_net"
 fi
 
+if [[ -x "$BUILD_DIR/bench/bench_shard" ]]; then
+  # Writes BENCH_shard.json (scatter-gather sharding: distance computations
+  # with the global top-k floor shared vs not, wire bytes over a loopback
+  # 2-shard fleet, parity vs the single-node engine — counter-based).
+  "$BUILD_DIR/bench/bench_shard"
+fi
+
 # Loopback smoke: a real pexeso_server process on an ephemeral port, a real
 # pexeso_cli client, and byte-parity between the socket round-trip and the
 # in-process search of the same partitioned index. This is the one stage
@@ -80,6 +87,9 @@ fi
 SMOKE_DIR="$(mktemp -d)"
 smoke_cleanup() {
   [[ -n "${SMOKE_SERVER_PID:-}" ]] && kill "$SMOKE_SERVER_PID" 2>/dev/null
+  [[ -n "${SMOKE_SHARD0_PID:-}" ]] && kill "$SMOKE_SHARD0_PID" 2>/dev/null
+  [[ -n "${SMOKE_SHARD1_PID:-}" ]] && kill "$SMOKE_SHARD1_PID" 2>/dev/null
+  [[ -n "${SMOKE_COORD_PID:-}" ]] && kill "$SMOKE_COORD_PID" 2>/dev/null
   rm -rf "$SMOKE_DIR"
 }
 trap smoke_cleanup EXIT
@@ -172,6 +182,61 @@ kill "$SMOKE_SERVER_PID" && wait "$SMOKE_SERVER_PID" 2>/dev/null || true
 SMOKE_SERVER_PID=""
 echo "loopback smoke: OK ($(wc -l < "$SMOKE_DIR/local.txt") result lines byte-identical over the wire)"
 
+# Shard smoke: the same partitioned index split across two REAL shard
+# executor processes, a coordinator process scatter-gathering over them,
+# and byte-parity between the sharded round-trip and the in-process search
+# above (local.txt). This exercises the shipped binaries' whole scale-out
+# story: shard metadata handshake, scatter, floor frames, gather, merge.
+smoke_scrape_port() {
+  local log="$1" port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$log")"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "shard smoke: server behind $log never came up" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  echo "$port"
+}
+"$BUILD_DIR/pexeso_server" --index "$SMOKE_DIR/parts" --shards 2 \
+  --shard-of 0 --port 0 > "$SMOKE_DIR/shard0.log" 2>&1 &
+SMOKE_SHARD0_PID=$!
+"$BUILD_DIR/pexeso_server" --index "$SMOKE_DIR/parts" --shards 2 \
+  --shard-of 1 --port 0 > "$SMOKE_DIR/shard1.log" 2>&1 &
+SMOKE_SHARD1_PID=$!
+SHARD0_PORT="$(smoke_scrape_port "$SMOKE_DIR/shard0.log")"
+SHARD1_PORT="$(smoke_scrape_port "$SMOKE_DIR/shard1.log")"
+"$BUILD_DIR/pexeso_server" \
+  --coordinator "127.0.0.1:$SHARD0_PORT,127.0.0.1:$SHARD1_PORT" --port 0 \
+  > "$SMOKE_DIR/coord.log" 2>&1 &
+SMOKE_COORD_PID=$!
+COORD_PORT="$(smoke_scrape_port "$SMOKE_DIR/coord.log")"
+"$BUILD_DIR/pexeso_cli" query --connect "127.0.0.1:$COORD_PORT" \
+  --query "$SMOKE_DIR/query.csv" | grep "global column" \
+  > "$SMOKE_DIR/sharded.txt"
+if ! diff -u "$SMOKE_DIR/local.txt" "$SMOKE_DIR/sharded.txt"; then
+  echo "shard smoke: coordinator results differ from in-process search" >&2
+  exit 1
+fi
+"$BUILD_DIR/pexeso_cli" stats --connect "127.0.0.1:$COORD_PORT" \
+  > "$SMOKE_DIR/coord_stats.txt"
+for field in search_shard_scatters search_floor_updates_sent \
+    search_hedged_requests search_failovers search_shards_degraded \
+    search_shard_bytes_moved; do
+  if ! grep -q "$field" "$SMOKE_DIR/coord_stats.txt"; then
+    echo "shard smoke: coordinator STATS lacks $field" >&2
+    exit 1
+  fi
+done
+for pid in "$SMOKE_COORD_PID" "$SMOKE_SHARD0_PID" "$SMOKE_SHARD1_PID"; do
+  kill "$pid" && wait "$pid" 2>/dev/null || true
+done
+SMOKE_COORD_PID="" SMOKE_SHARD0_PID="" SMOKE_SHARD1_PID=""
+echo "shard smoke: OK ($(wc -l < "$SMOKE_DIR/sharded.txt") result lines byte-identical through the coordinator)"
+
 if [[ "${PEXESO_CI_SANITIZE:-1}" == "1" ]]; then
   SAN_DIR="${SAN_BUILD_DIR:-build-asan}"
   SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
@@ -195,11 +260,14 @@ if [[ "${PEXESO_CI_SANITIZE:-1}" == "1" ]]; then
   # snapshot_test joins for the mmap load path: section-table validation
   # over the corruption corpus is where an out-of-bounds view binding
   # would hide, and the quant tier's int8 kernels run under UBSan here.
+  # shard_test joins for the coordinator: hedge losers are cancelled and
+  # joined while the winner's outcome is being moved out — exactly where a
+  # use-after-scope on the attempt frame would live.
   cmake --build "$SAN_DIR" -j "$JOBS" \
     --target kernel_test vec_test serve_test common_test pipeline_test \
-    topk_test lake_test fault_test net_test snapshot_test
+    topk_test lake_test fault_test net_test snapshot_test shard_test
   ctest --test-dir "$SAN_DIR" --output-on-failure --timeout 600 \
-    -R '^(kernel_test|vec_test|serve_test|common_test|pipeline_test|topk_test|lake_test|fault_test|net_test|snapshot_test)$'
+    -R '^(kernel_test|vec_test|serve_test|common_test|pipeline_test|topk_test|lake_test|fault_test|net_test|snapshot_test|shard_test)$'
 fi
 
 if [[ "${PEXESO_CI_TSAN:-1}" == "1" ]]; then
@@ -221,10 +289,13 @@ if [[ "${PEXESO_CI_TSAN:-1}" == "1" ]]; then
   # vs pool-thread result callbacks vs metrics reads from client threads.
   # snapshot_test joins for mapped-snapshot sharing: one mmapped index read
   # by concurrent verification shards, and the cache's mapped-bytes gauges
-  # updated across shard locks.
+  # updated across shard locks. shard_test joins for the scatter-gather
+  # choreography: the CAS-max floor cell raised from every shard at once,
+  # racing replica attempts committing to one HedgeState, and the gather
+  # loop's cancellation fan-out — the PR's new cross-thread surface.
   cmake --build "$TSAN_DIR" -j "$JOBS" \
     --target pipeline_test batch_runner_test serve_test common_test \
-    topk_test lake_test net_test snapshot_test
+    topk_test lake_test net_test snapshot_test shard_test
   ctest --test-dir "$TSAN_DIR" --output-on-failure --timeout 600 \
-    -R '^(pipeline_test|batch_runner_test|serve_test|common_test|topk_test|lake_test|net_test|snapshot_test)$'
+    -R '^(pipeline_test|batch_runner_test|serve_test|common_test|topk_test|lake_test|net_test|snapshot_test|shard_test)$'
 fi

@@ -65,6 +65,10 @@
 #include "partition/partitioned_pexeso.h"
 #include "serve/index_cache.h"
 #include "serve/serve_session.h"
+#include "shard/coordinator.h"
+#include "shard/part_subset.h"
+#include "shard/shard_map.h"
+#include "shard/virtual_node.h"
 #include "table/csv.h"
 #include "table/repository.h"
 #include "table/type_detect.h"
@@ -192,6 +196,19 @@ void PrintStats(const SearchStats& stats) {
               static_cast<unsigned long long>(stats.degraded_merges));
   std::printf("  partial responses:       %llu\n",
               static_cast<unsigned long long>(stats.partial_responses));
+  std::printf("  shard scatters:          %llu\n",
+              static_cast<unsigned long long>(stats.scatters));
+  std::printf("  floor updates sent/rcvd: %llu / %llu\n",
+              static_cast<unsigned long long>(stats.floor_updates_sent),
+              static_cast<unsigned long long>(stats.floor_updates_received));
+  std::printf("  hedged requests:         %llu\n",
+              static_cast<unsigned long long>(stats.hedged_requests));
+  std::printf("  failovers:               %llu\n",
+              static_cast<unsigned long long>(stats.failovers));
+  std::printf("  shards degraded:         %llu\n",
+              static_cast<unsigned long long>(stats.shards_degraded));
+  std::printf("  shard bytes moved:       %llu\n",
+              static_cast<unsigned long long>(stats.shard_bytes_moved));
   std::printf("  block/verify seconds:    %.4f / %.4f\n", stats.block_seconds,
               stats.verify_seconds);
 }
@@ -257,7 +274,9 @@ int Usage() {
                "  search --index FILE|PARTDIR --query CSV [--column NAME "
                "--tau F --t F --topk K --deadline-ms MS --mappings --stats "
                "--stream --threads N --intra-threads N --cache-mb MB "
-               "--engine pexeso|pexeso-h|naive --model ... --dim D]\n"
+               "--engine pexeso|pexeso-h|naive --model ... --dim D "
+               "--shards N --replication R --hedge-ms MS --no-floor-share "
+               "--shard-of I]\n"
                "  batch  --index FILE|PARTDIR --queries DIR [--threads N "
                "--intra-threads N --tau F --t F --topk K --deadline-ms MS "
                "--stats --stream "
@@ -613,14 +632,61 @@ int CmdSearch(const Flags& flags) {
                    "results are per-partition chunks)\n");
       return 2;
     }
+    if (flags.GetInt("shards", 0) > 0) {
+      std::fprintf(stderr, "--shards and --stream are mutually exclusive\n");
+      return 2;
+    }
     return StreamSearch(ctx, jq, ThreadsFlag(flags), IntraThreadsFlag(flags),
                         want_stats);
   }
 
+  // --shards N runs the scatter-gather coordinator over N in-process
+  // virtual shard nodes (each an independent session over its round-robin
+  // part subset) — the single-box twin of a pexeso_server shard fleet.
+  // --shard-of I instead executes only shard I's part subset, for
+  // inspecting what one shard would contribute.
+  std::unique_ptr<shard::VirtualShardRouter> router;
+  std::unique_ptr<shard::PartSubsetEngine> subset;
+  std::unique_ptr<shard::ShardedEngine> sharded;
+  const JoinSearchEngine* engine = ctx.engine.get();
+  const long shards = flags.GetInt("shards", 0);
+  if (shards > 0) {
+    if (ctx.parts == nullptr) {
+      std::fprintf(stderr,
+                   "--shards needs a partition directory index (shards are "
+                   "part subsets)\n");
+      return 2;
+    }
+    if (flags.Has("shard-of")) {
+      const long shard_of = flags.GetInt("shard-of", -1);
+      if (shard_of < 0 || shard_of >= shards) {
+        std::fprintf(stderr, "--shard-of must be in [0, %ld)\n", shards);
+        return 2;
+      }
+      const auto map = shard::ShardMap::RoundRobin(
+          ctx.parts->NumParts(), static_cast<size_t>(shards));
+      subset = std::make_unique<shard::PartSubsetEngine>(
+          ctx.engine.get(), map.OwnedParts(static_cast<size_t>(shard_of)));
+      engine = subset.get();
+    } else {
+      shard::VirtualShardRouter::Options vopts;
+      vopts.replication = static_cast<size_t>(
+          std::max(1L, flags.GetInt("replication", 1)));
+      router = std::make_unique<shard::VirtualShardRouter>(
+          ctx.engine.get(), static_cast<size_t>(shards), vopts);
+      shard::ShardedOptions sopts;
+      sopts.hedge_after_ms = static_cast<size_t>(
+          std::max(0L, flags.GetInt("hedge-ms", 0)));
+      sopts.share_floor = !flags.Has("no-floor-share");
+      sharded = std::make_unique<shard::ShardedEngine>(router.get(), sopts);
+      engine = sharded.get();
+    }
+  }
+
   SearchStats stats;
   CollectSink sink;
-  const Status st = ctx.engine->Execute(jq, &sink, want_stats ? &stats
-                                                              : nullptr);
+  const Status st = engine->Execute(jq, &sink, want_stats ? &stats
+                                                          : nullptr);
   const std::vector<JoinableColumn>& results = sink.columns();
   if (!st.ok() && !st.interrupted()) {
     std::fprintf(stderr, "search failed: %s\n", st.ToString().c_str());
@@ -632,13 +698,18 @@ int CmdSearch(const Flags& flags) {
   }
   if (jq.mode == QueryMode::kTopK) {
     std::printf("top-%zu joinable column(s) via %s (tau=%.3f):\n",
-                jq.k, ctx.engine->name(), jq.thresholds.tau);
+                jq.k, engine->name(), jq.thresholds.tau);
   } else {
     std::printf("%zu joinable column(s) via %s (tau=%.3f, T=%u/%zu):\n",
-                results.size(), ctx.engine->name(), jq.thresholds.tau,
+                results.size(), engine->name(), jq.thresholds.tau,
                 jq.thresholds.t_abs, query.size());
   }
   for (const auto& r : results) PrintResult(ctx, r, "  ");
+  for (const auto& [part, part_st] : sink.part_statuses()) {
+    std::printf("  [part %zu] %s: %s\n", part + 1,
+                part_st.interrupted() ? "stopped early" : "DEGRADED",
+                part_st.ToString().c_str());
+  }
   if (want_stats) {
     PrintStats(stats);
     if (ctx.cache) PrintCacheStats(*ctx.cache);

@@ -7,6 +7,9 @@
 //                 [--max-inflight N] [--max-queue N]
 //                 [--global-max-inflight N] [--global-max-queue N]
 //                 [--default-deadline-ms MS]
+//                 [--shards N --shard-of I]
+//   pexeso_server --coordinator "h:p[|h:p...],h:p[|h:p...]"
+//                 [--hedge-ms MS] [--no-floor-share] [--port N] ...
 //
 // Loads one engine (a single-file PexesoIndex, an out-of-core
 // PartitionedPexeso directory, or a live LakeManager directory), binds a
@@ -15,10 +18,17 @@
 // ephemeral port; the chosen one is printed as "listening on HOST:PORT" so
 // scripts can scrape it.
 //
+// Scale-out: `--shards N --shard-of I` turns a partitioned engine into
+// shard I of N (serving only its round-robin part subset, advertising the
+// shard metadata in the HELLO ack). `--coordinator` serves a scatter-gather
+// front-end over those shard servers instead of a local engine: commas
+// separate shards, pipes separate one shard's replicas.
+//
 // Clients: `pexeso_cli query --connect host:port --query q.csv ...` for
 // searches, `pexeso_cli stats --connect host:port` for the metrics
 // snapshot.
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -27,6 +37,8 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/pexeso_index.h"
 #include "core/searcher.h"
@@ -36,6 +48,10 @@
 #include "net/server.h"
 #include "partition/partitioned_pexeso.h"
 #include "serve/index_cache.h"
+#include "shard/coordinator.h"
+#include "shard/part_subset.h"
+#include "shard/remote.h"
+#include "shard/shard_map.h"
 #include "vec/metric.h"
 
 namespace {
@@ -89,6 +105,10 @@ int Usage() {
       "  [--max-inflight N (4)] [--max-queue N (16)]  (per-tenant budgets)\n"
       "  [--global-max-inflight N (0=off)] [--global-max-queue N (0=off)]\n"
       "  [--default-deadline-ms MS (0=off)]\n"
+      "  [--shards N --shard-of I]  (serve shard I's round-robin part subset)\n"
+      "or: pexeso_server --coordinator \"h:p[|h:p...],h:p[|h:p...]\"\n"
+      "  [--hedge-ms MS (0=off)] [--no-floor-share]\n"
+      "  (scatter-gather front-end; commas = shards, pipes = replicas)\n"
       "Serves wire-protocol JoinQuery requests; STATS verb returns metrics.\n"
       "Query with: pexeso_cli query --connect host:port --query q.csv\n");
   return 2;
@@ -99,9 +119,54 @@ struct Serving {
   std::unique_ptr<Metric> metric;
   std::unique_ptr<PexesoIndex> index;
   std::unique_ptr<serve::IndexCache> cache;
+  /// Shard-executor mode: the whole-lake engine the PartSubsetEngine in
+  /// `engine` delegates to. Coordinator mode: the probed remote router.
+  std::unique_ptr<JoinSearchEngine> base;
+  std::unique_ptr<shard::RemoteShardRouter> router;
   std::unique_ptr<JoinSearchEngine> engine;
   uint32_t dim = 0;
 };
+
+/// "host:port" (the last colon splits, so a future v6 literal keeps its
+/// internal colons).
+bool ParseEndpoint(const std::string& s,
+                   shard::RemoteShardRouter::Endpoint* ep) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  const long port = std::atol(s.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return false;
+  ep->host = s.substr(0, colon);
+  ep->port = static_cast<uint16_t>(port);
+  return true;
+}
+
+/// "h:p[|h:p...],h:p[|h:p...]" -> replicas[shard][replica].
+bool ParseTopology(
+    const std::string& spec,
+    std::vector<std::vector<shard::RemoteShardRouter::Endpoint>>* out) {
+  out->clear();
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string shard_spec = spec.substr(begin, end - begin);
+    std::vector<shard::RemoteShardRouter::Endpoint> replicas;
+    size_t rb = 0;
+    while (rb <= shard_spec.size()) {
+      size_t re = shard_spec.find('|', rb);
+      if (re == std::string::npos) re = shard_spec.size();
+      shard::RemoteShardRouter::Endpoint ep;
+      if (!ParseEndpoint(shard_spec.substr(rb, re - rb), &ep)) return false;
+      replicas.push_back(std::move(ep));
+      rb = re + 1;
+      if (re == shard_spec.size()) break;
+    }
+    out->push_back(std::move(replicas));
+    begin = end + 1;
+    if (end == spec.size()) break;
+  }
+  return !out->empty();
+}
 
 int LoadServing(const Flags& flags, Serving* s) {
   s->metric = MakeMetric(flags.Get("metric", "l2"));
@@ -192,15 +257,67 @@ int LoadServing(const Flags& flags, Serving* s) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  if (flags.Has("help") || (flags.Get("index").empty() &&
-                            flags.Get("lake").empty())) {
+  const std::string coordinator = flags.Get("coordinator");
+  if (flags.Has("help") ||
+      (coordinator.empty() && flags.Get("index").empty() &&
+       flags.Get("lake").empty())) {
     return Usage();
   }
 
   Serving serving;
-  if (int rc = LoadServing(flags, &serving); rc != 0) return rc;
-
   net::ServerOptions options;
+  if (!coordinator.empty()) {
+    std::vector<std::vector<shard::RemoteShardRouter::Endpoint>> topology;
+    if (!ParseTopology(coordinator, &topology)) {
+      std::fprintf(stderr, "bad --coordinator spec '%s'\n",
+                   coordinator.c_str());
+      return 2;
+    }
+    auto probed = shard::RemoteShardRouter::Probe(std::move(topology));
+    if (!probed.ok()) {
+      std::fprintf(stderr, "shard probe failed: %s\n",
+                   probed.status().ToString().c_str());
+      return 1;
+    }
+    serving.router = std::move(probed).ValueOrDie();
+    serving.dim = serving.router->dim();
+    shard::ShardedOptions sopts;
+    sopts.hedge_after_ms = static_cast<size_t>(
+        std::max(0L, flags.GetInt("hedge-ms", 0)));
+    sopts.share_floor = !flags.Has("no-floor-share");
+    serving.engine = std::make_unique<shard::ShardedEngine>(
+        serving.router.get(), sopts);
+  } else {
+    if (int rc = LoadServing(flags, &serving); rc != 0) return rc;
+    const long shards = flags.GetInt("shards", 0);
+    if (shards > 0) {
+      const long shard_of = flags.GetInt("shard-of", -1);
+      if (shard_of < 0 || shard_of >= shards) {
+        std::fprintf(stderr,
+                     "--shards %ld needs --shard-of in [0, %ld)\n",
+                     shards, shards);
+        return 2;
+      }
+      const auto* parts =
+          dynamic_cast<const PartitionedJoinEngine*>(serving.engine.get());
+      if (parts == nullptr) {
+        std::fprintf(stderr,
+                     "--shards requires a partitioned engine "
+                     "(partition dir or lake, not a single-file index)\n");
+        return 2;
+      }
+      const auto map =
+          shard::ShardMap::RoundRobin(parts->NumParts(),
+                                      static_cast<size_t>(shards));
+      serving.base = std::move(serving.engine);
+      serving.engine = std::make_unique<shard::PartSubsetEngine>(
+          serving.base.get(),
+          map.OwnedParts(static_cast<size_t>(shard_of)));
+      options.shards_total = static_cast<uint32_t>(shards);
+      options.shard_of = static_cast<uint32_t>(shard_of);
+    }
+  }
+
   options.bind = flags.Get("bind", "127.0.0.1");
   options.port = static_cast<uint16_t>(flags.GetInt("port", 0));
   options.worker_threads = static_cast<size_t>(
